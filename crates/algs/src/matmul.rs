@@ -1,0 +1,485 @@
+//! Matrix multiplication (§7, Theorem 7.4).
+//!
+//! The standard 8-way recursive multiply. "Every pair of submatrix
+//! multiplications shares the same output location. This leads to
+//! write-after-read conflicts ... Therefore, the algorithm allocates two
+//! copies of temporary space for the output in each recursive subtask,
+//! which allows applying computation for the matrix multiplication in two
+//! subtasks on different output spaces (with no conflicts), and eventually
+//! adding computed values from the temporary space back to the original
+//! output space."
+//!
+//! Recursion stops when a subproblem fits in the ephemeral memory (three
+//! `size × size` tiles ≤ M), computed inside one capsule: maximum capsule
+//! work O(M/B + √M) = O(M^{3/2})-bounded, matching the theorem's shape.
+//! Temporaries come from the restart-stable pool allocator; the pool is
+//! never freed (the paper's bump allocator, §4.1), so total temporary
+//! space is O(n³/√M) rather than the paper's work-stealing-stack bound of
+//! O(P^{1/3}·n²) — a space-only simplification recorded in DESIGN.md.
+
+use ppm_core::{comp_dyn, comp_seq, comp_step, par_all, Comp, Machine};
+use ppm_pm::{ProcCtx, Region, Word};
+
+use crate::util::{next_pow2, pread_range, pwrite_range};
+
+/// A square view into a row-major matrix stored in a region.
+#[derive(Debug, Clone, Copy)]
+struct MView {
+    region: Region,
+    row0: usize,
+    col0: usize,
+    stride: usize,
+}
+
+impl MView {
+    fn addr(&self, i: usize, j: usize) -> usize {
+        self.region.at((self.row0 + i) * self.stride + self.col0 + j)
+    }
+
+    fn quadrant(&self, qi: usize, qj: usize, half: usize) -> MView {
+        MView {
+            region: self.region,
+            row0: self.row0 + qi * half,
+            col0: self.col0 + qj * half,
+            stride: self.stride,
+        }
+    }
+}
+
+/// Reads a `size × size` view (blocked row reads).
+fn read_view(ctx: &mut ProcCtx, v: MView, size: usize) -> ppm_pm::PmResult<Vec<Word>> {
+    let mut out = Vec::with_capacity(size * size);
+    for i in 0..size {
+        out.extend(pread_range(ctx, v.addr(i, 0), size)?);
+    }
+    Ok(out)
+}
+
+/// Writes a `size × size` view.
+fn write_view(ctx: &mut ProcCtx, v: MView, size: usize, data: &[Word]) -> ppm_pm::PmResult<()> {
+    for i in 0..size {
+        pwrite_range(ctx, v.addr(i, 0), &data[i * size..(i + 1) * size])?;
+    }
+    Ok(())
+}
+
+/// Largest tile dimension whose three operand tiles fit the ephemeral
+/// memory.
+fn base_dim(m_eph: usize) -> usize {
+    (((m_eph / 4) as f64).sqrt() as usize).max(1)
+}
+
+/// The base case: one capsule computing `c = a·b` for a tile that fits in
+/// ephemeral memory.
+fn mult_base(a: MView, b: MView, c: MView, size: usize) -> Comp {
+    comp_step("matmul/base", move |ctx: &mut ProcCtx| {
+        let av = read_view(ctx, a, size)?;
+        let bv = read_view(ctx, b, size)?;
+        let mut cv = vec![0u64; size * size];
+        for i in 0..size {
+            for k in 0..size {
+                let aik = av[i * size + k];
+                if aik == 0 {
+                    continue;
+                }
+                for j in 0..size {
+                    cv[i * size + j] =
+                        cv[i * size + j].wrapping_add(aik.wrapping_mul(bv[k * size + j]));
+                }
+            }
+        }
+        write_view(ctx, c, size, &cv)
+    })
+}
+
+/// The elementwise addition `c = t1 + t2`, chunked so each capsule fits
+/// the ephemeral memory.
+fn add_views(t1: MView, t2: MView, c: MView, size: usize) -> Comp {
+    comp_dyn("matmul/add", move |ctx: &mut ProcCtx| {
+        let rows_per = (ctx.ephemeral_words() / (4 * size)).max(1);
+        let chunks: Vec<Comp> = (0..size.div_ceil(rows_per))
+            .map(|ch| {
+                comp_step("matmul/add-chunk", move |ctx: &mut ProcCtx| {
+                    let r0 = ch * rows_per;
+                    let r1 = ((ch + 1) * rows_per).min(size);
+                    for i in r0..r1 {
+                        let x = pread_range(ctx, t1.addr(i, 0), size)?;
+                        let y = pread_range(ctx, t2.addr(i, 0), size)?;
+                        let sum: Vec<Word> = x
+                            .iter()
+                            .zip(&y)
+                            .map(|(p, q)| p.wrapping_add(*q))
+                            .collect();
+                        pwrite_range(ctx, c.addr(i, 0), &sum)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        Ok(par_all(chunks))
+    })
+}
+
+/// Recursive multiply `c = a·b` (`size` is a power of two).
+fn mult_rec(a: MView, b: MView, c: MView, size: usize) -> Comp {
+    comp_dyn("matmul/split", move |ctx: &mut ProcCtx| {
+        if size <= base_dim(ctx.ephemeral_words()) {
+            return Ok(mult_base(a, b, c, size));
+        }
+        let half = size / 2;
+        // Two temporaries, each size×size, from the restart-stable pool.
+        let t1 = MView {
+            region: Region { start: ctx.palloc(size * size), len: size * size },
+            row0: 0,
+            col0: 0,
+            stride: size,
+        };
+        let t2 = MView {
+            region: Region { start: ctx.palloc(size * size), len: size * size },
+            row0: 0,
+            col0: 0,
+            stride: size,
+        };
+        // T1 ← first terms, T2 ← second terms of each C quadrant.
+        let mut products = Vec::with_capacity(8);
+        for qi in 0..2 {
+            for qj in 0..2 {
+                let a1 = a.quadrant(qi, 0, half);
+                let b1 = b.quadrant(0, qj, half);
+                products.push(mult_rec(a1, b1, t1.quadrant(qi, qj, half), half));
+                let a2 = a.quadrant(qi, 1, half);
+                let b2 = b.quadrant(1, qj, half);
+                products.push(mult_rec(a2, b2, t2.quadrant(qi, qj, half), half));
+            }
+        }
+        Ok(comp_seq(par_all(products), add_views(t1, t2, c, size)))
+    })
+}
+
+/// Pool words one processor may need for multiplying padded dimension
+/// `n_pad` with ephemeral memory `m_eph` (worst case: one processor
+/// expands every node: 2·n³/base_dim temporary words, plus slack).
+pub fn matmul_pool_words(n: usize, m_eph: usize) -> usize {
+    let np = next_pow2(n);
+    let bd = base_dim(m_eph);
+    if np <= bd {
+        1 << 12
+    } else {
+        // Temporaries: sum over levels of 2·(nodes)·(size²) = 2n²(2^L − 1)
+        // ≈ 2n³/bd, plus fork closures and join cells (tens of words per
+        // node). 3·n³/bd covers both with slack.
+        3 * np * np * (np / bd).max(1) + (1 << 14)
+    }
+}
+
+/// A matrix-multiply instance: `c = a · b`, all `n × n` row-major.
+#[derive(Debug, Clone, Copy)]
+pub struct MatMul {
+    /// Left operand.
+    pub a: Region,
+    /// Right operand.
+    pub b: Region,
+    /// Product.
+    pub c: Region,
+    n: usize,
+    n_pad: usize,
+}
+
+impl MatMul {
+    /// Carves regions for an `n × n` multiply (padded internally to the
+    /// next power of two). Build the machine with
+    /// [`matmul_pool_words`]-sized pools.
+    pub fn new(machine: &Machine, n: usize) -> Self {
+        assert!(n > 0);
+        let n_pad = next_pow2(n);
+        MatMul {
+            a: machine.alloc_region(n_pad * n_pad),
+            b: machine.alloc_region(n_pad * n_pad),
+            c: machine.alloc_region(n_pad * n_pad),
+            n,
+            n_pad,
+        }
+    }
+
+    /// Loads both operands (row-major, `n × n`; uncosted setup).
+    pub fn load_inputs(&self, machine: &Machine, a: &[Word], b: &[Word]) {
+        assert_eq!(a.len(), self.n * self.n);
+        assert_eq!(b.len(), self.n * self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                machine.mem().store(self.a.at(i * self.n_pad + j), a[i * self.n + j]);
+                machine.mem().store(self.b.at(i * self.n_pad + j), b[i * self.n + j]);
+            }
+        }
+    }
+
+    /// Reads the product (row-major, `n × n`; oracle).
+    pub fn read_output(&self, machine: &Machine) -> Vec<Word> {
+        let mut out = Vec::with_capacity(self.n * self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                out.push(machine.mem().load(self.c.at(i * self.n_pad + j)));
+            }
+        }
+        out
+    }
+
+    /// The multiplication computation.
+    pub fn comp(&self) -> Comp {
+        let v = |region: Region| MView {
+            region,
+            row0: 0,
+            col0: 0,
+            stride: self.n_pad,
+        };
+        mult_rec(v(self.a), v(self.b), v(self.c), self.n_pad)
+    }
+}
+
+/// A rectangular multiply `c[m×n] = a[m×k] · b[k×n]` (§7's closing note:
+/// "we can extend this result to non-square matrices using a similar
+/// approach to [31]"). Implemented by embedding the operands in the
+/// smallest enclosing power-of-two square (zero padding is absorbed by
+/// the base case's zero-skip), which preserves the work bound up to the
+/// aspect ratio — the dimension-splitting refinement of [31] would remove
+/// that factor for extreme shapes.
+#[derive(Debug, Clone, Copy)]
+pub struct MatMulRect {
+    inner: MatMul,
+    m_rows: usize,
+    k_inner: usize,
+    n_cols: usize,
+}
+
+impl MatMulRect {
+    /// Carves regions for `c[m×n] = a[m×k] · b[k×n]`.
+    pub fn new(machine: &Machine, m_rows: usize, k_inner: usize, n_cols: usize) -> Self {
+        assert!(m_rows > 0 && k_inner > 0 && n_cols > 0);
+        let dim = m_rows.max(k_inner).max(n_cols);
+        MatMulRect {
+            inner: MatMul::new(machine, dim),
+            m_rows,
+            k_inner,
+            n_cols,
+        }
+    }
+
+    /// Pool words needed (delegates to the square bound on the enclosing
+    /// dimension).
+    pub fn pool_words(m_rows: usize, k_inner: usize, n_cols: usize, m_eph: usize) -> usize {
+        matmul_pool_words(m_rows.max(k_inner).max(n_cols), m_eph)
+    }
+
+    /// Loads `a` (`m×k`, row-major) and `b` (`k×n`, row-major); the
+    /// padding stays zero (uncosted setup).
+    pub fn load_inputs(&self, machine: &Machine, a: &[Word], b: &[Word]) {
+        assert_eq!(a.len(), self.m_rows * self.k_inner);
+        assert_eq!(b.len(), self.k_inner * self.n_cols);
+        let np = self.inner.n_pad;
+        for i in 0..self.m_rows {
+            for j in 0..self.k_inner {
+                machine
+                    .mem()
+                    .store(self.inner.a.at(i * np + j), a[i * self.k_inner + j]);
+            }
+        }
+        for i in 0..self.k_inner {
+            for j in 0..self.n_cols {
+                machine
+                    .mem()
+                    .store(self.inner.b.at(i * np + j), b[i * self.n_cols + j]);
+            }
+        }
+    }
+
+    /// Reads the `m×n` product (oracle).
+    pub fn read_output(&self, machine: &Machine) -> Vec<Word> {
+        let np = self.inner.n_pad;
+        let mut out = Vec::with_capacity(self.m_rows * self.n_cols);
+        for i in 0..self.m_rows {
+            for j in 0..self.n_cols {
+                out.push(machine.mem().load(self.inner.c.at(i * np + j)));
+            }
+        }
+        out
+    }
+
+    /// The multiplication computation.
+    pub fn comp(&self) -> Comp {
+        self.inner.comp()
+    }
+}
+
+/// Sequential rectangular oracle: `c[m×n] = a[m×k] · b[k×n]`.
+pub fn matmul_rect_seq(a: &[Word], b: &[Word], m: usize, k: usize, n: usize) -> Vec<Word> {
+    let mut c = vec![0u64; m * n];
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            if aik == 0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] = c[i * n + j].wrapping_add(aik.wrapping_mul(b[kk * n + j]));
+            }
+        }
+    }
+    c
+}
+
+/// Sequential oracle (wrapping arithmetic, row-major).
+pub fn matmul_seq(a: &[Word], b: &[Word], n: usize) -> Vec<Word> {
+    let mut c = vec![0u64; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            if aik == 0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] = c[i * n + j].wrapping_add(aik.wrapping_mul(b[k * n + j]));
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_pm::{FaultConfig, PmConfig};
+    use ppm_sched::{run_computation, SchedConfig};
+
+    fn data(seed: u64, n: usize) -> Vec<u64> {
+        (0..(n * n) as u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9).wrapping_add(seed)) % 100)
+            .collect()
+    }
+
+    fn check(n: usize, procs: usize, m_eph: usize, f: FaultConfig) {
+        let m = Machine::with_pool_words(
+            PmConfig::parallel(procs, 1 << 23)
+                .with_ephemeral_words(m_eph)
+                .with_fault(f),
+            matmul_pool_words(n, m_eph),
+        );
+        let mm = MatMul::new(&m, n);
+        let (a, b) = (data(1, n), data(2, n));
+        mm.load_inputs(&m, &a, &b);
+        let rep = run_computation(&m, &mm.comp(), &SchedConfig::with_slots(1 << 13));
+        assert!(rep.completed);
+        assert_eq!(mm.read_output(&m), matmul_seq(&a, &b, n), "n={n}");
+    }
+
+    #[test]
+    fn tiny_fits_one_capsule() {
+        check(4, 1, 256, FaultConfig::none());
+    }
+
+    #[test]
+    fn non_power_of_two_dimension() {
+        check(6, 1, 256, FaultConfig::none());
+        check(12, 2, 256, FaultConfig::none());
+    }
+
+    #[test]
+    fn forces_recursion() {
+        // base_dim(64) = 4, so 16x16 recurses two levels.
+        check(16, 2, 64, FaultConfig::none());
+    }
+
+    #[test]
+    fn medium_parallel() {
+        check(32, 4, 256, FaultConfig::none());
+    }
+
+    #[test]
+    fn with_soft_faults() {
+        check(16, 2, 64, FaultConfig::soft(0.005, 3));
+    }
+
+    #[test]
+    fn with_hard_fault() {
+        check(
+            24,
+            3,
+            256,
+            FaultConfig::none().with_scheduled_hard_fault(0, 300),
+        );
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let n = 8;
+        let m = Machine::new(PmConfig::parallel(1, 1 << 21).with_ephemeral_words(256));
+        let mm = MatMul::new(&m, n);
+        let mut eye = vec![0u64; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1;
+        }
+        let b = data(5, n);
+        mm.load_inputs(&m, &eye, &b);
+        let rep = run_computation(&m, &mm.comp(), &SchedConfig::with_slots(1 << 12));
+        assert!(rep.completed);
+        assert_eq!(mm.read_output(&m), b);
+    }
+
+    #[test]
+    fn rectangular_multiply_matches_oracle() {
+        let (mr, kk, nc) = (5usize, 9usize, 3usize);
+        let m = Machine::with_pool_words(
+            PmConfig::parallel(2, 1 << 22).with_ephemeral_words(64),
+            MatMulRect::pool_words(mr, kk, nc, 64),
+        );
+        let mm = MatMulRect::new(&m, mr, kk, nc);
+        let a: Vec<u64> = (0..(mr * kk) as u64).map(|i| i % 7).collect();
+        let b: Vec<u64> = (0..(kk * nc) as u64).map(|i| (i * 3) % 5).collect();
+        mm.load_inputs(&m, &a, &b);
+        let rep = run_computation(&m, &mm.comp(), &SchedConfig::with_slots(1 << 12));
+        assert!(rep.completed);
+        assert_eq!(mm.read_output(&m), matmul_rect_seq(&a, &b, mr, kk, nc));
+    }
+
+    #[test]
+    fn rectangular_tall_and_wide_shapes() {
+        for (mr, kk, nc) in [(1usize, 16usize, 16usize), (16, 1, 16), (16, 16, 1), (2, 20, 6)] {
+            let m = Machine::with_pool_words(
+                PmConfig::parallel(1, 1 << 22).with_ephemeral_words(256),
+                MatMulRect::pool_words(mr, kk, nc, 256),
+            );
+            let mm = MatMulRect::new(&m, mr, kk, nc);
+            let a: Vec<u64> = (0..(mr * kk) as u64).map(|i| i % 11).collect();
+            let b: Vec<u64> = (0..(kk * nc) as u64).map(|i| (i * 7) % 13).collect();
+            mm.load_inputs(&m, &a, &b);
+            let rep = run_computation(&m, &mm.comp(), &SchedConfig::with_slots(1 << 12));
+            assert!(rep.completed, "{mr}x{kk}x{nc}");
+            assert_eq!(
+                mm.read_output(&m),
+                matmul_rect_seq(&a, &b, mr, kk, nc),
+                "{mr}x{kk}x{nc}"
+            );
+        }
+    }
+
+    #[test]
+    fn work_scales_cubically_at_fixed_m() {
+        let work = |n: usize| {
+            let m = Machine::with_pool_words(
+                PmConfig::parallel(1, 1 << 23).with_ephemeral_words(64),
+                matmul_pool_words(n, 64),
+            );
+            let mm = MatMul::new(&m, n);
+            mm.load_inputs(&m, &data(1, n), &data(2, n));
+            let rep = run_computation(&m, &mm.comp(), &SchedConfig::with_slots(1 << 13));
+            assert!(rep.completed);
+            rep.stats.total_work()
+        };
+        let (w1, w2) = (work(16), work(32));
+        let ratio = w2 as f64 / w1 as f64;
+        // Theorem 7.4: work O(n³/(B√M)): doubling n → ~8x transfers.
+        assert!(
+            (6.0..11.0).contains(&ratio),
+            "2x dimension should be ~8x work, got {ratio} ({w1} -> {w2})"
+        );
+    }
+}

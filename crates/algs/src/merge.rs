@@ -1,0 +1,342 @@
+//! Parallel merging (§7, Theorem 7.2).
+//!
+//! "The algorithm conducts dual binary searches of the arrays in parallel
+//! to find the elements ranked {n^{2/3}, 2n^{2/3}, ...} among the set of
+//! keys from both arrays, and recurses on each pair of subarrays until the
+//! base case when there are no more than B elements left. We put each of
+//! the binary searches into a capsule, as well as each base case."
+//!
+//! Split points are written to fresh pool allocations (§4.1), so every
+//! capsule writes to locations disjoint from what it reads — write-after-
+//! read conflict free. A binary-search capsule performs O(log n) word
+//! reads, which is the Theorem 7.2 maximum capsule work; base cases are
+//! O(1) block transfers.
+
+use ppm_core::{comp_dyn, comp_nop, comp_seq, comp_step, par_all, Comp, Machine};
+use ppm_pm::{Addr, PmResult, ProcCtx, Region, Word};
+
+use crate::util::{ceil_div, pread_range, pwrite_range};
+
+/// A range of a persistent region holding a sorted run of words.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Run {
+    pub region: Region,
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl Run {
+    pub(crate) fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+    fn at(&self, i: usize) -> Addr {
+        self.region.at(self.lo + i)
+    }
+}
+
+/// Base-case size: merge sequentially once `≤ B` elements remain (the
+/// paper's rule; a floor of 2 keeps degenerate B = 1 configurations from
+/// recursing on single elements forever).
+fn base_size(b: usize) -> usize {
+    b.max(2)
+}
+
+/// Dual binary search: the number of elements `sa` to take from `a` such
+/// that `(sa, r - sa)` splits the merged order at rank `r`. O(log) costed
+/// word reads.
+fn split_rank(ctx: &mut ProcCtx, a: Run, b: Run, r: usize) -> PmResult<usize> {
+    let (na, nb) = (a.len(), b.len());
+    debug_assert!(r <= na + nb);
+    let mut lo = r.saturating_sub(nb);
+    let mut hi = r.min(na);
+    while lo < hi {
+        let sa = (lo + hi) / 2; // sa < hi <= min(r, na) ⇒ a[sa] and b[r-sa-1] valid
+        let sb = r - sa; // sb >= r - hi + 1 >= 1
+        let av = ctx.pread(a.at(sa))?;
+        let bv = ctx.pread(b.at(sb - 1))?;
+        if av < bv {
+            lo = sa + 1;
+        } else {
+            hi = sa;
+        }
+    }
+    Ok(lo)
+}
+
+/// The sequential base case: one capsule reading both runs and writing the
+/// merged output range.
+fn merge_base(a: Run, b: Run, out: Region, olo: usize) -> Comp {
+    comp_step("merge/base", move |ctx: &mut ProcCtx| {
+        // Empty runs can sit exactly at a region's end; never form their
+        // address.
+        let av = if a.len() > 0 {
+            pread_range(ctx, a.region.at(a.lo), a.len())?
+        } else {
+            Vec::new()
+        };
+        let bv = if b.len() > 0 {
+            pread_range(ctx, b.region.at(b.lo), b.len())?
+        } else {
+            Vec::new()
+        };
+        let mut merged = Vec::with_capacity(av.len() + bv.len());
+        let (mut i, mut j) = (0, 0);
+        while i < av.len() && j < bv.len() {
+            if av[i] <= bv[j] {
+                merged.push(av[i]);
+                i += 1;
+            } else {
+                merged.push(bv[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&av[i..]);
+        merged.extend_from_slice(&bv[j..]);
+        if merged.is_empty() {
+            return Ok(());
+        }
+        pwrite_range(ctx, out.at(olo), &merged)
+    })
+}
+
+/// Merges sorted runs `a` and `b` into `out[olo..olo + |a| + |b|)`.
+/// Reused by mergesort; the public interface is [`Merge`].
+pub(crate) fn merge_runs(a: Run, b: Run, out: Region, olo: usize) -> Comp {
+    comp_dyn("merge/split", move |ctx: &mut ProcCtx| {
+        let n = a.len() + b.len();
+        let bs = base_size(ctx.block_size());
+        if n <= bs {
+            return Ok(merge_base(a, b, out, olo));
+        }
+        // k-way split at ranks i·⌈n/k⌉, k ≈ n^{1/3}.
+        let k = ((n as f64).cbrt().ceil() as usize).clamp(2, n);
+        let piece = ceil_div(n, k);
+        let nsplits = k - 1;
+        // Fresh, restart-stable scratch for the split points.
+        let splits = ctx.palloc(nsplits);
+
+        // Phase 1: the k-1 dual binary searches, in parallel, one capsule
+        // each (O(log n) capsule work).
+        let searches: Vec<Comp> = (0..nsplits)
+            .map(|i| {
+                comp_step("merge/search", move |ctx: &mut ProcCtx| {
+                    let r = ((i + 1) * piece).min(a.len() + b.len());
+                    let sa = split_rank(ctx, a, b, r)?;
+                    ctx.pwrite(splits + i, sa as Word)
+                })
+            })
+            .collect();
+
+        // Phase 2: recurse on each pair of subranges. Each piece's first
+        // capsule reads only its own two boundary words (O(1)).
+        let pieces: Vec<Comp> = (0..k)
+            .map(|i| {
+                comp_dyn("merge/recurse", move |ctx: &mut ProcCtx| {
+                    let n = a.len() + b.len();
+                    let (r0, r1) = ((i * piece).min(n), ((i + 1) * piece).min(n));
+                    let sa0 = if i == 0 {
+                        0
+                    } else {
+                        ctx.pread(splits + (i - 1))? as usize
+                    };
+                    let sa1 = if i + 1 == k {
+                        a.len()
+                    } else {
+                        ctx.pread(splits + i)? as usize
+                    };
+                    let (sb0, sb1) = (r0 - sa0, r1 - sa1);
+                    let sub_a = Run { region: a.region, lo: a.lo + sa0, hi: a.lo + sa1 };
+                    let sub_b = Run { region: b.region, lo: b.lo + sb0, hi: b.lo + sb1 };
+                    Ok(merge_runs(sub_a, sub_b, out, olo + r0))
+                })
+            })
+            .collect();
+
+        Ok(comp_seq(par_all(searches), par_all(pieces)))
+    })
+}
+
+/// A merge instance: two sorted input arrays and the output.
+#[derive(Debug, Clone, Copy)]
+pub struct Merge {
+    /// First sorted input (length `la`).
+    pub a: Region,
+    /// Second sorted input (length `lb`).
+    pub b: Region,
+    /// Output (length `la + lb`).
+    pub out: Region,
+    la: usize,
+    lb: usize,
+}
+
+impl Merge {
+    /// Carves regions for merging arrays of lengths `la` and `lb`.
+    pub fn new(machine: &Machine, la: usize, lb: usize) -> Self {
+        Merge {
+            a: machine.alloc_region(la.max(1)),
+            b: machine.alloc_region(lb.max(1)),
+            out: machine.alloc_region((la + lb).max(1)),
+            la,
+            lb,
+        }
+    }
+
+    /// Loads both inputs (uncosted setup). Each must be sorted.
+    pub fn load_inputs(&self, machine: &Machine, a: &[Word], b: &[Word]) {
+        assert_eq!((a.len(), b.len()), (self.la, self.lb));
+        debug_assert!(a.windows(2).all(|w| w[0] <= w[1]), "input a must be sorted");
+        debug_assert!(b.windows(2).all(|w| w[0] <= w[1]), "input b must be sorted");
+        for (i, v) in a.iter().enumerate() {
+            machine.mem().store(self.a.at(i), *v);
+        }
+        for (i, v) in b.iter().enumerate() {
+            machine.mem().store(self.b.at(i), *v);
+        }
+    }
+
+    /// Reads the merged output (oracle).
+    pub fn read_output(&self, machine: &Machine) -> Vec<Word> {
+        (0..self.la + self.lb)
+            .map(|i| machine.mem().load(self.out.at(i)))
+            .collect()
+    }
+
+    /// The merging computation.
+    pub fn comp(&self) -> Comp {
+        if self.la + self.lb == 0 {
+            return comp_nop();
+        }
+        let a = Run { region: self.a, lo: 0, hi: self.la };
+        let b = Run { region: self.b, lo: 0, hi: self.lb };
+        merge_runs(a, b, self.out, 0)
+    }
+}
+
+/// Sequential oracle.
+pub fn merge_seq(a: &[Word], b: &[Word]) -> Vec<Word> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_pm::{FaultConfig, PmConfig};
+    use ppm_sched::{run_computation, SchedConfig};
+
+    fn sorted(seed: u64, n: usize) -> Vec<u64> {
+        let mut v: Vec<u64> = (0..n as u64)
+            .map(|i| {
+                let x = i.wrapping_mul(0x9E37_79B9).wrapping_add(seed);
+                (x ^ (x >> 13)) % 10_000
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn check(la: usize, lb: usize, procs: usize, f: FaultConfig) {
+        let m = Machine::new(PmConfig::parallel(procs, 1 << 22).with_fault(f));
+        let mg = Merge::new(&m, la, lb);
+        let (a, b) = (sorted(1, la), sorted(2, lb));
+        mg.load_inputs(&m, &a, &b);
+        let rep = run_computation(&m, &mg.comp(), &SchedConfig::with_slots(1 << 13));
+        assert!(rep.completed);
+        assert_eq!(mg.read_output(&m), merge_seq(&a, &b), "la={la} lb={lb}");
+    }
+
+    #[test]
+    fn tiny_and_base_cases() {
+        check(0, 5, 1, FaultConfig::none());
+        check(5, 0, 1, FaultConfig::none());
+        check(3, 3, 1, FaultConfig::none());
+        check(16, 16, 1, FaultConfig::none());
+    }
+
+    #[test]
+    fn uneven_sizes() {
+        check(1000, 10, 2, FaultConfig::none());
+        check(10, 1000, 2, FaultConfig::none());
+    }
+
+    #[test]
+    fn medium_parallel() {
+        check(1 << 11, 1 << 11, 4, FaultConfig::none());
+    }
+
+    #[test]
+    fn duplicate_heavy() {
+        let m = Machine::new(PmConfig::parallel(2, 1 << 21));
+        let mg = Merge::new(&m, 300, 300);
+        let a = vec![5u64; 300];
+        let mut b = vec![5u64; 300];
+        b[299] = 6;
+        mg.load_inputs(&m, &a, &b);
+        let rep = run_computation(&m, &mg.comp(), &SchedConfig::with_slots(1 << 12));
+        assert!(rep.completed);
+        assert_eq!(mg.read_output(&m), merge_seq(&a, &b));
+    }
+
+    #[test]
+    fn with_soft_faults() {
+        for seed in 0..3 {
+            check(400, 400, 2, FaultConfig::soft(0.005, seed));
+        }
+    }
+
+    #[test]
+    fn with_a_hard_fault() {
+        check(
+            512,
+            512,
+            3,
+            FaultConfig::none().with_scheduled_hard_fault(2, 200),
+        );
+    }
+
+    #[test]
+    fn work_is_linear_in_n() {
+        let work = |n: usize| {
+            let m = Machine::new(PmConfig::parallel(1, 1 << 22));
+            let mg = Merge::new(&m, n, n);
+            mg.load_inputs(&m, &sorted(1, n), &sorted(2, n));
+            let rep = run_computation(&m, &mg.comp(), &SchedConfig::with_slots(1 << 13));
+            assert!(rep.completed);
+            rep.stats.total_work()
+        };
+        let (w1, w2) = (work(1 << 10), work(1 << 12));
+        let ratio = w2 as f64 / w1 as f64;
+        assert!(
+            (3.0..6.0).contains(&ratio),
+            "4x data should be ~4x work (plus lower-order search terms), got {ratio}"
+        );
+    }
+
+    #[test]
+    fn capsule_work_is_logarithmic() {
+        let m = Machine::new(PmConfig::parallel(1, 1 << 22));
+        let n = 1 << 12;
+        let mg = Merge::new(&m, n, n);
+        mg.load_inputs(&m, &sorted(1, n), &sorted(2, n));
+        let rep = run_computation(&m, &mg.comp(), &SchedConfig::with_slots(1 << 13));
+        assert!(rep.completed);
+        // O(log n): 2 reads per bisection step + constants; log2(8192)=13.
+        assert!(
+            rep.stats.max_capsule_work <= 40,
+            "C = {} should be O(log n)",
+            rep.stats.max_capsule_work
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Parallel prefix sums (§7, Theorem 7.1).
+//!
+//! The standard two-phase algorithm: an **up-sweep** computes, for every
+//! node of a balanced binary tree over the input's blocks, the sum of its
+//! subtree (writing each partial sum to a *separate* location in the
+//! `sums` tree — this is the paper's one modification, avoiding
+//! write-after-read conflicts); then a **down-sweep** passes each node the
+//! sum `t` of everything to its left, finishing at the leaves by writing
+//! the output block.
+//!
+//! Each capsule is one tree node: O(1) block transfers, so maximum capsule
+//! work is O(1); the tree gives O(n/B) work and O(log n) depth —
+//! Theorem 7.1 exactly. Inclusive sums: `out[i] = Σ_{j ≤ i} a[j]`.
+
+use std::sync::Arc;
+
+use ppm_core::{comp_dyn, comp_fork2, comp_seq, comp_step, Comp, Machine};
+use ppm_pm::{ProcCtx, Region, Word};
+
+use crate::util::{ceil_div, next_pow2, pread_range, pwrite_range};
+
+/// A prefix-sum instance: input, output, and the partial-sums tree.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixSum {
+    /// The input array (n words).
+    pub input: Region,
+    /// The output array (n words).
+    pub output: Region,
+    /// The partial-sums tree (heap-numbered, one word per node).
+    sums: Region,
+    n: usize,
+    /// Number of leaves (input blocks), padded to a power of two.
+    leaves: usize,
+    b: usize,
+}
+
+impl PrefixSum {
+    /// Carves regions for an instance of size `n` on `machine`.
+    pub fn new(machine: &Machine, n: usize) -> Self {
+        assert!(n > 0);
+        let b = machine.cfg().block_size;
+        let leaves = next_pow2(ceil_div(n, b));
+        PrefixSum {
+            input: machine.alloc_region(n),
+            output: machine.alloc_region(n),
+            sums: machine.alloc_region(2 * leaves - 1),
+            n,
+            leaves,
+            b,
+        }
+    }
+
+    /// Words of `sums`-tree scratch needed for an instance of size `n`
+    /// with block size `b` (for callers providing their own regions).
+    pub fn sums_words(n: usize, b: usize) -> usize {
+        2 * next_pow2(ceil_div(n, b)) - 1
+    }
+
+    /// Builds an instance over caller-provided regions (e.g. pool
+    /// allocations inside a larger algorithm — samplesort's bucket-offset
+    /// computation). `sums` must hold [`PrefixSum::sums_words`] words.
+    pub fn with_regions(input: Region, output: Region, sums: Region, n: usize, b: usize) -> Self {
+        assert!(n > 0);
+        assert!(input.len >= n && output.len >= n);
+        assert!(sums.len >= Self::sums_words(n, b));
+        PrefixSum {
+            input,
+            output,
+            sums,
+            n,
+            leaves: next_pow2(ceil_div(n, b)),
+            b,
+        }
+    }
+
+    /// Loads the input (uncosted setup).
+    pub fn load_input(&self, machine: &Machine, data: &[Word]) {
+        assert_eq!(data.len(), self.n);
+        for (i, v) in data.iter().enumerate() {
+            machine.mem().store(self.input.at(i), *v);
+        }
+    }
+
+    /// Reads the output (oracle).
+    pub fn read_output(&self, machine: &Machine) -> Vec<Word> {
+        (0..self.n).map(|i| machine.mem().load(self.output.at(i))).collect()
+    }
+
+    /// Element range covered by leaf `l`.
+    fn leaf_range(&self, l: usize) -> (usize, usize) {
+        let lo = (l * self.b).min(self.n);
+        let hi = ((l + 1) * self.b).min(self.n);
+        (lo, hi)
+    }
+
+    /// The up-sweep computation for `node` covering leaves `[llo, lhi)`.
+    fn upsweep(self, node: usize, llo: usize, lhi: usize) -> Comp {
+        if lhi - llo == 1 {
+            // Leaf: sum one input block, store at sums[node].
+            comp_step("prefix/up-leaf", move |ctx: &mut ProcCtx| {
+                let (lo, hi) = self.leaf_range(llo);
+                let sum: Word = if lo < hi {
+                    pread_range(ctx, self.input.at(lo), hi - lo)?
+                        .iter()
+                        .fold(0u64, |a, v| a.wrapping_add(*v))
+                } else {
+                    0 // padding leaf
+                };
+                ctx.pwrite(self.sums.at(node), sum)
+            })
+        } else {
+            let mid = llo + (lhi - llo) / 2;
+            let (lc, rc) = (2 * node + 1, 2 * node + 2);
+            let combine = comp_step("prefix/up-combine", move |ctx: &mut ProcCtx| {
+                let l = ctx.pread(self.sums.at(lc))?;
+                let r = ctx.pread(self.sums.at(rc))?;
+                ctx.pwrite(self.sums.at(node), l.wrapping_add(r))
+            });
+            comp_seq(
+                comp_fork2(
+                    self.upsweep(lc, llo, mid),
+                    self.upsweep(rc, mid, lhi),
+                ),
+                combine,
+            )
+        }
+    }
+
+    /// The down-sweep computation: `t` is the sum of all elements left of
+    /// this subtree.
+    fn downsweep(self, node: usize, llo: usize, lhi: usize, t: Word) -> Comp {
+        if lhi - llo == 1 {
+            comp_step("prefix/down-leaf", move |ctx: &mut ProcCtx| {
+                let (lo, hi) = self.leaf_range(llo);
+                if lo >= hi {
+                    return Ok(()); // padding leaf
+                }
+                let input = pread_range(ctx, self.input.at(lo), hi - lo)?;
+                let mut acc = t;
+                let out: Vec<Word> = input
+                    .iter()
+                    .map(|v| {
+                        acc = acc.wrapping_add(*v);
+                        acc
+                    })
+                    .collect();
+                pwrite_range(ctx, self.output.at(lo), &out)
+            })
+        } else {
+            // Read the left child's sum, then recurse in parallel with the
+            // appropriate offsets (the read and the fork are one dynamic-
+            // expansion capsule: one read plus the fork's constant work).
+            comp_dyn("prefix/down-split", move |ctx: &mut ProcCtx| {
+                let mid = llo + (lhi - llo) / 2;
+                let (lc, rc) = (2 * node + 1, 2 * node + 2);
+                let left_sum = ctx.pread(self.sums.at(lc))?;
+                Ok(comp_fork2(
+                    self.downsweep(lc, llo, mid, t),
+                    self.downsweep(rc, mid, lhi, t.wrapping_add(left_sum)),
+                ))
+            })
+        }
+    }
+
+    /// The full prefix-sum computation (up-sweep, then down-sweep).
+    pub fn comp(&self) -> Comp {
+        let s = *self;
+        let up = comp_dyn("prefix/up", move |_ctx| Ok(s.upsweep(0, 0, s.leaves)));
+        let down = comp_dyn("prefix/down", move |_ctx| Ok(s.downsweep(0, 0, s.leaves, 0)));
+        comp_seq(up, down)
+    }
+
+    /// Convenience wrapper: an `Arc`'d comp for storage in harnesses.
+    pub fn comp_arc(&self) -> Arc<dyn Fn() -> Comp + Send + Sync> {
+        let s = *self;
+        Arc::new(move || s.comp())
+    }
+}
+
+/// Sequential oracle: inclusive prefix sums with wrapping addition.
+pub fn prefix_sum_seq(input: &[Word]) -> Vec<Word> {
+    let mut acc = 0u64;
+    input
+        .iter()
+        .map(|v| {
+            acc = acc.wrapping_add(*v);
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_pm::{FaultConfig, PmConfig};
+    use ppm_sched::{run_computation, SchedConfig};
+
+    fn check(n: usize, procs: usize, f: FaultConfig) {
+        let m = Machine::new(PmConfig::parallel(procs, 1 << 22).with_fault(f));
+        let ps = PrefixSum::new(&m, n);
+        let data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(7) % 1000).collect();
+        ps.load_input(&m, &data);
+        let rep = run_computation(&m, &ps.comp(), &SchedConfig::with_slots(1 << 13));
+        assert!(rep.completed);
+        assert_eq!(ps.read_output(&m), prefix_sum_seq(&data), "n={n} P={procs}");
+    }
+
+    #[test]
+    fn small_exact_block() {
+        check(8, 1, FaultConfig::none());
+    }
+
+    #[test]
+    fn non_power_of_two_sizes() {
+        for n in [1usize, 3, 9, 17, 100, 257] {
+            check(n, 2, FaultConfig::none());
+        }
+    }
+
+    #[test]
+    fn parallel_medium() {
+        check(1 << 12, 4, FaultConfig::none());
+    }
+
+    #[test]
+    fn with_soft_faults() {
+        for seed in 0..3 {
+            check(300, 2, FaultConfig::soft(0.01, seed));
+        }
+    }
+
+    #[test]
+    fn with_a_hard_fault() {
+        let f = FaultConfig::none().with_scheduled_hard_fault(1, 150);
+        check(512, 3, f);
+    }
+
+    #[test]
+    fn work_is_linear_in_n_over_b() {
+        // Theorem 7.1: O(n/B) work. Compare faultless work at two sizes.
+        let work = |n: usize| {
+            let m = Machine::new(PmConfig::parallel(1, 1 << 22));
+            let ps = PrefixSum::new(&m, n);
+            ps.load_input(&m, &vec![1u64; n]);
+            let rep = run_computation(&m, &ps.comp(), &SchedConfig::with_slots(1 << 13));
+            assert!(rep.completed);
+            rep.stats.total_work()
+        };
+        let (w1, w2) = (work(1 << 10), work(1 << 12));
+        let ratio = w2 as f64 / w1 as f64;
+        assert!(
+            (3.0..5.5).contains(&ratio),
+            "4x data should be ~4x work, got {ratio} ({w1} -> {w2})"
+        );
+    }
+
+    #[test]
+    fn max_capsule_work_is_constant() {
+        let m = Machine::new(PmConfig::parallel(1, 1 << 22));
+        let ps = PrefixSum::new(&m, 1 << 10);
+        ps.load_input(&m, &vec![1u64; 1 << 10]);
+        let rep = run_computation(&m, &ps.comp(), &SchedConfig::with_slots(1 << 13));
+        assert!(rep.completed);
+        assert!(
+            rep.stats.max_capsule_work <= 12,
+            "C = {} should be O(1)",
+            rep.stats.max_capsule_work
+        );
+    }
+
+    #[test]
+    fn oracle_matches_hand_computation() {
+        assert_eq!(prefix_sum_seq(&[1, 2, 3, 4]), vec![1, 3, 6, 10]);
+        assert_eq!(prefix_sum_seq(&[]), Vec::<u64>::new());
+    }
+}

@@ -1,0 +1,697 @@
+//! Sorting (§7, Theorem 7.3): mergesort and samplesort.
+//!
+//! **Mergesort** recursively sorts halves into alternating buffers and
+//! merges them with the Theorem 7.2 merge: O((n/B)·log(n/M)) work with
+//! base cases sorted sequentially inside one capsule.
+//!
+//! **Samplesort** follows the paper (after BGS10, "Low depth
+//! cache-oblivious algorithms"): split into ~√n subarrays and sort each;
+//! sample every ⌈log n⌉-th element of each sorted subarray; sort the
+//! samples (with mergesort) and pick ~√n pivots by fixed stride; compute
+//! each subarray's bucket boundaries; use **prefix sums and matrix
+//! transposes** to compute destination offsets; move keys with a
+//! divide-and-conquer **bucket transpose** whose base case handles ≈ M
+//! elements at a time (writing each bucket's rows as one contiguous run —
+//! the tall-cache trick that keeps the move at O(n/B) transfers); then
+//! recursively sort each bucket. Work O((n/B)·log_M n), maximum capsule
+//! work O(M/B + √n/B) (= O(M/B) whenever n ≤ M², which the constructor
+//! asserts).
+//!
+//! All scratch comes from the §4.1 restart-stable pool allocator, so every
+//! capsule writes fresh locations: write-after-read conflict free.
+
+use ppm_core::{comp_dyn, comp_fork2, comp_seq, comp_step, par_all, Comp, Machine};
+use ppm_pm::{ProcCtx, Region, Word};
+
+use crate::merge::{merge_runs, Run};
+use crate::prefix::PrefixSum;
+use crate::util::{ceil_div, pread_range, pwrite_range};
+
+fn region_at(start: usize, len: usize) -> Region {
+    Region { start, len }
+}
+
+/// The in-capsule sequential sort: read a range, sort it in ephemeral
+/// memory, write it out. O(len/B) capsule work; callers guarantee
+/// `len = O(M)`.
+fn capsule_sort(src: Run, dst: Region, dlo: usize) -> Comp {
+    comp_step("sort/base", move |ctx: &mut ProcCtx| {
+        if src.len() == 0 {
+            return Ok(());
+        }
+        let mut v = pread_range(ctx, src.region.at(src.lo), src.len())?;
+        v.sort_unstable();
+        pwrite_range(ctx, dst.at(dlo), &v)
+    })
+}
+
+/// Mergesort `src` into `dst[dlo..)`, using `aux[alo..)` (same length) as
+/// scratch. Base cases of up to `M` elements sort inside one capsule.
+pub(crate) fn merge_sort_runs(src: Run, dst: Region, dlo: usize, aux: Region, alo: usize) -> Comp {
+    comp_dyn("sort/msort", move |ctx: &mut ProcCtx| {
+        let n = src.len();
+        let base = ctx.ephemeral_words().max(ctx.block_size());
+        if n <= base {
+            return Ok(capsule_sort(src, dst, dlo));
+        }
+        let mid = n / 2;
+        let left = Run { region: src.region, lo: src.lo, hi: src.lo + mid };
+        let right = Run { region: src.region, lo: src.lo + mid, hi: src.hi };
+        // Sort halves into aux (each using the matching dst half as its
+        // own scratch), then merge aux halves into dst.
+        let sort_halves = comp_fork2(
+            merge_sort_runs(left, aux, alo, dst, dlo),
+            merge_sort_runs(right, aux, alo + mid, dst, dlo + mid),
+        );
+        let merged = merge_runs(
+            Run { region: aux, lo: alo, hi: alo + mid },
+            Run { region: aux, lo: alo + mid, hi: alo + n },
+            dst,
+            dlo,
+        );
+        Ok(comp_seq(sort_halves, merged))
+    })
+}
+
+/// A mergesort instance.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeSort {
+    /// Input array (n words; not modified).
+    pub input: Region,
+    /// Output array (n words, sorted).
+    pub output: Region,
+    aux: Region,
+    n: usize,
+}
+
+impl MergeSort {
+    /// Carves regions for sorting `n` words.
+    pub fn new(machine: &Machine, n: usize) -> Self {
+        assert!(n > 0);
+        MergeSort {
+            input: machine.alloc_region(n),
+            output: machine.alloc_region(n),
+            aux: machine.alloc_region(n),
+            n,
+        }
+    }
+
+    /// Loads the input (uncosted setup).
+    pub fn load_input(&self, machine: &Machine, data: &[Word]) {
+        assert_eq!(data.len(), self.n);
+        for (i, v) in data.iter().enumerate() {
+            machine.mem().store(self.input.at(i), *v);
+        }
+    }
+
+    /// Reads the sorted output (oracle).
+    pub fn read_output(&self, machine: &Machine) -> Vec<Word> {
+        (0..self.n).map(|i| machine.mem().load(self.output.at(i))).collect()
+    }
+
+    /// The sorting computation.
+    pub fn comp(&self) -> Comp {
+        merge_sort_runs(
+            Run { region: self.input, lo: 0, hi: self.n },
+            self.output,
+            0,
+            self.aux,
+            0,
+        )
+    }
+}
+
+// ====================================================================
+// Samplesort
+// ====================================================================
+
+/// Pivot-selection chunk size (keeps strided pivot reads out of any one
+/// capsule's work bound).
+const PIVOT_CHUNK: usize = 256;
+
+/// Per-node samplesort geometry, derived deterministically from `n`.
+#[derive(Debug, Clone, Copy)]
+struct Geometry {
+    n: usize,
+    /// Subarray length (≈ √n).
+    sub: usize,
+    /// Number of subarrays (rows).
+    rows: usize,
+    /// Sampling stride (≈ log₂ n).
+    stride: usize,
+    /// Total samples.
+    total_samples: usize,
+    /// Number of buckets (≈ √n, ≤ total_samples).
+    buckets: usize,
+}
+
+impl Geometry {
+    fn new(n: usize) -> Self {
+        let sub = (n as f64).sqrt().ceil() as usize;
+        let rows = ceil_div(n, sub);
+        let stride = (usize::BITS - n.leading_zeros()) as usize; // ~log2 n
+        let row_len = |i: usize| (n - i * sub).min(sub);
+        let total_samples: usize = (0..rows).map(|i| ceil_div(row_len(i), stride)).sum();
+        let buckets = rows.min(total_samples).max(1);
+        Geometry {
+            n,
+            sub,
+            rows,
+            stride,
+            total_samples,
+            buckets,
+        }
+    }
+
+    fn row_len(&self, i: usize) -> usize {
+        (self.n - i * self.sub).min(self.sub)
+    }
+
+    fn sample_offset(&self, i: usize) -> usize {
+        (0..i).map(|r| ceil_div(self.row_len(r), self.stride)).sum()
+    }
+
+    fn samples_in_row(&self, i: usize) -> usize {
+        ceil_div(self.row_len(i), self.stride)
+    }
+}
+
+/// Scratch regions for one samplesort node, pool-allocated in its
+/// expansion capsule (restart-stable).
+#[derive(Debug, Clone, Copy)]
+struct Scratch {
+    subsorted: Region,
+    row_aux: Region,
+    samples: Region,
+    samples_sorted: Region,
+    samples_aux: Region,
+    pivots: Region,
+    /// Row-major boundaries: rows × (buckets + 1).
+    bounds: Region,
+    /// Column-major counts (prefix input): buckets × rows.
+    counts_cm: Region,
+    /// Inclusive prefix sums of `counts_cm`.
+    sums: Region,
+    sums_tree: Region,
+    /// The partitioned elements, bucket-major.
+    bucketed: Region,
+}
+
+impl Scratch {
+    fn alloc(ctx: &mut ProcCtx, g: &Geometry) -> Scratch {
+        let b = ctx.block_size();
+        let cm = g.rows * g.buckets;
+        Scratch {
+            subsorted: region_at(ctx.palloc(g.n), g.n),
+            row_aux: region_at(ctx.palloc(g.n), g.n),
+            samples: region_at(ctx.palloc(g.total_samples.max(1)), g.total_samples.max(1)),
+            samples_sorted: region_at(ctx.palloc(g.total_samples.max(1)), g.total_samples.max(1)),
+            samples_aux: region_at(ctx.palloc(g.total_samples.max(1)), g.total_samples.max(1)),
+            pivots: region_at(ctx.palloc(g.buckets.max(2) - 1), g.buckets.max(2) - 1),
+            bounds: region_at(ctx.palloc(g.rows * (g.buckets + 1)), g.rows * (g.buckets + 1)),
+            counts_cm: region_at(ctx.palloc(cm), cm),
+            sums: region_at(ctx.palloc(cm), cm),
+            sums_tree: region_at(
+                ctx.palloc(PrefixSum::sums_words(cm, b)),
+                PrefixSum::sums_words(cm, b),
+            ),
+            bucketed: region_at(ctx.palloc(g.n), g.n),
+        }
+    }
+}
+
+/// Pool words one samplesort node of size `n` allocates (for sizing
+/// machine pools).
+fn node_scratch_words(n: usize) -> usize {
+    let g = Geometry::new(n);
+    let cm = g.rows * g.buckets;
+    3 * n + 3 * g.total_samples + g.buckets + g.rows * (g.buckets + 1) + 2 * cm
+        + PrefixSum::sums_words(cm.max(1), 8)
+        + 64
+}
+
+/// Recommended per-processor pool words for samplesorting `n` elements
+/// (covers the worst case of one processor expanding every node, plus the
+/// recursion's own scratch).
+pub fn samplesort_pool_words(n: usize) -> usize {
+    // Geometric-ish recursion: level ℓ has total size n, so scratch per
+    // level is O(n); depth is log_M n, small. 4 levels is generous.
+    4 * node_scratch_words(n.max(16)) + (1 << 12)
+}
+
+/// Cache-oblivious transpose: counts (row-major in `bounds` as
+/// differences) → `counts_cm` (column-major). D&C until the submatrix
+/// area fits comfortably in a capsule.
+fn transpose_counts(g: Geometry, s: Scratch, r0: usize, r1: usize, j0: usize, j1: usize) -> Comp {
+    comp_dyn("ssort/transpose", move |ctx: &mut ProcCtx| {
+        let area = (r1 - r0) * (j1 - j0);
+        let cap = (ctx.ephemeral_words() / 4).max(64);
+        if area <= cap {
+            return Ok(comp_step("ssort/transpose-base", move |ctx: &mut ProcCtx| {
+                // Read each row's boundary slice [j0..j1], emit per-column
+                // contiguous runs of counts.
+                let mut cols: Vec<Vec<Word>> = vec![Vec::with_capacity(r1 - r0); j1 - j0];
+                for i in r0..r1 {
+                    let row = pread_range(
+                        ctx,
+                        s.bounds.at(i * (g.buckets + 1) + j0),
+                        j1 - j0 + 1,
+                    )?;
+                    for (c, w) in row.windows(2).enumerate() {
+                        cols[c].push(w[1] - w[0]);
+                    }
+                }
+                for (c, col) in cols.iter().enumerate() {
+                    let j = j0 + c;
+                    pwrite_range(ctx, s.counts_cm.at(j * g.rows + r0), col)?;
+                }
+                Ok(())
+            }));
+        }
+        if r1 - r0 >= j1 - j0 {
+            let rm = (r0 + r1) / 2;
+            Ok(comp_fork2(
+                transpose_counts(g, s, r0, rm, j0, j1),
+                transpose_counts(g, s, rm, r1, j0, j1),
+            ))
+        } else {
+            let jm = (j0 + j1) / 2;
+            Ok(comp_fork2(
+                transpose_counts(g, s, r0, r1, j0, jm),
+                transpose_counts(g, s, r0, r1, jm, j1),
+            ))
+        }
+    })
+}
+
+/// D&C bucket transpose: move each (row, bucket) segment of `subsorted`
+/// to its destination in `bucketed`. The base case covers a submatrix of
+/// ≈ M elements and writes each bucket's rows as one contiguous run.
+fn bucket_scatter(g: Geometry, s: Scratch, r0: usize, r1: usize, j0: usize, j1: usize) -> Comp {
+    comp_dyn("ssort/scatter", move |ctx: &mut ProcCtx| {
+        let area = (r1 - r0) * (j1 - j0);
+        // Area proxies element count (segments average ~1 element; skew
+        // only grows one capsule's work, never breaks correctness).
+        let cap = (ctx.ephemeral_words() / 4).max(64);
+        if area <= cap || (r1 - r0 == 1 && j1 - j0 == 1) {
+            return Ok(comp_step("ssort/scatter-base", move |ctx: &mut ProcCtx| {
+                // Per bucket j: destination of the run contributed by rows
+                // [r0, r1) starts at S[j·rows + r0] − count(r0, j).
+                let mut runs: Vec<Vec<Word>> = vec![Vec::new(); j1 - j0];
+                let mut dests: Vec<usize> = vec![0; j1 - j0];
+                for i in r0..r1 {
+                    let brow = pread_range(
+                        ctx,
+                        s.bounds.at(i * (g.buckets + 1) + j0),
+                        j1 - j0 + 1,
+                    )?;
+                    let lo = brow[0] as usize;
+                    let hi = brow[j1 - j0] as usize;
+                    let data = if hi > lo {
+                        pread_range(ctx, s.subsorted.at(i * g.sub + lo), hi - lo)?
+                    } else {
+                        Vec::new()
+                    };
+                    for c in 0..(j1 - j0) {
+                        let (a, b) = (brow[c] as usize, brow[c + 1] as usize);
+                        runs[c].extend_from_slice(&data[a - lo..b - lo]);
+                    }
+                }
+                for c in 0..(j1 - j0) {
+                    let j = j0 + c;
+                    let s_first = ctx.pread(s.sums.at(j * g.rows + r0))? as usize;
+                    let brow0 = ctx.pread(s.bounds.at(r0 * (g.buckets + 1) + j))? as usize;
+                    let brow1 = ctx.pread(s.bounds.at(r0 * (g.buckets + 1) + j + 1))? as usize;
+                    let count_r0 = brow1 - brow0;
+                    dests[c] = s_first - count_r0;
+                    if !runs[c].is_empty() {
+                        pwrite_range(ctx, s.bucketed.at(dests[c]), &runs[c])?;
+                    }
+                }
+                Ok(())
+            }));
+        }
+        if r1 - r0 >= j1 - j0 {
+            let rm = (r0 + r1) / 2;
+            Ok(comp_fork2(
+                bucket_scatter(g, s, r0, rm, j0, j1),
+                bucket_scatter(g, s, rm, r1, j0, j1),
+            ))
+        } else {
+            let jm = (j0 + j1) / 2;
+            Ok(comp_fork2(
+                bucket_scatter(g, s, r0, r1, j0, jm),
+                bucket_scatter(g, s, r0, r1, jm, j1),
+            ))
+        }
+    })
+}
+
+/// Samplesort `src` into `dst[dlo..)`. `fresh` guards against
+/// degenerate pivots (duplicate-heavy inputs): a bucket as large as its
+/// parent falls back to mergesort.
+fn sample_sort_runs(src: Run, dst: Region, dlo: usize, progress: bool) -> Comp {
+    comp_dyn("ssort/node", move |ctx: &mut ProcCtx| {
+        let n = src.len();
+        let base = ctx.ephemeral_words().max(ctx.block_size());
+        if n <= base {
+            return Ok(capsule_sort(src, dst, dlo));
+        }
+        if !progress {
+            // Degenerate partition (e.g. all-equal keys): mergesort.
+            let aux = region_at(ctx.palloc(n), n);
+            return Ok(merge_sort_runs(src, dst, dlo, aux, 0));
+        }
+        let g = Geometry::new(n);
+        let s = Scratch::alloc(ctx, &g);
+
+        // Phase 1: sort each subarray (mergesort; base cases collapse to
+        // one capsule when the subarray fits in M).
+        let sort_rows: Vec<Comp> = (0..g.rows)
+            .map(|i| {
+                let row = Run {
+                    region: src.region,
+                    lo: src.lo + i * g.sub,
+                    hi: src.lo + i * g.sub + g.row_len(i),
+                };
+                merge_sort_runs(row, s.subsorted, i * g.sub, s.row_aux, i * g.sub)
+            })
+            .collect();
+
+        // Phase 2: sample every ⌈log n⌉-th element of each sorted row.
+        let sample_rows: Vec<Comp> = (0..g.rows)
+            .map(|i| {
+                comp_step("ssort/sample", move |ctx: &mut ProcCtx| {
+                    let row = pread_range(ctx, s.subsorted.at(i * g.sub), g.row_len(i))?;
+                    let picks: Vec<Word> =
+                        row.iter().step_by(g.stride).copied().collect();
+                    debug_assert_eq!(picks.len(), g.samples_in_row(i));
+                    pwrite_range(ctx, s.samples.at(g.sample_offset(i)), &picks)
+                })
+            })
+            .collect();
+
+        // Phase 3: sort the samples.
+        let sort_samples = merge_sort_runs(
+            Run { region: s.samples, lo: 0, hi: g.total_samples },
+            s.samples_sorted,
+            0,
+            s.samples_aux,
+            0,
+        );
+
+        // Phase 4: pick buckets−1 pivots by fixed stride, in chunks.
+        let npiv = g.buckets - 1;
+        let pivot_chunks: Vec<Comp> = (0..ceil_div(npiv.max(1), PIVOT_CHUNK))
+            .map(|c| {
+                comp_step("ssort/pivots", move |ctx: &mut ProcCtx| {
+                    let lo = c * PIVOT_CHUNK;
+                    let hi = ((c + 1) * PIVOT_CHUNK).min(npiv);
+                    if lo >= hi {
+                        return Ok(());
+                    }
+                    let mut vals = Vec::with_capacity(hi - lo);
+                    for j in lo..hi {
+                        let idx = ((j + 1) * g.total_samples / g.buckets)
+                            .min(g.total_samples - 1);
+                        vals.push(ctx.pread(s.samples_sorted.at(idx))?);
+                    }
+                    pwrite_range(ctx, s.pivots.at(lo), &vals)
+                })
+            })
+            .collect();
+
+        // Phase 5: per-row bucket boundaries (merge row with pivots).
+        let bounds_rows: Vec<Comp> = (0..g.rows)
+            .map(|i| {
+                comp_step("ssort/bounds", move |ctx: &mut ProcCtx| {
+                    let row = pread_range(ctx, s.subsorted.at(i * g.sub), g.row_len(i))?;
+                    let piv = pread_range(ctx, s.pivots.at(0), npiv)?;
+                    let mut out = Vec::with_capacity(g.buckets + 1);
+                    out.push(0u64);
+                    let mut pos = 0usize;
+                    for p in &piv {
+                        while pos < row.len() && row[pos] <= *p {
+                            pos += 1;
+                        }
+                        out.push(pos as Word);
+                    }
+                    out.push(row.len() as Word);
+                    pwrite_range(ctx, s.bounds.at(i * (g.buckets + 1)), &out)
+                })
+            })
+            .collect();
+
+        // Phase 6: counts transpose, prefix sums over column-major counts.
+        let transpose = transpose_counts(g, s, 0, g.rows, 0, g.buckets);
+        let b = ctx.block_size();
+        let prefix = PrefixSum::with_regions(
+            s.counts_cm,
+            s.sums,
+            s.sums_tree,
+            g.rows * g.buckets,
+            b,
+        )
+        .comp();
+
+        // Phase 7: bucket transpose (the key move), then recurse per
+        // bucket into dst.
+        let scatter = bucket_scatter(g, s, 0, g.rows, 0, g.buckets);
+        let recurse: Vec<Comp> = (0..g.buckets)
+            .map(|j| {
+                comp_dyn("ssort/recurse", move |ctx: &mut ProcCtx| {
+                    let start = if j == 0 {
+                        0
+                    } else {
+                        ctx.pread(s.sums.at(j * g.rows - 1))? as usize
+                    };
+                    let end = ctx.pread(s.sums.at((j + 1) * g.rows - 1))? as usize;
+                    if start == end {
+                        return Ok(ppm_core::comp_nop());
+                    }
+                    let bucket = Run { region: s.bucketed, lo: start, hi: end };
+                    Ok(sample_sort_runs(
+                        bucket,
+                        dst,
+                        dlo + start,
+                        end - start < g.n,
+                    ))
+                })
+            })
+            .collect();
+
+        Ok(ppm_core::seq_all(vec![
+            par_all(sort_rows),
+            par_all(sample_rows),
+            sort_samples,
+            par_all(pivot_chunks),
+            par_all(bounds_rows),
+            transpose,
+            prefix,
+            scatter,
+            par_all(recurse),
+        ]))
+    })
+}
+
+/// A samplesort instance.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleSort {
+    /// Input array (n words; not modified).
+    pub input: Region,
+    /// Output array (n words, sorted).
+    pub output: Region,
+    n: usize,
+}
+
+impl SampleSort {
+    /// Carves regions for sorting `n` words. Requires `n ≤ M²` (keeps one
+    /// subarray plus the pivots within a capsule's ephemeral memory).
+    ///
+    /// The machine's per-processor pools must be at least
+    /// [`samplesort_pool_words`]`(n)` — build it with
+    /// [`Machine::with_pool_words`].
+    pub fn new(machine: &Machine, n: usize) -> Self {
+        assert!(n > 0);
+        let m = machine.cfg().ephemeral_words;
+        assert!(
+            n <= m * m,
+            "samplesort requires n <= M^2 (n = {n}, M = {m}) so a subarray fits a capsule"
+        );
+        SampleSort {
+            input: machine.alloc_region(n),
+            output: machine.alloc_region(n),
+            n,
+        }
+    }
+
+    /// Loads the input (uncosted setup).
+    pub fn load_input(&self, machine: &Machine, data: &[Word]) {
+        assert_eq!(data.len(), self.n);
+        for (i, v) in data.iter().enumerate() {
+            machine.mem().store(self.input.at(i), *v);
+        }
+    }
+
+    /// Reads the sorted output (oracle).
+    pub fn read_output(&self, machine: &Machine) -> Vec<Word> {
+        (0..self.n).map(|i| machine.mem().load(self.output.at(i))).collect()
+    }
+
+    /// The sorting computation.
+    pub fn comp(&self) -> Comp {
+        sample_sort_runs(
+            Run { region: self.input, lo: 0, hi: self.n },
+            self.output,
+            0,
+            true,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_pm::{FaultConfig, PmConfig};
+    use ppm_sched::{run_computation, SchedConfig};
+
+    fn data(seed: u64, n: usize) -> Vec<u64> {
+        (0..n as u64)
+            .map(|i| {
+                let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed);
+                (x ^ (x >> 31)) % 100_000
+            })
+            .collect()
+    }
+
+    fn machine_for(n: usize, procs: usize, m_eph: usize, f: FaultConfig) -> Machine {
+        Machine::with_pool_words(
+            PmConfig::parallel(procs, 1 << 23)
+                .with_ephemeral_words(m_eph)
+                .with_fault(f),
+            samplesort_pool_words(n),
+        )
+    }
+
+    fn check_mergesort(n: usize, procs: usize, m_eph: usize, f: FaultConfig) {
+        let m = Machine::new(
+            PmConfig::parallel(procs, 1 << 22)
+                .with_ephemeral_words(m_eph)
+                .with_fault(f),
+        );
+        let ms = MergeSort::new(&m, n);
+        let input = data(7, n);
+        ms.load_input(&m, &input);
+        let rep = run_computation(&m, &ms.comp(), &SchedConfig::with_slots(1 << 13));
+        assert!(rep.completed);
+        let mut expect = input;
+        expect.sort_unstable();
+        assert_eq!(ms.read_output(&m), expect, "mergesort n={n}");
+    }
+
+    fn check_samplesort(n: usize, procs: usize, m_eph: usize, f: FaultConfig) {
+        let m = machine_for(n, procs, m_eph, f);
+        let ss = SampleSort::new(&m, n);
+        let input = data(11, n);
+        ss.load_input(&m, &input);
+        let rep = run_computation(&m, &ss.comp(), &SchedConfig::with_slots(1 << 14));
+        assert!(rep.completed);
+        let mut expect = input;
+        expect.sort_unstable();
+        assert_eq!(ss.read_output(&m), expect, "samplesort n={n}");
+    }
+
+    #[test]
+    fn mergesort_small_and_base() {
+        check_mergesort(1, 1, 64, FaultConfig::none());
+        check_mergesort(63, 1, 64, FaultConfig::none());
+        check_mergesort(64, 1, 64, FaultConfig::none());
+        check_mergesort(65, 1, 64, FaultConfig::none());
+    }
+
+    #[test]
+    fn mergesort_medium_parallel() {
+        check_mergesort(1 << 12, 4, 256, FaultConfig::none());
+    }
+
+    #[test]
+    fn mergesort_with_soft_faults() {
+        check_mergesort(512, 2, 64, FaultConfig::soft(0.005, 5));
+    }
+
+    #[test]
+    fn samplesort_forces_recursion() {
+        // M = 64 forces the samplesort machinery for n >= 65.
+        check_samplesort(400, 2, 64, FaultConfig::none());
+    }
+
+    #[test]
+    fn samplesort_medium_parallel() {
+        check_samplesort(1 << 12, 4, 64, FaultConfig::none());
+    }
+
+    #[test]
+    fn samplesort_duplicate_heavy_falls_back() {
+        let n = 600;
+        let m = machine_for(n, 2, 64, FaultConfig::none());
+        let ss = SampleSort::new(&m, n);
+        let mut input = vec![42u64; n];
+        input[0] = 1;
+        input[n - 1] = 99;
+        ss.load_input(&m, &input);
+        let rep = run_computation(&m, &ss.comp(), &SchedConfig::with_slots(1 << 14));
+        assert!(rep.completed);
+        let mut expect = input;
+        expect.sort_unstable();
+        assert_eq!(ss.read_output(&m), expect);
+    }
+
+    #[test]
+    fn samplesort_with_soft_faults() {
+        check_samplesort(500, 2, 64, FaultConfig::soft(0.003, 2));
+    }
+
+    #[test]
+    fn samplesort_with_hard_fault() {
+        let f = FaultConfig::none().with_scheduled_hard_fault(1, 500);
+        check_samplesort(800, 3, 64, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "n <= M^2")]
+    fn samplesort_rejects_oversized_instances() {
+        let m = Machine::new(PmConfig::parallel(1, 1 << 20).with_ephemeral_words(16));
+        let _ = SampleSort::new(&m, 1 << 10);
+    }
+
+    #[test]
+    fn samplesort_beats_mergesort_on_io_for_large_n() {
+        // Theorem 7.3's point: O((n/B) log_M n) < O((n/B) log(n/M)) once
+        // n/M is large. With M = 64 and n = 2^12, mergesort does ~6 merge
+        // levels; samplesort one partition level.
+        let n = 1 << 12;
+        let work_ss = {
+            let m = machine_for(n, 1, 64, FaultConfig::none());
+            let ss = SampleSort::new(&m, n);
+            ss.load_input(&m, &data(3, n));
+            let rep = run_computation(&m, &ss.comp(), &SchedConfig::with_slots(1 << 14));
+            assert!(rep.completed);
+            rep.stats.total_work()
+        };
+        let work_ms = {
+            let m = Machine::new(PmConfig::parallel(1, 1 << 22).with_ephemeral_words(64));
+            let ms = MergeSort::new(&m, n);
+            ms.load_input(&m, &data(3, n));
+            let rep = run_computation(&m, &ms.comp(), &SchedConfig::with_slots(1 << 13));
+            assert!(rep.completed);
+            rep.stats.total_work()
+        };
+        // Same asymptotic family; samplesort should not be dramatically
+        // worse and the harness tracks the crossover. Allow generous slack
+        // here; EXPERIMENTS.md records the actual ratio.
+        assert!(
+            (work_ss as f64) < 3.0 * work_ms as f64,
+            "samplesort {work_ss} vs mergesort {work_ms}"
+        );
+    }
+}

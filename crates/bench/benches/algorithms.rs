@@ -1,0 +1,118 @@
+//! Criterion benches: wall-clock time of the four §7 algorithms on the
+//! simulated machine, against their plain sequential oracles (which pay
+//! no model costs — the gap is the simulator's price, not the
+//! algorithms').
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppm_algs::sort::samplesort_pool_words;
+use ppm_algs::{matmul_seq, merge_seq, prefix_sum_seq, MatMul, Merge, MergeSort, PrefixSum, SampleSort};
+use ppm_algs::matmul::matmul_pool_words;
+use ppm_core::Machine;
+use ppm_pm::{PmConfig, ValidateMode};
+use ppm_sched::{run_computation, SchedConfig};
+
+fn cfg(procs: usize, words: usize, m_eph: usize) -> PmConfig {
+    PmConfig::parallel(procs, words)
+        .with_ephemeral_words(m_eph)
+        .with_validate(ValidateMode::Off)
+}
+
+fn bench_prefix(c: &mut Criterion) {
+    let n = 1 << 14;
+    let data: Vec<u64> = (0..n as u64).collect();
+    let mut g = c.benchmark_group("algorithms/prefix_sum");
+    g.sample_size(10);
+    g.bench_function("pm_model_p4", |b| {
+        b.iter(|| {
+            let m = Machine::new(cfg(4, 1 << 24, 4096));
+            let ps = PrefixSum::new(&m, n);
+            ps.load_input(&m, &data);
+            let rep = run_computation(&m, &ps.comp(), &SchedConfig::with_slots(1 << 14));
+            assert!(rep.completed);
+        })
+    });
+    g.bench_function("sequential_oracle", |b| {
+        b.iter(|| std::hint::black_box(prefix_sum_seq(&data)))
+    });
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let n = 1 << 13;
+    let mut a: Vec<u64> = (0..n as u64).map(|i| (i * 17) % 100_000).collect();
+    let mut b2: Vec<u64> = (0..n as u64).map(|i| (i * 31) % 100_000).collect();
+    a.sort_unstable();
+    b2.sort_unstable();
+    let mut g = c.benchmark_group("algorithms/merge");
+    g.sample_size(10);
+    g.bench_function("pm_model_p4", |bch| {
+        bch.iter(|| {
+            let m = Machine::new(cfg(4, 1 << 24, 4096));
+            let mg = Merge::new(&m, n, n);
+            mg.load_inputs(&m, &a, &b2);
+            let rep = run_computation(&m, &mg.comp(), &SchedConfig::with_slots(1 << 14));
+            assert!(rep.completed);
+        })
+    });
+    g.bench_function("sequential_oracle", |bch| {
+        bch.iter(|| std::hint::black_box(merge_seq(&a, &b2)))
+    });
+    g.finish();
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let n = 1 << 12;
+    let data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9) % 1_000_000).collect();
+    let mut g = c.benchmark_group("algorithms/sort");
+    g.sample_size(10);
+    g.bench_function("mergesort_pm_p4", |b| {
+        b.iter(|| {
+            let m = Machine::new(cfg(4, 1 << 24, 512));
+            let ms = MergeSort::new(&m, n);
+            ms.load_input(&m, &data);
+            let rep = run_computation(&m, &ms.comp(), &SchedConfig::with_slots(1 << 14));
+            assert!(rep.completed);
+        })
+    });
+    g.bench_function("samplesort_pm_p4", |b| {
+        b.iter(|| {
+            let m = Machine::with_pool_words(cfg(4, 1 << 25, 512), samplesort_pool_words(n));
+            let ss = SampleSort::new(&m, n);
+            ss.load_input(&m, &data);
+            let rep = run_computation(&m, &ss.comp(), &SchedConfig::with_slots(1 << 15));
+            assert!(rep.completed);
+        })
+    });
+    g.bench_function("std_sort_oracle", |b| {
+        b.iter(|| {
+            let mut v = data.clone();
+            v.sort_unstable();
+            std::hint::black_box(v)
+        })
+    });
+    g.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let n = 48;
+    let a: Vec<u64> = (0..(n * n) as u64).map(|i| i % 19).collect();
+    let b2: Vec<u64> = (0..(n * n) as u64).map(|i| (i * 5) % 23).collect();
+    let mut g = c.benchmark_group("algorithms/matmul");
+    g.sample_size(10);
+    g.bench_function("pm_model_p4", |bch| {
+        bch.iter(|| {
+            let m = Machine::with_pool_words(cfg(4, 1 << 25, 256), matmul_pool_words(n, 256));
+            let mm = MatMul::new(&m, n);
+            mm.load_inputs(&m, &a, &b2);
+            let rep = run_computation(&m, &mm.comp(), &SchedConfig::with_slots(1 << 14));
+            assert!(rep.completed);
+        })
+    });
+    g.bench_function("sequential_oracle", |bch| {
+        bch.iter(|| std::hint::black_box(matmul_seq(&a, &b2, n)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_prefix, bench_merge, bench_sorts, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benches: the fault-tolerant scheduler against the ABP
+//! baseline, and its scaling in P and f.
+//!
+//! The paper's claim is about *model cost* (covered by the `exp_*`
+//! harnesses); these benches measure the wall-clock price of the capsule
+//! machinery on a real machine, which the paper conjectures is "a modest
+//! increase in the total cost".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppm_core::{comp_step, par_all, Comp, Machine};
+use ppm_pm::{FaultConfig, PmConfig, ProcCtx, Region, ValidateMode};
+use ppm_sched::abp::run_computation_abp;
+use ppm_sched::{run_computation, SchedConfig};
+
+fn fanout(r: Region, n: usize) -> Comp {
+    par_all(
+        (0..n)
+            .map(|i| comp_step("leaf", move |ctx: &mut ProcCtx| ctx.pwrite(r.at(i), 1)))
+            .collect(),
+    )
+}
+
+fn machine(procs: usize, f: f64) -> Machine {
+    let fault = if f == 0.0 {
+        FaultConfig::none()
+    } else {
+        FaultConfig::soft(f, 7)
+    };
+    Machine::new(
+        PmConfig::parallel(procs, 1 << 22)
+            .with_fault(fault)
+            .with_validate(ValidateMode::Off),
+    )
+}
+
+fn bench_ft_vs_abp(c: &mut Criterion) {
+    let n = 256;
+    let mut g = c.benchmark_group("scheduler/ft_vs_abp");
+    g.sample_size(10);
+    for procs in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("fault_tolerant", procs), &procs, |b, &p| {
+            b.iter(|| {
+                let m = machine(p, 0.0);
+                let r = m.alloc_region(n);
+                let rep = run_computation(&m, &fanout(r, n), &SchedConfig::with_slots(1 << 12));
+                assert!(rep.completed);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("abp_baseline", procs), &procs, |b, &p| {
+            b.iter(|| {
+                let m = machine(p, 0.0);
+                let r = m.alloc_region(n);
+                let rep = run_computation_abp(&m, &fanout(r, n), 1 << 12, 7);
+                assert!(rep.completed);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fault_rates(c: &mut Criterion) {
+    let n = 256;
+    let mut g = c.benchmark_group("scheduler/fault_rate");
+    g.sample_size(10);
+    for f in [0.0f64, 0.01, 0.03] {
+        g.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, &f| {
+            b.iter(|| {
+                let m = machine(2, f);
+                let r = m.alloc_region(n);
+                let rep = run_computation(&m, &fanout(r, n), &SchedConfig::with_slots(1 << 12));
+                assert!(rep.completed);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ft_vs_abp, bench_fault_rates);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion benches: native vs PM-simulated execution rates for the
+//! Theorem 3.2–3.4 machines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppm_core::Machine;
+use ppm_pm::{FaultConfig, PmConfig, ValidateMode};
+use ppm_sim::em::programs::block_sum_built;
+use ppm_sim::ram::programs::sum_array;
+use ppm_sim::{
+    run_both, run_native_cache, run_native_em, simulate_cache_on_pm, simulate_em_on_pm,
+    AccessPattern, CachePmLayout, EmPmLayout,
+};
+
+fn quiet(p: PmConfig) -> PmConfig {
+    p.with_validate(ValidateMode::Off)
+}
+
+fn bench_ram(c: &mut Criterion) {
+    let n = 200;
+    let prog = sum_array(n);
+    let mut init: Vec<i64> = (0..n as i64).collect();
+    init.push(0);
+    let mut g = c.benchmark_group("simulations/ram");
+    g.sample_size(10);
+    g.bench_function("native", |b| {
+        b.iter(|| {
+            let mut mem = init.clone();
+            std::hint::black_box(ppm_sim::run_native(&prog, &mut mem, 1 << 22))
+        })
+    });
+    g.bench_function("pm_faultless", |b| {
+        b.iter(|| {
+            let m = Machine::new(quiet(PmConfig::parallel(1, 1 << 21)));
+            std::hint::black_box(run_both(&m, &prog, &init, 1 << 22))
+        })
+    });
+    g.bench_function("pm_f_0.01", |b| {
+        b.iter(|| {
+            let m = Machine::new(quiet(
+                PmConfig::parallel(1, 1 << 21).with_fault(FaultConfig::soft(0.01, 3)),
+            ));
+            std::hint::black_box(run_both(&m, &prog, &init, 1 << 22))
+        })
+    });
+    g.finish();
+}
+
+fn bench_em(c: &mut Criterion) {
+    let (nb, m_sim, b) = (64usize, 64usize, 8usize);
+    let prog = block_sum_built(nb, m_sim, b);
+    let ext: Vec<i64> = vec![1; (nb + 1) * b];
+    let mut g = c.benchmark_group("simulations/em");
+    g.sample_size(10);
+    g.bench_function("native", |bch| {
+        bch.iter(|| {
+            let mut e = ext.clone();
+            std::hint::black_box(run_native_em(&prog, &mut e, 1 << 24))
+        })
+    });
+    g.bench_function("pm_faultless", |bch| {
+        bch.iter(|| {
+            let m = Machine::new(quiet(PmConfig::parallel(1, 1 << 21).with_block_size(b)));
+            let layout = EmPmLayout::new(&m, &prog, ext.len());
+            layout.load_ext(&m, &ext);
+            std::hint::black_box(simulate_em_on_pm(&m, &prog, layout, 1 << 24).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let pattern = AccessPattern::Random { n: 4096, range: 512, seed: 2 };
+    let (m_sim, b) = (64usize, 8usize);
+    let mut g = c.benchmark_group("simulations/cache");
+    g.sample_size(10);
+    g.bench_function("native_lru", |bch| {
+        bch.iter(|| {
+            let mut mem = vec![0u64; 512];
+            std::hint::black_box(run_native_cache(&pattern, m_sim, b, &mut mem))
+        })
+    });
+    g.bench_function("pm_faultless", |bch| {
+        bch.iter(|| {
+            let m = Machine::new(quiet(
+                PmConfig::parallel(1, 1 << 21)
+                    .with_block_size(b)
+                    .with_ephemeral_words(m_sim),
+            ));
+            let layout = CachePmLayout::new(&m, 512, m_sim);
+            std::hint::black_box(simulate_cache_on_pm(&m, &pattern, layout).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ram, bench_em, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E14 — the price of fault tolerance: model cost of the Figure 3
+//! scheduler versus the CAS-based ABP baseline it derives from.
+//!
+//! The paper's conclusion claims "fault tolerance ... with only a modest
+//! increase in the total cost of the computation". Both schedulers run
+//! identical fork-join workloads on identical (fault-free) machines with
+//! identical cost accounting; the ratio of counted transfers is that
+//! increase. (The fault-tolerant scheduler pays per-capsule installation
+//! writes and split CAM/check capsules; ABP pays neither but dies on the
+//! first fault — see `exp_cam_vs_cas`.)
+
+use ppm_bench::{banner, f2, header, row, s};
+use ppm_core::{comp_step, par_all, Comp, Machine};
+use ppm_pm::{PmConfig, ProcCtx, Region, ValidateMode};
+use ppm_sched::abp::run_computation_abp;
+use ppm_sched::{run_computation, SchedConfig};
+
+fn tasks(r: Region, n: usize, leaf_work: usize) -> Comp {
+    par_all(
+        (0..n)
+            .map(|i| {
+                comp_step("leaf", move |ctx: &mut ProcCtx| {
+                    for k in 0..leaf_work {
+                        ctx.pwrite(r.at(i * leaf_work + k), 1)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect(),
+    )
+}
+
+const W: [usize; 6] = [6, 6, 10, 10, 8, 10];
+
+fn main() {
+    banner(
+        "E14 (conclusion / ablation)",
+        "fault-tolerant scheduler vs ABP baseline, model cost",
+        "fault tolerance costs a modest constant factor over the non-tolerant ABP",
+    );
+    header(&["tasks", "leaf", "W (FT)", "W (ABP)", "ratio", "user work"], &W);
+
+    for (n, leaf_work) in [(64usize, 1usize), (64, 8), (64, 64), (256, 8), (1024, 8)] {
+        let cfg = || {
+            PmConfig::parallel(1, 1 << 24).with_validate(ValidateMode::Off)
+        };
+        let ft = {
+            let m = Machine::new(cfg());
+            let r = m.alloc_region(n * leaf_work);
+            let rep = run_computation(&m, &tasks(r, n, leaf_work), &SchedConfig::with_slots(1 << 13));
+            assert!(rep.completed);
+            rep.stats.total_work()
+        };
+        let abp = {
+            let m = Machine::new(cfg());
+            let r = m.alloc_region(n * leaf_work);
+            let rep = run_computation_abp(&m, &tasks(r, n, leaf_work), 1 << 13, 9);
+            assert!(rep.completed);
+            rep.stats.total_work()
+        };
+        row(
+            &[
+                s(n),
+                s(leaf_work),
+                s(ft),
+                s(abp),
+                f2(ft as f64 / abp as f64),
+                s(n * leaf_work),
+            ],
+            &W,
+        );
+    }
+
+    println!("\nshape check: the overhead is a flat small constant per capsule");
+    println!("(installation writes + split synchronization capsules), so the ratio");
+    println!("shrinks toward 1 as leaf work grows and stays bounded as task count");
+    println!("scales — 'a modest increase in the total cost', as claimed. The");
+    println!("baseline buys that margin by being unable to survive any fault.");
+}

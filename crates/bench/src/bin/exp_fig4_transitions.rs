@@ -1,0 +1,112 @@
+//! E11 — Figure 4: the entry state transition table, observed empirically.
+//!
+//! Installs a persistent-memory write observer over the scheduler's deque
+//! regions, runs a faulty parallel computation (soft faults plus one hard
+//! fault), and prints the observed transition matrix in the paper's
+//! row/column layout. Every observed transition must be a ✓ cell of
+//! Figure 4; `Taken` must be terminal.
+
+use std::sync::{Arc, Mutex};
+
+use ppm_bench::banner;
+use ppm_core::{comp_step, par_all, DoneFlag, Machine};
+use ppm_pm::{FaultConfig, PmConfig, ProcCtx};
+use ppm_sched::{kind_of, run_root_on, EntryKind, Sched, SchedConfig};
+
+fn kind_index(k: EntryKind) -> usize {
+    match k {
+        EntryKind::Empty => 0,
+        EntryKind::Local => 1,
+        EntryKind::Job => 2,
+        EntryKind::Taken => 3,
+    }
+}
+
+fn main() {
+    banner(
+        "E11 (Figure 4)",
+        "WS-deque entry state transitions",
+        "entries move only along: Empty->Local; Local->Empty/Job/Taken; Job->Local/Taken",
+    );
+
+    let machine = Machine::new(
+        PmConfig::parallel(4, 1 << 22).with_fault(
+            FaultConfig::soft(0.01, 4).with_scheduled_hard_fault(2, 900),
+        ),
+    );
+    let n = 160;
+    let r = machine.alloc_region(n);
+    let comp = par_all(
+        (0..n)
+            .map(|i| comp_step("leaf", move |ctx: &mut ProcCtx| ctx.pwrite(r.at(i), 1)))
+            .collect(),
+    );
+    let done = DoneFlag::new(&machine);
+    let root = comp(done.finale());
+
+    // Build the scheduler first so the deque regions are known, then
+    // attach the counting observer, then run on that same scheduler.
+    let sched = Sched::new(&machine, done, &SchedConfig::with_slots(1 << 12));
+    let ranges: Vec<(usize, usize)> = sched
+        .deques()
+        .iter()
+        .map(|d| (d.stack.start, d.stack.end()))
+        .collect();
+    let matrix: Arc<Mutex<[[u64; 4]; 4]>> = Arc::new(Mutex::new([[0; 4]; 4]));
+    {
+        let matrix = matrix.clone();
+        machine.mem().set_observer(Some(Arc::new(move |addr, prev, new| {
+            if ranges.iter().any(|(s, e)| addr >= *s && addr < *e) {
+                matrix.lock().unwrap()[kind_index(kind_of(prev))][kind_index(kind_of(new))] += 1;
+            }
+        })));
+    }
+
+    let report = run_root_on(&machine, &sched, root, done);
+    assert!(report.completed);
+    for i in 0..n {
+        assert_eq!(machine.mem().load(r.at(i)), 1, "task {i}");
+    }
+
+    let m = matrix.lock().unwrap();
+    let names = ["Empty", "Local", "Job", "Taken"];
+    println!(
+        "run: P=4, f=0.01 soft + proc 2 hard-faulted; {} soft faults, {} steals-ish\n",
+        report.stats.soft_faults, m[2][3]
+    );
+    println!("observed transitions (rows: old state, columns: new state):\n");
+    print!("{:>18}", "");
+    for t in names {
+        print!("{t:>9}");
+    }
+    println!();
+    for (i, from) in names.iter().enumerate() {
+        print!("{:>10} {from:>7}", if i == 1 { "Old State" } else { "" });
+        for j in 0..4 {
+            if i == j {
+                // Same-kind rewrites are tag refreshes (e.g. line 56
+                // clearing an already-empty slot), not state transitions.
+                print!("{:>9}", format!("({})", m[i][j]));
+            } else {
+                print!("{:>9}", m[i][j]);
+            }
+        }
+        println!();
+    }
+
+    let mut illegal = 0u64;
+    for i in 0..4 {
+        for j in 0..4 {
+            let from = EntryKind::from_bits(i as u64);
+            let to = EntryKind::from_bits(j as u64);
+            if i != j && m[i][j] > 0 && !from.can_transition_to(to) {
+                illegal += m[i][j];
+                println!("ILLEGAL: {from:?} -> {to:?} x{}", m[i][j]);
+            }
+        }
+    }
+    println!("\nillegal off-diagonal transitions observed: {illegal}");
+    assert_eq!(illegal, 0, "Figure 4 must hold");
+    println!("matches Figure 4: Empty->Local, Local->{{Empty,Job,Taken}}, Job->{{Local,Taken}},");
+    println!("and Taken is terminal. Parenthesized diagonals are tag-only refreshes.");
+}

@@ -1,0 +1,94 @@
+//! E8 — Theorem 7.3: samplesort in O((n/B)·log_M n) work versus
+//! mergesort's O((n/B)·log(n/M)).
+//!
+//! Sweeps `n` at fixed (M, B), reporting both sorts' I/O counts, the
+//! normalized constants against their respective analytic factors, and
+//! the ratio — which should grow in mergesort's disfavour as n/M grows,
+//! since log(n/M) grows while log_M n barely moves.
+
+use ppm_algs::sort::samplesort_pool_words;
+use ppm_algs::{MergeSort, SampleSort};
+use ppm_bench::{banner, f2, header, row, s};
+use ppm_core::Machine;
+use ppm_pm::{PmConfig};
+use ppm_sched::{run_computation, SchedConfig};
+
+const W: [usize; 8] = [8, 11, 11, 9, 10, 10, 9, 9];
+
+fn data(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i << 7)) % 1_000_000_007)
+        .collect()
+}
+
+fn main() {
+    banner(
+        "E8 (Theorem 7.3)",
+        "samplesort vs mergesort I/O",
+        "samplesort O((n/B) log_M n) beats mergesort O((n/B) log(n/M)) as n/M grows",
+    );
+
+    let m_eph = 128; // small M exaggerates the asymptotic gap at feasible n
+    let b = 8;
+
+    header(
+        &["n", "W merge", "W sample", "ms/ss", "per-lvl-m", "per-lvl-s", "log(n/M)", "log_M n"],
+        &W,
+    );
+
+    for n in [1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13] {
+        let input = data(n);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+
+        let w_ms = {
+            let m = Machine::new(
+                PmConfig::parallel(1, 1 << 24)
+                    .with_block_size(b)
+                    .with_ephemeral_words(m_eph),
+            );
+            let ms = MergeSort::new(&m, n);
+            ms.load_input(&m, &input);
+            let rep = run_computation(&m, &ms.comp(), &SchedConfig::with_slots(1 << 15));
+            assert!(rep.completed);
+            assert_eq!(ms.read_output(&m), expect);
+            rep.stats.total_work()
+        };
+        let w_ss = {
+            let m = Machine::with_pool_words(
+                PmConfig::parallel(1, 1 << 25)
+                    .with_block_size(b)
+                    .with_ephemeral_words(m_eph),
+                samplesort_pool_words(n),
+            );
+            let ss = SampleSort::new(&m, n);
+            ss.load_input(&m, &input);
+            let rep = run_computation(&m, &ss.comp(), &SchedConfig::with_slots(1 << 16));
+            assert!(rep.completed);
+            assert_eq!(ss.read_output(&m), expect);
+            rep.stats.total_work()
+        };
+
+        let nb = n as f64 / b as f64;
+        let log_n_m = (n as f64 / m_eph as f64).log2().max(1.0);
+        let log_m_n = (n as f64).log2() / (m_eph as f64).log2();
+        row(
+            &[
+                s(n),
+                s(w_ms),
+                s(w_ss),
+                f2(w_ms as f64 / w_ss as f64),
+                f2(w_ms as f64 / (nb * log_n_m)),
+                f2(w_ss as f64 / (nb * log_m_n)),
+                f2(log_n_m),
+                f2(log_m_n),
+            ],
+            &W,
+        );
+    }
+
+    println!("\nshape check: each normalized per-level constant is flat in n for its");
+    println!("own model (columns 5-6), and the ms/ss ratio drifts upward with n —");
+    println!("the log(n/M) vs log_M n separation of Theorem 7.3. Crossover position");
+    println!("depends on constants; the trend direction is the reproducible claim.");
+}

@@ -1,0 +1,68 @@
+//! # `ppm-bench` — experiment harness for the Parallel-PM reproduction
+//!
+//! One binary per experiment in DESIGN.md's per-experiment index
+//! (`cargo run --release -p ppm-bench --bin exp_<id>`), plus criterion
+//! benches under `benches/`. This library holds the shared table-printing
+//! and measurement helpers.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// Prints a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = *w))
+        .collect();
+    println!("| {} |", line.join(" | "));
+}
+
+/// Prints a table header with a rule.
+pub fn header(names: &[&str], widths: &[usize]) {
+    row(&names.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", rule.join("-|-"));
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats any displayable value.
+pub fn s<T: Display>(v: T) -> String {
+    v.to_string()
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str, claim: &str) {
+    println!("\n=== {id}: {title} ===");
+    println!("paper claim: {claim}\n");
+}
+
+/// Geometric mean of a slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(s(42), "42");
+    }
+}

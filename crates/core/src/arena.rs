@@ -1,0 +1,212 @@
+//! The continuation arena: closures "in persistent memory".
+//!
+//! The paper stores closures (capsule state) in persistent memory and uses
+//! their addresses as restart pointers and deque entries. In this
+//! reproduction the closure *content* is a Rust object (`Cont`), and the
+//! arena maps a persistent address — obtained from the processor's
+//! restart-stable allocator (§4.1) — to that object. The address is the
+//! *handle* that flows through persistent memory (deque entries, restart
+//! pointer words); the arena is the backing store.
+//!
+//! Registration is idempotent under restarts: the address comes from
+//! [`ppm_pm::ProcCtx::palloc`], which rolls back on restart, so a re-run
+//! registers an equivalent closure at the same address (overwriting the
+//! previous, equivalent, entry). The one costed external write per
+//! registration models filling the (constant-size) closure.
+//!
+//! Handle `0` is reserved as the null handle; machine layout guarantees
+//! address 0 is never allocated.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use ppm_pm::{Addr, PmResult, ProcCtx, Word};
+
+use crate::capsule::Cont;
+
+/// The reserved null handle: "no continuation".
+pub const NULL_HANDLE: Word = 0;
+
+/// Number of words a closure occupies in the persistent address space.
+/// Closures are constant-size in the model; one word of costed content is
+/// enough to account for them (the Rust object carries the rest).
+pub const CLOSURE_WORDS: usize = 1;
+
+const SHARDS: usize = 16;
+
+/// Shared registry of continuations keyed by persistent address.
+///
+/// Sharded to keep registration (owner-local) from contending with lookups
+/// (thieves resolving stolen handles).
+pub struct ContArena {
+    shards: Vec<RwLock<HashMap<Addr, Cont>>>,
+}
+
+impl std::fmt::Debug for ContArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ContArena({} entries)", self.len())
+    }
+}
+
+impl Default for ContArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        ContArena {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, addr: Addr) -> &RwLock<HashMap<Addr, Cont>> {
+        &self.shards[(addr / CLOSURE_WORDS) % SHARDS]
+    }
+
+    /// Registers `cont` at a fresh persistent address drawn from the
+    /// executing processor's pool. Costs one external write (filling the
+    /// closure). Idempotent under capsule restart.
+    pub fn register(&self, ctx: &mut ProcCtx, cont: Cont) -> PmResult<Word> {
+        let addr = ctx.palloc(CLOSURE_WORDS);
+        // Insert before the costed write: if the write faults, the entry is
+        // unreachable (the handle is not yet published anywhere) and the
+        // re-run will overwrite it with an equivalent closure.
+        self.shard(addr).write().insert(addr, cont);
+        ctx.pwrite(addr, 1)?; // closure content marker
+        Ok(addr as Word)
+    }
+
+    /// Registers `cont` at a *fixed* slot address (the per-processor
+    /// two-slot swap of §4.1's tail-call optimization, used by the engine
+    /// for thread continuations). Costs one external write.
+    pub fn register_at(&self, ctx: &mut ProcCtx, slot: Addr, cont: Cont, gen: Word) -> PmResult<()> {
+        self.shard(slot).write().insert(slot, cont);
+        ctx.pwrite(slot, gen)?;
+        Ok(())
+    }
+
+    /// Registers `cont` at a fixed address with no cost and no fault risk.
+    /// Machine-setup use only (e.g. installing the root thread before the
+    /// processors start); runtime code must use the costed paths.
+    pub fn preregister(&self, addr: Addr, cont: Cont) {
+        assert_ne!(addr, 0, "address 0 is the null handle");
+        self.shard(addr).write().insert(addr, cont);
+    }
+
+    /// Resolves a handle. `None` for the null handle or an address never
+    /// registered (which indicates a scheduler bug; callers treat it as a
+    /// hard error).
+    pub fn get(&self, handle: Word) -> Option<Cont> {
+        if handle == NULL_HANDLE {
+            return None;
+        }
+        let addr = handle as Addr;
+        self.shard(addr).read().get(&addr).cloned()
+    }
+
+    /// Number of live registrations (diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capsule::end_capsule;
+    use ppm_pm::{MemStats, PersistentMemory, PmConfig, Region};
+    use std::sync::Arc;
+
+    fn ctx_with_pool() -> ProcCtx {
+        let cfg = PmConfig::small_single();
+        let mem = Arc::new(PersistentMemory::new(cfg.persistent_words, cfg.block_size));
+        let stats = Arc::new(MemStats::new(1));
+        let live = Arc::new(ppm_pm::Liveness::new(1));
+        let mut ctx = ProcCtx::new(&cfg, 0, mem, stats, live);
+        ctx.set_alloc_pool(Region { start: 64, len: 1024 }, 0);
+        ctx
+    }
+
+    #[test]
+    fn register_and_get_round_trip() {
+        let arena = ContArena::new();
+        let mut ctx = ctx_with_pool();
+        ctx.begin_capsule("t");
+        let h = arena.register(&mut ctx, end_capsule()).unwrap();
+        assert_ne!(h, NULL_HANDLE);
+        let c = arena.get(h).expect("registered handle resolves");
+        assert_eq!(c.name(), "end");
+    }
+
+    #[test]
+    fn null_handle_resolves_to_none() {
+        let arena = ContArena::new();
+        assert!(arena.get(NULL_HANDLE).is_none());
+        assert!(arena.get(12345).is_none());
+    }
+
+    #[test]
+    fn restart_re_registers_at_same_address() {
+        let arena = ContArena::new();
+        let mut ctx = ctx_with_pool();
+        ctx.begin_capsule("fork-like");
+        let h1 = arena.register(&mut ctx, end_capsule()).unwrap();
+        // Simulate a soft fault and re-run of the registering capsule.
+        ctx.restart_capsule("fork-like");
+        let h2 = arena.register(&mut ctx, end_capsule()).unwrap();
+        assert_eq!(h1, h2, "restart must reuse the same closure address");
+        assert_eq!(arena.len(), 1, "re-registration overwrites, not leaks");
+    }
+
+    #[test]
+    fn distinct_registrations_get_distinct_handles() {
+        let arena = ContArena::new();
+        let mut ctx = ctx_with_pool();
+        ctx.begin_capsule("a");
+        let h1 = arena.register(&mut ctx, end_capsule()).unwrap();
+        ctx.complete_capsule();
+        ctx.begin_capsule("b");
+        let h2 = arena.register(&mut ctx, end_capsule()).unwrap();
+        assert_ne!(h1, h2);
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn register_at_overwrites_slot() {
+        let arena = ContArena::new();
+        let mut ctx = ctx_with_pool();
+        ctx.begin_capsule("t");
+        arena
+            .register_at(&mut ctx, 40, end_capsule(), 1)
+            .unwrap();
+        arena
+            .register_at(
+                &mut ctx,
+                40,
+                crate::capsule::capsule("v2", |_| Ok(crate::capsule::Next::End)),
+                2,
+            )
+            .unwrap();
+        assert_eq!(arena.get(40).unwrap().name(), "v2");
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn registration_costs_one_write() {
+        let arena = ContArena::new();
+        let mut ctx = ctx_with_pool();
+        ctx.begin_capsule("t");
+        let before = ctx.stats().snapshot().total_writes;
+        arena.register(&mut ctx, end_capsule()).unwrap();
+        assert_eq!(ctx.stats().snapshot().total_writes, before + 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Capsules: the unit of restartable computation.
+//!
+//! §2 of the paper partitions a processor's computation into *capsules*:
+//! maximal instruction sequences run while the restart-pointer location
+//! holds the same restart pointer. A capsule is installed by writing a new
+//! restart pointer; on a fault the processor re-runs the active capsule
+//! from its beginning.
+//!
+//! Here a capsule is an immutable object implementing [`Capsule`]: its
+//! captured state is the paper's *closure* (start instruction plus local
+//! state plus arguments plus continuation, §4.1), created once and never
+//! mutated, so a re-run observes exactly the capsule's initial state.
+//! Ephemeral memory and registers are the `run` invocation's local
+//! variables — dropped and rebuilt on every run, which models their loss on
+//! a fault. A capsule body must be **write-after-read conflict free**
+//! (checked dynamically by `ppm-pm` in strict mode) for the re-run to be
+//! idempotent (Theorem 3.1).
+
+use std::fmt;
+use std::sync::Arc;
+
+use ppm_pm::{PmResult, ProcCtx};
+
+/// What a completed capsule does next. Returning `Next` is the paper's
+/// "installing" step: the engine writes the new restart pointer (a constant
+/// number of external writes) before the successor runs.
+pub enum Next {
+    /// Continue this thread with the given capsule (a persistent call,
+    /// return, or commit — all capsule boundaries look alike here).
+    Jump(Cont),
+    /// Fork: push `child` as a new thread on the scheduler's deque and
+    /// continue this thread with `cont` (§6.1's `fork` function). Under a
+    /// scheduler, the push itself runs as dedicated capsules between this
+    /// capsule and `cont`.
+    Fork {
+        /// The newly enabled thread's first capsule.
+        child: Cont,
+        /// The current thread's continuation after the fork.
+        cont: Cont,
+    },
+    /// The thread is finished; control returns to the scheduler (§6.1:
+    /// "when a thread finishes it jumps to the scheduler").
+    End,
+    /// The processor stops entirely (the computation is complete and the
+    /// scheduler loop exits). Unlike [`Next::End`], this is never rewrapped
+    /// by a scheduler.
+    Halt,
+}
+
+impl fmt::Debug for Next {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Next::Jump(c) => write!(f, "Jump({})", c.name()),
+            Next::Fork { child, cont } => {
+                write!(f, "Fork{{child: {}, cont: {}}}", child.name(), cont.name())
+            }
+            Next::End => write!(f, "End"),
+            Next::Halt => write!(f, "Halt"),
+        }
+    }
+}
+
+/// A restartable unit of computation.
+pub trait Capsule: Send + Sync {
+    /// Executes the capsule body. All persistent-memory traffic must go
+    /// through `ctx`; a returned [`ppm_pm::Fault`] aborts the run and the
+    /// engine restarts the capsule (soft) or the processor dies (hard).
+    ///
+    /// Bodies must be deterministic functions of their captured state and
+    /// the persistent values they read (the model's determinism
+    /// assumption), and must be write-after-read conflict free.
+    fn run(&self, ctx: &mut ProcCtx) -> PmResult<Next>;
+
+    /// Diagnostic name, used in validator panics and traces.
+    fn name(&self) -> &str {
+        "capsule"
+    }
+
+    /// Whether the dynamic write-after-read validator should check this
+    /// capsule (default: yes). The few Figure 3 scheduler capsules that
+    /// deliberately read an entry and then CAM it in the same capsule
+    /// (pushBottom's conditional push, clearBottom) override this: their
+    /// idempotence is the paper's tag argument (Lemmas A.6/A.12), not
+    /// Theorem 3.1.
+    fn war_checked(&self) -> bool {
+        true
+    }
+}
+
+/// A continuation: a shared handle to a capsule ("closure") that can be
+/// stored, passed to the scheduler, or registered in the continuation
+/// arena for cross-processor stealing.
+pub type Cont = Arc<dyn Capsule>;
+
+/// A capsule built from a closure. The closure's captured environment is
+/// the capsule's persistent "closure" state; the `Fn` bound (not `FnOnce`)
+/// enforces re-runnability.
+pub struct FnCapsule<F> {
+    name: &'static str,
+    body: F,
+    war_checked: bool,
+}
+
+impl<F> Capsule for FnCapsule<F>
+where
+    F: Fn(&mut ProcCtx) -> PmResult<Next> + Send + Sync,
+{
+    fn run(&self, ctx: &mut ProcCtx) -> PmResult<Next> {
+        (self.body)(ctx)
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn war_checked(&self) -> bool {
+        self.war_checked
+    }
+}
+
+/// Creates a capsule from a closure.
+///
+/// ```
+/// use ppm_core::capsule::{capsule, Next};
+///
+/// let c = capsule("hello", |_ctx| Ok(Next::End));
+/// assert_eq!(c.name(), "hello");
+/// ```
+pub fn capsule<F>(name: &'static str, body: F) -> Cont
+where
+    F: Fn(&mut ProcCtx) -> PmResult<Next> + Send + Sync + 'static,
+{
+    Arc::new(FnCapsule {
+        name,
+        body,
+        war_checked: true,
+    })
+}
+
+/// Creates a capsule exempt from dynamic write-after-read checking. For
+/// scheduler internals only — see [`Capsule::war_checked`].
+pub fn capsule_unchecked<F>(name: &'static str, body: F) -> Cont
+where
+    F: Fn(&mut ProcCtx) -> PmResult<Next> + Send + Sync + 'static,
+{
+    Arc::new(FnCapsule {
+        name,
+        body,
+        war_checked: false,
+    })
+}
+
+/// A capsule that runs a side-effecting body and then jumps to a fixed
+/// continuation. The workhorse for straight-line capsule chains.
+pub fn step_capsule<F>(name: &'static str, body: F, then: Cont) -> Cont
+where
+    F: Fn(&mut ProcCtx) -> PmResult<()> + Send + Sync + 'static,
+{
+    capsule(name, move |ctx| {
+        body(ctx)?;
+        Ok(Next::Jump(then.clone()))
+    })
+}
+
+/// A capsule that runs a body and ends the thread.
+pub fn final_capsule<F>(name: &'static str, body: F) -> Cont
+where
+    F: Fn(&mut ProcCtx) -> PmResult<()> + Send + Sync + 'static,
+{
+    capsule(name, move |ctx| {
+        body(ctx)?;
+        Ok(Next::End)
+    })
+}
+
+/// The trivial capsule: ends the thread immediately.
+pub fn end_capsule() -> Cont {
+    capsule("end", |_ctx| Ok(Next::End))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_pm::{PmConfig, ProcCtx};
+
+    fn test_ctx() -> ProcCtx {
+        let cfg = PmConfig::small_single();
+        let mem = std::sync::Arc::new(ppm_pm::PersistentMemory::new(
+            cfg.persistent_words,
+            cfg.block_size,
+        ));
+        let stats = std::sync::Arc::new(ppm_pm::MemStats::new(1));
+        let live = std::sync::Arc::new(ppm_pm::Liveness::new(1));
+        ProcCtx::new(&cfg, 0, mem, stats, live)
+    }
+
+    #[test]
+    fn fn_capsule_runs_body() {
+        let c = capsule("write-then-end", |ctx| {
+            ctx.pwrite(0, 99)?;
+            Ok(Next::End)
+        });
+        let mut ctx = test_ctx();
+        ctx.begin_capsule(c.name());
+        match c.run(&mut ctx).unwrap() {
+            Next::End => {}
+            other => panic!("expected End, got {other:?}"),
+        }
+        assert_eq!(ctx.raw_mem().load(0), 99);
+    }
+
+    #[test]
+    fn capsules_are_rerunnable() {
+        // The Fn bound means a capsule can run any number of times; a
+        // conflict-free body leaves the same state each time (Theorem 3.1).
+        let c = capsule("idempotent", |ctx| {
+            ctx.pwrite(4, 7)?;
+            Ok(Next::End)
+        });
+        let mut ctx = test_ctx();
+        for _ in 0..5 {
+            ctx.begin_capsule(c.name());
+            c.run(&mut ctx).unwrap();
+        }
+        assert_eq!(ctx.raw_mem().load(4), 7);
+    }
+
+    #[test]
+    fn step_capsule_chains() {
+        let tail = end_capsule();
+        let head = step_capsule("head", |ctx| ctx.pwrite(1, 5), tail);
+        let mut ctx = test_ctx();
+        ctx.begin_capsule(head.name());
+        match head.run(&mut ctx).unwrap() {
+            Next::Jump(c) => assert_eq!(c.name(), "end"),
+            other => panic!("expected Jump, got {other:?}"),
+        }
+        assert_eq!(ctx.raw_mem().load(1), 5);
+    }
+
+    #[test]
+    fn next_debug_formats() {
+        let d = format!("{:?}", Next::End);
+        assert_eq!(d, "End");
+        let j = format!("{:?}", Next::Jump(end_capsule()));
+        assert!(j.contains("end"));
+    }
+}

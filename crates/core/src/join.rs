@@ -1,0 +1,178 @@
+//! Join cells: synchronizing forked threads without a CAS.
+//!
+//! §5 of the paper: "a CAM can be used to implement a form of test-and-set
+//! ... It can also be used at the join point of two threads in fork-join
+//! parallelism to determine who got there last (the one whose CAM from
+//! unset was unsuccessful) and hence needs to run the code after the join."
+//!
+//! A [`JoinCell`] is one persistent word, initially `UNSET` (0). Each of
+//! the two arriving threads runs two capsules:
+//!
+//! 1. a **CAM capsule** that CAMs the cell from `UNSET` to the thread's
+//!    token (1 for the left branch, 2 for the right) — a non-reverting CAM,
+//!    so the capsule is atomically idempotent (Theorem 5.2); and
+//! 2. a **check capsule** that reads the cell: if it holds the thread's own
+//!    token the thread arrived *first* and ends (jumps to the scheduler);
+//!    otherwise it arrived last and continues with the code after the join.
+//!
+//! The capsule boundary between the CAM and the check is essential: a CAM's
+//! local result cannot survive a fault, so success is observed only by
+//! reading the location in a later capsule (the paper's test-and-set
+//! idiom). Exactly one thread continues, no matter how many soft faults or
+//! which hard faults occur (the stolen thread resumes at whichever of the
+//! two capsules was active).
+
+use ppm_pm::{Addr, PmResult, ProcCtx, Word};
+
+use crate::capsule::{capsule, Cont, Next};
+
+/// The unset value of a join cell.
+pub const UNSET: Word = 0;
+/// Token CAM'd by the left (continuing) branch of a fork.
+pub const TOKEN_LEFT: Word = 1;
+/// Token CAM'd by the right (forked child) branch.
+pub const TOKEN_RIGHT: Word = 2;
+
+/// A two-party join cell at a persistent address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinCell {
+    addr: Addr,
+}
+
+impl JoinCell {
+    /// Wraps an address as a join cell. The word must be `UNSET`; use
+    /// [`JoinCell::init`] inside a capsule to allocate-and-initialize.
+    pub fn at(addr: Addr) -> Self {
+        JoinCell { addr }
+    }
+
+    /// Allocates a cell from the processor's pool and writes `UNSET`.
+    /// Restart-stable (same address and value on a capsule re-run); one
+    /// external write. The write is first-access-write, so it cannot create
+    /// a write-after-read conflict.
+    pub fn init(ctx: &mut ProcCtx) -> PmResult<Self> {
+        let addr = ctx.palloc(1);
+        ctx.pwrite(addr, UNSET)?;
+        Ok(JoinCell { addr })
+    }
+
+    /// The cell's address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Builds the two-capsule arrival chain for one branch: CAM the cell
+    /// with `token`, then check; the last arriver jumps to `after`, the
+    /// first ends its thread.
+    pub fn arrive(self, token: Word, after: Cont) -> Cont {
+        assert_ne!(token, UNSET, "a join token must be non-zero");
+        let cell = self.addr;
+        let check = capsule("join-check", move |ctx| {
+            let v = ctx.pread(cell)?;
+            if v == token {
+                // Our CAM won: we arrived first; the peer will continue.
+                Ok(Next::End)
+            } else {
+                // Someone else's token is installed: we arrived last.
+                Ok(Next::Jump(after.clone()))
+            }
+        });
+        capsule("join-cam", move |ctx| {
+            ctx.pcam(cell, UNSET, token)?;
+            Ok(Next::Jump(check.clone()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capsule::final_capsule;
+    use crate::machine::Machine;
+    use crate::runner::{run_chain, InstallCtx};
+    use ppm_pm::{FaultConfig, PmConfig};
+
+    fn machine(f: FaultConfig) -> Machine {
+        Machine::new(PmConfig::parallel(1, 1 << 16).with_fault(f))
+    }
+
+    /// Runs both arrival chains sequentially on one processor and returns
+    /// how many times `after` ran.
+    fn run_both_arrivals(m: &Machine, order: [Word; 2]) -> u64 {
+        let out = m.alloc_region(8);
+        let mut ctx = m.ctx(0);
+        let mut install = InstallCtx::new(m.proc_meta(0));
+
+        // Allocate the cell in a setup capsule.
+        let cell_slot = m.alloc_region(8);
+        let setup = final_capsule("setup", move |ctx| {
+            let cell = JoinCell::init(ctx)?;
+            ctx.pwrite(cell_slot.at(0), cell.addr() as Word)
+        });
+        run_chain(&mut ctx, m.arena(), &mut install, setup).unwrap();
+        let cell = JoinCell::at(m.mem().load(cell_slot.at(0)) as usize);
+
+        for token in order {
+            // Each branch, if it continues past the join, writes its own
+            // marker word (an idempotent, conflict-free record of "this
+            // branch continued").
+            let after = final_capsule("after", move |ctx| ctx.pwrite(out.at(token as usize), 1));
+            let chain = cell.arrive(token, after);
+            run_chain(&mut ctx, m.arena(), &mut install, chain).unwrap();
+        }
+        m.mem().load(out.at(1)) + m.mem().load(out.at(2))
+    }
+
+    #[test]
+    fn exactly_one_arrival_continues_left_first() {
+        let m = machine(FaultConfig::none());
+        assert_eq!(run_both_arrivals(&m, [TOKEN_LEFT, TOKEN_RIGHT]), 1);
+    }
+
+    #[test]
+    fn exactly_one_arrival_continues_right_first() {
+        let m = machine(FaultConfig::none());
+        assert_eq!(run_both_arrivals(&m, [TOKEN_RIGHT, TOKEN_LEFT]), 1);
+    }
+
+    #[test]
+    fn join_survives_soft_faults() {
+        for seed in 0..20 {
+            let m = machine(FaultConfig::soft(0.2, seed));
+            assert_eq!(
+                run_both_arrivals(&m, [TOKEN_LEFT, TOKEN_RIGHT]),
+                1,
+                "seed {seed}: after-join code must run exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn first_arriver_ends_thread() {
+        let m = machine(FaultConfig::none());
+        let mut ctx = m.ctx(0);
+        let mut install = InstallCtx::new(m.proc_meta(0));
+        let cell_slot = m.alloc_region(8);
+        let setup = final_capsule("setup", move |ctx| {
+            let cell = JoinCell::init(ctx)?;
+            ctx.pwrite(cell_slot.at(0), cell.addr() as Word)
+        });
+        run_chain(&mut ctx, m.arena(), &mut install, setup).unwrap();
+        let cell = JoinCell::at(m.mem().load(cell_slot.at(0)) as usize);
+
+        // Only the left branch arrives: its chain must End without running
+        // the continuation.
+        let marker = m.alloc_region(8);
+        let after = final_capsule("after", move |ctx| ctx.pwrite(marker.at(0), 1));
+        run_chain(&mut ctx, m.arena(), &mut install, cell.arrive(TOKEN_LEFT, after)).unwrap();
+        assert_eq!(m.mem().load(marker.at(0)), 0, "after must not have run");
+        assert_eq!(m.mem().load(cell.addr()), TOKEN_LEFT);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_token_rejected() {
+        let cell = JoinCell::at(100);
+        let _ = cell.arrive(UNSET, crate::capsule::end_capsule());
+    }
+}

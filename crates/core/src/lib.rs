@@ -1,0 +1,47 @@
+//! # `ppm-core` — the capsule runtime of the Parallel-PM model
+//!
+//! This crate implements the programming methodology of §§2–5 of
+//! *The Parallel Persistent Memory Model* (Blelloch et al., SPAA 2018):
+//!
+//! * **Capsules and closures** (the [`mod@capsule`] module): immutable, re-runnable units
+//!   of computation whose captured state is the paper's closure; restart =
+//!   re-run with fresh ephemeral state.
+//! * **The continuation arena** ([`arena`]): closures addressed by
+//!   persistent-memory handles minted from the restart-stable per-processor
+//!   allocator of §4.1, so forked threads can be stored in deques and
+//!   stolen across processors (including from dead ones).
+//! * **The engine** ([`runner`]): installs capsules (writing the closure
+//!   and swinging the restart pointer as the capsule's last instructions),
+//!   restarts on soft faults with the model's constant restart overhead,
+//!   and surfaces hard faults to the scheduler.
+//! * **Join cells** ([`join`]): the §5 CAM test-and-set join — no CAS, safe
+//!   under faults, exactly-once continuation.
+//! * **Fork-join combinators** ([`comp`]): continuation-passing composition
+//!   of capsules into the binary fork-join DAGs of the multithreaded model,
+//!   with dynamic expansion for recursive algorithms.
+//! * **Machines** ([`machine`]): bundling memory, statistics, liveness, the
+//!   arena and the address-space layout into one instance.
+//!
+//! The scheduler that maps these computations onto `P` faulty processors
+//! lives in `ppm-sched`; this crate is scheduler-agnostic.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arena;
+pub mod capsule;
+pub mod comp;
+pub mod flag;
+pub mod join;
+pub mod machine;
+pub mod runner;
+
+pub use arena::{ContArena, CLOSURE_WORDS, NULL_HANDLE};
+pub use capsule::{
+    capsule, capsule_unchecked, end_capsule, final_capsule, step_capsule, Capsule, Cont, Next,
+};
+pub use comp::{comp_dyn, comp_fork2, comp_nop, comp_seq, comp_step, par_all, root, seq_all, Comp};
+pub use flag::DoneFlag;
+pub use join::{JoinCell, TOKEN_LEFT, TOKEN_RIGHT, UNSET};
+pub use machine::{Machine, ProcMeta, DEFAULT_POOL_WORDS, PROC_META_WORDS};
+pub use runner::{run_capsule, run_chain, ForkWrap, InstallCtx, Step};

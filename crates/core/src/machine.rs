@@ -1,0 +1,260 @@
+//! A Parallel-PM machine instance.
+//!
+//! [`Machine`] bundles the shared persistent memory, statistics, liveness
+//! oracle and continuation arena, carves the persistent address space
+//! (per-processor metadata, per-processor allocation pools, user regions),
+//! and mints [`ProcCtx`] handles for processor threads.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use ppm_pm::{
+    Addr, LayoutBuilder, Liveness, MemStats, PersistentMemory, PmConfig, ProcCtx, Region,
+    StatsSnapshot, Word,
+};
+
+use crate::arena::ContArena;
+
+/// Persistent words of per-processor metadata.
+///
+/// Layout per processor: `[active_capsule, slot_a, slot_b, reserved]`.
+/// * `active_capsule` — the restart-pointer location (§2): the handle of
+///   the capsule the processor is currently executing. Read by thieves via
+///   `getActiveCapsule` when recovering from a hard fault.
+/// * `slot_a`/`slot_b` — the two-closure swap area of §4.1 used for thread
+///   continuations, so running a long thread does not consume pool space.
+pub const PROC_META_WORDS: usize = 4;
+
+/// Offsets within a processor's metadata area.
+pub mod meta {
+    /// Restart-pointer location: handle of the active capsule.
+    pub const ACTIVE: usize = 0;
+    /// First swap slot for thread-continuation closures.
+    pub const SLOT_A: usize = 1;
+    /// Second swap slot.
+    pub const SLOT_B: usize = 2;
+}
+
+/// Addresses of one processor's metadata words.
+#[derive(Debug, Clone, Copy)]
+pub struct ProcMeta {
+    /// Address of the restart-pointer word.
+    pub active: Addr,
+    /// Address of swap slot A.
+    pub slot_a: Addr,
+    /// Address of swap slot B.
+    pub slot_b: Addr,
+}
+
+/// One Parallel-PM machine: shared state plus address-space layout.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: PmConfig,
+    mem: Arc<PersistentMemory>,
+    stats: Arc<MemStats>,
+    liveness: Arc<Liveness>,
+    arena: Arc<ContArena>,
+    layout: Mutex<LayoutBuilder>,
+    proc_meta: Region,
+    pools: Vec<Region>,
+}
+
+/// Default per-processor allocation pool size in words. Each fork consumes
+/// `CLOSURE_WORDS + 1` (child closure + join cell), so this supports on the
+/// order of 10^5 forks per processor; construct with
+/// [`Machine::with_pool_words`] for larger workloads.
+pub const DEFAULT_POOL_WORDS: usize = 1 << 18;
+
+impl Machine {
+    /// Builds a machine from `cfg` with default pool sizing: up to
+    /// [`DEFAULT_POOL_WORDS`] per processor, but never more than half the
+    /// address space in total (the rest is left for user data).
+    pub fn new(cfg: PmConfig) -> Self {
+        let budget = cfg.persistent_words / 2 / cfg.procs.max(1);
+        Self::with_pool_words(cfg, DEFAULT_POOL_WORDS.min(budget).max(1))
+    }
+
+    /// Builds a machine with `pool_words` of allocation pool per processor.
+    ///
+    /// # Panics
+    /// Panics if the persistent memory cannot hold the metadata and pools —
+    /// a configuration error.
+    pub fn with_pool_words(cfg: PmConfig, pool_words: usize) -> Self {
+        let mem = Arc::new(PersistentMemory::new(cfg.persistent_words, cfg.block_size));
+        let mut layout = LayoutBuilder::new(cfg.persistent_words, cfg.block_size);
+        // Reserve the first block so that address 0 is never a valid handle
+        // (the arena's null handle).
+        let _null_guard = layout.region(1);
+        let proc_meta = layout.region(cfg.procs * PROC_META_WORDS.max(cfg.block_size));
+        let pools = (0..cfg.procs).map(|_| layout.region(pool_words)).collect();
+        Machine {
+            stats: Arc::new(MemStats::new(cfg.procs)),
+            liveness: Arc::new(Liveness::new(cfg.procs)),
+            arena: Arc::new(ContArena::new()),
+            layout: Mutex::new(layout),
+            proc_meta,
+            pools,
+            mem,
+            cfg,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn cfg(&self) -> &PmConfig {
+        &self.cfg
+    }
+
+    /// Number of processors `P`.
+    pub fn procs(&self) -> usize {
+        self.cfg.procs
+    }
+
+    /// The shared persistent memory (uncosted access: setup and oracles).
+    pub fn mem(&self) -> &Arc<PersistentMemory> {
+        &self.mem
+    }
+
+    /// The machine's statistics.
+    pub fn stats(&self) -> &Arc<MemStats> {
+        &self.stats
+    }
+
+    /// Snapshot of the statistics.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The liveness oracle.
+    pub fn liveness(&self) -> &Arc<Liveness> {
+        &self.liveness
+    }
+
+    /// The continuation arena.
+    pub fn arena(&self) -> &Arc<ContArena> {
+        &self.arena
+    }
+
+    /// Carves a fresh block-aligned region of `len` words for user data.
+    pub fn alloc_region(&self, len: usize) -> Region {
+        self.layout.lock().region(len)
+    }
+
+    /// Words still unallocated in the address space.
+    pub fn remaining_words(&self) -> usize {
+        self.layout.lock().remaining()
+    }
+
+    /// Metadata addresses for processor `proc`.
+    pub fn proc_meta(&self, proc: usize) -> ProcMeta {
+        assert!(proc < self.cfg.procs);
+        // Metadata areas are block-separated so installs by one processor
+        // never share a block with another's restart pointer.
+        let stride = PROC_META_WORDS.max(self.cfg.block_size);
+        let base = self.proc_meta.start + proc * stride;
+        ProcMeta {
+            active: base + meta::ACTIVE,
+            slot_a: base + meta::SLOT_A,
+            slot_b: base + meta::SLOT_B,
+        }
+    }
+
+    /// The allocation pool of processor `proc`.
+    pub fn pool(&self, proc: usize) -> Region {
+        self.pools[proc]
+    }
+
+    /// Mints the context for processor `proc`, with its pool installed.
+    pub fn ctx(&self, proc: usize) -> ProcCtx {
+        let mut ctx = ProcCtx::new(
+            &self.cfg,
+            proc,
+            self.mem.clone(),
+            self.stats.clone(),
+            self.liveness.clone(),
+        );
+        ctx.set_alloc_pool(self.pools[proc], 0);
+        ctx
+    }
+
+    /// Reads the active-capsule handle of `proc` directly (oracle use; the
+    /// costed path is a normal `pread` of [`ProcMeta::active`]).
+    pub fn active_handle(&self, proc: usize) -> Word {
+        self.mem.load(self.proc_meta(proc).active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_pm::FaultConfig;
+
+    #[test]
+    fn layout_reserves_null_guard_and_metadata() {
+        let m = Machine::new(PmConfig::parallel(4, 1 << 20));
+        // Address 0 is inside the null guard; no metadata or pool may
+        // start at 0.
+        for p in 0..4 {
+            let meta = m.proc_meta(p);
+            assert!(meta.active > 0);
+            assert!(m.pool(p).start > 0);
+        }
+    }
+
+    #[test]
+    fn proc_metadata_areas_are_disjoint_across_blocks() {
+        let m = Machine::new(PmConfig::parallel(4, 1 << 20));
+        let b = m.cfg().block_size;
+        let mut blocks: Vec<usize> = (0..4).map(|p| m.proc_meta(p).active / b).collect();
+        blocks.dedup();
+        assert_eq!(blocks.len(), 4, "each proc's metadata in its own block");
+    }
+
+    #[test]
+    fn pools_are_disjoint() {
+        let m = Machine::with_pool_words(PmConfig::parallel(3, 1 << 20), 1 << 10);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let (a, b) = (m.pool(i), m.pool(j));
+                assert!(a.end() <= b.start || b.end() <= a.start);
+            }
+        }
+    }
+
+    #[test]
+    fn user_regions_do_not_overlap_machine_state() {
+        let m = Machine::with_pool_words(PmConfig::parallel(2, 1 << 16), 1 << 10);
+        let r1 = m.alloc_region(100);
+        let r2 = m.alloc_region(100);
+        assert!(r1.end() <= r2.start);
+        for p in 0..2 {
+            assert!(m.pool(p).end() <= r1.start);
+        }
+    }
+
+    #[test]
+    fn ctx_has_pool_installed() {
+        let m = Machine::new(PmConfig::parallel(2, 1 << 20));
+        let mut ctx = m.ctx(1);
+        ctx.begin_capsule("t");
+        let a = ctx.palloc(4);
+        assert!(m.pool(1).contains(a));
+    }
+
+    #[test]
+    fn fault_config_reaches_ctx() {
+        let cfg = PmConfig::parallel(1, 1 << 16)
+            .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, 1));
+        let m = Machine::new(cfg);
+        let mut ctx = m.ctx(0);
+        ctx.begin_capsule("t");
+        assert!(ctx.pwrite(1, 1).is_err());
+        assert!(!m.liveness().is_live(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "persistent memory exhausted")]
+    fn oversized_machine_panics_at_construction_or_alloc() {
+        let m = Machine::with_pool_words(PmConfig::parallel(1, 1 << 12), 1 << 10);
+        let _ = m.alloc_region(1 << 12);
+    }
+}

@@ -1,0 +1,334 @@
+//! The capsule engine: installing and running capsules with restarts.
+//!
+//! This module implements the machine-level protocol of §2/§4: each
+//! completed capsule's *last instructions* write the next capsule's closure
+//! and the new restart pointer ("installing" it); a soft fault re-runs the
+//! active capsule from its beginning after a constant-cost restart
+//! sequence; a hard fault stops the processor, leaving its restart pointer
+//! in persistent memory for thieves to pick up (`getActiveCapsule`).
+//!
+//! Thread continuations are installed into the processor's two-slot swap
+//! area (the §4.1 optimization: "the implementation could use just two
+//! closures and swap back and forth"), so long-running threads consume no
+//! pool space; forked children are registered at fresh pool addresses since
+//! their handles sit in deques for arbitrarily long.
+
+use ppm_pm::{Addr, Fault, PmResult, ProcCtx, Word};
+
+use crate::arena::{ContArena, NULL_HANDLE};
+use crate::capsule::{Cont, Next};
+use crate::machine::ProcMeta;
+
+/// Per-processor installation state: where the restart pointer lives and
+/// which swap slot receives the next thread-continuation closure.
+#[derive(Debug)]
+pub struct InstallCtx {
+    active: Addr,
+    slot_a: Addr,
+    slot_b: Addr,
+    use_a: bool,
+    gen: Word,
+}
+
+impl InstallCtx {
+    /// Creates installation state over processor metadata.
+    pub fn new(meta: ProcMeta) -> Self {
+        InstallCtx {
+            active: meta.active,
+            slot_a: meta.slot_a,
+            slot_b: meta.slot_b,
+            use_a: true,
+            gen: 1,
+        }
+    }
+
+    /// Address of the restart-pointer word this context writes.
+    pub fn active_addr(&self) -> Addr {
+        self.active
+    }
+
+    #[inline]
+    fn next_slot(&self) -> Addr {
+        if self.use_a {
+            self.slot_a
+        } else {
+            self.slot_b
+        }
+    }
+
+    /// Installs `c` as the next capsule: writes its closure into the free
+    /// swap slot and swings the restart pointer to it. Two external writes,
+    /// either of which may fault — in which case the *current* capsule
+    /// restarts and the (idempotent) install is re-attempted.
+    pub fn install_jump(&mut self, ctx: &mut ProcCtx, arena: &ContArena, c: &Cont) -> PmResult<()> {
+        let slot = self.next_slot();
+        arena.register_at(ctx, slot, c.clone(), self.gen)?;
+        ctx.pwrite(self.active, slot as Word)?;
+        // Flip only after both writes succeeded: a re-run must target the
+        // same slot.
+        self.use_a = !self.use_a;
+        self.gen += 1;
+        Ok(())
+    }
+
+    /// Clears the restart pointer (the processor is leaving threaded user
+    /// code, or halting). One external write.
+    pub fn install_null(&mut self, ctx: &mut ProcCtx) -> PmResult<()> {
+        ctx.pwrite(self.active, NULL_HANDLE)
+    }
+}
+
+/// Result of driving one capsule to completion.
+pub enum Step {
+    /// The installed successor; keep driving.
+    Next(Cont),
+    /// The chain is finished on this processor.
+    Done,
+}
+
+/// Hook invoked when a capsule forks: given the freshly registered child
+/// handle and the thread's continuation, produce the capsule to install
+/// next (a scheduler wraps the continuation in its `pushBottom` sequence).
+pub type ForkWrap<'a> = &'a (dyn Fn(Word, Cont) -> Cont + 'a);
+
+/// Runs `cur` to completion, restarting on soft faults, and installs its
+/// successor. `fork_wrap` handles [`Next::Fork`] (absent ⇒ forking
+/// panics: the caller is a non-forking chain). `on_end` converts
+/// [`Next::End`] (thread finished) into a jump — the scheduler passes its
+/// own entry capsule; absent ⇒ `End` finishes the chain.
+///
+/// Returns `Err(Fault::Hard)` only if the processor dies; soft faults never
+/// escape.
+pub fn run_capsule(
+    ctx: &mut ProcCtx,
+    arena: &ContArena,
+    install: &mut InstallCtx,
+    cur: &Cont,
+    fork_wrap: Option<ForkWrap<'_>>,
+    on_end: Option<&Cont>,
+) -> Result<Step, Fault> {
+    ctx.begin_capsule(cur.name());
+    ctx.set_war_exempt(!cur.war_checked());
+    loop {
+        let attempt: PmResult<Step> = run_body_and_install(ctx, arena, install, cur, fork_wrap, on_end);
+        match attempt {
+            Ok(step) => {
+                ctx.complete_capsule();
+                ctx.set_war_exempt(false);
+                return Ok(step);
+            }
+            Err(Fault::Soft) => {
+                ctx.restart_capsule(cur.name());
+                // The restart sequence itself performs external transfers
+                // and can fault; retry until it completes or the processor
+                // dies.
+                loop {
+                    match ctx.charge_restart() {
+                        Ok(()) => break,
+                        Err(Fault::Soft) => continue,
+                        Err(Fault::Hard) => return Err(Fault::Hard),
+                    }
+                }
+            }
+            Err(Fault::Hard) => return Err(Fault::Hard),
+        }
+    }
+}
+
+fn run_body_and_install(
+    ctx: &mut ProcCtx,
+    arena: &ContArena,
+    install: &mut InstallCtx,
+    cur: &Cont,
+    fork_wrap: Option<ForkWrap<'_>>,
+    on_end: Option<&Cont>,
+) -> PmResult<Step> {
+    match cur.run(ctx)? {
+        Next::Jump(c) => {
+            install.install_jump(ctx, arena, &c)?;
+            Ok(Step::Next(c))
+        }
+        Next::End => match on_end {
+            Some(sched) => {
+                install.install_jump(ctx, arena, sched)?;
+                Ok(Step::Next(sched.clone()))
+            }
+            None => {
+                install.install_null(ctx)?;
+                Ok(Step::Done)
+            }
+        },
+        Next::Halt => {
+            install.install_null(ctx)?;
+            Ok(Step::Done)
+        }
+        Next::Fork { child, cont } => {
+            let handle = arena.register(ctx, child)?;
+            let target = match fork_wrap {
+                Some(w) => w(handle, cont),
+                None => panic!(
+                    "capsule `{}` forked but this engine has no scheduler; \
+                     run fork-join computations on ppm-sched",
+                    cur.name()
+                ),
+            };
+            install.install_jump(ctx, arena, &target)?;
+            Ok(Step::Next(target))
+        }
+    }
+}
+
+/// Drives a non-forking capsule chain to completion on one processor.
+/// Returns `Err(Fault::Hard)` if the processor dies mid-chain.
+pub fn run_chain(
+    ctx: &mut ProcCtx,
+    arena: &ContArena,
+    install: &mut InstallCtx,
+    first: Cont,
+) -> Result<(), Fault> {
+    let mut cur = first;
+    loop {
+        match run_capsule(ctx, arena, install, &cur, None, None)? {
+            Step::Next(c) => cur = c,
+            Step::Done => return Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capsule::{capsule, final_capsule, step_capsule};
+    use crate::machine::Machine;
+    use ppm_pm::{FaultConfig, PmConfig};
+
+    fn machine_with(f: FaultConfig) -> Machine {
+        Machine::new(PmConfig::parallel(1, 1 << 16).with_fault(f))
+    }
+
+    #[test]
+    fn chain_runs_in_order() {
+        let m = machine_with(FaultConfig::none());
+        let r = m.alloc_region(8);
+        let c3 = final_capsule("c3", move |ctx| ctx.pwrite(r.at(2), 3));
+        let c2 = step_capsule("c2", move |ctx| ctx.pwrite(r.at(1), 2), c3);
+        let c1 = step_capsule("c1", move |ctx| ctx.pwrite(r.at(0), 1), c2);
+        let mut ctx = m.ctx(0);
+        let mut install = InstallCtx::new(m.proc_meta(0));
+        run_chain(&mut ctx, m.arena(), &mut install, c1).unwrap();
+        assert_eq!(m.mem().to_vec(r.start, 3), vec![1, 2, 3]);
+        // The restart pointer is cleared at the end.
+        assert_eq!(m.active_handle(0), NULL_HANDLE);
+    }
+
+    #[test]
+    fn installs_write_restart_pointer() {
+        let m = machine_with(FaultConfig::none());
+        let c2 = final_capsule("c2", |_| Ok(()));
+        let c1 = step_capsule("c1", |_| Ok(()), c2);
+        let mut ctx = m.ctx(0);
+        let mut install = InstallCtx::new(m.proc_meta(0));
+        let step = run_capsule(&mut ctx, m.arena(), &mut install, &c1, None, None).unwrap();
+        // After c1 completes, the active handle resolves to c2's closure.
+        let h = m.active_handle(0);
+        assert_ne!(h, NULL_HANDLE);
+        assert_eq!(m.arena().get(h).unwrap().name(), "c2");
+        match step {
+            Step::Next(c) => assert_eq!(c.name(), "c2"),
+            Step::Done => panic!("expected Next"),
+        }
+    }
+
+    #[test]
+    fn soft_faults_restart_until_success_with_identical_effects() {
+        let m = machine_with(FaultConfig::soft(0.2, 1234));
+        let r = m.alloc_region(64);
+        // A chain of 8 capsules each writing a distinct word.
+        let mut cur = final_capsule("last", move |ctx| ctx.pwrite(r.at(63), 100));
+        for i in (0..8).rev() {
+            let prev = cur;
+            cur = step_capsule("step", move |ctx| ctx.pwrite(r.at(i), i as u64 + 1), prev);
+        }
+        let mut ctx = m.ctx(0);
+        let mut install = InstallCtx::new(m.proc_meta(0));
+        run_chain(&mut ctx, m.arena(), &mut install, cur).unwrap();
+        for i in 0..8 {
+            assert_eq!(m.mem().load(r.at(i)), i as u64 + 1);
+        }
+        assert_eq!(m.mem().load(r.at(63)), 100);
+        let snap = m.snapshot();
+        assert!(snap.soft_faults > 0, "f=0.2 over ~27 writes must fault");
+        assert!(snap.capsule_restarts() > 0);
+    }
+
+    #[test]
+    fn hard_fault_stops_chain_and_leaves_restart_pointer() {
+        let m = machine_with(FaultConfig::none().with_scheduled_hard_fault(0, 6));
+        let r = m.alloc_region(8);
+        let c3 = final_capsule("c3", move |ctx| ctx.pwrite(r.at(2), 3));
+        let c2 = step_capsule("c2", move |ctx| ctx.pwrite(r.at(1), 2), c3);
+        let c1 = step_capsule("c1", move |ctx| ctx.pwrite(r.at(0), 1), c2);
+        let mut ctx = m.ctx(0);
+        let mut install = InstallCtx::new(m.proc_meta(0));
+        let err = run_chain(&mut ctx, m.arena(), &mut install, c1).unwrap_err();
+        assert_eq!(err, Fault::Hard);
+        assert!(!m.liveness().is_live(0));
+        // c1 completed (writes: r0, slot, active = 3, then c2 starts:
+        // write r1 (4), install c3: slot (5), active faults at access 6).
+        // The restart pointer still points at the last *installed* capsule,
+        // so a thief could resume from there.
+        let h = m.active_handle(0);
+        assert_ne!(h, NULL_HANDLE);
+        assert!(m.arena().get(h).is_some());
+    }
+
+    #[test]
+    fn total_work_under_faults_is_constant_factor_of_faultless() {
+        // A long chain; compare W (f = 0) with W_f (f = 0.05) — Theorem 3.2
+        // style accounting at engine level.
+        let build = |_m: &Machine, r: ppm_pm::Region| {
+            let mut cur = final_capsule("last", |_| Ok(()));
+            for i in (0..200usize).rev() {
+                let prev = cur;
+                cur = step_capsule("s", move |ctx| ctx.pwrite(r.at(i % 64), 1), prev);
+            }
+            cur
+        };
+        let faultless = {
+            let m = machine_with(FaultConfig::none());
+            let r = m.alloc_region(64);
+            let mut ctx = m.ctx(0);
+            let mut install = InstallCtx::new(m.proc_meta(0));
+            run_chain(&mut ctx, m.arena(), &mut install, build(&m, r)).unwrap();
+            m.snapshot().total_work()
+        };
+        let faulty = {
+            let m = machine_with(FaultConfig::soft(0.05, 77));
+            let r = m.alloc_region(64);
+            let mut ctx = m.ctx(0);
+            let mut install = InstallCtx::new(m.proc_meta(0));
+            run_chain(&mut ctx, m.arena(), &mut install, build(&m, r)).unwrap();
+            m.snapshot().total_work()
+        };
+        assert!(faulty >= faultless);
+        assert!(
+            (faulty as f64) < 2.0 * faultless as f64,
+            "W_f = {faulty} should be within a small constant of W = {faultless}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no scheduler")]
+    fn fork_without_scheduler_panics() {
+        let m = machine_with(FaultConfig::none());
+        let forker = capsule("forker", |_ctx| {
+            Ok(Next::Fork {
+                child: crate::capsule::end_capsule(),
+                cont: crate::capsule::end_capsule(),
+            })
+        });
+        let mut ctx = m.ctx(0);
+        let mut install = InstallCtx::new(m.proc_meta(0));
+        let _ = run_chain(&mut ctx, m.arena(), &mut install, forker);
+    }
+}

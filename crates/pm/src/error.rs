@@ -1,0 +1,55 @@
+//! Fault signalling.
+//!
+//! A fault in the PM model is not an error in the program being run — it is
+//! an event of the machine. The substrate models it as an `Err(Fault)`
+//! propagated out of the running capsule body; the capsule engine in
+//! `ppm-core` catches it and either re-runs the capsule from its beginning
+//! (soft fault: all ephemeral state is discarded, exactly the model's
+//! restart-from-restart-pointer semantics) or marks the processor dead
+//! (hard fault).
+
+use std::fmt;
+
+/// A processor fault, injected between two persistent-memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// The processor loses all ephemeral memory and registers and restarts
+    /// from the restart pointer (the beginning of the active capsule).
+    Soft,
+    /// The processor dies and never restarts. Other processors observe this
+    /// through the liveness oracle and may steal its in-progress thread.
+    Hard,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Soft => write!(f, "soft fault (processor restarts)"),
+            Fault::Hard => write!(f, "hard fault (processor dead)"),
+        }
+    }
+}
+
+/// Result of any costed persistent-memory operation: the operation either
+/// completed, or the processor faulted before performing it.
+pub type PmResult<T> = Result<T, Fault>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Fault::Soft.to_string().contains("soft"));
+        assert!(Fault::Hard.to_string().contains("hard"));
+    }
+
+    #[test]
+    fn fault_is_small_and_copyable() {
+        // Fault is threaded through every memory access; keep it tiny.
+        assert_eq!(std::mem::size_of::<Fault>(), 1);
+        let f = Fault::Soft;
+        let g = f; // Copy
+        assert_eq!(f, g);
+    }
+}

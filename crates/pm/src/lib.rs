@@ -1,0 +1,57 @@
+//! # `ppm-pm` — the Persistent Memory substrate
+//!
+//! This crate implements the memory system of the *Parallel Persistent
+//! Memory* (Parallel-PM) model of Blelloch, Gibbons, Gu, McGuffey and Shun
+//! (SPAA 2018): a large, slow, **persistent** memory of 64-bit words grouped
+//! into blocks of `B` words, shared by `P` processors that each own a small,
+//! fast, **ephemeral** memory of `M` words. Processors may *fault* between
+//! any two persistent-memory accesses; on a *soft* fault all processor state
+//! and ephemeral memory is lost but persistent memory survives, and on a
+//! *hard* fault the processor never restarts.
+//!
+//! The crate provides:
+//!
+//! * [`mem::PersistentMemory`] — the shared word/block store, backed by
+//!   sequentially-consistent atomics, with `CAM` (compare-and-modify, the
+//!   fault-safe primitive of §5 of the paper) and `CAS` (provided only for
+//!   the non-fault-tolerant ABP baseline).
+//! * [`fault::FaultInjector`] — a deterministic, seedable adversary that
+//!   faults each processor with probability ≤ `f` at every persistent access
+//!   and can schedule hard faults, plus the liveness oracle
+//!   `isLive(procId)` of §6.
+//! * [`proc::ProcCtx`] — the per-processor access handle through which *all*
+//!   costed external reads/writes flow; it charges unit cost per block
+//!   transfer, consults the fault injector, and feeds the validators.
+//! * [`stats::MemStats`] — cost accounting for the model's measures: total
+//!   (fault-tolerant) work `W_f`, faultless work `W` (measured with `f = 0`),
+//!   per-processor breakdowns, capsule-work tracking, fault counts.
+//! * [`validate`] — dynamic checkers for the paper's correctness
+//!   conditions: write-after-read conflict freedom within a capsule (§3) and
+//!   well-formedness of ephemeral accesses after restarts.
+//! * [`layout`] — a tiny region allocator for carving the persistent address
+//!   space into scheduler state, per-processor pools, and user arrays.
+//!
+//! Everything is deterministic given a seed, so every experiment in the
+//! reproduction is replayable.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod error;
+pub mod fault;
+pub mod layout;
+pub mod mem;
+pub mod proc;
+pub mod stats;
+pub mod validate;
+pub mod word;
+
+pub use config::{FaultConfig, PmConfig, ValidateMode};
+pub use error::{Fault, PmResult};
+pub use fault::{FaultInjector, HeartbeatLiveness, Liveness};
+pub use layout::{LayoutBuilder, Region};
+pub use mem::PersistentMemory;
+pub use proc::ProcCtx;
+pub use stats::{MemStats, StatsSnapshot};
+pub use word::{Addr, Word};

@@ -1,0 +1,295 @@
+//! The shared persistent memory.
+//!
+//! A flat array of 64-bit words, grouped into blocks of `B` words. All
+//! accesses are sequentially consistent, matching the model's assumption
+//! that "all instructions involving the persistent memory are sequentially
+//! consistent". The structure itself is *uncosted and fault-free*: cost
+//! accounting and fault injection happen in [`crate::ProcCtx`], the only
+//! path the runtime uses. Direct access here is for machine setup, test
+//! oracles, and result extraction.
+//!
+//! Two conditional-update primitives are provided, mirroring §5:
+//!
+//! * [`PersistentMemory::cam`] — **compare-and-modify**: a CAS whose result
+//!   is *not observable* by the caller (the method returns `()`), which is
+//!   the primitive that remains safe under faults.
+//! * [`PersistentMemory::cas_unsafe_under_faults`] — a full CAS returning
+//!   success. The paper shows this is **not** safe to use in a faulting
+//!   capsule (the local result is lost on restart and cannot be
+//!   reconstructed); it exists only so the non-fault-tolerant ABP baseline
+//!   scheduler can be implemented for comparison.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::word::{Addr, Word};
+
+/// An observer invoked on every *applied* mutation of a watched word:
+/// `(addr, previous value, new value)`. Used by experiments (e.g. the
+/// Figure 4 entry-state transition matrix) and debugging; it sits outside
+/// the model and does not affect cost or semantics.
+pub type WriteObserver = Arc<dyn Fn(Addr, Word, Word) + Send + Sync>;
+
+/// The shared persistent memory of one Parallel-PM machine.
+pub struct PersistentMemory {
+    words: Box<[AtomicU64]>,
+    block_size: usize,
+    observer: RwLock<Option<WriteObserver>>,
+}
+
+impl std::fmt::Debug for PersistentMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PersistentMemory({} words, B={})",
+            self.words.len(),
+            self.block_size
+        )
+    }
+}
+
+impl PersistentMemory {
+    /// Allocates `words` zero-initialized words with block size `block_size`.
+    pub fn new(words: usize, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        let mut v = Vec::with_capacity(words);
+        v.resize_with(words, || AtomicU64::new(0));
+        PersistentMemory {
+            words: v.into_boxed_slice(),
+            block_size,
+            observer: RwLock::new(None),
+        }
+    }
+
+    /// Installs a write observer (see [`WriteObserver`]). Pass `None` to
+    /// remove. Observation is best-effort ordering-wise across addresses,
+    /// but per-address it sees every applied mutation exactly once with
+    /// the true previous value.
+    pub fn set_observer(&self, obs: Option<WriteObserver>) {
+        *self.observer.write() = obs;
+    }
+
+    #[inline]
+    fn observe(&self, addr: Addr, prev: Word, new: Word) {
+        if let Some(obs) = self.observer.read().as_ref() {
+            obs(addr, prev, new);
+        }
+    }
+
+    /// Capacity in words (`M_p`).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the memory has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Block size `B` in words.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of whole blocks.
+    pub fn blocks(&self) -> usize {
+        self.words.len() / self.block_size
+    }
+
+    /// Sequentially-consistent load of one word.
+    #[inline]
+    pub fn load(&self, addr: Addr) -> Word {
+        self.words[addr].load(Ordering::SeqCst)
+    }
+
+    /// Sequentially-consistent store of one word.
+    #[inline]
+    pub fn store(&self, addr: Addr, value: Word) {
+        let prev = self.words[addr].swap(value, Ordering::SeqCst);
+        self.observe(addr, prev, value);
+    }
+
+    /// Compare-and-modify (§5): atomically, if the word at `addr` equals
+    /// `old`, replace it with `new`. The swap result is deliberately not
+    /// returned — a capsule that faults right after a CAS cannot recover
+    /// the local result, so any program logic depending on it would not be
+    /// idempotent. Success must instead be observed by *reading the
+    /// location in a later capsule* (the test-and-set idiom of §5).
+    #[inline]
+    pub fn cam(&self, addr: Addr, old: Word, new: Word) {
+        if self.words[addr]
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.observe(addr, old, new);
+        }
+    }
+
+    /// Full compare-and-swap returning whether the swap happened.
+    ///
+    /// **Not safe under faults** (see §5 of the paper and the module docs);
+    /// used only by the ABP baseline, which assumes a fault-free machine.
+    #[inline]
+    pub fn cas_unsafe_under_faults(&self, addr: Addr, old: Word, new: Word) -> bool {
+        let ok = self.words[addr]
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        if ok {
+            self.observe(addr, old, new);
+        }
+        ok
+    }
+
+    /// Atomic fetch-add, used by test oracles and setup code only (the
+    /// model's instruction set has no fetch-add; runtime code never calls
+    /// this).
+    #[inline]
+    pub fn fetch_add(&self, addr: Addr, delta: Word) -> Word {
+        self.words[addr].fetch_add(delta, Ordering::SeqCst)
+    }
+
+    /// Copies the block containing no part of cost accounting: reads
+    /// `dst.len()` words starting at `addr` (setup/oracle use).
+    pub fn read_range(&self, addr: Addr, dst: &mut [Word]) {
+        for (i, d) in dst.iter_mut().enumerate() {
+            *d = self.load(addr + i);
+        }
+    }
+
+    /// Writes `src` into consecutive words starting at `addr` (setup/oracle
+    /// use; uncosted).
+    pub fn write_range(&self, addr: Addr, src: &[Word]) {
+        for (i, s) in src.iter().enumerate() {
+            self.store(addr + i, *s);
+        }
+    }
+
+    /// Extracts `len` words starting at `addr` into a `Vec` (oracle use).
+    pub fn to_vec(&self, addr: Addr, len: usize) -> Vec<Word> {
+        let mut v = vec![0; len];
+        self.read_range(addr, &mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn memory_is_zero_initialized() {
+        let m = PersistentMemory::new(64, 8);
+        assert_eq!(m.len(), 64);
+        assert_eq!(m.blocks(), 8);
+        for a in 0..64 {
+            assert_eq!(m.load(a), 0);
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let m = PersistentMemory::new(16, 4);
+        m.store(3, 0xDEAD_BEEF);
+        assert_eq!(m.load(3), 0xDEAD_BEEF);
+        assert_eq!(m.load(2), 0);
+    }
+
+    #[test]
+    fn cam_swaps_only_on_match() {
+        let m = PersistentMemory::new(4, 1);
+        m.store(0, 10);
+        m.cam(0, 10, 20); // matches
+        assert_eq!(m.load(0), 20);
+        m.cam(0, 10, 30); // stale expectation: no effect
+        assert_eq!(m.load(0), 20);
+    }
+
+    #[test]
+    fn cam_is_idempotent_when_non_reverting() {
+        // Re-running a CAM capsule: the second identical CAM fails silently,
+        // leaving memory as if it ran once (Theorem 5.2's mechanism).
+        let m = PersistentMemory::new(1, 1);
+        m.store(0, 0);
+        m.cam(0, 0, 7);
+        m.cam(0, 0, 7); // restart replays the same CAM
+        assert_eq!(m.load(0), 7);
+    }
+
+    #[test]
+    fn cas_reports_success_and_failure() {
+        let m = PersistentMemory::new(1, 1);
+        assert!(m.cas_unsafe_under_faults(0, 0, 5));
+        assert!(!m.cas_unsafe_under_faults(0, 0, 6));
+        assert_eq!(m.load(0), 5);
+    }
+
+    #[test]
+    fn ranges_round_trip() {
+        let m = PersistentMemory::new(32, 8);
+        m.write_range(8, &[1, 2, 3, 4]);
+        assert_eq!(m.to_vec(8, 4), vec![1, 2, 3, 4]);
+        assert_eq!(m.to_vec(12, 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn concurrent_cams_from_unset_have_exactly_one_winner() {
+        // The test-and-set idiom of §5: N threads CAM the same location
+        // from UNSET (0) to their id; exactly one must win.
+        let m = Arc::new(PersistentMemory::new(1, 1));
+        let threads = 8;
+        let mut handles = Vec::new();
+        for t in 1..=threads {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                m.cam(0, 0, t as Word);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let winner = m.load(0);
+        assert!((1..=threads as Word).contains(&winner));
+    }
+
+    #[test]
+    fn observer_sees_applied_mutations_with_previous_values() {
+        use parking_lot::Mutex;
+        let m = PersistentMemory::new(4, 1);
+        let log: Arc<Mutex<Vec<(Addr, Word, Word)>>> = Arc::new(Mutex::new(Vec::new()));
+        let log2 = log.clone();
+        m.set_observer(Some(Arc::new(move |a, p, n| log2.lock().push((a, p, n)))));
+        m.store(0, 5);
+        m.cam(0, 5, 6); // applies
+        m.cam(0, 5, 7); // does not apply: unobserved
+        assert!(m.cas_unsafe_under_faults(1, 0, 9));
+        assert_eq!(
+            *log.lock(),
+            vec![(0, 0, 5), (0, 5, 6), (1, 0, 9)],
+            "only applied mutations observed, with true previous values"
+        );
+        m.set_observer(None);
+        m.store(2, 1);
+        assert_eq!(log.lock().len(), 3);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_atomic() {
+        let m = Arc::new(PersistentMemory::new(1, 1));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    m.fetch_add(0, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.load(0), 4000);
+    }
+}

@@ -1,0 +1,315 @@
+//! Cost accounting for the PM model.
+//!
+//! The model charges unit cost for each external (persistent-memory) read or
+//! write and zero for everything else. Two totals matter:
+//!
+//! * **faultless work `W`** — transfers assuming no faults. Measured by
+//!   running the same seeded computation with `FaultConfig::none()`.
+//! * **total work `W_f`** — transfers in an actual run including all
+//!   repeated work due to restarts. This is what [`MemStats`] counts.
+//!
+//! The stats also track capsule-level quantities (the maximum capsule work
+//! `C` appears in the scheduler bound `f ≤ 1/(2C)`), fault counts, capsule
+//! restarts, and validation violations when running in `Record` mode.
+//!
+//! All counters are relaxed atomics: they are monotone event counts whose
+//! exact interleaving does not matter, and contention on them must not
+//! perturb the concurrency being measured.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One processor's counters. Padded out by being its own cache line in the
+/// parent `Vec` is unnecessary here — counts are low-rate relative to the
+/// simulated work.
+#[derive(Debug, Default)]
+pub struct ProcStats {
+    /// External reads performed by this processor (including re-runs).
+    pub reads: AtomicU64,
+    /// External writes performed by this processor (including re-runs).
+    pub writes: AtomicU64,
+    /// Soft faults suffered.
+    pub soft_faults: AtomicU64,
+    /// Hard faults suffered (0 or 1).
+    pub hard_faults: AtomicU64,
+    /// Capsule executions started (first runs + restarts).
+    pub capsule_runs: AtomicU64,
+    /// Capsule executions that completed (installed a successor).
+    pub capsule_completions: AtomicU64,
+}
+
+/// Shared, thread-safe statistics for one machine instance.
+#[derive(Debug)]
+pub struct MemStats {
+    per_proc: Vec<ProcStats>,
+    /// Maximum capsule work (external transfers in one successful capsule
+    /// run) observed anywhere; this is the empirical `C`.
+    max_capsule_work: AtomicU64,
+    /// Write-after-read conflicts observed (only counted in `Record` mode;
+    /// `Strict` panics instead).
+    war_conflicts: AtomicU64,
+    /// Ephemeral well-formedness violations observed (`Record` mode).
+    wellformed_violations: AtomicU64,
+}
+
+impl MemStats {
+    /// Creates zeroed statistics for `procs` processors.
+    pub fn new(procs: usize) -> Self {
+        MemStats {
+            per_proc: (0..procs).map(|_| ProcStats::default()).collect(),
+            max_capsule_work: AtomicU64::new(0),
+            war_conflicts: AtomicU64::new(0),
+            wellformed_violations: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of processors being tracked.
+    pub fn procs(&self) -> usize {
+        self.per_proc.len()
+    }
+
+    /// Records one external read by `proc`.
+    #[inline]
+    pub fn record_read(&self, proc: usize) {
+        self.per_proc[proc].reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one external write by `proc`.
+    #[inline]
+    pub fn record_write(&self, proc: usize) {
+        self.per_proc[proc].writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a soft fault on `proc`.
+    #[inline]
+    pub fn record_soft_fault(&self, proc: usize) {
+        self.per_proc[proc].soft_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a hard fault on `proc`.
+    #[inline]
+    pub fn record_hard_fault(&self, proc: usize) {
+        self.per_proc[proc].hard_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the start of a capsule execution (first run or restart).
+    #[inline]
+    pub fn record_capsule_run(&self, proc: usize) {
+        self.per_proc[proc].capsule_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed capsule and its work; updates the empirical
+    /// maximum capsule work `C`.
+    #[inline]
+    pub fn record_capsule_completion(&self, proc: usize, capsule_work: u64) {
+        self.per_proc[proc]
+            .capsule_completions
+            .fetch_add(1, Ordering::Relaxed);
+        self.max_capsule_work
+            .fetch_max(capsule_work, Ordering::Relaxed);
+    }
+
+    /// Records a write-after-read conflict (Record mode only).
+    #[inline]
+    pub fn record_war_conflict(&self) {
+        self.war_conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an ephemeral well-formedness violation (Record mode only).
+    #[inline]
+    pub fn record_wellformed_violation(&self) {
+        self.wellformed_violations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters. (Counters are
+    /// independently relaxed; snapshots taken while the machine is quiescent
+    /// — the normal case, after a run completes — are exact.)
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut s = StatsSnapshot {
+            per_proc: Vec::with_capacity(self.per_proc.len()),
+            ..StatsSnapshot::default()
+        };
+        for p in &self.per_proc {
+            let ps = ProcSnapshot {
+                reads: p.reads.load(Ordering::Relaxed),
+                writes: p.writes.load(Ordering::Relaxed),
+                soft_faults: p.soft_faults.load(Ordering::Relaxed),
+                hard_faults: p.hard_faults.load(Ordering::Relaxed),
+                capsule_runs: p.capsule_runs.load(Ordering::Relaxed),
+                capsule_completions: p.capsule_completions.load(Ordering::Relaxed),
+            };
+            s.total_reads += ps.reads;
+            s.total_writes += ps.writes;
+            s.soft_faults += ps.soft_faults;
+            s.hard_faults += ps.hard_faults;
+            s.capsule_runs += ps.capsule_runs;
+            s.capsule_completions += ps.capsule_completions;
+            s.per_proc.push(ps);
+        }
+        s.max_capsule_work = self.max_capsule_work.load(Ordering::Relaxed);
+        s.war_conflicts = self.war_conflicts.load(Ordering::Relaxed);
+        s.wellformed_violations = self.wellformed_violations.load(Ordering::Relaxed);
+        s
+    }
+}
+
+/// Point-in-time copy of one processor's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcSnapshot {
+    /// External reads.
+    pub reads: u64,
+    /// External writes.
+    pub writes: u64,
+    /// Soft faults.
+    pub soft_faults: u64,
+    /// Hard faults.
+    pub hard_faults: u64,
+    /// Capsule runs started.
+    pub capsule_runs: u64,
+    /// Capsule runs completed.
+    pub capsule_completions: u64,
+}
+
+/// Point-in-time copy of a machine's statistics.
+#[derive(Debug, Clone, Default)]
+pub struct StatsSnapshot {
+    /// Per-processor counters.
+    pub per_proc: Vec<ProcSnapshot>,
+    /// Sum of reads over processors.
+    pub total_reads: u64,
+    /// Sum of writes over processors.
+    pub total_writes: u64,
+    /// Total soft faults.
+    pub soft_faults: u64,
+    /// Total hard faults.
+    pub hard_faults: u64,
+    /// Total capsule runs started (first runs + restarts).
+    pub capsule_runs: u64,
+    /// Total capsule runs completed.
+    pub capsule_completions: u64,
+    /// Empirical maximum capsule work `C`.
+    pub max_capsule_work: u64,
+    /// Write-after-read conflicts observed (Record mode).
+    pub war_conflicts: u64,
+    /// Well-formedness violations observed (Record mode).
+    pub wellformed_violations: u64,
+}
+
+impl StatsSnapshot {
+    /// Total external transfers: the model's total work `W_f` for this run.
+    pub fn total_work(&self) -> u64 {
+        self.total_reads + self.total_writes
+    }
+
+    /// Total work under the **Asymmetric PM model** of the paper's
+    /// footnote 2: external writes cost `omega ≥ 1` times an external
+    /// read (the NVM asymmetry the authors' prior work studies). With
+    /// `omega = 1` this is [`StatsSnapshot::total_work`].
+    pub fn asymmetric_work(&self, omega: u64) -> u64 {
+        self.total_reads + omega * self.total_writes
+    }
+
+    /// Asymmetric-model time: maximum weighted work over processors.
+    pub fn asymmetric_time(&self, omega: u64) -> u64 {
+        self.per_proc
+            .iter()
+            .map(|p| p.reads + omega * p.writes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Capsule restarts (runs that did not complete because of a fault).
+    pub fn capsule_restarts(&self) -> u64 {
+        self.capsule_runs.saturating_sub(self.capsule_completions)
+    }
+
+    /// The maximum work done by any one processor — the model's notion of
+    /// (total) *time* `T_f` under the unit-cost-transfer accounting.
+    pub fn time(&self) -> u64 {
+        self.per_proc
+            .iter()
+            .map(|p| p.reads + p.writes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_proc() {
+        let s = MemStats::new(2);
+        s.record_read(0);
+        s.record_read(0);
+        s.record_write(1);
+        s.record_soft_fault(1);
+        let snap = s.snapshot();
+        assert_eq!(snap.per_proc[0].reads, 2);
+        assert_eq!(snap.per_proc[1].writes, 1);
+        assert_eq!(snap.per_proc[1].soft_faults, 1);
+        assert_eq!(snap.total_work(), 3);
+    }
+
+    #[test]
+    fn max_capsule_work_is_a_max() {
+        let s = MemStats::new(1);
+        s.record_capsule_completion(0, 5);
+        s.record_capsule_completion(0, 3);
+        s.record_capsule_completion(0, 9);
+        assert_eq!(s.snapshot().max_capsule_work, 9);
+    }
+
+    #[test]
+    fn restarts_are_runs_minus_completions() {
+        let s = MemStats::new(1);
+        s.record_capsule_run(0);
+        s.record_capsule_run(0);
+        s.record_capsule_run(0);
+        s.record_capsule_completion(0, 1);
+        assert_eq!(s.snapshot().capsule_restarts(), 2);
+    }
+
+    #[test]
+    fn asymmetric_work_weights_writes() {
+        let s = MemStats::new(2);
+        s.record_read(0);
+        s.record_read(0);
+        s.record_write(1);
+        let snap = s.snapshot();
+        assert_eq!(snap.asymmetric_work(1), snap.total_work());
+        assert_eq!(snap.asymmetric_work(10), 2 + 10);
+        assert_eq!(snap.asymmetric_time(10), 10); // proc 1: one write
+    }
+
+    #[test]
+    fn time_is_max_over_processors() {
+        let s = MemStats::new(3);
+        s.record_read(0);
+        s.record_read(1);
+        s.record_read(1);
+        s.record_write(1);
+        s.record_write(2);
+        let snap = s.snapshot();
+        assert_eq!(snap.time(), 3); // proc 1 did 3 transfers
+        assert_eq!(snap.total_work(), 5);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let s = std::sync::Arc::new(MemStats::new(4));
+        let mut handles = Vec::new();
+        for p in 0..4 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    s.record_read(p);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().total_reads, 40_000);
+    }
+}

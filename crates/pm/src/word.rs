@@ -1,0 +1,91 @@
+//! Fundamental units of the persistent memory: words and addresses.
+//!
+//! The PM model assumes words of `Θ(log M_p)` bits; we use 64-bit words,
+//! which comfortably index any memory we can simulate. Addresses are word
+//! indices into the persistent memory; a *block* is `B` consecutive words
+//! starting at a multiple of `B`, matching the `(M, B)` external-memory
+//! conventions the model inherits.
+
+/// A persistent-memory word. All data, tags, pointers (continuation handles)
+/// and packed deque entries are stored as `Word`s.
+pub type Word = u64;
+
+/// A word address: an index into the persistent memory's word array.
+pub type Addr = usize;
+
+/// Returns the block index containing word address `addr` for block size `b`.
+///
+/// Cost accounting charges one external transfer per *block*, so two word
+/// accesses within the same block during one transfer would cost one unit;
+/// the substrate conservatively charges per access, which only over-counts
+/// by a constant factor (the bounds in the paper are asymptotic).
+#[inline]
+pub fn block_of(addr: Addr, b: usize) -> usize {
+    debug_assert!(b > 0, "block size must be positive");
+    addr / b
+}
+
+/// Returns the first word address of block `block` for block size `b`.
+#[inline]
+pub fn block_start(block: usize, b: usize) -> Addr {
+    block * b
+}
+
+/// Rounds `n` up to the next multiple of the block size `b`.
+#[inline]
+pub fn round_up_to_block(n: usize, b: usize) -> usize {
+    debug_assert!(b > 0, "block size must be positive");
+    n.div_ceil(b) * b
+}
+
+/// Interprets a word as a signed 64-bit integer (two's complement).
+///
+/// The RAM and EM virtual machines in `ppm-sim` use signed arithmetic; the
+/// persistent memory itself is typeless.
+#[inline]
+pub fn as_i64(w: Word) -> i64 {
+    w as i64
+}
+
+/// Interprets a signed 64-bit integer as a word (two's complement).
+#[inline]
+pub fn from_i64(v: i64) -> Word {
+    v as Word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_of_maps_addresses_to_blocks() {
+        assert_eq!(block_of(0, 8), 0);
+        assert_eq!(block_of(7, 8), 0);
+        assert_eq!(block_of(8, 8), 1);
+        assert_eq!(block_of(63, 8), 7);
+    }
+
+    #[test]
+    fn block_start_is_inverse_of_block_of_on_boundaries() {
+        for b in [1usize, 2, 8, 64] {
+            for blk in [0usize, 1, 5, 100] {
+                assert_eq!(block_of(block_start(blk, b), b), blk);
+            }
+        }
+    }
+
+    #[test]
+    fn round_up_covers_partial_blocks() {
+        assert_eq!(round_up_to_block(0, 8), 0);
+        assert_eq!(round_up_to_block(1, 8), 8);
+        assert_eq!(round_up_to_block(8, 8), 8);
+        assert_eq!(round_up_to_block(9, 8), 16);
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, -123456789] {
+            assert_eq!(as_i64(from_i64(v)), v);
+        }
+    }
+}

@@ -1,0 +1,635 @@
+//! The fault-tolerant work-stealing scheduler of Figure 3, as capsules.
+//!
+//! Every scheduler operation is decomposed into capsules exactly at the
+//! paper's `commit` boundaries, with "all CAM instructions ... in separate
+//! capsules" (Figure 3's caption). Locals that cross a boundary are carried
+//! in the next capsule's closure, which is how the paper persists them.
+//! Each capsule is one of §5's atomically idempotent forms — racy-read,
+//! racy-write, or CAM capsules — except `pushBottom`'s conditional push and
+//! `clearBottom`, which the paper deliberately keeps as single capsules and
+//! proves idempotent via the entry tags (Lemmas A.6, A.12); those two are
+//! built with [`capsule_unchecked`].
+//!
+//! Processor identity is *dynamic*, exactly like Figure 3's `getProcNum()`:
+//! a capsule body evaluates `ctx.proc()` when it runs, so a capsule resumed
+//! by an adopting thief (after the original processor hard-faulted) pushes
+//! to and pops from the *thief's* deque, while in-progress operations keep
+//! targeting the deque captured in their closure — the paper's semantics
+//! for `states[getProcNum()]` versus a method already executing on a
+//! `procState`.
+//!
+//! ## One deviation from Figure 3 as written (documented in DESIGN.md)
+//!
+//! In `popBottom`, if the owner hard-faults between the successful CAM
+//! (job → local) and the jump to the claimed thread, the local entry is
+//! stolen and the adopting thief resumes the check capsule — which then
+//! finds the entry `taken` (the thief's own steal) rather than `local`,
+//! and Figure 3 as written would return NULL, dropping the thread. Lemma
+//! A.10's prose states the intent: the resumed capsule's closure still
+//! holds the continuation, "which will then be jumped to". We therefore
+//! also jump to the claimed thread when the entry is observed `taken`; only
+//! the uniquely-successful adopting thief can observe that state (gated by
+//! `popTop`'s `stack[i] == new` check), so the thread still runs exactly
+//! once.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ppm_core::{capsule, capsule_unchecked, Cont, DoneFlag, Machine, Next, ProcMeta};
+use ppm_pm::Word;
+
+use crate::deque::{build_deques, DequeAddrs};
+use crate::entry::{kind_of, pack, tag_of, unpack, EntryKind, EntryVal, MAX_PROCS};
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Deque slots per processor. The WS-deque never deletes entries, so
+    /// this must cover the computation's forks-per-processor plus steals
+    /// (§6.3: "enough empty entries to complete the computation").
+    pub deque_slots: usize,
+    /// Seed for deterministic victim selection.
+    pub seed: u64,
+    /// Install a write observer asserting the Figure 4 entry-transition
+    /// table on every deque mutation (tests and the E11 experiment).
+    pub check_transitions: bool,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            deque_slots: 1 << 14,
+            seed: 0x5EED_CAFE,
+            check_transitions: false,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// Config with a given deque size.
+    pub fn with_slots(slots: usize) -> Self {
+        SchedConfig {
+            deque_slots: slots,
+            ..Default::default()
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Shared scheduler state: deque addresses, processor metadata, the
+/// continuation arena, and the computation's completion flag.
+pub struct Sched {
+    p: usize,
+    deques: Vec<DequeAddrs>,
+    metas: Vec<ProcMeta>,
+    arena: Arc<ppm_core::ContArena>,
+    done: DoneFlag,
+    seed: u64,
+    /// Per-processor steal-attempt epochs (victim-selection stream state;
+    /// ephemeral, affects only which victim is probed next).
+    epochs: Vec<AtomicU64>,
+}
+
+impl Sched {
+    /// Builds scheduler state on a machine: carves the deques and captures
+    /// the shared handles.
+    pub fn new(machine: &Machine, done: DoneFlag, cfg: &SchedConfig) -> Arc<Self> {
+        let p = machine.procs();
+        assert!((1..=MAX_PROCS).contains(&p), "P must be in 1..={MAX_PROCS}");
+        assert!(
+            cfg.deque_slots < crate::entry::MAX_SLOTS,
+            "deque_slots exceeds taken-payload capacity"
+        );
+        let deques = build_deques(machine, cfg.deque_slots);
+        if cfg.check_transitions {
+            install_transition_checker(machine, &deques);
+        }
+        Arc::new(Sched {
+            p,
+            metas: (0..p).map(|i| machine.proc_meta(i)).collect(),
+            arena: machine.arena().clone(),
+            done,
+            seed: cfg.seed,
+            epochs: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            deques,
+        })
+    }
+
+    /// The deque addresses (read-only; used by the driver and tests).
+    pub fn deques(&self) -> &[DequeAddrs] {
+        &self.deques
+    }
+
+    /// The completion flag.
+    pub fn done(&self) -> DoneFlag {
+        self.done
+    }
+
+    fn d(&self, p: usize) -> DequeAddrs {
+        self.deques[p]
+    }
+
+    fn pick_victim(&self, thief: usize, n: u64) -> Option<usize> {
+        if self.p <= 1 {
+            return None;
+        }
+        let r = splitmix64(self.seed ^ ((thief as u64) << 40) ^ n) as usize;
+        let v = r % (self.p - 1);
+        Some(if v >= thief { v + 1 } else { v })
+    }
+
+    // ==================================================================
+    // scheduler() — entry after a thread finishes (Figure 3 lines 117-122)
+    // ==================================================================
+
+    /// The capsule installed when a thread ends: `clearBottom` on the
+    /// executing processor's deque, then `findWork`. Unchecked: clearBottom
+    /// reads the bottom entry's tag and rewrites it (Lemma A.12's
+    /// idempotence argument).
+    pub fn scheduler_entry(self: &Arc<Self>) -> Cont {
+        let s = self.clone();
+        capsule_unchecked("sched/clearBottom", move |ctx| {
+            let me = ctx.proc();
+            let d = s.d(me);
+            let b = ctx.pread(d.bot)? as usize;
+            let cur = ctx.pread(d.entry(b))?;
+            ctx.pwrite(d.entry(b), pack(tag_of(cur).wrapping_add(1), EntryVal::Empty))?;
+            Ok(Next::Jump(s.find_work()))
+        })
+    }
+
+    // ==================================================================
+    // findWork / popBottom (Figure 3 lines 81-93, 95-98)
+    // ==================================================================
+
+    /// `findWork`: try `popBottom`, then steal. Shared across processors
+    /// (processor identity is dynamic). This is also the initial capsule of
+    /// every non-root processor.
+    pub fn find_work(self: &Arc<Self>) -> Cont {
+        let s = self.clone();
+        // popBottom capsule 1 (lines 82-84): read bot and the entry below
+        // it, then commit.
+        capsule("sched/popBottom/read", move |ctx| {
+            let me = ctx.proc();
+            let d = s.d(me);
+            let b = ctx.pread(d.bot)? as usize;
+            if b == 0 {
+                // Deque empty (nothing was ever pushed, or everything below
+                // was consumed): no local work.
+                return Ok(Next::Jump(s.steal_attempt(s.next_epoch(me))));
+            }
+            let old = ctx.pread(d.entry(b - 1))?;
+            match unpack(old) {
+                (_, EntryVal::Job { handle }) => Ok(Next::Jump(s.pop_bottom_cam(d, b, old, handle))),
+                _ => Ok(Next::Jump(s.steal_attempt(s.next_epoch(me)))),
+            }
+        })
+    }
+
+    fn next_epoch(&self, me: usize) -> u64 {
+        // A fresh victim-selection stream index per findWork entry. Only
+        // steers randomness; re-running the creating capsule may draw a new
+        // stream, which is harmless (see module docs).
+        self.epochs[me].fetch_add(1 << 32, Ordering::Relaxed)
+    }
+
+    /// popBottom capsule 2 (line 86): the CAM, alone in its capsule.
+    fn pop_bottom_cam(self: &Arc<Self>, d: DequeAddrs, b: usize, old: Word, f: Word) -> Cont {
+        let s = self.clone();
+        capsule("sched/popBottom/cam", move |ctx| {
+            let new = pack(tag_of(old).wrapping_add(1), EntryVal::Local);
+            ctx.pcam(d.entry(b - 1), old, new)?;
+            Ok(Next::Jump(s.pop_bottom_check(d, b, new, f)))
+        })
+    }
+
+    /// popBottom capsule 3 (lines 87-92): observe the CAM, take the job or
+    /// give up. Includes the Lemma A.10 adoption case (module docs).
+    fn pop_bottom_check(self: &Arc<Self>, d: DequeAddrs, b: usize, new: Word, f: Word) -> Cont {
+        let s = self.clone();
+        capsule("sched/popBottom/check", move |ctx| {
+            let cur = ctx.pread(d.entry(b - 1))?;
+            if cur == new {
+                ctx.pwrite(d.bot, (b - 1) as Word)?;
+                let cont = s.resolve(f);
+                return Ok(Next::Jump(cont));
+            }
+            if kind_of(cur) == EntryKind::Taken && tag_of(cur) == tag_of(new).wrapping_add(1) {
+                // Our CAM succeeded, the owner died, and we (the uniquely
+                // successful adopting thief) already turned the local entry
+                // into taken. Run the claimed thread (Lemma A.10).
+                let cont = s.resolve(f);
+                return Ok(Next::Jump(cont));
+            }
+            let me = ctx.proc();
+            Ok(Next::Jump(s.steal_attempt(s.next_epoch(me))))
+        })
+    }
+
+    fn resolve(&self, handle: Word) -> Cont {
+        self.arena
+            .get(handle)
+            .unwrap_or_else(|| panic!("dangling continuation handle {handle} — scheduler bug"))
+    }
+
+    // ==================================================================
+    // Steal loop (findWork lines 100-107)
+    // ==================================================================
+
+    /// One steal attempt: check for termination, pick a victim, read our
+    /// own bottom entry reference, and enter the victim's `popTop`.
+    fn steal_attempt(self: &Arc<Self>, n: u64) -> Cont {
+        let s = self.clone();
+        capsule("sched/steal", move |ctx| {
+            if s.done.read(ctx)? {
+                return Ok(Next::Halt);
+            }
+            let me = ctx.proc();
+            let victim = match s.pick_victim(me, n) {
+                Some(v) => v,
+                None => {
+                    // P = 1: nothing to steal; keep polling the flag.
+                    return Ok(Next::Jump(s.steal_attempt(n + 1)));
+                }
+            };
+            // yield (Figure 3 line 101): give processors holding work the
+            // processor before probing. ABP's yield-to-all keeps steal
+            // attempts from starving workers in multiprogrammed settings —
+            // essential when model processors outnumber cores.
+            std::thread::yield_now();
+            let my = s.d(me);
+            let b = ctx.pread(my.bot)? as usize;
+            let c = tag_of(ctx.pread(my.entry(b))?);
+            // popTop begins with helpPopTop (line 33).
+            let t1 = s.pop_top_read(s.d(victim), me, b, c, n);
+            Ok(Next::Jump(s.help_pop_top(s.d(victim), t1)))
+        })
+    }
+
+    // ==================================================================
+    // helpPopTop (Figure 3 lines 20-27) — three capsules
+    // ==================================================================
+
+    /// `helpPopTop` on deque `d`, then continue with `then`. Capsule 1:
+    /// read `top` and the entry there.
+    fn help_pop_top(self: &Arc<Self>, d: DequeAddrs, then: Cont) -> Cont {
+        let s = self.clone();
+        capsule("sched/help/read", move |ctx| {
+            let t = ctx.pread(d.top)? as usize;
+            let w = ctx.pread(d.entry(t))?;
+            match unpack(w) {
+                (_, EntryVal::Taken { proc, slot, tag }) => {
+                    let ps = s.d(proc).entry(slot);
+                    Ok(Next::Jump(s.help_cam_thief(d, t, ps, tag, then.clone())))
+                }
+                _ => Ok(Next::Jump(then.clone())),
+            }
+        })
+    }
+
+    /// helpPopTop capsule 2 (line 25): set the thief's entry to local.
+    fn help_cam_thief(
+        self: &Arc<Self>,
+        d: DequeAddrs,
+        t: usize,
+        ps: ppm_pm::Addr,
+        i: u16,
+        then: Cont,
+    ) -> Cont {
+        let s = self.clone();
+        capsule("sched/help/camThief", move |ctx| {
+            ctx.pcam(
+                ps,
+                pack(i, EntryVal::Empty),
+                pack(i.wrapping_add(1), EntryVal::Local),
+            )?;
+            Ok(Next::Jump(s.help_cam_top(d, t, then.clone())))
+        })
+    }
+
+    /// helpPopTop capsule 3 (line 26): advance `top`.
+    fn help_cam_top(self: &Arc<Self>, d: DequeAddrs, t: usize, then: Cont) -> Cont {
+        let _ = self;
+        capsule("sched/help/camTop", move |ctx| {
+            ctx.pcam(d.top, t as Word, (t + 1) as Word)?;
+            Ok(Next::Jump(then.clone()))
+        })
+    }
+
+    // ==================================================================
+    // popTop (Figure 3 lines 32-64)
+    // ==================================================================
+
+    /// popTop capsule 1 (lines 34-36): read `top` and the entry, commit,
+    /// then branch. `(thief, e_slot, c)` identify where the stolen thread's
+    /// local entry will live — the thief's bottom entry and its tag.
+    fn pop_top_read(
+        self: &Arc<Self>,
+        v: DequeAddrs,
+        thief: usize,
+        e_slot: usize,
+        c: u16,
+        n: u64,
+    ) -> Cont {
+        let s = self.clone();
+        capsule("sched/popTop/read", move |ctx| {
+            let i = ctx.pread(v.top)? as usize;
+            let old = ctx.pread(v.entry(i))?;
+            match unpack(old) {
+                // Line 39: nothing to steal.
+                (_, EntryVal::Empty) => Ok(Next::Jump(s.steal_attempt(n + 1))),
+                // Lines 41-42: a steal is in progress; help it, then give up.
+                (_, EntryVal::Taken { .. }) => {
+                    Ok(Next::Jump(s.help_pop_top(v, s.steal_attempt(n + 1))))
+                }
+                // Lines 44-49: a job; try to take it.
+                (tag, EntryVal::Job { handle }) => {
+                    let new = pack(
+                        tag.wrapping_add(1),
+                        EntryVal::Taken {
+                            proc: thief,
+                            slot: e_slot,
+                            tag: c,
+                        },
+                    );
+                    Ok(Next::Jump(s.pop_top_cam(v, i, old, new, handle, n)))
+                }
+                // Lines 51-63: local work; steal it only from a dead owner.
+                (tag, EntryVal::Local) => {
+                    if !ctx.is_live(v.owner) {
+                        let recheck = ctx.pread(v.entry(i))?;
+                        if recheck == old {
+                            // commit (line 54), then lines 55-60.
+                            let new = pack(
+                                tag.wrapping_add(1),
+                                EntryVal::Taken {
+                                    proc: thief,
+                                    slot: e_slot,
+                                    tag: c,
+                                },
+                            );
+                            return Ok(Next::Jump(s.pop_top_clear_above_read(v, i, old, new, n)));
+                        }
+                    }
+                    Ok(Next::Jump(s.steal_attempt(n + 1)))
+                }
+            }
+        })
+    }
+
+    /// popTop job-steal CAM (line 46), alone in its capsule; then help,
+    /// then check.
+    fn pop_top_cam(
+        self: &Arc<Self>,
+        v: DequeAddrs,
+        i: usize,
+        old: Word,
+        new: Word,
+        f: Word,
+        n: u64,
+    ) -> Cont {
+        let s = self.clone();
+        capsule("sched/popTop/cam", move |ctx| {
+            ctx.pcam(v.entry(i), old, new)?;
+            let check = s.pop_top_check_job(v, i, new, f, n);
+            Ok(Next::Jump(s.help_pop_top(v, check)))
+        })
+    }
+
+    /// popTop job-steal check (lines 48-49): did our CAM win?
+    fn pop_top_check_job(
+        self: &Arc<Self>,
+        v: DequeAddrs,
+        i: usize,
+        new: Word,
+        f: Word,
+        n: u64,
+    ) -> Cont {
+        let s = self.clone();
+        capsule("sched/popTop/check", move |ctx| {
+            let cur = ctx.pread(v.entry(i))?;
+            if cur == new {
+                let cont = s.resolve(f);
+                Ok(Next::Jump(cont))
+            } else {
+                Ok(Next::Jump(s.steal_attempt(n + 1)))
+            }
+        })
+    }
+
+    /// Local steal, step 1 of line 56: read the tag of the entry *above*
+    /// the local entry (it will be cleared so it can never be stolen).
+    fn pop_top_clear_above_read(
+        self: &Arc<Self>,
+        v: DequeAddrs,
+        i: usize,
+        old: Word,
+        new: Word,
+        n: u64,
+    ) -> Cont {
+        let s = self.clone();
+        capsule("sched/popTop/clearAboveRead", move |ctx| {
+            let above = ctx.pread(v.entry(i + 1))?;
+            Ok(Next::Jump(s.pop_top_clear_above_write(
+                v,
+                i,
+                old,
+                new,
+                tag_of(above),
+                n,
+            )))
+        })
+    }
+
+    /// Local steal, step 2 of line 56: clear the entry above (erases a
+    /// transient second local left by an interrupted pushBottom).
+    fn pop_top_clear_above_write(
+        self: &Arc<Self>,
+        v: DequeAddrs,
+        i: usize,
+        old: Word,
+        new: Word,
+        above_tag: u16,
+        n: u64,
+    ) -> Cont {
+        let s = self.clone();
+        capsule("sched/popTop/clearAboveWrite", move |ctx| {
+            ctx.pwrite(
+                v.entry(i + 1),
+                pack(above_tag.wrapping_add(1), EntryVal::Empty),
+            )?;
+            Ok(Next::Jump(s.pop_top_cam_local(v, i, old, new, n)))
+        })
+    }
+
+    /// Local steal CAM (line 57), then help, then check-and-adopt.
+    fn pop_top_cam_local(
+        self: &Arc<Self>,
+        v: DequeAddrs,
+        i: usize,
+        old: Word,
+        new: Word,
+        n: u64,
+    ) -> Cont {
+        let s = self.clone();
+        capsule("sched/popTop/camLocal", move |ctx| {
+            ctx.pcam(v.entry(i), old, new)?;
+            let check = s.pop_top_check_local(v, i, new, n);
+            Ok(Next::Jump(s.help_pop_top(v, check)))
+        })
+    }
+
+    /// Local steal check (lines 59-60): on success, adopt the dead owner's
+    /// active capsule (`getActiveCapsule`).
+    fn pop_top_check_local(self: &Arc<Self>, v: DequeAddrs, i: usize, new: Word, n: u64) -> Cont {
+        let s = self.clone();
+        capsule("sched/popTop/checkLocal", move |ctx| {
+            let cur = ctx.pread(v.entry(i))?;
+            if cur != new {
+                return Ok(Next::Jump(s.steal_attempt(n + 1)));
+            }
+            let handle = ctx.pread(s.metas[v.owner].active)?;
+            match s.arena.get(handle) {
+                Some(c) => Ok(Next::Jump(c)),
+                // The owner died outside threaded code with a cleared
+                // restart pointer; nothing to resume.
+                None => Ok(Next::Jump(s.steal_attempt(n + 1))),
+            }
+        })
+    }
+
+    // ==================================================================
+    // pushBottom (Figure 3 lines 66-79) — the fork path
+    // ==================================================================
+
+    /// The fork wrapper: after the engine registers the forked child
+    /// (handle `f`), run `pushBottom(f)` and then continue the thread with
+    /// `cont`. Capsule 1 (lines 67-70): read `bot` and the two tags,
+    /// commit.
+    pub fn push_bottom(self: &Arc<Self>, f: Word, cont: Cont) -> Cont {
+        let s = self.clone();
+        capsule("sched/pushBottom/read", move |ctx| {
+            let me = ctx.proc();
+            let d = s.d(me);
+            let b = ctx.pread(d.bot)? as usize;
+            let t1 = tag_of(ctx.pread(d.entry(b + 1))?);
+            let t2 = tag_of(ctx.pread(d.entry(b))?);
+            Ok(Next::Jump(s.push_bottom_commit(d, b, t1, t2, f, cont.clone())))
+        })
+    }
+
+    /// pushBottom capsule 2 (lines 71-78). Kept as a single capsule like
+    /// the paper (the re-evaluated condition is what makes the re-run and
+    /// the adopting-thief cases work — Lemma A.6); unchecked because it
+    /// reads the bottom entry and then CAMs it.
+    fn push_bottom_commit(
+        self: &Arc<Self>,
+        d: DequeAddrs,
+        b: usize,
+        t1: u16,
+        t2: u16,
+        f: Word,
+        cont: Cont,
+    ) -> Cont {
+        let s = self.clone();
+        capsule_unchecked("sched/pushBottom/commit", move |ctx| {
+            let local_b = pack(t2, EntryVal::Local);
+            let cur = ctx.pread(d.entry(b))?;
+            if cur == local_b {
+                // Lines 72-74: move our local up, then turn the old local
+                // into the forked job.
+                ctx.pwrite(d.entry(b + 1), pack(t1.wrapping_add(1), EntryVal::Local))?;
+                ctx.pwrite(d.bot, (b + 1) as Word)?;
+                ctx.pcam(
+                    d.entry(b),
+                    local_b,
+                    pack(t2.wrapping_add(1), EntryVal::Job { handle: f }),
+                )?;
+                return Ok(Next::Jump(cont.clone()));
+            }
+            let above = ctx.pread(d.entry(b + 1))?;
+            if kind_of(above) == EntryKind::Empty {
+                // Lines 75-76: we are an adopting thief — the original
+                // owner died before the CAM and its local entry was stolen
+                // (which also cleared the entry above). Re-push the fork on
+                // the executing processor's own deque.
+                return Ok(Next::Jump(s.push_bottom(f, cont.clone())));
+            }
+            // The CAM already happened (a re-run after the push completed):
+            // just return to the thread.
+            Ok(Next::Jump(cont.clone()))
+        })
+    }
+}
+
+/// Installs a persistent-memory write observer that panics on any entry
+/// mutation violating the Figure 4 transition table. Tag-refreshing
+/// rewrites within the same state (e.g. line 56 clearing an already-empty
+/// slot) are not state transitions and are allowed.
+fn install_transition_checker(machine: &Machine, deques: &[DequeAddrs]) {
+    let ranges: Vec<(usize, usize)> = deques
+        .iter()
+        .map(|d| (d.stack.start, d.stack.end()))
+        .collect();
+    machine.mem().set_observer(Some(Arc::new(move |addr, prev, new| {
+        if !ranges.iter().any(|(s, e)| addr >= *s && addr < *e) {
+            return;
+        }
+        let from = kind_of(prev);
+        let to = kind_of(new);
+        if from != to && !from.can_transition_to(to) {
+            panic!(
+                "illegal Figure 4 entry transition {from:?} -> {to:?} at address {addr} \
+                 (prev={prev:#x}, new={new:#x})"
+            );
+        }
+    })));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_selection_is_deterministic_and_never_self() {
+        let machine = Machine::new(ppm_pm::PmConfig::parallel(4, 1 << 20));
+        let done = DoneFlag::new(&machine);
+        let s = Sched::new(&machine, done, &SchedConfig::with_slots(64));
+        for thief in 0..4 {
+            for n in 0..200 {
+                let v = s.pick_victim(thief, n).unwrap();
+                assert_ne!(v, thief);
+                assert!(v < 4);
+                assert_eq!(s.pick_victim(thief, n), Some(v), "deterministic");
+            }
+        }
+        // All victims get probed eventually.
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..100 {
+            seen.insert(s.pick_victim(0, n).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn single_proc_has_no_victims() {
+        let machine = Machine::new(ppm_pm::PmConfig::parallel(1, 1 << 18));
+        let done = DoneFlag::new(&machine);
+        let s = Sched::new(&machine, done, &SchedConfig::with_slots(64));
+        assert_eq!(s.pick_victim(0, 0), None);
+    }
+
+    #[test]
+    fn config_default_is_reasonable() {
+        let c = SchedConfig::default();
+        assert!(c.deque_slots >= 1 << 10);
+        assert!(!c.check_transitions);
+    }
+}

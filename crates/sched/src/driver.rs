@@ -1,0 +1,269 @@
+//! Running computations on the fault-tolerant scheduler.
+//!
+//! One OS thread per model processor. Each thread drives the capsule
+//! engine: run the active capsule (restarting on soft faults), install the
+//! successor, repeat — with `fork` wrapped into the scheduler's
+//! `pushBottom` sequence and thread-`End` wrapped into `scheduler()`. A
+//! hard fault ends the thread; the processor's deque and restart pointer
+//! stay in persistent memory for thieves.
+//!
+//! Setup follows §6.3: "Each process is initialized with an empty WS-Deque
+//! ... One process is assigned the root thread. This process installs the
+//! first capsule of this thread, and sets its first entry to local. All
+//! other processes install the findWork capsule."
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppm_core::{run_capsule, Comp, Cont, DoneFlag, InstallCtx, Machine, Step};
+use ppm_pm::{StatsSnapshot, Word};
+
+use crate::capsules::{Sched, SchedConfig};
+use crate::deque::check_invariant;
+use crate::entry::{pack, EntryVal};
+
+/// How one processor's loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcOutcome {
+    /// Saw the completion flag and halted.
+    Halted,
+    /// Hard-faulted.
+    Dead,
+}
+
+/// The result of running a computation under the scheduler.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Whether the computation's completion flag was set (always true
+    /// unless every processor hard-faulted first).
+    pub completed: bool,
+    /// Per-processor outcomes.
+    pub outcomes: Vec<ProcOutcome>,
+    /// Machine statistics for the run (total work `W_f`, faults, capsule
+    /// counts, max capsule work `C`, ...).
+    pub stats: StatsSnapshot,
+    /// Wall-clock duration of the parallel section.
+    pub elapsed: Duration,
+    /// A rendered snapshot of every WS-deque at the end of the run
+    /// (compact form: `T` taken, `J` job, `L` local, `.` empty).
+    pub deque_dump: Vec<String>,
+}
+
+impl RunReport {
+    /// Processors that hard-faulted.
+    pub fn dead_procs(&self) -> usize {
+        self.outcomes.iter().filter(|o| **o == ProcOutcome::Dead).count()
+    }
+}
+
+/// Runs a fork-join computation to completion on `machine`'s processors.
+///
+/// Allocates a completion flag, plants the root thread on processor 0, and
+/// drives all processors until the flag is set (or everyone is dead).
+pub fn run_computation(machine: &Machine, comp: &Comp, cfg: &SchedConfig) -> RunReport {
+    let done = DoneFlag::new(machine);
+    let root = comp(done.finale());
+    run_root_thread(machine, root, done, cfg)
+}
+
+/// Runs an explicit root thread (its last capsule must set `done`, e.g. by
+/// ending with [`DoneFlag::finale`]'s chain) on a freshly built scheduler.
+pub fn run_root_thread(machine: &Machine, root: Cont, done: DoneFlag, cfg: &SchedConfig) -> RunReport {
+    let sched = Sched::new(machine, done, cfg);
+    run_root_on(machine, &sched, root, done)
+}
+
+/// Runs a root thread on a *prebuilt* scheduler (so callers can inspect or
+/// instrument its deques — e.g. the Figure 4 transition experiment).
+pub fn run_root_on(machine: &Machine, sched: &Arc<Sched>, root: Cont, done: DoneFlag) -> RunReport {
+    // §6.3 initialization. The root processor's first deque entry is local
+    // (it is running the root thread) and its restart pointer resolves to
+    // the root capsule so the thread survives an immediate hard fault.
+    let root_slot = machine.alloc_region(1).start;
+    machine.arena().preregister(root_slot, root.clone());
+    machine
+        .mem()
+        .store(machine.proc_meta(0).active, root_slot as Word);
+    machine
+        .mem()
+        .store(sched.deques()[0].entry(0), pack(1, EntryVal::Local));
+
+    let start = Instant::now();
+    let outcomes: Vec<ProcOutcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..machine.procs())
+            .map(|p| {
+                let sched = sched.clone();
+                let root = root.clone();
+                s.spawn(move || {
+                    let first: Cont = if p == 0 { root } else { sched.find_work() };
+                    proc_loop(machine, &sched, p, first)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("processor thread panicked")).collect()
+    });
+    let elapsed = start.elapsed();
+
+    // Post-run structural check (quiescent, so exact).
+    let mut deque_dump = Vec::with_capacity(sched.deques().len());
+    for d in sched.deques() {
+        if let Err(e) = check_invariant(machine.mem(), d) {
+            panic!("WS-deque invariant violated after run: {e}");
+        }
+        deque_dump.push(crate::deque::render(machine.mem(), d));
+    }
+    // Detach the transition observer (if any) so later setup stores by
+    // other runs on this machine are not checked.
+    machine.mem().set_observer(None);
+
+    RunReport {
+        completed: done.is_set(machine.mem()),
+        outcomes,
+        stats: machine.stats().snapshot(),
+        elapsed,
+        deque_dump,
+    }
+}
+
+fn proc_loop(machine: &Machine, sched: &Arc<Sched>, p: usize, first: Cont) -> ProcOutcome {
+    let mut ctx = machine.ctx(p);
+    let mut install = InstallCtx::new(machine.proc_meta(p));
+    let on_end = sched.scheduler_entry();
+    let sched_for_fork = sched.clone();
+    let fork_wrap = move |handle: Word, cont: Cont| sched_for_fork.push_bottom(handle, cont);
+
+    let mut cur = first;
+    loop {
+        match run_capsule(
+            &mut ctx,
+            machine.arena(),
+            &mut install,
+            &cur,
+            Some(&fork_wrap),
+            Some(&on_end),
+        ) {
+            Ok(Step::Next(c)) => cur = c,
+            Ok(Step::Done) => return ProcOutcome::Halted,
+            Err(_) => return ProcOutcome::Dead,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_core::{comp_fork2, comp_step, par_all, Comp};
+    use ppm_pm::{FaultConfig, PmConfig, ProcCtx, Region};
+
+    fn write_marker(r: Region, i: usize) -> Comp {
+        comp_step("mark", move |ctx: &mut ProcCtx| ctx.pwrite(r.at(i), i as u64 + 1))
+    }
+
+    fn machine(p: usize, f: FaultConfig) -> Machine {
+        Machine::new(PmConfig::parallel(p, 1 << 21).with_fault(f))
+    }
+
+    #[test]
+    fn single_proc_runs_flat_computation() {
+        let m = machine(1, FaultConfig::none());
+        let r = m.alloc_region(64);
+        let comp = par_all((0..8).map(|i| write_marker(r, i)).collect());
+        let rep = run_computation(&m, &comp, &SchedConfig::with_slots(256));
+        assert!(rep.completed);
+        assert_eq!(rep.outcomes, vec![ProcOutcome::Halted]);
+        for i in 0..8 {
+            assert_eq!(m.mem().load(r.at(i)), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn two_procs_share_forked_work() {
+        let m = machine(2, FaultConfig::none());
+        let r = m.alloc_region(64);
+        let comp = comp_fork2(write_marker(r, 0), write_marker(r, 1));
+        let rep = run_computation(&m, &comp, &SchedConfig::with_slots(256));
+        assert!(rep.completed);
+        assert_eq!(m.mem().load(r.at(0)), 1);
+        assert_eq!(m.mem().load(r.at(1)), 2);
+    }
+
+    #[test]
+    fn wide_fanout_on_four_procs_all_tasks_run_exactly_once() {
+        let m = machine(4, FaultConfig::none());
+        let n = 64;
+        let r = m.alloc_region(n);
+        let comp = par_all((0..n).map(|i| write_marker(r, i)).collect());
+        let mut cfg = SchedConfig::with_slots(1024);
+        cfg.check_transitions = true;
+        let rep = run_computation(&m, &comp, &cfg);
+        assert!(rep.completed);
+        for i in 0..n {
+            assert_eq!(m.mem().load(r.at(i)), i as u64 + 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn soft_faults_do_not_lose_or_duplicate_work() {
+        for seed in 0..5 {
+            let m = machine(4, FaultConfig::soft(0.02, seed));
+            let n = 48;
+            let r = m.alloc_region(n);
+            let comp = par_all((0..n).map(|i| write_marker(r, i)).collect());
+            let rep = run_computation(&m, &comp, &SchedConfig::with_slots(1024));
+            assert!(rep.completed, "seed {seed}");
+            assert!(rep.stats.soft_faults > 0, "seed {seed} should see faults");
+            for i in 0..n {
+                assert_eq!(m.mem().load(r.at(i)), i as u64 + 1, "seed {seed} task {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hard_fault_on_root_proc_is_recovered_by_thieves() {
+        // Proc 0 dies early; the root thread must be stolen and finished.
+        let m = machine(4, FaultConfig::none().with_scheduled_hard_fault(0, 40));
+        let n = 32;
+        let r = m.alloc_region(n);
+        let comp = par_all((0..n).map(|i| write_marker(r, i)).collect());
+        let rep = run_computation(&m, &comp, &SchedConfig::with_slots(1024));
+        assert!(rep.completed);
+        assert_eq!(rep.dead_procs(), 1);
+        assert_eq!(rep.outcomes[0], ProcOutcome::Dead);
+        for i in 0..n {
+            assert_eq!(m.mem().load(r.at(i)), i as u64 + 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn all_but_one_proc_dying_still_completes() {
+        let m = machine(4, {
+            FaultConfig::none()
+                .with_scheduled_hard_fault(0, 60)
+                .with_scheduled_hard_fault(1, 45)
+                .with_scheduled_hard_fault(2, 80)
+        });
+        let n = 32;
+        let r = m.alloc_region(n);
+        let comp = par_all((0..n).map(|i| write_marker(r, i)).collect());
+        let rep = run_computation(&m, &comp, &SchedConfig::with_slots(1024));
+        assert!(rep.completed);
+        assert_eq!(rep.dead_procs(), 3);
+        for i in 0..n {
+            assert_eq!(m.mem().load(r.at(i)), i as u64 + 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn all_procs_dying_reports_incomplete() {
+        let m = machine(2, {
+            FaultConfig::none()
+                .with_scheduled_hard_fault(0, 10)
+                .with_scheduled_hard_fault(1, 10)
+        });
+        let r = m.alloc_region(64);
+        let comp = par_all((0..16).map(|i| write_marker(r, i)).collect());
+        let rep = run_computation(&m, &comp, &SchedConfig::with_slots(512));
+        assert!(!rep.completed);
+        assert_eq!(rep.dead_procs(), 2);
+    }
+}

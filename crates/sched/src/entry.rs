@@ -1,0 +1,250 @@
+//! Packed WS-deque entries.
+//!
+//! Figure 3's deque stores `⟨int, entry⟩` pairs — a tag (called *step* in
+//! the code) and an entry that is one of `empty | local | job(continuation)
+//! | taken(entry*, int)`. The pair must be CAM-able as a unit, so we pack
+//! it into one 64-bit persistent word:
+//!
+//! ```text
+//!   63        48 47  46 45                                   0
+//!  [    tag     ][kind][              payload                ]
+//! ```
+//!
+//! * `tag` (16 bits) — the ABA-avoidance counter of §6.2. It increments on
+//!   every entry transition; a slot would need 2^16 transitions for a tag
+//!   to repeat, and slots see at most a handful (the deque never deletes).
+//! * `kind` (2 bits) — empty / local / job / taken.
+//! * `payload` (46 bits) —
+//!   * `job`: the continuation handle (a persistent address; address
+//!     spaces up to 2^46 words are representable);
+//!   * `taken`: the thief-side entry reference `(proc: 8, slot: 22,
+//!     tag: 16)` — which entry of which thief's deque will hold the stolen
+//!     thread, and the tag that entry had when the steal began.
+
+use ppm_pm::Word;
+
+/// Maximum number of processors representable in a `taken` payload.
+pub const MAX_PROCS: usize = 1 << 8;
+/// Maximum deque slots representable in a `taken` payload.
+pub const MAX_SLOTS: usize = 1 << 22;
+/// Maximum continuation handle representable in a `job` payload.
+pub const MAX_HANDLE: u64 = (1 << 46) - 1;
+
+const KIND_SHIFT: u32 = 46;
+const TAG_SHIFT: u32 = 48;
+const PAYLOAD_MASK: u64 = (1 << 46) - 1;
+
+/// The state of a deque entry (Figure 4's four states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntryKind {
+    /// Not yet associated with a thread.
+    Empty = 0,
+    /// The owner (or an adopting thief) is currently running this thread.
+    Local = 1,
+    /// An enabled thread awaiting execution.
+    Job = 2,
+    /// Stolen (or being stolen); never changes again.
+    Taken = 3,
+}
+
+impl EntryKind {
+    /// Decodes the two kind bits.
+    pub fn from_bits(b: u64) -> EntryKind {
+        match b & 0b11 {
+            0 => EntryKind::Empty,
+            1 => EntryKind::Local,
+            2 => EntryKind::Job,
+            _ => EntryKind::Taken,
+        }
+    }
+
+    /// Whether Figure 4 permits the transition `self → to`.
+    ///
+    /// Rows are old states, columns new states; the paper's ✓ cells:
+    /// Empty→Local; Local→Empty, Local→Job, Local→Taken; Job→Local,
+    /// Job→Taken. Taken is terminal. (Self-transitions are "-": an entry
+    /// never rewrites to its own state, tags always change.)
+    pub fn can_transition_to(self, to: EntryKind) -> bool {
+        use EntryKind::*;
+        matches!(
+            (self, to),
+            (Empty, Local) | (Local, Empty) | (Local, Job) | (Local, Taken) | (Job, Local) | (Job, Taken)
+        )
+    }
+}
+
+/// A decoded entry value (without its tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryVal {
+    /// No thread.
+    Empty,
+    /// Thread running on the owner.
+    Local,
+    /// Enabled thread: continuation handle.
+    Job {
+        /// Arena handle of the thread's first capsule.
+        handle: Word,
+    },
+    /// Stolen: reference to the thief's entry.
+    Taken {
+        /// Thief processor id.
+        proc: usize,
+        /// Slot index in the thief's deque.
+        slot: usize,
+        /// Tag the thief's entry had when the steal began.
+        tag: u16,
+    },
+}
+
+impl EntryVal {
+    /// This value's kind.
+    pub fn kind(&self) -> EntryKind {
+        match self {
+            EntryVal::Empty => EntryKind::Empty,
+            EntryVal::Local => EntryKind::Local,
+            EntryVal::Job { .. } => EntryKind::Job,
+            EntryVal::Taken { .. } => EntryKind::Taken,
+        }
+    }
+}
+
+/// Packs a `⟨tag, entry⟩` pair into one word.
+///
+/// # Panics
+/// Panics if a payload exceeds its field width (a configuration error:
+/// too many processors, too many deque slots, or an oversized handle).
+pub fn pack(tag: u16, val: EntryVal) -> Word {
+    let (kind, payload): (u64, u64) = match val {
+        EntryVal::Empty => (0, 0),
+        EntryVal::Local => (1, 0),
+        EntryVal::Job { handle } => {
+            assert!(handle <= MAX_HANDLE, "continuation handle {handle} overflows payload");
+            (2, handle)
+        }
+        EntryVal::Taken { proc, slot, tag } => {
+            assert!(proc < MAX_PROCS, "proc {proc} overflows taken payload");
+            assert!(slot < MAX_SLOTS, "slot {slot} overflows taken payload");
+            (3, ((proc as u64) << 38) | ((slot as u64) << 16) | tag as u64)
+        }
+    };
+    ((tag as u64) << TAG_SHIFT) | (kind << KIND_SHIFT) | payload
+}
+
+/// Unpacks a word into its `⟨tag, entry⟩` pair.
+pub fn unpack(w: Word) -> (u16, EntryVal) {
+    let tag = (w >> TAG_SHIFT) as u16;
+    let payload = w & PAYLOAD_MASK;
+    let val = match EntryKind::from_bits(w >> KIND_SHIFT) {
+        EntryKind::Empty => EntryVal::Empty,
+        EntryKind::Local => EntryVal::Local,
+        EntryKind::Job => EntryVal::Job { handle: payload },
+        EntryKind::Taken => EntryVal::Taken {
+            proc: (payload >> 38) as usize,
+            slot: ((payload >> 16) & ((1 << 22) - 1)) as usize,
+            tag: payload as u16,
+        },
+    };
+    (tag, val)
+}
+
+/// The tag of a packed entry (Figure 3's `getStep`).
+#[inline]
+pub fn tag_of(w: Word) -> u16 {
+    (w >> TAG_SHIFT) as u16
+}
+
+/// The kind of a packed entry.
+#[inline]
+pub fn kind_of(w: Word) -> EntryKind {
+    EntryKind::from_bits(w >> KIND_SHIFT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        let cases = [
+            (0u16, EntryVal::Empty),
+            (42, EntryVal::Local),
+            (u16::MAX, EntryVal::Job { handle: MAX_HANDLE }),
+            (7, EntryVal::Job { handle: 0 }),
+            (
+                1,
+                EntryVal::Taken {
+                    proc: MAX_PROCS - 1,
+                    slot: MAX_SLOTS - 1,
+                    tag: u16::MAX,
+                },
+            ),
+            (9, EntryVal::Taken { proc: 0, slot: 0, tag: 0 }),
+        ];
+        for (tag, val) in cases {
+            let w = pack(tag, val);
+            assert_eq!(unpack(w), (tag, val), "case tag={tag} val={val:?}");
+            assert_eq!(tag_of(w), tag);
+            assert_eq!(kind_of(w), val.kind());
+        }
+    }
+
+    #[test]
+    fn zero_word_is_tag_zero_empty() {
+        // Fresh persistent memory is all zeroes: every slot starts as
+        // ⟨0, empty⟩ without initialization writes.
+        assert_eq!(unpack(0), (0, EntryVal::Empty));
+    }
+
+    #[test]
+    fn distinct_pairs_pack_distinctly() {
+        let a = pack(1, EntryVal::Local);
+        let b = pack(2, EntryVal::Local);
+        let c = pack(1, EntryVal::Empty);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows payload")]
+    fn oversized_handle_rejected() {
+        let _ = pack(0, EntryVal::Job { handle: MAX_HANDLE + 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows taken payload")]
+    fn oversized_proc_rejected() {
+        let _ = pack(
+            0,
+            EntryVal::Taken {
+                proc: MAX_PROCS,
+                slot: 0,
+                tag: 0,
+            },
+        );
+    }
+
+    #[test]
+    fn figure4_transition_table() {
+        use EntryKind::*;
+        let all = [Empty, Local, Job, Taken];
+        // The paper's table: rows = old, columns = new.
+        let allowed = [
+            (Empty, Local),
+            (Local, Empty),
+            (Local, Job),
+            (Local, Taken),
+            (Job, Local),
+            (Job, Taken),
+        ];
+        for from in all {
+            for to in all {
+                let expect = allowed.contains(&(from, to));
+                assert_eq!(
+                    from.can_transition_to(to),
+                    expect,
+                    "transition {from:?} -> {to:?}"
+                );
+            }
+        }
+    }
+}

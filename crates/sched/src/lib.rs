@@ -1,0 +1,33 @@
+//! # `ppm-sched` — fault-tolerant work stealing for the Parallel-PM
+//!
+//! The paper's headline system (§6, Figure 3, Appendix A): a work-stealing
+//! scheduler that tolerates *soft* faults (processors restart, losing all
+//! ephemeral state) and *hard* faults (processors die) anywhere — in user
+//! code or in the scheduler itself — using only CAM (compare-and-modify,
+//! never CAS), idempotent capsules, and tagged deque entries.
+//!
+//! * [`entry`] — the packed `⟨tag, entry⟩` words with the four states of
+//!   Figure 4 (`empty | local | job | taken`).
+//! * [`deque`] — per-processor WS-deque state in persistent memory and the
+//!   §6.2 structural invariant (`taken* job* local{0,1,2} empty*`).
+//! * [`capsules`] — `popTop`, `helpPopTop`, `pushBottom`, `popBottom`,
+//!   `findWork` and `scheduler` as capsule state machines with the paper's
+//!   exact commit boundaries.
+//! * [`driver`] — one OS thread per model processor; runs fork-join
+//!   computations to completion and reports cost statistics.
+//! * [`abp`] — the CAS-based Arora–Blumofe–Plaxton baseline (not
+//!   fault-tolerant), for the comparison benchmarks.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod abp;
+pub mod capsules;
+pub mod deque;
+pub mod driver;
+pub mod entry;
+
+pub use capsules::{Sched, SchedConfig};
+pub use deque::{build_deques, check_invariant, render, snapshot, DequeAddrs, DequeSnapshot};
+pub use driver::{run_computation, run_root_on, run_root_thread, ProcOutcome, RunReport};
+pub use entry::{kind_of, pack, tag_of, unpack, EntryKind, EntryVal};

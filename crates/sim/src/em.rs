@@ -1,0 +1,313 @@
+//! An `(M, B)` external-memory machine.
+//!
+//! Theorem 3.3 quantifies over "any (M,B) external memory computation";
+//! this is a concrete one: a machine with an ephemeral memory of `M` words
+//! on which all computation happens, an external memory of blocks of `B`
+//! words, and two transfer instructions. The native cost `t` is the number
+//! of block transfers — exactly the external-memory model of
+//! Aggarwal–Vitter, which the PM model generalizes.
+
+/// One EM instruction. Compute instructions address the ephemeral memory
+/// (`e*` are ephemeral word indices); transfers move whole blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmInstr {
+    /// `eph[d] = imm`
+    Set(usize, i64),
+    /// `eph[d] = eph[a] + eph[b]`
+    Add(usize, usize, usize),
+    /// `eph[d] = eph[a] - eph[b]`
+    Sub(usize, usize, usize),
+    /// `eph[d] = eph[a] * eph[b]`
+    Mul(usize, usize, usize),
+    /// `eph[d] = eph[s]`
+    Copy(usize, usize),
+    /// `eph[d] = eph[eph[a]]` (indirect read, for in-ephemeral indexing)
+    LoadI(usize, usize),
+    /// `eph[eph[a]] = eph[s]` (indirect write)
+    StoreI(usize, usize),
+    /// Transfer external block number `eph[blk]` into `eph[dst..dst+B]`.
+    /// Costs one unit.
+    ReadBlock {
+        /// Ephemeral index holding the external block number.
+        blk: usize,
+        /// Ephemeral destination offset.
+        dst: usize,
+    },
+    /// Transfer `eph[src..src+B]` to external block number `eph[blk]`.
+    /// Costs one unit.
+    WriteBlock {
+        /// Ephemeral index holding the external block number.
+        blk: usize,
+        /// Ephemeral source offset.
+        src: usize,
+    },
+    /// `pc = target`
+    Jmp(usize),
+    /// `if eph[c] == 0 { pc = target }`
+    Jz(usize, usize),
+    /// `if eph[a] < eph[b] { pc = target }`
+    Jlt(usize, usize, usize),
+    /// Stop.
+    Halt,
+}
+
+/// An EM program with its machine parameters.
+#[derive(Debug, Clone)]
+pub struct EmProgram {
+    /// Instructions; `pc` starts at 0.
+    pub instrs: Vec<EmInstr>,
+    /// Ephemeral memory size `M` in words.
+    pub m: usize,
+    /// Block size `B` in words.
+    pub b: usize,
+}
+
+/// Result of a native EM run.
+#[derive(Debug, Clone)]
+pub struct EmResult {
+    /// Block transfers performed (the `t` of Theorem 3.3).
+    pub transfers: u64,
+    /// Instructions executed (zero-cost ones included).
+    pub instructions: u64,
+    /// Whether the program halted.
+    pub halted: bool,
+}
+
+/// External-memory port used by [`em_step`]: the native executor backs it
+/// with a slice of blocks; the PM simulation backs reads with a
+/// write-buffer-then-memory lookup and writes with buffering.
+pub trait BlockPort {
+    /// Reads external block `blk` into `buf` (`buf.len() == B`).
+    fn read_block(&mut self, blk: usize, buf: &mut [i64]);
+    /// Writes `data` (`len == B`) to external block `blk`.
+    fn write_block(&mut self, blk: usize, data: &[i64]);
+}
+
+/// A [`BlockPort`] over a flat slice of words grouped in blocks of `B`.
+pub struct SliceBlocks<'a> {
+    /// The external memory.
+    pub ext: &'a mut [i64],
+    /// Block size.
+    pub b: usize,
+}
+
+impl BlockPort for SliceBlocks<'_> {
+    fn read_block(&mut self, blk: usize, buf: &mut [i64]) {
+        buf.copy_from_slice(&self.ext[blk * self.b..(blk + 1) * self.b]);
+    }
+    fn write_block(&mut self, blk: usize, data: &[i64]) {
+        self.ext[blk * self.b..(blk + 1) * self.b].copy_from_slice(data);
+    }
+}
+
+/// Applies one instruction to `(eph, pc)`, transferring blocks through
+/// `port`. Shared between the native executor and the PM simulation.
+/// Returns `false` on `Halt`.
+pub fn em_step(
+    instr: EmInstr,
+    eph: &mut [i64],
+    pc: &mut usize,
+    b: usize,
+    port: &mut impl BlockPort,
+) -> bool {
+    let mut next = *pc + 1;
+    match instr {
+        EmInstr::Set(d, v) => eph[d] = v,
+        EmInstr::Add(d, x, y) => eph[d] = eph[x].wrapping_add(eph[y]),
+        EmInstr::Sub(d, x, y) => eph[d] = eph[x].wrapping_sub(eph[y]),
+        EmInstr::Mul(d, x, y) => eph[d] = eph[x].wrapping_mul(eph[y]),
+        EmInstr::Copy(d, s) => eph[d] = eph[s],
+        EmInstr::LoadI(d, a) => eph[d] = eph[eph[a] as usize],
+        EmInstr::StoreI(a, s) => {
+            let idx = eph[a] as usize;
+            eph[idx] = eph[s];
+        }
+        EmInstr::ReadBlock { blk, dst } => {
+            let block = eph[blk] as usize;
+            let mut buf = vec![0i64; b];
+            port.read_block(block, &mut buf);
+            eph[dst..dst + b].copy_from_slice(&buf);
+        }
+        EmInstr::WriteBlock { blk, src } => {
+            let block = eph[blk] as usize;
+            port.write_block(block, &eph[src..src + b]);
+        }
+        EmInstr::Jmp(t) => next = t,
+        EmInstr::Jz(c, t) => {
+            if eph[c] == 0 {
+                next = t;
+            }
+        }
+        EmInstr::Jlt(x, y, t) => {
+            if eph[x] < eph[y] {
+                next = t;
+            }
+        }
+        EmInstr::Halt => return false,
+    }
+    *pc = next;
+    true
+}
+
+/// Runs an EM program natively against an external memory of blocks.
+pub fn run_native_em(prog: &EmProgram, ext: &mut [i64], max_instrs: u64) -> EmResult {
+    let mut eph = vec![0i64; prog.m];
+    let mut pc = 0usize;
+    let mut transfers = 0u64;
+    let mut instructions = 0u64;
+    let mut halted = false;
+    let b = prog.b;
+    while instructions < max_instrs {
+        let Some(&instr) = prog.instrs.get(pc) else {
+            halted = true;
+            break;
+        };
+        if matches!(instr, EmInstr::ReadBlock { .. } | EmInstr::WriteBlock { .. }) {
+            transfers += 1;
+        }
+        let cont = em_step(instr, &mut eph, &mut pc, b, &mut SliceBlocks { ext, b });
+        instructions += 1;
+        if !cont {
+            halted = true;
+            break;
+        }
+    }
+    EmResult {
+        transfers,
+        instructions,
+        halted,
+    }
+}
+
+/// Sample EM programs.
+pub mod programs {
+    use super::*;
+
+    /// Builds the block-sum program programmatically (clearer than hand
+    /// numbering). Sums `nblocks` blocks, stores the total in word 0 of
+    /// block `nblocks`.
+    pub fn block_sum_built(nblocks: usize, m: usize, b: usize) -> EmProgram {
+        assert!(m >= 8 + 2 * b, "ephemeral memory too small");
+        let buf = 8; // block buffer base
+        // cells: 0 acc, 1 blk, 2 limit, 3 one, 4 j, 5 B, 6 addr, 7 val
+        let mut i = vec![
+            EmInstr::Set(0, 0),
+            EmInstr::Set(1, 0),
+            EmInstr::Set(2, nblocks as i64),
+            EmInstr::Set(3, 1),
+            EmInstr::Set(5, b as i64),
+        ];
+        let outer = i.len(); // 5
+        i.push(EmInstr::Jlt(1, 2, outer + 2)); // if blk < limit → body
+        i.push(EmInstr::Jmp(usize::MAX)); // → end (patched)
+        let body = i.len();
+        assert_eq!(body, outer + 2);
+        i.push(EmInstr::ReadBlock { blk: 1, dst: buf });
+        i.push(EmInstr::Set(4, 0)); // j = 0
+        let inner = i.len();
+        i.push(EmInstr::Jlt(4, 5, inner + 2)); // if j < B → add
+        i.push(EmInstr::Jmp(usize::MAX)); // → after inner (patched)
+        let add = i.len();
+        assert_eq!(add, inner + 2);
+        i.push(EmInstr::Set(6, buf as i64));
+        i.push(EmInstr::Add(6, 6, 4)); // addr = buf + j
+        i.push(EmInstr::LoadI(7, 6)); // val = eph[addr]
+        i.push(EmInstr::Add(0, 0, 7)); // acc += val
+        i.push(EmInstr::Add(4, 4, 3)); // j += 1
+        i.push(EmInstr::Jmp(inner));
+        let after_inner = i.len();
+        i.push(EmInstr::Add(1, 1, 3)); // blk += 1
+        i.push(EmInstr::Jmp(outer));
+        let end = i.len();
+        // Store acc into word 0 of block `nblocks`: build the block in the
+        // buffer (acc then zeros) and write it out.
+        i.push(EmInstr::Set(6, buf as i64));
+        i.push(EmInstr::StoreI(6, 0)); // eph[buf] = acc
+        // zero the rest of the buffer
+        for j in 1..b {
+            i.push(EmInstr::Set(buf + j, 0));
+        }
+        i.push(EmInstr::Set(1, nblocks as i64));
+        i.push(EmInstr::WriteBlock { blk: 1, src: buf });
+        i.push(EmInstr::Halt);
+        // Patch jumps.
+        i[outer + 1] = EmInstr::Jmp(end);
+        i[inner + 1] = EmInstr::Jmp(after_inner);
+        EmProgram { m, b, instrs: i }
+    }
+
+    /// Copies `nblocks` blocks from the first half of external memory to
+    /// the second half in reverse order (block i → block 2·nblocks-1-i).
+    pub fn block_reverse(nblocks: usize, m: usize, b: usize) -> EmProgram {
+        assert!(m >= 8 + b);
+        let buf = 8;
+        // cells: 1 src blk, 2 limit, 3 one, 6 dst blk, 7 total-1
+        let mut i = vec![
+            EmInstr::Set(1, 0),
+            EmInstr::Set(2, nblocks as i64),
+            EmInstr::Set(3, 1),
+            EmInstr::Set(7, 2 * nblocks as i64 - 1),
+        ];
+        let loop_top = i.len();
+        i.push(EmInstr::Jlt(1, 2, loop_top + 2));
+        i.push(EmInstr::Jmp(usize::MAX)); // patched → end
+        assert_eq!(i.len(), loop_top + 2);
+        i.push(EmInstr::ReadBlock { blk: 1, dst: buf });
+        i.push(EmInstr::Sub(6, 7, 1)); // dst = total-1 - src
+        i.push(EmInstr::WriteBlock { blk: 6, src: buf });
+        i.push(EmInstr::Add(1, 1, 3));
+        i.push(EmInstr::Jmp(loop_top));
+        let end = i.len();
+        i.push(EmInstr::Halt);
+        i[loop_top + 1] = EmInstr::Jmp(end);
+        EmProgram { m, b, instrs: i }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::programs::*;
+    use super::*;
+
+    #[test]
+    fn block_sum_native() {
+        let (nb, m, b) = (8usize, 64usize, 8usize);
+        let mut ext: Vec<i64> = (0..(nb as i64 + 1) * b as i64).collect();
+        let prog = block_sum_built(nb, m, b);
+        let res = run_native_em(&prog, &mut ext, 1 << 20);
+        assert!(res.halted);
+        let expect: i64 = (0..(nb * b) as i64).sum();
+        assert_eq!(ext[nb * b], expect);
+        // Transfers: nb reads + 1 write.
+        assert_eq!(res.transfers, nb as u64 + 1);
+    }
+
+    #[test]
+    fn block_reverse_native() {
+        let (nb, m, b) = (4usize, 32usize, 4usize);
+        let mut ext: Vec<i64> = (0..(2 * nb * b) as i64).collect();
+        let orig = ext.clone();
+        let res = run_native_em(&block_reverse(nb, m, b), &mut ext, 1 << 20);
+        assert!(res.halted);
+        for i in 0..nb {
+            let dst = 2 * nb - 1 - i;
+            assert_eq!(
+                &ext[dst * b..(dst + 1) * b],
+                &orig[i * b..(i + 1) * b],
+                "block {i}"
+            );
+        }
+        assert_eq!(res.transfers, 2 * nb as u64);
+    }
+
+    #[test]
+    fn transfers_scale_with_data_not_instructions() {
+        let (m, b) = (64usize, 8usize);
+        let mut e1: Vec<i64> = vec![1; 9 * b];
+        let mut e2: Vec<i64> = vec![1; 17 * b];
+        let t1 = run_native_em(&block_sum_built(8, m, b), &mut e1, 1 << 20).transfers;
+        let t2 = run_native_em(&block_sum_built(16, m, b), &mut e2, 1 << 20).transfers;
+        assert_eq!(t1, 9);
+        assert_eq!(t2, 17);
+    }
+}

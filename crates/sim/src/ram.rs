@@ -1,0 +1,336 @@
+//! A small RAM virtual machine.
+//!
+//! Theorem 3.2 quantifies over "any RAM computation"; this module provides
+//! a concrete one to quantify over: a classic random-access machine with
+//! eight registers, a word-addressed memory, and a minimal integer ISA.
+//! [`run_native`] executes a program directly (the baseline `t`);
+//! `ram_pm` simulates the same program on the PM model with faults
+//! (the theorem's `O(t)` expected total work).
+
+use ppm_pm::Word;
+
+/// Number of general-purpose registers.
+pub const NREGS: usize = 8;
+
+/// A register index (0..[`NREGS`]).
+pub type Reg = usize;
+
+/// One RAM instruction. `pc`-relative control flow uses absolute targets
+/// for simplicity (programs are machine-generated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `r[d] = imm`
+    LoadImm(Reg, i64),
+    /// `r[d] = r[s]`
+    Mov(Reg, Reg),
+    /// `r[d] = r[a] + r[b]`
+    Add(Reg, Reg, Reg),
+    /// `r[d] = r[a] - r[b]`
+    Sub(Reg, Reg, Reg),
+    /// `r[d] = r[a] * r[b]`
+    Mul(Reg, Reg, Reg),
+    /// `r[d] = mem[r[a]]`
+    Load(Reg, Reg),
+    /// `mem[r[a]] = r[s]`
+    Store(Reg, Reg),
+    /// `pc = target`
+    Jmp(usize),
+    /// `if r[c] == 0 { pc = target }`
+    Jz(Reg, usize),
+    /// `if r[c] != 0 { pc = target }`
+    Jnz(Reg, usize),
+    /// `if r[a] < r[b] { pc = target }`
+    Jlt(Reg, Reg, usize),
+    /// Stop.
+    Halt,
+}
+
+/// A RAM program: a fixed instruction sequence.
+#[derive(Debug, Clone, Default)]
+pub struct RamProgram {
+    /// The instructions; `pc` starts at 0.
+    pub instrs: Vec<Instr>,
+}
+
+impl RamProgram {
+    /// Creates a program from instructions.
+    pub fn new(instrs: Vec<Instr>) -> Self {
+        RamProgram { instrs }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// Machine state after a native run.
+#[derive(Debug, Clone)]
+pub struct RamResult {
+    /// RAM time steps executed (the `t` of Theorem 3.2).
+    pub steps: u64,
+    /// Final register file.
+    pub regs: [i64; NREGS],
+    /// Whether the program halted (vs. hit the step limit).
+    pub halted: bool,
+}
+
+/// Memory access port used by [`step`]: the native executor backs it with
+/// a slice, the PM simulation with costed persistent accesses (capturing
+/// any fault for the caller to re-raise).
+pub trait MemPort {
+    /// Reads simulated word `a`.
+    fn load(&mut self, a: usize) -> i64;
+    /// Writes simulated word `a`.
+    fn store(&mut self, a: usize, v: i64);
+}
+
+/// A [`MemPort`] over a plain slice (the native executor's memory).
+pub struct SliceMem<'a>(pub &'a mut [i64]);
+
+impl MemPort for SliceMem<'_> {
+    fn load(&mut self, a: usize) -> i64 {
+        self.0[a]
+    }
+    fn store(&mut self, a: usize, v: i64) {
+        self.0[a] = v;
+    }
+}
+
+/// Executes one instruction against registers, memory and pc. Returns
+/// `false` on `Halt`. Shared by the native executor and the PM simulation
+/// so their semantics cannot drift.
+pub fn step(instr: Instr, regs: &mut [i64; NREGS], pc: &mut usize, mem: &mut impl MemPort) -> bool {
+    let mut next = *pc + 1;
+    match instr {
+        Instr::LoadImm(d, v) => regs[d] = v,
+        Instr::Mov(d, s) => regs[d] = regs[s],
+        Instr::Add(d, a, b) => regs[d] = regs[a].wrapping_add(regs[b]),
+        Instr::Sub(d, a, b) => regs[d] = regs[a].wrapping_sub(regs[b]),
+        Instr::Mul(d, a, b) => regs[d] = regs[a].wrapping_mul(regs[b]),
+        Instr::Load(d, a) => regs[d] = mem.load(regs[a] as usize),
+        Instr::Store(s, a) => mem.store(regs[a] as usize, regs[s]),
+        Instr::Jmp(t) => next = t,
+        Instr::Jz(c, t) => {
+            if regs[c] == 0 {
+                next = t;
+            }
+        }
+        Instr::Jnz(c, t) => {
+            if regs[c] != 0 {
+                next = t;
+            }
+        }
+        Instr::Jlt(a, b, t) => {
+            if regs[a] < regs[b] {
+                next = t;
+            }
+        }
+        Instr::Halt => return false,
+    }
+    *pc = next;
+    true
+}
+
+/// Runs a program natively against `mem`, up to `max_steps`.
+pub fn run_native(prog: &RamProgram, mem: &mut [i64], max_steps: u64) -> RamResult {
+    let mut regs = [0i64; NREGS];
+    let mut pc = 0usize;
+    let mut steps = 0u64;
+    let mut halted = false;
+    while steps < max_steps {
+        let Some(&instr) = prog.instrs.get(pc) else {
+            halted = true;
+            break;
+        };
+        let cont = step(instr, &mut regs, &mut pc, &mut SliceMem(mem));
+        steps += 1;
+        if !cont {
+            halted = true;
+            break;
+        }
+    }
+    RamResult { steps, regs, halted }
+}
+
+/// Converts a signed simulated word to a persistent-memory word.
+pub fn to_word(v: i64) -> Word {
+    v as Word
+}
+
+/// Converts a persistent-memory word back to a signed simulated word.
+pub fn from_word(w: Word) -> i64 {
+    w as i64
+}
+
+/// Sample programs used by tests, experiments, and benches.
+pub mod programs {
+    use super::*;
+
+    /// Sums `mem[0..n]` into `r0` and stores the result at `mem[n]`.
+    /// Registers: r0 acc, r1 index, r2 limit, r3 scratch, r4 one.
+    pub fn sum_array(n: usize) -> RamProgram {
+        RamProgram::new(vec![
+            Instr::LoadImm(0, 0),            // 0: acc = 0
+            Instr::LoadImm(1, 0),            // 1: i = 0
+            Instr::LoadImm(2, n as i64),     // 2: limit = n
+            Instr::LoadImm(4, 1),            // 3: one = 1
+            // loop:
+            Instr::Jlt(1, 2, 6),             // 4: if i < n goto body
+            Instr::Jmp(10),                  // 5: goto end
+            Instr::Load(3, 1),               // 6: scratch = mem[i]
+            Instr::Add(0, 0, 3),             // 7: acc += scratch
+            Instr::Add(1, 1, 4),             // 8: i += 1
+            Instr::Jmp(4),                   // 9: goto loop
+            // end:
+            Instr::Store(0, 2),              // 10: mem[n] = acc
+            Instr::Halt,                     // 11
+        ])
+    }
+
+    /// Iterative Fibonacci: computes F(k) into `mem[0]`.
+    pub fn fib(k: u64) -> RamProgram {
+        RamProgram::new(vec![
+            Instr::LoadImm(0, 0),        // 0: a = 0
+            Instr::LoadImm(1, 1),        // 1: b = 1
+            Instr::LoadImm(2, k as i64), // 2: counter
+            Instr::LoadImm(4, 1),        // 3: one
+            Instr::LoadImm(5, 0),        // 4: addr 0
+            // loop:
+            Instr::Jz(2, 11),            // 5: while counter != 0
+            Instr::Add(3, 0, 1),         // 6: t = a + b
+            Instr::Mov(0, 1),            // 7: a = b
+            Instr::Mov(1, 3),            // 8: b = t
+            Instr::Sub(2, 2, 4),         // 9: counter -= 1
+            Instr::Jmp(5),               // 10
+            Instr::Store(0, 5),          // 11: mem[0] = a
+            Instr::Halt,                 // 12
+        ])
+    }
+
+    /// In-place bubble sort of `mem[0..n]` — a Load/Store-heavy program
+    /// that stresses the simulated-memory path of the PM simulation.
+    /// Registers: r1 i, r2 j, r3 n-1, r4 one, r5 a, r6 b, r7 addr.
+    pub fn bubble_sort(n: usize) -> RamProgram {
+        let mut p = Vec::new();
+        // for i in 0..n-1 { for j in 0..n-1-i { if mem[j] > mem[j+1] swap } }
+        p.push(Instr::LoadImm(1, 0)); // 0: i = 0
+        p.push(Instr::LoadImm(3, n as i64 - 1)); // 1: n-1
+        p.push(Instr::LoadImm(4, 1)); // 2: one
+        let outer = p.len(); // 3
+        p.push(Instr::Jlt(1, 3, outer + 2)); // if i < n-1 → inner init
+        p.push(Instr::Jmp(usize::MAX)); // → end (patched)
+        p.push(Instr::LoadImm(2, 0)); // j = 0
+        let inner = p.len(); // 6
+        p.push(Instr::Sub(0, 3, 1)); // r0 = n-1-i
+        p.push(Instr::Jlt(2, 0, inner + 3)); // if j < n-1-i → body
+        p.push(Instr::Jmp(usize::MAX)); // → advance i (patched)
+        let body = p.len();
+        assert_eq!(body, inner + 3);
+        p.push(Instr::Load(5, 2)); // body+0: a = mem[j]
+        p.push(Instr::Add(7, 2, 4)); // body+1: addr = j+1
+        p.push(Instr::Load(6, 7)); // body+2: b = mem[j+1]
+        p.push(Instr::Jlt(6, 5, body + 5)); // body+3: if b < a → swap
+        p.push(Instr::Jmp(body + 7)); // body+4: → next j
+        assert_eq!(p.len(), body + 5);
+        p.push(Instr::Store(6, 2)); // body+5: mem[j] = b
+        p.push(Instr::Store(5, 7)); // body+6: mem[j+1] = a
+        assert_eq!(p.len(), body + 7);
+        p.push(Instr::Add(2, 2, 4)); // j += 1
+        p.push(Instr::Jmp(inner));
+        let advance = p.len();
+        p.push(Instr::Add(1, 1, 4)); // i += 1
+        p.push(Instr::Jmp(outer));
+        let end = p.len();
+        p.push(Instr::Halt);
+        p[outer + 1] = Instr::Jmp(end);
+        p[inner + 2] = Instr::Jmp(advance);
+        RamProgram::new(p)
+    }
+
+    /// Writes `value` into `mem[0..n]`.
+    pub fn memset(n: usize, value: i64) -> RamProgram {
+        RamProgram::new(vec![
+            Instr::LoadImm(0, value),        // 0: v
+            Instr::LoadImm(1, 0),            // 1: i
+            Instr::LoadImm(2, n as i64),     // 2: n
+            Instr::LoadImm(4, 1),            // 3: one
+            Instr::Jlt(1, 2, 6),             // 4
+            Instr::Halt,                     // 5
+            Instr::Store(0, 1),              // 6: mem[i] = v
+            Instr::Add(1, 1, 4),             // 7: i += 1
+            Instr::Jmp(4),                   // 8
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::programs::*;
+    use super::*;
+
+    #[test]
+    fn sum_array_sums() {
+        let n = 100;
+        let mut mem: Vec<i64> = (0..n as i64).collect();
+        mem.push(0);
+        let res = run_native(&sum_array(n), &mut mem, 1_000_000);
+        assert!(res.halted);
+        assert_eq!(mem[n], (0..n as i64).sum::<i64>());
+        assert_eq!(res.regs[0], mem[n]);
+    }
+
+    #[test]
+    fn fib_computes_fibonacci() {
+        let mut mem = vec![0i64; 4];
+        let res = run_native(&fib(10), &mut mem, 10_000);
+        assert!(res.halted);
+        assert_eq!(mem[0], 55);
+    }
+
+    #[test]
+    fn memset_fills() {
+        let mut mem = vec![0i64; 32];
+        run_native(&memset(32, 7), &mut mem, 10_000);
+        assert!(mem.iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn bubble_sort_sorts() {
+        let mut mem: Vec<i64> = vec![5, 3, 8, 1, 9, 2, 7, 4, 6, 0];
+        let res = run_native(&bubble_sort(10), &mut mem, 1 << 20);
+        assert!(res.halted);
+        assert_eq!(mem, (0..10).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn step_counts_are_linear_in_n() {
+        let mut m1 = vec![0i64; 101];
+        let mut m2 = vec![0i64; 201];
+        let t1 = run_native(&sum_array(100), &mut m1, 1 << 20).steps;
+        let t2 = run_native(&sum_array(200), &mut m2, 1 << 20).steps;
+        let ratio = t2 as f64 / t1 as f64;
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn step_limit_stops_runaway_programs() {
+        let spin = RamProgram::new(vec![Instr::Jmp(0)]);
+        let mut mem = vec![0i64; 1];
+        let res = run_native(&spin, &mut mem, 1000);
+        assert!(!res.halted);
+        assert_eq!(res.steps, 1000);
+    }
+
+    #[test]
+    fn word_conversion_round_trips() {
+        for v in [0i64, -1, i64::MIN, i64::MAX, 42] {
+            assert_eq!(from_word(to_word(v)), v);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # `ppm` — The Parallel Persistent Memory Model, reproduced in Rust
+//!
+//! A from-scratch implementation of Blelloch, Gibbons, Gu, McGuffey and
+//! Shun, *The Parallel Persistent Memory Model* (SPAA 2018): the machine
+//! model, the capsule methodology for idempotence under processor faults,
+//! the CAM-only fault-tolerant work-stealing scheduler of Figure 3, the
+//! RAM / external-memory / ideal-cache simulations of Theorems 3.2–3.4,
+//! and the four fault-tolerant algorithms of Section 7.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`pm`] (`ppm-pm`) — the persistent-memory substrate: word/block
+//!   memory, CAM/CAS, deterministic fault injection, cost accounting,
+//!   write-after-read validation.
+//! * [`core`] (`ppm-core`) — capsules, continuations, restart semantics,
+//!   join cells, fork-join combinators, machines.
+//! * [`sched`] (`ppm-sched`) — the fault-tolerant WS-deque and scheduler,
+//!   plus the ABP baseline.
+//! * [`sim`] (`ppm-sim`) — the Theorem 3.2–3.4 virtual machines and their
+//!   PM-model simulations.
+//! * [`algs`] (`ppm-algs`) — prefix sums, merging, sorting, matrix
+//!   multiply.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ppm::core::{comp_step, par_all, Machine};
+//! use ppm::pm::{FaultConfig, PmConfig, ProcCtx};
+//! use ppm::sched::{run_computation, SchedConfig};
+//!
+//! // A 4-processor machine where every persistent access faults with
+//! // probability 1% (soft faults: the processor restarts its capsule).
+//! let machine = Machine::new(
+//!     PmConfig::parallel(4, 1 << 20).with_fault(FaultConfig::soft(0.01, 42)),
+//! );
+//! let out = machine.alloc_region(16);
+//!
+//! // Sixteen parallel tasks, each one idempotent capsule.
+//! let comp = par_all(
+//!     (0..16)
+//!         .map(|i| comp_step("task", move |ctx: &mut ProcCtx| ctx.pwrite(out.at(i), i as u64 + 1)))
+//!         .collect(),
+//! );
+//!
+//! let report = run_computation(&machine, &comp, &SchedConfig::with_slots(256));
+//! assert!(report.completed);
+//! for i in 0..16 {
+//!     assert_eq!(machine.mem().load(out.at(i)), i as u64 + 1);
+//! }
+//! ```
+
+pub use ppm_algs as algs;
+pub use ppm_core as core;
+pub use ppm_pm as pm;
+pub use ppm_sched as sched;
+pub use ppm_sim as sim;

@@ -1,0 +1,150 @@
+//! Cross-crate integration: the four §7 algorithms against their
+//! sequential oracles, across machine geometries and fault adversaries.
+
+use ppm::algs::matmul::matmul_pool_words;
+use ppm::algs::sort::samplesort_pool_words;
+use ppm::algs::{matmul_seq, merge_seq, prefix_sum_seq, MatMul, Merge, MergeSort, PrefixSum, SampleSort};
+use ppm::core::Machine;
+use ppm::pm::{FaultConfig, PmConfig};
+use ppm::sched::{run_computation, SchedConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rand_data(seed: u64, n: usize, range: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..range)).collect()
+}
+
+#[test]
+fn prefix_sum_matches_oracle_across_geometries() {
+    for (b, m_eph) in [(4usize, 64usize), (8, 256), (16, 1024)] {
+        for n in [1usize, 7, 64, 1000] {
+            let m = Machine::new(
+                PmConfig::parallel(2, 1 << 21)
+                    .with_block_size(b)
+                    .with_ephemeral_words(m_eph),
+            );
+            let ps = PrefixSum::new(&m, n);
+            let data = rand_data(n as u64 ^ b as u64, n, 1 << 20);
+            ps.load_input(&m, &data);
+            let rep = run_computation(&m, &ps.comp(), &SchedConfig::with_slots(1 << 12));
+            assert!(rep.completed, "B={b} n={n}");
+            assert_eq!(ps.read_output(&m), prefix_sum_seq(&data), "B={b} n={n}");
+        }
+    }
+}
+
+#[test]
+fn merge_matches_oracle_randomized() {
+    for seed in 0..6 {
+        let (la, lb) = (500 + seed as usize * 37, 800 - seed as usize * 41);
+        let m = Machine::new(PmConfig::parallel(3, 1 << 21));
+        let mg = Merge::new(&m, la, lb);
+        let mut a = rand_data(seed, la, 5_000);
+        let mut b = rand_data(seed + 100, lb, 5_000);
+        a.sort_unstable();
+        b.sort_unstable();
+        mg.load_inputs(&m, &a, &b);
+        let rep = run_computation(&m, &mg.comp(), &SchedConfig::with_slots(1 << 12));
+        assert!(rep.completed, "seed {seed}");
+        assert_eq!(mg.read_output(&m), merge_seq(&a, &b), "seed {seed}");
+    }
+}
+
+#[test]
+fn both_sorts_agree_with_std_sort_under_faults() {
+    let n = 1 << 10;
+    for seed in 0..3 {
+        let input = rand_data(seed, n, 1 << 30);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+
+        let m = Machine::new(
+            PmConfig::parallel(2, 1 << 22)
+                .with_ephemeral_words(128)
+                .with_fault(FaultConfig::soft(0.002, seed)),
+        );
+        let ms = MergeSort::new(&m, n);
+        ms.load_input(&m, &input);
+        let rep = run_computation(&m, &ms.comp(), &SchedConfig::with_slots(1 << 13));
+        assert!(rep.completed);
+        assert_eq!(ms.read_output(&m), expect, "mergesort seed {seed}");
+
+        let m2 = Machine::with_pool_words(
+            PmConfig::parallel(2, 1 << 23)
+                .with_ephemeral_words(128)
+                .with_fault(FaultConfig::soft(0.002, seed + 50)),
+            samplesort_pool_words(n),
+        );
+        let ss = SampleSort::new(&m2, n);
+        ss.load_input(&m2, &input);
+        let rep = run_computation(&m2, &ss.comp(), &SchedConfig::with_slots(1 << 14));
+        assert!(rep.completed);
+        assert_eq!(ss.read_output(&m2), expect, "samplesort seed {seed}");
+    }
+}
+
+#[test]
+fn sort_adversarial_inputs() {
+    // Already sorted, reverse sorted, all equal, organ pipe.
+    let n = 700;
+    let inputs: Vec<Vec<u64>> = vec![
+        (0..n as u64).collect(),
+        (0..n as u64).rev().collect(),
+        vec![7; n],
+        (0..n as u64).map(|i| if i < n as u64 / 2 { i } else { n as u64 - i }).collect(),
+    ];
+    for (k, input) in inputs.iter().enumerate() {
+        let m = Machine::with_pool_words(
+            PmConfig::parallel(2, 1 << 23).with_ephemeral_words(64),
+            samplesort_pool_words(n),
+        );
+        let ss = SampleSort::new(&m, n);
+        ss.load_input(&m, input);
+        let rep = run_computation(&m, &ss.comp(), &SchedConfig::with_slots(1 << 14));
+        assert!(rep.completed, "input {k}");
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        assert_eq!(ss.read_output(&m), expect, "input {k}");
+    }
+}
+
+#[test]
+fn matmul_matches_oracle_with_hard_fault() {
+    let n = 20;
+    let m_eph = 128;
+    let m = Machine::with_pool_words(
+        PmConfig::parallel(3, 1 << 23)
+            .with_ephemeral_words(m_eph)
+            .with_fault(FaultConfig::none().with_scheduled_hard_fault(2, 700)),
+        matmul_pool_words(n, m_eph),
+    );
+    let mm = MatMul::new(&m, n);
+    let a = rand_data(1, n * n, 1000);
+    let b = rand_data(2, n * n, 1000);
+    mm.load_inputs(&m, &a, &b);
+    let rep = run_computation(&m, &mm.comp(), &SchedConfig::with_slots(1 << 13));
+    assert!(rep.completed);
+    assert_eq!(rep.dead_procs(), 1);
+    assert_eq!(mm.read_output(&m), matmul_seq(&a, &b, n));
+}
+
+#[test]
+fn algorithms_compose_on_one_machine() {
+    // Prefix-sum the output of a sort — two algorithm instances sharing
+    // one machine and one scheduler run each.
+    let n = 512;
+    let m = Machine::new(PmConfig::parallel(2, 1 << 22).with_ephemeral_words(128));
+    let ms = MergeSort::new(&m, n);
+    let input = rand_data(5, n, 100);
+    ms.load_input(&m, &input);
+    let rep = run_computation(&m, &ms.comp(), &SchedConfig::with_slots(1 << 13));
+    assert!(rep.completed);
+    let sorted = ms.read_output(&m);
+
+    let ps = PrefixSum::new(&m, n);
+    ps.load_input(&m, &sorted);
+    let rep2 = run_computation(&m, &ps.comp(), &SchedConfig::with_slots(1 << 13));
+    assert!(rep2.completed);
+    assert_eq!(ps.read_output(&m), prefix_sum_seq(&sorted));
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the Theorem 3.2–3.4 simulations: on arbitrary
+//! inputs and fault seeds, the PM-model execution is indistinguishable
+//! from the native one.
+
+use ppm::core::Machine;
+use ppm::pm::{FaultConfig, PmConfig};
+use ppm::sim::ram::programs::{bubble_sort, sum_array};
+use ppm::sim::{
+    run_both, run_native_cache, simulate_cache_on_pm, AccessPattern, CachePmLayout,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Theorem 3.2 as a property: any input array, any fault seed —
+    /// identical final memory and registers.
+    #[test]
+    fn ram_simulation_equivalence_sum(
+        data in prop::collection::vec(-1000i64..1000, 1..60),
+        seed in any::<u64>(),
+        f in 0.0f64..0.03,
+    ) {
+        let machine = Machine::new(PmConfig::parallel(1, 1 << 20).with_fault(
+            if f == 0.0 { FaultConfig::none() } else { FaultConfig::soft(f, seed) },
+        ));
+        let mut init = data.clone();
+        init.push(0);
+        let (native, report, pm_mem) = run_both(&machine, &sum_array(data.len()), &init, 1 << 22);
+        prop_assert!(native.halted && report.halted);
+        prop_assert_eq!(report.regs, native.regs);
+        prop_assert_eq!(pm_mem[data.len()], data.iter().sum::<i64>());
+    }
+
+    /// The Load/Store-heavy program: sorting on the simulated RAM under
+    /// faults produces exactly the sorted array.
+    #[test]
+    fn ram_simulation_equivalence_bubble_sort(
+        data in prop::collection::vec(0i64..100, 2..24),
+        seed in any::<u64>(),
+    ) {
+        let machine = Machine::new(
+            PmConfig::parallel(1, 1 << 20).with_fault(FaultConfig::soft(0.01, seed)),
+        );
+        let (native, report, pm_mem) =
+            run_both(&machine, &bubble_sort(data.len()), &data, 1 << 22);
+        prop_assert!(native.halted && report.halted);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(pm_mem, expect);
+    }
+
+    /// Theorem 3.4 as a property: arbitrary random traces and geometries —
+    /// identical final memory, bounded work.
+    #[test]
+    fn cache_simulation_equivalence(
+        n in 50usize..600,
+        range_blocks in 4usize..40,
+        seed in any::<u64>(),
+        f in 0.0f64..0.01,
+    ) {
+        let b = 8usize;
+        let m_sim = 64usize;
+        let range = range_blocks * b;
+        let pattern = AccessPattern::Random { n, range, seed };
+        let machine = Machine::new(
+            PmConfig::parallel(1, 1 << 20)
+                .with_block_size(b)
+                .with_ephemeral_words(m_sim)
+                .with_fault(if f == 0.0 { FaultConfig::none() } else { FaultConfig::soft(f, seed) }),
+        );
+        let layout = CachePmLayout::new(&machine, range, m_sim);
+        simulate_cache_on_pm(&machine, &pattern, layout).unwrap();
+        let mut native_mem = vec![0u64; range];
+        run_native_cache(&pattern, m_sim, b, &mut native_mem);
+        prop_assert_eq!(layout.read_memory(&machine, range), native_mem);
+    }
+}
