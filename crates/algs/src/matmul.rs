@@ -33,7 +33,8 @@ struct MView {
 
 impl MView {
     fn addr(&self, i: usize, j: usize) -> usize {
-        self.region.at((self.row0 + i) * self.stride + self.col0 + j)
+        self.region
+            .at((self.row0 + i) * self.stride + self.col0 + j)
     }
 
     fn quadrant(&self, qi: usize, qj: usize, half: usize) -> MView {
@@ -105,11 +106,8 @@ fn add_views(t1: MView, t2: MView, c: MView, size: usize) -> Comp {
                     for i in r0..r1 {
                         let x = pread_range(ctx, t1.addr(i, 0), size)?;
                         let y = pread_range(ctx, t2.addr(i, 0), size)?;
-                        let sum: Vec<Word> = x
-                            .iter()
-                            .zip(&y)
-                            .map(|(p, q)| p.wrapping_add(*q))
-                            .collect();
+                        let sum: Vec<Word> =
+                            x.iter().zip(&y).map(|(p, q)| p.wrapping_add(*q)).collect();
                         pwrite_range(ctx, c.addr(i, 0), &sum)?;
                     }
                     Ok(())
@@ -129,13 +127,19 @@ fn mult_rec(a: MView, b: MView, c: MView, size: usize) -> Comp {
         let half = size / 2;
         // Two temporaries, each size×size, from the restart-stable pool.
         let t1 = MView {
-            region: Region { start: ctx.palloc(size * size), len: size * size },
+            region: Region {
+                start: ctx.palloc(size * size),
+                len: size * size,
+            },
             row0: 0,
             col0: 0,
             stride: size,
         };
         let t2 = MView {
-            region: Region { start: ctx.palloc(size * size), len: size * size },
+            region: Region {
+                start: ctx.palloc(size * size),
+                len: size * size,
+            },
             row0: 0,
             col0: 0,
             stride: size,
@@ -207,8 +211,12 @@ impl MatMul {
         assert_eq!(b.len(), self.n * self.n);
         for i in 0..self.n {
             for j in 0..self.n {
-                machine.mem().store(self.a.at(i * self.n_pad + j), a[i * self.n + j]);
-                machine.mem().store(self.b.at(i * self.n_pad + j), b[i * self.n + j]);
+                machine
+                    .mem()
+                    .store(self.a.at(i * self.n_pad + j), a[i * self.n + j]);
+                machine
+                    .mem()
+                    .store(self.b.at(i * self.n_pad + j), b[i * self.n + j]);
             }
         }
     }
@@ -442,7 +450,12 @@ mod tests {
 
     #[test]
     fn rectangular_tall_and_wide_shapes() {
-        for (mr, kk, nc) in [(1usize, 16usize, 16usize), (16, 1, 16), (16, 16, 1), (2, 20, 6)] {
+        for (mr, kk, nc) in [
+            (1usize, 16usize, 16usize),
+            (16, 1, 16),
+            (16, 16, 1),
+            (2, 20, 6),
+        ] {
             let m = Machine::with_pool_words(
                 PmConfig::parallel(1, 1 << 22).with_ephemeral_words(256),
                 MatMulRect::pool_words(mr, kk, nc, 256),

@@ -145,8 +145,16 @@ pub(crate) fn merge_runs(a: Run, b: Run, out: Region, olo: usize) -> Comp {
                         ctx.pread(splits + i)? as usize
                     };
                     let (sb0, sb1) = (r0 - sa0, r1 - sa1);
-                    let sub_a = Run { region: a.region, lo: a.lo + sa0, hi: a.lo + sa1 };
-                    let sub_b = Run { region: b.region, lo: b.lo + sb0, hi: b.lo + sb1 };
+                    let sub_a = Run {
+                        region: a.region,
+                        lo: a.lo + sa0,
+                        hi: a.lo + sa1,
+                    };
+                    let sub_b = Run {
+                        region: b.region,
+                        lo: b.lo + sb0,
+                        hi: b.lo + sb1,
+                    };
                     Ok(merge_runs(sub_a, sub_b, out, olo + r0))
                 })
             })
@@ -206,8 +214,16 @@ impl Merge {
         if self.la + self.lb == 0 {
             return comp_nop();
         }
-        let a = Run { region: self.a, lo: 0, hi: self.la };
-        let b = Run { region: self.b, lo: 0, hi: self.lb };
+        let a = Run {
+            region: self.a,
+            lo: 0,
+            hi: self.la,
+        };
+        let b = Run {
+            region: self.b,
+            lo: 0,
+            hi: self.lb,
+        };
         merge_runs(a, b, self.out, 0)
     }
 }

@@ -83,7 +83,9 @@ impl PrefixSum {
 
     /// Reads the output (oracle).
     pub fn read_output(&self, machine: &Machine) -> Vec<Word> {
-        (0..self.n).map(|i| machine.mem().load(self.output.at(i))).collect()
+        (0..self.n)
+            .map(|i| machine.mem().load(self.output.at(i)))
+            .collect()
     }
 
     /// Element range covered by leaf `l`.
@@ -117,10 +119,7 @@ impl PrefixSum {
                 ctx.pwrite(self.sums.at(node), l.wrapping_add(r))
             });
             comp_seq(
-                comp_fork2(
-                    self.upsweep(lc, llo, mid),
-                    self.upsweep(rc, mid, lhi),
-                ),
+                comp_fork2(self.upsweep(lc, llo, mid), self.upsweep(rc, mid, lhi)),
                 combine,
             )
         }
@@ -166,7 +165,10 @@ impl PrefixSum {
     pub fn comp(&self) -> Comp {
         let s = *self;
         let up = comp_dyn("prefix/up", move |_ctx| Ok(s.upsweep(0, 0, s.leaves)));
-        let down = comp_dyn("prefix/down", move |_ctx| Ok(s.downsweep(0, 0, s.leaves, 0)));
+        let down = comp_dyn(
+            "prefix/down",
+            move |_ctx| Ok(s.downsweep(0, 0, s.leaves, 0)),
+        );
         comp_seq(up, down)
     }
 

@@ -55,8 +55,16 @@ pub(crate) fn merge_sort_runs(src: Run, dst: Region, dlo: usize, aux: Region, al
             return Ok(capsule_sort(src, dst, dlo));
         }
         let mid = n / 2;
-        let left = Run { region: src.region, lo: src.lo, hi: src.lo + mid };
-        let right = Run { region: src.region, lo: src.lo + mid, hi: src.hi };
+        let left = Run {
+            region: src.region,
+            lo: src.lo,
+            hi: src.lo + mid,
+        };
+        let right = Run {
+            region: src.region,
+            lo: src.lo + mid,
+            hi: src.hi,
+        };
         // Sort halves into aux (each using the matching dst half as its
         // own scratch), then merge aux halves into dst.
         let sort_halves = comp_fork2(
@@ -64,8 +72,16 @@ pub(crate) fn merge_sort_runs(src: Run, dst: Region, dlo: usize, aux: Region, al
             merge_sort_runs(right, aux, alo + mid, dst, dlo + mid),
         );
         let merged = merge_runs(
-            Run { region: aux, lo: alo, hi: alo + mid },
-            Run { region: aux, lo: alo + mid, hi: alo + n },
+            Run {
+                region: aux,
+                lo: alo,
+                hi: alo + mid,
+            },
+            Run {
+                region: aux,
+                lo: alo + mid,
+                hi: alo + n,
+            },
             dst,
             dlo,
         );
@@ -106,13 +122,19 @@ impl MergeSort {
 
     /// Reads the sorted output (oracle).
     pub fn read_output(&self, machine: &Machine) -> Vec<Word> {
-        (0..self.n).map(|i| machine.mem().load(self.output.at(i))).collect()
+        (0..self.n)
+            .map(|i| machine.mem().load(self.output.at(i)))
+            .collect()
     }
 
     /// The sorting computation.
     pub fn comp(&self) -> Comp {
         merge_sort_runs(
-            Run { region: self.input, lo: 0, hi: self.n },
+            Run {
+                region: self.input,
+                lo: 0,
+                hi: self.n,
+            },
             self.output,
             0,
             self.aux,
@@ -208,7 +230,10 @@ impl Scratch {
             samples_sorted: region_at(ctx.palloc(g.total_samples.max(1)), g.total_samples.max(1)),
             samples_aux: region_at(ctx.palloc(g.total_samples.max(1)), g.total_samples.max(1)),
             pivots: region_at(ctx.palloc(g.buckets.max(2) - 1), g.buckets.max(2) - 1),
-            bounds: region_at(ctx.palloc(g.rows * (g.buckets + 1)), g.rows * (g.buckets + 1)),
+            bounds: region_at(
+                ctx.palloc(g.rows * (g.buckets + 1)),
+                g.rows * (g.buckets + 1),
+            ),
             counts_cm: region_at(ctx.palloc(cm), cm),
             sums: region_at(ctx.palloc(cm), cm),
             sums_tree: region_at(
@@ -225,7 +250,11 @@ impl Scratch {
 fn node_scratch_words(n: usize) -> usize {
     let g = Geometry::new(n);
     let cm = g.rows * g.buckets;
-    3 * n + 3 * g.total_samples + g.buckets + g.rows * (g.buckets + 1) + 2 * cm
+    3 * n
+        + 3 * g.total_samples
+        + g.buckets
+        + g.rows * (g.buckets + 1)
+        + 2 * cm
         + PrefixSum::sums_words(cm.max(1), 8)
         + 64
 }
@@ -247,26 +276,26 @@ fn transpose_counts(g: Geometry, s: Scratch, r0: usize, r1: usize, j0: usize, j1
         let area = (r1 - r0) * (j1 - j0);
         let cap = (ctx.ephemeral_words() / 4).max(64);
         if area <= cap {
-            return Ok(comp_step("ssort/transpose-base", move |ctx: &mut ProcCtx| {
-                // Read each row's boundary slice [j0..j1], emit per-column
-                // contiguous runs of counts.
-                let mut cols: Vec<Vec<Word>> = vec![Vec::with_capacity(r1 - r0); j1 - j0];
-                for i in r0..r1 {
-                    let row = pread_range(
-                        ctx,
-                        s.bounds.at(i * (g.buckets + 1) + j0),
-                        j1 - j0 + 1,
-                    )?;
-                    for (c, w) in row.windows(2).enumerate() {
-                        cols[c].push(w[1] - w[0]);
+            return Ok(comp_step(
+                "ssort/transpose-base",
+                move |ctx: &mut ProcCtx| {
+                    // Read each row's boundary slice [j0..j1], emit per-column
+                    // contiguous runs of counts.
+                    let mut cols: Vec<Vec<Word>> = vec![Vec::with_capacity(r1 - r0); j1 - j0];
+                    for i in r0..r1 {
+                        let row =
+                            pread_range(ctx, s.bounds.at(i * (g.buckets + 1) + j0), j1 - j0 + 1)?;
+                        for (c, w) in row.windows(2).enumerate() {
+                            cols[c].push(w[1] - w[0]);
+                        }
                     }
-                }
-                for (c, col) in cols.iter().enumerate() {
-                    let j = j0 + c;
-                    pwrite_range(ctx, s.counts_cm.at(j * g.rows + r0), col)?;
-                }
-                Ok(())
-            }));
+                    for (c, col) in cols.iter().enumerate() {
+                        let j = j0 + c;
+                        pwrite_range(ctx, s.counts_cm.at(j * g.rows + r0), col)?;
+                    }
+                    Ok(())
+                },
+            ));
         }
         if r1 - r0 >= j1 - j0 {
             let rm = (r0 + r1) / 2;
@@ -300,11 +329,8 @@ fn bucket_scatter(g: Geometry, s: Scratch, r0: usize, r1: usize, j0: usize, j1: 
                 let mut runs: Vec<Vec<Word>> = vec![Vec::new(); j1 - j0];
                 let mut dests: Vec<usize> = vec![0; j1 - j0];
                 for i in r0..r1 {
-                    let brow = pread_range(
-                        ctx,
-                        s.bounds.at(i * (g.buckets + 1) + j0),
-                        j1 - j0 + 1,
-                    )?;
+                    let brow =
+                        pread_range(ctx, s.bounds.at(i * (g.buckets + 1) + j0), j1 - j0 + 1)?;
                     let lo = brow[0] as usize;
                     let hi = brow[j1 - j0] as usize;
                     let data = if hi > lo {
@@ -383,8 +409,7 @@ fn sample_sort_runs(src: Run, dst: Region, dlo: usize, progress: bool) -> Comp {
             .map(|i| {
                 comp_step("ssort/sample", move |ctx: &mut ProcCtx| {
                     let row = pread_range(ctx, s.subsorted.at(i * g.sub), g.row_len(i))?;
-                    let picks: Vec<Word> =
-                        row.iter().step_by(g.stride).copied().collect();
+                    let picks: Vec<Word> = row.iter().step_by(g.stride).copied().collect();
                     debug_assert_eq!(picks.len(), g.samples_in_row(i));
                     pwrite_range(ctx, s.samples.at(g.sample_offset(i)), &picks)
                 })
@@ -393,7 +418,11 @@ fn sample_sort_runs(src: Run, dst: Region, dlo: usize, progress: bool) -> Comp {
 
         // Phase 3: sort the samples.
         let sort_samples = merge_sort_runs(
-            Run { region: s.samples, lo: 0, hi: g.total_samples },
+            Run {
+                region: s.samples,
+                lo: 0,
+                hi: g.total_samples,
+            },
             s.samples_sorted,
             0,
             s.samples_aux,
@@ -412,8 +441,7 @@ fn sample_sort_runs(src: Run, dst: Region, dlo: usize, progress: bool) -> Comp {
                     }
                     let mut vals = Vec::with_capacity(hi - lo);
                     for j in lo..hi {
-                        let idx = ((j + 1) * g.total_samples / g.buckets)
-                            .min(g.total_samples - 1);
+                        let idx = ((j + 1) * g.total_samples / g.buckets).min(g.total_samples - 1);
                         vals.push(ctx.pread(s.samples_sorted.at(idx))?);
                     }
                     pwrite_range(ctx, s.pivots.at(lo), &vals)
@@ -445,14 +473,8 @@ fn sample_sort_runs(src: Run, dst: Region, dlo: usize, progress: bool) -> Comp {
         // Phase 6: counts transpose, prefix sums over column-major counts.
         let transpose = transpose_counts(g, s, 0, g.rows, 0, g.buckets);
         let b = ctx.block_size();
-        let prefix = PrefixSum::with_regions(
-            s.counts_cm,
-            s.sums,
-            s.sums_tree,
-            g.rows * g.buckets,
-            b,
-        )
-        .comp();
+        let prefix =
+            PrefixSum::with_regions(s.counts_cm, s.sums, s.sums_tree, g.rows * g.buckets, b).comp();
 
         // Phase 7: bucket transpose (the key move), then recurse per
         // bucket into dst.
@@ -469,7 +491,11 @@ fn sample_sort_runs(src: Run, dst: Region, dlo: usize, progress: bool) -> Comp {
                     if start == end {
                         return Ok(ppm_core::comp_nop());
                     }
-                    let bucket = Run { region: s.bucketed, lo: start, hi: end };
+                    let bucket = Run {
+                        region: s.bucketed,
+                        lo: start,
+                        hi: end,
+                    };
                     Ok(sample_sort_runs(
                         bucket,
                         dst,
@@ -535,13 +561,19 @@ impl SampleSort {
 
     /// Reads the sorted output (oracle).
     pub fn read_output(&self, machine: &Machine) -> Vec<Word> {
-        (0..self.n).map(|i| machine.mem().load(self.output.at(i))).collect()
+        (0..self.n)
+            .map(|i| machine.mem().load(self.output.at(i)))
+            .collect()
     }
 
     /// The sorting computation.
     pub fn comp(&self) -> Comp {
         sample_sort_runs(
-            Run { region: self.input, lo: 0, hi: self.n },
+            Run {
+                region: self.input,
+                lo: 0,
+                hi: self.n,
+            },
             self.output,
             0,
             true,

@@ -85,12 +85,12 @@ mod tests {
         ctx.begin_capsule("w");
         let before = ctx.stats().snapshot().total_writes;
         // 32 aligned words = 4 blocks = 4 writes.
-        pwrite_range(&mut ctx, r.at(0), &vec![1u64; 32]).unwrap();
+        pwrite_range(&mut ctx, r.at(0), &[1u64; 32]).unwrap();
         assert_eq!(ctx.stats().snapshot().total_writes - before, 4);
         // 10 words starting at offset 5 (region is block-aligned): words
         // 5..15 span blocks [0..8) and [8..16) — two transfers.
         let before = ctx.stats().snapshot().total_writes;
-        pwrite_range(&mut ctx, r.at(5), &vec![2u64; 10]).unwrap();
+        pwrite_range(&mut ctx, r.at(5), &[2u64; 10]).unwrap();
         assert_eq!(ctx.stats().snapshot().total_writes - before, 2);
     }
 

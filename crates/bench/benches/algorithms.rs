@@ -4,9 +4,11 @@
 //! algorithms').
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ppm_algs::sort::samplesort_pool_words;
-use ppm_algs::{matmul_seq, merge_seq, prefix_sum_seq, MatMul, Merge, MergeSort, PrefixSum, SampleSort};
 use ppm_algs::matmul::matmul_pool_words;
+use ppm_algs::sort::samplesort_pool_words;
+use ppm_algs::{
+    matmul_seq, merge_seq, prefix_sum_seq, MatMul, Merge, MergeSort, PrefixSum, SampleSort,
+};
 use ppm_core::Machine;
 use ppm_pm::{PmConfig, ValidateMode};
 use ppm_sched::{run_computation, SchedConfig};
@@ -62,7 +64,9 @@ fn bench_merge(c: &mut Criterion) {
 
 fn bench_sorts(c: &mut Criterion) {
     let n = 1 << 12;
-    let data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9) % 1_000_000).collect();
+    let data: Vec<u64> = (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9) % 1_000_000)
+        .collect();
     let mut g = c.benchmark_group("algorithms/sort");
     g.sample_size(10);
     g.bench_function("mergesort_pm_p4", |b| {
@@ -114,5 +118,11 @@ fn bench_matmul(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_prefix, bench_merge, bench_sorts, bench_matmul);
+criterion_group!(
+    benches,
+    bench_prefix,
+    bench_merge,
+    bench_sorts,
+    bench_matmul
+);
 criterion_main!(benches);

@@ -38,14 +38,18 @@ fn bench_ft_vs_abp(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduler/ft_vs_abp");
     g.sample_size(10);
     for procs in [1usize, 4] {
-        g.bench_with_input(BenchmarkId::new("fault_tolerant", procs), &procs, |b, &p| {
-            b.iter(|| {
-                let m = machine(p, 0.0);
-                let r = m.alloc_region(n);
-                let rep = run_computation(&m, &fanout(r, n), &SchedConfig::with_slots(1 << 12));
-                assert!(rep.completed);
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("fault_tolerant", procs),
+            &procs,
+            |b, &p| {
+                b.iter(|| {
+                    let m = machine(p, 0.0);
+                    let r = m.alloc_region(n);
+                    let rep = run_computation(&m, &fanout(r, n), &SchedConfig::with_slots(1 << 12));
+                    assert!(rep.completed);
+                })
+            },
+        );
         g.bench_with_input(BenchmarkId::new("abp_baseline", procs), &procs, |b, &p| {
             b.iter(|| {
                 let m = machine(p, 0.0);

@@ -69,7 +69,11 @@ fn bench_em(c: &mut Criterion) {
 }
 
 fn bench_cache(c: &mut Criterion) {
-    let pattern = AccessPattern::Random { n: 4096, range: 512, seed: 2 };
+    let pattern = AccessPattern::Random {
+        n: 4096,
+        range: 512,
+        seed: 2,
+    };
     let (m_sim, b) = (64usize, 8usize);
     let mut g = c.benchmark_group("simulations/cache");
     g.sample_size(10);
@@ -87,7 +91,7 @@ fn bench_cache(c: &mut Criterion) {
                     .with_ephemeral_words(m_sim),
             ));
             let layout = CachePmLayout::new(&m, 512, m_sim);
-            std::hint::black_box(simulate_cache_on_pm(&m, &pattern, layout).unwrap())
+            simulate_cache_on_pm(&m, &pattern, layout).unwrap()
         })
     });
     g.finish();

@@ -38,16 +38,21 @@ fn main() {
         "fault-tolerant scheduler vs ABP baseline, model cost",
         "fault tolerance costs a modest constant factor over the non-tolerant ABP",
     );
-    header(&["tasks", "leaf", "W (FT)", "W (ABP)", "ratio", "user work"], &W);
+    header(
+        &["tasks", "leaf", "W (FT)", "W (ABP)", "ratio", "user work"],
+        &W,
+    );
 
     for (n, leaf_work) in [(64usize, 1usize), (64, 8), (64, 64), (256, 8), (1024, 8)] {
-        let cfg = || {
-            PmConfig::parallel(1, 1 << 24).with_validate(ValidateMode::Off)
-        };
+        let cfg = || PmConfig::parallel(1, 1 << 24).with_validate(ValidateMode::Off);
         let ft = {
             let m = Machine::new(cfg());
             let r = m.alloc_region(n * leaf_work);
-            let rep = run_computation(&m, &tasks(r, n, leaf_work), &SchedConfig::with_slots(1 << 13));
+            let rep = run_computation(
+                &m,
+                &tasks(r, n, leaf_work),
+                &SchedConfig::with_slots(1 << 13),
+            );
             assert!(rep.completed);
             rep.stats.total_work()
         };

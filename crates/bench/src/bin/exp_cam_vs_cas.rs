@@ -90,7 +90,11 @@ fn main() {
                     s(f),
                     s(wins),
                     s(claims),
-                    format!("{} ({}%)", wins - claims, f2(100.0 * (wins - claims) as f64 / wins as f64)),
+                    format!(
+                        "{} ({}%)",
+                        wins - claims,
+                        f2(100.0 * (wins - claims) as f64 / wins as f64)
+                    ),
                 ],
                 &W,
             );

@@ -74,7 +74,10 @@ fn main() {
             assert!(rep.completed, "k={k} f={f}");
             // Verify the copy.
             for i in 0..nblocks * b {
-                assert_eq!(m.mem().load(dst.at(i)), (i as u64).wrapping_mul(3).wrapping_add(1));
+                assert_eq!(
+                    m.mem().load(dst.at(i)),
+                    (i as u64).wrapping_mul(3).wrapping_add(1)
+                );
             }
             results.push((k, rep.stats));
         }

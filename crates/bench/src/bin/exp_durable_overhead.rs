@@ -1,0 +1,136 @@
+//! Durable-vs-volatile overhead: what does file-backed persistence cost?
+//!
+//! Runs the same fork-join computation on (a) a volatile machine (words in
+//! process heap) and (b) a durable machine (words `MAP_SHARED`-mapped onto
+//! a file), and reports wall-clock means plus the cost of the explicit
+//! `flush()` (`msync`) durability boundary. Expectation: the mapped page
+//! cache makes per-access overhead small — the durability tax is
+//! concentrated in `flush`.
+//!
+//! `cargo run --release -p ppm-bench --bin exp_durable_overhead`
+
+use std::time::{Duration, Instant};
+
+use ppm_bench::{banner, f2, header, row, s};
+use ppm_core::{comp_step, par_all, Comp, Machine};
+use ppm_pm::{PmConfig, ProcCtx, Region};
+use ppm_sched::{run_computation, SchedConfig};
+
+const PROCS: usize = 4;
+const WORDS: usize = 1 << 21;
+const TRIALS: usize = 5;
+
+fn build_comp(out: Region, n: usize) -> Comp {
+    par_all(
+        (0..n)
+            .map(|i| {
+                comp_step("work", move |ctx: &mut ProcCtx| {
+                    // A read-modify-chain per task: real external traffic. The
+                    // read stride 17 is odd and n is a power of two, so a
+                    // task never reads the cell it writes (conflict free).
+                    let mut acc = 0u64;
+                    for k in 1..=32 {
+                        acc = acc.wrapping_add(ctx.pread(out.at((i + k * 17) % n))?);
+                    }
+                    ctx.pwrite(out.at(i), acc.wrapping_add(i as u64 + 1))
+                })
+            })
+            .collect(),
+    )
+}
+
+struct Measured {
+    run_mean: Duration,
+    flush_mean: Duration,
+}
+
+fn run_trials(n: usize, durable: bool) -> Measured {
+    let mut run_total = Duration::ZERO;
+    let mut flush_total = Duration::ZERO;
+    for trial in 0..TRIALS {
+        let path = {
+            let mut p = std::env::temp_dir();
+            p.push(format!(
+                "ppm-durable-overhead-{}-{trial}.ppm",
+                std::process::id()
+            ));
+            p
+        };
+        let m = if durable {
+            Machine::create_durable(PmConfig::parallel(PROCS, WORDS), &path)
+                .expect("create durable machine")
+        } else {
+            Machine::new(PmConfig::parallel(PROCS, WORDS))
+        };
+        let out = m.alloc_region(n);
+        let comp = build_comp(out, n);
+        let start = Instant::now();
+        let rep = run_computation(&m, &comp, &SchedConfig::with_slots(1 << 12));
+        run_total += start.elapsed();
+        assert!(rep.completed);
+        let start = Instant::now();
+        m.flush().expect("flush");
+        flush_total += start.elapsed();
+        drop(m);
+        if durable {
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+    Measured {
+        run_mean: run_total / TRIALS as u32,
+        flush_mean: flush_total / TRIALS as u32,
+    }
+}
+
+fn main() {
+    banner(
+        "E-DUR",
+        "durable (mmap) vs volatile backend overhead",
+        "persistence via a shared file mapping costs little during the run; \
+         the durability tax is the explicit msync boundary",
+    );
+    if !cfg!(unix) {
+        println!("durable backend needs unix mmap; skipping");
+        return;
+    }
+    let widths = [8, 12, 14, 14, 14, 10];
+    header(
+        &[
+            "tasks",
+            "backend",
+            "run mean",
+            "flush mean",
+            "run+flush",
+            "overhead",
+        ],
+        &widths,
+    );
+    for n in [256usize, 1024, 4096] {
+        let vol = run_trials(n, false);
+        let dur = run_trials(n, true);
+        let overhead = (dur.run_mean + dur.flush_mean).as_secs_f64()
+            / (vol.run_mean + vol.flush_mean).as_secs_f64();
+        row(
+            &[
+                s(n),
+                s("volatile"),
+                s(format!("{:?}", vol.run_mean)),
+                s(format!("{:?}", vol.flush_mean)),
+                s(format!("{:?}", vol.run_mean + vol.flush_mean)),
+                s("1.00x"),
+            ],
+            &widths,
+        );
+        row(
+            &[
+                s(n),
+                s("mmap"),
+                s(format!("{:?}", dur.run_mean)),
+                s(format!("{:?}", dur.flush_mean)),
+                s(format!("{:?}", dur.run_mean + dur.flush_mean)),
+                s(format!("{}x", f2(overhead))),
+            ],
+            &widths,
+        );
+    }
+}

@@ -41,7 +41,15 @@ fn main() {
         "every enabled thread runs to completion exactly once under soft+hard faults",
     );
     header(
-        &["trials", "procs", "f", "hard", "completed", "verified", "deaths"],
+        &[
+            "trials",
+            "procs",
+            "f",
+            "hard",
+            "completed",
+            "verified",
+            "deaths",
+        ],
         &W,
     );
 

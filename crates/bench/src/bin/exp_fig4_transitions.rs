@@ -30,9 +30,8 @@ fn main() {
     );
 
     let machine = Machine::new(
-        PmConfig::parallel(4, 1 << 22).with_fault(
-            FaultConfig::soft(0.01, 4).with_scheduled_hard_fault(2, 900),
-        ),
+        PmConfig::parallel(4, 1 << 22)
+            .with_fault(FaultConfig::soft(0.01, 4).with_scheduled_hard_fault(2, 900)),
     );
     let n = 160;
     let r = machine.alloc_region(n);
@@ -55,11 +54,14 @@ fn main() {
     let matrix: Arc<Mutex<[[u64; 4]; 4]>> = Arc::new(Mutex::new([[0; 4]; 4]));
     {
         let matrix = matrix.clone();
-        machine.mem().set_observer(Some(Arc::new(move |addr, prev, new| {
-            if ranges.iter().any(|(s, e)| addr >= *s && addr < *e) {
-                matrix.lock().unwrap()[kind_index(kind_of(prev))][kind_index(kind_of(new))] += 1;
-            }
-        })));
+        machine
+            .mem()
+            .set_observer(Some(Arc::new(move |addr, prev, new| {
+                if ranges.iter().any(|(s, e)| addr >= *s && addr < *e) {
+                    matrix.lock().unwrap()[kind_index(kind_of(prev))][kind_index(kind_of(new))] +=
+                        1;
+                }
+            })));
     }
 
     let report = run_root_on(&machine, &sched, root, done);

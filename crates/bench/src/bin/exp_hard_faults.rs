@@ -94,9 +94,10 @@ fn main() {
     for seed in 0..12u64 {
         let at = 100 + (seed * 997) % 2000;
         let victim = 1 + (seed as usize % (p - 1));
-        let m = Machine::new(PmConfig::parallel(p, 1 << 23).with_fault(
-            FaultConfig::none().with_scheduled_hard_fault(victim, at),
-        ));
+        let m = Machine::new(
+            PmConfig::parallel(p, 1 << 23)
+                .with_fault(FaultConfig::none().with_scheduled_hard_fault(victim, at)),
+        );
         let r = m.alloc_region(n * 8);
         let rep = run_computation(&m, &tasks(r, n), &SchedConfig::with_slots(1 << 12));
         assert!(rep.completed, "seed {seed}");

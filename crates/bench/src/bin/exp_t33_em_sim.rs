@@ -33,7 +33,11 @@ fn run_case(name: &str, prog: &EmProgram, ext: Vec<i64>, f: f64) {
 
     let mut native_ext = ext.clone();
     let native = run_native_em(prog, &mut native_ext, 1 << 24);
-    assert_eq!(layout.read_ext(&machine, ext.len()), native_ext, "must match native");
+    assert_eq!(
+        layout.read_ext(&machine, ext.len()),
+        native_ext,
+        "must match native"
+    );
 
     let snap = machine.snapshot();
     row(

@@ -76,7 +76,11 @@ fn main() {
     for (m, b) in [(32usize, 8usize), (64, 8), (128, 16)] {
         run_case(
             "random(4k/512)",
-            &AccessPattern::Random { n: 4096, range: 512, seed: 9 },
+            &AccessPattern::Random {
+                n: 4096,
+                range: 512,
+                seed: 9,
+            },
             m,
             b,
             0.0,
@@ -86,7 +90,11 @@ fn main() {
     for f in [0.0, 0.002, 0.01] {
         run_case(
             "strided(4k,s=7)",
-            &AccessPattern::Strided { n: 4096, stride: 7, range: 512 },
+            &AccessPattern::Strided {
+                n: 4096,
+                stride: 7,
+                range: 512,
+            },
             64,
             8,
             f,

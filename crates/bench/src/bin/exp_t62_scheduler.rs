@@ -40,7 +40,12 @@ fn main() {
     let n = 256;
     let leaf_work = 8;
 
-    println!("(host cores: {}; with fewer cores than P, the OS is the ABP", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1));
+    println!(
+        "(host cores: {}; with fewer cores than P, the OS is the ABP",
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+    );
     println!(" multiprogramming adversary and P_A < P)\n");
     println!("-- P sweep (f = 0): time T = max per-proc transfers --");
     header(&["P", "f", "W_f", "T", "restarts", "C", "T(1)/T"], &W1);
@@ -48,7 +53,11 @@ fn main() {
     for p in [1usize, 2, 4, 8] {
         let m = Machine::new(PmConfig::parallel(p, 1 << 23));
         let r = m.alloc_region(n * leaf_work);
-        let rep = run_computation(&m, &balanced(r, n, leaf_work), &SchedConfig::with_slots(1 << 12));
+        let rep = run_computation(
+            &m,
+            &balanced(r, n, leaf_work),
+            &SchedConfig::with_slots(1 << 12),
+        );
         assert!(rep.completed);
         let t = rep.stats.time();
         if p == 1 {
@@ -79,7 +88,11 @@ fn main() {
         };
         let m = Machine::new(PmConfig::parallel(4, 1 << 23).with_fault(cfg));
         let r = m.alloc_region(n * leaf_work);
-        let rep = run_computation(&m, &balanced(r, n, leaf_work), &SchedConfig::with_slots(1 << 12));
+        let rep = run_computation(
+            &m,
+            &balanced(r, n, leaf_work),
+            &SchedConfig::with_slots(1 << 12),
+        );
         assert!(rep.completed);
         if f == 0.0 {
             w0 = rep.stats.total_work();
@@ -104,11 +117,13 @@ fn main() {
         "f", "restart ratio", "predicted ceil factor"
     );
     for f in [0.001, 0.005, 0.01, 0.02] {
-        let m = Machine::new(
-            PmConfig::parallel(2, 1 << 23).with_fault(FaultConfig::soft(f, 3)),
-        );
+        let m = Machine::new(PmConfig::parallel(2, 1 << 23).with_fault(FaultConfig::soft(f, 3)));
         let r = m.alloc_region(n * leaf_work);
-        let rep = run_computation(&m, &balanced(r, n, leaf_work), &SchedConfig::with_slots(1 << 12));
+        let rep = run_computation(
+            &m,
+            &balanced(r, n, leaf_work),
+            &SchedConfig::with_slots(1 << 12),
+        );
         assert!(rep.completed);
         let sx = &rep.stats;
         let c = sx.max_capsule_work.max(1) as f64;

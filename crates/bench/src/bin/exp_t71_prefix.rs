@@ -5,8 +5,8 @@
 //! constant), the measured maximum capsule work (should be flat), and a
 //! faulty run verified against the oracle.
 
-use ppm_bench::{banner, f2, header, row, s};
 use ppm_algs::{prefix_sum_seq, PrefixSum};
+use ppm_bench::{banner, f2, header, row, s};
 use ppm_core::Machine;
 use ppm_pm::{FaultConfig, PmConfig};
 use ppm_sched::{run_computation, SchedConfig};
@@ -29,7 +29,11 @@ fn run_case(n: usize, b: usize, f: f64) {
     ps.load_input(&m, &data);
     let rep = run_computation(&m, &ps.comp(), &SchedConfig::with_slots(1 << 15));
     assert!(rep.completed);
-    assert_eq!(ps.read_output(&m), prefix_sum_seq(&data), "n={n} B={b} f={f}");
+    assert_eq!(
+        ps.read_output(&m),
+        prefix_sum_seq(&data),
+        "n={n} B={b} f={f}"
+    );
     let st = &rep.stats;
     row(
         &[

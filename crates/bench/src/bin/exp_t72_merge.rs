@@ -61,7 +61,10 @@ fn main() {
         "parallel merging by dual binary search",
         "O(n/B) work, O(log n) depth, O(log n) maximum capsule work",
     );
-    header(&["n", "B", "f", "W_f", "W/(n/B)", "C", "log2 n", "faults"], &W);
+    header(
+        &["n", "B", "f", "W_f", "W/(n/B)", "C", "log2 n", "faults"],
+        &W,
+    );
 
     for n in [1 << 9, 1 << 11, 1 << 13, 1 << 15] {
         run_case(n, 8, 0.0);

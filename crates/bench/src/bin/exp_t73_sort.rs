@@ -10,7 +10,7 @@ use ppm_algs::sort::samplesort_pool_words;
 use ppm_algs::{MergeSort, SampleSort};
 use ppm_bench::{banner, f2, header, row, s};
 use ppm_core::Machine;
-use ppm_pm::{PmConfig};
+use ppm_pm::PmConfig;
 use ppm_sched::{run_computation, SchedConfig};
 
 const W: [usize; 8] = [8, 11, 11, 9, 10, 10, 9, 9];
@@ -32,7 +32,16 @@ fn main() {
     let b = 8;
 
     header(
-        &["n", "W merge", "W sample", "ms/ss", "per-lvl-m", "per-lvl-s", "log(n/M)", "log_M n"],
+        &[
+            "n",
+            "W merge",
+            "W sample",
+            "ms/ss",
+            "per-lvl-m",
+            "per-lvl-s",
+            "log(n/M)",
+            "log_M n",
+        ],
         &W,
     );
 

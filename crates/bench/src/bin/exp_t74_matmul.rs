@@ -58,10 +58,7 @@ fn main() {
         "8-way recursive matrix multiplication",
         "O(n^3/(B sqrt(M))) work, O(M^{3/2}) maximum capsule work",
     );
-    header(
-        &["n", "M", "f", "W_f", "W/model", "C", "faults"],
-        &W,
-    );
+    header(&["n", "M", "f", "W_f", "W/model", "C", "faults"], &W);
 
     // n sweep at fixed M.
     for n in [16usize, 32, 64, 128] {

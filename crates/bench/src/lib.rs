@@ -21,7 +21,10 @@ pub fn row(cells: &[String], widths: &[usize]) {
 
 /// Prints a table header with a rule.
 pub fn header(names: &[&str], widths: &[usize]) {
-    row(&names.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    row(
+        &names.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     println!("|-{}-|", rule.join("-|-"));
 }

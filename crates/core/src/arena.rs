@@ -83,7 +83,13 @@ impl ContArena {
     /// Registers `cont` at a *fixed* slot address (the per-processor
     /// two-slot swap of §4.1's tail-call optimization, used by the engine
     /// for thread continuations). Costs one external write.
-    pub fn register_at(&self, ctx: &mut ProcCtx, slot: Addr, cont: Cont, gen: Word) -> PmResult<()> {
+    pub fn register_at(
+        &self,
+        ctx: &mut ProcCtx,
+        slot: Addr,
+        cont: Cont,
+        gen: Word,
+    ) -> PmResult<()> {
         self.shard(slot).write().insert(slot, cont);
         ctx.pwrite(slot, gen)?;
         Ok(())
@@ -132,7 +138,13 @@ mod tests {
         let stats = Arc::new(MemStats::new(1));
         let live = Arc::new(ppm_pm::Liveness::new(1));
         let mut ctx = ProcCtx::new(&cfg, 0, mem, stats, live);
-        ctx.set_alloc_pool(Region { start: 64, len: 1024 }, 0);
+        ctx.set_alloc_pool(
+            Region {
+                start: 64,
+                len: 1024,
+            },
+            0,
+        );
         ctx
     }
 
@@ -185,9 +197,7 @@ mod tests {
         let arena = ContArena::new();
         let mut ctx = ctx_with_pool();
         ctx.begin_capsule("t");
-        arena
-            .register_at(&mut ctx, 40, end_capsule(), 1)
-            .unwrap();
+        arena.register_at(&mut ctx, 40, end_capsule(), 1).unwrap();
         arena
             .register_at(
                 &mut ctx,

@@ -61,7 +61,10 @@ pub fn comp_seq(a: Comp, b: Comp) -> Comp {
 
 /// Sequential composition of many computations, in order.
 pub fn seq_all(comps: Vec<Comp>) -> Comp {
-    comps.into_iter().rev().fold(comp_nop(), |acc, c| comp_seq(c, acc))
+    comps
+        .into_iter()
+        .rev()
+        .fold(comp_nop(), |acc, c| comp_seq(c, acc))
 }
 
 /// Parallel composition: forks `right` as a new thread, runs `left` on the

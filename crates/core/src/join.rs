@@ -164,7 +164,13 @@ mod tests {
         // the continuation.
         let marker = m.alloc_region(8);
         let after = final_capsule("after", move |ctx| ctx.pwrite(marker.at(0), 1));
-        run_chain(&mut ctx, m.arena(), &mut install, cell.arrive(TOKEN_LEFT, after)).unwrap();
+        run_chain(
+            &mut ctx,
+            m.arena(),
+            &mut install,
+            cell.arrive(TOKEN_LEFT, after),
+        )
+        .unwrap();
         assert_eq!(m.mem().load(marker.at(0)), 0, "after must not have run");
         assert_eq!(m.mem().load(cell.addr()), TOKEN_LEFT);
     }

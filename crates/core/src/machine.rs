@@ -57,6 +57,10 @@ pub struct Machine {
     layout: Mutex<LayoutBuilder>,
     proc_meta: Region,
     pools: Vec<Region>,
+    pool_words: usize,
+    /// Durable-backend run epoch (1 for the creating run, +1 per reopen);
+    /// 0 for volatile machines.
+    epoch: u64,
 }
 
 /// Default per-processor allocation pool size in words. Each fork consumes
@@ -81,6 +85,15 @@ impl Machine {
     /// a configuration error.
     pub fn with_pool_words(cfg: PmConfig, pool_words: usize) -> Self {
         let mem = Arc::new(PersistentMemory::new(cfg.persistent_words, cfg.block_size));
+        Self::from_mem(cfg, pool_words, mem, 0)
+    }
+
+    /// Builds a machine over already-constructed memory, replaying the
+    /// deterministic address-space layout (null guard, processor metadata,
+    /// pools). Every construction path funnels through here, which is what
+    /// makes a reopened durable machine's layout line up with the layout
+    /// of the run that created the file.
+    fn from_mem(cfg: PmConfig, pool_words: usize, mem: Arc<PersistentMemory>, epoch: u64) -> Self {
         let mut layout = LayoutBuilder::new(cfg.persistent_words, cfg.block_size);
         // Reserve the first block so that address 0 is never a valid handle
         // (the arena's null handle).
@@ -94,9 +107,105 @@ impl Machine {
             layout: Mutex::new(layout),
             proc_meta,
             pools,
+            pool_words,
+            epoch,
             mem,
             cfg,
         }
+    }
+
+    /// Creates a machine whose persistent memory is a durable file at
+    /// `path` (truncating anything already there), with default pool
+    /// sizing. The file records the machine shape in its superblock so
+    /// [`Machine::reopen`] can rebuild the machine in a later process.
+    ///
+    /// The fault adversary and validation mode of `cfg` apply to this run
+    /// but are not persisted.
+    #[cfg(unix)]
+    pub fn create_durable(
+        cfg: PmConfig,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<Self> {
+        let budget = cfg.persistent_words / 2 / cfg.procs.max(1);
+        Self::create_durable_with_pool_words(cfg, DEFAULT_POOL_WORDS.min(budget).max(1), path)
+    }
+
+    /// [`Machine::create_durable`] with explicit per-processor pool sizing.
+    #[cfg(unix)]
+    pub fn create_durable_with_pool_words(
+        cfg: PmConfig,
+        pool_words: usize,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<Self> {
+        use ppm_pm::backend::{MmapBackend, Superblock};
+        let sb = Superblock::describe(&cfg, pool_words);
+        let backend = MmapBackend::create(path, sb)?;
+        let mem = Arc::new(PersistentMemory::with_backend(
+            Box::new(backend),
+            cfg.block_size,
+        ));
+        Ok(Self::from_mem(cfg, pool_words, mem, 1))
+    }
+
+    /// Reconstructs a machine from a durable file written by an earlier
+    /// process: validates the superblock, bumps the run epoch, and replays
+    /// the deterministic layout so every machine-owned region (processor
+    /// metadata, pools) is exactly where the creating run put it. The
+    /// memory contents are whatever the previous run last stored — no
+    /// words are zeroed.
+    ///
+    /// The reopened run is fault-free and strictly validated; use
+    /// [`Machine::reopen_with`] to override.
+    #[cfg(unix)]
+    pub fn reopen(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Self::reopen_with(
+            path,
+            ppm_pm::FaultConfig::none(),
+            ppm_pm::ValidateMode::Strict,
+        )
+    }
+
+    /// [`Machine::reopen`] with an explicit fault adversary and validation
+    /// mode for the recovering run.
+    #[cfg(unix)]
+    pub fn reopen_with(
+        path: impl AsRef<std::path::Path>,
+        fault: ppm_pm::FaultConfig,
+        validate: ppm_pm::ValidateMode,
+    ) -> std::io::Result<Self> {
+        use ppm_pm::backend::MmapBackend;
+        let (backend, found) = MmapBackend::open(path)?;
+        let epoch = found.epoch + 1; // open() recorded this run's attach
+        let cfg = found.to_config().with_fault(fault).with_validate(validate);
+        let pool_words = found.pool_words as usize;
+        let mem = Arc::new(PersistentMemory::with_backend(
+            Box::new(backend),
+            cfg.block_size,
+        ));
+        Ok(Self::from_mem(cfg, pool_words, mem, epoch))
+    }
+
+    /// Forces all stored words to stable storage (the backend's durability
+    /// boundary; no-op for volatile machines).
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.mem.flush()
+    }
+
+    /// Flushes and records a clean shutdown in the durable superblock, so
+    /// a later [`Machine::reopen`] can tell this run did not crash.
+    pub fn mark_clean(&self) -> std::io::Result<()> {
+        self.mem.backend().mark_clean()
+    }
+
+    /// Durable run epoch: 1 for the creating run, incremented on every
+    /// reopen; 0 for volatile machines.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Per-processor allocation-pool words.
+    pub fn pool_words(&self) -> usize {
+        self.pool_words
     }
 
     /// The machine's configuration.
@@ -256,5 +365,71 @@ mod tests {
     fn oversized_machine_panics_at_construction_or_alloc() {
         let m = Machine::with_pool_words(PmConfig::parallel(1, 1 << 12), 1 << 10);
         let _ = m.alloc_region(1 << 12);
+    }
+
+    #[test]
+    fn volatile_machines_report_epoch_zero_and_flush_trivially() {
+        let m = Machine::new(PmConfig::parallel(2, 1 << 16));
+        assert_eq!(m.epoch(), 0);
+        m.flush().unwrap();
+        m.mark_clean().unwrap();
+    }
+
+    #[cfg(unix)]
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ppm-machine-test-{}-{tag}.ppm", std::process::id()));
+        p
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn durable_reopen_reproduces_layout_and_data() {
+        let path = tmp("layout");
+        let cfg = PmConfig::parallel(3, 1 << 16).with_block_size(16);
+        let (region_created, meta_created, pool_created) = {
+            let m = Machine::create_durable_with_pool_words(cfg, 1 << 10, &path).unwrap();
+            assert_eq!(m.epoch(), 1);
+            let r = m.alloc_region(64);
+            m.mem().write_range(r.start, &[11, 22, 33]);
+            m.mem().store(m.proc_meta(1).active, 777);
+            m.flush().unwrap();
+            (r, m.proc_meta(1).active, m.pool(2))
+        };
+        let m = Machine::reopen(&path).unwrap();
+        assert_eq!(m.epoch(), 2);
+        assert_eq!(m.procs(), 3);
+        assert_eq!(m.cfg().block_size, 16);
+        assert_eq!(m.pool_words(), 1 << 10);
+        // Same deterministic layout as the creating run.
+        assert_eq!(m.proc_meta(1).active, meta_created);
+        assert_eq!(m.pool(2), pool_created);
+        let r = m.alloc_region(64);
+        assert_eq!(r, region_created);
+        // Same words.
+        assert_eq!(m.mem().to_vec(r.start, 3), vec![11, 22, 33]);
+        assert_eq!(m.mem().load(m.proc_meta(1).active), 777);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn reopen_with_overrides_run_properties() {
+        let path = tmp("overrides");
+        {
+            let m = Machine::create_durable(PmConfig::parallel(1, 1 << 14), &path).unwrap();
+            m.mark_clean().unwrap();
+        }
+        let m = Machine::reopen_with(
+            &path,
+            FaultConfig::none().with_scheduled_hard_fault(0, 1),
+            ppm_pm::ValidateMode::Record,
+        )
+        .unwrap();
+        assert_eq!(m.cfg().validate, ppm_pm::ValidateMode::Record);
+        let mut ctx = m.ctx(0);
+        ctx.begin_capsule("t");
+        assert!(ctx.pwrite(1, 1).is_err(), "overridden fault config applies");
+        std::fs::remove_file(&path).unwrap();
     }
 }

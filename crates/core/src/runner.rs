@@ -110,7 +110,8 @@ pub fn run_capsule(
     ctx.begin_capsule(cur.name());
     ctx.set_war_exempt(!cur.war_checked());
     loop {
-        let attempt: PmResult<Step> = run_body_and_install(ctx, arena, install, cur, fork_wrap, on_end);
+        let attempt: PmResult<Step> =
+            run_body_and_install(ctx, arena, install, cur, fork_wrap, on_end);
         match attempt {
             Ok(step) => {
                 ctx.complete_capsule();

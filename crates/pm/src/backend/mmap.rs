@@ -1,0 +1,339 @@
+//! The durable backend: the word array mapped onto a file.
+//!
+//! A durable machine file is one [`Superblock`] page followed by the word
+//! array, mapped `MAP_SHARED` with `PROT_READ|PROT_WRITE`. Because the
+//! mapping is shared, every atomic store lands in the kernel page cache
+//! the instant it retires — killing the writing process (the `kill -9`
+//! hard-fault scenario) loses nothing that was already stored. The
+//! explicit [`MemBackend::flush`] boundary (`msync(MS_SYNC)`) extends the
+//! guarantee to machine/power failure.
+//!
+//! The environment vendors no FFI crates, so the three syscall wrappers
+//! this module needs (`mmap`, `munmap`, `msync`) are declared directly
+//! against the C library every Rust binary on unix already links.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicU64;
+
+use parking_lot::Mutex;
+
+use super::superblock::{Superblock, STATE_CLEAN, STATE_IN_RUN, SUPERBLOCK_BYTES};
+use super::MemBackend;
+
+mod sys {
+    use std::ffi::c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> i32;
+        pub fn msync(addr: *mut c_void, length: usize, flags: i32) -> i32;
+    }
+
+    pub const PROT_READ: i32 = 0x1;
+    pub const PROT_WRITE: i32 = 0x2;
+    pub const MAP_SHARED: i32 = 0x01;
+    pub const MS_SYNC: i32 = 0x4;
+}
+
+/// File-backed word storage with crash persistence.
+pub struct MmapBackend {
+    /// Base of the shared mapping (superblock page included).
+    base: *mut u8,
+    /// Total mapping length in bytes.
+    map_len: usize,
+    /// Number of words after the superblock.
+    len_words: usize,
+    /// Kept open for `msync`-independent metadata syncs and so the file
+    /// cannot disappear under the mapping.
+    _file: File,
+    path: PathBuf,
+    /// Serializes superblock rewrites (open-time epoch bumps and
+    /// `mark_clean`; word traffic never takes this lock).
+    sb_lock: Mutex<()>,
+}
+
+// The raw pointer is a shared file mapping: word access goes through
+// `&[AtomicU64]` and superblock rewrites are serialized by `sb_lock`.
+unsafe impl Send for MmapBackend {}
+unsafe impl Sync for MmapBackend {}
+
+impl std::fmt::Debug for MmapBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MmapBackend({} words on {})",
+            self.len_words,
+            self.path.display()
+        )
+    }
+}
+
+fn file_bytes(words: usize) -> u64 {
+    (SUPERBLOCK_BYTES + words * 8) as u64
+}
+
+impl MmapBackend {
+    /// Creates (or truncates) a durable file holding `superblock` and a
+    /// zeroed word array of `superblock.persistent_words` words, and maps
+    /// it. The superblock is written and synced before this returns.
+    pub fn create(path: impl AsRef<Path>, superblock: Superblock) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let words = superblock.persistent_words as usize;
+        file.set_len(file_bytes(words))?;
+        let backend = Self::map(file, path, words)?;
+        backend.write_superblock(&superblock)?;
+        Ok(backend)
+    }
+
+    /// Opens an existing durable file, validates its superblock against
+    /// the file's actual size, records a new run attaching to it (epoch
+    /// increment, state ← in-run), and maps its words. Returns the
+    /// superblock *as found* — `epoch` is the pre-increment value and
+    /// `state` tells whether the previous run detached cleanly.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(Self, Superblock)> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let actual_len = file.metadata()?.len();
+        if actual_len < SUPERBLOCK_BYTES as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file too short for a superblock",
+            ));
+        }
+        let mut page = vec![0u8; SUPERBLOCK_BYTES];
+        read_exact_at(&file, &mut page, 0)?;
+        let found = Superblock::decode(&page)?;
+        let words = found.persistent_words as usize;
+        if actual_len != file_bytes(words) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "file is {actual_len} bytes but the superblock describes {} (truncated?)",
+                    file_bytes(words)
+                ),
+            ));
+        }
+        let backend = Self::map(file, path, words)?;
+        let mut attached = found;
+        attached.epoch += 1;
+        attached.state = STATE_IN_RUN;
+        backend.write_superblock(&attached)?;
+        Ok((backend, found))
+    }
+
+    fn map(file: File, path: PathBuf, words: usize) -> io::Result<Self> {
+        use std::os::fd::AsRawFd;
+        let map_len = SUPERBLOCK_BYTES + words * 8;
+        let base = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                map_len,
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if base as usize == usize::MAX {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MmapBackend {
+            base: base as *mut u8,
+            map_len,
+            len_words: words,
+            _file: file,
+            path,
+            sb_lock: Mutex::new(()),
+        })
+    }
+
+    /// Rewrites the superblock page and syncs it to the file.
+    fn write_superblock(&self, sb: &Superblock) -> io::Result<()> {
+        let _guard = self.sb_lock.lock();
+        let page = unsafe { std::slice::from_raw_parts_mut(self.base, SUPERBLOCK_BYTES) };
+        sb.encode_into(page);
+        self.msync_range(0, SUPERBLOCK_BYTES)
+    }
+
+    fn read_superblock(&self) -> Superblock {
+        let _guard = self.sb_lock.lock();
+        let page = unsafe { std::slice::from_raw_parts(self.base, SUPERBLOCK_BYTES) };
+        Superblock::decode(page).expect("mapped superblock was validated at open/create")
+    }
+
+    fn msync_range(&self, offset: usize, len: usize) -> io::Result<()> {
+        debug_assert_eq!(offset % SUPERBLOCK_BYTES, 0, "msync needs page alignment");
+        let rc = unsafe {
+            sys::msync(
+                self.base.add(offset) as *mut std::ffi::c_void,
+                len,
+                sys::MS_SYNC,
+            )
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+impl MemBackend for MmapBackend {
+    fn words(&self) -> &[AtomicU64] {
+        // The region after the superblock page is 8-byte aligned (page
+        // alignment of `base` plus the 4096-byte offset) and lives for
+        // `self` — the mapping is only torn down in Drop.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.base.add(SUPERBLOCK_BYTES) as *const AtomicU64,
+                self.len_words,
+            )
+        }
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        self.msync_range(0, self.map_len)
+    }
+
+    fn path(&self) -> Option<&Path> {
+        Some(&self.path)
+    }
+
+    fn superblock(&self) -> Option<Superblock> {
+        Some(self.read_superblock())
+    }
+
+    fn mark_clean(&self) -> io::Result<()> {
+        self.flush()?;
+        let mut sb = self.read_superblock();
+        sb.state = STATE_CLEAN;
+        self.write_superblock(&sb)
+    }
+
+    fn kind(&self) -> &'static str {
+        "mmap"
+    }
+}
+
+impl Drop for MmapBackend {
+    fn drop(&mut self) {
+        unsafe {
+            sys::munmap(self.base as *mut std::ffi::c_void, self.map_len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PmConfig;
+    use std::sync::atomic::Ordering;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ppm-mmap-test-{}-{tag}.ppm", std::process::id()));
+        p
+    }
+
+    fn sb(words: usize) -> Superblock {
+        Superblock::describe(&PmConfig::parallel(2, words), 64)
+    }
+
+    #[test]
+    fn create_store_reopen_round_trips() {
+        let path = tmp_path("roundtrip");
+        {
+            let b = MmapBackend::create(&path, sb(1024)).unwrap();
+            b.words()[17].store(0xDEAD_BEEF, Ordering::SeqCst);
+            b.words()[1023].store(42, Ordering::SeqCst);
+            b.flush().unwrap();
+        }
+        {
+            let (b, found) = MmapBackend::open(&path).unwrap();
+            assert_eq!(found.epoch, 1);
+            assert!(!found.clean(), "crashy drop leaves in-run state");
+            assert_eq!(b.words()[17].load(Ordering::SeqCst), 0xDEAD_BEEF);
+            assert_eq!(b.words()[1023].load(Ordering::SeqCst), 42);
+            assert_eq!(b.words()[0].load(Ordering::SeqCst), 0);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unflushed_stores_survive_backend_drop() {
+        // MAP_SHARED: stores live in the page cache even without msync.
+        let path = tmp_path("unflushed");
+        {
+            let b = MmapBackend::create(&path, sb(64)).unwrap();
+            b.words()[5].store(99, Ordering::SeqCst);
+            // no flush — simulates sudden process death
+        }
+        let (b, _) = MmapBackend::open(&path).unwrap();
+        assert_eq!(b.words()[5].load(Ordering::SeqCst), 99);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn epoch_increments_per_attach_and_clean_is_recorded() {
+        let path = tmp_path("epoch");
+        {
+            let b = MmapBackend::create(&path, sb(64)).unwrap();
+            assert_eq!(b.superblock().unwrap().epoch, 1);
+            b.mark_clean().unwrap();
+        }
+        {
+            let (b, found) = MmapBackend::open(&path).unwrap();
+            assert_eq!(found.epoch, 1);
+            assert!(found.clean());
+            assert_eq!(b.superblock().unwrap().epoch, 2);
+            assert!(!b.superblock().unwrap().clean());
+        }
+        {
+            let (_, found) = MmapBackend::open(&path).unwrap();
+            assert_eq!(found.epoch, 2);
+            assert!(!found.clean(), "second run never marked clean");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let path = tmp_path("truncated");
+        {
+            let _ = MmapBackend::create(&path, sb(1024)).unwrap();
+        }
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(file_bytes(1024) - 512).unwrap();
+        drop(f);
+        let err = MmapBackend::open(&path).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn non_ppm_file_rejected() {
+        let path = tmp_path("garbage");
+        std::fs::write(&path, vec![0xAB; SUPERBLOCK_BYTES + 64]).unwrap();
+        assert!(MmapBackend::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

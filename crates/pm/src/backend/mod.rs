@@ -1,0 +1,82 @@
+//! Storage backends for the persistent word array.
+//!
+//! The Parallel-PM model's "persistent" memory must survive processor
+//! faults. For the *simulated* faults of the original reproduction an
+//! in-process array of atomics suffices ([`VolatileBackend`]), but the
+//! model's recovery story is only demonstrable against real process
+//! crashes if the words live somewhere a `kill -9` cannot reach. The
+//! [`MemBackend`] trait abstracts that choice behind
+//! [`crate::mem::PersistentMemory`]:
+//!
+//! * [`VolatileBackend`] — heap-allocated atomics; exactly the original
+//!   behavior. "Persistence" spans simulated faults within one process.
+//! * [`MmapBackend`] (unix) — the word array is a `MAP_SHARED` mapping of
+//!   a file, preceded by a versioned [`Superblock`] recording the machine
+//!   shape ([`crate::PmConfig`] dimensions, pool sizing) and a run epoch.
+//!   Word stores reach the kernel page cache immediately — they survive
+//!   the death of the writing process — and [`MemBackend::flush`]
+//!   (`msync(MS_SYNC)`) is the explicit boundary at which they are also
+//!   durable against machine/power failure.
+//!
+//! The backend is deliberately *below* the model: cost accounting, fault
+//! injection and validation all happen in [`crate::ProcCtx`] regardless of
+//! where the words live.
+
+use std::fmt::Debug;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::AtomicU64;
+
+pub mod superblock;
+pub mod volatile;
+
+#[cfg(unix)]
+pub mod mmap;
+
+pub use superblock::{Superblock, SUPERBLOCK_BYTES};
+pub use volatile::VolatileBackend;
+
+#[cfg(unix)]
+pub use mmap::MmapBackend;
+
+/// Storage for a machine's persistent word array.
+///
+/// Implementations hand out the backing words as a stable slice of
+/// sequentially-consistent atomics: the slice address must not change for
+/// the lifetime of the backend (heap allocations and memory mappings both
+/// satisfy this), which lets [`crate::mem::PersistentMemory`] cache the
+/// pointer and keep word access free of dynamic dispatch.
+pub trait MemBackend: Send + Sync + Debug {
+    /// The backing word array. Must return the same slice (same address,
+    /// same length) on every call.
+    fn words(&self) -> &[AtomicU64];
+
+    /// Forces previously-stored words to stable storage. The durability
+    /// boundary of the backend: after `flush` returns, everything stored
+    /// before the call survives even a machine failure. No-op for
+    /// volatile backends.
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// The backing file, if any.
+    fn path(&self) -> Option<&Path> {
+        None
+    }
+
+    /// The superblock describing the stored machine, if this backend is
+    /// durable.
+    fn superblock(&self) -> Option<Superblock> {
+        None
+    }
+
+    /// Records a clean shutdown in the superblock (durable backends) and
+    /// flushes. A subsequent reopen can distinguish a completed run from
+    /// a crashed one.
+    fn mark_clean(&self) -> io::Result<()> {
+        self.flush()
+    }
+
+    /// Short human-readable backend name for diagnostics.
+    fn kind(&self) -> &'static str;
+}

@@ -1,0 +1,265 @@
+//! The durable file's superblock.
+//!
+//! The first [`SUPERBLOCK_BYTES`] of a durable machine file describe the
+//! machine stored after them: a magic/version header, the [`crate::PmConfig`]
+//! dimensions and pool sizing needed to rebuild the deterministic address
+//! -space layout, a *run epoch* counting the process lifetimes that have
+//! attached to the file, and a state word distinguishing a clean shutdown
+//! from a crash. All fields are little-endian `u64`s guarded by an FNV-1a
+//! checksum, so a reopen can reject truncated, foreign, or torn files
+//! before mapping any of their words into a machine.
+
+use std::io;
+
+use crate::config::PmConfig;
+
+/// Bytes reserved for the superblock at the head of a durable file. One
+/// 4 KiB page: the word array after it stays page-aligned, and a
+/// superblock `msync` touches exactly one page.
+pub const SUPERBLOCK_BYTES: usize = 4096;
+
+/// `b"PPMDUR1\0"` as a little-endian word.
+pub const MAGIC: u64 = u64::from_le_bytes(*b"PPMDUR1\0");
+
+/// Current superblock format version.
+pub const VERSION: u64 = 1;
+
+/// Largest word count a superblock may describe: 2^46 words (the model's
+/// 46-bit handle space, 512 TiB of words). Bounding this keeps the
+/// `words * 8 + SUPERBLOCK_BYTES` file-size arithmetic far from overflow,
+/// so a crafted superblock with an absurd word count is rejected here
+/// instead of wrapping the size check and producing a bogus mapping.
+pub const MAX_PERSISTENT_WORDS: u64 = 1 << 46;
+
+/// State value: a run is (or was, if it crashed) attached to the file.
+pub const STATE_IN_RUN: u64 = 1;
+
+/// State value: the last attached run flushed and detached cleanly.
+pub const STATE_CLEAN: u64 = 2;
+
+/// Decoded superblock contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Superblock {
+    /// Format version of the file.
+    pub version: u64,
+    /// Number of process lifetimes that have attached to this file. The
+    /// creating run is epoch 1; every reopen increments it.
+    pub epoch: u64,
+    /// [`STATE_IN_RUN`] or [`STATE_CLEAN`].
+    pub state: u64,
+    /// Processors `P` of the stored machine.
+    pub procs: u64,
+    /// Persistent capacity `M_p` in words.
+    pub persistent_words: u64,
+    /// Ephemeral capacity `M` in words (per processor).
+    pub ephemeral_words: u64,
+    /// Block size `B` in words.
+    pub block_size: u64,
+    /// Per-processor allocation-pool words, needed to replay the machine
+    /// layout deterministically on reopen.
+    pub pool_words: u64,
+}
+
+/// Field count serialized ahead of the checksum.
+const FIELDS: usize = 10; // magic, version, epoch, state, procs, words, eph, block, pool, checksum
+
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+impl Superblock {
+    /// Describes a fresh machine: epoch 1, in-run state.
+    ///
+    /// # Panics
+    /// Panics if the configuration exceeds [`MAX_PERSISTENT_WORDS`] — a
+    /// configuration error, mirroring the reject in [`Superblock::decode`].
+    pub fn describe(cfg: &PmConfig, pool_words: usize) -> Self {
+        assert!(
+            (cfg.persistent_words as u64) <= MAX_PERSISTENT_WORDS,
+            "persistent_words {} exceeds the durable-file limit {MAX_PERSISTENT_WORDS}",
+            cfg.persistent_words
+        );
+        Superblock {
+            version: VERSION,
+            epoch: 1,
+            state: STATE_IN_RUN,
+            procs: cfg.procs as u64,
+            persistent_words: cfg.persistent_words as u64,
+            ephemeral_words: cfg.ephemeral_words as u64,
+            block_size: cfg.block_size as u64,
+            pool_words: pool_words as u64,
+        }
+    }
+
+    /// Reconstructs the machine configuration the file was created with.
+    ///
+    /// The fault adversary and validation mode are *run* properties, not
+    /// *file* properties, so they come back at their defaults (no faults,
+    /// strict validation); override with the [`PmConfig`] builders.
+    pub fn to_config(&self) -> PmConfig {
+        PmConfig {
+            procs: self.procs as usize,
+            persistent_words: self.persistent_words as usize,
+            ephemeral_words: self.ephemeral_words as usize,
+            block_size: self.block_size as usize,
+            fault: crate::config::FaultConfig::none(),
+            validate: crate::config::ValidateMode::default(),
+        }
+    }
+
+    /// Whether the last attached run detached cleanly.
+    pub fn clean(&self) -> bool {
+        self.state == STATE_CLEAN
+    }
+
+    /// Serializes into the head of `page` (which must hold at least
+    /// [`SUPERBLOCK_BYTES`]).
+    pub fn encode_into(&self, page: &mut [u8]) {
+        assert!(page.len() >= SUPERBLOCK_BYTES);
+        let mut fields = [
+            MAGIC,
+            self.version,
+            self.epoch,
+            self.state,
+            self.procs,
+            self.persistent_words,
+            self.ephemeral_words,
+            self.block_size,
+            self.pool_words,
+            0,
+        ];
+        fields[FIELDS - 1] = fnv1a(&fields[..FIELDS - 1]);
+        for (i, w) in fields.iter().enumerate() {
+            page[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Parses and validates the head of `page`.
+    pub fn decode(page: &[u8]) -> io::Result<Self> {
+        if page.len() < FIELDS * 8 {
+            return Err(bad("file too short for a superblock"));
+        }
+        let mut fields = [0u64; FIELDS];
+        for (i, f) in fields.iter_mut().enumerate() {
+            *f = u64::from_le_bytes(page[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+        }
+        if fields[0] != MAGIC {
+            return Err(bad("not a ppm durable file (bad magic)"));
+        }
+        if fields[FIELDS - 1] != fnv1a(&fields[..FIELDS - 1]) {
+            return Err(bad("superblock checksum mismatch (torn or corrupt)"));
+        }
+        let sb = Superblock {
+            version: fields[1],
+            epoch: fields[2],
+            state: fields[3],
+            procs: fields[4],
+            persistent_words: fields[5],
+            ephemeral_words: fields[6],
+            block_size: fields[7],
+            pool_words: fields[8],
+        };
+        if sb.version != VERSION {
+            return Err(bad(&format!(
+                "unsupported superblock version {} (this build reads {VERSION})",
+                sb.version
+            )));
+        }
+        if sb.block_size == 0 || sb.persistent_words == 0 || sb.procs == 0 {
+            return Err(bad("superblock describes a degenerate machine"));
+        }
+        if sb.persistent_words > MAX_PERSISTENT_WORDS {
+            return Err(bad(&format!(
+                "superblock claims {} persistent words (limit {MAX_PERSISTENT_WORDS})",
+                sb.persistent_words
+            )));
+        }
+        Ok(sb)
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Superblock {
+        Superblock::describe(&PmConfig::parallel(4, 1 << 20), 1 << 16)
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let sb = sample();
+        let mut page = vec![0u8; SUPERBLOCK_BYTES];
+        sb.encode_into(&mut page);
+        assert_eq!(Superblock::decode(&page).unwrap(), sb);
+    }
+
+    #[test]
+    fn config_round_trips_through_superblock() {
+        let cfg = PmConfig::parallel(3, 1 << 18)
+            .with_block_size(16)
+            .with_ephemeral_words(512);
+        let sb = Superblock::describe(&cfg, 4096);
+        let back = sb.to_config();
+        assert_eq!(back.procs, 3);
+        assert_eq!(back.persistent_words, 1 << 18);
+        assert_eq!(back.ephemeral_words, 512);
+        assert_eq!(back.block_size, 16);
+        assert_eq!(back.fault.fault_prob, 0.0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut page = vec![0u8; SUPERBLOCK_BYTES];
+        sample().encode_into(&mut page);
+        page[0] ^= 0xFF;
+        assert!(Superblock::decode(&page).is_err());
+    }
+
+    #[test]
+    fn torn_write_rejected_by_checksum() {
+        let mut page = vec![0u8; SUPERBLOCK_BYTES];
+        sample().encode_into(&mut page);
+        page[16] ^= 0x01; // flip one epoch bit
+        let err = Superblock::decode(&page).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(Superblock::decode(&[0u8; 16]).is_err());
+    }
+
+    #[test]
+    fn absurd_word_count_rejected_despite_valid_checksum() {
+        // A crafted file can carry any fields with a correct checksum; the
+        // word-count bound must reject it before any size arithmetic.
+        let mut sb = sample();
+        sb.persistent_words = u64::MAX / 4;
+        let mut page = vec![0u8; SUPERBLOCK_BYTES];
+        sb.encode_into(&mut page);
+        let err = Superblock::decode(&page).unwrap_err();
+        assert!(err.to_string().contains("limit"), "{err}");
+    }
+
+    #[test]
+    fn clean_state_round_trips() {
+        let mut sb = sample();
+        assert!(!sb.clean());
+        sb.state = STATE_CLEAN;
+        let mut page = vec![0u8; SUPERBLOCK_BYTES];
+        sb.encode_into(&mut page);
+        assert!(Superblock::decode(&page).unwrap().clean());
+    }
+}

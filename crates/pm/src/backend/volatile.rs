@@ -1,0 +1,65 @@
+//! The in-process backend: heap-allocated atomics.
+
+use std::sync::atomic::AtomicU64;
+
+use super::MemBackend;
+
+/// Word storage on the process heap. Survives simulated (model-level)
+/// faults, which never actually kill the process; lost on process exit.
+/// This is the backend of every machine built without a path.
+pub struct VolatileBackend {
+    words: Box<[AtomicU64]>,
+}
+
+impl VolatileBackend {
+    /// Allocates `len` zero-initialized words.
+    pub fn new(len: usize) -> Self {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, || AtomicU64::new(0));
+        VolatileBackend {
+            words: v.into_boxed_slice(),
+        }
+    }
+}
+
+impl std::fmt::Debug for VolatileBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VolatileBackend({} words)", self.words.len())
+    }
+}
+
+impl MemBackend for VolatileBackend {
+    fn words(&self) -> &[AtomicU64] {
+        &self.words
+    }
+
+    fn kind(&self) -> &'static str {
+        "volatile"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn zero_initialized_and_flushable() {
+        let b = VolatileBackend::new(16);
+        assert_eq!(b.words().len(), 16);
+        assert!(b.words().iter().all(|w| w.load(Ordering::SeqCst) == 0));
+        b.words()[3].store(7, Ordering::SeqCst);
+        b.flush().unwrap();
+        b.mark_clean().unwrap();
+        assert_eq!(b.words()[3].load(Ordering::SeqCst), 7);
+        assert!(b.path().is_none());
+        assert!(b.superblock().is_none());
+        assert_eq!(b.kind(), "volatile");
+    }
+
+    #[test]
+    fn words_slice_is_stable() {
+        let b = VolatileBackend::new(4);
+        assert_eq!(b.words().as_ptr(), b.words().as_ptr());
+    }
+}

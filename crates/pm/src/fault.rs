@@ -145,7 +145,10 @@ impl Liveness {
 
     /// Number of processors still live.
     pub fn live_count(&self) -> usize {
-        self.flags.iter().filter(|f| f.load(Ordering::SeqCst)).count()
+        self.flags
+            .iter()
+            .filter(|f| f.load(Ordering::SeqCst))
+            .count()
     }
 
     /// Number of processors tracked.

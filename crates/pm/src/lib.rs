@@ -15,6 +15,13 @@
 //!   sequentially-consistent atomics, with `CAM` (compare-and-modify, the
 //!   fault-safe primitive of §5 of the paper) and `CAS` (provided only for
 //!   the non-fault-tolerant ABP baseline).
+//! * [`backend`] — where the words physically live: the in-process
+//!   [`backend::VolatileBackend`] (simulated persistence, the default) or
+//!   the file-mapped [`backend::MmapBackend`], which puts the word array
+//!   behind a `MAP_SHARED` mapping with a versioned superblock so that
+//!   "persistent" survives real `kill -9` process deaths, with
+//!   [`mem::PersistentMemory::flush`] (`msync`) as the machine-failure
+//!   durability boundary.
 //! * [`fault::FaultInjector`] — a deterministic, seedable adversary that
 //!   faults each processor with probability ≤ `f` at every persistent access
 //!   and can schedule hard faults, plus the liveness oracle
@@ -37,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod config;
 pub mod error;
 pub mod fault;
@@ -47,6 +55,9 @@ pub mod stats;
 pub mod validate;
 pub mod word;
 
+#[cfg(unix)]
+pub use backend::MmapBackend;
+pub use backend::{MemBackend, Superblock, VolatileBackend, SUPERBLOCK_BYTES};
 pub use config::{FaultConfig, PmConfig, ValidateMode};
 pub use error::{Fault, PmResult};
 pub use fault::{FaultInjector, HeartbeatLiveness, Liveness};

@@ -8,6 +8,14 @@
 //! path the runtime uses. Direct access here is for machine setup, test
 //! oracles, and result extraction.
 //!
+//! Where the words physically live is a [`MemBackend`] decision:
+//! [`PersistentMemory::new`] keeps the original in-process atomics
+//! ([`crate::backend::VolatileBackend`]), while
+//! [`PersistentMemory::with_backend`] accepts any backend — notably the
+//! file-mapped [`crate::backend::MmapBackend`], whose words survive the
+//! death of the process and make [`PersistentMemory::flush`] a real
+//! durability boundary.
+//!
 //! Two conditional-update primitives are provided, mirroring §5:
 //!
 //! * [`PersistentMemory::cam`] — **compare-and-modify**: a CAS whose result
@@ -24,6 +32,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::backend::{MemBackend, VolatileBackend};
 use crate::word::{Addr, Word};
 
 /// An observer invoked on every *applied* mutation of a watched word:
@@ -34,33 +43,72 @@ pub type WriteObserver = Arc<dyn Fn(Addr, Word, Word) + Send + Sync>;
 
 /// The shared persistent memory of one Parallel-PM machine.
 pub struct PersistentMemory {
-    words: Box<[AtomicU64]>,
+    /// Owner of the storage; `words` borrows from it.
+    backend: Box<dyn MemBackend>,
+    /// Cached pointer to the backend's word slice, so the per-access hot
+    /// path pays no dynamic dispatch. [`MemBackend::words`] guarantees the
+    /// slice is stable for the backend's lifetime, and the backend lives
+    /// exactly as long as `self`.
+    words: *const AtomicU64,
+    len: usize,
     block_size: usize,
     observer: RwLock<Option<WriteObserver>>,
 }
+
+// `words` aliases storage owned by `backend`, which is `Send + Sync`; all
+// word access is through `&AtomicU64`.
+unsafe impl Send for PersistentMemory {}
+unsafe impl Sync for PersistentMemory {}
 
 impl std::fmt::Debug for PersistentMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "PersistentMemory({} words, B={})",
-            self.words.len(),
-            self.block_size
+            "PersistentMemory({} words, B={}, backend={})",
+            self.len,
+            self.block_size,
+            self.backend.kind()
         )
     }
 }
 
 impl PersistentMemory {
-    /// Allocates `words` zero-initialized words with block size `block_size`.
+    /// Allocates `words` zero-initialized in-process words with block size
+    /// `block_size` (the [`VolatileBackend`]).
     pub fn new(words: usize, block_size: usize) -> Self {
+        Self::with_backend(Box::new(VolatileBackend::new(words)), block_size)
+    }
+
+    /// Wraps an arbitrary storage backend.
+    pub fn with_backend(backend: Box<dyn MemBackend>, block_size: usize) -> Self {
         assert!(block_size > 0, "block size must be positive");
-        let mut v = Vec::with_capacity(words);
-        v.resize_with(words, || AtomicU64::new(0));
+        let slice = backend.words();
+        let (words, len) = (slice.as_ptr(), slice.len());
         PersistentMemory {
-            words: v.into_boxed_slice(),
+            backend,
+            words,
+            len,
             block_size,
             observer: RwLock::new(None),
         }
+    }
+
+    #[inline]
+    fn words(&self) -> &[AtomicU64] {
+        // See the field comment: the pointer is stable and outlived by the
+        // owning backend.
+        unsafe { std::slice::from_raw_parts(self.words, self.len) }
+    }
+
+    /// The storage backend.
+    pub fn backend(&self) -> &dyn MemBackend {
+        &*self.backend
+    }
+
+    /// Forces all stored words to stable storage (the backend's durability
+    /// boundary — `msync` for file-mapped memory, no-op for volatile).
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.backend.flush()
     }
 
     /// Installs a write observer (see [`WriteObserver`]). Pass `None` to
@@ -80,12 +128,12 @@ impl PersistentMemory {
 
     /// Capacity in words (`M_p`).
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.len
     }
 
     /// Whether the memory has zero capacity.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.len == 0
     }
 
     /// Block size `B` in words.
@@ -95,19 +143,19 @@ impl PersistentMemory {
 
     /// Number of whole blocks.
     pub fn blocks(&self) -> usize {
-        self.words.len() / self.block_size
+        self.len / self.block_size
     }
 
     /// Sequentially-consistent load of one word.
     #[inline]
     pub fn load(&self, addr: Addr) -> Word {
-        self.words[addr].load(Ordering::SeqCst)
+        self.words()[addr].load(Ordering::SeqCst)
     }
 
     /// Sequentially-consistent store of one word.
     #[inline]
     pub fn store(&self, addr: Addr, value: Word) {
-        let prev = self.words[addr].swap(value, Ordering::SeqCst);
+        let prev = self.words()[addr].swap(value, Ordering::SeqCst);
         self.observe(addr, prev, value);
     }
 
@@ -119,7 +167,7 @@ impl PersistentMemory {
     /// location in a later capsule* (the test-and-set idiom of §5).
     #[inline]
     pub fn cam(&self, addr: Addr, old: Word, new: Word) {
-        if self.words[addr]
+        if self.words()[addr]
             .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
         {
@@ -133,7 +181,7 @@ impl PersistentMemory {
     /// used only by the ABP baseline, which assumes a fault-free machine.
     #[inline]
     pub fn cas_unsafe_under_faults(&self, addr: Addr, old: Word, new: Word) -> bool {
-        let ok = self.words[addr]
+        let ok = self.words()[addr]
             .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok();
         if ok {
@@ -147,7 +195,7 @@ impl PersistentMemory {
     /// this).
     #[inline]
     pub fn fetch_add(&self, addr: Addr, delta: Word) -> Word {
-        self.words[addr].fetch_add(delta, Ordering::SeqCst)
+        self.words()[addr].fetch_add(delta, Ordering::SeqCst)
     }
 
     /// Copies the block containing no part of cost accounting: reads

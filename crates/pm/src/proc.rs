@@ -60,7 +60,11 @@ impl ProcCtx {
         stats: Arc<MemStats>,
         liveness: Arc<Liveness>,
     ) -> Self {
-        assert!(proc < cfg.procs, "proc id {proc} out of range {}", cfg.procs);
+        assert!(
+            proc < cfg.procs,
+            "proc id {proc} out of range {}",
+            cfg.procs
+        );
         ProcCtx {
             proc,
             mem,
@@ -477,7 +481,13 @@ mod tests {
     fn allocation_is_restart_stable() {
         let cfg = PmConfig::small_single();
         let mut c = ctx(&cfg);
-        c.set_alloc_pool(Region { start: 100, len: 64 }, 0);
+        c.set_alloc_pool(
+            Region {
+                start: 100,
+                len: 64,
+            },
+            0,
+        );
 
         c.begin_capsule("alloc");
         let a1 = c.palloc(4);

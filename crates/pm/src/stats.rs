@@ -82,19 +82,25 @@ impl MemStats {
     /// Records a soft fault on `proc`.
     #[inline]
     pub fn record_soft_fault(&self, proc: usize) {
-        self.per_proc[proc].soft_faults.fetch_add(1, Ordering::Relaxed);
+        self.per_proc[proc]
+            .soft_faults
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a hard fault on `proc`.
     #[inline]
     pub fn record_hard_fault(&self, proc: usize) {
-        self.per_proc[proc].hard_faults.fetch_add(1, Ordering::Relaxed);
+        self.per_proc[proc]
+            .hard_faults
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records the start of a capsule execution (first run or restart).
     #[inline]
     pub fn record_capsule_run(&self, proc: usize) {
-        self.per_proc[proc].capsule_runs.fetch_add(1, Ordering::Relaxed);
+        self.per_proc[proc]
+            .capsule_runs
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a completed capsule and its work; updates the empirical

@@ -174,7 +174,10 @@ mod tests {
         t.reset("c1");
         t.on_read(3);
         t.reset("c2"); // capsule boundary
-        assert!(!t.on_write(3, &s), "new capsule may write what old one read");
+        assert!(
+            !t.on_write(3, &s),
+            "new capsule may write what old one read"
+        );
     }
 
     #[test]

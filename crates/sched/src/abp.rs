@@ -13,7 +13,9 @@
 
 use std::sync::Arc;
 
-use ppm_core::{run_capsule, capsule_unchecked, Comp, Cont, DoneFlag, InstallCtx, Machine, Next, Step};
+use ppm_core::{
+    capsule_unchecked, run_capsule, Comp, Cont, DoneFlag, InstallCtx, Machine, Next, Step,
+};
 use ppm_pm::{Addr, PmResult, ProcCtx, Region, StatsSnapshot, Word};
 
 /// One processor's ABP deque: an array of continuation handles plus the
@@ -36,7 +38,11 @@ fn age_unpack(w: Word) -> (u32, u32) {
 
 impl AbpDeque {
     fn entry(&self, i: usize) -> Addr {
-        assert!(i < self.slots, "ABP deque overflow (slot {i} of {})", self.slots);
+        assert!(
+            i < self.slots,
+            "ABP deque overflow (slot {i} of {})",
+            self.slots
+        );
         self.stack.at(i)
     }
 
@@ -99,7 +105,8 @@ impl AbpScheduler {
     /// Carves per-processor deques with `slots` entries each.
     pub fn new(machine: &Machine, done: DoneFlag, slots: usize, seed: u64) -> Arc<Self> {
         assert_eq!(
-            machine.cfg().fault.fault_prob, 0.0,
+            machine.cfg().fault.fault_prob,
+            0.0,
             "the ABP baseline is not fault-tolerant; run it with FaultConfig::none()"
         );
         assert!(
@@ -219,7 +226,9 @@ mod tests {
     use ppm_pm::{PmConfig, Region};
 
     fn write_marker(r: Region, i: usize) -> Comp {
-        comp_step("mark", move |ctx: &mut ProcCtx| ctx.pwrite(r.at(i), i as u64 + 1))
+        comp_step("mark", move |ctx: &mut ProcCtx| {
+            ctx.pwrite(r.at(i), i as u64 + 1)
+        })
     }
 
     #[test]

@@ -160,7 +160,10 @@ impl Sched {
             let d = s.d(me);
             let b = ctx.pread(d.bot)? as usize;
             let cur = ctx.pread(d.entry(b))?;
-            ctx.pwrite(d.entry(b), pack(tag_of(cur).wrapping_add(1), EntryVal::Empty))?;
+            ctx.pwrite(
+                d.entry(b),
+                pack(tag_of(cur).wrapping_add(1), EntryVal::Empty),
+            )?;
             Ok(Next::Jump(s.find_work()))
         })
     }
@@ -187,7 +190,9 @@ impl Sched {
             }
             let old = ctx.pread(d.entry(b - 1))?;
             match unpack(old) {
-                (_, EntryVal::Job { handle }) => Ok(Next::Jump(s.pop_bottom_cam(d, b, old, handle))),
+                (_, EntryVal::Job { handle }) => {
+                    Ok(Next::Jump(s.pop_bottom_cam(d, b, old, handle)))
+                }
                 _ => Ok(Next::Jump(s.steal_attempt(s.next_epoch(me)))),
             }
         })
@@ -521,7 +526,14 @@ impl Sched {
             let b = ctx.pread(d.bot)? as usize;
             let t1 = tag_of(ctx.pread(d.entry(b + 1))?);
             let t2 = tag_of(ctx.pread(d.entry(b))?);
-            Ok(Next::Jump(s.push_bottom_commit(d, b, t1, t2, f, cont.clone())))
+            Ok(Next::Jump(s.push_bottom_commit(
+                d,
+                b,
+                t1,
+                t2,
+                f,
+                cont.clone(),
+            )))
         })
     }
 
@@ -573,24 +585,30 @@ impl Sched {
 /// mutation violating the Figure 4 transition table. Tag-refreshing
 /// rewrites within the same state (e.g. line 56 clearing an already-empty
 /// slot) are not state transitions and are allowed.
-fn install_transition_checker(machine: &Machine, deques: &[DequeAddrs]) {
+///
+/// `pub(crate)` so the recovery driver can defer installation until after
+/// it has scrubbed stale entries (scrub stores are machine maintenance,
+/// not Figure 4 transitions).
+pub(crate) fn install_transition_checker(machine: &Machine, deques: &[DequeAddrs]) {
     let ranges: Vec<(usize, usize)> = deques
         .iter()
         .map(|d| (d.stack.start, d.stack.end()))
         .collect();
-    machine.mem().set_observer(Some(Arc::new(move |addr, prev, new| {
-        if !ranges.iter().any(|(s, e)| addr >= *s && addr < *e) {
-            return;
-        }
-        let from = kind_of(prev);
-        let to = kind_of(new);
-        if from != to && !from.can_transition_to(to) {
-            panic!(
-                "illegal Figure 4 entry transition {from:?} -> {to:?} at address {addr} \
+    machine
+        .mem()
+        .set_observer(Some(Arc::new(move |addr, prev, new| {
+            if !ranges.iter().any(|(s, e)| addr >= *s && addr < *e) {
+                return;
+            }
+            let from = kind_of(prev);
+            let to = kind_of(new);
+            if from != to && !from.can_transition_to(to) {
+                panic!(
+                    "illegal Figure 4 entry transition {from:?} -> {to:?} at address {addr} \
                  (prev={prev:#x}, new={new:#x})"
-            );
-        }
-    })));
+                );
+            }
+        })));
 }
 
 #[cfg(test)]

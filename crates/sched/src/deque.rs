@@ -34,8 +34,12 @@ impl DequeAddrs {
     /// Address of slot `i`'s entry word.
     #[inline]
     pub fn entry(&self, i: usize) -> Addr {
-        assert!(i < self.slots, "deque slot {i} out of range {} — the WS-deque never \
-                 deletes entries; size it for the computation (SchedConfig::deque_slots)", self.slots);
+        assert!(
+            i < self.slots,
+            "deque slot {i} out of range {} — the WS-deque never \
+                 deletes entries; size it for the computation (SchedConfig::deque_slots)",
+            self.slots
+        );
         self.stack.at(i)
     }
 
@@ -47,10 +51,7 @@ impl DequeAddrs {
 }
 
 /// Carves deque state for `procs` processors with `slots` entries each.
-pub fn build_deques(
-    machine: &ppm_core::Machine,
-    slots: usize,
-) -> Vec<DequeAddrs> {
+pub fn build_deques(machine: &ppm_core::Machine, slots: usize) -> Vec<DequeAddrs> {
     let procs = machine.procs();
     (0..procs)
         .map(|p| {
@@ -175,7 +176,10 @@ mod tests {
             let snap = snapshot(m.mem(), d);
             assert_eq!(snap.top, 0);
             assert_eq!(snap.bot, 0);
-            assert!(snap.entries.iter().all(|(t, v)| *t == 0 && *v == EntryVal::Empty));
+            assert!(snap
+                .entries
+                .iter()
+                .all(|(t, v)| *t == 0 && *v == EntryVal::Empty));
             check_invariant(m.mem(), d).unwrap();
         }
     }
@@ -185,10 +189,32 @@ mod tests {
         let (m, ds) = setup();
         let d = &ds[0];
         // taken taken job job local empty...
-        m.mem().store(d.entry(0), pack(3, EntryVal::Taken { proc: 1, slot: 0, tag: 0 }));
-        m.mem().store(d.entry(1), pack(2, EntryVal::Taken { proc: 1, slot: 1, tag: 0 }));
-        m.mem().store(d.entry(2), pack(1, EntryVal::Job { handle: 64 }));
-        m.mem().store(d.entry(3), pack(1, EntryVal::Job { handle: 72 }));
+        m.mem().store(
+            d.entry(0),
+            pack(
+                3,
+                EntryVal::Taken {
+                    proc: 1,
+                    slot: 0,
+                    tag: 0,
+                },
+            ),
+        );
+        m.mem().store(
+            d.entry(1),
+            pack(
+                2,
+                EntryVal::Taken {
+                    proc: 1,
+                    slot: 1,
+                    tag: 0,
+                },
+            ),
+        );
+        m.mem()
+            .store(d.entry(2), pack(1, EntryVal::Job { handle: 64 }));
+        m.mem()
+            .store(d.entry(3), pack(1, EntryVal::Job { handle: 72 }));
         m.mem().store(d.entry(4), pack(1, EntryVal::Local));
         check_invariant(m.mem(), d).unwrap();
         // Two locals (transient pushBottom state) are allowed.
@@ -201,7 +227,8 @@ mod tests {
         let (m, ds) = setup();
         let d = &ds[0];
         m.mem().store(d.entry(0), pack(1, EntryVal::Local));
-        m.mem().store(d.entry(1), pack(1, EntryVal::Job { handle: 64 }));
+        m.mem()
+            .store(d.entry(1), pack(1, EntryVal::Job { handle: 64 }));
         let err = check_invariant(m.mem(), d).unwrap_err();
         assert!(err.contains("violates"), "{err}");
     }
@@ -221,7 +248,17 @@ mod tests {
     fn invariant_rejects_taken_after_empty() {
         let (m, ds) = setup();
         let d = &ds[0];
-        m.mem().store(d.entry(1), pack(1, EntryVal::Taken { proc: 0, slot: 0, tag: 0 }));
+        m.mem().store(
+            d.entry(1),
+            pack(
+                1,
+                EntryVal::Taken {
+                    proc: 0,
+                    slot: 0,
+                    tag: 0,
+                },
+            ),
+        );
         assert!(check_invariant(m.mem(), d).is_err());
     }
 
@@ -229,7 +266,8 @@ mod tests {
     fn render_is_compact() {
         let (m, ds) = setup();
         let d = &ds[0];
-        m.mem().store(d.entry(0), pack(1, EntryVal::Job { handle: 64 }));
+        m.mem()
+            .store(d.entry(0), pack(1, EntryVal::Job { handle: 64 }));
         let s = render(m.mem(), d);
         assert!(s.starts_with("proc 0 top=0 bot=0 [J ."), "{s}");
     }

@@ -11,6 +11,15 @@
 //! ... One process is assigned the root thread. This process installs the
 //! first capsule of this thread, and sets its first entry to local. All
 //! other processes install the findWork capsule."
+//!
+//! ## Crash recovery across process lifetimes
+//!
+//! [`recover_computation`] extends the paper's hard-fault story to the
+//! death of the *whole process*: a machine whose words live in a durable
+//! backend is reopened by a fresh process, fresh OS threads re-attach to
+//! the persisted WS-deques and restart pointers, and the computation is
+//! driven to completion with every effect applied exactly once. See the
+//! function docs for what is resumed directly and what is re-derived.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -20,7 +29,7 @@ use ppm_pm::{StatsSnapshot, Word};
 
 use crate::capsules::{Sched, SchedConfig};
 use crate::deque::check_invariant;
-use crate::entry::{pack, EntryVal};
+use crate::entry::{kind_of, pack, EntryKind, EntryVal};
 
 /// How one processor's loop ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,7 +61,10 @@ pub struct RunReport {
 impl RunReport {
     /// Processors that hard-faulted.
     pub fn dead_procs(&self) -> usize {
-        self.outcomes.iter().filter(|o| **o == ProcOutcome::Dead).count()
+        self.outcomes
+            .iter()
+            .filter(|o| **o == ProcOutcome::Dead)
+            .count()
     }
 }
 
@@ -68,7 +80,12 @@ pub fn run_computation(machine: &Machine, comp: &Comp, cfg: &SchedConfig) -> Run
 
 /// Runs an explicit root thread (its last capsule must set `done`, e.g. by
 /// ending with [`DoneFlag::finale`]'s chain) on a freshly built scheduler.
-pub fn run_root_thread(machine: &Machine, root: Cont, done: DoneFlag, cfg: &SchedConfig) -> RunReport {
+pub fn run_root_thread(
+    machine: &Machine,
+    root: Cont,
+    done: DoneFlag,
+    cfg: &SchedConfig,
+) -> RunReport {
     let sched = Sched::new(machine, done, cfg);
     run_root_on(machine, &sched, root, done)
 }
@@ -100,7 +117,10 @@ pub fn run_root_on(machine: &Machine, sched: &Arc<Sched>, root: Cont, done: Done
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("processor thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("processor thread panicked"))
+            .collect()
     });
     let elapsed = start.elapsed();
 
@@ -122,6 +142,156 @@ pub fn run_root_on(machine: &Machine, sched: &Arc<Sched>, root: Cont, done: Done
         stats: machine.stats().snapshot(),
         elapsed,
         deque_dump,
+    }
+}
+
+/// What [`recover_computation`] found and did.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Run epoch of the recovering machine (0 for volatile machines).
+    pub epoch: u64,
+    /// The persisted completion flag was already set: the previous run
+    /// finished and nothing was re-driven.
+    pub already_complete: bool,
+    /// In-flight `job` entries found across the persisted deques.
+    pub found_jobs: usize,
+    /// `local` entries (threads that were running when the crash hit).
+    pub found_locals: usize,
+    /// `taken` entries (completed or in-progress steals).
+    pub found_taken: usize,
+    /// Processors whose persisted restart pointer was non-null.
+    pub live_restart_pointers: usize,
+    /// The re-driven run's report (`None` when `already_complete`).
+    pub run: Option<RunReport>,
+}
+
+impl RecoveryReport {
+    /// Whether the computation is complete after recovery.
+    pub fn completed(&self) -> bool {
+        self.already_complete || self.run.as_ref().map(|r| r.completed).unwrap_or(false)
+    }
+
+    /// Total in-flight deque entries found at reopen.
+    pub fn found_in_flight(&self) -> usize {
+        self.found_jobs + self.found_locals + self.found_taken
+    }
+}
+
+/// Resumes a computation whose machine came back from [`Machine::reopen`]
+/// after the previous process died mid-run (the `kill -9` analogue of the
+/// paper's all-processors-hard-fault scenario).
+///
+/// The caller must rebuild the machine-setup sequence of the crashed run
+/// deterministically before calling this: the same user
+/// [`Machine::alloc_region`] calls in the same order, the same `comp`, and
+/// the same `cfg` (deque sizing). Region allocation is deterministic, so
+/// every address — markers, completion flag, deques, restart pointers —
+/// lines up with the persisted words.
+///
+/// Recovery then re-attaches fresh OS threads to the persisted scheduler
+/// state:
+///
+/// 1. If the persisted completion flag is set, the previous run finished;
+///    nothing is re-driven.
+/// 2. Otherwise the persisted deques and restart pointers are *inspected*
+///    (the counts are reported) and then scrubbed back to the §6.3 initial
+///    state. They cannot be resumed entry-by-entry: a deque `job` entry or
+///    restart pointer holds a continuation *handle*, and the closure it
+///    denotes was an object of the dead process (the continuation arena is
+///    rebuilt per process — see `ppm_core::arena`). Making closures
+///    re-materializable from persistent words alone is the open
+///    "persistent closure serialization" item in the ROADMAP.
+/// 3. The computation re-runs from its root on the persisted memory.
+///    Because capsules are idempotent (write-after-read conflict free,
+///    with CAM test-and-set for every once-only effect — the §5
+///    discipline), effects already applied by the dead run are *not*
+///    applied again: a completed task's CAM fails silently, join cells are
+///    re-allocated from the replayed pools, and data already computed
+///    stays exactly as the dead run left it. Work, not effects, is what
+///    replay costs.
+///
+/// The machine is flushed before this returns, so a second crash during
+/// recovery recovers the same way.
+pub fn recover_computation(machine: &Machine, comp: &Comp, cfg: &SchedConfig) -> RecoveryReport {
+    // Replay the allocation order of `run_computation`: completion flag
+    // first, then the scheduler's deques.
+    let done = DoneFlag::new(machine);
+    // Build the scheduler with the Figure 4 transition checker deferred:
+    // the scrub below rewrites stale entries (e.g. taken → empty), which
+    // is machine maintenance, not an entry transition. The checker is
+    // installed after the scrub if `cfg` asks for it.
+    let sched = Sched::new(
+        machine,
+        done,
+        &SchedConfig {
+            check_transitions: false,
+            ..cfg.clone()
+        },
+    );
+
+    // Forensics: what did the dead run leave behind?
+    let (mut jobs, mut locals, mut taken) = (0usize, 0usize, 0usize);
+    for d in sched.deques() {
+        for i in 0..d.slots {
+            match kind_of(machine.mem().load(d.entry(i))) {
+                EntryKind::Job => jobs += 1,
+                EntryKind::Local => locals += 1,
+                EntryKind::Taken => taken += 1,
+                EntryKind::Empty => {}
+            }
+        }
+    }
+    let live_restart_pointers = (0..machine.procs())
+        .filter(|p| machine.active_handle(*p) != 0)
+        .count();
+
+    if done.is_set(machine.mem()) {
+        return RecoveryReport {
+            epoch: machine.epoch(),
+            already_complete: true,
+            found_jobs: jobs,
+            found_locals: locals,
+            found_taken: taken,
+            live_restart_pointers,
+            run: None,
+        };
+    }
+
+    // Scrub the scheduler state back to §6.3 initial: all entries empty
+    // with tag 0, top = bot = 0, restart pointers and swap slots null.
+    for d in sched.deques() {
+        for i in 0..d.slots {
+            if machine.mem().load(d.entry(i)) != 0 {
+                machine.mem().store(d.entry(i), 0);
+            }
+        }
+        machine.mem().store(d.top, 0);
+        machine.mem().store(d.bot, 0);
+    }
+    for p in 0..machine.procs() {
+        let meta = machine.proc_meta(p);
+        machine.mem().store(meta.active, 0);
+        machine.mem().store(meta.slot_a, 0);
+        machine.mem().store(meta.slot_b, 0);
+    }
+
+    if cfg.check_transitions {
+        crate::capsules::install_transition_checker(machine, sched.deques());
+    }
+
+    let root = comp(done.finale());
+    let run = run_root_on(machine, &sched, root, done);
+    machine
+        .flush()
+        .expect("flushing recovered machine to stable storage");
+    RecoveryReport {
+        epoch: machine.epoch(),
+        already_complete: false,
+        found_jobs: jobs,
+        found_locals: locals,
+        found_taken: taken,
+        live_restart_pointers,
+        run: Some(run),
     }
 }
 
@@ -156,7 +326,9 @@ mod tests {
     use ppm_pm::{FaultConfig, PmConfig, ProcCtx, Region};
 
     fn write_marker(r: Region, i: usize) -> Comp {
-        comp_step("mark", move |ctx: &mut ProcCtx| ctx.pwrite(r.at(i), i as u64 + 1))
+        comp_step("mark", move |ctx: &mut ProcCtx| {
+            ctx.pwrite(r.at(i), i as u64 + 1)
+        })
     }
 
     fn machine(p: usize, f: FaultConfig) -> Machine {

@@ -68,7 +68,12 @@ impl EntryKind {
         use EntryKind::*;
         matches!(
             (self, to),
-            (Empty, Local) | (Local, Empty) | (Local, Job) | (Local, Taken) | (Job, Local) | (Job, Taken)
+            (Empty, Local)
+                | (Local, Empty)
+                | (Local, Job)
+                | (Local, Taken)
+                | (Job, Local)
+                | (Job, Taken)
         )
     }
 }
@@ -118,13 +123,19 @@ pub fn pack(tag: u16, val: EntryVal) -> Word {
         EntryVal::Empty => (0, 0),
         EntryVal::Local => (1, 0),
         EntryVal::Job { handle } => {
-            assert!(handle <= MAX_HANDLE, "continuation handle {handle} overflows payload");
+            assert!(
+                handle <= MAX_HANDLE,
+                "continuation handle {handle} overflows payload"
+            );
             (2, handle)
         }
         EntryVal::Taken { proc, slot, tag } => {
             assert!(proc < MAX_PROCS, "proc {proc} overflows taken payload");
             assert!(slot < MAX_SLOTS, "slot {slot} overflows taken payload");
-            (3, ((proc as u64) << 38) | ((slot as u64) << 16) | tag as u64)
+            (
+                3,
+                ((proc as u64) << 38) | ((slot as u64) << 16) | tag as u64,
+            )
         }
     };
     ((tag as u64) << TAG_SHIFT) | (kind << KIND_SHIFT) | payload
@@ -178,7 +189,14 @@ mod tests {
                     tag: u16::MAX,
                 },
             ),
-            (9, EntryVal::Taken { proc: 0, slot: 0, tag: 0 }),
+            (
+                9,
+                EntryVal::Taken {
+                    proc: 0,
+                    slot: 0,
+                    tag: 0,
+                },
+            ),
         ];
         for (tag, val) in cases {
             let w = pack(tag, val);
@@ -207,7 +225,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "overflows payload")]
     fn oversized_handle_rejected() {
-        let _ = pack(0, EntryVal::Job { handle: MAX_HANDLE + 1 });
+        let _ = pack(
+            0,
+            EntryVal::Job {
+                handle: MAX_HANDLE + 1,
+            },
+        );
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //!   `findWork` and `scheduler` as capsule state machines with the paper's
 //!   exact commit boundaries.
 //! * [`driver`] — one OS thread per model processor; runs fork-join
-//!   computations to completion and reports cost statistics.
+//!   computations to completion and reports cost statistics. Also the
+//!   cross-process recovery path ([`driver::recover_computation`]): after
+//!   a whole process dies mid-run on a durable machine, a fresh process
+//!   reopens the file and drives the computation to completion with
+//!   exactly-once effects.
 //! * [`abp`] — the CAS-based Arora–Blumofe–Plaxton baseline (not
 //!   fault-tolerant), for the comparison benchmarks.
 
@@ -29,5 +33,8 @@ pub mod entry;
 
 pub use capsules::{Sched, SchedConfig};
 pub use deque::{build_deques, check_invariant, render, snapshot, DequeAddrs, DequeSnapshot};
-pub use driver::{run_computation, run_root_on, run_root_thread, ProcOutcome, RunReport};
+pub use driver::{
+    recover_computation, run_computation, run_root_on, run_root_thread, ProcOutcome,
+    RecoveryReport, RunReport,
+};
 pub use entry::{kind_of, pack, tag_of, unpack, EntryKind, EntryVal};

@@ -80,7 +80,11 @@ impl AccessPattern {
                     (j, true, splitmix64(j as u64))
                 }
             }
-            AccessPattern::Strided { n: _, stride, range } => {
+            AccessPattern::Strided {
+                n: _,
+                stride,
+                range,
+            } => {
                 let addr = (i * stride) % range;
                 let write = i % 3 == 2;
                 (addr, write, splitmix64(i as u64))
@@ -244,7 +248,7 @@ mod tests {
         assert_eq!(c.touch(1, false), (true, None));
         assert_eq!(c.touch(2, true), (true, None));
         assert_eq!(c.touch(1, false), (false, None)); // 1 freshened
-        // 3 evicts 2 (LRU), which is dirty.
+                                                      // 3 evicts 2 (LRU), which is dirty.
         assert_eq!(c.touch(3, false), (true, Some(2)));
     }
 
@@ -253,8 +257,8 @@ mod tests {
         let n = 16;
         let mut mem = vec![0u64; n];
         run_native_cache(&AccessPattern::SeqScan { n }, 32, 4, &mut mem);
-        for j in 0..n {
-            assert_eq!(mem[j], splitmix64(j as u64));
+        for (j, v) in mem.iter().enumerate() {
+            assert_eq!(*v, splitmix64(j as u64));
         }
     }
 

@@ -56,7 +56,9 @@ impl CachePmLayout {
 
     /// Reads the simulated memory back (oracle).
     pub fn read_memory(&self, machine: &Machine, len: usize) -> Vec<Word> {
-        (0..len).map(|i| machine.mem().load(self.data.at(i))).collect()
+        (0..len)
+            .map(|i| machine.mem().load(self.data.at(i)))
+            .collect()
     }
 }
 
@@ -182,13 +184,22 @@ mod tests {
 
     #[test]
     fn seq_scan_matches_native() {
-        check_pattern(AccessPattern::SeqScan { n: 256 }, 64, 8, FaultConfig::none());
+        check_pattern(
+            AccessPattern::SeqScan { n: 256 },
+            64,
+            8,
+            FaultConfig::none(),
+        );
     }
 
     #[test]
     fn random_matches_native() {
         check_pattern(
-            AccessPattern::Random { n: 500, range: 128, seed: 3 },
+            AccessPattern::Random {
+                n: 500,
+                range: 128,
+                seed: 3,
+            },
             64,
             8,
             FaultConfig::none(),
@@ -199,7 +210,11 @@ mod tests {
     fn strided_matches_native_under_faults() {
         // f <= B/(cM): 8/(2*64) = 0.0625; use something smaller.
         check_pattern(
-            AccessPattern::Strided { n: 400, stride: 7, range: 128 },
+            AccessPattern::Strided {
+                n: 400,
+                stride: 7,
+                range: 128,
+            },
             64,
             8,
             FaultConfig::soft(0.01, 42),
@@ -222,7 +237,11 @@ mod tests {
     fn capsule_work_is_bounded_by_o_m_over_b() {
         let (m, b) = (64usize, 8usize);
         let mach = machine(FaultConfig::none(), b, m);
-        let pattern = AccessPattern::Random { n: 2000, range: 512, seed: 1 };
+        let pattern = AccessPattern::Random {
+            n: 2000,
+            range: 512,
+            seed: 1,
+        };
         let layout = CachePmLayout::new(&mach, 512, m);
         simulate_cache_on_pm(&mach, &pattern, layout).unwrap();
         let c = mach.snapshot().max_capsule_work;

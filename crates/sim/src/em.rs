@@ -162,7 +162,10 @@ pub fn run_native_em(prog: &EmProgram, ext: &mut [i64], max_instrs: u64) -> EmRe
             halted = true;
             break;
         };
-        if matches!(instr, EmInstr::ReadBlock { .. } | EmInstr::WriteBlock { .. }) {
+        if matches!(
+            instr,
+            EmInstr::ReadBlock { .. } | EmInstr::WriteBlock { .. }
+        ) {
             transfers += 1;
         }
         let cont = em_step(instr, &mut eph, &mut pc, b, &mut SliceBlocks { ext, b });
@@ -189,7 +192,7 @@ pub mod programs {
     pub fn block_sum_built(nblocks: usize, m: usize, b: usize) -> EmProgram {
         assert!(m >= 8 + 2 * b, "ephemeral memory too small");
         let buf = 8; // block buffer base
-        // cells: 0 acc, 1 blk, 2 limit, 3 one, 4 j, 5 B, 6 addr, 7 val
+                     // cells: 0 acc, 1 blk, 2 limit, 3 one, 4 j, 5 B, 6 addr, 7 val
         let mut i = vec![
             EmInstr::Set(0, 0),
             EmInstr::Set(1, 0),
@@ -223,7 +226,7 @@ pub mod programs {
         // buffer (acc then zeros) and write it out.
         i.push(EmInstr::Set(6, buf as i64));
         i.push(EmInstr::StoreI(6, 0)); // eph[buf] = acc
-        // zero the rest of the buffer
+                                       // zero the rest of the buffer
         for j in 1..b {
             i.push(EmInstr::Set(buf + j, 0));
         }

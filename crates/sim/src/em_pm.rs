@@ -57,7 +57,10 @@ impl EmPmLayout {
     /// memory of `ext_words`.
     pub fn new(machine: &Machine, prog: &EmProgram, ext_words: usize) -> Self {
         let b = machine.cfg().block_size;
-        assert_eq!(b, prog.b, "machine block size must match the EM program's B");
+        assert_eq!(
+            b, prog.b,
+            "machine block size must match the EM program's B"
+        );
         let m = prog.m;
         let copy_words = b + m; // one metadata block + M ephemeral words
         let buf_entries = (m / b).max(1) + 1;
@@ -84,7 +87,9 @@ impl EmPmLayout {
 
     /// Reads the simulated external memory back (oracle).
     pub fn read_ext(&self, machine: &Machine, len: usize) -> Vec<i64> {
-        (0..len).map(|i| from_word(machine.mem().load(self.ext.at(i)))).collect()
+        (0..len)
+            .map(|i| from_word(machine.mem().load(self.ext.at(i))))
+            .collect()
     }
 }
 
@@ -118,7 +123,10 @@ impl BlockPort for BufferedPort<'_, '_> {
             return;
         }
         let mut words = vec![0u64; self.b];
-        match self.ctx.read_block_into(self.ext.start + blk * self.b, &mut words) {
+        match self
+            .ctx
+            .read_block_into(self.ext.start + blk * self.b, &mut words)
+        {
             Ok(()) => {
                 for (d, w) in buf.iter_mut().zip(&words) {
                     *d = from_word(*w);
@@ -214,8 +222,10 @@ fn sim_capsule(prog: &Arc<EmProgram>, layout: EmPmLayout, parity: usize, max_ins
                 halted = true;
                 break;
             };
-            let is_transfer =
-                matches!(instr, EmInstr::ReadBlock { .. } | EmInstr::WriteBlock { .. });
+            let is_transfer = matches!(
+                instr,
+                EmInstr::ReadBlock { .. } | EmInstr::WriteBlock { .. }
+            );
             if is_transfer && transfers >= round_budget {
                 break; // close the round before the next transfer
             }
@@ -319,7 +329,8 @@ pub fn simulate_em_on_pm(
 
     // Read the freshest copy.
     let mem = machine.mem();
-    let pick = if mem.load(layout.copies[0].at(INSTRS_SLOT)) >= mem.load(layout.copies[1].at(INSTRS_SLOT))
+    let pick = if mem.load(layout.copies[0].at(INSTRS_SLOT))
+        >= mem.load(layout.copies[1].at(INSTRS_SLOT))
     {
         layout.copies[0]
     } else {
@@ -383,7 +394,11 @@ mod tests {
         for seed in 0..3 {
             let (nb, m, b) = (8usize, 64usize, 8usize);
             let ext: Vec<i64> = (0..((nb + 1) * b) as i64).collect();
-            let _ = check(block_sum_built(nb, m, b), ext, FaultConfig::soft(0.01, seed));
+            let _ = check(
+                block_sum_built(nb, m, b),
+                ext,
+                FaultConfig::soft(0.01, seed),
+            );
         }
     }
 

@@ -155,7 +155,11 @@ pub fn run_native(prog: &RamProgram, mem: &mut [i64], max_steps: u64) -> RamResu
             break;
         }
     }
-    RamResult { steps, regs, halted }
+    RamResult {
+        steps,
+        regs,
+        halted,
+    }
 }
 
 /// Converts a signed simulated word to a persistent-memory word.
@@ -176,20 +180,20 @@ pub mod programs {
     /// Registers: r0 acc, r1 index, r2 limit, r3 scratch, r4 one.
     pub fn sum_array(n: usize) -> RamProgram {
         RamProgram::new(vec![
-            Instr::LoadImm(0, 0),            // 0: acc = 0
-            Instr::LoadImm(1, 0),            // 1: i = 0
-            Instr::LoadImm(2, n as i64),     // 2: limit = n
-            Instr::LoadImm(4, 1),            // 3: one = 1
+            Instr::LoadImm(0, 0),        // 0: acc = 0
+            Instr::LoadImm(1, 0),        // 1: i = 0
+            Instr::LoadImm(2, n as i64), // 2: limit = n
+            Instr::LoadImm(4, 1),        // 3: one = 1
             // loop:
-            Instr::Jlt(1, 2, 6),             // 4: if i < n goto body
-            Instr::Jmp(10),                  // 5: goto end
-            Instr::Load(3, 1),               // 6: scratch = mem[i]
-            Instr::Add(0, 0, 3),             // 7: acc += scratch
-            Instr::Add(1, 1, 4),             // 8: i += 1
-            Instr::Jmp(4),                   // 9: goto loop
+            Instr::Jlt(1, 2, 6), // 4: if i < n goto body
+            Instr::Jmp(10),      // 5: goto end
+            Instr::Load(3, 1),   // 6: scratch = mem[i]
+            Instr::Add(0, 0, 3), // 7: acc += scratch
+            Instr::Add(1, 1, 4), // 8: i += 1
+            Instr::Jmp(4),       // 9: goto loop
             // end:
-            Instr::Store(0, 2),              // 10: mem[n] = acc
-            Instr::Halt,                     // 11
+            Instr::Store(0, 2), // 10: mem[n] = acc
+            Instr::Halt,        // 11
         ])
     }
 
@@ -202,14 +206,14 @@ pub mod programs {
             Instr::LoadImm(4, 1),        // 3: one
             Instr::LoadImm(5, 0),        // 4: addr 0
             // loop:
-            Instr::Jz(2, 11),            // 5: while counter != 0
-            Instr::Add(3, 0, 1),         // 6: t = a + b
-            Instr::Mov(0, 1),            // 7: a = b
-            Instr::Mov(1, 3),            // 8: b = t
-            Instr::Sub(2, 2, 4),         // 9: counter -= 1
-            Instr::Jmp(5),               // 10
-            Instr::Store(0, 5),          // 11: mem[0] = a
-            Instr::Halt,                 // 12
+            Instr::Jz(2, 11),    // 5: while counter != 0
+            Instr::Add(3, 0, 1), // 6: t = a + b
+            Instr::Mov(0, 1),    // 7: a = b
+            Instr::Mov(1, 3),    // 8: b = t
+            Instr::Sub(2, 2, 4), // 9: counter -= 1
+            Instr::Jmp(5),       // 10
+            Instr::Store(0, 5),  // 11: mem[0] = a
+            Instr::Halt,         // 12
         ])
     }
 
@@ -256,15 +260,15 @@ pub mod programs {
     /// Writes `value` into `mem[0..n]`.
     pub fn memset(n: usize, value: i64) -> RamProgram {
         RamProgram::new(vec![
-            Instr::LoadImm(0, value),        // 0: v
-            Instr::LoadImm(1, 0),            // 1: i
-            Instr::LoadImm(2, n as i64),     // 2: n
-            Instr::LoadImm(4, 1),            // 3: one
-            Instr::Jlt(1, 2, 6),             // 4
-            Instr::Halt,                     // 5
-            Instr::Store(0, 1),              // 6: mem[i] = v
-            Instr::Add(1, 1, 4),             // 7: i += 1
-            Instr::Jmp(4),                   // 8
+            Instr::LoadImm(0, value),    // 0: v
+            Instr::LoadImm(1, 0),        // 1: i
+            Instr::LoadImm(2, n as i64), // 2: n
+            Instr::LoadImm(4, 1),        // 3: one
+            Instr::Jlt(1, 2, 6),         // 4
+            Instr::Halt,                 // 5
+            Instr::Store(0, 1),          // 6: mem[i] = v
+            Instr::Add(1, 1, 4),         // 7: i += 1
+            Instr::Jmp(4),               // 8
         ])
     }
 }

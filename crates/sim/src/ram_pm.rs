@@ -87,7 +87,9 @@ impl RamPmLayout {
 
     /// Reads the simulated memory back (oracle).
     pub fn read_memory(&self, machine: &Machine, len: usize) -> Vec<i64> {
-        (0..len).map(|i| from_word(machine.mem().load(self.mem.at(i)))).collect()
+        (0..len)
+            .map(|i| from_word(machine.mem().load(self.mem.at(i))))
+            .collect()
     }
 }
 
@@ -182,13 +184,12 @@ pub fn simulate_ram_on_pm(
     // The final state lives in whichever copy was written last: the one
     // with the larger step count.
     let mem = machine.mem();
-    let pick = if mem.load(layout.copies[0].at(STEPS_SLOT))
-        >= mem.load(layout.copies[1].at(STEPS_SLOT))
-    {
-        layout.copies[0]
-    } else {
-        layout.copies[1]
-    };
+    let pick =
+        if mem.load(layout.copies[0].at(STEPS_SLOT)) >= mem.load(layout.copies[1].at(STEPS_SLOT)) {
+            layout.copies[0]
+        } else {
+            layout.copies[1]
+        };
     let mut regs = [0i64; NREGS];
     for (i, r) in regs.iter_mut().enumerate() {
         *r = from_word(mem.load(pick.at(i)));
@@ -286,7 +287,11 @@ mod tests {
         let (_, wf) = work_for(200, 0.01);
         // Faultless: ~21 transfers/step. With f = 0.01 the overhead must
         // stay a small constant factor.
-        assert!(w0 as f64 / t as f64 <= 25.0, "w0/t = {}", w0 as f64 / t as f64);
+        assert!(
+            w0 as f64 / t as f64 <= 25.0,
+            "w0/t = {}",
+            w0 as f64 / t as f64
+        );
         assert!(
             (wf as f64) < 1.8 * w0 as f64,
             "faulty work {wf} should be within a small factor of faultless {w0}"

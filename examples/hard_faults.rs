@@ -55,7 +55,11 @@ fn main() {
             ps.reads,
             ps.writes,
             ps.capsule_runs,
-            if ps.hard_faults > 0 { "DIED" } else { "survived" }
+            if ps.hard_faults > 0 {
+                "DIED"
+            } else {
+                "survived"
+            }
         );
     }
 

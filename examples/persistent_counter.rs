@@ -47,9 +47,7 @@ fn main() {
 
     // --- the paper's fix: commit between read and write ------------------
     let fixed = {
-        let m = Machine::new(
-            PmConfig::parallel(1, 1 << 18).with_fault(FaultConfig::soft(F, 7)),
-        );
+        let m = Machine::new(PmConfig::parallel(1, 1 << 18).with_fault(FaultConfig::soft(F, 7)));
         // Two cells, alternating: capsule 2k reads cell (k-1)%2, writes
         // cell k%2. Each capsule reads one word and writes the *other* —
         // conflict free, so strict validation stays on.
@@ -72,8 +70,10 @@ fn main() {
         )
     };
 
-    println!("naive in-place counter : {} (faults: {}, WAR conflicts recorded: {})",
-             broken.0, broken.1, broken.2);
+    println!(
+        "naive in-place counter : {} (faults: {}, WAR conflicts recorded: {})",
+        broken.0, broken.1, broken.2
+    );
     println!("two-cell counter       : {} (faults: {})", fixed.0, fixed.1);
     println!("\nexpected value         : {INCREMENTS}");
 

@@ -13,9 +13,8 @@ fn main() {
     // A machine with 4 processors, 1M words of persistent memory, blocks
     // of 8 words — and an adversary that soft-faults every processor with
     // probability 2% at each persistent-memory access.
-    let machine = Machine::new(
-        PmConfig::parallel(4, 1 << 21).with_fault(FaultConfig::soft(0.02, 2024)),
-    );
+    let machine =
+        Machine::new(PmConfig::parallel(4, 1 << 21).with_fault(FaultConfig::soft(0.02, 2024)));
 
     // 64 output slots in persistent memory.
     let n = 64;
@@ -37,16 +36,27 @@ fn main() {
     // Run it under the fault-tolerant work-stealing scheduler (Figure 3).
     let report = run_computation(&machine, &comp, &SchedConfig::with_slots(1 << 10));
 
-    assert!(report.completed, "the computation must finish despite faults");
+    assert!(
+        report.completed,
+        "the computation must finish despite faults"
+    );
     for i in 0..n {
         assert_eq!(machine.mem().load(out.at(i)), (i * i) as u64);
     }
 
     let s = &report.stats;
     println!("completed          : {}", report.completed);
-    println!("processors         : {} (dead: {})", machine.procs(), report.dead_procs());
+    println!(
+        "processors         : {} (dead: {})",
+        machine.procs(),
+        report.dead_procs()
+    );
     println!("soft faults        : {}", s.soft_faults);
-    println!("capsule runs       : {} ({} restarts)", s.capsule_runs, s.capsule_restarts());
+    println!(
+        "capsule runs       : {} ({} restarts)",
+        s.capsule_runs,
+        s.capsule_restarts()
+    );
     println!("total work W_f     : {} transfers", s.total_work());
     println!("max capsule work C : {}", s.max_capsule_work);
     println!("wall time          : {:?}", report.elapsed);

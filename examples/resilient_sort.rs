@@ -53,7 +53,11 @@ fn main() {
     assert_eq!(got, expected, "and be correct");
 
     println!("\ncompleted     : {}", report.completed);
-    println!("dead procs    : {} of {}", report.dead_procs(), machine.procs());
+    println!(
+        "dead procs    : {} of {}",
+        report.dead_procs(),
+        machine.procs()
+    );
     println!("outcome/proc  : {:?}", report.outcomes);
     println!("soft faults   : {}", report.stats.soft_faults);
     println!("hard faults   : {}", report.stats.hard_faults);

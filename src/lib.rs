@@ -11,15 +11,37 @@
 //!
 //! * [`pm`] (`ppm-pm`) — the persistent-memory substrate: word/block
 //!   memory, CAM/CAS, deterministic fault injection, cost accounting,
-//!   write-after-read validation.
+//!   write-after-read validation, and the storage backends
+//!   (`pm::backend`) that decide where the words physically live.
 //! * [`core`] (`ppm-core`) — capsules, continuations, restart semantics,
-//!   join cells, fork-join combinators, machines.
+//!   join cells, fork-join combinators, machines (including durable
+//!   machines: `core::Machine::create_durable` / `core::Machine::reopen`).
 //! * [`sched`] (`ppm-sched`) — the fault-tolerant WS-deque and scheduler,
-//!   plus the ABP baseline.
+//!   the ABP baseline, and cross-process crash recovery
+//!   (`sched::recover_computation`).
 //! * [`sim`] (`ppm-sim`) — the Theorem 3.2–3.4 virtual machines and their
 //!   PM-model simulations.
 //! * [`algs`] (`ppm-algs`) — prefix sums, merging, sorting, matrix
 //!   multiply.
+//!
+//! ## Durability: surviving real crashes, not just simulated faults
+//!
+//! The model's "persistent" memory is only as persistent as its storage.
+//! By default a machine's words are in-process atomics (persistence spans
+//! the *simulated* faults of the fault adversary); a machine built with
+//! `core::Machine::create_durable` instead maps its word array onto a file
+//! (`pm::backend::MmapBackend`) behind a versioned superblock. Stores
+//! reach the kernel page cache as they retire — they survive `kill -9` —
+//! and `core::Machine::flush` (`msync`) is the explicit boundary at which
+//! they also survive machine failure.
+//!
+//! After a crash, a fresh process calls `core::Machine::reopen` (which
+//! validates the superblock, replays the deterministic address-space
+//! layout, and bumps the run epoch) and `sched::recover_computation`
+//! (which inspects the persisted WS-deques and restart pointers, then
+//! drives the computation to completion with every effect applied exactly
+//! once). `examples/crash_recovery.rs` demonstrates the full scenario:
+//! SIGKILL a worker mid-run, reopen, recover, verify exactly-once marks.
 //!
 //! ## Quickstart
 //!

@@ -29,7 +29,11 @@ fn abp_and_fault_tolerant_schedulers_compute_the_same_result() {
         assert!(rep2.completed);
 
         for i in 0..n {
-            assert_eq!(m1.mem().load(r1.at(i)), m2.mem().load(r2.at(i)), "P={procs} task {i}");
+            assert_eq!(
+                m1.mem().load(r1.at(i)),
+                m2.mem().load(r2.at(i)),
+                "P={procs} task {i}"
+            );
         }
     }
 }

@@ -144,7 +144,11 @@ fn cam_capsule_exactly_one_winner_under_faults_and_racing() {
         assert_eq!(w1 + w2, 1, "seed {seed}: exactly one winner, got {w1}+{w2}");
         let v = m.mem().load(cell.at(0));
         assert!(v == 1 || v == 2);
-        assert_eq!(m.mem().load(winners.at(v as usize)), 1, "winner matches cell");
+        assert_eq!(
+            m.mem().load(winners.at(v as usize)),
+            1,
+            "winner matches cell"
+        );
     }
 }
 
@@ -194,7 +198,11 @@ fn persistent_counter_with_commit_is_exactly_once() {
         // (the copy-instead-of-overwrite style of §4).
         for i in 0..20usize {
             let inc = final_capsule("inc", move |ctx| {
-                let old = if i == 0 { 0 } else { ctx.pread(cells.at(i - 1))? };
+                let old = if i == 0 {
+                    0
+                } else {
+                    ctx.pread(cells.at(i - 1))?
+                };
                 ctx.pwrite(cells.at(i), old + 1)
             });
             run_chain(&mut ctx, m.arena(), &mut install, inc).unwrap();

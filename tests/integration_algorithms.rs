@@ -3,7 +3,9 @@
 
 use ppm::algs::matmul::matmul_pool_words;
 use ppm::algs::sort::samplesort_pool_words;
-use ppm::algs::{matmul_seq, merge_seq, prefix_sum_seq, MatMul, Merge, MergeSort, PrefixSum, SampleSort};
+use ppm::algs::{
+    matmul_seq, merge_seq, prefix_sum_seq, MatMul, Merge, MergeSort, PrefixSum, SampleSort,
+};
 use ppm::core::Machine;
 use ppm::pm::{FaultConfig, PmConfig};
 use ppm::sched::{run_computation, SchedConfig};
@@ -92,7 +94,9 @@ fn sort_adversarial_inputs() {
         (0..n as u64).collect(),
         (0..n as u64).rev().collect(),
         vec![7; n],
-        (0..n as u64).map(|i| if i < n as u64 / 2 { i } else { n as u64 - i }).collect(),
+        (0..n as u64)
+            .map(|i| if i < n as u64 / 2 { i } else { n as u64 - i })
+            .collect(),
     ];
     for (k, input) in inputs.iter().enumerate() {
         let m = Machine::with_pool_words(

@@ -16,7 +16,11 @@ fn marker_tasks(r: Region, n: usize) -> Comp {
 
 fn assert_all_marked(m: &Machine, r: Region, n: usize, tag: &str) {
     for i in 0..n {
-        assert_eq!(m.mem().load(r.at(i)), 1, "{tag}: task {i} must run exactly once");
+        assert_eq!(
+            m.mem().load(r.at(i)),
+            1,
+            "{tag}: task {i} must run exactly once"
+        );
     }
 }
 
@@ -63,9 +67,8 @@ fn randomized_soft_fault_storm() {
     // Many seeds, meaningful fault rate: every capsule type in the
     // scheduler gets restarted somewhere across this sweep.
     for seed in 0..12 {
-        let m = Machine::new(
-            PmConfig::parallel(4, 1 << 21).with_fault(FaultConfig::soft(0.03, seed)),
-        );
+        let m =
+            Machine::new(PmConfig::parallel(4, 1 << 21).with_fault(FaultConfig::soft(0.03, seed)));
         let n = 40;
         let r = m.alloc_region(n);
         let mut cfg = SchedConfig::with_slots(1 << 11);
@@ -85,8 +88,7 @@ fn mixed_hard_and_soft_faults_random_placement() {
     let mut completed_with_deaths = 0;
     for seed in 0..16 {
         let m = Machine::new(
-            PmConfig::parallel(4, 1 << 21)
-                .with_fault(FaultConfig::mixed(0.01, 0.02, seed)),
+            PmConfig::parallel(4, 1 << 21).with_fault(FaultConfig::mixed(0.01, 0.02, seed)),
         );
         let n = 48;
         let r = m.alloc_region(n);
@@ -148,9 +150,7 @@ fn cascading_deaths_during_recovery() {
 fn deep_sequential_chain_under_faults() {
     // A single thread of many capsules (no forks after the first): tests
     // the install/restart path rather than stealing.
-    let m = Machine::new(
-        PmConfig::parallel(2, 1 << 21).with_fault(FaultConfig::soft(0.02, 9)),
-    );
+    let m = Machine::new(PmConfig::parallel(2, 1 << 21).with_fault(FaultConfig::soft(0.02, 9)));
     let r = m.alloc_region(256);
     let chain: Vec<Comp> = (0..200)
         .map(|i| {
@@ -160,9 +160,17 @@ fn deep_sequential_chain_under_faults() {
             })
         })
         .collect();
-    let rep = run_computation(&m, &ppm::core::seq_all(chain), &SchedConfig::with_slots(1 << 11));
+    let rep = run_computation(
+        &m,
+        &ppm::core::seq_all(chain),
+        &SchedConfig::with_slots(1 << 11),
+    );
     assert!(rep.completed);
-    assert_eq!(m.mem().load(r.at(199)), 200, "each link applied exactly once");
+    assert_eq!(
+        m.mem().load(r.at(199)),
+        200,
+        "each link applied exactly once"
+    );
 }
 
 #[test]

@@ -34,16 +34,16 @@ fn t32_ram_simulation_is_exact_and_linear() {
 
 #[test]
 fn t32_other_programs() {
-    let cases: Vec<(_, Vec<i64>, fn(&[i64]) -> bool)> = vec![
+    type Check = fn(&[i64]) -> bool;
+    let cases: Vec<(_, Vec<i64>, Check)> = vec![
         (fib(25), vec![0i64; 4], |m: &[i64]| m[0] == 75025),
         (memset(64, 3), vec![0i64; 64], |m: &[i64]| {
             m.iter().all(|&v| v == 3)
         }),
     ];
     for (prog, init, check) in cases {
-        let machine = Machine::new(
-            PmConfig::parallel(1, 1 << 21).with_fault(FaultConfig::soft(0.01, 7)),
-        );
+        let machine =
+            Machine::new(PmConfig::parallel(1, 1 << 21).with_fault(FaultConfig::soft(0.01, 7)));
         let (_, report, pm_mem) = run_both(&machine, &prog, &init, 1 << 22);
         assert!(report.halted);
         assert!(check(&pm_mem));
@@ -68,7 +68,11 @@ fn t33_em_simulation_across_geometries() {
 
         let mut native_ext = ext.clone();
         let native = run_native_em(&prog, &mut native_ext, 1 << 22);
-        assert_eq!(layout.read_ext(&machine, ext.len()), native_ext, "M={m_sim} B={b}");
+        assert_eq!(
+            layout.read_ext(&machine, ext.len()),
+            native_ext,
+            "M={m_sim} B={b}"
+        );
 
         // O(t): per-transfer cost bounded by a constant multiple of M/B
         // round overhead.
@@ -101,8 +105,24 @@ fn t33_reverse_program() {
 fn t34_cache_simulation_matches_and_scales_with_misses() {
     for (pattern, m_sim, b) in [
         (AccessPattern::SeqScan { n: 512 }, 64usize, 8usize),
-        (AccessPattern::Random { n: 1500, range: 256, seed: 4 }, 64, 8),
-        (AccessPattern::Strided { n: 900, stride: 13, range: 256 }, 128, 16),
+        (
+            AccessPattern::Random {
+                n: 1500,
+                range: 256,
+                seed: 4,
+            },
+            64,
+            8,
+        ),
+        (
+            AccessPattern::Strided {
+                n: 900,
+                stride: 13,
+                range: 256,
+            },
+            128,
+            16,
+        ),
     ] {
         let range = pattern.address_range();
         let machine = Machine::new(

@@ -5,9 +5,7 @@
 use ppm::core::Machine;
 use ppm::pm::{FaultConfig, PmConfig};
 use ppm::sim::ram::programs::{bubble_sort, sum_array};
-use ppm::sim::{
-    run_both, run_native_cache, simulate_cache_on_pm, AccessPattern, CachePmLayout,
-};
+use ppm::sim::{run_both, run_native_cache, simulate_cache_on_pm, AccessPattern, CachePmLayout};
 use proptest::prelude::*;
 
 proptest! {

@@ -19,9 +19,7 @@ fn sort_then_scan_pipeline_survives_combined_adversary() {
     let m1 = Machine::with_pool_words(
         PmConfig::parallel(4, 1 << 24)
             .with_ephemeral_words(128)
-            .with_fault(
-                FaultConfig::soft(0.002, 99).with_scheduled_hard_fault(3, 4_000),
-            ),
+            .with_fault(FaultConfig::soft(0.002, 99).with_scheduled_hard_fault(3, 4_000)),
         samplesort_pool_words(n),
     );
     let ss = SampleSort::new(&m1, n);

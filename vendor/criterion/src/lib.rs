@@ -1,0 +1,234 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this replacement. It keeps the call-site API (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`) and two behaviors of the real crate:
+//!
+//! * under `cargo bench` (the harness receives `--bench`) each benchmark is
+//!   measured over `sample_size` timed samples and a mean/min/max line is
+//!   printed;
+//! * under `cargo test` each benchmark body runs exactly once as a smoke
+//!   test, so benches stay compiled and correct without slowing the suite.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, matching upstream's `black_box`.
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    measure: bool,
+    samples: usize,
+    /// Per-sample wall-clock durations from the last `iter` call.
+    last_samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` under the timer (or once, in smoke-test mode).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        self.last_samples.clear();
+        if !self.measure {
+            black_box(routine());
+            return;
+        }
+        // One untimed warmup pass.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.last_samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{id}", self.name);
+        self.run(&label, |b| routine(b));
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{id}", self.name);
+        self.run(&label, |b| routine(b, input));
+        self
+    }
+
+    fn run(&mut self, label: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            measure: self.criterion.measure,
+            samples: self.sample_size,
+            last_samples: Vec::new(),
+        };
+        routine(&mut bencher);
+        if self.criterion.measure {
+            report(label, &bencher.last_samples);
+        }
+    }
+
+    /// Ends the group (upstream drops internal state; the shim's prints are
+    /// immediate, so this is shape-compatibility only).
+    pub fn finish(self) {}
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label}: no samples (routine never called iter)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!(
+        "{label}: mean {mean:?} min {min:?} max {max:?} ({} samples)",
+        samples.len()
+    );
+}
+
+/// Benchmark driver, constructed by [`macro@criterion_group`].
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the harness with `--bench`; `cargo test`
+        // runs it bare (smoke-test mode), like upstream criterion.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` directly on the driver.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        let mut group = self.benchmark_group(label.clone());
+        group.run(&label, |b| routine(b));
+        self
+    }
+}
+
+/// Declares a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_runs_in_smoke_mode() {
+        let mut c = Criterion { measure: false };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn group_runs_in_measure_mode() {
+        let mut c = Criterion { measure: true };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(0.5).to_string(), "0.5");
+    }
+}

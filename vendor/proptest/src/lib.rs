@@ -1,0 +1,338 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this replacement. It keeps the call-site grammar of the real
+//! crate — `proptest! { #![proptest_config(..)] #[test] fn f(x in S) {..} }`,
+//! `any::<T>()`, ranges as strategies, `prop::collection::vec`,
+//! `prop_assert!` / `prop_assert_eq!` — and runs each property as a
+//! deterministic loop of sampled cases. Unlike upstream there is no
+//! shrinking: a failing case reports its case index and seed, which is
+//! enough to replay it under a debugger since sampling is deterministic.
+
+use std::ops::Range;
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Derives a generator from a test-unique seed and the case index.
+    pub fn for_case(test_seed: u64, case: u32) -> Self {
+        let mut sm = test_seed ^ ((case as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniformly random bits (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % span;
+            }
+        }
+    }
+}
+
+/// A source of sampled values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draws one sample.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy for "any value of `T`" — see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with an `any::<T>()` strategy.
+pub trait Arbitrary {
+    /// Builds a value from 64 uniform bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn from_bits(bits: u64) -> Self { bits as $t }
+        })*
+    };
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// The strategy producing uniformly arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::from_bits(rng.next_u64())
+    }
+}
+
+macro_rules! impl_strategy_range_uint {
+    ($($t:ty),*) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        })*
+    };
+}
+impl_strategy_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_range_int {
+    ($($t:ty as $u:ty),*) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        })*
+    };
+}
+impl_strategy_range_int!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Combinator strategies, mirroring upstream's `prop` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: Range<usize>,
+        }
+
+        /// `Vec` strategy: `len` elements of `elem`, `len` drawn from `size`.
+        pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty vec length range");
+            VecStrategy { elem, len: size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.clone().sample_len(rng);
+                (0..n).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+
+        trait SampleLen {
+            fn sample_len(self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SampleLen for Range<usize> {
+            fn sample_len(self, rng: &mut TestRng) -> usize {
+                <Range<usize> as Strategy>::sample(&self, rng)
+            }
+        }
+    }
+}
+
+/// FNV-1a over the test path, giving each property its own base seed.
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `cases` deterministic cases of a property. Reports the case index
+/// and seed on failure, then re-raises the panic.
+pub fn run_cases<F: FnMut(&mut TestRng)>(test_path: &str, cases: u32, mut case_fn: F) {
+    let base = seed_for(test_path);
+    for case in 0..cases {
+        let mut rng = TestRng::for_case(base, case);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            case_fn(&mut rng);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest {test_path}: case {case}/{cases} failed \
+                 (base seed {base:#018x}; sampling is deterministic)"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Property assertion; shim-equivalent to `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion; shim-equivalent to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion; shim-equivalent to `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @with_config ($cfg) $($rest)* }
+    };
+    (
+        @with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat_param in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let path = concat!(module_path!(), "::", stringify!($name));
+                $crate::run_cases(path, config.cases, |rng| {
+                    $(let $pat = $crate::Strategy::sample(&($strategy), rng);)*
+                    $body
+                });
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            @with_config ($crate::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// One-import convenience module, mirroring upstream.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -5i64..5, f in 0.0f64..0.25) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.0..0.25).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u64..10, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| *x < 10));
+        }
+
+        #[test]
+        fn mut_patterns_work(mut v in prop::collection::vec(0u64..100, 1..20)) {
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_applies(x in any::<u16>()) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = TestRng::for_case(1, 2);
+        let mut b = TestRng::for_case(1, 2);
+        let s = prop::collection::vec(0u64..1000, 5..50);
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}

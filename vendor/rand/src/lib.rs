@@ -1,0 +1,209 @@
+//! Offline shim for the subset of the `rand` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this deterministic replacement. [`rngs::StdRng`] here is an
+//! xoshiro256** generator seeded through SplitMix64 — the statistical
+//! quality is ample for fault-injection streams and randomized test
+//! inputs. The stream differs from upstream `rand`'s `StdRng`, which is
+//! fine: every consumer in this workspace treats the stream as an opaque
+//! deterministic function of the seed.
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling interface: the subset of `rand::Rng` used here.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A Bernoulli trial with probability `p` of `true`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range [0,1]");
+        // 53 uniform mantissa bits, matching upstream's f64 construction.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Uniform sample from a half-open range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// A uniformly random value of a supported primitive type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+}
+
+/// Types sampleable uniformly from all 64 random bits ([`Rng::gen`]).
+pub trait Standard {
+    /// Builds a value from 64 uniform bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {
+        $(impl Standard for $t {
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        })*
+    };
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased uniform integer in `[0, span)` by rejection sampling.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {
+        $(impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        })*
+    };
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty as $u:ty),*) => {
+        $(impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        })*
+    };
+}
+impl_sample_range_int!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty gen_range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (SplitMix64-seeded).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+            let f: f64 = r.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_extremes() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits={hits}");
+    }
+}
