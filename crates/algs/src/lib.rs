@@ -16,6 +16,14 @@
 //!
 //! Every algorithm ships with a plain sequential oracle used by the tests
 //! and the experiment harness.
+//!
+//! Prefix sums and mergesort additionally ship in **registered
+//! persistent-capsule form** ([`PrefixSum::pcomp`], [`MergeSort::pcomp`]):
+//! the same recursions defunctionalized into `CapsuleRegistry`
+//! constructors whose continuations live as frames in persistent memory,
+//! so a run killed mid-computation (`kill -9`) is *resumed* from its
+//! in-flight deque entries by `ppm_sched::recover_persistent` instead of
+//! replayed from the root.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,5 +36,5 @@ pub mod util;
 
 pub use matmul::{matmul_rect_seq, matmul_seq, MatMul, MatMulRect};
 pub use merge::{merge_seq, Merge};
-pub use prefix::{prefix_sum_seq, PrefixSum};
-pub use sort::{MergeSort, SampleSort};
+pub use prefix::{prefix_sum_seq, register_prefix_sum, PrefixSum, PREFIX_ID_BASE};
+pub use sort::{register_mergesort, MergeSort, SampleSort, MSORT_ID_BASE};

@@ -246,10 +246,10 @@ impl MatMul {
 
 /// A rectangular multiply `c[m×n] = a[m×k] · b[k×n]` (§7's closing note:
 /// "we can extend this result to non-square matrices using a similar
-/// approach to [31]"). Implemented by embedding the operands in the
+/// approach to \[31\]"). Implemented by embedding the operands in the
 /// smallest enclosing power-of-two square (zero padding is absorbed by
 /// the base case's zero-skip), which preserves the work bound up to the
-/// aspect ratio — the dimension-splitting refinement of [31] would remove
+/// aspect ratio — the dimension-splitting refinement of \[31\] would remove
 /// that factor for extreme shapes.
 #[derive(Debug, Clone, Copy)]
 pub struct MatMulRect {

@@ -37,14 +37,14 @@ impl Run {
 /// Base-case size: merge sequentially once `≤ B` elements remain (the
 /// paper's rule; a floor of 2 keeps degenerate B = 1 configurations from
 /// recursing on single elements forever).
-fn base_size(b: usize) -> usize {
+pub(crate) fn base_size(b: usize) -> usize {
     b.max(2)
 }
 
 /// Dual binary search: the number of elements `sa` to take from `a` such
 /// that `(sa, r - sa)` splits the merged order at rank `r`. O(log) costed
 /// word reads.
-fn split_rank(ctx: &mut ProcCtx, a: Run, b: Run, r: usize) -> PmResult<usize> {
+pub(crate) fn split_rank(ctx: &mut ProcCtx, a: Run, b: Run, r: usize) -> PmResult<usize> {
     let (na, nb) = (a.len(), b.len());
     debug_assert!(r <= na + nb);
     let mut lo = r.saturating_sub(nb);

@@ -14,10 +14,19 @@
 
 use std::sync::Arc;
 
-use ppm_core::{comp_dyn, comp_fork2, comp_seq, comp_step, Comp, Machine};
-use ppm_pm::{ProcCtx, Region, Word};
+use ppm_core::{
+    capsule, comp_dyn, comp_fork2, comp_seq, comp_step, fork_join_frames, frame_args, CapsuleId,
+    CapsuleRegistry, Comp, Cont, Machine, Next, PComp, FIRST_USER_CAPSULE_ID,
+};
+use ppm_pm::{write_frame, PmResult, ProcCtx, Region, Word};
 
 use crate::util::{ceil_div, next_pow2, pread_range, pwrite_range};
+
+/// Capsule-id base for the registered prefix-sum (three consecutive ids:
+/// up-sweep, up-combine, down-sweep). The constructors are instance-free
+/// (frames carry their instance's geometry), so every prefix-sum on a
+/// machine shares these ids.
+pub const PREFIX_ID_BASE: CapsuleId = FIRST_USER_CAPSULE_ID;
 
 /// A prefix-sum instance: input, output, and the partial-sums tree.
 #[derive(Debug, Clone, Copy)]
@@ -177,6 +186,214 @@ impl PrefixSum {
         let s = *self;
         Arc::new(move || s.comp())
     }
+
+    // ================================================================
+    // Registered persistent-capsule form
+    // ================================================================
+
+    /// The computation as persistent capsule frames, for
+    /// `ppm_sched::run_persistent` / `recover_persistent`. Registers the
+    /// [`register_prefix_sum`] constructors; frames carry the instance's
+    /// full geometry, so any number of prefix-sum instances can coexist
+    /// on one machine under the same ids.
+    pub fn pcomp(&self) -> PComp {
+        let s = *self;
+        Arc::new(move |machine: &Machine, finale: Word| {
+            register_prefix_sum(machine.registry());
+            // Root chain: up-sweep the whole tree, then down-sweep with
+            // offset 0, then the caller's finale.
+            let leaves = s.leaves as Word;
+            let down =
+                machine.setup_frame(PREFIX_ID_BASE + 2, &s.frame(&[0, 0, leaves, 0, finale]));
+            machine.setup_frame(PREFIX_ID_BASE, &s.frame(&[0, 0, leaves, down]))
+        })
+    }
+
+    /// This instance's geometry as frame-argument words (the per-node
+    /// words follow them in every prefix frame).
+    fn geom_words(&self) -> [Word; GEOM_WORDS] {
+        [
+            self.input.start as Word,
+            self.input.len as Word,
+            self.output.start as Word,
+            self.output.len as Word,
+            self.sums.start as Word,
+            self.sums.len as Word,
+            self.n as Word,
+            self.b as Word,
+        ]
+    }
+
+    /// Rebuilds an instance view from frame geometry words.
+    fn from_geom(g: &[Word; GEOM_WORDS]) -> PrefixSum {
+        let (n, b) = (g[6] as usize, g[7] as usize);
+        PrefixSum {
+            input: Region {
+                start: g[0] as usize,
+                len: g[1] as usize,
+            },
+            output: Region {
+                start: g[2] as usize,
+                len: g[3] as usize,
+            },
+            sums: Region {
+                start: g[4] as usize,
+                len: g[5] as usize,
+            },
+            n,
+            leaves: next_pow2(ceil_div(n, b.max(1))),
+            b,
+        }
+    }
+
+    /// Concatenates this instance's geometry with per-node words into one
+    /// frame-argument vector.
+    fn frame(&self, node_words: &[Word]) -> Vec<Word> {
+        let mut args = self.geom_words().to_vec();
+        args.extend_from_slice(node_words);
+        args
+    }
+
+    /// Up-sweep capsule for `node` covering leaves `[llo, lhi)`,
+    /// continuing with frame `k`.
+    fn up_capsule(self, node: usize, llo: usize, lhi: usize, k: Word) -> Cont {
+        capsule("prefix/up", move |ctx| {
+            if lhi - llo == 1 {
+                let (lo, hi) = self.leaf_range(llo);
+                let sum: Word = if lo < hi {
+                    pread_range(ctx, self.input.at(lo), hi - lo)?
+                        .iter()
+                        .fold(0u64, |a, v| a.wrapping_add(*v))
+                } else {
+                    0 // padding leaf
+                };
+                ctx.pwrite(self.sums.at(node), sum)?;
+                return Ok(Next::JumpHandle(k));
+            }
+            let mid = llo + (lhi - llo) / 2;
+            let (lc, rc) = (2 * node + 1, 2 * node + 2);
+            let kc = write_frame(ctx, PREFIX_ID_BASE + 1, &self.frame(&[node as Word, k]))?;
+            let (la, ra) = fork_join_frames(ctx, kc as Word)?;
+            let lf = write_frame(
+                ctx,
+                PREFIX_ID_BASE,
+                &self.frame(&[lc as Word, llo as Word, mid as Word, la]),
+            )?;
+            let rf = write_frame(
+                ctx,
+                PREFIX_ID_BASE,
+                &self.frame(&[rc as Word, mid as Word, lhi as Word, ra]),
+            )?;
+            Ok(Next::ForkHandle {
+                child: rf as Word,
+                cont: lf as Word,
+            })
+        })
+    }
+
+    /// Up-sweep combine capsule: both children's sums are in; write the
+    /// node's, continue with frame `k`.
+    fn combine_capsule(self, node: usize, k: Word) -> Cont {
+        capsule("prefix/up-combine", move |ctx| {
+            let (lc, rc) = (2 * node + 1, 2 * node + 2);
+            let l = ctx.pread(self.sums.at(lc))?;
+            let r = ctx.pread(self.sums.at(rc))?;
+            ctx.pwrite(self.sums.at(node), l.wrapping_add(r))?;
+            Ok(Next::JumpHandle(k))
+        })
+    }
+
+    /// Down-sweep capsule: `t` is the sum of everything left of this
+    /// subtree; leaves write the output block.
+    fn down_capsule(self, node: usize, llo: usize, lhi: usize, t: Word, k: Word) -> Cont {
+        capsule("prefix/down", move |ctx| {
+            if lhi - llo == 1 {
+                self.down_leaf_body(ctx, llo, t)?;
+                return Ok(Next::JumpHandle(k));
+            }
+            let mid = llo + (lhi - llo) / 2;
+            let (lc, rc) = (2 * node + 1, 2 * node + 2);
+            let left_sum = ctx.pread(self.sums.at(lc))?;
+            let (la, ra) = fork_join_frames(ctx, k)?;
+            let lf = write_frame(
+                ctx,
+                PREFIX_ID_BASE + 2,
+                &self.frame(&[lc as Word, llo as Word, mid as Word, t, la]),
+            )?;
+            let rf = write_frame(
+                ctx,
+                PREFIX_ID_BASE + 2,
+                &self.frame(&[
+                    rc as Word,
+                    mid as Word,
+                    lhi as Word,
+                    t.wrapping_add(left_sum),
+                    ra,
+                ]),
+            )?;
+            Ok(Next::ForkHandle {
+                child: rf as Word,
+                cont: lf as Word,
+            })
+        })
+    }
+
+    fn down_leaf_body(self, ctx: &mut ProcCtx, leaf: usize, t: Word) -> PmResult<()> {
+        let (lo, hi) = self.leaf_range(leaf);
+        if lo >= hi {
+            return Ok(()); // padding leaf
+        }
+        let input = pread_range(ctx, self.input.at(lo), hi - lo)?;
+        let mut acc = t;
+        let out: Vec<Word> = input
+            .iter()
+            .map(|v| {
+                acc = acc.wrapping_add(*v);
+                acc
+            })
+            .collect();
+        pwrite_range(ctx, self.output.at(lo), &out)
+    }
+}
+
+/// Geometry words prefixed to every prefix-sum frame (input, output and
+/// sums regions as `(start, len)` pairs, plus `n` and `B`).
+const GEOM_WORDS: usize = 8;
+
+fn split_geom<const REST: usize>(args: &[Word]) -> Result<(PrefixSum, [Word; REST]), String> {
+    if args.len() != GEOM_WORDS + REST {
+        return Err(format!(
+            "expected {} args, got {}",
+            GEOM_WORDS + REST,
+            args.len()
+        ));
+    }
+    let geom: [Word; GEOM_WORDS] = frame_args(&args[..GEOM_WORDS])?;
+    let rest: [Word; REST] = frame_args(&args[GEOM_WORDS..])?;
+    Ok((PrefixSum::from_geom(&geom), rest))
+}
+
+/// Registers the prefix-sum capsule constructors (idempotent). The
+/// constructors are instance-free — every frame carries its instance's
+/// geometry — so all prefix-sum computations on a machine share the
+/// three [`PREFIX_ID_BASE`] ids. The defunctionalized twin of
+/// [`PrefixSum::comp`]: each tree node becomes a frame
+/// `(capsule_id, geometry…, node, llo, lhi, [t,] k)` with `k` the
+/// continuation's frame handle, which is what lets a recovering
+/// scheduler resume a killed run mid-tree (`ppm_sched::recover_persistent`).
+pub fn register_prefix_sum(registry: &CapsuleRegistry) {
+    registry.register(PREFIX_ID_BASE, "prefix/up", |args| {
+        let (s, [node, llo, lhi, k]) = split_geom(args)?;
+        Ok(s.up_capsule(node as usize, llo as usize, lhi as usize, k))
+    });
+    registry.register(PREFIX_ID_BASE + 1, "prefix/up-combine", |args| {
+        let (s, [node, k]) = split_geom(args)?;
+        Ok(s.combine_capsule(node as usize, k))
+    });
+    registry.register(PREFIX_ID_BASE + 2, "prefix/down", |args| {
+        let (s, [node, llo, lhi, t, k]) = split_geom(args)?;
+        Ok(s.down_capsule(node as usize, llo as usize, lhi as usize, t, k))
+    });
 }
 
 /// Sequential oracle: inclusive prefix sums with wrapping addition.
@@ -274,5 +491,63 @@ mod tests {
     fn oracle_matches_hand_computation() {
         assert_eq!(prefix_sum_seq(&[1, 2, 3, 4]), vec![1, 3, 6, 10]);
         assert_eq!(prefix_sum_seq(&[]), Vec::<u64>::new());
+    }
+
+    fn check_registered(n: usize, procs: usize, f: FaultConfig) {
+        let m = Machine::new(PmConfig::parallel(procs, 1 << 22).with_fault(f));
+        let ps = PrefixSum::new(&m, n);
+        let data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(13) % 997).collect();
+        ps.load_input(&m, &data);
+        let rep = ppm_sched::run_persistent(&m, &ps.pcomp(), &SchedConfig::with_slots(1 << 13));
+        assert!(rep.completed);
+        assert_eq!(
+            ps.read_output(&m),
+            prefix_sum_seq(&data),
+            "registered n={n} P={procs}"
+        );
+    }
+
+    #[test]
+    fn registered_form_matches_oracle() {
+        for n in [1usize, 8, 17, 257] {
+            check_registered(n, 1, FaultConfig::none());
+        }
+        check_registered(1 << 12, 4, FaultConfig::none());
+    }
+
+    #[test]
+    fn registered_form_with_soft_faults() {
+        for seed in 0..3 {
+            check_registered(300, 2, FaultConfig::soft(0.01, seed));
+        }
+    }
+
+    #[test]
+    fn two_registered_instances_coexist_on_one_machine() {
+        // Frames carry their instance's geometry, so a second instance
+        // under the same capsule ids must not rehydrate into the first
+        // instance's regions.
+        let m = Machine::new(PmConfig::parallel(2, 1 << 22));
+        let ps1 = PrefixSum::new(&m, 300);
+        let ps2 = PrefixSum::new(&m, 77);
+        let d1: Vec<u64> = (0..300).map(|i| i * 3 + 1).collect();
+        let d2: Vec<u64> = (0..77).map(|i| 1000 - i).collect();
+        ps1.load_input(&m, &d1);
+        ps2.load_input(&m, &d2);
+        let rep1 = ppm_sched::run_persistent(&m, &ps1.pcomp(), &SchedConfig::with_slots(1 << 12));
+        assert!(rep1.completed);
+        let rep2 = ppm_sched::run_persistent(&m, &ps2.pcomp(), &SchedConfig::with_slots(1 << 12));
+        assert!(rep2.completed);
+        assert_eq!(ps1.read_output(&m), prefix_sum_seq(&d1));
+        assert_eq!(ps2.read_output(&m), prefix_sum_seq(&d2));
+    }
+
+    #[test]
+    fn registered_form_with_a_hard_fault() {
+        check_registered(
+            512,
+            3,
+            FaultConfig::none().with_scheduled_hard_fault(1, 150),
+        );
     }
 }

@@ -20,12 +20,21 @@
 //! All scratch comes from the §4.1 restart-stable pool allocator, so every
 //! capsule writes fresh locations: write-after-read conflict free.
 
-use ppm_core::{comp_dyn, comp_fork2, comp_seq, comp_step, par_all, Comp, Machine};
-use ppm_pm::{ProcCtx, Region, Word};
+use std::sync::Arc;
 
-use crate::merge::{merge_runs, Run};
+use ppm_core::{
+    capsule, comp_dyn, comp_fork2, comp_seq, comp_step, fork_join_frames, frame_args, par_all,
+    CapsuleId, CapsuleRegistry, Comp, Cont, Machine, Next, PComp, FIRST_USER_CAPSULE_ID,
+};
+use ppm_pm::{write_frame, ProcCtx, Region, Word};
+
+use crate::merge::{base_size, merge_runs, split_rank, Run};
 use crate::prefix::PrefixSum;
 use crate::util::{ceil_div, pread_range, pwrite_range};
+
+/// Capsule-id base for the registered mergesort (two ids: sort node and
+/// binary-split merge node). Placed above the prefix-sum ids.
+pub const MSORT_ID_BASE: CapsuleId = FIRST_USER_CAPSULE_ID + 0x10;
 
 fn region_at(start: usize, len: usize) -> Region {
     Region { start, len }
@@ -141,6 +150,239 @@ impl MergeSort {
             0,
         )
     }
+
+    /// The sorting computation as persistent capsule frames, for
+    /// `ppm_sched::run_persistent` / `recover_persistent`. Registers the
+    /// [`MSORT_ID_BASE`] constructors (argument words carry the full run
+    /// geometry, so the constructors are instance-free and shared by
+    /// every mergesort on the machine).
+    pub fn pcomp(&self) -> PComp {
+        let s = *self;
+        Arc::new(move |machine: &Machine, finale: Word| {
+            register_mergesort(machine.registry());
+            machine.setup_frame(
+                MSORT_ID_BASE,
+                &msort_args(
+                    Run {
+                        region: s.input,
+                        lo: 0,
+                        hi: s.n,
+                    },
+                    s.output,
+                    0,
+                    s.aux,
+                    0,
+                    finale,
+                ),
+            )
+        })
+    }
+}
+
+// ====================================================================
+// Registered (persistent-frame) mergesort
+// ====================================================================
+//
+// The same recursion, defunctionalized into two instance-free capsule
+// constructors whose argument words carry the full geometry. One
+// deviation from the legacy path: the merge splits *binary* at the median
+// rank (one dual binary search per split capsule — still the Theorem 7.2
+// O(log n) capsule-work bound) instead of the k ≈ n^{1/3}-way split,
+// which would need a variable-width fan-out frame. Work stays
+// O(n/B + split-search terms); depth grows to O(log² n) inside a merge.
+
+/// `msort/node` frame args: sort `src` into `dst[dlo..)` using
+/// `aux[alo..)` as scratch, then continue with frame `k`.
+fn msort_args(src: Run, dst: Region, dlo: usize, aux: Region, alo: usize, k: Word) -> [Word; 11] {
+    [
+        src.region.start as Word,
+        src.region.len as Word,
+        src.lo as Word,
+        src.hi as Word,
+        dst.start as Word,
+        dst.len as Word,
+        dlo as Word,
+        aux.start as Word,
+        aux.len as Word,
+        alo as Word,
+        k,
+    ]
+}
+
+/// `msort/merge` frame args: merge runs `a` and `b` into `out[olo..)`,
+/// then continue with frame `k`.
+fn merge_args(a: Run, b: Run, out: Region, olo: usize, k: Word) -> [Word; 12] {
+    [
+        a.region.start as Word,
+        a.region.len as Word,
+        a.lo as Word,
+        a.hi as Word,
+        b.region.start as Word,
+        b.region.len as Word,
+        b.lo as Word,
+        b.hi as Word,
+        out.start as Word,
+        out.len as Word,
+        olo as Word,
+        k,
+    ]
+}
+
+fn run_from(args: &[Word], at: usize) -> Run {
+    Run {
+        region: region_at(args[at] as usize, args[at + 1] as usize),
+        lo: args[at + 2] as usize,
+        hi: args[at + 3] as usize,
+    }
+}
+
+/// Registers the mergesort capsule constructors (idempotent).
+pub fn register_mergesort(registry: &CapsuleRegistry) {
+    registry.register(MSORT_ID_BASE, "msort/node", |args| {
+        Ok(msort_node_capsule(frame_args(args)?))
+    });
+    registry.register(MSORT_ID_BASE + 1, "msort/merge", |args| {
+        Ok(msort_merge_capsule(frame_args(args)?))
+    });
+}
+
+fn msort_node_capsule(args: [Word; 11]) -> Cont {
+    capsule("msort/node", move |ctx| {
+        let src = run_from(&args, 0);
+        let dst = region_at(args[4] as usize, args[5] as usize);
+        let dlo = args[6] as usize;
+        let aux = region_at(args[7] as usize, args[8] as usize);
+        let alo = args[9] as usize;
+        let k = args[10];
+
+        let n = src.len();
+        let base = ctx.ephemeral_words().max(ctx.block_size());
+        if n <= base {
+            // Base case: sort within one capsule.
+            if n > 0 {
+                let mut v = pread_range(ctx, src.region.at(src.lo), n)?;
+                v.sort_unstable();
+                pwrite_range(ctx, dst.at(dlo), &v)?;
+            }
+            return Ok(Next::JumpHandle(k));
+        }
+        let mid = n / 2;
+        let (left, right) = (
+            Run {
+                region: src.region,
+                lo: src.lo,
+                hi: src.lo + mid,
+            },
+            Run {
+                region: src.region,
+                lo: src.lo + mid,
+                hi: src.hi,
+            },
+        );
+        // Sort halves into aux (each using the matching dst half as its
+        // own scratch), then merge aux halves into dst.
+        let aux_l = Run {
+            region: aux,
+            lo: alo,
+            hi: alo + mid,
+        };
+        let aux_r = Run {
+            region: aux,
+            lo: alo + mid,
+            hi: alo + n,
+        };
+        let merge_f = write_frame(
+            ctx,
+            MSORT_ID_BASE + 1,
+            &merge_args(aux_l, aux_r, dst, dlo, k),
+        )?;
+        let (la, ra) = fork_join_frames(ctx, merge_f as Word)?;
+        let lf = write_frame(
+            ctx,
+            MSORT_ID_BASE,
+            &msort_args(left, aux, alo, dst, dlo, la),
+        )?;
+        let rf = write_frame(
+            ctx,
+            MSORT_ID_BASE,
+            &msort_args(right, aux, alo + mid, dst, dlo + mid, ra),
+        )?;
+        Ok(Next::ForkHandle {
+            child: rf as Word,
+            cont: lf as Word,
+        })
+    })
+}
+
+fn msort_merge_capsule(args: [Word; 12]) -> Cont {
+    capsule("msort/merge", move |ctx| {
+        let a = run_from(&args, 0);
+        let b = run_from(&args, 4);
+        let out = region_at(args[8] as usize, args[9] as usize);
+        let olo = args[10] as usize;
+        let k = args[11];
+
+        let n = a.len() + b.len();
+        if n <= base_size(ctx.block_size()) {
+            // Sequential base merge in one capsule (empty runs can sit at
+            // a region's end; never form their address).
+            let av = if a.len() > 0 {
+                pread_range(ctx, a.region.at(a.lo), a.len())?
+            } else {
+                Vec::new()
+            };
+            let bv = if b.len() > 0 {
+                pread_range(ctx, b.region.at(b.lo), b.len())?
+            } else {
+                Vec::new()
+            };
+            let merged = crate::merge::merge_seq(&av, &bv);
+            if !merged.is_empty() {
+                pwrite_range(ctx, out.at(olo), &merged)?;
+            }
+            return Ok(Next::JumpHandle(k));
+        }
+        // Binary split at the median rank: one dual binary search
+        // (O(log n) capsule work), then fork the two sub-merges.
+        let r = n / 2;
+        let sa = split_rank(ctx, a, b, r)?;
+        let sb = r - sa;
+        let (a_l, a_r) = (
+            Run {
+                region: a.region,
+                lo: a.lo,
+                hi: a.lo + sa,
+            },
+            Run {
+                region: a.region,
+                lo: a.lo + sa,
+                hi: a.hi,
+            },
+        );
+        let (b_l, b_r) = (
+            Run {
+                region: b.region,
+                lo: b.lo,
+                hi: b.lo + sb,
+            },
+            Run {
+                region: b.region,
+                lo: b.lo + sb,
+                hi: b.hi,
+            },
+        );
+        let (la, ra) = fork_join_frames(ctx, k)?;
+        let lf = write_frame(ctx, MSORT_ID_BASE + 1, &merge_args(a_l, b_l, out, olo, la))?;
+        let rf = write_frame(
+            ctx,
+            MSORT_ID_BASE + 1,
+            &merge_args(a_r, b_r, out, olo + r, ra),
+        )?;
+        Ok(Next::ForkHandle {
+            child: rf as Word,
+            cont: lf as Word,
+        })
+    })
 }
 
 // ====================================================================
@@ -585,7 +827,7 @@ impl SampleSort {
 mod tests {
     use super::*;
     use ppm_pm::{FaultConfig, PmConfig};
-    use ppm_sched::{run_computation, SchedConfig};
+    use ppm_sched::{run_computation, run_persistent, SchedConfig};
 
     fn data(seed: u64, n: usize) -> Vec<u64> {
         (0..n as u64)
@@ -694,6 +936,49 @@ mod tests {
     fn samplesort_rejects_oversized_instances() {
         let m = Machine::new(PmConfig::parallel(1, 1 << 20).with_ephemeral_words(16));
         let _ = SampleSort::new(&m, 1 << 10);
+    }
+
+    fn check_registered_mergesort(n: usize, procs: usize, m_eph: usize, f: FaultConfig) {
+        let m = Machine::new(
+            PmConfig::parallel(procs, 1 << 22)
+                .with_ephemeral_words(m_eph)
+                .with_fault(f),
+        );
+        let ms = MergeSort::new(&m, n);
+        let input = data(19, n);
+        ms.load_input(&m, &input);
+        let rep = run_persistent(&m, &ms.pcomp(), &SchedConfig::with_slots(1 << 13));
+        assert!(rep.completed);
+        let mut expect = input;
+        expect.sort_unstable();
+        assert_eq!(ms.read_output(&m), expect, "registered mergesort n={n}");
+    }
+
+    #[test]
+    fn registered_mergesort_small_and_base() {
+        check_registered_mergesort(1, 1, 64, FaultConfig::none());
+        check_registered_mergesort(63, 1, 64, FaultConfig::none());
+        check_registered_mergesort(65, 1, 64, FaultConfig::none());
+    }
+
+    #[test]
+    fn registered_mergesort_medium_parallel() {
+        check_registered_mergesort(1 << 12, 4, 256, FaultConfig::none());
+    }
+
+    #[test]
+    fn registered_mergesort_with_soft_faults() {
+        check_registered_mergesort(512, 2, 64, FaultConfig::soft(0.005, 7));
+    }
+
+    #[test]
+    fn registered_mergesort_with_hard_fault() {
+        check_registered_mergesort(
+            700,
+            3,
+            64,
+            FaultConfig::none().with_scheduled_hard_fault(2, 400),
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn tasks(r: Region, n: usize, leaf_work: usize) -> Comp {
 const W: [usize; 6] = [6, 6, 10, 10, 8, 10];
 
 fn main() {
+    let cli = ppm_bench::cli::Cli::from_env();
     banner(
         "E14 (conclusion / ablation)",
         "fault-tolerant scheduler vs ABP baseline, model cost",
@@ -43,7 +44,8 @@ fn main() {
         &W,
     );
 
-    for (n, leaf_work) in [(64usize, 1usize), (64, 8), (64, 64), (256, 8), (1024, 8)] {
+    let cases = [(64usize, 1usize), (64, 8), (64, 64), (256, 8), (1024, 8)];
+    for (n, leaf_work) in cases.into_iter().filter(|(n, _)| *n <= cli.n(1024)) {
         let cfg = || PmConfig::parallel(1, 1 << 24).with_validate(ValidateMode::Off);
         let ft = {
             let m = Machine::new(cfg());

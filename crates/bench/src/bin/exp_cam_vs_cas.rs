@@ -19,22 +19,23 @@ use ppm_bench::{banner, f2, header, row, s};
 use ppm_core::{capsule, run_chain, InstallCtx, Machine, Next};
 use ppm_pm::{FaultConfig, PmConfig};
 
+/// Default trials per configuration (override with `--trials=`).
 const TRIALS: usize = 400;
 const W: [usize; 5] = [9, 7, 9, 7, 11];
 
-/// Runs `TRIALS` single-contender test-and-set trials; returns
+/// Runs `trials` single-contender test-and-set trials; returns
 /// (claims recorded, wins actually taken).
-fn run_protocol(f: f64, seed: u64, use_cas: bool) -> (u64, u64) {
+fn run_protocol(trials: usize, f: f64, seed: u64, use_cas: bool) -> (u64, u64) {
     let machine = Machine::new(PmConfig::parallel(1, 1 << 20).with_fault(if f == 0.0 {
         FaultConfig::none()
     } else {
         FaultConfig::soft(f, seed)
     }));
-    let slots = machine.alloc_region(2 * TRIALS);
+    let slots = machine.alloc_region(2 * trials);
     let mut ctx = machine.ctx(0);
     let mut install = InstallCtx::new(machine.proc_meta(0));
 
-    for t in 0..TRIALS {
+    for t in 0..trials {
         let x = slots.at(2 * t);
         let claim = slots.at(2 * t + 1);
         let chain = if use_cas {
@@ -65,7 +66,7 @@ fn run_protocol(f: f64, seed: u64, use_cas: bool) -> (u64, u64) {
 
     let mut claims = 0;
     let mut wins = 0;
-    for t in 0..TRIALS {
+    for t in 0..trials {
         wins += machine.mem().load(slots.at(2 * t));
         claims += machine.mem().load(slots.at(2 * t + 1));
     }
@@ -73,6 +74,9 @@ fn run_protocol(f: f64, seed: u64, use_cas: bool) -> (u64, u64) {
 }
 
 fn main() {
+    let cli = ppm_bench::cli::Cli::from_env();
+    let trials = cli.trials(TRIALS);
+    let seed = cli.seed(1234);
     banner(
         "E12 (§5)",
         "CAS vs CAM under soft faults",
@@ -82,8 +86,8 @@ fn main() {
 
     for f in [0.0, 0.01, 0.05, 0.1, 0.2] {
         for use_cas in [true, false] {
-            let (claims, wins) = run_protocol(f, 1234, use_cas);
-            assert_eq!(wins, TRIALS as u64, "the location always gets set");
+            let (claims, wins) = run_protocol(trials, f, seed, use_cas);
+            assert_eq!(wins, trials as u64, "the location always gets set");
             row(
                 &[
                     s(if use_cas { "CAS" } else { "CAM" }),

@@ -42,13 +42,14 @@ fn chunked_copy(src: Region, dst: Region, nblocks: usize, b: usize, k: usize) ->
 const W: [usize; 7] = [6, 7, 8, 10, 10, 9, 9];
 
 fn main() {
+    let cli = ppm_bench::cli::Cli::from_env();
     banner(
         "E13 (§2 ablation)",
         "capsule granularity vs fault rate",
         "restart overhead favours big capsules; repeated work on faults favours small ones",
     );
 
-    let nblocks = 512;
+    let nblocks = cli.n(512);
     let b = 8;
 
     header(&["k", "f", "C", "W_f", "restarts", "wasted", "vs best"], &W);
@@ -58,7 +59,7 @@ fn main() {
             let cfg = if f == 0.0 {
                 FaultConfig::none()
             } else {
-                FaultConfig::soft(f, 99)
+                FaultConfig::soft(f, cli.seed(99))
             };
             let m = Machine::new(PmConfig::parallel(1, 1 << 22).with_fault(cfg));
             let src = m.alloc_region(nblocks * b);

@@ -44,10 +44,12 @@ struct Measured {
     flush_mean: Duration,
 }
 
-fn run_trials(n: usize, durable: bool) -> Measured {
+fn run_trials(cli: &ppm_bench::cli::Cli, n: usize, durable: bool) -> Measured {
     let mut run_total = Duration::ZERO;
     let mut flush_total = Duration::ZERO;
-    for trial in 0..TRIALS {
+    let trials = cli.trials(TRIALS);
+    let procs = cli.procs(PROCS);
+    for trial in 0..trials {
         let path = {
             let mut p = std::env::temp_dir();
             p.push(format!(
@@ -57,10 +59,10 @@ fn run_trials(n: usize, durable: bool) -> Measured {
             p
         };
         let m = if durable {
-            Machine::create_durable(PmConfig::parallel(PROCS, WORDS), &path)
+            Machine::create_durable(PmConfig::parallel(procs, WORDS), &path)
                 .expect("create durable machine")
         } else {
-            Machine::new(PmConfig::parallel(PROCS, WORDS))
+            Machine::new(PmConfig::parallel(procs, WORDS))
         };
         let out = m.alloc_region(n);
         let comp = build_comp(out, n);
@@ -77,12 +79,13 @@ fn run_trials(n: usize, durable: bool) -> Measured {
         }
     }
     Measured {
-        run_mean: run_total / TRIALS as u32,
-        flush_mean: flush_total / TRIALS as u32,
+        run_mean: run_total / trials as u32,
+        flush_mean: flush_total / trials as u32,
     }
 }
 
 fn main() {
+    let cli = ppm_bench::cli::Cli::from_env();
     banner(
         "E-DUR",
         "durable (mmap) vs volatile backend overhead",
@@ -105,9 +108,9 @@ fn main() {
         ],
         &widths,
     );
-    for n in [256usize, 1024, 4096] {
-        let vol = run_trials(n, false);
-        let dur = run_trials(n, true);
+    for n in cli.cap_sizes(&[256usize, 1024, 4096]) {
+        let vol = run_trials(&cli, n, false);
+        let dur = run_trials(&cli, n, true);
         let overhead = (dur.run_mean + dur.flush_mean).as_secs_f64()
             / (vol.run_mean + vol.flush_mean).as_secs_f64();
         row(

@@ -35,6 +35,7 @@ fn random_dag(r: Region, lo: usize, hi: usize, seed: u64) -> Comp {
 const W: [usize; 7] = [7, 7, 7, 6, 10, 9, 9];
 
 fn main() {
+    let cli = ppm_bench::cli::Cli::from_env();
     banner(
         "E10 (Figure 3 / Appendix A)",
         "scheduler exactly-once correctness",
@@ -61,6 +62,7 @@ fn main() {
         (4, 0.01, 0.05, 40),
         (8, 0.005, 0.02, 20),
     ] {
+        let trials = cli.trials(trials);
         let mut completed = 0u64;
         let mut verified = 0u64;
         let mut deaths = 0u64;

@@ -23,6 +23,7 @@ fn kind_index(k: EntryKind) -> usize {
 }
 
 fn main() {
+    let cli = ppm_bench::cli::Cli::from_env();
     banner(
         "E11 (Figure 4)",
         "WS-deque entry state transitions",
@@ -30,10 +31,10 @@ fn main() {
     );
 
     let machine = Machine::new(
-        PmConfig::parallel(4, 1 << 22)
+        PmConfig::parallel(cli.procs(4), 1 << 22)
             .with_fault(FaultConfig::soft(0.01, 4).with_scheduled_hard_fault(2, 900)),
     );
-    let n = 160;
+    let n = cli.n(160);
     let r = machine.alloc_region(n);
     let comp = par_all(
         (0..n)

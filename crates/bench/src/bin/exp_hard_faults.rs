@@ -30,14 +30,15 @@ fn tasks(r: Region, n: usize) -> Comp {
 const W: [usize; 6] = [4, 6, 10, 10, 10, 10];
 
 fn main() {
+    let cli = ppm_bench::cli::Cli::from_env();
     banner(
         "E5 (Theorem 6.2, hard faults)",
         "processors dying mid-computation",
         "completion with P_A < P; hard faults cost like an extra fork each",
     );
 
-    let n = 192;
-    let p = 4;
+    let n = cli.n(192);
+    let p = cli.procs(4);
 
     header(&["P", "dead", "complete", "W_f", "T", "verified"], &W);
 
@@ -88,10 +89,18 @@ fn main() {
         assert!(rep.dead_procs() <= dead);
     }
 
-    // Random death points, many seeds: overhead distribution.
-    println!("\n-- randomized single-death sweep (P=4, 12 seeds): work overhead --");
+    // Random death points, many seeds: overhead distribution. Needs a
+    // survivor, so it only makes sense with at least two processors.
+    if p < 2 {
+        println!("\n(single-death sweep skipped: needs --procs >= 2)");
+        return;
+    }
+    println!(
+        "\n-- randomized single-death sweep (P={p}, {} seeds): work overhead --",
+        cli.seeds(12)
+    );
     let mut ratios = Vec::new();
-    for seed in 0..12u64 {
+    for seed in 0..cli.seeds(12) {
         let at = 100 + (seed * 997) % 2000;
         let victim = 1 + (seed as usize % (p - 1));
         let m = Machine::new(

@@ -40,6 +40,7 @@ fn run_case(name: &str, prog: &RamProgram, init: Vec<i64>, f: f64, seed: u64) {
 const WIDTHS: [usize; 7] = [10, 7, 9, 10, 8, 8, 8];
 
 fn main() {
+    let cli = ppm_bench::cli::Cli::from_env();
     banner(
         "E1 (Theorem 3.2)",
         "RAM simulation on the PM model",
@@ -50,8 +51,7 @@ fn main() {
         &WIDTHS,
     );
 
-    for (scale, n) in [("", 100usize), ("", 400), ("", 1600)] {
-        let _ = scale;
+    for n in cli.cap_sizes(&[100usize, 400, 1600]) {
         let mut init: Vec<i64> = (0..n as i64).collect();
         init.push(0);
         run_case(&format!("sum({n})"), &sum_array(n), init, 0.0, 0);
@@ -61,7 +61,7 @@ fn main() {
         let n = 400;
         let mut init: Vec<i64> = (0..n as i64).collect();
         init.push(0);
-        run_case(&format!("sum({n})"), &sum_array(n), init, f, 42);
+        run_case(&format!("sum({n})"), &sum_array(n), init, f, cli.seed(42));
     }
     println!();
     run_case("fib(40)", &fib(40), vec![0; 4], 0.02, 7);

@@ -56,6 +56,7 @@ fn run_case(name: &str, prog: &EmProgram, ext: Vec<i64>, f: f64) {
 }
 
 fn main() {
+    let cli = ppm_bench::cli::Cli::from_env();
     banner(
         "E2 (Theorem 3.3)",
         "(M,B) external-memory simulation on the PM model",
@@ -74,7 +75,7 @@ fn main() {
     }
     println!();
     // t sweep at fixed geometry: W_f/t flat in t.
-    for nb in [8usize, 32, 128] {
+    for nb in cli.cap_sizes(&[8usize, 32, 128]) {
         let (m, b) = (64usize, 8usize);
         let ext: Vec<i64> = vec![1; (nb + 1) * b];
         run_case("block_sum", &block_sum_built(nb, m, b), ext, 0.0);

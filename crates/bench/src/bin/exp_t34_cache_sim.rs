@@ -53,6 +53,7 @@ fn run_case(name: &str, pattern: &AccessPattern, m: usize, b: usize, f: f64) {
 }
 
 fn main() {
+    let cli = ppm_bench::cli::Cli::from_env();
     banner(
         "E3 (Theorem 3.4)",
         "ideal-cache simulation on the PM model",
@@ -63,7 +64,7 @@ fn main() {
         &WIDTHS,
     );
 
-    for n in [256usize, 1024, 4096] {
+    for n in cli.cap_sizes(&[256usize, 1024, 4096]) {
         run_case(
             &format!("seq_scan({n})"),
             &AccessPattern::SeqScan { n },

@@ -31,13 +31,14 @@ fn balanced(r: Region, n: usize, leaf_work: usize) -> Comp {
 const W1: [usize; 7] = [6, 7, 10, 10, 10, 9, 9];
 
 fn main() {
+    let cli = ppm_bench::cli::Cli::from_env();
     banner(
         "E4 (Theorem 6.2)",
         "work-stealing scheduler under soft faults",
         "T_f = O(W/P_A + D (P/P_A) ceil(log_{1/(Cf)} W)) in expectation",
     );
 
-    let n = 256;
+    let n = cli.n(256);
     let leaf_work = 8;
 
     println!(
@@ -50,7 +51,7 @@ fn main() {
     println!("-- P sweep (f = 0): time T = max per-proc transfers --");
     header(&["P", "f", "W_f", "T", "restarts", "C", "T(1)/T"], &W1);
     let mut t1 = 0u64;
-    for p in [1usize, 2, 4, 8] {
+    for p in [1usize, 2, 4, 8].into_iter().filter(|p| *p <= cli.procs(8)) {
         let m = Machine::new(PmConfig::parallel(p, 1 << 23));
         let r = m.alloc_region(n * leaf_work);
         let rep = run_computation(

@@ -50,6 +50,7 @@ fn run_case(n: usize, b: usize, f: f64) {
 }
 
 fn main() {
+    let cli = ppm_bench::cli::Cli::from_env();
     banner(
         "E6 (Theorem 7.1)",
         "parallel prefix sums",
@@ -57,7 +58,7 @@ fn main() {
     );
     header(&["n", "B", "f", "W_f", "W/(n/B)", "C", "faults"], &W);
 
-    for n in [1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18] {
+    for n in cli.cap_sizes(&[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18]) {
         run_case(n, 8, 0.0);
     }
     println!();

@@ -56,6 +56,7 @@ fn run_case(n: usize, b: usize, f: f64) {
 }
 
 fn main() {
+    let cli = ppm_bench::cli::Cli::from_env();
     banner(
         "E7 (Theorem 7.2)",
         "parallel merging by dual binary search",
@@ -66,7 +67,7 @@ fn main() {
         &W,
     );
 
-    for n in [1 << 9, 1 << 11, 1 << 13, 1 << 15] {
+    for n in cli.cap_sizes(&[1 << 9, 1 << 11, 1 << 13, 1 << 15]) {
         run_case(n, 8, 0.0);
     }
     println!();

@@ -22,6 +22,7 @@ fn data(n: usize) -> Vec<u64> {
 }
 
 fn main() {
+    let cli = ppm_bench::cli::Cli::from_env();
     banner(
         "E8 (Theorem 7.3)",
         "samplesort vs mergesort I/O",
@@ -45,7 +46,7 @@ fn main() {
         &W,
     );
 
-    for n in [1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13] {
+    for n in cli.cap_sizes(&[1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13]) {
         let input = data(n);
         let mut expect = input.clone();
         expect.sort_unstable();

@@ -53,6 +53,7 @@ fn run_case(n: usize, m_eph: usize, f: f64, verify: bool) {
 }
 
 fn main() {
+    let cli = ppm_bench::cli::Cli::from_env();
     banner(
         "E9 (Theorem 7.4)",
         "8-way recursive matrix multiplication",
@@ -61,7 +62,7 @@ fn main() {
     header(&["n", "M", "f", "W_f", "W/model", "C", "faults"], &W);
 
     // n sweep at fixed M.
-    for n in [16usize, 32, 64, 128] {
+    for n in cli.cap_sizes(&[16usize, 32, 64, 128]) {
         run_case(n, 64, 0.0, n <= 64);
     }
     println!();

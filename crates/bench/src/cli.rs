@@ -1,0 +1,182 @@
+//! Shared experiment-parameter handling for the `exp_*` binaries.
+//!
+//! Every experiment binary accepts the same overrides, read once from the
+//! command line (`--key=value`) with environment-variable fallbacks, and
+//! supplies its own defaults at each use site:
+//!
+//! | flag        | env          | meaning                                       |
+//! |-------------|--------------|-----------------------------------------------|
+//! | `--n=`      | `PPM_N`      | problem size (sweeps are capped at this size) |
+//! | `--procs=`  | `PPM_PROCS`  | model processor count `P`                     |
+//! | `--seeds=`  | `PPM_SEEDS`  | randomized repetition count                   |
+//! | `--seed=`   | `PPM_SEED`   | base RNG seed                                 |
+//! | `--trials=` | `PPM_TRIALS` | measurement repetitions per configuration     |
+//!
+//! Example: `cargo run --release -p ppm-bench --bin exp_t71_prefix --`
+//! `--n=4096 --procs=2` (or `PPM_N=4096 PPM_PROCS=2 cargo run ...`).
+
+/// Parsed experiment-parameter overrides; absent fields fall back to the
+/// defaults each experiment passes at the use site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cli {
+    n: Option<usize>,
+    procs: Option<usize>,
+    seeds: Option<u64>,
+    seed: Option<u64>,
+    trials: Option<usize>,
+}
+
+impl Cli {
+    /// Reads overrides from the process's command line and environment
+    /// (flags win over env vars). Unknown or malformed flags abort with a
+    /// usage message rather than being silently ignored.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1), |key| std::env::var(key).ok())
+    }
+
+    fn parse(args: impl Iterator<Item = String>, env: impl Fn(&str) -> Option<String>) -> Self {
+        let mut cli = Cli::default();
+        for (key, var) in [
+            ("n", "PPM_N"),
+            ("procs", "PPM_PROCS"),
+            ("seeds", "PPM_SEEDS"),
+            ("seed", "PPM_SEED"),
+            ("trials", "PPM_TRIALS"),
+        ] {
+            if let Some(v) = env(var) {
+                cli.set(key, &v);
+            }
+        }
+        for arg in args {
+            match arg.strip_prefix("--").and_then(|a| a.split_once('=')) {
+                Some((key @ ("n" | "procs" | "seeds" | "seed" | "trials"), val)) => {
+                    cli.set(key, val)
+                }
+                _ => {
+                    eprintln!(
+                        "unknown experiment argument `{arg}`; accepted: \
+                         --n= --procs= --seeds= --seed= --trials="
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        cli
+    }
+
+    fn set(&mut self, key: &str, val: &str) {
+        fn parse<T: std::str::FromStr>(key: &str, val: &str) -> T {
+            val.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value `{val}` for experiment parameter `{key}`");
+                std::process::exit(2);
+            })
+        }
+        match key {
+            "n" => self.n = Some(parse(key, val)),
+            "procs" => self.procs = Some(parse(key, val)),
+            "seeds" => self.seeds = Some(parse(key, val)),
+            "seed" => self.seed = Some(parse(key, val)),
+            "trials" => self.trials = Some(parse(key, val)),
+            _ => unreachable!("key set is fixed"),
+        }
+    }
+
+    /// Problem size, or `default`.
+    pub fn n(&self, default: usize) -> usize {
+        self.n.unwrap_or(default)
+    }
+
+    /// Caps a problem-size sweep: keeps the sweep's sizes up to the
+    /// override (so `--n=4096` turns a long sweep into a quick one), or
+    /// returns it unchanged when no override is given. Always keeps at
+    /// least the smallest size.
+    pub fn cap_sizes(&self, sizes: &[usize]) -> Vec<usize> {
+        match self.n {
+            None => sizes.to_vec(),
+            Some(cap) => {
+                let kept: Vec<usize> = sizes.iter().copied().filter(|s| *s <= cap).collect();
+                if kept.is_empty() {
+                    sizes.iter().copied().min().into_iter().collect()
+                } else {
+                    kept
+                }
+            }
+        }
+    }
+
+    /// Processor count, or `default`.
+    pub fn procs(&self, default: usize) -> usize {
+        self.procs.unwrap_or(default)
+    }
+
+    /// Randomized repetition count, or `default`.
+    pub fn seeds(&self, default: u64) -> u64 {
+        self.seeds.unwrap_or(default)
+    }
+
+    /// Base RNG seed, or `default`.
+    pub fn seed(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// Measurement repetitions, or `default`.
+    pub fn trials(&self, default: usize) -> usize {
+        self.trials.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_env(_: &str) -> Option<String> {
+        None
+    }
+
+    #[test]
+    fn defaults_pass_through_when_nothing_is_set() {
+        let cli = Cli::parse(std::iter::empty(), no_env);
+        assert_eq!(cli.n(1024), 1024);
+        assert_eq!(cli.procs(4), 4);
+        assert_eq!(cli.seeds(12), 12);
+        assert_eq!(cli.seed(7), 7);
+        assert_eq!(cli.trials(5), 5);
+        assert_eq!(cli.cap_sizes(&[8, 16, 32]), vec![8, 16, 32]);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let args = [
+            "--n=256",
+            "--procs=2",
+            "--seeds=3",
+            "--seed=9",
+            "--trials=1",
+        ]
+        .into_iter()
+        .map(String::from);
+        let cli = Cli::parse(args, no_env);
+        assert_eq!(cli.n(1024), 256);
+        assert_eq!(cli.procs(4), 2);
+        assert_eq!(cli.seeds(12), 3);
+        assert_eq!(cli.seed(7), 9);
+        assert_eq!(cli.trials(5), 1);
+    }
+
+    #[test]
+    fn env_fills_in_and_flags_win() {
+        let env = |key: &str| (key == "PPM_N").then(|| "64".to_string());
+        let cli = Cli::parse(std::iter::empty(), env);
+        assert_eq!(cli.n(1024), 64);
+        let cli = Cli::parse(["--n=128".to_string()].into_iter(), env);
+        assert_eq!(cli.n(1024), 128, "flags override env");
+    }
+
+    #[test]
+    fn cap_sizes_truncates_sweeps_but_keeps_the_smallest() {
+        let cli = Cli::parse(["--n=100".to_string()].into_iter(), no_env);
+        assert_eq!(cli.cap_sizes(&[16, 64, 256, 1024]), vec![16, 64]);
+        let cli = Cli::parse(["--n=4".to_string()].into_iter(), no_env);
+        assert_eq!(cli.cap_sizes(&[16, 64, 256]), vec![16], "floor at smallest");
+    }
+}

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
+
 use std::fmt::Display;
 
 /// Prints a fixed-width table row.

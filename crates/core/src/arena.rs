@@ -16,13 +16,36 @@
 //!
 //! Handle `0` is reserved as the null handle; machine layout guarantees
 //! address 0 is never allocated.
+//!
+//! Since the persistent-capsule refactor there are two kinds of handle,
+//! and [`ContArena::resolve`] treats the persistent words as the
+//! authority on which is which:
+//!
+//! * **Frame handles**: the words at the handle parse as a
+//!   [`ppm_pm::frame`] frame fully describing the closure. These are
+//!   rehydrated through the machine's
+//!   [`crate::registry::CapsuleRegistry`] on *every* resolution — never
+//!   cached in the map — because frame addresses come from pool
+//!   allocators whose cursors reset between runs (and on
+//!   replay-from-root recovery), so an address can denote different
+//!   frames over a machine's lifetime; the words are always current,
+//!   a cache would not be. This is also what makes frame handles
+//!   survive process death: a fresh process resolves them from
+//!   persistent words alone.
+//! * **Legacy closure handles** ([`ContArena::register`] /
+//!   [`ContArena::register_at`]): the closure content is a process-local
+//!   Rust object; the persistent word is only a marker (never
+//!   frame-shaped). These resolve through the map and die with the
+//!   process.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::RwLock;
-use ppm_pm::{Addr, PmResult, ProcCtx, Word};
+use ppm_pm::{Addr, PersistentMemory, PmResult, ProcCtx, Word};
 
 use crate::capsule::Cont;
+use crate::registry::{CapsuleRegistry, RehydrateError};
 
 /// The reserved null handle: "no continuation".
 pub const NULL_HANDLE: Word = 0;
@@ -40,6 +63,9 @@ const SHARDS: usize = 16;
 /// (thieves resolving stolen handles).
 pub struct ContArena {
     shards: Vec<RwLock<HashMap<Addr, Cont>>>,
+    /// Frame-rehydration backing (memory + registry); absent for
+    /// standalone arenas, always present on machine-owned arenas.
+    rehydrate: Option<(Arc<PersistentMemory>, Arc<CapsuleRegistry>)>,
 }
 
 impl std::fmt::Debug for ContArena {
@@ -55,10 +81,20 @@ impl Default for ContArena {
 }
 
 impl ContArena {
-    /// Creates an empty arena.
+    /// Creates an empty arena without frame rehydration.
     pub fn new() -> Self {
         ContArena {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            rehydrate: None,
+        }
+    }
+
+    /// Creates an empty arena that can rehydrate frame handles from
+    /// `mem` through `registry` (machine construction path).
+    pub fn with_rehydration(mem: Arc<PersistentMemory>, registry: Arc<CapsuleRegistry>) -> Self {
+        ContArena {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            rehydrate: Some((mem, registry)),
         }
     }
 
@@ -103,15 +139,41 @@ impl ContArena {
         self.shard(addr).write().insert(addr, cont);
     }
 
-    /// Resolves a handle. `None` for the null handle or an address never
-    /// registered (which indicates a scheduler bug; callers treat it as a
-    /// hard error).
+    /// Resolves a handle from the in-process map only. `None` for the
+    /// null handle or an address never registered in this process.
     pub fn get(&self, handle: Word) -> Option<Cont> {
         if handle == NULL_HANDLE {
             return None;
         }
         let addr = handle as Addr;
         self.shard(addr).read().get(&addr).cloned()
+    }
+
+    /// Resolves a handle: if the persistent words at it parse as a
+    /// capsule frame, rehydrate through the registry (the words are
+    /// authoritative — frame addresses can be reused across runs, so
+    /// rehydrations are never cached); otherwise fall back to the
+    /// in-process map. `None` when the handle is null, unregistered, and
+    /// not a well-formed registered frame.
+    pub fn resolve(&self, handle: Word) -> Option<Cont> {
+        self.try_resolve(handle).ok()
+    }
+
+    /// [`ContArena::resolve`] with the rehydration failure preserved, for
+    /// recovery code that must distinguish "legacy closure" from
+    /// "malformed frame". The null handle and map misses report as frame
+    /// errors.
+    pub fn try_resolve(&self, handle: Word) -> Result<Cont, RehydrateError> {
+        if let Some((mem, registry)) = self.rehydrate.as_ref() {
+            if ppm_pm::is_frame_at(mem, handle as Addr) {
+                return registry.rehydrate(mem, handle);
+            }
+        }
+        self.get(handle)
+            .ok_or(RehydrateError::Frame(ppm_pm::FrameError::NotAFrame {
+                addr: handle as Addr,
+                word: 0,
+            }))
     }
 
     /// Number of live registrations (diagnostics).

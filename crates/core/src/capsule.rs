@@ -19,7 +19,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use ppm_pm::{PmResult, ProcCtx};
+use ppm_pm::{PmResult, ProcCtx, Word};
 
 /// What a completed capsule does next. Returning `Next` is the paper's
 /// "installing" step: the engine writes the new restart pointer (a constant
@@ -28,6 +28,13 @@ pub enum Next {
     /// Continue this thread with the given capsule (a persistent call,
     /// return, or commit — all capsule boundaries look alike here).
     Jump(Cont),
+    /// Continue this thread with the capsule denoted by a persistent
+    /// frame handle (see [`ppm_pm::frame`]). The engine resolves the
+    /// handle through the continuation arena (rehydrating from persistent
+    /// words via the capsule registry on first touch) and installs the
+    /// frame address itself as the restart pointer — which is what makes
+    /// the thread resumable by a fresh process after a crash.
+    JumpHandle(Word),
     /// Fork: push `child` as a new thread on the scheduler's deque and
     /// continue this thread with `cont` (§6.1's `fork` function). Under a
     /// scheduler, the push itself runs as dedicated capsules between this
@@ -37,6 +44,16 @@ pub enum Next {
         child: Cont,
         /// The current thread's continuation after the fork.
         cont: Cont,
+    },
+    /// Fork where both sides are already persistent frames (written by
+    /// this capsule's body, e.g. via [`crate::join::fork_join_frames`]):
+    /// the child handle goes straight into the deque, and the
+    /// continuation is resolved and installed by handle.
+    ForkHandle {
+        /// Frame handle of the newly enabled thread's first capsule.
+        child: Word,
+        /// Frame handle of the current thread's continuation.
+        cont: Word,
     },
     /// The thread is finished; control returns to the scheduler (§6.1:
     /// "when a thread finishes it jumps to the scheduler").
@@ -51,8 +68,12 @@ impl fmt::Debug for Next {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Next::Jump(c) => write!(f, "Jump({})", c.name()),
+            Next::JumpHandle(h) => write!(f, "JumpHandle({h})"),
             Next::Fork { child, cont } => {
                 write!(f, "Fork{{child: {}, cont: {}}}", child.name(), cont.name())
+            }
+            Next::ForkHandle { child, cont } => {
+                write!(f, "ForkHandle{{child: {child}, cont: {cont}}}")
             }
             Next::End => write!(f, "End"),
             Next::Halt => write!(f, "Halt"),

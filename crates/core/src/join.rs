@@ -22,9 +22,10 @@
 //! which hard faults occur (the stolen thread resumes at whichever of the
 //! two capsules was active).
 
-use ppm_pm::{Addr, PmResult, ProcCtx, Word};
+use ppm_pm::{write_frame, Addr, PmResult, ProcCtx, Word};
 
 use crate::capsule::{capsule, Cont, Next};
+use crate::registry::{CORE_ID_JOIN_CAM, CORE_ID_JOIN_CHECK};
 
 /// The unset value of a join cell.
 pub const UNSET: Word = 0;
@@ -82,6 +83,54 @@ impl JoinCell {
             Ok(Next::Jump(check.clone()))
         })
     }
+
+    /// Frame-denotable arrival, CAM half: CAMs the cell with `token`,
+    /// writes a persistent frame for the check capsule, and jumps to it
+    /// *by handle*, so the restart pointer stays a frame address. `after`
+    /// is the frame handle of the post-join continuation.
+    pub fn arrive_cam_frame(self, token: Word, after: Word) -> Cont {
+        assert_ne!(token, UNSET, "a join token must be non-zero");
+        let cell = self.addr;
+        capsule("join-cam", move |ctx| {
+            ctx.pcam(cell, UNSET, token)?;
+            let check = write_frame(ctx, CORE_ID_JOIN_CHECK, &[cell as Word, token, after])?;
+            Ok(Next::JumpHandle(check as Word))
+        })
+    }
+
+    /// Frame-denotable arrival, check half: reads the cell; the first
+    /// arriver ends its thread, the last continues with the `after` frame.
+    pub fn arrive_check_frame(self, token: Word, after: Word) -> Cont {
+        let cell = self.addr;
+        capsule("join-check", move |ctx| {
+            let v = ctx.pread(cell)?;
+            if v == token {
+                Ok(Next::End)
+            } else {
+                Ok(Next::JumpHandle(after))
+            }
+        })
+    }
+}
+
+/// Initializes a join cell and writes the two arrival-CAM frames for a
+/// fork whose post-join continuation is the frame `after`. Returns the
+/// `(left, right)` arrival frame handles — the continuations of the
+/// fork's two branches. One external write for the cell plus two frames;
+/// restart-stable.
+pub fn fork_join_frames(ctx: &mut ProcCtx, after: Word) -> PmResult<(Word, Word)> {
+    let cell = JoinCell::init(ctx)?;
+    let l = write_frame(
+        ctx,
+        CORE_ID_JOIN_CAM,
+        &[cell.addr() as Word, TOKEN_LEFT, after],
+    )?;
+    let r = write_frame(
+        ctx,
+        CORE_ID_JOIN_CAM,
+        &[cell.addr() as Word, TOKEN_RIGHT, after],
+    )?;
+    Ok((l as Word, r as Word))
 }
 
 #[cfg(test)]

@@ -21,6 +21,11 @@
 //!   with dynamic expansion for recursive algorithms.
 //! * **Machines** ([`machine`]): bundling memory, statistics, liveness, the
 //!   arena and the address-space layout into one instance.
+//! * **The capsule registry** ([`registry`]): stable capsule ids mapped to
+//!   rehydration constructors, so continuations stored as persistent
+//!   frames ([`ppm_pm::frame`]) can be re-materialized from words alone —
+//!   by this process (lazily, through [`arena`]) or by a fresh process
+//!   recovering a crashed run.
 //!
 //! The scheduler that maps these computations onto `P` faulty processors
 //! lives in `ppm-sched`; this crate is scheduler-agnostic.
@@ -34,6 +39,7 @@ pub mod comp;
 pub mod flag;
 pub mod join;
 pub mod machine;
+pub mod registry;
 pub mod runner;
 
 pub use arena::{ContArena, CLOSURE_WORDS, NULL_HANDLE};
@@ -42,6 +48,10 @@ pub use capsule::{
 };
 pub use comp::{comp_dyn, comp_fork2, comp_nop, comp_seq, comp_step, par_all, root, seq_all, Comp};
 pub use flag::DoneFlag;
-pub use join::{JoinCell, TOKEN_LEFT, TOKEN_RIGHT, UNSET};
+pub use join::{fork_join_frames, JoinCell, TOKEN_LEFT, TOKEN_RIGHT, UNSET};
 pub use machine::{Machine, ProcMeta, DEFAULT_POOL_WORDS, PROC_META_WORDS};
+pub use registry::{
+    frame_args, register_core_capsules, CapsuleId, CapsuleRegistry, PComp, RehydrateError,
+    CORE_ID_END, CORE_ID_FINALE, CORE_ID_JOIN_CAM, CORE_ID_JOIN_CHECK, FIRST_USER_CAPSULE_ID,
+};
 pub use runner::{run_capsule, run_chain, ForkWrap, InstallCtx, Step};

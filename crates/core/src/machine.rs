@@ -14,15 +14,20 @@ use ppm_pm::{
 };
 
 use crate::arena::ContArena;
+use crate::registry::{register_core_capsules, CapsuleId, CapsuleRegistry};
 
 /// Persistent words of per-processor metadata.
 ///
-/// Layout per processor: `[active_capsule, slot_a, slot_b, reserved]`.
+/// Layout per processor: `[active_capsule, slot_a, slot_b, watermark]`.
 /// * `active_capsule` — the restart-pointer location (§2): the handle of
 ///   the capsule the processor is currently executing. Read by thieves via
 ///   `getActiveCapsule` when recovering from a hard fault.
 /// * `slot_a`/`slot_b` — the two-closure swap area of §4.1 used for thread
 ///   continuations, so running a long thread does not consume pool space.
+/// * `watermark` — mirror of the processor's committed pool-allocation
+///   cursor, refreshed (uncosted) at every capsule boundary. A recovering
+///   process reads it to resume allocation *above* the dead run's live
+///   closure frames and join cells instead of overwriting them.
 pub const PROC_META_WORDS: usize = 4;
 
 /// Offsets within a processor's metadata area.
@@ -33,6 +38,8 @@ pub mod meta {
     pub const SLOT_A: usize = 1;
     /// Second swap slot.
     pub const SLOT_B: usize = 2;
+    /// Committed pool-allocation cursor mirror.
+    pub const WATERMARK: usize = 3;
 }
 
 /// Addresses of one processor's metadata words.
@@ -44,6 +51,8 @@ pub struct ProcMeta {
     pub slot_a: Addr,
     /// Address of swap slot B.
     pub slot_b: Addr,
+    /// Address of the pool-cursor watermark word.
+    pub watermark: Addr,
 }
 
 /// One Parallel-PM machine: shared state plus address-space layout.
@@ -54,6 +63,7 @@ pub struct Machine {
     stats: Arc<MemStats>,
     liveness: Arc<Liveness>,
     arena: Arc<ContArena>,
+    registry: Arc<CapsuleRegistry>,
     layout: Mutex<LayoutBuilder>,
     proc_meta: Region,
     pools: Vec<Region>,
@@ -100,10 +110,13 @@ impl Machine {
         let _null_guard = layout.region(1);
         let proc_meta = layout.region(cfg.procs * PROC_META_WORDS.max(cfg.block_size));
         let pools = (0..cfg.procs).map(|_| layout.region(pool_words)).collect();
+        let registry = Arc::new(CapsuleRegistry::new());
+        register_core_capsules(&registry);
         Machine {
             stats: Arc::new(MemStats::new(cfg.procs)),
             liveness: Arc::new(Liveness::new(cfg.procs)),
-            arena: Arc::new(ContArena::new()),
+            arena: Arc::new(ContArena::with_rehydration(mem.clone(), registry.clone())),
+            registry,
             layout: Mutex::new(layout),
             proc_meta,
             pools,
@@ -243,6 +256,26 @@ impl Machine {
         &self.arena
     }
 
+    /// The capsule registry: rehydration constructors for persistent
+    /// capsule frames, keyed by stable [`CapsuleId`]. Computations
+    /// register their constructors here at construction time (both in the
+    /// creating run and, identically, in a recovering run).
+    pub fn registry(&self) -> &Arc<CapsuleRegistry> {
+        &self.registry
+    }
+
+    /// Writes a persistent capsule frame with uncosted setup stores into
+    /// a freshly carved region, returning its handle. Machine-setup use
+    /// (e.g. a computation's root frame, written before the processors
+    /// start); runtime frames come from [`ppm_pm::write_frame`] inside
+    /// capsules. Deterministic: a recovering run replaying the same setup
+    /// calls produces the same handles and the same words.
+    pub fn setup_frame(&self, id: CapsuleId, args: &[ppm_pm::Word]) -> Word {
+        let r = self.alloc_region(ppm_pm::frame_words(args.len()));
+        ppm_pm::store_frame(&self.mem, r.start, id, args);
+        r.start as Word
+    }
+
     /// Carves a fresh block-aligned region of `len` words for user data.
     pub fn alloc_region(&self, len: usize) -> Region {
         self.layout.lock().region(len)
@@ -264,6 +297,7 @@ impl Machine {
             active: base + meta::ACTIVE,
             slot_a: base + meta::SLOT_A,
             slot_b: base + meta::SLOT_B,
+            watermark: base + meta::WATERMARK,
         }
     }
 
@@ -272,8 +306,16 @@ impl Machine {
         self.pools[proc]
     }
 
-    /// Mints the context for processor `proc`, with its pool installed.
+    /// Mints the context for processor `proc`, with its pool installed
+    /// from offset 0 (a fresh run).
     pub fn ctx(&self, proc: usize) -> ProcCtx {
+        self.ctx_with_pool_cursor(proc, 0)
+    }
+
+    /// Mints the context for processor `proc` with the pool cursor at
+    /// `cursor`. Recovery uses this with the persisted watermark so a
+    /// resumed run allocates above the dead run's live frames.
+    pub fn ctx_with_pool_cursor(&self, proc: usize, cursor: usize) -> ProcCtx {
         let mut ctx = ProcCtx::new(
             &self.cfg,
             proc,
@@ -281,8 +323,14 @@ impl Machine {
             self.stats.clone(),
             self.liveness.clone(),
         );
-        ctx.set_alloc_pool(self.pools[proc], 0);
+        ctx.set_alloc_pool(self.pools[proc], cursor);
+        ctx.set_watermark_addr(Some(self.proc_meta(proc).watermark));
         ctx
+    }
+
+    /// The persisted pool-cursor watermark of `proc` (oracle read).
+    pub fn pool_watermark(&self, proc: usize) -> usize {
+        self.mem.load(self.proc_meta(proc).watermark) as usize
     }
 
     /// Reads the active-capsule handle of `proc` directly (oracle use; the

@@ -1,0 +1,368 @@
+//! The capsule registry: rehydrating closures from persistent words.
+//!
+//! A continuation stored as a [`ppm_pm::frame`] frame is just words:
+//! `(capsule_id, args…)`. The *code* those words denote lives here. A
+//! [`CapsuleRegistry`] maps stable [`CapsuleId`]s to **rehydration
+//! constructors** — functions from argument words to a runnable
+//! [`Cont`] — registered deterministically at computation-construction
+//! time. Because a recovering process reconstructs the computation the
+//! same way the crashed one did (same instance builders, same ids, same
+//! deterministic region layout), it re-registers the identical
+//! constructors, and any frame address found in a persisted deque entry
+//! or restart pointer can be turned back into a live capsule.
+//!
+//! Constructors are **shallow**: a continuation argument inside a frame
+//! stays a frame address (a plain word) in the rehydrated capsule, which
+//! resolves it lazily at run time by returning
+//! [`crate::capsule::Next::JumpHandle`]. There is therefore no recursive
+//! rehydration and no cycle hazard at decode time.
+//!
+//! Ids below [`FIRST_USER_CAPSULE_ID`] are reserved for the runtime's own
+//! registered capsules (join arrivals, the completion finale), installed
+//! by [`register_core_capsules`] on every machine.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use ppm_pm::{read_frame, Frame, FrameError, PersistentMemory, Word};
+
+use crate::capsule::{capsule, Cont, Next};
+use crate::join::JoinCell;
+
+/// A stable capsule identifier. Equal across processes for the same
+/// computation, by the determinism discipline of machine construction.
+pub type CapsuleId = Word;
+
+/// First id available to user computations; smaller ids are reserved for
+/// the runtime's built-in registered capsules.
+pub const FIRST_USER_CAPSULE_ID: CapsuleId = 0x100;
+
+/// Built-in id: a join arrival's CAM capsule,
+/// args `[cell_addr, token, after_handle]`.
+pub const CORE_ID_JOIN_CAM: CapsuleId = 0x01;
+/// Built-in id: a join arrival's check capsule, same args as the CAM.
+pub const CORE_ID_JOIN_CHECK: CapsuleId = 0x02;
+/// Built-in id: the computation finale, args `[flag_addr]` — sets the
+/// completion flag and ends the root thread.
+pub const CORE_ID_FINALE: CapsuleId = 0x03;
+/// Built-in id: end the thread immediately (a terminal continuation).
+pub const CORE_ID_END: CapsuleId = 0x04;
+
+/// Why a handle could not be rehydrated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RehydrateError {
+    /// The words at the handle are not a well-formed frame.
+    Frame(FrameError),
+    /// The frame decoded but its capsule id has no registered constructor
+    /// (a legacy-closure computation, or a construction-order mismatch).
+    UnknownCapsule {
+        /// The frame address.
+        addr: ppm_pm::Addr,
+        /// The unregistered id.
+        capsule_id: CapsuleId,
+    },
+    /// The constructor rejected the argument words.
+    BadArgs {
+        /// The frame address.
+        addr: ppm_pm::Addr,
+        /// The capsule id whose constructor rejected them.
+        capsule_id: CapsuleId,
+        /// Constructor-provided reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for RehydrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RehydrateError::Frame(e) => write!(f, "{e}"),
+            RehydrateError::UnknownCapsule { addr, capsule_id } => {
+                write!(
+                    f,
+                    "frame at {addr} names unregistered capsule id {capsule_id:#x}"
+                )
+            }
+            RehydrateError::BadArgs {
+                addr,
+                capsule_id,
+                reason,
+            } => write!(
+                f,
+                "frame at {addr} (capsule id {capsule_id:#x}) has bad arguments: {reason}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RehydrateError {}
+
+impl From<FrameError> for RehydrateError {
+    fn from(e: FrameError) -> Self {
+        RehydrateError::Frame(e)
+    }
+}
+
+/// A rehydration constructor: argument words to a runnable capsule.
+pub type CapsuleCtor = std::sync::Arc<dyn Fn(&[Word]) -> Result<Cont, String> + Send + Sync>;
+
+/// A computation expressed as persistent capsule frames: given the
+/// machine and the frame handle of the continuation to run after the
+/// computation (typically the finale), register the needed rehydration
+/// constructors, build the root frame chain with deterministic setup
+/// writes ([`crate::machine::Machine::setup_frame`]), and return the root
+/// frame handle.
+///
+/// Determinism contract: calling a `PComp` on a machine reopened from a
+/// crashed run must perform the same allocations, register the same ids,
+/// and produce the same frame words as the creating run did — that is
+/// what lets a recovering scheduler resume the crashed run's deques.
+pub type PComp = std::sync::Arc<dyn Fn(&crate::machine::Machine, Word) -> Word + Send + Sync>;
+
+struct Entry {
+    name: &'static str,
+    ctor: CapsuleCtor,
+}
+
+/// Registry of rehydration constructors, keyed by stable capsule id.
+#[derive(Default)]
+pub struct CapsuleRegistry {
+    entries: RwLock<HashMap<CapsuleId, Entry>>,
+}
+
+impl std::fmt::Debug for CapsuleRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CapsuleRegistry({} ids)", self.entries.read().len())
+    }
+}
+
+impl CapsuleRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `ctor` under `id`. Re-registering the same `(id, name)`
+    /// is idempotent (the recovering process replays the same
+    /// construction sequence the creating run performed).
+    ///
+    /// # Panics
+    /// Panics if `id` is already registered under a *different* name — a
+    /// construction-determinism bug that would silently rehydrate the
+    /// wrong code.
+    pub fn register<F>(&self, id: CapsuleId, name: &'static str, ctor: F)
+    where
+        F: Fn(&[Word]) -> Result<Cont, String> + Send + Sync + 'static,
+    {
+        let mut entries = self.entries.write();
+        if let Some(existing) = entries.get(&id) {
+            assert_eq!(
+                existing.name, name,
+                "capsule id {id:#x} registered twice with different names \
+                 ({} vs {name}) — ids must be construction-deterministic",
+                existing.name
+            );
+            return;
+        }
+        entries.insert(
+            id,
+            Entry {
+                name,
+                ctor: std::sync::Arc::new(ctor),
+            },
+        );
+    }
+
+    /// Whether `id` has a constructor.
+    pub fn contains(&self, id: CapsuleId) -> bool {
+        self.entries.read().contains_key(&id)
+    }
+
+    /// The diagnostic name registered for `id`.
+    pub fn name_of(&self, id: CapsuleId) -> Option<&'static str> {
+        self.entries.read().get(&id).map(|e| e.name)
+    }
+
+    /// Number of registered ids.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether no ids are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Rehydrates a decoded frame into a runnable capsule.
+    pub fn instantiate(&self, frame: &Frame) -> Result<Cont, RehydrateError> {
+        let ctor = {
+            let entries = self.entries.read();
+            match entries.get(&frame.capsule_id) {
+                Some(e) => e.ctor.clone(),
+                None => {
+                    return Err(RehydrateError::UnknownCapsule {
+                        addr: frame.addr,
+                        capsule_id: frame.capsule_id,
+                    })
+                }
+            }
+        };
+        ctor(&frame.args).map_err(|reason| RehydrateError::BadArgs {
+            addr: frame.addr,
+            capsule_id: frame.capsule_id,
+            reason,
+        })
+    }
+
+    /// Decodes the frame at `handle` in `mem` and rehydrates it. The
+    /// end-to-end path recovery uses on every persisted deque entry and
+    /// restart pointer.
+    pub fn rehydrate(&self, mem: &PersistentMemory, handle: Word) -> Result<Cont, RehydrateError> {
+        let frame = read_frame(mem, handle as ppm_pm::Addr)?;
+        self.instantiate(&frame)
+    }
+}
+
+/// Decodes a frame's argument words into a fixed-arity array, with the
+/// uniform error message rehydration constructors report for an arity
+/// mismatch. The shared front door of every registered constructor:
+///
+/// ```
+/// use ppm_core::registry::frame_args;
+/// let [node, k] = frame_args::<2>(&[7, 99]).unwrap();
+/// assert_eq!((node, k), (7, 99));
+/// assert!(frame_args::<2>(&[7]).is_err());
+/// ```
+pub fn frame_args<const N: usize>(args: &[Word]) -> Result<[Word; N], String> {
+    args.try_into()
+        .map_err(|_| format!("expected {N} args, got {}", args.len()))
+}
+
+/// Registers the runtime's built-in capsules (join arrivals, the finale,
+/// the trivial end) on `registry`. Called by machine construction;
+/// idempotent.
+pub fn register_core_capsules(registry: &CapsuleRegistry) {
+    registry.register(CORE_ID_JOIN_CAM, "join-cam", |args| {
+        let [cell, token, after] = frame_args(args)?;
+        Ok(JoinCell::at(cell as ppm_pm::Addr).arrive_cam_frame(token, after))
+    });
+    registry.register(CORE_ID_JOIN_CHECK, "join-check", |args| {
+        let [cell, token, after] = frame_args(args)?;
+        Ok(JoinCell::at(cell as ppm_pm::Addr).arrive_check_frame(token, after))
+    });
+    registry.register(CORE_ID_FINALE, "finale", |args| {
+        let [flag] = frame_args(args)?;
+        let flag = flag as ppm_pm::Addr;
+        Ok(capsule("finale", move |ctx| {
+            ctx.pwrite(flag, 1)?;
+            Ok(Next::End)
+        }))
+    });
+    registry.register(
+        CORE_ID_END,
+        "end",
+        |_args| Ok(crate::capsule::end_capsule()),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_pm::store_frame;
+    use std::sync::Arc;
+
+    #[test]
+    fn register_and_instantiate() {
+        let reg = CapsuleRegistry::new();
+        reg.register(0x200, "probe", |args| {
+            let target = args[0] as ppm_pm::Addr;
+            Ok(capsule("probe", move |ctx| {
+                ctx.pwrite(target, 77)?;
+                Ok(Next::End)
+            }))
+        });
+        assert!(reg.contains(0x200));
+        assert_eq!(reg.name_of(0x200), Some("probe"));
+        let mem = Arc::new(PersistentMemory::new(256, 8));
+        store_frame(&mem, 16, 0x200, &[40]);
+        let c = reg.rehydrate(&mem, 16).expect("rehydrates");
+        assert_eq!(c.name(), "probe");
+    }
+
+    fn expect_err(r: Result<Cont, RehydrateError>) -> RehydrateError {
+        match r {
+            Err(e) => e,
+            Ok(c) => panic!("expected rehydration failure, got capsule `{}`", c.name()),
+        }
+    }
+
+    #[test]
+    fn unknown_capsule_is_a_clean_error() {
+        let reg = CapsuleRegistry::new();
+        let mem = PersistentMemory::new(256, 8);
+        store_frame(&mem, 16, 0xDEAD, &[]);
+        let err = expect_err(reg.rehydrate(&mem, 16));
+        assert!(
+            matches!(
+                err,
+                RehydrateError::UnknownCapsule {
+                    capsule_id: 0xDEAD,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn malformed_frame_is_a_clean_error() {
+        let reg = CapsuleRegistry::new();
+        let mem = PersistentMemory::new(256, 8);
+        mem.store(16, 1); // legacy marker word
+        let err = expect_err(reg.rehydrate(&mem, 16));
+        assert!(matches!(err, RehydrateError::Frame(_)), "{err}");
+        // Null handle is not a frame either.
+        assert!(reg.rehydrate(&mem, 0).is_err());
+    }
+
+    #[test]
+    fn re_registration_is_idempotent() {
+        let reg = CapsuleRegistry::new();
+        reg.register(0x300, "same", |_| Ok(crate::capsule::end_capsule()));
+        reg.register(0x300, "same", |_| Ok(crate::capsule::end_capsule()));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn conflicting_registration_panics() {
+        let reg = CapsuleRegistry::new();
+        reg.register(0x300, "a", |_| Ok(crate::capsule::end_capsule()));
+        reg.register(0x300, "b", |_| Ok(crate::capsule::end_capsule()));
+    }
+
+    #[test]
+    fn core_capsules_cover_reserved_ids() {
+        let reg = CapsuleRegistry::new();
+        register_core_capsules(&reg);
+        for id in [
+            CORE_ID_JOIN_CAM,
+            CORE_ID_JOIN_CHECK,
+            CORE_ID_FINALE,
+            CORE_ID_END,
+        ] {
+            assert!(reg.contains(id));
+            assert!(id < FIRST_USER_CAPSULE_ID);
+        }
+        register_core_capsules(&reg); // idempotent
+    }
+
+    #[test]
+    fn bad_args_surface_the_constructor_reason() {
+        let reg = CapsuleRegistry::new();
+        register_core_capsules(&reg);
+        let mem = PersistentMemory::new(256, 8);
+        store_frame(&mem, 16, CORE_ID_FINALE, &[]); // finale wants 1 arg
+        let err = expect_err(reg.rehydrate(&mem, 16));
+        assert!(matches!(err, RehydrateError::BadArgs { .. }), "{err}");
+    }
+}

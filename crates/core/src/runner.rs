@@ -12,6 +12,13 @@
 //! closures and swap back and forth"), so long-running threads consume no
 //! pool space; forked children are registered at fresh pool addresses since
 //! their handles sit in deques for arbitrarily long.
+//!
+//! Capsules denoted by *persistent frames* ([`Next::JumpHandle`] /
+//! [`Next::ForkHandle`]) bypass the swap area: the frame address itself
+//! becomes the restart pointer (one external write instead of two), and —
+//! because the frame's words fully describe the closure — a fresh process
+//! can rehydrate the pointed-to capsule after a crash instead of replaying
+//! the computation from its root.
 
 use ppm_pm::{Addr, Fault, PmResult, ProcCtx, Word};
 
@@ -76,6 +83,15 @@ impl InstallCtx {
     pub fn install_null(&mut self, ctx: &mut ProcCtx) -> PmResult<()> {
         ctx.pwrite(self.active, NULL_HANDLE)
     }
+
+    /// Installs a frame-denoted capsule: swings the restart pointer to the
+    /// frame address itself. One external write — the closure was already
+    /// persisted when the frame was written, so there is nothing to copy
+    /// into a swap slot, and the restart pointer becomes meaningful to
+    /// *any* process that can read persistent memory.
+    pub fn install_handle(&mut self, ctx: &mut ProcCtx, handle: Word) -> PmResult<()> {
+        ctx.pwrite(self.active, handle)
+    }
 }
 
 /// Result of driving one capsule to completion.
@@ -87,9 +103,12 @@ pub enum Step {
 }
 
 /// Hook invoked when a capsule forks: given the freshly registered child
-/// handle and the thread's continuation, produce the capsule to install
-/// next (a scheduler wraps the continuation in its `pushBottom` sequence).
-pub type ForkWrap<'a> = &'a (dyn Fn(Word, Cont) -> Cont + 'a);
+/// handle, the thread's continuation, and — when the continuation is a
+/// persistent frame — its frame handle, produce the capsule to install
+/// next (a scheduler wraps the continuation in its `pushBottom` sequence,
+/// threading the frame handle through so the post-push jump keeps the
+/// restart pointer frame-backed).
+pub type ForkWrap<'a> = &'a (dyn Fn(Word, Cont, Option<Word>) -> Cont + 'a);
 
 /// Runs `cur` to completion, restarting on soft faults, and installs its
 /// successor. `fork_wrap` handles [`Next::Fork`] (absent ⇒ forking
@@ -144,9 +163,20 @@ fn run_body_and_install(
     fork_wrap: Option<ForkWrap<'_>>,
     on_end: Option<&Cont>,
 ) -> PmResult<Step> {
-    match cur.run(ctx)? {
+    let next = cur.run(ctx)?;
+    // The installs below may publish frames the body just allocated (the
+    // restart pointer can become one of them); make the persisted pool
+    // watermark cover them first, so a crash after the publication still
+    // lets a resuming process allocate strictly above every live frame.
+    ctx.publish_watermark();
+    match next {
         Next::Jump(c) => {
             install.install_jump(ctx, arena, &c)?;
+            Ok(Step::Next(c))
+        }
+        Next::JumpHandle(h) => {
+            let c = resolve_handle(arena, h, cur.name());
+            install.install_handle(ctx, h)?;
             Ok(Step::Next(c))
         }
         Next::End => match on_end {
@@ -166,17 +196,39 @@ fn run_body_and_install(
         Next::Fork { child, cont } => {
             let handle = arena.register(ctx, child)?;
             let target = match fork_wrap {
-                Some(w) => w(handle, cont),
-                None => panic!(
-                    "capsule `{}` forked but this engine has no scheduler; \
-                     run fork-join computations on ppm-sched",
-                    cur.name()
-                ),
+                Some(w) => w(handle, cont, None),
+                None => panic_no_scheduler(cur.name()),
+            };
+            install.install_jump(ctx, arena, &target)?;
+            Ok(Step::Next(target))
+        }
+        Next::ForkHandle { child, cont } => {
+            // Both sides were persisted by the capsule body; the child
+            // frame handle goes straight into the deque and the
+            // continuation resolves through the arena (rehydrating from
+            // its frame on first touch).
+            let cont_c = resolve_handle(arena, cont, cur.name());
+            let target = match fork_wrap {
+                Some(w) => w(child, cont_c, Some(cont)),
+                None => panic_no_scheduler(cur.name()),
             };
             install.install_jump(ctx, arena, &target)?;
             Ok(Step::Next(target))
         }
     }
+}
+
+fn resolve_handle(arena: &ContArena, handle: Word, from: &str) -> Cont {
+    arena.resolve(handle).unwrap_or_else(|| {
+        panic!("capsule `{from}` jumped to dangling continuation handle {handle} — scheduler bug")
+    })
+}
+
+fn panic_no_scheduler(name: &str) -> ! {
+    panic!(
+        "capsule `{name}` forked but this engine has no scheduler; \
+         run fork-join computations on ppm-sched"
+    )
 }
 
 /// Drives a non-forking capsule chain to completion on one processor.

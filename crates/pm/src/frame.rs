@@ -1,0 +1,301 @@
+//! Persistent continuation frames: closures as words.
+//!
+//! The paper (§4.1) stores closures — "the start instruction, local state,
+//! arguments and continuation" of a capsule — directly in persistent
+//! memory and uses their addresses as restart pointers and deque entries.
+//! This module defines the word-level *frame* format that makes a closure
+//! denotable by a single persistent word (its frame address), so that a
+//! process that died can be replaced by a fresh one that re-materializes
+//! the closure from persistent words alone:
+//!
+//! ```text
+//!   word 0   header   = (FRAME_MAGIC << 32) | arg_word_count
+//!   word 1   capsule id (a stable u64 registered in ppm-core's
+//!            CapsuleRegistry at computation-construction time)
+//!   word 2.. argument words (plain data: addresses, indices, and —
+//!            crucially — the frame addresses of other continuations)
+//! ```
+//!
+//! Arguments are plain 64-bit words; a continuation argument is *itself* a
+//! frame address, which is what lets whole capsule DAGs round-trip through
+//! a crash. Frames are immutable once published (their address escapes
+//! into a deque entry or restart pointer only after every word is
+//! written), and all frame traffic flows through the same
+//! [`crate::mem::PersistentMemory`] words as everything else, so the
+//! backend's [`crate::backend::MemBackend::flush`] boundary covers them.
+//!
+//! Encoding ([`write_frame`]) is costed and restart-stable: the frame
+//! address comes from the processor's §4.1 pool allocator, so a capsule
+//! re-run rewrites the identical words at the identical address. Decoding
+//! ([`read_frame`]) is strict: a word that does not carry the magic, an
+//! oversized argument count, or an out-of-bounds frame is a
+//! [`FrameError`], never a panic — recovery code downgrades to
+//! replay-from-root on any malformed frame.
+
+use crate::error::PmResult;
+use crate::mem::PersistentMemory;
+use crate::proc::ProcCtx;
+use crate::word::{Addr, Word};
+
+/// Magic tag in the upper 32 bits of a frame header word. Chosen so that
+/// the legacy closure-marker word (`1`) and small scheduler generation
+/// counters can never be mistaken for a frame.
+pub const FRAME_MAGIC: u64 = 0xF7A3_C0DE;
+
+/// Maximum argument words per frame. Closures are constant-size in the
+/// model; this bound keeps a corrupted header from driving a huge decode.
+pub const MAX_FRAME_ARGS: usize = 24;
+
+/// Frame size in words for `argc` argument words (header + id + args).
+#[inline]
+pub const fn frame_words(argc: usize) -> usize {
+    2 + argc
+}
+
+/// Builds a frame header word for `argc` argument words.
+#[inline]
+pub fn frame_header(argc: usize) -> Word {
+    assert!(argc <= MAX_FRAME_ARGS, "frame has too many arguments");
+    (FRAME_MAGIC << 32) | argc as u64
+}
+
+/// Parses a header word: `Some(argc)` iff it carries the frame magic and a
+/// sane argument count.
+#[inline]
+pub fn parse_header(w: Word) -> Option<usize> {
+    if w >> 32 != FRAME_MAGIC {
+        return None;
+    }
+    let argc = (w & 0xFFFF_FFFF) as usize;
+    (argc <= MAX_FRAME_ARGS).then_some(argc)
+}
+
+/// Why a word range failed to decode as a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The word at the address does not carry [`FRAME_MAGIC`] (or claims
+    /// more than [`MAX_FRAME_ARGS`] arguments).
+    NotAFrame {
+        /// The address that was probed.
+        addr: Addr,
+        /// The raw word found there.
+        word: Word,
+    },
+    /// The frame's claimed extent runs past the end of persistent memory.
+    OutOfBounds {
+        /// The frame address.
+        addr: Addr,
+        /// The claimed argument count.
+        argc: usize,
+    },
+    /// The frame decoded, but its capsule id is not registered (reported
+    /// by `ppm-core`'s registry, carried here so both layers share one
+    /// error type).
+    UnknownCapsule {
+        /// The frame address.
+        addr: Addr,
+        /// The unregistered capsule id.
+        capsule_id: Word,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::NotAFrame { addr, word } => {
+                write!(f, "word {word:#x} at address {addr} is not a capsule frame")
+            }
+            FrameError::OutOfBounds { addr, argc } => {
+                write!(f, "frame at {addr} claims {argc} args past end of memory")
+            }
+            FrameError::UnknownCapsule { addr, capsule_id } => {
+                write!(
+                    f,
+                    "frame at {addr} names unregistered capsule id {capsule_id:#x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Address the frame was decoded from (its handle).
+    pub addr: Addr,
+    /// The stable capsule id.
+    pub capsule_id: Word,
+    /// The argument words.
+    pub args: Vec<Word>,
+}
+
+/// Writes a frame for `(capsule_id, args)` from within a capsule:
+/// allocates `2 + args.len()` words from the processor's restart-stable
+/// pool and fills them with costed external writes. Returns the frame
+/// address — the single persistent word that now denotes the
+/// continuation. Idempotent under capsule restart (same address, same
+/// words).
+pub fn write_frame(ctx: &mut ProcCtx, capsule_id: Word, args: &[Word]) -> PmResult<Addr> {
+    let addr = ctx.palloc(frame_words(args.len()));
+    ctx.pwrite(addr, frame_header(args.len()))?;
+    ctx.pwrite(addr + 1, capsule_id)?;
+    for (i, a) in args.iter().enumerate() {
+        ctx.pwrite(addr + 2 + i, *a)?;
+    }
+    Ok(addr)
+}
+
+/// Stores a frame at a fixed address with uncosted setup writes (machine
+/// construction only — e.g. a computation's root frame written before the
+/// processors start). The region at `addr` must hold
+/// [`frame_words`]`(args.len())` words.
+pub fn store_frame(mem: &PersistentMemory, addr: Addr, capsule_id: Word, args: &[Word]) {
+    mem.store(addr, frame_header(args.len()));
+    mem.store(addr + 1, capsule_id);
+    for (i, a) in args.iter().enumerate() {
+        mem.store(addr + 2 + i, *a);
+    }
+}
+
+/// Decodes the frame at `addr` with uncosted oracle reads (recovery-time
+/// and engine-internal rehydration; the model charges closure loading as
+/// part of the constant restart/install overhead, which the engine already
+/// accounts for).
+pub fn read_frame(mem: &PersistentMemory, addr: Addr) -> Result<Frame, FrameError> {
+    if addr == 0 || addr >= mem.len() {
+        return Err(FrameError::NotAFrame { addr, word: 0 });
+    }
+    let header = mem.load(addr);
+    let argc = parse_header(header).ok_or(FrameError::NotAFrame { addr, word: header })?;
+    if addr + frame_words(argc) > mem.len() {
+        return Err(FrameError::OutOfBounds { addr, argc });
+    }
+    let capsule_id = mem.load(addr + 1);
+    let args = (0..argc).map(|i| mem.load(addr + 2 + i)).collect();
+    Ok(Frame {
+        addr,
+        capsule_id,
+        args,
+    })
+}
+
+/// Whether the word at `addr` looks like a frame header (cheap probe used
+/// by recovery forensics; [`read_frame`] remains the authoritative check).
+pub fn is_frame_at(mem: &PersistentMemory, addr: Addr) -> bool {
+    addr != 0 && addr < mem.len() && parse_header(mem.load(addr)).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PmConfig;
+    use crate::fault::Liveness;
+    use crate::layout::Region;
+    use crate::stats::MemStats;
+    use std::sync::Arc;
+
+    fn ctx_with_pool(mem: &Arc<PersistentMemory>) -> ProcCtx {
+        let cfg = PmConfig::small_single();
+        let stats = Arc::new(MemStats::new(1));
+        let live = Arc::new(Liveness::new(1));
+        let mut ctx = ProcCtx::new(&cfg, 0, mem.clone(), stats, live);
+        ctx.set_alloc_pool(
+            Region {
+                start: 64,
+                len: 512,
+            },
+            0,
+        );
+        ctx
+    }
+
+    #[test]
+    fn header_round_trips() {
+        for argc in [0usize, 1, 7, MAX_FRAME_ARGS] {
+            assert_eq!(parse_header(frame_header(argc)), Some(argc));
+        }
+        assert_eq!(parse_header(0), None);
+        assert_eq!(
+            parse_header(1),
+            None,
+            "legacy closure marker is not a frame"
+        );
+        assert_eq!(
+            parse_header((FRAME_MAGIC << 32) | (MAX_FRAME_ARGS as u64 + 1)),
+            None,
+            "oversized argc rejected"
+        );
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mem = Arc::new(PersistentMemory::new(1024, 8));
+        let mut ctx = ctx_with_pool(&mem);
+        ctx.begin_capsule("t");
+        let addr = write_frame(&mut ctx, 0xABCD, &[1, 2, 3]).unwrap();
+        let f = read_frame(&mem, addr).unwrap();
+        assert_eq!(f.capsule_id, 0xABCD);
+        assert_eq!(f.args, vec![1, 2, 3]);
+        assert_eq!(f.addr, addr);
+    }
+
+    #[test]
+    fn write_frame_is_restart_stable() {
+        let mem = Arc::new(PersistentMemory::new(1024, 8));
+        let mut ctx = ctx_with_pool(&mem);
+        ctx.begin_capsule("fork-like");
+        let a1 = write_frame(&mut ctx, 7, &[9, 9]).unwrap();
+        ctx.restart_capsule("fork-like");
+        let a2 = write_frame(&mut ctx, 7, &[9, 9]).unwrap();
+        assert_eq!(a1, a2, "restart must rewrite the same frame address");
+        assert_eq!(read_frame(&mem, a1).unwrap().args, vec![9, 9]);
+    }
+
+    #[test]
+    fn store_frame_matches_costed_encoding() {
+        let mem = Arc::new(PersistentMemory::new(1024, 8));
+        store_frame(&mem, 40, 5, &[10, 20]);
+        let mut ctx = ctx_with_pool(&mem);
+        ctx.begin_capsule("t");
+        let a = write_frame(&mut ctx, 5, &[10, 20]).unwrap();
+        assert_eq!(mem.to_vec(40, 4), mem.to_vec(a, 4), "identical word images");
+    }
+
+    #[test]
+    fn non_frames_are_rejected_cleanly() {
+        let mem = Arc::new(PersistentMemory::new(256, 8));
+        mem.store(10, 1); // legacy marker
+        mem.store(11, 42); // random word
+        for addr in [0usize, 10, 11, 500] {
+            let err = read_frame(&mem, addr).unwrap_err();
+            assert!(matches!(err, FrameError::NotAFrame { .. }), "{addr}: {err}");
+        }
+        assert!(!is_frame_at(&mem, 10));
+    }
+
+    #[test]
+    fn truncated_frame_is_out_of_bounds() {
+        let mem = Arc::new(PersistentMemory::new(64, 8));
+        mem.store(62, frame_header(8)); // claims 10 words at addr 62 of 64
+        let err = read_frame(&mem, 62).unwrap_err();
+        assert!(matches!(err, FrameError::OutOfBounds { .. }), "{err}");
+    }
+
+    #[test]
+    fn errors_display_without_panicking() {
+        let msgs = [
+            FrameError::NotAFrame { addr: 3, word: 9 }.to_string(),
+            FrameError::OutOfBounds { addr: 3, argc: 8 }.to_string(),
+            FrameError::UnknownCapsule {
+                addr: 3,
+                capsule_id: 0x55,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

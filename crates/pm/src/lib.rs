@@ -48,6 +48,7 @@ pub mod backend;
 pub mod config;
 pub mod error;
 pub mod fault;
+pub mod frame;
 pub mod layout;
 pub mod mem;
 pub mod proc;
@@ -61,6 +62,10 @@ pub use backend::{MemBackend, Superblock, VolatileBackend, SUPERBLOCK_BYTES};
 pub use config::{FaultConfig, PmConfig, ValidateMode};
 pub use error::{Fault, PmResult};
 pub use fault::{FaultInjector, HeartbeatLiveness, Liveness};
+pub use frame::{
+    frame_words, is_frame_at, read_frame, store_frame, write_frame, Frame, FrameError, FRAME_MAGIC,
+    MAX_FRAME_ARGS,
+};
 pub use layout::{LayoutBuilder, Region};
 pub use mem::PersistentMemory;
 pub use proc::ProcCtx;

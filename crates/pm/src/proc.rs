@@ -41,6 +41,11 @@ pub struct ProcCtx {
     /// Cursor value at the start of the active capsule; restarts roll back
     /// to this, so re-running a capsule re-allocates the same addresses.
     capsule_start_cursor: usize,
+    /// Persistent word mirroring the committed allocation cursor, when
+    /// configured. Written (uncosted) at every capsule completion so a
+    /// recovering process knows how much of the pool holds live closure
+    /// frames — see `ppm-core`'s machine docs.
+    watermark_addr: Option<Addr>,
     /// Ephemeral memory capacity `M` (words), for algorithms sizing their
     /// base cases.
     ephemeral_words: usize,
@@ -76,6 +81,7 @@ impl ProcCtx {
             alloc_pool: None,
             alloc_cursor: 0,
             capsule_start_cursor: 0,
+            watermark_addr: None,
             ephemeral_words: cfg.ephemeral_words,
             war_exempt: false,
         }
@@ -172,9 +178,20 @@ impl ProcCtx {
 
     /// Completes the active capsule, recording its capsule work. Returns
     /// that work (the quantity whose maximum is the paper's `C`).
+    ///
+    /// If a watermark word is configured, the committed allocation cursor
+    /// is mirrored there with an uncosted store (machine bookkeeping, like
+    /// statistics — the model's closure write is the costed install). The
+    /// mirror is exact at every capsule boundary: anything a crashed run
+    /// published (a frame handle in a deque entry or restart pointer) was
+    /// allocated by an already-completed capsule and so sits below the
+    /// persisted watermark.
     pub fn complete_capsule(&mut self) -> u64 {
         let w = self.capsule_work;
         self.stats.record_capsule_completion(self.proc, w);
+        if let Some(wm) = self.watermark_addr {
+            self.mem.store(wm, self.alloc_cursor as Word);
+        }
         w
     }
 
@@ -336,6 +353,27 @@ impl ProcCtx {
     /// engine).
     pub fn alloc_cursor(&self) -> usize {
         self.alloc_cursor
+    }
+
+    /// Configures the persistent word that mirrors the committed
+    /// allocation cursor (`None` disables mirroring). Engine use.
+    pub fn set_watermark_addr(&mut self, addr: Option<Addr>) {
+        self.watermark_addr = addr;
+    }
+
+    /// Mirrors the *current* allocation cursor to the watermark word
+    /// immediately (uncosted). The engine calls this after a capsule body
+    /// returns and **before** installing its successor: an install may
+    /// publish a frame the body just allocated (as the new restart
+    /// pointer), and a crash between that publication and the next
+    /// capsule boundary must not leave the watermark below a reachable
+    /// frame. A subsequent soft-fault restart rolls the cursor back below
+    /// the mirrored value, which is harmless — an over-high watermark
+    /// only wastes pool words on resume, never corrupts live frames.
+    pub fn publish_watermark(&mut self) {
+        if let Some(wm) = self.watermark_addr {
+            self.mem.store(wm, self.alloc_cursor as Word);
+        }
     }
 
     /// Allocates `words` fresh persistent words from the processor's pool.

@@ -192,8 +192,9 @@ pub fn run_computation_abp(machine: &Machine, comp: &Comp, slots: usize, seed: u
                 let mut install = InstallCtx::new(machine.proc_meta(p));
                 let on_end = sched.find_work(machine);
                 let sched_for_fork = sched.clone();
-                let fork_wrap =
-                    move |handle: Word, cont: Cont| sched_for_fork.push_wrap(handle, cont);
+                let fork_wrap = move |handle: Word, cont: Cont, _cont_handle: Option<Word>| {
+                    sched_for_fork.push_wrap(handle, cont)
+                };
                 let mut cur: Cont = if p == 0 { root } else { on_end.clone() };
                 loop {
                     match run_capsule(

@@ -198,6 +198,13 @@ impl Sched {
         })
     }
 
+    /// Resolvability probe used by recovery and the adoption path: whether
+    /// `handle` denotes a capsule this process can run (cached closure or
+    /// rehydratable frame).
+    pub(crate) fn resolvable(&self, handle: Word) -> bool {
+        self.arena.resolve(handle).is_some()
+    }
+
     fn next_epoch(&self, me: usize) -> u64 {
         // A fresh victim-selection stream index per findWork entry. Only
         // steers randomness; re-running the creating capsule may draw a new
@@ -223,25 +230,20 @@ impl Sched {
             let cur = ctx.pread(d.entry(b - 1))?;
             if cur == new {
                 ctx.pwrite(d.bot, (b - 1) as Word)?;
-                let cont = s.resolve(f);
-                return Ok(Next::Jump(cont));
+                // Jump by handle: the engine resolves `f` through the
+                // arena (rehydrating a frame on first touch) and installs
+                // the handle itself as the restart pointer.
+                return Ok(Next::JumpHandle(f));
             }
             if kind_of(cur) == EntryKind::Taken && tag_of(cur) == tag_of(new).wrapping_add(1) {
                 // Our CAM succeeded, the owner died, and we (the uniquely
                 // successful adopting thief) already turned the local entry
                 // into taken. Run the claimed thread (Lemma A.10).
-                let cont = s.resolve(f);
-                return Ok(Next::Jump(cont));
+                return Ok(Next::JumpHandle(f));
             }
             let me = ctx.proc();
             Ok(Next::Jump(s.steal_attempt(s.next_epoch(me))))
         })
-    }
-
-    fn resolve(&self, handle: Word) -> Cont {
-        self.arena
-            .get(handle)
-            .unwrap_or_else(|| panic!("dangling continuation handle {handle} — scheduler bug"))
     }
 
     // ==================================================================
@@ -421,8 +423,7 @@ impl Sched {
         capsule("sched/popTop/check", move |ctx| {
             let cur = ctx.pread(v.entry(i))?;
             if cur == new {
-                let cont = s.resolve(f);
-                Ok(Next::Jump(cont))
+                Ok(Next::JumpHandle(f))
             } else {
                 Ok(Next::Jump(s.steal_attempt(n + 1)))
             }
@@ -501,11 +502,12 @@ impl Sched {
                 return Ok(Next::Jump(s.steal_attempt(n + 1)));
             }
             let handle = ctx.pread(s.metas[v.owner].active)?;
-            match s.arena.get(handle) {
-                Some(c) => Ok(Next::Jump(c)),
+            if s.resolvable(handle) {
+                Ok(Next::JumpHandle(handle))
+            } else {
                 // The owner died outside threaded code with a cleared
                 // restart pointer; nothing to resume.
-                None => Ok(Next::Jump(s.steal_attempt(n + 1))),
+                Ok(Next::Jump(s.steal_attempt(n + 1)))
             }
         })
     }
@@ -516,9 +518,11 @@ impl Sched {
 
     /// The fork wrapper: after the engine registers the forked child
     /// (handle `f`), run `pushBottom(f)` and then continue the thread with
-    /// `cont`. Capsule 1 (lines 67-70): read `bot` and the two tags,
-    /// commit.
-    pub fn push_bottom(self: &Arc<Self>, f: Word, cont: Cont) -> Cont {
+    /// `cont`. When the continuation is itself a persistent frame,
+    /// `cont_handle` carries its handle so the post-push jump re-installs
+    /// a frame-backed restart pointer. Capsule 1 (lines 67-70): read
+    /// `bot` and the two tags, commit.
+    pub fn push_bottom(self: &Arc<Self>, f: Word, cont: Cont, cont_handle: Option<Word>) -> Cont {
         let s = self.clone();
         capsule("sched/pushBottom/read", move |ctx| {
             let me = ctx.proc();
@@ -533,6 +537,7 @@ impl Sched {
                 t2,
                 f,
                 cont.clone(),
+                cont_handle,
             )))
         })
     }
@@ -541,6 +546,7 @@ impl Sched {
     /// the paper (the re-evaluated condition is what makes the re-run and
     /// the adopting-thief cases work — Lemma A.6); unchecked because it
     /// reads the bottom entry and then CAMs it.
+    #[allow(clippy::too_many_arguments)]
     fn push_bottom_commit(
         self: &Arc<Self>,
         d: DequeAddrs,
@@ -549,8 +555,16 @@ impl Sched {
         t2: u16,
         f: Word,
         cont: Cont,
+        cont_handle: Option<Word>,
     ) -> Cont {
         let s = self.clone();
+        // Return to the thread: by frame handle when the continuation is
+        // persistent (keeping the restart pointer frame-backed), by
+        // closure otherwise.
+        let back = move |cont: &Cont| match cont_handle {
+            Some(h) => Next::JumpHandle(h),
+            None => Next::Jump(cont.clone()),
+        };
         capsule_unchecked("sched/pushBottom/commit", move |ctx| {
             let local_b = pack(t2, EntryVal::Local);
             let cur = ctx.pread(d.entry(b))?;
@@ -564,7 +578,7 @@ impl Sched {
                     local_b,
                     pack(t2.wrapping_add(1), EntryVal::Job { handle: f }),
                 )?;
-                return Ok(Next::Jump(cont.clone()));
+                return Ok(back(&cont));
             }
             let above = ctx.pread(d.entry(b + 1))?;
             if kind_of(above) == EntryKind::Empty {
@@ -572,11 +586,11 @@ impl Sched {
                 // owner died before the CAM and its local entry was stolen
                 // (which also cleared the entry above). Re-push the fork on
                 // the executing processor's own deque.
-                return Ok(Next::Jump(s.push_bottom(f, cont.clone())));
+                return Ok(Next::Jump(s.push_bottom(f, cont.clone(), cont_handle)));
             }
             // The CAM already happened (a re-run after the push completed):
             // just return to the thread.
-            Ok(Next::Jump(cont.clone()))
+            Ok(back(&cont))
         })
     }
 }

@@ -14,22 +14,44 @@
 //!
 //! ## Crash recovery across process lifetimes
 //!
-//! [`recover_computation`] extends the paper's hard-fault story to the
-//! death of the *whole process*: a machine whose words live in a durable
-//! backend is reopened by a fresh process, fresh OS threads re-attach to
-//! the persisted WS-deques and restart pointers, and the computation is
-//! driven to completion with every effect applied exactly once. See the
-//! function docs for what is resumed directly and what is re-derived.
+//! Recovery extends the paper's hard-fault story to the death of the
+//! *whole process*: a machine whose words live in a durable backend is
+//! reopened by a fresh process, and fresh OS threads re-attach to the
+//! persisted WS-deques and restart pointers.
+//!
+//! Two recovery paths exist, differing in what a deque entry's handle
+//! *means* to the new process:
+//!
+//! * **Resume** ([`recover_persistent`], for computations built from
+//!   registered persistent capsules): every persisted `job` entry and
+//!   every running thread's restart pointer is a frame address
+//!   ([`ppm_pm::frame`]), so the recovering process rehydrates each one
+//!   through the machine's [`ppm_core::CapsuleRegistry`] and re-plants
+//!   them as jobs on fresh deques. Only in-flight work is re-driven;
+//!   recovery cost is bounded by what was lost, not by total work.
+//! * **Replay** ([`recover_computation`], and the fallback of
+//!   [`recover_persistent`] whenever the persisted state is not fully
+//!   rehydratable — legacy closure capsules, an in-flight steal caught
+//!   mid-transfer, a restart pointer parked on a scheduler-internal
+//!   capsule): the deques are scrubbed back to the §6.3 initial state and
+//!   the computation re-runs from its root. Idempotence (write-after-read
+//!   conflict freedom plus CAM test-and-set for once-only effects — the
+//!   §5 discipline) guarantees effects already applied by the dead run
+//!   are not applied again; replay costs work, never correctness.
+//!
+//! Either way the machine is flushed before recovery returns, so a second
+//! crash during recovery recovers the same way.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ppm_core::{run_capsule, Comp, Cont, DoneFlag, InstallCtx, Machine, Step};
+pub use ppm_core::registry::PComp;
+use ppm_core::{run_capsule, Comp, Cont, DoneFlag, InstallCtx, Machine, Step, CORE_ID_FINALE};
 use ppm_pm::{StatsSnapshot, Word};
 
 use crate::capsules::{Sched, SchedConfig};
 use crate::deque::check_invariant;
-use crate::entry::{kind_of, pack, EntryKind, EntryVal};
+use crate::entry::{kind_of, pack, unpack, EntryKind, EntryVal};
 
 /// How one processor's loop ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,31 +112,97 @@ pub fn run_root_thread(
     run_root_on(machine, &sched, root, done)
 }
 
+/// Runs a computation expressed as persistent capsule frames ([`PComp`]).
+///
+/// Like [`run_computation`], but the root thread — and every continuation
+/// it forks — is denoted by persistent frame addresses, so a crash of the
+/// whole process leaves a machine file that [`recover_persistent`] can
+/// *resume* instead of replaying from the root.
+pub fn run_persistent(machine: &Machine, pcomp: &PComp, cfg: &SchedConfig) -> RunReport {
+    let done = DoneFlag::new(machine);
+    let sched = Sched::new(machine, done, cfg);
+    let finale = machine.setup_frame(CORE_ID_FINALE, &[done.addr() as Word]);
+    let root_handle = pcomp(machine, finale);
+    run_root_handle_on(machine, &sched, root_handle, done)
+}
+
 /// Runs a root thread on a *prebuilt* scheduler (so callers can inspect or
 /// instrument its deques — e.g. the Figure 4 transition experiment).
 pub fn run_root_on(machine: &Machine, sched: &Arc<Sched>, root: Cont, done: DoneFlag) -> RunReport {
-    // §6.3 initialization. The root processor's first deque entry is local
-    // (it is running the root thread) and its restart pointer resolves to
-    // the root capsule so the thread survives an immediate hard fault.
+    // Legacy closure root: park it at a fresh address so the restart
+    // pointer resolves (in this process only).
     let root_slot = machine.alloc_region(1).start;
     machine.arena().preregister(root_slot, root.clone());
+    launch_root(machine, sched, root, root_slot as Word, done)
+}
+
+/// Runs a frame-denoted root thread on a prebuilt scheduler: the restart
+/// pointer of processor 0 is the root *frame address* itself, meaningful
+/// to any future process.
+fn run_root_handle_on(
+    machine: &Machine,
+    sched: &Arc<Sched>,
+    root_handle: Word,
+    done: DoneFlag,
+) -> RunReport {
+    let root = machine.arena().resolve(root_handle).unwrap_or_else(|| {
+        panic!(
+            "root frame handle {root_handle} does not rehydrate — the PComp must \
+             register its capsule constructors before returning"
+        )
+    });
+    launch_root(machine, sched, root, root_handle, done)
+}
+
+/// §6.3 initialization shared by both root forms: the root processor's
+/// first deque entry is local (it is running the root thread) and its
+/// restart pointer is `root_handle`, so the thread survives an immediate
+/// hard fault; all other processors start at `findWork`.
+fn launch_root(
+    machine: &Machine,
+    sched: &Arc<Sched>,
+    root: Cont,
+    root_handle: Word,
+    done: DoneFlag,
+) -> RunReport {
     machine
         .mem()
-        .store(machine.proc_meta(0).active, root_slot as Word);
+        .store(machine.proc_meta(0).active, root_handle);
     machine
         .mem()
         .store(sched.deques()[0].entry(0), pack(1, EntryVal::Local));
 
+    let first: Vec<Cont> = (0..machine.procs())
+        .map(|p| {
+            if p == 0 {
+                root.clone()
+            } else {
+                sched.find_work()
+            }
+        })
+        .collect();
+    run_attached(machine, sched, first, done, vec![0; machine.procs()])
+}
+
+/// The shared parallel section: spawns one OS thread per processor with
+/// the given first capsule and pool cursor, joins them, checks the deque
+/// invariant, and assembles the report.
+fn run_attached(
+    machine: &Machine,
+    sched: &Arc<Sched>,
+    first: Vec<Cont>,
+    done: DoneFlag,
+    pool_cursors: Vec<usize>,
+) -> RunReport {
     let start = Instant::now();
     let outcomes: Vec<ProcOutcome> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..machine.procs())
-            .map(|p| {
+        let handles: Vec<_> = first
+            .into_iter()
+            .zip(pool_cursors)
+            .enumerate()
+            .map(|(p, (first, cursor))| {
                 let sched = sched.clone();
-                let root = root.clone();
-                s.spawn(move || {
-                    let first: Cont = if p == 0 { root } else { sched.find_work() };
-                    proc_loop(machine, &sched, p, first)
-                })
+                s.spawn(move || proc_loop(machine, &sched, p, first, cursor))
             })
             .collect();
         handles
@@ -145,7 +233,22 @@ pub fn run_root_on(machine: &Machine, sched: &Arc<Sched>, root: Cont, done: Done
     }
 }
 
-/// What [`recover_computation`] found and did.
+/// How a recovery run re-drove the crashed computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// The persisted completion flag was already set; nothing re-ran.
+    AlreadyComplete,
+    /// Persisted deque entries and restart pointers were rehydrated
+    /// through the capsule registry and re-planted: the run resumed from
+    /// the crash frontier.
+    Resumed,
+    /// State was scrubbed and the computation replayed from its root
+    /// (legacy closures, or an ambiguous crash window — see
+    /// [`RecoveryReport::fallback_reason`]).
+    Replayed,
+}
+
+/// What recovery found and did.
 #[derive(Debug, Clone)]
 pub struct RecoveryReport {
     /// Run epoch of the recovering machine (0 for volatile machines).
@@ -153,6 +256,8 @@ pub struct RecoveryReport {
     /// The persisted completion flag was already set: the previous run
     /// finished and nothing was re-driven.
     pub already_complete: bool,
+    /// How the computation was re-driven.
+    pub mode: RecoveryMode,
     /// In-flight `job` entries found across the persisted deques.
     pub found_jobs: usize,
     /// `local` entries (threads that were running when the crash hit).
@@ -161,6 +266,13 @@ pub struct RecoveryReport {
     pub found_taken: usize,
     /// Processors whose persisted restart pointer was non-null.
     pub live_restart_pointers: usize,
+    /// Continuations rehydrated from persistent frames and re-planted as
+    /// jobs (0 when replaying); the resumed run executes only these
+    /// threads' remaining work plus their joins.
+    pub resumed: usize,
+    /// Why resume was not possible, when `mode` is
+    /// [`RecoveryMode::Replayed`].
+    pub fallback_reason: Option<String>,
     /// The re-driven run's report (`None` when `already_complete`).
     pub run: Option<RunReport>,
 }
@@ -175,61 +287,15 @@ impl RecoveryReport {
     pub fn found_in_flight(&self) -> usize {
         self.found_jobs + self.found_locals + self.found_taken
     }
+
+    /// Whether recovery resumed the crash frontier instead of replaying.
+    pub fn resumed_run(&self) -> bool {
+        self.mode == RecoveryMode::Resumed
+    }
 }
 
-/// Resumes a computation whose machine came back from [`Machine::reopen`]
-/// after the previous process died mid-run (the `kill -9` analogue of the
-/// paper's all-processors-hard-fault scenario).
-///
-/// The caller must rebuild the machine-setup sequence of the crashed run
-/// deterministically before calling this: the same user
-/// [`Machine::alloc_region`] calls in the same order, the same `comp`, and
-/// the same `cfg` (deque sizing). Region allocation is deterministic, so
-/// every address — markers, completion flag, deques, restart pointers —
-/// lines up with the persisted words.
-///
-/// Recovery then re-attaches fresh OS threads to the persisted scheduler
-/// state:
-///
-/// 1. If the persisted completion flag is set, the previous run finished;
-///    nothing is re-driven.
-/// 2. Otherwise the persisted deques and restart pointers are *inspected*
-///    (the counts are reported) and then scrubbed back to the §6.3 initial
-///    state. They cannot be resumed entry-by-entry: a deque `job` entry or
-///    restart pointer holds a continuation *handle*, and the closure it
-///    denotes was an object of the dead process (the continuation arena is
-///    rebuilt per process — see `ppm_core::arena`). Making closures
-///    re-materializable from persistent words alone is the open
-///    "persistent closure serialization" item in the ROADMAP.
-/// 3. The computation re-runs from its root on the persisted memory.
-///    Because capsules are idempotent (write-after-read conflict free,
-///    with CAM test-and-set for every once-only effect — the §5
-///    discipline), effects already applied by the dead run are *not*
-///    applied again: a completed task's CAM fails silently, join cells are
-///    re-allocated from the replayed pools, and data already computed
-///    stays exactly as the dead run left it. Work, not effects, is what
-///    replay costs.
-///
-/// The machine is flushed before this returns, so a second crash during
-/// recovery recovers the same way.
-pub fn recover_computation(machine: &Machine, comp: &Comp, cfg: &SchedConfig) -> RecoveryReport {
-    // Replay the allocation order of `run_computation`: completion flag
-    // first, then the scheduler's deques.
-    let done = DoneFlag::new(machine);
-    // Build the scheduler with the Figure 4 transition checker deferred:
-    // the scrub below rewrites stale entries (e.g. taken → empty), which
-    // is machine maintenance, not an entry transition. The checker is
-    // installed after the scrub if `cfg` asks for it.
-    let sched = Sched::new(
-        machine,
-        done,
-        &SchedConfig {
-            check_transitions: false,
-            ..cfg.clone()
-        },
-    );
-
-    // Forensics: what did the dead run leave behind?
+/// Entry counts found in the persisted deques, plus live restart pointers.
+fn crash_forensics(machine: &Machine, sched: &Arc<Sched>) -> (usize, usize, usize, usize) {
     let (mut jobs, mut locals, mut taken) = (0usize, 0usize, 0usize);
     for d in sched.deques() {
         for i in 0..d.slots {
@@ -241,24 +307,17 @@ pub fn recover_computation(machine: &Machine, comp: &Comp, cfg: &SchedConfig) ->
             }
         }
     }
-    let live_restart_pointers = (0..machine.procs())
+    let live = (0..machine.procs())
         .filter(|p| machine.active_handle(*p) != 0)
         .count();
+    (jobs, locals, taken, live)
+}
 
-    if done.is_set(machine.mem()) {
-        return RecoveryReport {
-            epoch: machine.epoch(),
-            already_complete: true,
-            found_jobs: jobs,
-            found_locals: locals,
-            found_taken: taken,
-            live_restart_pointers,
-            run: None,
-        };
-    }
-
-    // Scrub the scheduler state back to §6.3 initial: all entries empty
-    // with tag 0, top = bot = 0, restart pointers and swap slots null.
+/// Scrubs scheduler state back to the §6.3 initial shape: all entries
+/// empty with tag 0, `top = bot = 0`, restart pointers and swap slots
+/// null. Pool watermarks are zeroed only when replaying from the root —
+/// a resumed run keeps allocating above the dead run's live frames.
+fn scrub_scheduler_state(machine: &Machine, sched: &Arc<Sched>, keep_watermarks: bool) {
     for d in sched.deques() {
         for i in 0..d.slots {
             if machine.mem().load(d.entry(i)) != 0 {
@@ -273,8 +332,271 @@ pub fn recover_computation(machine: &Machine, comp: &Comp, cfg: &SchedConfig) ->
         machine.mem().store(meta.active, 0);
         machine.mem().store(meta.slot_a, 0);
         machine.mem().store(meta.slot_b, 0);
+        if !keep_watermarks {
+            machine.mem().store(meta.watermark, 0);
+        }
+    }
+}
+
+/// Harvests the crash frontier for resume: every persisted `job` entry's
+/// handle, plus — for every deque holding a `local` entry — the owning
+/// processor's restart pointer. Errors (with a reason) if any handle does
+/// not rehydrate through the registry or if the crash caught a steal
+/// mid-transfer, in which case the caller falls back to root replay.
+fn harvest_frontier(machine: &Machine, sched: &Arc<Sched>) -> Result<Vec<Word>, String> {
+    let mem = machine.mem();
+    // Validate through the registry directly, NOT through the arena: the
+    // arena would cache each rehydrated capsule under its frame address,
+    // and if this harvest later aborts into the replay-from-root path —
+    // which resets pool cursors to 0 and reuses those addresses for
+    // different frames — the stale cache entries would shadow the
+    // replay's own frames. The resumed run re-decodes the (intact,
+    // watermark-protected) frames lazily instead.
+    let registry = machine.registry();
+    let mut seeds = Vec::new();
+    for d in sched.deques() {
+        let mut locals = 0usize;
+        for i in 0..d.slots {
+            let word = mem.load(d.entry(i));
+            match unpack(word) {
+                (_, EntryVal::Empty) => {}
+                (_, EntryVal::Job { handle }) => {
+                    registry
+                        .rehydrate(mem, handle)
+                        .map_err(|e| format!("job entry {i} of deque {}: {e}", d.owner))?;
+                    seeds.push(handle);
+                }
+                (_, EntryVal::Local) => locals += 1,
+                (_, EntryVal::Taken { proc, slot, tag }) => {
+                    // A completed steal's thread is accounted at the thief
+                    // side (as a local or later state). A steal caught
+                    // between the victim-entry CAM and the thief-entry CAM
+                    // holds the thread's handle only in the dead thief's
+                    // ephemeral closure — unresumable.
+                    if proc >= machine.procs() || slot >= sched.deques()[proc].slots {
+                        return Err(format!(
+                            "taken entry {i} of deque {} references invalid thief ({proc}, {slot})",
+                            d.owner
+                        ));
+                    }
+                    let thief_word = mem.load(sched.deques()[proc].entry(slot));
+                    if thief_word == pack(tag, EntryVal::Empty) {
+                        return Err(format!(
+                            "steal of entry {i} of deque {} was in flight (thief {proc} \
+                             slot {slot} not yet claimed)",
+                            d.owner
+                        ));
+                    }
+                }
+            }
+        }
+        match locals {
+            0 => {}
+            1 => {
+                // The thread running on this deque's processor at crash
+                // time; its state is the persisted restart pointer.
+                let handle = machine.active_handle(d.owner);
+                registry.rehydrate(mem, handle).map_err(|e| {
+                    format!(
+                        "local entry of deque {} (restart pointer {handle}): {e}",
+                        d.owner
+                    )
+                })?;
+                seeds.push(handle);
+            }
+            _ => {
+                return Err(format!(
+                    "deque {} was mid-pushBottom (two local entries)",
+                    d.owner
+                ))
+            }
+        }
+    }
+    Ok(seeds)
+}
+
+/// Plants rehydrated frontier handles as `job` entries, round-robin
+/// across the (scrubbed) deques, so every processor's ordinary `findWork`
+/// picks them up.
+fn plant_seeds(machine: &Machine, sched: &Arc<Sched>, seeds: &[Word]) {
+    let procs = machine.procs();
+    let mut counts = vec![0usize; procs];
+    for (i, handle) in seeds.iter().enumerate() {
+        let p = i % procs;
+        let d = sched.deques()[p];
+        machine.mem().store(
+            d.entry(counts[p]),
+            pack(1, EntryVal::Job { handle: *handle }),
+        );
+        counts[p] += 1;
+    }
+    for (p, d) in sched.deques().iter().enumerate() {
+        machine.mem().store(d.bot, counts[p] as Word);
+        machine.mem().store(d.top, 0);
+    }
+}
+
+/// Resumes a crashed run of a persistent-capsule computation from a
+/// machine that came back from [`Machine::reopen`].
+///
+/// The caller must rebuild the machine-setup sequence of the crashed run
+/// deterministically before/within `pcomp`: the same user
+/// [`Machine::alloc_region`] calls in the same order, the same capsule
+/// constructors registered under the same ids, and the same `cfg`.
+///
+/// Recovery then:
+///
+/// 1. Returns immediately if the persisted completion flag is set.
+/// 2. Otherwise harvests the crash frontier — every persisted `job` entry
+///    and every running thread's restart pointer — rehydrating each
+///    handle through the capsule registry, and re-plants the frontier as
+///    jobs on freshly scrubbed deques. Processor pool cursors resume from
+///    the persisted watermarks, above the dead run's live frames. The
+///    resumed run executes only the threads that were in flight (plus
+///    their joins up the spine), so recovery cost is proportional to
+///    lost work, not total work.
+/// 3. Falls back to scrub-and-replay from the root — exactly
+///    [`recover_computation`]'s semantics — when any handle does not
+///    rehydrate (a legacy-closure computation or an unregistered id) or
+///    the crash landed in one of the narrow ambiguous windows (a steal
+///    mid-transfer, a fork mid-push, a restart pointer parked on a
+///    scheduler-internal capsule). [`RecoveryReport::fallback_reason`]
+///    says which.
+///
+/// Either way every effect is applied exactly once: rehydrated capsules
+/// are the same idempotent bodies, and replay relies on the §5 CAM
+/// discipline. The machine is flushed before this returns.
+pub fn recover_persistent(machine: &Machine, pcomp: &PComp, cfg: &SchedConfig) -> RecoveryReport {
+    // Replay the construction order of `run_persistent`: completion flag,
+    // scheduler deques, finale frame, then the computation's own frames
+    // (all deterministic, all rewriting identical words).
+    let done = DoneFlag::new(machine);
+    let sched = Sched::new(
+        machine,
+        done,
+        &SchedConfig {
+            check_transitions: false,
+            ..cfg.clone()
+        },
+    );
+    let (found_jobs, found_locals, found_taken, live_restart_pointers) =
+        crash_forensics(machine, &sched);
+    let finale = machine.setup_frame(CORE_ID_FINALE, &[done.addr() as Word]);
+    let root_handle = pcomp(machine, finale);
+
+    if done.is_set(machine.mem()) {
+        return RecoveryReport {
+            epoch: machine.epoch(),
+            already_complete: true,
+            mode: RecoveryMode::AlreadyComplete,
+            found_jobs,
+            found_locals,
+            found_taken,
+            live_restart_pointers,
+            resumed: 0,
+            fallback_reason: None,
+            run: None,
+        };
     }
 
+    let harvest = harvest_frontier(machine, &sched);
+    let (seeds, fallback_reason) = match harvest {
+        Ok(seeds) if !seeds.is_empty() => (seeds, None),
+        Ok(_) => (
+            Vec::new(),
+            Some("no in-flight entries found; restarting from the root".to_string()),
+        ),
+        Err(reason) => (Vec::new(), Some(reason)),
+    };
+    let resume = fallback_reason.is_none();
+
+    scrub_scheduler_state(machine, &sched, resume);
+    if cfg.check_transitions {
+        crate::capsules::install_transition_checker(machine, sched.deques());
+    }
+
+    let run = if resume {
+        plant_seeds(machine, &sched, &seeds);
+        let first: Vec<Cont> = (0..machine.procs()).map(|_| sched.find_work()).collect();
+        let cursors: Vec<usize> = (0..machine.procs())
+            .map(|p| machine.pool_watermark(p))
+            .collect();
+        run_attached(machine, &sched, first, done, cursors)
+    } else {
+        run_root_handle_on(machine, &sched, root_handle, done)
+    };
+    machine
+        .flush()
+        .expect("flushing recovered machine to stable storage");
+    RecoveryReport {
+        epoch: machine.epoch(),
+        already_complete: false,
+        mode: if resume {
+            RecoveryMode::Resumed
+        } else {
+            RecoveryMode::Replayed
+        },
+        found_jobs,
+        found_locals,
+        found_taken,
+        live_restart_pointers,
+        resumed: if resume { seeds.len() } else { 0 },
+        fallback_reason,
+        run: Some(run),
+    }
+}
+
+/// Resumes a *legacy-closure* computation whose machine came back from
+/// [`Machine::reopen`] after the previous process died mid-run (the
+/// `kill -9` analogue of the paper's all-processors-hard-fault scenario).
+///
+/// The caller must rebuild the machine-setup sequence of the crashed run
+/// deterministically before calling this: the same user
+/// [`Machine::alloc_region`] calls in the same order, the same `comp`, and
+/// the same `cfg` (deque sizing).
+///
+/// Because `comp` capsules are process-local Rust closures (not
+/// registered persistent frames), the persisted deque entries cannot be
+/// rehydrated: they are inspected (the counts are reported), scrubbed,
+/// and the computation replays from its root. Capsule idempotence (the §5
+/// CAM discipline) makes the replay apply each effect exactly once —
+/// work, not effects, is what replay costs. Computations built from
+/// registered capsules should use [`recover_persistent`], which resumes
+/// the persisted entries directly and falls back to this path's semantics
+/// only when it must.
+pub fn recover_computation(machine: &Machine, comp: &Comp, cfg: &SchedConfig) -> RecoveryReport {
+    // Replay the allocation order of `run_computation`: completion flag
+    // first, then the scheduler's deques. The Figure 4 transition checker
+    // is deferred past the scrub (scrub stores are machine maintenance,
+    // not entry transitions).
+    let done = DoneFlag::new(machine);
+    let sched = Sched::new(
+        machine,
+        done,
+        &SchedConfig {
+            check_transitions: false,
+            ..cfg.clone()
+        },
+    );
+    let (found_jobs, found_locals, found_taken, live_restart_pointers) =
+        crash_forensics(machine, &sched);
+
+    if done.is_set(machine.mem()) {
+        return RecoveryReport {
+            epoch: machine.epoch(),
+            already_complete: true,
+            mode: RecoveryMode::AlreadyComplete,
+            found_jobs,
+            found_locals,
+            found_taken,
+            live_restart_pointers,
+            resumed: 0,
+            fallback_reason: None,
+            run: None,
+        };
+    }
+
+    scrub_scheduler_state(machine, &sched, false);
     if cfg.check_transitions {
         crate::capsules::install_transition_checker(machine, sched.deques());
     }
@@ -287,20 +609,31 @@ pub fn recover_computation(machine: &Machine, comp: &Comp, cfg: &SchedConfig) ->
     RecoveryReport {
         epoch: machine.epoch(),
         already_complete: false,
-        found_jobs: jobs,
-        found_locals: locals,
-        found_taken: taken,
+        mode: RecoveryMode::Replayed,
+        found_jobs,
+        found_locals,
+        found_taken,
         live_restart_pointers,
+        resumed: 0,
+        fallback_reason: Some("legacy closure computation (no persistent frames)".to_string()),
         run: Some(run),
     }
 }
 
-fn proc_loop(machine: &Machine, sched: &Arc<Sched>, p: usize, first: Cont) -> ProcOutcome {
-    let mut ctx = machine.ctx(p);
+fn proc_loop(
+    machine: &Machine,
+    sched: &Arc<Sched>,
+    p: usize,
+    first: Cont,
+    pool_cursor: usize,
+) -> ProcOutcome {
+    let mut ctx = machine.ctx_with_pool_cursor(p, pool_cursor);
     let mut install = InstallCtx::new(machine.proc_meta(p));
     let on_end = sched.scheduler_entry();
     let sched_for_fork = sched.clone();
-    let fork_wrap = move |handle: Word, cont: Cont| sched_for_fork.push_bottom(handle, cont);
+    let fork_wrap = move |handle: Word, cont: Cont, cont_handle: Option<Word>| {
+        sched_for_fork.push_bottom(handle, cont, cont_handle)
+    };
 
     let mut cur = first;
     loop {

@@ -34,7 +34,7 @@ pub mod entry;
 pub use capsules::{Sched, SchedConfig};
 pub use deque::{build_deques, check_invariant, render, snapshot, DequeAddrs, DequeSnapshot};
 pub use driver::{
-    recover_computation, run_computation, run_root_on, run_root_thread, ProcOutcome,
-    RecoveryReport, RunReport,
+    recover_computation, recover_persistent, run_computation, run_persistent, run_root_on,
+    run_root_thread, PComp, ProcOutcome, RecoveryMode, RecoveryReport, RunReport,
 };
 pub use entry::{kind_of, pack, tag_of, unpack, EntryKind, EntryVal};

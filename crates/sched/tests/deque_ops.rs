@@ -26,7 +26,7 @@ fn drive(m: &Machine, sched: &Arc<Sched>, proc: usize, first: Cont, budget: usiz
     let mut install = InstallCtx::new(m.proc_meta(proc));
     let on_end = sched.scheduler_entry();
     let sched2 = sched.clone();
-    let wrap = move |h: Word, cont: Cont| sched2.push_bottom(h, cont);
+    let wrap = move |h: Word, cont: Cont, ch: Option<Word>| sched2.push_bottom(h, cont, ch);
     let mut cur = first;
     for step in 0..budget {
         match run_capsule(

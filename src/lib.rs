@@ -37,11 +37,24 @@
 //!
 //! After a crash, a fresh process calls `core::Machine::reopen` (which
 //! validates the superblock, replays the deterministic address-space
-//! layout, and bumps the run epoch) and `sched::recover_computation`
-//! (which inspects the persisted WS-deques and restart pointers, then
-//! drives the computation to completion with every effect applied exactly
-//! once). `examples/crash_recovery.rs` demonstrates the full scenario:
-//! SIGKILL a worker mid-run, reopen, recover, verify exactly-once marks.
+//! layout, and bumps the run epoch) and then recovers the computation
+//! with every effect applied exactly once:
+//!
+//! * **Resume** (`sched::recover_persistent`): computations built from
+//!   *registered persistent capsules* — continuations stored as
+//!   `(capsule_id, args…)` frames in persistent memory
+//!   (`pm::frame`), re-materialized through `core::CapsuleRegistry` —
+//!   have their in-flight deque entries and restart pointers rehydrated
+//!   and re-planted, so recovery pays only for the work that was lost.
+//!   Prefix sums and mergesort ship in this form
+//!   (`algs::PrefixSum::pcomp`, `algs::MergeSort::pcomp`);
+//!   `examples/crash_resume.rs` SIGKILLs a worker and verifies the
+//!   resumed run beats a from-root replay.
+//! * **Replay** (`sched::recover_computation`, also the automatic
+//!   fallback of `recover_persistent`): legacy closure computations are
+//!   scrubbed and re-driven from the root, relying on capsule idempotence
+//!   for exactly-once effects. `examples/crash_recovery.rs` demonstrates
+//!   this scenario end to end.
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,267 @@
+//! Crash **resume**: a run of a registered persistent-capsule computation
+//! dies mid-flight, a fresh machine instance reopens the durable file, and
+//! `recover_persistent` rehydrates the persisted deque entries through the
+//! capsule registry — resuming the crash frontier instead of replaying
+//! from the root.
+//!
+//! Death is simulated with scheduled hard faults killing every processor
+//! (the all-processors-hard-fault event that models `kill -9`), after
+//! which the `Machine` is dropped and the file reopened exactly as a fresh
+//! process would (`examples/crash_resume.rs` performs the real-SIGKILL
+//! version of the same scenario). With one processor the access schedule
+//! is fully deterministic, so the assertions are exact.
+
+#![cfg(unix)]
+
+use ppm::algs::{prefix_sum_seq, PrefixSum};
+use ppm::core::Machine;
+use ppm::pm::{FaultConfig, PmConfig, Word};
+use ppm::sched::{recover_persistent, run_computation, run_persistent, RecoveryMode, SchedConfig};
+
+const N: usize = 512;
+const WORDS: usize = 1 << 20;
+const SLOTS: usize = 1 << 12;
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ppm-crash-resume-{}-{tag}.ppm", std::process::id()));
+    p
+}
+
+fn input() -> Vec<Word> {
+    (0..N as u64).map(|i| i.wrapping_mul(31) % 1009).collect()
+}
+
+fn sched_cfg() -> SchedConfig {
+    SchedConfig::with_slots(SLOTS)
+}
+
+/// Capsules a complete from-root run of the workload executes (the replay
+/// cost a resume must beat).
+fn full_run_capsules() -> u64 {
+    let m = Machine::new(PmConfig::parallel(1, WORDS));
+    let ps = PrefixSum::new(&m, N);
+    ps.load_input(&m, &input());
+    let rep = run_persistent(&m, &ps.pcomp(), &sched_cfg());
+    assert!(rep.completed);
+    rep.stats.capsule_completions
+}
+
+/// Runs the workload on a durable machine with a hard fault at access
+/// `kill_at` (death mid-run when it fires), then recovers in a fresh
+/// machine instance. Returns `(died, report_mode, resumed, recovery_capsules)`.
+fn crash_and_recover(tag: &str, kill_at: u64) -> Option<(RecoveryMode, usize, u64)> {
+    let path = tmp(tag);
+    let _ = std::fs::remove_file(&path);
+    let died = {
+        let cfg = PmConfig::parallel(1, WORDS)
+            .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, kill_at));
+        let m = Machine::create_durable(cfg, &path).expect("create durable machine");
+        let ps = PrefixSum::new(&m, N);
+        ps.load_input(&m, &input());
+        let rep = run_persistent(&m, &ps.pcomp(), &sched_cfg());
+        !rep.completed
+    };
+    if !died {
+        // The schedule outlived the computation; nothing to recover.
+        let _ = std::fs::remove_file(&path);
+        return None;
+    }
+
+    // --- the recovering process's view ---
+    let m = Machine::reopen(&path).expect("reopen durable file");
+    assert_eq!(m.epoch(), 2);
+    let ps = PrefixSum::new(&m, N);
+    // Input is already in the file; the deterministic reload is idempotent.
+    ps.load_input(&m, &input());
+    let rec = recover_persistent(&m, &ps.pcomp(), &sched_cfg());
+    assert!(rec.completed(), "kill_at={kill_at}: recovery must finish");
+    assert!(
+        !rec.already_complete,
+        "kill_at={kill_at}: the dead run must not have finished"
+    );
+    let run = rec.run.as_ref().expect("re-driven run report");
+    assert_eq!(
+        ps.read_output(&m),
+        prefix_sum_seq(&input()),
+        "kill_at={kill_at}: recovered output must match the oracle"
+    );
+    let _ = std::fs::remove_file(&path);
+    Some((rec.mode, rec.resumed, run.stats.capsule_completions))
+}
+
+#[test]
+fn killed_run_is_resumed_not_replayed() {
+    let full = full_run_capsules();
+    // Deterministic single-proc schedule: kill points spread across the
+    // run. Every recovery must be correct; at least one mid-run kill must
+    // take the resume path and beat a from-root replay.
+    let mut cheap_resumes = 0usize;
+    let mut died_runs = 0usize;
+    for (i, kill_at) in [40u64, 400, 1200, 2400, 4000, 6000].into_iter().enumerate() {
+        let Some((mode, resumed, capsules)) = crash_and_recover(&format!("k{i}"), kill_at) else {
+            continue;
+        };
+        died_runs += 1;
+        if mode == RecoveryMode::Resumed {
+            assert!(
+                resumed > 0,
+                "kill_at={kill_at}: resumed mode must re-plant entries"
+            );
+            // A kill at the very first capsules resumes the root itself,
+            // costing a full run plus the popBottom capsules that claim
+            // each re-planted seed; any later kill must pay only for what
+            // was lost.
+            let seed_overhead = 4 * resumed as u64;
+            assert!(
+                capsules <= full + seed_overhead,
+                "kill_at={kill_at}: resume ({capsules} capsules) must never exceed \
+                 a from-root replay ({full}) plus the per-seed claim cost"
+            );
+            if capsules < full {
+                cheap_resumes += 1;
+            }
+        }
+    }
+    assert!(
+        died_runs >= 3,
+        "kill schedule must catch the run mid-flight"
+    );
+    assert!(
+        cheap_resumes >= 1,
+        "at least one mid-run kill must resume with strictly fewer capsules \
+         than a from-root replay"
+    );
+}
+
+#[test]
+fn corrupted_frame_falls_back_to_root_replay() {
+    let path = tmp("fallback");
+    let _ = std::fs::remove_file(&path);
+    {
+        let cfg = PmConfig::parallel(1, WORDS)
+            .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, 2400));
+        let m = Machine::create_durable(cfg, &path).expect("create durable machine");
+        let ps = PrefixSum::new(&m, N);
+        ps.load_input(&m, &input());
+        let rep = run_persistent(&m, &ps.pcomp(), &sched_cfg());
+        assert!(!rep.completed, "the run must die mid-flight");
+    }
+
+    let m = Machine::reopen(&path).expect("reopen durable file");
+    // Smash the restart pointer's frame header: the frontier is no longer
+    // fully rehydratable, so recovery must degrade to replay-from-root —
+    // cleanly, not with a panic.
+    let active = m.active_handle(0);
+    assert_ne!(active, 0, "the dead run left a restart pointer");
+    m.mem().store(active as usize, 0xBAAD_F00D);
+
+    let ps = PrefixSum::new(&m, N);
+    ps.load_input(&m, &input());
+    let rec = recover_persistent(&m, &ps.pcomp(), &sched_cfg());
+    assert_eq!(rec.mode, RecoveryMode::Replayed);
+    assert_eq!(rec.resumed, 0);
+    assert!(rec.fallback_reason.is_some());
+    assert!(rec.completed());
+    assert_eq!(ps.read_output(&m), prefix_sum_seq(&input()));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn multi_proc_crash_recovers_correctly_in_either_mode() {
+    // With several OS threads the kill lands nondeterministically, so this
+    // asserts correctness (exactly-once effects, oracle-equal output) in
+    // whichever mode recovery chose.
+    let path = tmp("mp");
+    let _ = std::fs::remove_file(&path);
+    let died = {
+        let cfg = PmConfig::parallel(4, WORDS).with_fault(
+            FaultConfig::none()
+                .with_scheduled_hard_fault(0, 900)
+                .with_scheduled_hard_fault(1, 700)
+                .with_scheduled_hard_fault(2, 1100)
+                .with_scheduled_hard_fault(3, 800),
+        );
+        let m = Machine::create_durable(cfg, &path).expect("create durable machine");
+        let ps = PrefixSum::new(&m, N);
+        ps.load_input(&m, &input());
+        !run_persistent(&m, &ps.pcomp(), &sched_cfg()).completed
+    };
+    if died {
+        let m = Machine::reopen(&path).expect("reopen durable file");
+        let ps = PrefixSum::new(&m, N);
+        ps.load_input(&m, &input());
+        let rec = recover_persistent(&m, &ps.pcomp(), &sched_cfg());
+        assert!(rec.completed());
+        assert_eq!(ps.read_output(&m), prefix_sum_seq(&input()));
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn recovering_a_clean_run_reports_already_complete() {
+    let path = tmp("clean");
+    let _ = std::fs::remove_file(&path);
+    {
+        let m = Machine::create_durable(PmConfig::parallel(2, WORDS), &path).unwrap();
+        let ps = PrefixSum::new(&m, N);
+        ps.load_input(&m, &input());
+        assert!(run_persistent(&m, &ps.pcomp(), &sched_cfg()).completed);
+        m.mark_clean().unwrap();
+    }
+    let m = Machine::reopen(&path).unwrap();
+    let ps = PrefixSum::new(&m, N);
+    let rec = recover_persistent(&m, &ps.pcomp(), &sched_cfg());
+    assert!(rec.already_complete);
+    assert_eq!(rec.mode, RecoveryMode::AlreadyComplete);
+    assert!(rec.run.is_none());
+    assert_eq!(ps.read_output(&m), prefix_sum_seq(&input()));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn legacy_recovery_still_replays_with_new_report_fields() {
+    // The pre-existing closure path keeps working and now self-describes
+    // as a replay.
+    let path = tmp("legacy");
+    let _ = std::fs::remove_file(&path);
+    let markers = {
+        let cfg = PmConfig::parallel(1, WORDS)
+            .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, 300));
+        let m = Machine::create_durable(cfg, &path).unwrap();
+        let r = m.alloc_region(64);
+        let comp = ppm::core::par_all(
+            (0..32)
+                .map(|i| {
+                    ppm::core::comp_step("mark", move |ctx: &mut ppm::pm::ProcCtx| {
+                        ctx.pcam(r.at(i), 0, i as Word + 1)
+                    })
+                })
+                .collect(),
+        );
+        let rep = run_computation(&m, &comp, &sched_cfg());
+        assert!(!rep.completed);
+        r
+    };
+    let m = Machine::reopen(&path).unwrap();
+    let r = m.alloc_region(64);
+    assert_eq!(r, markers);
+    let comp = ppm::core::par_all(
+        (0..32)
+            .map(|i| {
+                ppm::core::comp_step("mark", move |ctx: &mut ppm::pm::ProcCtx| {
+                    ctx.pcam(r.at(i), 0, i as Word + 1)
+                })
+            })
+            .collect(),
+    );
+    let rec = ppm::sched::recover_computation(&m, &comp, &sched_cfg());
+    assert!(rec.completed());
+    assert_eq!(rec.mode, RecoveryMode::Replayed);
+    assert_eq!(rec.resumed, 0);
+    assert!(rec.fallback_reason.is_some());
+    for i in 0..32 {
+        assert_eq!(m.mem().load(r.at(i)), i as Word + 1, "marker {i}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
