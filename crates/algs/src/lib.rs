@@ -17,13 +17,16 @@
 //! Every algorithm ships with a plain sequential oracle used by the tests
 //! and the experiment harness.
 //!
-//! Prefix sums and mergesort additionally ship in **registered
-//! persistent-capsule form** ([`PrefixSum::pcomp`], [`MergeSort::pcomp`]):
-//! the same recursions defunctionalized into `CapsuleRegistry`
-//! constructors whose continuations live as frames in persistent memory,
-//! so a run killed mid-computation (`kill -9`) is *resumed* from its
-//! in-flight deque entries by `ppm_sched::recover_persistent` instead of
-//! replayed from the root.
+//! Every §7 algorithm additionally ships in **registered
+//! persistent-capsule form** ([`PrefixSum::pcomp`], [`Merge::pcomp`],
+//! [`MergeSort::pcomp`], [`SampleSort::pcomp`], [`MatMul::pcomp`]): the
+//! same recursions defunctionalized onto the typed `ppm_core::dsl` —
+//! capsule states declared with `persist_struct!`, ids allocated by name
+//! through the registry, frames written by the `fork2`/`jump_to`/
+//! `map_grain` combinators — so a run killed mid-computation (`kill -9`)
+//! is *resumed* from its in-flight deque entries by
+//! `ppm_sched::Runtime::run_or_recover` instead of replayed from the
+//! root.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -34,7 +37,7 @@ pub mod prefix;
 pub mod sort;
 pub mod util;
 
-pub use matmul::{matmul_rect_seq, matmul_seq, MatMul, MatMulRect};
+pub use matmul::{matmul_pool_words, matmul_rect_seq, matmul_seq, MatMul, MatMulRect};
 pub use merge::{merge_seq, Merge};
-pub use prefix::{prefix_sum_seq, register_prefix_sum, PrefixSum, PREFIX_ID_BASE};
-pub use sort::{register_mergesort, MergeSort, SampleSort, MSORT_ID_BASE};
+pub use prefix::{prefix_sum_seq, PrefixSum};
+pub use sort::{samplesort_pool_words, MergeSort, SampleSort};

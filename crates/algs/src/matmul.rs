@@ -17,18 +17,22 @@
 //! space is O(n³/√M) rather than the paper's work-stealing-stack bound of
 //! O(P^{1/3}·n²) — a space-only simplification recorded in DESIGN.md.
 
-use ppm_core::{comp_dyn, comp_seq, comp_step, par_all, Comp, Machine};
+use std::sync::Arc;
+
+use ppm_core::dsl::{fork_many, CapsuleDef, CapsuleSet, Span, Step, K};
+use ppm_core::{comp_dyn, comp_seq, comp_step, par_all, persist_struct, Comp, Machine, PComp};
 use ppm_pm::{ProcCtx, Region, Word};
 
 use crate::util::{next_pow2, pread_range, pwrite_range};
 
-/// A square view into a row-major matrix stored in a region.
-#[derive(Debug, Clone, Copy)]
-struct MView {
-    region: Region,
-    row0: usize,
-    col0: usize,
-    stride: usize,
+persist_struct! {
+    /// A square view into a row-major matrix stored in a region.
+    struct MView {
+        region: Region,
+        row0: usize,
+        col0: usize,
+        stride: usize,
+    }
 }
 
 impl MView {
@@ -70,27 +74,59 @@ fn base_dim(m_eph: usize) -> usize {
     (((m_eph / 4) as f64).sqrt() as usize).max(1)
 }
 
+/// The base-case body: `c = a·b` for a tile that fits in ephemeral
+/// memory. Shared by both forms.
+fn mult_base_body(
+    ctx: &mut ProcCtx,
+    a: MView,
+    b: MView,
+    c: MView,
+    size: usize,
+) -> ppm_pm::PmResult<()> {
+    let av = read_view(ctx, a, size)?;
+    let bv = read_view(ctx, b, size)?;
+    let mut cv = vec![0u64; size * size];
+    for i in 0..size {
+        for k in 0..size {
+            let aik = av[i * size + k];
+            if aik == 0 {
+                continue;
+            }
+            for j in 0..size {
+                cv[i * size + j] =
+                    cv[i * size + j].wrapping_add(aik.wrapping_mul(bv[k * size + j]));
+            }
+        }
+    }
+    write_view(ctx, c, size, &cv)
+}
+
 /// The base case: one capsule computing `c = a·b` for a tile that fits in
 /// ephemeral memory.
 fn mult_base(a: MView, b: MView, c: MView, size: usize) -> Comp {
     comp_step("matmul/base", move |ctx: &mut ProcCtx| {
-        let av = read_view(ctx, a, size)?;
-        let bv = read_view(ctx, b, size)?;
-        let mut cv = vec![0u64; size * size];
-        for i in 0..size {
-            for k in 0..size {
-                let aik = av[i * size + k];
-                if aik == 0 {
-                    continue;
-                }
-                for j in 0..size {
-                    cv[i * size + j] =
-                        cv[i * size + j].wrapping_add(aik.wrapping_mul(bv[k * size + j]));
-                }
-            }
-        }
-        write_view(ctx, c, size, &cv)
+        mult_base_body(ctx, a, b, c, size)
     })
+}
+
+/// The elementwise-addition body for rows `[r0, r1)` of `c = t1 + t2`.
+/// Shared by both forms.
+fn add_rows_body(
+    ctx: &mut ProcCtx,
+    t1: MView,
+    t2: MView,
+    c: MView,
+    size: usize,
+    r0: usize,
+    r1: usize,
+) -> ppm_pm::PmResult<()> {
+    for i in r0..r1 {
+        let x = pread_range(ctx, t1.addr(i, 0), size)?;
+        let y = pread_range(ctx, t2.addr(i, 0), size)?;
+        let sum: Vec<Word> = x.iter().zip(&y).map(|(p, q)| p.wrapping_add(*q)).collect();
+        pwrite_range(ctx, c.addr(i, 0), &sum)?;
+    }
+    Ok(())
 }
 
 /// The elementwise addition `c = t1 + t2`, chunked so each capsule fits
@@ -103,14 +139,7 @@ fn add_views(t1: MView, t2: MView, c: MView, size: usize) -> Comp {
                 comp_step("matmul/add-chunk", move |ctx: &mut ProcCtx| {
                     let r0 = ch * rows_per;
                     let r1 = ((ch + 1) * rows_per).min(size);
-                    for i in r0..r1 {
-                        let x = pread_range(ctx, t1.addr(i, 0), size)?;
-                        let y = pread_range(ctx, t2.addr(i, 0), size)?;
-                        let sum: Vec<Word> =
-                            x.iter().zip(&y).map(|(p, q)| p.wrapping_add(*q)).collect();
-                        pwrite_range(ctx, c.addr(i, 0), &sum)?;
-                    }
-                    Ok(())
+                    add_rows_body(ctx, t1, t2, c, size, r0, r1)
                 })
             })
             .collect();
@@ -160,6 +189,113 @@ fn mult_rec(a: MView, b: MView, c: MView, size: usize) -> Comp {
     })
 }
 
+// ====================================================================
+// Registered (typed DSL) matrix multiply
+// ====================================================================
+
+persist_struct! {
+    /// One recursive multiply task: `c = a·b` over `size × size` views.
+    struct MulState {
+        a: MView,
+        b: MView,
+        c: MView,
+        size: usize,
+    }
+}
+
+persist_struct! {
+    /// Environment of the addition phase: `c = t1 + t2`, row-parallel.
+    struct AddEnv {
+        t1: MView,
+        t2: MView,
+        c: MView,
+        size: usize,
+    }
+}
+
+/// The matrix-multiply capsule family on the typed DSL — the
+/// defunctionalized twin of [`MatMul::comp`]: one multiply capsule whose
+/// eight recursive products fan out through `fork_many`, joined into a
+/// row-parallel addition map.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MmCapsules {
+    mul: CapsuleDef<MulState>,
+}
+
+impl MmCapsules {
+    /// Declares (idempotently) the matmul capsules on `machine`'s
+    /// registry and installs their bodies.
+    pub(crate) fn declare(machine: &Machine) -> MmCapsules {
+        let mut set = CapsuleSet::new(machine);
+        let mul = set.declare::<MulState>("matmul/mul");
+
+        let add_leaf = set.define("matmul/add-rows", |st: &Span<AddEnv>, k, ctx| {
+            let e = st.env;
+            add_rows_body(ctx, e.t1, e.t2, e.c, e.size, st.lo, st.hi)?;
+            Ok(Step::Jump(k))
+        });
+        let add_map = set.map_grain("matmul/add", 1, add_leaf);
+
+        set.body(mul, move |st: &MulState, k, ctx| {
+            let size = st.size;
+            if size <= base_dim(ctx.ephemeral_words()) {
+                mult_base_body(ctx, st.a, st.b, st.c, size)?;
+                return Ok(Step::Jump(k));
+            }
+            let half = size / 2;
+            // Two temporaries, each size×size, from the restart-stable
+            // pool (the paper's copy-out trick against write-after-read
+            // conflicts on the shared output).
+            let view = |start: usize| MView {
+                region: Region {
+                    start,
+                    len: size * size,
+                },
+                row0: 0,
+                col0: 0,
+                stride: size,
+            };
+            let t1 = view(ctx.palloc(size * size));
+            let t2 = view(ctx.palloc(size * size));
+            let add_entry = add_map.frame(
+                ctx,
+                &Span {
+                    env: AddEnv {
+                        t1,
+                        t2,
+                        c: st.c,
+                        size,
+                    },
+                    lo: 0,
+                    hi: size,
+                },
+                k,
+            )?;
+            // T1 ← first terms, T2 ← second terms of each C quadrant.
+            let mut products = Vec::with_capacity(8);
+            for qi in 0..2 {
+                for qj in 0..2 {
+                    products.push(MulState {
+                        a: st.a.quadrant(qi, 0, half),
+                        b: st.b.quadrant(0, qj, half),
+                        c: t1.quadrant(qi, qj, half),
+                        size: half,
+                    });
+                    products.push(MulState {
+                        a: st.a.quadrant(qi, 1, half),
+                        b: st.b.quadrant(1, qj, half),
+                        c: t2.quadrant(qi, qj, half),
+                        size: half,
+                    });
+                }
+            }
+            fork_many(ctx, mul, &products, add_entry)
+        });
+
+        MmCapsules { mul }
+    }
+}
+
 /// Pool words one processor may need for multiplying padded dimension
 /// `n_pad` with ephemeral memory `m_eph` (worst case: one processor
 /// expands every node: 2·n³/base_dim temporary words, plus slack).
@@ -171,8 +307,14 @@ pub fn matmul_pool_words(n: usize, m_eph: usize) -> usize {
     } else {
         // Temporaries: sum over levels of 2·(nodes)·(size²) = 2n²(2^L − 1)
         // ≈ 2n³/bd, plus fork closures and join cells (tens of words per
-        // node). 3·n³/bd covers both with slack.
-        3 * np * np * (np / bd).max(1) + (1 << 14)
+        // node); 3·n³/bd covers both with slack. The registered form also
+        // writes typed frames for the eight products, the fork-pair tree
+        // and the per-row add map — ≈ 48·size words per node, which sums
+        // to ≈ 48·n³/bd² and dominates at small base dimensions — and a
+        // crash-resumed (or hard-fault-adopted) run re-allocates above
+        // the dead run's watermark, doubling the demand.
+        let cube = np * np * (np / bd).max(1);
+        6 * cube + 96 * cube / bd.max(1) + (1 << 15)
     }
 }
 
@@ -241,6 +383,35 @@ impl MatMul {
             stride: self.n_pad,
         };
         mult_rec(v(self.a), v(self.b), v(self.c), self.n_pad)
+    }
+
+    /// The multiplication as registered persistent capsules, for
+    /// `ppm_sched::Runtime::run_or_recover`: every recursive product,
+    /// fork-pair fan-out node, and addition row is a typed frame, so a
+    /// killed run resumes mid-recursion.
+    pub fn pcomp(&self) -> PComp {
+        let s = *self;
+        Arc::new(move |machine: &Machine, finale: Word| {
+            let caps = MmCapsules::declare(machine);
+            let v = |region: Region| MView {
+                region,
+                row0: 0,
+                col0: 0,
+                stride: s.n_pad,
+            };
+            caps.mul
+                .setup(
+                    machine,
+                    &MulState {
+                        a: v(s.a),
+                        b: v(s.b),
+                        c: v(s.c),
+                        size: s.n_pad,
+                    },
+                    K(finale),
+                )
+                .word()
+        })
     }
 }
 
@@ -356,7 +527,7 @@ pub fn matmul_seq(a: &[Word], b: &[Word], n: usize) -> Vec<Word> {
 mod tests {
     use super::*;
     use ppm_pm::{FaultConfig, PmConfig};
-    use ppm_sched::{run_computation, SchedConfig};
+    use ppm_sched::{Runtime, SchedConfig};
 
     fn data(seed: u64, n: usize) -> Vec<u64> {
         (0..(n * n) as u64)
@@ -364,19 +535,66 @@ mod tests {
             .collect()
     }
 
+    fn runtime_for(n: usize, procs: usize, m_eph: usize, f: FaultConfig) -> Runtime {
+        Runtime::new(
+            Machine::with_pool_words(
+                PmConfig::parallel(procs, 1 << 23)
+                    .with_ephemeral_words(m_eph)
+                    .with_fault(f),
+                matmul_pool_words(n, m_eph),
+            ),
+            SchedConfig::with_slots(1 << 13),
+        )
+    }
+
     fn check(n: usize, procs: usize, m_eph: usize, f: FaultConfig) {
-        let m = Machine::with_pool_words(
-            PmConfig::parallel(procs, 1 << 23)
-                .with_ephemeral_words(m_eph)
-                .with_fault(f),
-            matmul_pool_words(n, m_eph),
-        );
-        let mm = MatMul::new(&m, n);
+        let rt = runtime_for(n, procs, m_eph, f);
+        let mm = MatMul::new(rt.machine(), n);
         let (a, b) = (data(1, n), data(2, n));
-        mm.load_inputs(&m, &a, &b);
-        let rep = run_computation(&m, &mm.comp(), &SchedConfig::with_slots(1 << 13));
-        assert!(rep.completed);
-        assert_eq!(mm.read_output(&m), matmul_seq(&a, &b, n), "n={n}");
+        mm.load_inputs(rt.machine(), &a, &b);
+        let rep = rt.run_or_replay(&mm.comp());
+        assert!(rep.completed());
+        assert_eq!(mm.read_output(rt.machine()), matmul_seq(&a, &b, n), "n={n}");
+    }
+
+    fn check_registered(n: usize, procs: usize, m_eph: usize, f: FaultConfig) {
+        let rt = runtime_for(n, procs, m_eph, f);
+        let mm = MatMul::new(rt.machine(), n);
+        let (a, b) = (data(5, n), data(6, n));
+        mm.load_inputs(rt.machine(), &a, &b);
+        let rep = rt.run_or_recover(&mm.pcomp());
+        assert!(rep.completed());
+        assert_eq!(
+            mm.read_output(rt.machine()),
+            matmul_seq(&a, &b, n),
+            "registered n={n}"
+        );
+    }
+
+    #[test]
+    fn registered_tiny_and_recursive() {
+        check_registered(4, 1, 256, FaultConfig::none());
+        check_registered(16, 2, 64, FaultConfig::none());
+    }
+
+    #[test]
+    fn registered_medium_parallel() {
+        check_registered(32, 4, 256, FaultConfig::none());
+    }
+
+    #[test]
+    fn registered_with_soft_faults() {
+        check_registered(16, 2, 64, FaultConfig::soft(0.005, 11));
+    }
+
+    #[test]
+    fn registered_with_hard_fault() {
+        check_registered(
+            24,
+            3,
+            256,
+            FaultConfig::none().with_scheduled_hard_fault(0, 300),
+        );
     }
 
     #[test]
@@ -427,9 +645,10 @@ mod tests {
         }
         let b = data(5, n);
         mm.load_inputs(&m, &eye, &b);
-        let rep = run_computation(&m, &mm.comp(), &SchedConfig::with_slots(1 << 12));
-        assert!(rep.completed);
-        assert_eq!(mm.read_output(&m), b);
+        let rt = Runtime::new(m, SchedConfig::with_slots(1 << 12));
+        let rep = rt.run_or_replay(&mm.comp());
+        assert!(rep.completed());
+        assert_eq!(mm.read_output(rt.machine()), b);
     }
 
     #[test]
@@ -443,9 +662,13 @@ mod tests {
         let a: Vec<u64> = (0..(mr * kk) as u64).map(|i| i % 7).collect();
         let b: Vec<u64> = (0..(kk * nc) as u64).map(|i| (i * 3) % 5).collect();
         mm.load_inputs(&m, &a, &b);
-        let rep = run_computation(&m, &mm.comp(), &SchedConfig::with_slots(1 << 12));
-        assert!(rep.completed);
-        assert_eq!(mm.read_output(&m), matmul_rect_seq(&a, &b, mr, kk, nc));
+        let rt = Runtime::new(m, SchedConfig::with_slots(1 << 12));
+        let rep = rt.run_or_replay(&mm.comp());
+        assert!(rep.completed());
+        assert_eq!(
+            mm.read_output(rt.machine()),
+            matmul_rect_seq(&a, &b, mr, kk, nc)
+        );
     }
 
     #[test]
@@ -464,10 +687,11 @@ mod tests {
             let a: Vec<u64> = (0..(mr * kk) as u64).map(|i| i % 11).collect();
             let b: Vec<u64> = (0..(kk * nc) as u64).map(|i| (i * 7) % 13).collect();
             mm.load_inputs(&m, &a, &b);
-            let rep = run_computation(&m, &mm.comp(), &SchedConfig::with_slots(1 << 12));
-            assert!(rep.completed, "{mr}x{kk}x{nc}");
+            let rt = Runtime::new(m, SchedConfig::with_slots(1 << 12));
+            let rep = rt.run_or_replay(&mm.comp());
+            assert!(rep.completed(), "{mr}x{kk}x{nc}");
             assert_eq!(
-                mm.read_output(&m),
+                mm.read_output(rt.machine()),
                 matmul_rect_seq(&a, &b, mr, kk, nc),
                 "{mr}x{kk}x{nc}"
             );
@@ -483,9 +707,10 @@ mod tests {
             );
             let mm = MatMul::new(&m, n);
             mm.load_inputs(&m, &data(1, n), &data(2, n));
-            let rep = run_computation(&m, &mm.comp(), &SchedConfig::with_slots(1 << 13));
-            assert!(rep.completed);
-            rep.stats.total_work()
+            let rt = Runtime::new(m, SchedConfig::with_slots(1 << 13));
+            let rep = rt.run_or_replay(&mm.comp());
+            assert!(rep.completed());
+            rep.stats().total_work()
         };
         let (w1, w2) = (work(16), work(32));
         let ratio = w2 as f64 / w1 as f64;

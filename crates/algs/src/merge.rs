@@ -12,13 +12,17 @@
 //! reads, which is the Theorem 7.2 maximum capsule work; base cases are
 //! O(1) block transfers.
 
-use ppm_core::{comp_dyn, comp_nop, comp_seq, comp_step, par_all, Comp, Machine};
+use std::sync::Arc;
+
+use ppm_core::dsl::K;
+use ppm_core::persist::{Persist, ValueError, WordReader};
+use ppm_core::{comp_dyn, comp_nop, comp_seq, comp_step, par_all, Comp, Machine, PComp};
 use ppm_pm::{Addr, PmResult, ProcCtx, Region, Word};
 
 use crate::util::{ceil_div, pread_range, pwrite_range};
 
 /// A range of a persistent region holding a sorted run of words.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Run {
     pub region: Region,
     pub lo: usize,
@@ -31,6 +35,23 @@ impl Run {
     }
     fn at(&self, i: usize) -> Addr {
         self.region.at(self.lo + i)
+    }
+}
+
+/// Runs ride inside mergesort/samplesort frame states.
+impl Persist for Run {
+    const WORDS: usize = Region::WORDS + 2;
+    fn encode(&self, out: &mut Vec<Word>) {
+        self.region.encode(out);
+        self.lo.encode(out);
+        self.hi.encode(out);
+    }
+    fn decode(r: &mut WordReader<'_>) -> Result<Self, ValueError> {
+        Ok(Run {
+            region: Region::decode(r)?,
+            lo: usize::decode(r)?,
+            hi: usize::decode(r)?,
+        })
     }
 }
 
@@ -226,6 +247,41 @@ impl Merge {
         };
         merge_runs(a, b, self.out, 0)
     }
+
+    /// The merge as registered persistent capsules, for
+    /// `ppm_sched::Runtime::run_or_recover` (reuses the mergesort
+    /// family's merge capsule — a binary median-rank split, see
+    /// [`crate::MergeSort::pcomp`]'s notes). An empty merge's root is the
+    /// finale itself.
+    pub fn pcomp(&self) -> PComp {
+        let s = *self;
+        Arc::new(move |machine: &Machine, finale: Word| {
+            let caps = crate::sort::MsortCapsules::declare(machine);
+            if s.la + s.lb == 0 {
+                return finale;
+            }
+            caps.merge
+                .setup(
+                    machine,
+                    &crate::sort::MergeState {
+                        a: Run {
+                            region: s.a,
+                            lo: 0,
+                            hi: s.la,
+                        },
+                        b: Run {
+                            region: s.b,
+                            lo: 0,
+                            hi: s.lb,
+                        },
+                        out: s.out,
+                        olo: 0,
+                    },
+                    K(finale),
+                )
+                .word()
+        })
+    }
 }
 
 /// Sequential oracle.
@@ -250,7 +306,7 @@ pub fn merge_seq(a: &[Word], b: &[Word]) -> Vec<Word> {
 mod tests {
     use super::*;
     use ppm_pm::{FaultConfig, PmConfig};
-    use ppm_sched::{run_computation, SchedConfig};
+    use ppm_sched::{Runtime, SchedConfig};
 
     fn sorted(seed: u64, n: usize) -> Vec<u64> {
         let mut v: Vec<u64> = (0..n as u64)
@@ -263,14 +319,53 @@ mod tests {
         v
     }
 
+    fn runtime(procs: usize, f: FaultConfig) -> Runtime {
+        Runtime::new(
+            Machine::new(PmConfig::parallel(procs, 1 << 22).with_fault(f)),
+            SchedConfig::with_slots(1 << 13),
+        )
+    }
+
     fn check(la: usize, lb: usize, procs: usize, f: FaultConfig) {
-        let m = Machine::new(PmConfig::parallel(procs, 1 << 22).with_fault(f));
-        let mg = Merge::new(&m, la, lb);
+        let rt = runtime(procs, f);
+        let mg = Merge::new(rt.machine(), la, lb);
         let (a, b) = (sorted(1, la), sorted(2, lb));
-        mg.load_inputs(&m, &a, &b);
-        let rep = run_computation(&m, &mg.comp(), &SchedConfig::with_slots(1 << 13));
-        assert!(rep.completed);
-        assert_eq!(mg.read_output(&m), merge_seq(&a, &b), "la={la} lb={lb}");
+        mg.load_inputs(rt.machine(), &a, &b);
+        let rep = rt.run_or_replay(&mg.comp());
+        assert!(rep.completed());
+        assert_eq!(
+            mg.read_output(rt.machine()),
+            merge_seq(&a, &b),
+            "la={la} lb={lb}"
+        );
+    }
+
+    fn check_registered(la: usize, lb: usize, procs: usize, f: FaultConfig) {
+        let rt = runtime(procs, f);
+        let mg = Merge::new(rt.machine(), la, lb);
+        let (a, b) = (sorted(3, la), sorted(4, lb));
+        mg.load_inputs(rt.machine(), &a, &b);
+        let rep = rt.run_or_recover(&mg.pcomp());
+        assert!(rep.completed());
+        assert_eq!(
+            mg.read_output(rt.machine()),
+            merge_seq(&a, &b),
+            "registered la={la} lb={lb}"
+        );
+    }
+
+    #[test]
+    fn registered_merge_matches_oracle() {
+        check_registered(0, 0, 1, FaultConfig::none());
+        check_registered(0, 5, 1, FaultConfig::none());
+        check_registered(16, 16, 1, FaultConfig::none());
+        check_registered(1000, 10, 2, FaultConfig::none());
+        check_registered(1 << 11, 1 << 11, 4, FaultConfig::none());
+    }
+
+    #[test]
+    fn registered_merge_with_soft_faults() {
+        check_registered(400, 400, 2, FaultConfig::soft(0.005, 13));
     }
 
     #[test]
@@ -294,15 +389,15 @@ mod tests {
 
     #[test]
     fn duplicate_heavy() {
-        let m = Machine::new(PmConfig::parallel(2, 1 << 21));
-        let mg = Merge::new(&m, 300, 300);
+        let rt = runtime(2, FaultConfig::none());
+        let mg = Merge::new(rt.machine(), 300, 300);
         let a = vec![5u64; 300];
         let mut b = vec![5u64; 300];
         b[299] = 6;
-        mg.load_inputs(&m, &a, &b);
-        let rep = run_computation(&m, &mg.comp(), &SchedConfig::with_slots(1 << 12));
-        assert!(rep.completed);
-        assert_eq!(mg.read_output(&m), merge_seq(&a, &b));
+        mg.load_inputs(rt.machine(), &a, &b);
+        let rep = rt.run_or_replay(&mg.comp());
+        assert!(rep.completed());
+        assert_eq!(mg.read_output(rt.machine()), merge_seq(&a, &b));
     }
 
     #[test]
@@ -325,12 +420,12 @@ mod tests {
     #[test]
     fn work_is_linear_in_n() {
         let work = |n: usize| {
-            let m = Machine::new(PmConfig::parallel(1, 1 << 22));
-            let mg = Merge::new(&m, n, n);
-            mg.load_inputs(&m, &sorted(1, n), &sorted(2, n));
-            let rep = run_computation(&m, &mg.comp(), &SchedConfig::with_slots(1 << 13));
-            assert!(rep.completed);
-            rep.stats.total_work()
+            let rt = runtime(1, FaultConfig::none());
+            let mg = Merge::new(rt.machine(), n, n);
+            mg.load_inputs(rt.machine(), &sorted(1, n), &sorted(2, n));
+            let rep = rt.run_or_replay(&mg.comp());
+            assert!(rep.completed());
+            rep.stats().total_work()
         };
         let (w1, w2) = (work(1 << 10), work(1 << 12));
         let ratio = w2 as f64 / w1 as f64;
@@ -342,17 +437,17 @@ mod tests {
 
     #[test]
     fn capsule_work_is_logarithmic() {
-        let m = Machine::new(PmConfig::parallel(1, 1 << 22));
+        let rt = runtime(1, FaultConfig::none());
         let n = 1 << 12;
-        let mg = Merge::new(&m, n, n);
-        mg.load_inputs(&m, &sorted(1, n), &sorted(2, n));
-        let rep = run_computation(&m, &mg.comp(), &SchedConfig::with_slots(1 << 13));
-        assert!(rep.completed);
+        let mg = Merge::new(rt.machine(), n, n);
+        mg.load_inputs(rt.machine(), &sorted(1, n), &sorted(2, n));
+        let rep = rt.run_or_replay(&mg.comp());
+        assert!(rep.completed());
         // O(log n): 2 reads per bisection step + constants; log2(8192)=13.
         assert!(
-            rep.stats.max_capsule_work <= 40,
+            rep.stats().max_capsule_work <= 40,
             "C = {} should be O(log n)",
-            rep.stats.max_capsule_work
+            rep.stats().max_capsule_work
         );
     }
 }

@@ -11,25 +11,26 @@
 //! Each capsule is one tree node: O(1) block transfers, so maximum capsule
 //! work is O(1); the tree gives O(n/B) work and O(log n) depth —
 //! Theorem 7.1 exactly. Inclusive sums: `out[i] = Σ_{j ≤ i} a[j]`.
+//!
+//! The algorithm ships in two forms: the closure form ([`PrefixSum::comp`])
+//! and the registered persistent form ([`PrefixSum::pcomp`]), built on the
+//! typed `ppm_core::dsl` — three capsules whose frames carry the instance
+//! geometry ([`PrefixSum`] itself implements
+//! [`ppm_core::persist::Persist`]), so any number of instances
+//! coexist under the registry-allocated ids and a crashed run resumes
+//! mid-tree.
 
 use std::sync::Arc;
 
-use ppm_core::{
-    capsule, comp_dyn, comp_fork2, comp_seq, comp_step, fork_join_frames, frame_args, CapsuleId,
-    CapsuleRegistry, Comp, Cont, Machine, Next, PComp, FIRST_USER_CAPSULE_ID,
-};
-use ppm_pm::{write_frame, PmResult, ProcCtx, Region, Word};
+use ppm_core::dsl::{fork2, CapsuleDef, CapsuleSet, Step, K};
+use ppm_core::persist::{Persist, ValueError, WordReader};
+use ppm_core::{comp_dyn, comp_fork2, comp_seq, comp_step, persist_struct, Comp, Machine, PComp};
+use ppm_pm::{PmResult, ProcCtx, Region, Word};
 
 use crate::util::{ceil_div, next_pow2, pread_range, pwrite_range};
 
-/// Capsule-id base for the registered prefix-sum (three consecutive ids:
-/// up-sweep, up-combine, down-sweep). The constructors are instance-free
-/// (frames carry their instance's geometry), so every prefix-sum on a
-/// machine shares these ids.
-pub const PREFIX_ID_BASE: CapsuleId = FIRST_USER_CAPSULE_ID;
-
 /// A prefix-sum instance: input, output, and the partial-sums tree.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrefixSum {
     /// The input array (n words).
     pub input: Region,
@@ -41,6 +42,37 @@ pub struct PrefixSum {
     /// Number of leaves (input blocks), padded to a power of two.
     leaves: usize,
     b: usize,
+}
+
+/// The instance geometry rides inside every prefix frame. `leaves` is
+/// derived, so the impl is manual: it encodes the five defining fields
+/// and recomputes `leaves` on decode.
+impl Persist for PrefixSum {
+    const WORDS: usize = 3 * Region::WORDS + 2;
+
+    fn encode(&self, out: &mut Vec<Word>) {
+        self.input.encode(out);
+        self.output.encode(out);
+        self.sums.encode(out);
+        self.n.encode(out);
+        self.b.encode(out);
+    }
+
+    fn decode(r: &mut WordReader<'_>) -> Result<Self, ValueError> {
+        let input = Region::decode(r)?;
+        let output = Region::decode(r)?;
+        let sums = Region::decode(r)?;
+        let n = usize::decode(r)?;
+        let b = usize::decode(r)?;
+        Ok(PrefixSum {
+            input,
+            output,
+            sums,
+            n,
+            leaves: next_pow2(ceil_div(n, b.max(1))),
+            b,
+        })
+    }
 }
 
 impl PrefixSum {
@@ -104,19 +136,43 @@ impl PrefixSum {
         (lo, hi)
     }
 
+    /// Sums one leaf's input block (an up-sweep leaf body).
+    fn up_leaf_sum(&self, ctx: &mut ProcCtx, leaf: usize) -> PmResult<Word> {
+        let (lo, hi) = self.leaf_range(leaf);
+        Ok(if lo < hi {
+            pread_range(ctx, self.input.at(lo), hi - lo)?
+                .iter()
+                .fold(0u64, |a, v| a.wrapping_add(*v))
+        } else {
+            0 // padding leaf
+        })
+    }
+
+    /// Writes one leaf's output block given `t`, the sum of everything to
+    /// its left (a down-sweep leaf body).
+    fn down_leaf_body(self, ctx: &mut ProcCtx, leaf: usize, t: Word) -> PmResult<()> {
+        let (lo, hi) = self.leaf_range(leaf);
+        if lo >= hi {
+            return Ok(()); // padding leaf
+        }
+        let input = pread_range(ctx, self.input.at(lo), hi - lo)?;
+        let mut acc = t;
+        let out: Vec<Word> = input
+            .iter()
+            .map(|v| {
+                acc = acc.wrapping_add(*v);
+                acc
+            })
+            .collect();
+        pwrite_range(ctx, self.output.at(lo), &out)
+    }
+
     /// The up-sweep computation for `node` covering leaves `[llo, lhi)`.
     fn upsweep(self, node: usize, llo: usize, lhi: usize) -> Comp {
         if lhi - llo == 1 {
             // Leaf: sum one input block, store at sums[node].
             comp_step("prefix/up-leaf", move |ctx: &mut ProcCtx| {
-                let (lo, hi) = self.leaf_range(llo);
-                let sum: Word = if lo < hi {
-                    pread_range(ctx, self.input.at(lo), hi - lo)?
-                        .iter()
-                        .fold(0u64, |a, v| a.wrapping_add(*v))
-                } else {
-                    0 // padding leaf
-                };
+                let sum = self.up_leaf_sum(ctx, llo)?;
                 ctx.pwrite(self.sums.at(node), sum)
             })
         } else {
@@ -139,20 +195,7 @@ impl PrefixSum {
     fn downsweep(self, node: usize, llo: usize, lhi: usize, t: Word) -> Comp {
         if lhi - llo == 1 {
             comp_step("prefix/down-leaf", move |ctx: &mut ProcCtx| {
-                let (lo, hi) = self.leaf_range(llo);
-                if lo >= hi {
-                    return Ok(()); // padding leaf
-                }
-                let input = pread_range(ctx, self.input.at(lo), hi - lo)?;
-                let mut acc = t;
-                let out: Vec<Word> = input
-                    .iter()
-                    .map(|v| {
-                        acc = acc.wrapping_add(*v);
-                        acc
-                    })
-                    .collect();
-                pwrite_range(ctx, self.output.at(lo), &out)
+                self.down_leaf_body(ctx, llo, t)
             })
         } else {
             // Read the left child's sum, then recurse in parallel with the
@@ -187,213 +230,206 @@ impl PrefixSum {
         Arc::new(move || s.comp())
     }
 
-    // ================================================================
-    // Registered persistent-capsule form
-    // ================================================================
-
-    /// The computation as persistent capsule frames, for
-    /// `ppm_sched::run_persistent` / `recover_persistent`. Registers the
-    /// [`register_prefix_sum`] constructors; frames carry the instance's
-    /// full geometry, so any number of prefix-sum instances can coexist
-    /// on one machine under the same ids.
+    /// The computation as registered persistent capsules, for
+    /// `ppm_sched::Runtime::run_or_recover`. Declares the
+    /// `PrefixCapsules` family; frames carry the instance's full
+    /// geometry, so any number of prefix-sum instances can coexist on one
+    /// machine under the registry-allocated ids.
     pub fn pcomp(&self) -> PComp {
         let s = *self;
         Arc::new(move |machine: &Machine, finale: Word| {
-            register_prefix_sum(machine.registry());
+            let caps = PrefixCapsules::declare(machine);
             // Root chain: up-sweep the whole tree, then down-sweep with
             // offset 0, then the caller's finale.
-            let leaves = s.leaves as Word;
-            let down =
-                machine.setup_frame(PREFIX_ID_BASE + 2, &s.frame(&[0, 0, leaves, 0, finale]));
-            machine.setup_frame(PREFIX_ID_BASE, &s.frame(&[0, 0, leaves, down]))
+            let down = caps.down.setup(
+                machine,
+                &DownState {
+                    s,
+                    node: 0,
+                    llo: 0,
+                    lhi: s.leaves,
+                    t: 0,
+                },
+                K(finale),
+            );
+            caps.up
+                .setup(
+                    machine,
+                    &UpState {
+                        s,
+                        node: 0,
+                        llo: 0,
+                        lhi: s.leaves,
+                    },
+                    down,
+                )
+                .word()
         })
-    }
-
-    /// This instance's geometry as frame-argument words (the per-node
-    /// words follow them in every prefix frame).
-    fn geom_words(&self) -> [Word; GEOM_WORDS] {
-        [
-            self.input.start as Word,
-            self.input.len as Word,
-            self.output.start as Word,
-            self.output.len as Word,
-            self.sums.start as Word,
-            self.sums.len as Word,
-            self.n as Word,
-            self.b as Word,
-        ]
-    }
-
-    /// Rebuilds an instance view from frame geometry words.
-    fn from_geom(g: &[Word; GEOM_WORDS]) -> PrefixSum {
-        let (n, b) = (g[6] as usize, g[7] as usize);
-        PrefixSum {
-            input: Region {
-                start: g[0] as usize,
-                len: g[1] as usize,
-            },
-            output: Region {
-                start: g[2] as usize,
-                len: g[3] as usize,
-            },
-            sums: Region {
-                start: g[4] as usize,
-                len: g[5] as usize,
-            },
-            n,
-            leaves: next_pow2(ceil_div(n, b.max(1))),
-            b,
-        }
-    }
-
-    /// Concatenates this instance's geometry with per-node words into one
-    /// frame-argument vector.
-    fn frame(&self, node_words: &[Word]) -> Vec<Word> {
-        let mut args = self.geom_words().to_vec();
-        args.extend_from_slice(node_words);
-        args
-    }
-
-    /// Up-sweep capsule for `node` covering leaves `[llo, lhi)`,
-    /// continuing with frame `k`.
-    fn up_capsule(self, node: usize, llo: usize, lhi: usize, k: Word) -> Cont {
-        capsule("prefix/up", move |ctx| {
-            if lhi - llo == 1 {
-                let (lo, hi) = self.leaf_range(llo);
-                let sum: Word = if lo < hi {
-                    pread_range(ctx, self.input.at(lo), hi - lo)?
-                        .iter()
-                        .fold(0u64, |a, v| a.wrapping_add(*v))
-                } else {
-                    0 // padding leaf
-                };
-                ctx.pwrite(self.sums.at(node), sum)?;
-                return Ok(Next::JumpHandle(k));
-            }
-            let mid = llo + (lhi - llo) / 2;
-            let (lc, rc) = (2 * node + 1, 2 * node + 2);
-            let kc = write_frame(ctx, PREFIX_ID_BASE + 1, &self.frame(&[node as Word, k]))?;
-            let (la, ra) = fork_join_frames(ctx, kc as Word)?;
-            let lf = write_frame(
-                ctx,
-                PREFIX_ID_BASE,
-                &self.frame(&[lc as Word, llo as Word, mid as Word, la]),
-            )?;
-            let rf = write_frame(
-                ctx,
-                PREFIX_ID_BASE,
-                &self.frame(&[rc as Word, mid as Word, lhi as Word, ra]),
-            )?;
-            Ok(Next::ForkHandle {
-                child: rf as Word,
-                cont: lf as Word,
-            })
-        })
-    }
-
-    /// Up-sweep combine capsule: both children's sums are in; write the
-    /// node's, continue with frame `k`.
-    fn combine_capsule(self, node: usize, k: Word) -> Cont {
-        capsule("prefix/up-combine", move |ctx| {
-            let (lc, rc) = (2 * node + 1, 2 * node + 2);
-            let l = ctx.pread(self.sums.at(lc))?;
-            let r = ctx.pread(self.sums.at(rc))?;
-            ctx.pwrite(self.sums.at(node), l.wrapping_add(r))?;
-            Ok(Next::JumpHandle(k))
-        })
-    }
-
-    /// Down-sweep capsule: `t` is the sum of everything left of this
-    /// subtree; leaves write the output block.
-    fn down_capsule(self, node: usize, llo: usize, lhi: usize, t: Word, k: Word) -> Cont {
-        capsule("prefix/down", move |ctx| {
-            if lhi - llo == 1 {
-                self.down_leaf_body(ctx, llo, t)?;
-                return Ok(Next::JumpHandle(k));
-            }
-            let mid = llo + (lhi - llo) / 2;
-            let (lc, rc) = (2 * node + 1, 2 * node + 2);
-            let left_sum = ctx.pread(self.sums.at(lc))?;
-            let (la, ra) = fork_join_frames(ctx, k)?;
-            let lf = write_frame(
-                ctx,
-                PREFIX_ID_BASE + 2,
-                &self.frame(&[lc as Word, llo as Word, mid as Word, t, la]),
-            )?;
-            let rf = write_frame(
-                ctx,
-                PREFIX_ID_BASE + 2,
-                &self.frame(&[
-                    rc as Word,
-                    mid as Word,
-                    lhi as Word,
-                    t.wrapping_add(left_sum),
-                    ra,
-                ]),
-            )?;
-            Ok(Next::ForkHandle {
-                child: rf as Word,
-                cont: lf as Word,
-            })
-        })
-    }
-
-    fn down_leaf_body(self, ctx: &mut ProcCtx, leaf: usize, t: Word) -> PmResult<()> {
-        let (lo, hi) = self.leaf_range(leaf);
-        if lo >= hi {
-            return Ok(()); // padding leaf
-        }
-        let input = pread_range(ctx, self.input.at(lo), hi - lo)?;
-        let mut acc = t;
-        let out: Vec<Word> = input
-            .iter()
-            .map(|v| {
-                acc = acc.wrapping_add(*v);
-                acc
-            })
-            .collect();
-        pwrite_range(ctx, self.output.at(lo), &out)
     }
 }
 
-/// Geometry words prefixed to every prefix-sum frame (input, output and
-/// sums regions as `(start, len)` pairs, plus `n` and `B`).
-const GEOM_WORDS: usize = 8;
+// ====================================================================
+// Registered persistent-capsule form (typed DSL)
+// ====================================================================
 
-fn split_geom<const REST: usize>(args: &[Word]) -> Result<(PrefixSum, [Word; REST]), String> {
-    if args.len() != GEOM_WORDS + REST {
-        return Err(format!(
-            "expected {} args, got {}",
-            GEOM_WORDS + REST,
-            args.len()
-        ));
+persist_struct! {
+    /// Up-sweep node state: instance geometry plus the node's heap index
+    /// and leaf span.
+    struct UpState {
+        s: PrefixSum,
+        node: usize,
+        llo: usize,
+        lhi: usize,
     }
-    let geom: [Word; GEOM_WORDS] = frame_args(&args[..GEOM_WORDS])?;
-    let rest: [Word; REST] = frame_args(&args[GEOM_WORDS..])?;
-    Ok((PrefixSum::from_geom(&geom), rest))
 }
 
-/// Registers the prefix-sum capsule constructors (idempotent). The
-/// constructors are instance-free — every frame carries its instance's
-/// geometry — so all prefix-sum computations on a machine share the
-/// three [`PREFIX_ID_BASE`] ids. The defunctionalized twin of
-/// [`PrefixSum::comp`]: each tree node becomes a frame
-/// `(capsule_id, geometry…, node, llo, lhi, [t,] k)` with `k` the
-/// continuation's frame handle, which is what lets a recovering
-/// scheduler resume a killed run mid-tree (`ppm_sched::recover_persistent`).
-pub fn register_prefix_sum(registry: &CapsuleRegistry) {
-    registry.register(PREFIX_ID_BASE, "prefix/up", |args| {
-        let (s, [node, llo, lhi, k]) = split_geom(args)?;
-        Ok(s.up_capsule(node as usize, llo as usize, lhi as usize, k))
-    });
-    registry.register(PREFIX_ID_BASE + 1, "prefix/up-combine", |args| {
-        let (s, [node, k]) = split_geom(args)?;
-        Ok(s.combine_capsule(node as usize, k))
-    });
-    registry.register(PREFIX_ID_BASE + 2, "prefix/down", |args| {
-        let (s, [node, llo, lhi, t, k]) = split_geom(args)?;
-        Ok(s.down_capsule(node as usize, llo as usize, lhi as usize, t, k))
-    });
+persist_struct! {
+    /// Up-sweep combine state: both children's sums are in; write the
+    /// node's.
+    struct CombineState {
+        s: PrefixSum,
+        node: usize,
+    }
+}
+
+persist_struct! {
+    /// Down-sweep node state: `t` is the sum of everything left of this
+    /// subtree.
+    struct DownState {
+        s: PrefixSum,
+        node: usize,
+        llo: usize,
+        lhi: usize,
+        t: Word,
+    }
+}
+
+/// The prefix-sum capsule family — the defunctionalized twin of
+/// [`PrefixSum::comp`] on the typed DSL. Each tree node is a frame whose
+/// state is the instance geometry plus the node coordinates, which is
+/// what lets a recovering session resume a killed run mid-tree.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PrefixCapsules {
+    up: CapsuleDef<UpState>,
+    down: CapsuleDef<DownState>,
+}
+
+impl PrefixCapsules {
+    /// Declares (idempotently) the three prefix capsules on `machine`'s
+    /// registry and installs their bodies.
+    pub(crate) fn declare(machine: &Machine) -> PrefixCapsules {
+        let mut set = CapsuleSet::new(machine);
+        let up = set.declare::<UpState>("prefix/up");
+        let combine = set.declare::<CombineState>("prefix/up-combine");
+        let down = set.declare::<DownState>("prefix/down");
+
+        set.body(up, move |st: &UpState, k, ctx| {
+            let s = st.s;
+            if st.lhi - st.llo == 1 {
+                let sum = s.up_leaf_sum(ctx, st.llo)?;
+                ctx.pwrite(s.sums.at(st.node), sum)?;
+                return Ok(Step::Jump(k));
+            }
+            let mid = st.llo + (st.lhi - st.llo) / 2;
+            let (lc, rc) = (2 * st.node + 1, 2 * st.node + 2);
+            let kc = combine.frame(ctx, &CombineState { s, node: st.node }, k)?;
+            fork2(
+                ctx,
+                (
+                    up,
+                    &UpState {
+                        s,
+                        node: lc,
+                        llo: st.llo,
+                        lhi: mid,
+                    },
+                ),
+                (
+                    up,
+                    &UpState {
+                        s,
+                        node: rc,
+                        llo: mid,
+                        lhi: st.lhi,
+                    },
+                ),
+                kc,
+            )
+        });
+
+        set.body(combine, move |st: &CombineState, k, ctx| {
+            let s = st.s;
+            let (lc, rc) = (2 * st.node + 1, 2 * st.node + 2);
+            let l = ctx.pread(s.sums.at(lc))?;
+            let r = ctx.pread(s.sums.at(rc))?;
+            ctx.pwrite(s.sums.at(st.node), l.wrapping_add(r))?;
+            Ok(Step::Jump(k))
+        });
+
+        set.body(down, move |st: &DownState, k, ctx| {
+            let s = st.s;
+            if st.lhi - st.llo == 1 {
+                s.down_leaf_body(ctx, st.llo, st.t)?;
+                return Ok(Step::Jump(k));
+            }
+            let mid = st.llo + (st.lhi - st.llo) / 2;
+            let (lc, rc) = (2 * st.node + 1, 2 * st.node + 2);
+            let left_sum = ctx.pread(s.sums.at(lc))?;
+            fork2(
+                ctx,
+                (
+                    down,
+                    &DownState {
+                        s,
+                        node: lc,
+                        llo: st.llo,
+                        lhi: mid,
+                        t: st.t,
+                    },
+                ),
+                (
+                    down,
+                    &DownState {
+                        s,
+                        node: rc,
+                        llo: mid,
+                        lhi: st.lhi,
+                        t: st.t.wrapping_add(left_sum),
+                    },
+                ),
+                k,
+            )
+        });
+
+        PrefixCapsules { up, down }
+    }
+
+    /// Writes the up-then-down frame chain for instance `s` from within a
+    /// running capsule, returning the chain's entry handle. How larger
+    /// registered algorithms (samplesort) embed a prefix sum as a phase.
+    pub(crate) fn chain(&self, ctx: &mut ProcCtx, s: PrefixSum, k: K) -> PmResult<K> {
+        let down = self.down.frame(
+            ctx,
+            &DownState {
+                s,
+                node: 0,
+                llo: 0,
+                lhi: s.leaves,
+                t: 0,
+            },
+            k,
+        )?;
+        self.up.frame(
+            ctx,
+            &UpState {
+                s,
+                node: 0,
+                llo: 0,
+                lhi: s.leaves,
+            },
+            down,
+        )
+    }
 }
 
 /// Sequential oracle: inclusive prefix sums with wrapping addition.
@@ -412,16 +448,27 @@ pub fn prefix_sum_seq(input: &[Word]) -> Vec<Word> {
 mod tests {
     use super::*;
     use ppm_pm::{FaultConfig, PmConfig};
-    use ppm_sched::{run_computation, SchedConfig};
+    use ppm_sched::{Runtime, SchedConfig};
+
+    fn runtime(procs: usize, f: FaultConfig) -> Runtime {
+        Runtime::new(
+            Machine::new(PmConfig::parallel(procs, 1 << 22).with_fault(f)),
+            SchedConfig::with_slots(1 << 13),
+        )
+    }
 
     fn check(n: usize, procs: usize, f: FaultConfig) {
-        let m = Machine::new(PmConfig::parallel(procs, 1 << 22).with_fault(f));
-        let ps = PrefixSum::new(&m, n);
+        let rt = runtime(procs, f);
+        let ps = PrefixSum::new(rt.machine(), n);
         let data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(7) % 1000).collect();
-        ps.load_input(&m, &data);
-        let rep = run_computation(&m, &ps.comp(), &SchedConfig::with_slots(1 << 13));
-        assert!(rep.completed);
-        assert_eq!(ps.read_output(&m), prefix_sum_seq(&data), "n={n} P={procs}");
+        ps.load_input(rt.machine(), &data);
+        let rep = rt.run_or_replay(&ps.comp());
+        assert!(rep.completed());
+        assert_eq!(
+            ps.read_output(rt.machine()),
+            prefix_sum_seq(&data),
+            "n={n} P={procs}"
+        );
     }
 
     #[test]
@@ -458,12 +505,12 @@ mod tests {
     fn work_is_linear_in_n_over_b() {
         // Theorem 7.1: O(n/B) work. Compare faultless work at two sizes.
         let work = |n: usize| {
-            let m = Machine::new(PmConfig::parallel(1, 1 << 22));
-            let ps = PrefixSum::new(&m, n);
-            ps.load_input(&m, &vec![1u64; n]);
-            let rep = run_computation(&m, &ps.comp(), &SchedConfig::with_slots(1 << 13));
-            assert!(rep.completed);
-            rep.stats.total_work()
+            let rt = runtime(1, FaultConfig::none());
+            let ps = PrefixSum::new(rt.machine(), n);
+            ps.load_input(rt.machine(), &vec![1u64; n]);
+            let rep = rt.run_or_replay(&ps.comp());
+            assert!(rep.completed());
+            rep.stats().total_work()
         };
         let (w1, w2) = (work(1 << 10), work(1 << 12));
         let ratio = w2 as f64 / w1 as f64;
@@ -475,15 +522,15 @@ mod tests {
 
     #[test]
     fn max_capsule_work_is_constant() {
-        let m = Machine::new(PmConfig::parallel(1, 1 << 22));
-        let ps = PrefixSum::new(&m, 1 << 10);
-        ps.load_input(&m, &vec![1u64; 1 << 10]);
-        let rep = run_computation(&m, &ps.comp(), &SchedConfig::with_slots(1 << 13));
-        assert!(rep.completed);
+        let rt = runtime(1, FaultConfig::none());
+        let ps = PrefixSum::new(rt.machine(), 1 << 10);
+        ps.load_input(rt.machine(), &vec![1u64; 1 << 10]);
+        let rep = rt.run_or_replay(&ps.comp());
+        assert!(rep.completed());
         assert!(
-            rep.stats.max_capsule_work <= 12,
+            rep.stats().max_capsule_work <= 12,
             "C = {} should be O(1)",
-            rep.stats.max_capsule_work
+            rep.stats().max_capsule_work
         );
     }
 
@@ -493,15 +540,27 @@ mod tests {
         assert_eq!(prefix_sum_seq(&[]), Vec::<u64>::new());
     }
 
+    #[test]
+    fn geometry_round_trips_through_persist() {
+        let rt = runtime(1, FaultConfig::none());
+        let ps = PrefixSum::new(rt.machine(), 300);
+        let words = ppm_core::persist::encode_args(&ps);
+        assert_eq!(words.len(), PrefixSum::WORDS);
+        let back: PrefixSum = ppm_core::persist::decode_args("prefix", &words).unwrap();
+        assert_eq!(back.input, ps.input);
+        assert_eq!(back.sums, ps.sums);
+        assert_eq!(back.leaves, ps.leaves, "derived field recomputed");
+    }
+
     fn check_registered(n: usize, procs: usize, f: FaultConfig) {
-        let m = Machine::new(PmConfig::parallel(procs, 1 << 22).with_fault(f));
-        let ps = PrefixSum::new(&m, n);
+        let rt = runtime(procs, f);
+        let ps = PrefixSum::new(rt.machine(), n);
         let data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(13) % 997).collect();
-        ps.load_input(&m, &data);
-        let rep = ppm_sched::run_persistent(&m, &ps.pcomp(), &SchedConfig::with_slots(1 << 13));
-        assert!(rep.completed);
+        ps.load_input(rt.machine(), &data);
+        let rep = rt.run_or_recover(&ps.pcomp());
+        assert!(rep.completed());
         assert_eq!(
-            ps.read_output(&m),
+            ps.read_output(rt.machine()),
             prefix_sum_seq(&data),
             "registered n={n} P={procs}"
         );
@@ -527,19 +586,20 @@ mod tests {
         // Frames carry their instance's geometry, so a second instance
         // under the same capsule ids must not rehydrate into the first
         // instance's regions.
-        let m = Machine::new(PmConfig::parallel(2, 1 << 22));
-        let ps1 = PrefixSum::new(&m, 300);
-        let ps2 = PrefixSum::new(&m, 77);
+        let rt = Runtime::new(
+            Machine::new(PmConfig::parallel(2, 1 << 22)),
+            SchedConfig::with_slots(1 << 12),
+        );
+        let ps1 = PrefixSum::new(rt.machine(), 300);
+        let ps2 = PrefixSum::new(rt.machine(), 77);
         let d1: Vec<u64> = (0..300).map(|i| i * 3 + 1).collect();
         let d2: Vec<u64> = (0..77).map(|i| 1000 - i).collect();
-        ps1.load_input(&m, &d1);
-        ps2.load_input(&m, &d2);
-        let rep1 = ppm_sched::run_persistent(&m, &ps1.pcomp(), &SchedConfig::with_slots(1 << 12));
-        assert!(rep1.completed);
-        let rep2 = ppm_sched::run_persistent(&m, &ps2.pcomp(), &SchedConfig::with_slots(1 << 12));
-        assert!(rep2.completed);
-        assert_eq!(ps1.read_output(&m), prefix_sum_seq(&d1));
-        assert_eq!(ps2.read_output(&m), prefix_sum_seq(&d2));
+        ps1.load_input(rt.machine(), &d1);
+        ps2.load_input(rt.machine(), &d2);
+        assert!(rt.run_or_recover(&ps1.pcomp()).completed());
+        assert!(rt.run_or_recover(&ps2.pcomp()).completed());
+        assert_eq!(ps1.read_output(rt.machine()), prefix_sum_seq(&d1));
+        assert_eq!(ps2.read_output(rt.machine()), prefix_sum_seq(&d2));
     }
 
     #[test]

@@ -19,22 +19,31 @@
 //!
 //! All scratch comes from the §4.1 restart-stable pool allocator, so every
 //! capsule writes fresh locations: write-after-read conflict free.
+//!
+//! Both sorts also ship in **registered persistent form** on the typed
+//! `ppm_core::dsl` ([`MergeSort::pcomp`], [`SampleSort::pcomp`]): every
+//! continuation — including samplesort's nine-phase pipeline, embedded
+//! prefix sum, and per-bucket recursion — is a typed frame in persistent
+//! memory, so a `kill -9`'d run is *resumed* from its in-flight deque
+//! entries by `ppm_sched::Runtime::run_or_recover`. One deviation from
+//! the closure merge: the registered merge splits *binary* at the median
+//! rank (one dual binary search per split capsule — still the
+//! Theorem 7.2 O(log n) capsule-work bound) instead of the
+//! k ≈ n^{1/3}-way split, which would need a variable-width fan-out
+//! frame. Work stays O(n/B + split-search terms); depth grows to
+//! O(log² n) inside a merge.
 
 use std::sync::Arc;
 
+use ppm_core::dsl::{fork2, jump_to, CapsuleDef, CapsuleSet, Span, Step, K};
 use ppm_core::{
-    capsule, comp_dyn, comp_fork2, comp_seq, comp_step, fork_join_frames, frame_args, par_all,
-    CapsuleId, CapsuleRegistry, Comp, Cont, Machine, Next, PComp, FIRST_USER_CAPSULE_ID,
+    comp_dyn, comp_fork2, comp_seq, comp_step, par_all, persist_struct, Comp, Machine, PComp,
 };
-use ppm_pm::{write_frame, ProcCtx, Region, Word};
+use ppm_pm::{ProcCtx, Region, Word};
 
 use crate::merge::{base_size, merge_runs, split_rank, Run};
-use crate::prefix::PrefixSum;
+use crate::prefix::{PrefixCapsules, PrefixSum};
 use crate::util::{ceil_div, pread_range, pwrite_range};
-
-/// Capsule-id base for the registered mergesort (two ids: sort node and
-/// binary-split merge node). Placed above the prefix-sum ids.
-pub const MSORT_ID_BASE: CapsuleId = FIRST_USER_CAPSULE_ID + 0x10;
 
 fn region_at(start: usize, len: usize) -> Region {
     Region { start, len }
@@ -52,6 +61,16 @@ fn capsule_sort(src: Run, dst: Region, dlo: usize) -> Comp {
         v.sort_unstable();
         pwrite_range(ctx, dst.at(dlo), &v)
     })
+}
+
+/// In-capsule sequential sort body shared by both forms.
+fn sort_base_body(ctx: &mut ProcCtx, src: Run, dst: Region, dlo: usize) -> ppm_pm::PmResult<()> {
+    if src.len() == 0 {
+        return Ok(());
+    }
+    let mut v = pread_range(ctx, src.region.at(src.lo), src.len())?;
+    v.sort_unstable();
+    pwrite_range(ctx, dst.at(dlo), &v)
 }
 
 /// Mergesort `src` into `dst[dlo..)`, using `aux[alo..)` (same length) as
@@ -151,238 +170,223 @@ impl MergeSort {
         )
     }
 
-    /// The sorting computation as persistent capsule frames, for
-    /// `ppm_sched::run_persistent` / `recover_persistent`. Registers the
-    /// [`MSORT_ID_BASE`] constructors (argument words carry the full run
-    /// geometry, so the constructors are instance-free and shared by
-    /// every mergesort on the machine).
+    /// The sorting computation as registered persistent capsules, for
+    /// `ppm_sched::Runtime::run_or_recover`. Declares the
+    /// `MsortCapsules` family (typed frame states carry the full run
+    /// geometry, so the capsules are instance-free and shared by every
+    /// mergesort on the machine).
     pub fn pcomp(&self) -> PComp {
         let s = *self;
         Arc::new(move |machine: &Machine, finale: Word| {
-            register_mergesort(machine.registry());
-            machine.setup_frame(
-                MSORT_ID_BASE,
-                &msort_args(
-                    Run {
-                        region: s.input,
-                        lo: 0,
-                        hi: s.n,
+            let caps = MsortCapsules::declare(machine);
+            caps.node
+                .setup(
+                    machine,
+                    &MsortState {
+                        src: Run {
+                            region: s.input,
+                            lo: 0,
+                            hi: s.n,
+                        },
+                        dst: s.output,
+                        dlo: 0,
+                        aux: s.aux,
+                        alo: 0,
                     },
-                    s.output,
-                    0,
-                    s.aux,
-                    0,
-                    finale,
+                    K(finale),
+                )
+                .word()
+        })
+    }
+}
+
+// ====================================================================
+// Registered (typed DSL) mergesort
+// ====================================================================
+
+persist_struct! {
+    /// Mergesort node state: sort `src` into `dst[dlo..)` using
+    /// `aux[alo..)` (same length) as scratch.
+    pub(crate) struct MsortState {
+        pub(crate) src: Run,
+        pub(crate) dst: Region,
+        pub(crate) dlo: usize,
+        pub(crate) aux: Region,
+        pub(crate) alo: usize,
+    }
+}
+
+persist_struct! {
+    /// Merge node state: merge sorted runs `a` and `b` into `out[olo..)`.
+    pub(crate) struct MergeState {
+        pub(crate) a: Run,
+        pub(crate) b: Run,
+        pub(crate) out: Region,
+        pub(crate) olo: usize,
+    }
+}
+
+/// The mergesort capsule family on the typed DSL — the defunctionalized
+/// twin of [`MergeSort::comp`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MsortCapsules {
+    pub(crate) node: CapsuleDef<MsortState>,
+    pub(crate) merge: CapsuleDef<MergeState>,
+}
+
+impl MsortCapsules {
+    /// Declares (idempotently) the mergesort capsules on `machine`'s
+    /// registry and installs their bodies.
+    pub(crate) fn declare(machine: &Machine) -> MsortCapsules {
+        let mut set = CapsuleSet::new(machine);
+        let node = set.declare::<MsortState>("msort/node");
+        let merge = set.declare::<MergeState>("msort/merge");
+
+        set.body(node, move |st: &MsortState, k, ctx| {
+            let n = st.src.len();
+            let base = ctx.ephemeral_words().max(ctx.block_size());
+            if n <= base {
+                sort_base_body(ctx, st.src, st.dst, st.dlo)?;
+                return Ok(Step::Jump(k));
+            }
+            let mid = n / 2;
+            let (left, right) = (
+                Run {
+                    region: st.src.region,
+                    lo: st.src.lo,
+                    hi: st.src.lo + mid,
+                },
+                Run {
+                    region: st.src.region,
+                    lo: st.src.lo + mid,
+                    hi: st.src.hi,
+                },
+            );
+            // Sort halves into aux (each using the matching dst half as
+            // its own scratch), then merge aux halves into dst.
+            let aux_l = Run {
+                region: st.aux,
+                lo: st.alo,
+                hi: st.alo + mid,
+            };
+            let aux_r = Run {
+                region: st.aux,
+                lo: st.alo + mid,
+                hi: st.alo + n,
+            };
+            let after = merge.frame(
+                ctx,
+                &MergeState {
+                    a: aux_l,
+                    b: aux_r,
+                    out: st.dst,
+                    olo: st.dlo,
+                },
+                k,
+            )?;
+            fork2(
+                ctx,
+                (
+                    node,
+                    &MsortState {
+                        src: left,
+                        dst: st.aux,
+                        dlo: st.alo,
+                        aux: st.dst,
+                        alo: st.dlo,
+                    },
                 ),
+                (
+                    node,
+                    &MsortState {
+                        src: right,
+                        dst: st.aux,
+                        dlo: st.alo + mid,
+                        aux: st.dst,
+                        alo: st.dlo + mid,
+                    },
+                ),
+                after,
             )
-        })
-    }
-}
+        });
 
-// ====================================================================
-// Registered (persistent-frame) mergesort
-// ====================================================================
-//
-// The same recursion, defunctionalized into two instance-free capsule
-// constructors whose argument words carry the full geometry. One
-// deviation from the legacy path: the merge splits *binary* at the median
-// rank (one dual binary search per split capsule — still the Theorem 7.2
-// O(log n) capsule-work bound) instead of the k ≈ n^{1/3}-way split,
-// which would need a variable-width fan-out frame. Work stays
-// O(n/B + split-search terms); depth grows to O(log² n) inside a merge.
-
-/// `msort/node` frame args: sort `src` into `dst[dlo..)` using
-/// `aux[alo..)` as scratch, then continue with frame `k`.
-fn msort_args(src: Run, dst: Region, dlo: usize, aux: Region, alo: usize, k: Word) -> [Word; 11] {
-    [
-        src.region.start as Word,
-        src.region.len as Word,
-        src.lo as Word,
-        src.hi as Word,
-        dst.start as Word,
-        dst.len as Word,
-        dlo as Word,
-        aux.start as Word,
-        aux.len as Word,
-        alo as Word,
-        k,
-    ]
-}
-
-/// `msort/merge` frame args: merge runs `a` and `b` into `out[olo..)`,
-/// then continue with frame `k`.
-fn merge_args(a: Run, b: Run, out: Region, olo: usize, k: Word) -> [Word; 12] {
-    [
-        a.region.start as Word,
-        a.region.len as Word,
-        a.lo as Word,
-        a.hi as Word,
-        b.region.start as Word,
-        b.region.len as Word,
-        b.lo as Word,
-        b.hi as Word,
-        out.start as Word,
-        out.len as Word,
-        olo as Word,
-        k,
-    ]
-}
-
-fn run_from(args: &[Word], at: usize) -> Run {
-    Run {
-        region: region_at(args[at] as usize, args[at + 1] as usize),
-        lo: args[at + 2] as usize,
-        hi: args[at + 3] as usize,
-    }
-}
-
-/// Registers the mergesort capsule constructors (idempotent).
-pub fn register_mergesort(registry: &CapsuleRegistry) {
-    registry.register(MSORT_ID_BASE, "msort/node", |args| {
-        Ok(msort_node_capsule(frame_args(args)?))
-    });
-    registry.register(MSORT_ID_BASE + 1, "msort/merge", |args| {
-        Ok(msort_merge_capsule(frame_args(args)?))
-    });
-}
-
-fn msort_node_capsule(args: [Word; 11]) -> Cont {
-    capsule("msort/node", move |ctx| {
-        let src = run_from(&args, 0);
-        let dst = region_at(args[4] as usize, args[5] as usize);
-        let dlo = args[6] as usize;
-        let aux = region_at(args[7] as usize, args[8] as usize);
-        let alo = args[9] as usize;
-        let k = args[10];
-
-        let n = src.len();
-        let base = ctx.ephemeral_words().max(ctx.block_size());
-        if n <= base {
-            // Base case: sort within one capsule.
-            if n > 0 {
-                let mut v = pread_range(ctx, src.region.at(src.lo), n)?;
-                v.sort_unstable();
-                pwrite_range(ctx, dst.at(dlo), &v)?;
+        set.body(merge, move |st: &MergeState, k, ctx| {
+            let (a, b) = (st.a, st.b);
+            let n = a.len() + b.len();
+            if n <= base_size(ctx.block_size()) {
+                // Sequential base merge in one capsule (empty runs can sit
+                // at a region's end; never form their address).
+                let av = if a.len() > 0 {
+                    pread_range(ctx, a.region.at(a.lo), a.len())?
+                } else {
+                    Vec::new()
+                };
+                let bv = if b.len() > 0 {
+                    pread_range(ctx, b.region.at(b.lo), b.len())?
+                } else {
+                    Vec::new()
+                };
+                let merged = crate::merge::merge_seq(&av, &bv);
+                if !merged.is_empty() {
+                    pwrite_range(ctx, st.out.at(st.olo), &merged)?;
+                }
+                return Ok(Step::Jump(k));
             }
-            return Ok(Next::JumpHandle(k));
-        }
-        let mid = n / 2;
-        let (left, right) = (
-            Run {
-                region: src.region,
-                lo: src.lo,
-                hi: src.lo + mid,
-            },
-            Run {
-                region: src.region,
-                lo: src.lo + mid,
-                hi: src.hi,
-            },
-        );
-        // Sort halves into aux (each using the matching dst half as its
-        // own scratch), then merge aux halves into dst.
-        let aux_l = Run {
-            region: aux,
-            lo: alo,
-            hi: alo + mid,
-        };
-        let aux_r = Run {
-            region: aux,
-            lo: alo + mid,
-            hi: alo + n,
-        };
-        let merge_f = write_frame(
-            ctx,
-            MSORT_ID_BASE + 1,
-            &merge_args(aux_l, aux_r, dst, dlo, k),
-        )?;
-        let (la, ra) = fork_join_frames(ctx, merge_f as Word)?;
-        let lf = write_frame(
-            ctx,
-            MSORT_ID_BASE,
-            &msort_args(left, aux, alo, dst, dlo, la),
-        )?;
-        let rf = write_frame(
-            ctx,
-            MSORT_ID_BASE,
-            &msort_args(right, aux, alo + mid, dst, dlo + mid, ra),
-        )?;
-        Ok(Next::ForkHandle {
-            child: rf as Word,
-            cont: lf as Word,
-        })
-    })
-}
+            // Binary split at the median rank: one dual binary search
+            // (O(log n) capsule work), then fork the two sub-merges.
+            let r = n / 2;
+            let sa = split_rank(ctx, a, b, r)?;
+            let sb = r - sa;
+            let (a_l, a_r) = (
+                Run {
+                    region: a.region,
+                    lo: a.lo,
+                    hi: a.lo + sa,
+                },
+                Run {
+                    region: a.region,
+                    lo: a.lo + sa,
+                    hi: a.hi,
+                },
+            );
+            let (b_l, b_r) = (
+                Run {
+                    region: b.region,
+                    lo: b.lo,
+                    hi: b.lo + sb,
+                },
+                Run {
+                    region: b.region,
+                    lo: b.lo + sb,
+                    hi: b.hi,
+                },
+            );
+            fork2(
+                ctx,
+                (
+                    merge,
+                    &MergeState {
+                        a: a_l,
+                        b: b_l,
+                        out: st.out,
+                        olo: st.olo,
+                    },
+                ),
+                (
+                    merge,
+                    &MergeState {
+                        a: a_r,
+                        b: b_r,
+                        out: st.out,
+                        olo: st.olo + r,
+                    },
+                ),
+                k,
+            )
+        });
 
-fn msort_merge_capsule(args: [Word; 12]) -> Cont {
-    capsule("msort/merge", move |ctx| {
-        let a = run_from(&args, 0);
-        let b = run_from(&args, 4);
-        let out = region_at(args[8] as usize, args[9] as usize);
-        let olo = args[10] as usize;
-        let k = args[11];
-
-        let n = a.len() + b.len();
-        if n <= base_size(ctx.block_size()) {
-            // Sequential base merge in one capsule (empty runs can sit at
-            // a region's end; never form their address).
-            let av = if a.len() > 0 {
-                pread_range(ctx, a.region.at(a.lo), a.len())?
-            } else {
-                Vec::new()
-            };
-            let bv = if b.len() > 0 {
-                pread_range(ctx, b.region.at(b.lo), b.len())?
-            } else {
-                Vec::new()
-            };
-            let merged = crate::merge::merge_seq(&av, &bv);
-            if !merged.is_empty() {
-                pwrite_range(ctx, out.at(olo), &merged)?;
-            }
-            return Ok(Next::JumpHandle(k));
-        }
-        // Binary split at the median rank: one dual binary search
-        // (O(log n) capsule work), then fork the two sub-merges.
-        let r = n / 2;
-        let sa = split_rank(ctx, a, b, r)?;
-        let sb = r - sa;
-        let (a_l, a_r) = (
-            Run {
-                region: a.region,
-                lo: a.lo,
-                hi: a.lo + sa,
-            },
-            Run {
-                region: a.region,
-                lo: a.lo + sa,
-                hi: a.hi,
-            },
-        );
-        let (b_l, b_r) = (
-            Run {
-                region: b.region,
-                lo: b.lo,
-                hi: b.lo + sb,
-            },
-            Run {
-                region: b.region,
-                lo: b.lo + sb,
-                hi: b.hi,
-            },
-        );
-        let (la, ra) = fork_join_frames(ctx, k)?;
-        let lf = write_frame(ctx, MSORT_ID_BASE + 1, &merge_args(a_l, b_l, out, olo, la))?;
-        let rf = write_frame(
-            ctx,
-            MSORT_ID_BASE + 1,
-            &merge_args(a_r, b_r, out, olo + r, ra),
-        )?;
-        Ok(Next::ForkHandle {
-            child: rf as Word,
-            cont: lf as Word,
-        })
-    })
+        MsortCapsules { node, merge }
+    }
 }
 
 // ====================================================================
@@ -440,25 +444,27 @@ impl Geometry {
     }
 }
 
-/// Scratch regions for one samplesort node, pool-allocated in its
-/// expansion capsule (restart-stable).
-#[derive(Debug, Clone, Copy)]
-struct Scratch {
-    subsorted: Region,
-    row_aux: Region,
-    samples: Region,
-    samples_sorted: Region,
-    samples_aux: Region,
-    pivots: Region,
-    /// Row-major boundaries: rows × (buckets + 1).
-    bounds: Region,
-    /// Column-major counts (prefix input): buckets × rows.
-    counts_cm: Region,
-    /// Inclusive prefix sums of `counts_cm`.
-    sums: Region,
-    sums_tree: Region,
-    /// The partitioned elements, bucket-major.
-    bucketed: Region,
+persist_struct! {
+    /// Scratch regions for one samplesort node, pool-allocated in its
+    /// expansion capsule (restart-stable). Rides in every phase frame of
+    /// the registered form.
+    struct Scratch {
+        subsorted: Region,
+        row_aux: Region,
+        samples: Region,
+        samples_sorted: Region,
+        samples_aux: Region,
+        pivots: Region,
+        /// Row-major boundaries: rows × (buckets + 1).
+        bounds: Region,
+        /// Column-major counts (prefix input): buckets × rows.
+        counts_cm: Region,
+        /// Inclusive prefix sums of `counts_cm`.
+        sums: Region,
+        sums_tree: Region,
+        /// The partitioned elements, bucket-major.
+        bucketed: Region,
+    }
 }
 
 impl Scratch {
@@ -503,11 +509,141 @@ fn node_scratch_words(n: usize) -> usize {
 
 /// Recommended per-processor pool words for samplesorting `n` elements
 /// (covers the worst case of one processor expanding every node, plus the
-/// recursion's own scratch).
+/// recursion's own scratch — and, in the registered form, the typed
+/// frames and join cells every phase writes).
 pub fn samplesort_pool_words(n: usize) -> usize {
     // Geometric-ish recursion: level ℓ has total size n, so scratch per
-    // level is O(n); depth is log_M n, small. 4 levels is generous.
-    4 * node_scratch_words(n.max(16)) + (1 << 12)
+    // level is O(n); depth is log_M n, small — 4 levels of scratch is
+    // generous. The registered form additionally writes typed frames for
+    // every fork; the embedded prefix sum over the rows × buckets counts
+    // matrix (cm ≈ n words) dominates at ~12 frame words per counts
+    // element per level, and a crash-resumed (or hard-fault-adopted) run
+    // re-allocates above the dead run's watermark, doubling the demand.
+    4 * node_scratch_words(n.max(16)) + 72 * n + (1 << 13)
+}
+
+// ---- Phase bodies shared by the closure and registered forms --------
+
+/// Phase 2 body: sample every ⌈log n⌉-th element of sorted row `i`.
+fn sample_row_body(ctx: &mut ProcCtx, g: &Geometry, s: &Scratch, i: usize) -> ppm_pm::PmResult<()> {
+    let row = pread_range(ctx, s.subsorted.at(i * g.sub), g.row_len(i))?;
+    let picks: Vec<Word> = row.iter().step_by(g.stride).copied().collect();
+    debug_assert_eq!(picks.len(), g.samples_in_row(i));
+    pwrite_range(ctx, s.samples.at(g.sample_offset(i)), &picks)
+}
+
+/// Phase 4 body: pick pivots by fixed stride, chunk `c`.
+fn pivot_chunk_body(
+    ctx: &mut ProcCtx,
+    g: &Geometry,
+    s: &Scratch,
+    c: usize,
+) -> ppm_pm::PmResult<()> {
+    let npiv = g.buckets - 1;
+    let lo = c * PIVOT_CHUNK;
+    let hi = ((c + 1) * PIVOT_CHUNK).min(npiv);
+    if lo >= hi {
+        return Ok(());
+    }
+    let mut vals = Vec::with_capacity(hi - lo);
+    for j in lo..hi {
+        let idx = ((j + 1) * g.total_samples / g.buckets).min(g.total_samples - 1);
+        vals.push(ctx.pread(s.samples_sorted.at(idx))?);
+    }
+    pwrite_range(ctx, s.pivots.at(lo), &vals)
+}
+
+/// Phase 5 body: bucket boundaries of row `i` (merge row with pivots).
+fn bounds_row_body(ctx: &mut ProcCtx, g: &Geometry, s: &Scratch, i: usize) -> ppm_pm::PmResult<()> {
+    let npiv = g.buckets - 1;
+    let row = pread_range(ctx, s.subsorted.at(i * g.sub), g.row_len(i))?;
+    let piv = pread_range(ctx, s.pivots.at(0), npiv)?;
+    let mut out = Vec::with_capacity(g.buckets + 1);
+    out.push(0u64);
+    let mut pos = 0usize;
+    for p in &piv {
+        while pos < row.len() && row[pos] <= *p {
+            pos += 1;
+        }
+        out.push(pos as Word);
+    }
+    out.push(row.len() as Word);
+    pwrite_range(ctx, s.bounds.at(i * (g.buckets + 1)), &out)
+}
+
+/// Phase 6 base body: transpose counts for the submatrix
+/// `[r0, r1) × [j0, j1)`.
+fn transpose_base_body(
+    ctx: &mut ProcCtx,
+    g: &Geometry,
+    s: &Scratch,
+    r0: usize,
+    r1: usize,
+    j0: usize,
+    j1: usize,
+) -> ppm_pm::PmResult<()> {
+    // Read each row's boundary slice [j0..j1], emit per-column contiguous
+    // runs of counts.
+    let mut cols: Vec<Vec<Word>> = vec![Vec::with_capacity(r1 - r0); j1 - j0];
+    for i in r0..r1 {
+        let row = pread_range(ctx, s.bounds.at(i * (g.buckets + 1) + j0), j1 - j0 + 1)?;
+        for (c, w) in row.windows(2).enumerate() {
+            cols[c].push(w[1] - w[0]);
+        }
+    }
+    for (c, col) in cols.iter().enumerate() {
+        let j = j0 + c;
+        pwrite_range(ctx, s.counts_cm.at(j * g.rows + r0), col)?;
+    }
+    Ok(())
+}
+
+/// Phase 8 base body: move the `[r0, r1) × [j0, j1)` segments of
+/// `subsorted` to their destinations in `bucketed`.
+fn scatter_base_body(
+    ctx: &mut ProcCtx,
+    g: &Geometry,
+    s: &Scratch,
+    r0: usize,
+    r1: usize,
+    j0: usize,
+    j1: usize,
+) -> ppm_pm::PmResult<()> {
+    // Per bucket j: destination of the run contributed by rows [r0, r1)
+    // starts at S[j·rows + r0] − count(r0, j).
+    let mut runs: Vec<Vec<Word>> = vec![Vec::new(); j1 - j0];
+    let mut dests: Vec<usize> = vec![0; j1 - j0];
+    for i in r0..r1 {
+        let brow = pread_range(ctx, s.bounds.at(i * (g.buckets + 1) + j0), j1 - j0 + 1)?;
+        let lo = brow[0] as usize;
+        let hi = brow[j1 - j0] as usize;
+        let data = if hi > lo {
+            pread_range(ctx, s.subsorted.at(i * g.sub + lo), hi - lo)?
+        } else {
+            Vec::new()
+        };
+        for c in 0..(j1 - j0) {
+            let (a, b) = (brow[c] as usize, brow[c + 1] as usize);
+            runs[c].extend_from_slice(&data[a - lo..b - lo]);
+        }
+    }
+    for c in 0..(j1 - j0) {
+        let j = j0 + c;
+        let s_first = ctx.pread(s.sums.at(j * g.rows + r0))? as usize;
+        let brow0 = ctx.pread(s.bounds.at(r0 * (g.buckets + 1) + j))? as usize;
+        let brow1 = ctx.pread(s.bounds.at(r0 * (g.buckets + 1) + j + 1))? as usize;
+        let count_r0 = brow1 - brow0;
+        dests[c] = s_first - count_r0;
+        if !runs[c].is_empty() {
+            pwrite_range(ctx, s.bucketed.at(dests[c]), &runs[c])?;
+        }
+    }
+    Ok(())
+}
+
+/// 2D split threshold shared by both forms.
+fn grid_cap(ctx: &ProcCtx) -> usize {
+    (ctx.ephemeral_words() / 4).max(64)
 }
 
 /// Cache-oblivious transpose: counts (row-major in `bounds` as
@@ -516,27 +652,10 @@ pub fn samplesort_pool_words(n: usize) -> usize {
 fn transpose_counts(g: Geometry, s: Scratch, r0: usize, r1: usize, j0: usize, j1: usize) -> Comp {
     comp_dyn("ssort/transpose", move |ctx: &mut ProcCtx| {
         let area = (r1 - r0) * (j1 - j0);
-        let cap = (ctx.ephemeral_words() / 4).max(64);
-        if area <= cap {
+        if area <= grid_cap(ctx) {
             return Ok(comp_step(
                 "ssort/transpose-base",
-                move |ctx: &mut ProcCtx| {
-                    // Read each row's boundary slice [j0..j1], emit per-column
-                    // contiguous runs of counts.
-                    let mut cols: Vec<Vec<Word>> = vec![Vec::with_capacity(r1 - r0); j1 - j0];
-                    for i in r0..r1 {
-                        let row =
-                            pread_range(ctx, s.bounds.at(i * (g.buckets + 1) + j0), j1 - j0 + 1)?;
-                        for (c, w) in row.windows(2).enumerate() {
-                            cols[c].push(w[1] - w[0]);
-                        }
-                    }
-                    for (c, col) in cols.iter().enumerate() {
-                        let j = j0 + c;
-                        pwrite_range(ctx, s.counts_cm.at(j * g.rows + r0), col)?;
-                    }
-                    Ok(())
-                },
+                move |ctx: &mut ProcCtx| transpose_base_body(ctx, &g, &s, r0, r1, j0, j1),
             ));
         }
         if r1 - r0 >= j1 - j0 {
@@ -563,40 +682,9 @@ fn bucket_scatter(g: Geometry, s: Scratch, r0: usize, r1: usize, j0: usize, j1: 
         let area = (r1 - r0) * (j1 - j0);
         // Area proxies element count (segments average ~1 element; skew
         // only grows one capsule's work, never breaks correctness).
-        let cap = (ctx.ephemeral_words() / 4).max(64);
-        if area <= cap || (r1 - r0 == 1 && j1 - j0 == 1) {
+        if area <= grid_cap(ctx) || (r1 - r0 == 1 && j1 - j0 == 1) {
             return Ok(comp_step("ssort/scatter-base", move |ctx: &mut ProcCtx| {
-                // Per bucket j: destination of the run contributed by rows
-                // [r0, r1) starts at S[j·rows + r0] − count(r0, j).
-                let mut runs: Vec<Vec<Word>> = vec![Vec::new(); j1 - j0];
-                let mut dests: Vec<usize> = vec![0; j1 - j0];
-                for i in r0..r1 {
-                    let brow =
-                        pread_range(ctx, s.bounds.at(i * (g.buckets + 1) + j0), j1 - j0 + 1)?;
-                    let lo = brow[0] as usize;
-                    let hi = brow[j1 - j0] as usize;
-                    let data = if hi > lo {
-                        pread_range(ctx, s.subsorted.at(i * g.sub + lo), hi - lo)?
-                    } else {
-                        Vec::new()
-                    };
-                    for c in 0..(j1 - j0) {
-                        let (a, b) = (brow[c] as usize, brow[c + 1] as usize);
-                        runs[c].extend_from_slice(&data[a - lo..b - lo]);
-                    }
-                }
-                for c in 0..(j1 - j0) {
-                    let j = j0 + c;
-                    let s_first = ctx.pread(s.sums.at(j * g.rows + r0))? as usize;
-                    let brow0 = ctx.pread(s.bounds.at(r0 * (g.buckets + 1) + j))? as usize;
-                    let brow1 = ctx.pread(s.bounds.at(r0 * (g.buckets + 1) + j + 1))? as usize;
-                    let count_r0 = brow1 - brow0;
-                    dests[c] = s_first - count_r0;
-                    if !runs[c].is_empty() {
-                        pwrite_range(ctx, s.bucketed.at(dests[c]), &runs[c])?;
-                    }
-                }
-                Ok(())
+                scatter_base_body(ctx, &g, &s, r0, r1, j0, j1)
             }));
         }
         if r1 - r0 >= j1 - j0 {
@@ -615,7 +703,7 @@ fn bucket_scatter(g: Geometry, s: Scratch, r0: usize, r1: usize, j0: usize, j1: 
     })
 }
 
-/// Samplesort `src` into `dst[dlo..)`. `fresh` guards against
+/// Samplesort `src` into `dst[dlo..)`. `progress` guards against
 /// degenerate pivots (duplicate-heavy inputs): a bucket as large as its
 /// parent falls back to mergesort.
 fn sample_sort_runs(src: Run, dst: Region, dlo: usize, progress: bool) -> Comp {
@@ -650,10 +738,7 @@ fn sample_sort_runs(src: Run, dst: Region, dlo: usize, progress: bool) -> Comp {
         let sample_rows: Vec<Comp> = (0..g.rows)
             .map(|i| {
                 comp_step("ssort/sample", move |ctx: &mut ProcCtx| {
-                    let row = pread_range(ctx, s.subsorted.at(i * g.sub), g.row_len(i))?;
-                    let picks: Vec<Word> = row.iter().step_by(g.stride).copied().collect();
-                    debug_assert_eq!(picks.len(), g.samples_in_row(i));
-                    pwrite_range(ctx, s.samples.at(g.sample_offset(i)), &picks)
+                    sample_row_body(ctx, &g, &s, i)
                 })
             })
             .collect();
@@ -676,17 +761,7 @@ fn sample_sort_runs(src: Run, dst: Region, dlo: usize, progress: bool) -> Comp {
         let pivot_chunks: Vec<Comp> = (0..ceil_div(npiv.max(1), PIVOT_CHUNK))
             .map(|c| {
                 comp_step("ssort/pivots", move |ctx: &mut ProcCtx| {
-                    let lo = c * PIVOT_CHUNK;
-                    let hi = ((c + 1) * PIVOT_CHUNK).min(npiv);
-                    if lo >= hi {
-                        return Ok(());
-                    }
-                    let mut vals = Vec::with_capacity(hi - lo);
-                    for j in lo..hi {
-                        let idx = ((j + 1) * g.total_samples / g.buckets).min(g.total_samples - 1);
-                        vals.push(ctx.pread(s.samples_sorted.at(idx))?);
-                    }
-                    pwrite_range(ctx, s.pivots.at(lo), &vals)
+                    pivot_chunk_body(ctx, &g, &s, c)
                 })
             })
             .collect();
@@ -695,19 +770,7 @@ fn sample_sort_runs(src: Run, dst: Region, dlo: usize, progress: bool) -> Comp {
         let bounds_rows: Vec<Comp> = (0..g.rows)
             .map(|i| {
                 comp_step("ssort/bounds", move |ctx: &mut ProcCtx| {
-                    let row = pread_range(ctx, s.subsorted.at(i * g.sub), g.row_len(i))?;
-                    let piv = pread_range(ctx, s.pivots.at(0), npiv)?;
-                    let mut out = Vec::with_capacity(g.buckets + 1);
-                    out.push(0u64);
-                    let mut pos = 0usize;
-                    for p in &piv {
-                        while pos < row.len() && row[pos] <= *p {
-                            pos += 1;
-                        }
-                        out.push(pos as Word);
-                    }
-                    out.push(row.len() as Word);
-                    pwrite_range(ctx, s.bounds.at(i * (g.buckets + 1)), &out)
+                    bounds_row_body(ctx, &g, &s, i)
                 })
             })
             .collect();
@@ -760,6 +823,286 @@ fn sample_sort_runs(src: Run, dst: Region, dlo: usize, progress: bool) -> Comp {
             par_all(recurse),
         ]))
     })
+}
+
+// ====================================================================
+// Registered (typed DSL) samplesort
+// ====================================================================
+
+persist_struct! {
+    /// Samplesort phase environment: one node's instance coordinates plus
+    /// its scratch. Rides in every phase frame.
+    struct SsEnv {
+        src: Run,
+        dst: Region,
+        dlo: usize,
+        n: usize,
+        s: Scratch,
+    }
+}
+
+persist_struct! {
+    /// A 2D submatrix task (counts transpose / bucket scatter) of the
+    /// row × bucket grid.
+    struct SsGrid {
+        env: SsEnv,
+        r0: usize,
+        r1: usize,
+        j0: usize,
+        j1: usize,
+    }
+}
+
+persist_struct! {
+    /// One samplesort node: sort `src` into `dst[dlo..)`; `progress`
+    /// guards degenerate partitions.
+    struct SsNode {
+        src: Run,
+        dst: Region,
+        dlo: usize,
+        progress: bool,
+    }
+}
+
+/// The samplesort capsule family on the typed DSL: the node capsule
+/// (entry point), plus — captured inside the bodies — the two 2D-grid
+/// capsules, one map per row/chunk/bucket phase, and the embedded
+/// mergesort and prefix-sum families.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SsCapsules {
+    node: CapsuleDef<SsNode>,
+}
+
+impl SsCapsules {
+    /// Declares (idempotently) the samplesort capsules — plus the
+    /// mergesort and prefix-sum families they embed — on `machine`'s
+    /// registry and installs their bodies.
+    pub(crate) fn declare(machine: &Machine) -> SsCapsules {
+        let msort = MsortCapsules::declare(machine);
+        let prefix = PrefixCapsules::declare(machine);
+        let mut set = CapsuleSet::new(machine);
+
+        let node = set.declare::<SsNode>("ssort/node");
+        let transpose = set.declare::<SsGrid>("ssort/transpose");
+        let scatter = set.declare::<SsGrid>("ssort/scatter");
+
+        // Phase 1: sort each row — each leaf jumps into the mergesort
+        // family over its row.
+        let sortrow_leaf = set.define("ssort/sortrow", move |st: &Span<SsEnv>, k, ctx| {
+            let env = st.env;
+            let g = Geometry::new(env.n);
+            debug_assert_eq!(st.hi, st.lo + 1, "grain-1 map leaf");
+            let i = st.lo;
+            let row = Run {
+                region: env.src.region,
+                lo: env.src.lo + i * g.sub,
+                hi: env.src.lo + i * g.sub + g.row_len(i),
+            };
+            jump_to(
+                ctx,
+                msort.node,
+                &MsortState {
+                    src: row,
+                    dst: env.s.subsorted,
+                    dlo: i * g.sub,
+                    aux: env.s.row_aux,
+                    alo: i * g.sub,
+                },
+                k,
+            )
+        });
+        let sortrows = set.map_grain("ssort/sortrows", 1, sortrow_leaf);
+
+        // Phase 2: sample each sorted row.
+        let sample_leaf = set.define("ssort/sample", |st: &Span<SsEnv>, k, ctx| {
+            let g = Geometry::new(st.env.n);
+            for i in st.lo..st.hi {
+                sample_row_body(ctx, &g, &st.env.s, i)?;
+            }
+            Ok(Step::Jump(k))
+        });
+        let samples = set.map_grain("ssort/samples", 1, sample_leaf);
+
+        // Phase 4: pivots by chunk.
+        let pivot_leaf = set.define("ssort/pivot-chunk", |st: &Span<SsEnv>, k, ctx| {
+            let g = Geometry::new(st.env.n);
+            for c in st.lo..st.hi {
+                pivot_chunk_body(ctx, &g, &st.env.s, c)?;
+            }
+            Ok(Step::Jump(k))
+        });
+        let pivots = set.map_grain("ssort/pivot-chunks", 1, pivot_leaf);
+
+        // Phase 5: per-row bucket boundaries.
+        let bounds_leaf = set.define("ssort/bounds-row", |st: &Span<SsEnv>, k, ctx| {
+            let g = Geometry::new(st.env.n);
+            for i in st.lo..st.hi {
+                bounds_row_body(ctx, &g, &st.env.s, i)?;
+            }
+            Ok(Step::Jump(k))
+        });
+        let bounds = set.map_grain("ssort/bounds-rows", 1, bounds_leaf);
+
+        // Phase 9: per-bucket recursion — each leaf reads its bucket's
+        // offsets and jumps back into the node capsule.
+        let recurse_leaf = set.define("ssort/recurse", move |st: &Span<SsEnv>, k, ctx| {
+            let env = st.env;
+            let g = Geometry::new(env.n);
+            debug_assert_eq!(st.hi, st.lo + 1, "grain-1 map leaf");
+            let j = st.lo;
+            let start = if j == 0 {
+                0
+            } else {
+                ctx.pread(env.s.sums.at(j * g.rows - 1))? as usize
+            };
+            let end = ctx.pread(env.s.sums.at((j + 1) * g.rows - 1))? as usize;
+            if start == end {
+                return Ok(Step::Jump(k));
+            }
+            jump_to(
+                ctx,
+                node,
+                &SsNode {
+                    src: Run {
+                        region: env.s.bucketed,
+                        lo: start,
+                        hi: end,
+                    },
+                    dst: env.dst,
+                    dlo: env.dlo + start,
+                    progress: end - start < env.n,
+                },
+                k,
+            )
+        });
+        let recurse = set.map_grain("ssort/recurses", 1, recurse_leaf);
+
+        // Phases 6 and 8: the 2D grid splits.
+        set.body(transpose, move |st: &SsGrid, k, ctx| {
+            grid_body(ctx, transpose, st, k, transpose_base_body)
+        });
+        set.body(scatter, move |st: &SsGrid, k, ctx| {
+            grid_body(ctx, scatter, st, k, scatter_base_body)
+        });
+
+        // The node: base sort, degenerate fallback, or the nine-phase
+        // pipeline chained backward as frames.
+        set.body(node, move |st: &SsNode, k, ctx| {
+            let n = st.src.len();
+            let base = ctx.ephemeral_words().max(ctx.block_size());
+            if n <= base {
+                sort_base_body(ctx, st.src, st.dst, st.dlo)?;
+                return Ok(Step::Jump(k));
+            }
+            if !st.progress {
+                // Degenerate partition (e.g. all-equal keys): mergesort.
+                let aux = region_at(ctx.palloc(n), n);
+                return jump_to(
+                    ctx,
+                    msort.node,
+                    &MsortState {
+                        src: st.src,
+                        dst: st.dst,
+                        dlo: st.dlo,
+                        aux,
+                        alo: 0,
+                    },
+                    k,
+                );
+            }
+            let g = Geometry::new(n);
+            let s = Scratch::alloc(ctx, &g);
+            let env = SsEnv {
+                src: st.src,
+                dst: st.dst,
+                dlo: st.dlo,
+                n,
+                s,
+            };
+            let span = |lo: usize, hi: usize| Span { env, lo, hi };
+            let grid = SsGrid {
+                env,
+                r0: 0,
+                r1: g.rows,
+                j0: 0,
+                j1: g.buckets,
+            };
+            // Chain the phases backward from k: each phase's continuation
+            // is the next phase's entry frame.
+            let k9 = recurse.frame(ctx, &span(0, g.buckets), k)?;
+            let k8 = scatter.frame(ctx, &grid, k9)?;
+            let cm = g.rows * g.buckets;
+            let pre =
+                PrefixSum::with_regions(s.counts_cm, s.sums, s.sums_tree, cm, ctx.block_size());
+            let k7 = prefix.chain(ctx, pre, k8)?;
+            let k6 = transpose.frame(ctx, &grid, k7)?;
+            let k5 = bounds.frame(ctx, &span(0, g.rows), k6)?;
+            let chunks = ceil_div((g.buckets - 1).max(1), PIVOT_CHUNK);
+            let k4 = pivots.frame(ctx, &span(0, chunks), k5)?;
+            let k3 = msort.node.frame(
+                ctx,
+                &MsortState {
+                    src: Run {
+                        region: s.samples,
+                        lo: 0,
+                        hi: g.total_samples,
+                    },
+                    dst: s.samples_sorted,
+                    dlo: 0,
+                    aux: s.samples_aux,
+                    alo: 0,
+                },
+                k4,
+            )?;
+            let k2 = samples.frame(ctx, &span(0, g.rows), k3)?;
+            let k1 = sortrows.frame(ctx, &span(0, g.rows), k2)?;
+            Ok(Step::Jump(k1))
+        });
+
+        SsCapsules { node }
+    }
+}
+
+/// Shared body of the two 2D-grid capsules: run the base case inline when
+/// the submatrix fits a capsule, otherwise fork on the longer dimension.
+fn grid_body(
+    ctx: &mut ProcCtx,
+    def: CapsuleDef<SsGrid>,
+    st: &SsGrid,
+    k: K,
+    base: fn(&mut ProcCtx, &Geometry, &Scratch, usize, usize, usize, usize) -> ppm_pm::PmResult<()>,
+) -> ppm_pm::PmResult<Step> {
+    let g = Geometry::new(st.env.n);
+    let (r0, r1, j0, j1) = (st.r0, st.r1, st.j0, st.j1);
+    let area = (r1 - r0) * (j1 - j0);
+    if area <= grid_cap(ctx) || (r1 - r0 == 1 && j1 - j0 == 1) {
+        base(ctx, &g, &st.env.s, r0, r1, j0, j1)?;
+        return Ok(Step::Jump(k));
+    }
+    let sub = |r0, r1, j0, j1| SsGrid {
+        env: st.env,
+        r0,
+        r1,
+        j0,
+        j1,
+    };
+    if r1 - r0 >= j1 - j0 {
+        let rm = (r0 + r1) / 2;
+        fork2(
+            ctx,
+            (def, &sub(r0, rm, j0, j1)),
+            (def, &sub(rm, r1, j0, j1)),
+            k,
+        )
+    } else {
+        let jm = (j0 + j1) / 2;
+        fork2(
+            ctx,
+            (def, &sub(r0, r1, j0, jm)),
+            (def, &sub(r0, r1, jm, j1)),
+            k,
+        )
+    }
 }
 
 /// A samplesort instance.
@@ -821,13 +1164,41 @@ impl SampleSort {
             true,
         )
     }
+
+    /// The sorting computation as registered persistent capsules, for
+    /// `ppm_sched::Runtime::run_or_recover`: the full nine-phase pipeline
+    /// — row sorts, sampling, sample sort, pivots, boundaries, counts
+    /// transpose, prefix sums, bucket scatter, per-bucket recursion — as
+    /// typed frames, so a killed run resumes mid-pipeline.
+    pub fn pcomp(&self) -> PComp {
+        let s = *self;
+        Arc::new(move |machine: &Machine, finale: Word| {
+            let caps = SsCapsules::declare(machine);
+            caps.node
+                .setup(
+                    machine,
+                    &SsNode {
+                        src: Run {
+                            region: s.input,
+                            lo: 0,
+                            hi: s.n,
+                        },
+                        dst: s.output,
+                        dlo: 0,
+                        progress: true,
+                    },
+                    K(finale),
+                )
+                .word()
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ppm_pm::{FaultConfig, PmConfig};
-    use ppm_sched::{run_computation, run_persistent, SchedConfig};
+    use ppm_sched::{Runtime, SchedConfig};
 
     fn data(seed: u64, n: usize) -> Vec<u64> {
         (0..n as u64)
@@ -838,41 +1209,51 @@ mod tests {
             .collect()
     }
 
-    fn machine_for(n: usize, procs: usize, m_eph: usize, f: FaultConfig) -> Machine {
-        Machine::with_pool_words(
-            PmConfig::parallel(procs, 1 << 23)
-                .with_ephemeral_words(m_eph)
-                .with_fault(f),
-            samplesort_pool_words(n),
+    fn runtime_for_samplesort(n: usize, procs: usize, m_eph: usize, f: FaultConfig) -> Runtime {
+        Runtime::new(
+            Machine::with_pool_words(
+                PmConfig::parallel(procs, 1 << 23)
+                    .with_ephemeral_words(m_eph)
+                    .with_fault(f),
+                samplesort_pool_words(n),
+            ),
+            SchedConfig::with_slots(1 << 14),
+        )
+    }
+
+    fn runtime_for_mergesort(procs: usize, m_eph: usize, f: FaultConfig) -> Runtime {
+        Runtime::new(
+            Machine::new(
+                PmConfig::parallel(procs, 1 << 22)
+                    .with_ephemeral_words(m_eph)
+                    .with_fault(f),
+            ),
+            SchedConfig::with_slots(1 << 13),
         )
     }
 
     fn check_mergesort(n: usize, procs: usize, m_eph: usize, f: FaultConfig) {
-        let m = Machine::new(
-            PmConfig::parallel(procs, 1 << 22)
-                .with_ephemeral_words(m_eph)
-                .with_fault(f),
-        );
-        let ms = MergeSort::new(&m, n);
+        let rt = runtime_for_mergesort(procs, m_eph, f);
+        let ms = MergeSort::new(rt.machine(), n);
         let input = data(7, n);
-        ms.load_input(&m, &input);
-        let rep = run_computation(&m, &ms.comp(), &SchedConfig::with_slots(1 << 13));
-        assert!(rep.completed);
+        ms.load_input(rt.machine(), &input);
+        let rep = rt.run_or_replay(&ms.comp());
+        assert!(rep.completed());
         let mut expect = input;
         expect.sort_unstable();
-        assert_eq!(ms.read_output(&m), expect, "mergesort n={n}");
+        assert_eq!(ms.read_output(rt.machine()), expect, "mergesort n={n}");
     }
 
     fn check_samplesort(n: usize, procs: usize, m_eph: usize, f: FaultConfig) {
-        let m = machine_for(n, procs, m_eph, f);
-        let ss = SampleSort::new(&m, n);
+        let rt = runtime_for_samplesort(n, procs, m_eph, f);
+        let ss = SampleSort::new(rt.machine(), n);
         let input = data(11, n);
-        ss.load_input(&m, &input);
-        let rep = run_computation(&m, &ss.comp(), &SchedConfig::with_slots(1 << 14));
-        assert!(rep.completed);
+        ss.load_input(rt.machine(), &input);
+        let rep = rt.run_or_replay(&ss.comp());
+        assert!(rep.completed());
         let mut expect = input;
         expect.sort_unstable();
-        assert_eq!(ss.read_output(&m), expect, "samplesort n={n}");
+        assert_eq!(ss.read_output(rt.machine()), expect, "samplesort n={n}");
     }
 
     #[test]
@@ -907,17 +1288,17 @@ mod tests {
     #[test]
     fn samplesort_duplicate_heavy_falls_back() {
         let n = 600;
-        let m = machine_for(n, 2, 64, FaultConfig::none());
-        let ss = SampleSort::new(&m, n);
+        let rt = runtime_for_samplesort(n, 2, 64, FaultConfig::none());
+        let ss = SampleSort::new(rt.machine(), n);
         let mut input = vec![42u64; n];
         input[0] = 1;
         input[n - 1] = 99;
-        ss.load_input(&m, &input);
-        let rep = run_computation(&m, &ss.comp(), &SchedConfig::with_slots(1 << 14));
-        assert!(rep.completed);
+        ss.load_input(rt.machine(), &input);
+        let rep = rt.run_or_replay(&ss.comp());
+        assert!(rep.completed());
         let mut expect = input;
         expect.sort_unstable();
-        assert_eq!(ss.read_output(&m), expect);
+        assert_eq!(ss.read_output(rt.machine()), expect);
     }
 
     #[test]
@@ -939,19 +1320,35 @@ mod tests {
     }
 
     fn check_registered_mergesort(n: usize, procs: usize, m_eph: usize, f: FaultConfig) {
-        let m = Machine::new(
-            PmConfig::parallel(procs, 1 << 22)
-                .with_ephemeral_words(m_eph)
-                .with_fault(f),
-        );
-        let ms = MergeSort::new(&m, n);
+        let rt = runtime_for_mergesort(procs, m_eph, f);
+        let ms = MergeSort::new(rt.machine(), n);
         let input = data(19, n);
-        ms.load_input(&m, &input);
-        let rep = run_persistent(&m, &ms.pcomp(), &SchedConfig::with_slots(1 << 13));
-        assert!(rep.completed);
+        ms.load_input(rt.machine(), &input);
+        let rep = rt.run_or_recover(&ms.pcomp());
+        assert!(rep.completed());
         let mut expect = input;
         expect.sort_unstable();
-        assert_eq!(ms.read_output(&m), expect, "registered mergesort n={n}");
+        assert_eq!(
+            ms.read_output(rt.machine()),
+            expect,
+            "registered mergesort n={n}"
+        );
+    }
+
+    fn check_registered_samplesort(n: usize, procs: usize, m_eph: usize, f: FaultConfig) {
+        let rt = runtime_for_samplesort(n, procs, m_eph, f);
+        let ss = SampleSort::new(rt.machine(), n);
+        let input = data(23, n);
+        ss.load_input(rt.machine(), &input);
+        let rep = rt.run_or_recover(&ss.pcomp());
+        assert!(rep.completed());
+        let mut expect = input;
+        expect.sort_unstable();
+        assert_eq!(
+            ss.read_output(rt.machine()),
+            expect,
+            "registered samplesort n={n}"
+        );
     }
 
     #[test]
@@ -982,26 +1379,68 @@ mod tests {
     }
 
     #[test]
+    fn registered_samplesort_small_and_recursive() {
+        check_registered_samplesort(64, 1, 64, FaultConfig::none());
+        check_registered_samplesort(400, 2, 64, FaultConfig::none());
+    }
+
+    #[test]
+    fn registered_samplesort_medium_parallel() {
+        check_registered_samplesort(1 << 12, 4, 64, FaultConfig::none());
+    }
+
+    #[test]
+    fn registered_samplesort_with_soft_faults() {
+        check_registered_samplesort(500, 2, 64, FaultConfig::soft(0.003, 9));
+    }
+
+    #[test]
+    fn registered_samplesort_with_hard_fault() {
+        check_registered_samplesort(
+            800,
+            3,
+            64,
+            FaultConfig::none().with_scheduled_hard_fault(1, 500),
+        );
+    }
+
+    #[test]
+    fn registered_samplesort_duplicate_heavy_falls_back() {
+        let n = 600;
+        let rt = runtime_for_samplesort(n, 2, 64, FaultConfig::none());
+        let ss = SampleSort::new(rt.machine(), n);
+        let mut input = vec![42u64; n];
+        input[0] = 1;
+        input[n - 1] = 99;
+        ss.load_input(rt.machine(), &input);
+        let rep = rt.run_or_recover(&ss.pcomp());
+        assert!(rep.completed());
+        let mut expect = input;
+        expect.sort_unstable();
+        assert_eq!(ss.read_output(rt.machine()), expect);
+    }
+
+    #[test]
     fn samplesort_beats_mergesort_on_io_for_large_n() {
         // Theorem 7.3's point: O((n/B) log_M n) < O((n/B) log(n/M)) once
         // n/M is large. With M = 64 and n = 2^12, mergesort does ~6 merge
         // levels; samplesort one partition level.
         let n = 1 << 12;
         let work_ss = {
-            let m = machine_for(n, 1, 64, FaultConfig::none());
-            let ss = SampleSort::new(&m, n);
-            ss.load_input(&m, &data(3, n));
-            let rep = run_computation(&m, &ss.comp(), &SchedConfig::with_slots(1 << 14));
-            assert!(rep.completed);
-            rep.stats.total_work()
+            let rt = runtime_for_samplesort(n, 1, 64, FaultConfig::none());
+            let ss = SampleSort::new(rt.machine(), n);
+            ss.load_input(rt.machine(), &data(3, n));
+            let rep = rt.run_or_replay(&ss.comp());
+            assert!(rep.completed());
+            rep.stats().total_work()
         };
         let work_ms = {
-            let m = Machine::new(PmConfig::parallel(1, 1 << 22).with_ephemeral_words(64));
-            let ms = MergeSort::new(&m, n);
-            ms.load_input(&m, &data(3, n));
-            let rep = run_computation(&m, &ms.comp(), &SchedConfig::with_slots(1 << 13));
-            assert!(rep.completed);
-            rep.stats.total_work()
+            let rt = runtime_for_mergesort(1, 64, FaultConfig::none());
+            let ms = MergeSort::new(rt.machine(), n);
+            ms.load_input(rt.machine(), &data(3, n));
+            let rep = rt.run_or_replay(&ms.comp());
+            assert!(rep.completed());
+            rep.stats().total_work()
         };
         // Same asymptotic family; samplesort should not be dramatically
         // worse and the harness tracks the crossover. Allow generous slack

@@ -11,7 +11,7 @@ use ppm_algs::{
 };
 use ppm_core::Machine;
 use ppm_pm::{PmConfig, ValidateMode};
-use ppm_sched::{run_computation, SchedConfig};
+use ppm_sched::{Runtime, SchedConfig};
 
 fn cfg(procs: usize, words: usize, m_eph: usize) -> PmConfig {
     PmConfig::parallel(procs, words)
@@ -29,8 +29,9 @@ fn bench_prefix(c: &mut Criterion) {
             let m = Machine::new(cfg(4, 1 << 24, 4096));
             let ps = PrefixSum::new(&m, n);
             ps.load_input(&m, &data);
-            let rep = run_computation(&m, &ps.comp(), &SchedConfig::with_slots(1 << 14));
-            assert!(rep.completed);
+            let rt = Runtime::new(m, SchedConfig::with_slots(1 << 14));
+            let rep = rt.run_or_replay(&ps.comp());
+            assert!(rep.completed());
         })
     });
     g.bench_function("sequential_oracle", |b| {
@@ -52,8 +53,9 @@ fn bench_merge(c: &mut Criterion) {
             let m = Machine::new(cfg(4, 1 << 24, 4096));
             let mg = Merge::new(&m, n, n);
             mg.load_inputs(&m, &a, &b2);
-            let rep = run_computation(&m, &mg.comp(), &SchedConfig::with_slots(1 << 14));
-            assert!(rep.completed);
+            let rt = Runtime::new(m, SchedConfig::with_slots(1 << 14));
+            let rep = rt.run_or_replay(&mg.comp());
+            assert!(rep.completed());
         })
     });
     g.bench_function("sequential_oracle", |bch| {
@@ -74,8 +76,9 @@ fn bench_sorts(c: &mut Criterion) {
             let m = Machine::new(cfg(4, 1 << 24, 512));
             let ms = MergeSort::new(&m, n);
             ms.load_input(&m, &data);
-            let rep = run_computation(&m, &ms.comp(), &SchedConfig::with_slots(1 << 14));
-            assert!(rep.completed);
+            let rt = Runtime::new(m, SchedConfig::with_slots(1 << 14));
+            let rep = rt.run_or_replay(&ms.comp());
+            assert!(rep.completed());
         })
     });
     g.bench_function("samplesort_pm_p4", |b| {
@@ -83,8 +86,9 @@ fn bench_sorts(c: &mut Criterion) {
             let m = Machine::with_pool_words(cfg(4, 1 << 25, 512), samplesort_pool_words(n));
             let ss = SampleSort::new(&m, n);
             ss.load_input(&m, &data);
-            let rep = run_computation(&m, &ss.comp(), &SchedConfig::with_slots(1 << 15));
-            assert!(rep.completed);
+            let rt = Runtime::new(m, SchedConfig::with_slots(1 << 15));
+            let rep = rt.run_or_replay(&ss.comp());
+            assert!(rep.completed());
         })
     });
     g.bench_function("std_sort_oracle", |b| {
@@ -108,8 +112,9 @@ fn bench_matmul(c: &mut Criterion) {
             let m = Machine::with_pool_words(cfg(4, 1 << 25, 256), matmul_pool_words(n, 256));
             let mm = MatMul::new(&m, n);
             mm.load_inputs(&m, &a, &b2);
-            let rep = run_computation(&m, &mm.comp(), &SchedConfig::with_slots(1 << 14));
-            assert!(rep.completed);
+            let rt = Runtime::new(m, SchedConfig::with_slots(1 << 14));
+            let rep = rt.run_or_replay(&mm.comp());
+            assert!(rep.completed());
         })
     });
     g.bench_function("sequential_oracle", |bch| {

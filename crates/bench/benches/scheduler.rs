@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppm_core::{comp_step, par_all, Comp, Machine};
 use ppm_pm::{FaultConfig, PmConfig, ProcCtx, Region, ValidateMode};
 use ppm_sched::abp::run_computation_abp;
-use ppm_sched::{run_computation, SchedConfig};
+use ppm_sched::{Runtime, SchedConfig};
 
 fn fanout(r: Region, n: usize) -> Comp {
     par_all(
@@ -45,8 +45,9 @@ fn bench_ft_vs_abp(c: &mut Criterion) {
                 b.iter(|| {
                     let m = machine(p, 0.0);
                     let r = m.alloc_region(n);
-                    let rep = run_computation(&m, &fanout(r, n), &SchedConfig::with_slots(1 << 12));
-                    assert!(rep.completed);
+                    let rt = Runtime::new(m, SchedConfig::with_slots(1 << 12));
+                    let rep = rt.run_or_replay(&fanout(r, n));
+                    assert!(rep.completed());
                 })
             },
         );
@@ -71,8 +72,9 @@ fn bench_fault_rates(c: &mut Criterion) {
             b.iter(|| {
                 let m = machine(2, f);
                 let r = m.alloc_region(n);
-                let rep = run_computation(&m, &fanout(r, n), &SchedConfig::with_slots(1 << 12));
-                assert!(rep.completed);
+                let rt = Runtime::new(m, SchedConfig::with_slots(1 << 12));
+                let rep = rt.run_or_replay(&fanout(r, n));
+                assert!(rep.completed());
             })
         });
     }

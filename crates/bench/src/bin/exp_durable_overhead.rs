@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 use ppm_bench::{banner, f2, header, row, s};
 use ppm_core::{comp_step, par_all, Comp, Machine};
 use ppm_pm::{PmConfig, ProcCtx, Region};
-use ppm_sched::{run_computation, SchedConfig};
+use ppm_sched::{Runtime, SchedConfig};
 
 const PROCS: usize = 4;
 const WORDS: usize = 1 << 21;
@@ -67,13 +67,14 @@ fn run_trials(cli: &ppm_bench::cli::Cli, n: usize, durable: bool) -> Measured {
         let out = m.alloc_region(n);
         let comp = build_comp(out, n);
         let start = Instant::now();
-        let rep = run_computation(&m, &comp, &SchedConfig::with_slots(1 << 12));
+        let rt = Runtime::new(m, SchedConfig::with_slots(1 << 12));
+        let rep = rt.run_or_replay(&comp);
         run_total += start.elapsed();
-        assert!(rep.completed);
+        assert!(rep.completed());
         let start = Instant::now();
-        m.flush().expect("flush");
+        rt.flush().expect("flush");
         flush_total += start.elapsed();
-        drop(m);
+        drop(rt);
         if durable {
             let _ = std::fs::remove_file(&path);
         }

@@ -9,7 +9,7 @@
 use ppm_bench::{banner, header, row, s};
 use ppm_core::{comp_dyn, comp_fork2, comp_nop, comp_step, Comp, Machine};
 use ppm_pm::{FaultConfig, PmConfig, ProcCtx, Region};
-use ppm_sched::{run_computation, SchedConfig};
+use ppm_sched::{Runtime, SchedConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -75,11 +75,12 @@ fn main() {
             let mut cfg = SchedConfig::with_slots(1 << 11);
             cfg.check_transitions = true;
             cfg.seed = seed;
-            let rep = run_computation(&m, &random_dag(r, 0, n, seed), &cfg);
+            let rt = Runtime::new(m, cfg);
+            let rep = rt.run_or_replay(&random_dag(r, 0, n, seed));
             deaths += rep.dead_procs() as u64;
-            if rep.completed {
+            if rep.completed() {
                 completed += 1;
-                if (0..n).all(|i| m.mem().load(r.at(i)) == 1) {
+                if (0..n).all(|i| rt.machine().mem().load(r.at(i)) == 1) {
                     verified += 1;
                 }
             } else {

@@ -9,7 +9,7 @@ use ppm_algs::{prefix_sum_seq, PrefixSum};
 use ppm_bench::{banner, f2, header, row, s};
 use ppm_core::Machine;
 use ppm_pm::{FaultConfig, PmConfig};
-use ppm_sched::{run_computation, SchedConfig};
+use ppm_sched::{Runtime, SchedConfig};
 
 const W: [usize; 7] = [8, 4, 7, 10, 9, 5, 8];
 
@@ -27,14 +27,15 @@ fn run_case(n: usize, b: usize, f: f64) {
     let ps = PrefixSum::new(&m, n);
     let data: Vec<u64> = (0..n as u64).map(|i| i % 1000).collect();
     ps.load_input(&m, &data);
-    let rep = run_computation(&m, &ps.comp(), &SchedConfig::with_slots(1 << 15));
-    assert!(rep.completed);
+    let rt = Runtime::new(m, SchedConfig::with_slots(1 << 15));
+    let rep = rt.run_or_replay(&ps.comp());
+    assert!(rep.completed());
     assert_eq!(
-        ps.read_output(&m),
+        ps.read_output(rt.machine()),
         prefix_sum_seq(&data),
         "n={n} B={b} f={f}"
     );
-    let st = &rep.stats;
+    let st = rep.stats();
     row(
         &[
             s(n),

@@ -9,7 +9,7 @@ use ppm_algs::{merge_seq, Merge};
 use ppm_bench::{banner, f2, header, row, s};
 use ppm_core::Machine;
 use ppm_pm::{FaultConfig, PmConfig};
-use ppm_sched::{run_computation, SchedConfig};
+use ppm_sched::{Runtime, SchedConfig};
 
 const W: [usize; 8] = [8, 4, 7, 10, 9, 5, 8, 8];
 
@@ -35,10 +35,11 @@ fn run_case(n: usize, b: usize, f: f64) {
     let mg = Merge::new(&m, n, n);
     let (a, bb) = (sorted(1, n), sorted(2, n));
     mg.load_inputs(&m, &a, &bb);
-    let rep = run_computation(&m, &mg.comp(), &SchedConfig::with_slots(1 << 15));
-    assert!(rep.completed);
-    assert_eq!(mg.read_output(&m), merge_seq(&a, &bb), "n={n}");
-    let st = &rep.stats;
+    let rt = Runtime::new(m, SchedConfig::with_slots(1 << 15));
+    let rep = rt.run_or_replay(&mg.comp());
+    assert!(rep.completed());
+    assert_eq!(mg.read_output(rt.machine()), merge_seq(&a, &bb), "n={n}");
+    let st = rep.stats();
     let total = 2 * n;
     row(
         &[

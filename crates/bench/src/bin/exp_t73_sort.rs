@@ -11,7 +11,7 @@ use ppm_algs::{MergeSort, SampleSort};
 use ppm_bench::{banner, f2, header, row, s};
 use ppm_core::Machine;
 use ppm_pm::PmConfig;
-use ppm_sched::{run_computation, SchedConfig};
+use ppm_sched::{Runtime, SchedConfig};
 
 const W: [usize; 8] = [8, 11, 11, 9, 10, 10, 9, 9];
 
@@ -59,10 +59,11 @@ fn main() {
             );
             let ms = MergeSort::new(&m, n);
             ms.load_input(&m, &input);
-            let rep = run_computation(&m, &ms.comp(), &SchedConfig::with_slots(1 << 15));
-            assert!(rep.completed);
-            assert_eq!(ms.read_output(&m), expect);
-            rep.stats.total_work()
+            let rt = Runtime::new(m, SchedConfig::with_slots(1 << 15));
+            let rep = rt.run_or_replay(&ms.comp());
+            assert!(rep.completed());
+            assert_eq!(ms.read_output(rt.machine()), expect);
+            rep.stats().total_work()
         };
         let w_ss = {
             let m = Machine::with_pool_words(
@@ -73,10 +74,11 @@ fn main() {
             );
             let ss = SampleSort::new(&m, n);
             ss.load_input(&m, &input);
-            let rep = run_computation(&m, &ss.comp(), &SchedConfig::with_slots(1 << 16));
-            assert!(rep.completed);
-            assert_eq!(ss.read_output(&m), expect);
-            rep.stats.total_work()
+            let rt = Runtime::new(m, SchedConfig::with_slots(1 << 16));
+            let rep = rt.run_or_replay(&ss.comp());
+            assert!(rep.completed());
+            assert_eq!(ss.read_output(rt.machine()), expect);
+            rep.stats().total_work()
         };
 
         let nb = n as f64 / b as f64;

@@ -9,7 +9,7 @@ use ppm_algs::{matmul_seq, MatMul};
 use ppm_bench::{banner, f2, header, row, s};
 use ppm_core::Machine;
 use ppm_pm::{FaultConfig, PmConfig};
-use ppm_sched::{run_computation, SchedConfig};
+use ppm_sched::{Runtime, SchedConfig};
 
 const W: [usize; 7] = [5, 6, 7, 11, 13, 7, 8];
 
@@ -31,12 +31,17 @@ fn run_case(n: usize, m_eph: usize, f: f64, verify: bool) {
     let a: Vec<u64> = (0..(n * n) as u64).map(|i| i % 17).collect();
     let bb: Vec<u64> = (0..(n * n) as u64).map(|i| (3 * i) % 13).collect();
     mm.load_inputs(&machine, &a, &bb);
-    let rep = run_computation(&machine, &mm.comp(), &SchedConfig::with_slots(1 << 14));
-    assert!(rep.completed);
+    let rt = Runtime::new(machine, SchedConfig::with_slots(1 << 14));
+    let rep = rt.run_or_replay(&mm.comp());
+    assert!(rep.completed());
     if verify {
-        assert_eq!(mm.read_output(&machine), matmul_seq(&a, &bb, n), "n={n}");
+        assert_eq!(
+            mm.read_output(rt.machine()),
+            matmul_seq(&a, &bb, n),
+            "n={n}"
+        );
     }
-    let st = &rep.stats;
+    let st = rep.stats();
     let model = (n as f64).powi(3) / (b as f64 * (m_eph as f64).sqrt());
     row(
         &[

@@ -36,9 +36,11 @@
 pub mod arena;
 pub mod capsule;
 pub mod comp;
+pub mod dsl;
 pub mod flag;
 pub mod join;
 pub mod machine;
+pub mod persist;
 pub mod registry;
 pub mod runner;
 
@@ -47,11 +49,16 @@ pub use capsule::{
     capsule, capsule_unchecked, end_capsule, final_capsule, step_capsule, Capsule, Cont, Next,
 };
 pub use comp::{comp_dyn, comp_fork2, comp_nop, comp_seq, comp_step, par_all, root, seq_all, Comp};
+pub use dsl::{fork2, fork_many, jump_to, seq, CapsuleDef, CapsuleSet, Fold, Span, K};
 pub use flag::DoneFlag;
 pub use join::{fork_join_frames, JoinCell, TOKEN_LEFT, TOKEN_RIGHT, UNSET};
 pub use machine::{Machine, ProcMeta, DEFAULT_POOL_WORDS, PROC_META_WORDS};
+pub use persist::{
+    decode_args, encode_args, FrameDecodeError, FrameDecodeKind, Persist, ValueError, WordReader,
+};
 pub use registry::{
     frame_args, register_core_capsules, CapsuleId, CapsuleRegistry, PComp, RehydrateError,
-    CORE_ID_END, CORE_ID_FINALE, CORE_ID_JOIN_CAM, CORE_ID_JOIN_CHECK, FIRST_USER_CAPSULE_ID,
+    CORE_ID_END, CORE_ID_FINALE, CORE_ID_FORK_PAIR, CORE_ID_JOIN_CAM, CORE_ID_JOIN_CHECK,
+    FIRST_USER_CAPSULE_ID,
 };
 pub use runner::{run_capsule, run_chain, ForkWrap, InstallCtx, Step};

@@ -17,9 +17,22 @@
 //! [`crate::capsule::Next::JumpHandle`]. There is therefore no recursive
 //! rehydration and no cycle hazard at decode time.
 //!
+//! ## Capsule-id allocation
+//!
 //! Ids below [`FIRST_USER_CAPSULE_ID`] are reserved for the runtime's own
-//! registered capsules (join arrivals, the completion finale), installed
-//! by [`register_core_capsules`] on every machine.
+//! registered capsules (join arrivals, the completion finale, the generic
+//! fork pair), installed by [`register_core_capsules`] on every machine.
+//!
+//! User ids are **allocated, not chosen**: [`CapsuleRegistry::allocate`]
+//! hands out the next free id for a capsule *name*, idempotently — the
+//! same name always maps to the same id on a given machine, and because
+//! computation construction is deterministic, to the same id on a
+//! machine recovering the same computation. This replaces the old
+//! manual-base scheme (`PREFIX_ID_BASE`, `MSORT_ID_BASE`, hand-spaced
+//! offsets) whose silent-collision hazard grew with every ported
+//! algorithm. Manual registration under an explicit id remains possible
+//! (the core capsules use it); colliding registrations panic, naming
+//! both capsules.
 
 use std::collections::HashMap;
 
@@ -28,6 +41,7 @@ use ppm_pm::{read_frame, Frame, FrameError, PersistentMemory, Word};
 
 use crate::capsule::{capsule, Cont, Next};
 use crate::join::JoinCell;
+use crate::persist::{FrameDecodeError, FrameDecodeKind};
 
 /// A stable capsule identifier. Equal across processes for the same
 /// computation, by the determinism discipline of machine construction.
@@ -47,6 +61,11 @@ pub const CORE_ID_JOIN_CHECK: CapsuleId = 0x02;
 pub const CORE_ID_FINALE: CapsuleId = 0x03;
 /// Built-in id: end the thread immediately (a terminal continuation).
 pub const CORE_ID_END: CapsuleId = 0x04;
+/// Built-in id: a fork pair, args `[left, right]` — forks the thread
+/// denoted by the `right` frame handle and continues with `left`. The
+/// interior node of every n-ary fan-out built by
+/// [`crate::dsl::fork_many`].
+pub const CORE_ID_FORK_PAIR: CapsuleId = 0x05;
 
 /// Why a handle could not be rehydrated.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,9 +86,20 @@ pub enum RehydrateError {
         addr: ppm_pm::Addr,
         /// The capsule id whose constructor rejected them.
         capsule_id: CapsuleId,
-        /// Constructor-provided reason.
-        reason: String,
+        /// The structured decode failure (capsule name, arity or value).
+        error: FrameDecodeError,
     },
+}
+
+impl RehydrateError {
+    /// The structured decode error, when the failure was a constructor
+    /// rejecting argument words.
+    pub fn decode_error(&self) -> Option<&FrameDecodeError> {
+        match self {
+            RehydrateError::BadArgs { error, .. } => Some(error),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for RehydrateError {
@@ -85,10 +115,10 @@ impl std::fmt::Display for RehydrateError {
             RehydrateError::BadArgs {
                 addr,
                 capsule_id,
-                reason,
+                error,
             } => write!(
                 f,
-                "frame at {addr} (capsule id {capsule_id:#x}) has bad arguments: {reason}"
+                "frame at {addr} (capsule id {capsule_id:#x}) has bad arguments: {error}"
             ),
         }
     }
@@ -103,7 +133,8 @@ impl From<FrameError> for RehydrateError {
 }
 
 /// A rehydration constructor: argument words to a runnable capsule.
-pub type CapsuleCtor = std::sync::Arc<dyn Fn(&[Word]) -> Result<Cont, String> + Send + Sync>;
+pub type CapsuleCtor =
+    std::sync::Arc<dyn Fn(&[Word]) -> Result<Cont, FrameDecodeError> + Send + Sync>;
 
 /// A computation expressed as persistent capsule frames: given the
 /// machine and the frame handle of the continuation to run after the
@@ -123,15 +154,40 @@ struct Entry {
     ctor: CapsuleCtor,
 }
 
-/// Registry of rehydration constructors, keyed by stable capsule id.
 #[derive(Default)]
+struct Inner {
+    entries: HashMap<CapsuleId, Entry>,
+    /// Name → id for every id this registry has seen (allocated or
+    /// manually registered); the idempotence key of [`CapsuleRegistry::allocate`].
+    by_name: HashMap<&'static str, CapsuleId>,
+    /// Next id [`CapsuleRegistry::allocate`] will try.
+    next: CapsuleId,
+}
+
+/// Registry of rehydration constructors, keyed by stable capsule id.
 pub struct CapsuleRegistry {
-    entries: RwLock<HashMap<CapsuleId, Entry>>,
+    inner: RwLock<Inner>,
+}
+
+impl Default for CapsuleRegistry {
+    fn default() -> Self {
+        CapsuleRegistry {
+            inner: RwLock::new(Inner {
+                entries: HashMap::new(),
+                by_name: HashMap::new(),
+                next: FIRST_USER_CAPSULE_ID,
+            }),
+        }
+    }
 }
 
 impl std::fmt::Debug for CapsuleRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CapsuleRegistry({} ids)", self.entries.read().len())
+        write!(
+            f,
+            "CapsuleRegistry({} ids)",
+            self.inner.read().entries.len()
+        )
     }
 }
 
@@ -141,20 +197,44 @@ impl CapsuleRegistry {
         Self::default()
     }
 
+    /// Allocates (or returns the previously allocated) capsule id for
+    /// `name`. Idempotent by name: the recovering process replays the
+    /// same construction sequence as the creating run, asks for the same
+    /// names in the same order, and receives the same ids — which is
+    /// what makes dynamically allocated ids construction-deterministic.
+    ///
+    /// The returned id has no constructor yet; install one with
+    /// [`CapsuleRegistry::register`] (or via `dsl::CapsuleSet`, which
+    /// wraps both steps).
+    pub fn allocate(&self, name: &'static str) -> CapsuleId {
+        let mut inner = self.inner.write();
+        if let Some(id) = inner.by_name.get(name) {
+            return *id;
+        }
+        let mut id = inner.next.max(FIRST_USER_CAPSULE_ID);
+        while inner.entries.contains_key(&id) {
+            id += 1;
+        }
+        inner.next = id + 1;
+        inner.by_name.insert(name, id);
+        id
+    }
+
     /// Registers `ctor` under `id`. Re-registering the same `(id, name)`
     /// is idempotent (the recovering process replays the same
     /// construction sequence the creating run performed).
     ///
     /// # Panics
-    /// Panics if `id` is already registered under a *different* name — a
-    /// construction-determinism bug that would silently rehydrate the
-    /// wrong code.
+    /// Panics if `id` is already registered under a *different* name, or
+    /// `name` under a different id — a construction-determinism bug (or a
+    /// manual-id collision) that would silently rehydrate the wrong code.
+    /// The panic names both capsules.
     pub fn register<F>(&self, id: CapsuleId, name: &'static str, ctor: F)
     where
-        F: Fn(&[Word]) -> Result<Cont, String> + Send + Sync + 'static,
+        F: Fn(&[Word]) -> Result<Cont, FrameDecodeError> + Send + Sync + 'static,
     {
-        let mut entries = self.entries.write();
-        if let Some(existing) = entries.get(&id) {
+        let mut inner = self.inner.write();
+        if let Some(existing) = inner.entries.get(&id) {
             assert_eq!(
                 existing.name, name,
                 "capsule id {id:#x} registered twice with different names \
@@ -163,7 +243,19 @@ impl CapsuleRegistry {
             );
             return;
         }
-        entries.insert(
+        if let Some(other) = inner.by_name.get(name) {
+            assert_eq!(
+                *other, id,
+                "capsule name `{name}` registered under two ids ({other:#x} vs {id:#x}) \
+                 — allocate ids through the registry instead of hand-picking bases"
+            );
+        }
+        // Keep dynamic allocation above every manually chosen id.
+        if id >= inner.next {
+            inner.next = id + 1;
+        }
+        inner.by_name.insert(name, id);
+        inner.entries.insert(
             id,
             Entry {
                 name,
@@ -174,29 +266,34 @@ impl CapsuleRegistry {
 
     /// Whether `id` has a constructor.
     pub fn contains(&self, id: CapsuleId) -> bool {
-        self.entries.read().contains_key(&id)
+        self.inner.read().entries.contains_key(&id)
     }
 
     /// The diagnostic name registered for `id`.
     pub fn name_of(&self, id: CapsuleId) -> Option<&'static str> {
-        self.entries.read().get(&id).map(|e| e.name)
+        self.inner.read().entries.get(&id).map(|e| e.name)
+    }
+
+    /// The id allocated or registered for `name`, if any.
+    pub fn id_of(&self, name: &'static str) -> Option<CapsuleId> {
+        self.inner.read().by_name.get(name).copied()
     }
 
     /// Number of registered ids.
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.inner.read().entries.len()
     }
 
     /// Whether no ids are registered.
     pub fn is_empty(&self) -> bool {
-        self.entries.read().is_empty()
+        self.inner.read().entries.is_empty()
     }
 
     /// Rehydrates a decoded frame into a runnable capsule.
     pub fn instantiate(&self, frame: &Frame) -> Result<Cont, RehydrateError> {
         let ctor = {
-            let entries = self.entries.read();
-            match entries.get(&frame.capsule_id) {
+            let inner = self.inner.read();
+            match inner.entries.get(&frame.capsule_id) {
                 Some(e) => e.ctor.clone(),
                 None => {
                     return Err(RehydrateError::UnknownCapsule {
@@ -206,10 +303,10 @@ impl CapsuleRegistry {
                 }
             }
         };
-        ctor(&frame.args).map_err(|reason| RehydrateError::BadArgs {
+        ctor(&frame.args).map_err(|error| RehydrateError::BadArgs {
             addr: frame.addr,
             capsule_id: frame.capsule_id,
-            reason,
+            error,
         })
     }
 
@@ -222,35 +319,46 @@ impl CapsuleRegistry {
     }
 }
 
-/// Decodes a frame's argument words into a fixed-arity array, with the
-/// uniform error message rehydration constructors report for an arity
-/// mismatch. The shared front door of every registered constructor:
+/// Decodes a frame's argument words into a fixed-arity array on behalf of
+/// capsule `capsule`, reporting a structured [`FrameDecodeError`] on an
+/// arity mismatch. The shared front door of raw (untyped) rehydration
+/// constructors; typed constructors go through
+/// [`crate::persist::decode_args`] instead.
 ///
 /// ```
 /// use ppm_core::registry::frame_args;
-/// let [node, k] = frame_args::<2>(&[7, 99]).unwrap();
+/// let [node, k] = frame_args::<2>("probe", &[7, 99]).unwrap();
 /// assert_eq!((node, k), (7, 99));
-/// assert!(frame_args::<2>(&[7]).is_err());
+/// let err = frame_args::<2>("probe", &[7]).unwrap_err();
+/// assert_eq!(err.capsule, "probe");
 /// ```
-pub fn frame_args<const N: usize>(args: &[Word]) -> Result<[Word; N], String> {
-    args.try_into()
-        .map_err(|_| format!("expected {N} args, got {}", args.len()))
+pub fn frame_args<const N: usize>(
+    capsule: &'static str,
+    args: &[Word],
+) -> Result<[Word; N], FrameDecodeError> {
+    args.try_into().map_err(|_| FrameDecodeError {
+        capsule,
+        kind: FrameDecodeKind::Arity {
+            expected: N,
+            got: args.len(),
+        },
+    })
 }
 
 /// Registers the runtime's built-in capsules (join arrivals, the finale,
-/// the trivial end) on `registry`. Called by machine construction;
-/// idempotent.
+/// the trivial end, the fork pair) on `registry`. Called by machine
+/// construction; idempotent.
 pub fn register_core_capsules(registry: &CapsuleRegistry) {
     registry.register(CORE_ID_JOIN_CAM, "join-cam", |args| {
-        let [cell, token, after] = frame_args(args)?;
+        let [cell, token, after] = frame_args("join-cam", args)?;
         Ok(JoinCell::at(cell as ppm_pm::Addr).arrive_cam_frame(token, after))
     });
     registry.register(CORE_ID_JOIN_CHECK, "join-check", |args| {
-        let [cell, token, after] = frame_args(args)?;
+        let [cell, token, after] = frame_args("join-check", args)?;
         Ok(JoinCell::at(cell as ppm_pm::Addr).arrive_check_frame(token, after))
     });
     registry.register(CORE_ID_FINALE, "finale", |args| {
-        let [flag] = frame_args(args)?;
+        let [flag] = frame_args("finale", args)?;
         let flag = flag as ppm_pm::Addr;
         Ok(capsule("finale", move |ctx| {
             ctx.pwrite(flag, 1)?;
@@ -262,6 +370,15 @@ pub fn register_core_capsules(registry: &CapsuleRegistry) {
         "end",
         |_args| Ok(crate::capsule::end_capsule()),
     );
+    registry.register(CORE_ID_FORK_PAIR, "fork-pair", |args| {
+        let [left, right] = frame_args("fork-pair", args)?;
+        Ok(capsule("fork-pair", move |_ctx| {
+            Ok(Next::ForkHandle {
+                child: right,
+                cont: left,
+            })
+        }))
+    });
 }
 
 #[cfg(test)]
@@ -282,6 +399,7 @@ mod tests {
         });
         assert!(reg.contains(0x200));
         assert_eq!(reg.name_of(0x200), Some("probe"));
+        assert_eq!(reg.id_of("probe"), Some(0x200));
         let mem = Arc::new(PersistentMemory::new(256, 8));
         store_frame(&mem, 16, 0x200, &[40]);
         let c = reg.rehydrate(&mem, 16).expect("rehydrates");
@@ -311,6 +429,7 @@ mod tests {
             ),
             "{err}"
         );
+        assert!(err.decode_error().is_none());
     }
 
     #[test]
@@ -333,11 +452,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "registered twice")]
-    fn conflicting_registration_panics() {
+    #[should_panic(expected = "registered twice with different names (alpha/up vs beta/down)")]
+    fn conflicting_registration_panics_naming_both_capsules() {
+        let reg = CapsuleRegistry::new();
+        reg.register(0x300, "alpha/up", |_| Ok(crate::capsule::end_capsule()));
+        reg.register(0x300, "beta/down", |_| Ok(crate::capsule::end_capsule()));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered under two ids")]
+    fn one_name_under_two_ids_panics() {
         let reg = CapsuleRegistry::new();
         reg.register(0x300, "a", |_| Ok(crate::capsule::end_capsule()));
-        reg.register(0x300, "b", |_| Ok(crate::capsule::end_capsule()));
+        reg.register(0x301, "a", |_| Ok(crate::capsule::end_capsule()));
+    }
+
+    #[test]
+    fn allocation_is_idempotent_by_name_and_collision_free() {
+        let reg = CapsuleRegistry::new();
+        let a = reg.allocate("alg1/up");
+        let b = reg.allocate("alg1/down");
+        let c = reg.allocate("alg2/node");
+        assert!(a >= FIRST_USER_CAPSULE_ID);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+        // Re-asking (the recovery replay) returns the same ids.
+        assert_eq!(reg.allocate("alg1/up"), a);
+        assert_eq!(reg.allocate("alg2/node"), c);
+    }
+
+    #[test]
+    fn allocation_skips_manually_registered_ids() {
+        let reg = CapsuleRegistry::new();
+        reg.register(FIRST_USER_CAPSULE_ID, "manual", |_| {
+            Ok(crate::capsule::end_capsule())
+        });
+        let id = reg.allocate("dynamic");
+        assert_ne!(id, FIRST_USER_CAPSULE_ID);
+        assert!(!reg.contains(id), "allocated but not yet registered");
+        reg.register(id, "dynamic", |_| Ok(crate::capsule::end_capsule()));
+        assert!(reg.contains(id));
     }
 
     #[test]
@@ -349,6 +504,7 @@ mod tests {
             CORE_ID_JOIN_CHECK,
             CORE_ID_FINALE,
             CORE_ID_END,
+            CORE_ID_FORK_PAIR,
         ] {
             assert!(reg.contains(id));
             assert!(id < FIRST_USER_CAPSULE_ID);
@@ -357,12 +513,23 @@ mod tests {
     }
 
     #[test]
-    fn bad_args_surface_the_constructor_reason() {
+    fn bad_args_surface_the_structured_decode_error() {
         let reg = CapsuleRegistry::new();
         register_core_capsules(&reg);
         let mem = PersistentMemory::new(256, 8);
         store_frame(&mem, 16, CORE_ID_FINALE, &[]); // finale wants 1 arg
         let err = expect_err(reg.rehydrate(&mem, 16));
-        assert!(matches!(err, RehydrateError::BadArgs { .. }), "{err}");
+        let decode = err
+            .decode_error()
+            .expect("BadArgs carries the decode error");
+        assert_eq!(decode.capsule, "finale");
+        assert_eq!(
+            decode.kind,
+            crate::persist::FrameDecodeKind::Arity {
+                expected: 1,
+                got: 0
+            }
+        );
+        assert!(err.to_string().contains("finale"), "{err}");
     }
 }

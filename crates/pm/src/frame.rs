@@ -44,7 +44,10 @@ pub const FRAME_MAGIC: u64 = 0xF7A3_C0DE;
 
 /// Maximum argument words per frame. Closures are constant-size in the
 /// model; this bound keeps a corrupted header from driving a huge decode.
-pub const MAX_FRAME_ARGS: usize = 24;
+/// Sized for the typed `ppm-core` DSL states, whose frames carry a whole
+/// instance geometry (a dozen regions) plus per-node words and the
+/// continuation handle.
+pub const MAX_FRAME_ARGS: usize = 64;
 
 /// Frame size in words for `argc` argument words (header + id + args).
 #[inline]
@@ -129,6 +132,28 @@ pub struct Frame {
     pub capsule_id: Word,
     /// The argument words.
     pub args: Vec<Word>,
+}
+
+impl Frame {
+    /// Argument word `i`, if present.
+    pub fn arg(&self, i: usize) -> Option<Word> {
+        self.args.get(i).copied()
+    }
+
+    /// The last argument word — by the `ppm-core` DSL convention, a
+    /// frame's continuation handle.
+    pub fn cont(&self) -> Option<Word> {
+        self.args.last().copied()
+    }
+
+    /// The argument words before the last one — by the DSL convention,
+    /// the capsule's typed state words.
+    pub fn state_words(&self) -> &[Word] {
+        match self.args.len() {
+            0 => &self.args,
+            n => &self.args[..n - 1],
+        }
+    }
 }
 
 /// Writes a frame for `(capsule_id, args)` from within a capsule:
@@ -261,6 +286,22 @@ mod tests {
         ctx.begin_capsule("t");
         let a = write_frame(&mut ctx, 5, &[10, 20]).unwrap();
         assert_eq!(mem.to_vec(40, 4), mem.to_vec(a, 4), "identical word images");
+    }
+
+    #[test]
+    fn typed_read_helpers_follow_the_dsl_convention() {
+        let mem = Arc::new(PersistentMemory::new(1024, 8));
+        store_frame(&mem, 40, 9, &[11, 22, 33]);
+        let f = read_frame(&mem, 40).unwrap();
+        assert_eq!(f.arg(0), Some(11));
+        assert_eq!(f.arg(2), Some(33));
+        assert_eq!(f.arg(3), None);
+        assert_eq!(f.cont(), Some(33));
+        assert_eq!(f.state_words(), &[11, 22]);
+        store_frame(&mem, 80, 9, &[]);
+        let empty = read_frame(&mem, 80).unwrap();
+        assert_eq!(empty.cont(), None);
+        assert!(empty.state_words().is_empty());
     }
 
     #[test]

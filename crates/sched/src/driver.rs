@@ -12,6 +12,21 @@
 //! first capsule of this thread, and sets its first entry to local. All
 //! other processes install the findWork capsule."
 //!
+//! ## Entry points
+//!
+//! The session object [`crate::Runtime`] is the one public entry point:
+//! `Runtime::run_or_recover` (registered persistent computations) and
+//! `Runtime::run_or_replay` (legacy closure computations) dispatch to the
+//! fresh-run, persistent-resume, or replay-fallback paths in this module
+//! and return a unified [`SessionReport`]. The four free functions of the
+//! pre-session API ([`run_computation`], [`run_persistent`],
+//! [`recover_computation`], [`recover_persistent`]) remain as deprecated
+//! thin shims for one release. The landing is soft only for the two run
+//! functions: the recover shims now return the unified
+//! [`SessionReport`] — the old `RecoveryReport`/`RecoveryMode` types are
+//! gone and `fallback_reason` is a structured [`FallbackReason`] — so
+//! their callers migrate field accesses either way.
+//!
 //! ## Crash recovery across process lifetimes
 //!
 //! Recovery extends the paper's hard-fault story to the death of the
@@ -22,22 +37,21 @@
 //! Two recovery paths exist, differing in what a deque entry's handle
 //! *means* to the new process:
 //!
-//! * **Resume** ([`recover_persistent`], for computations built from
-//!   registered persistent capsules): every persisted `job` entry and
-//!   every running thread's restart pointer is a frame address
-//!   ([`ppm_pm::frame`]), so the recovering process rehydrates each one
-//!   through the machine's [`ppm_core::CapsuleRegistry`] and re-plants
-//!   them as jobs on fresh deques. Only in-flight work is re-driven;
-//!   recovery cost is bounded by what was lost, not by total work.
-//! * **Replay** ([`recover_computation`], and the fallback of
-//!   [`recover_persistent`] whenever the persisted state is not fully
-//!   rehydratable — legacy closure capsules, an in-flight steal caught
-//!   mid-transfer, a restart pointer parked on a scheduler-internal
-//!   capsule): the deques are scrubbed back to the §6.3 initial state and
-//!   the computation re-runs from its root. Idempotence (write-after-read
-//!   conflict freedom plus CAM test-and-set for once-only effects — the
-//!   §5 discipline) guarantees effects already applied by the dead run
-//!   are not applied again; replay costs work, never correctness.
+//! * **Resume** (for computations built from registered persistent
+//!   capsules): every persisted `job` entry and every running thread's
+//!   restart pointer is a frame address ([`ppm_pm::frame`]), so the
+//!   recovering process rehydrates each one through the machine's
+//!   [`ppm_core::CapsuleRegistry`] and re-plants them as jobs on fresh
+//!   deques. Only in-flight work is re-driven; recovery cost is bounded
+//!   by what was lost, not by total work.
+//! * **Replay** (legacy closure computations, and the fallback whenever
+//!   the persisted state is not fully rehydratable — see
+//!   [`FallbackReason`]): the deques are scrubbed back to the §6.3
+//!   initial state and the computation re-runs from its root. Idempotence
+//!   (write-after-read conflict freedom plus CAM test-and-set for
+//!   once-only effects — the §5 discipline) guarantees effects already
+//!   applied by the dead run are not applied again; replay costs work,
+//!   never correctness.
 //!
 //! Either way the machine is flushed before recovery returns, so a second
 //! crash during recovery recovers the same way.
@@ -45,7 +59,9 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ppm_core::persist::FrameDecodeError;
 pub use ppm_core::registry::PComp;
+use ppm_core::registry::RehydrateError;
 use ppm_core::{run_capsule, Comp, Cont, DoneFlag, InstallCtx, Machine, Step, CORE_ID_FINALE};
 use ppm_pm::{StatsSnapshot, Word};
 
@@ -62,7 +78,7 @@ pub enum ProcOutcome {
     Dead,
 }
 
-/// The result of running a computation under the scheduler.
+/// The result of one parallel section (the inner run of a session).
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Whether the computation's completion flag was set (always true
@@ -90,11 +106,240 @@ impl RunReport {
     }
 }
 
+/// How a session re-drove (or first drove) its computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionMode {
+    /// A fresh run on a machine with no crashed predecessor.
+    FreshRun,
+    /// The persisted completion flag was already set; nothing re-ran.
+    AlreadyComplete,
+    /// Persisted deque entries and restart pointers were rehydrated
+    /// through the capsule registry and re-planted: the run resumed from
+    /// the crash frontier.
+    Resumed,
+    /// State was scrubbed and the computation replayed from its root
+    /// (legacy closures, or an ambiguous crash window — see
+    /// [`SessionReport::fallback_reason`]).
+    Replayed,
+}
+
+/// Why a recovery could not resume the crash frontier and fell back to
+/// replay-from-root. Carries the structured rehydration failure — down to
+/// the typed [`FrameDecodeError`] — when decoding is what failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FallbackReason {
+    /// No in-flight entries were found; the computation restarts from the
+    /// root (it had barely begun, or its frontier died with its thieves).
+    NoFrontier,
+    /// The computation is built from process-local Rust closures, which
+    /// cannot be rehydrated by construction.
+    LegacyClosures,
+    /// A persisted handle did not rehydrate through the capsule registry.
+    Rehydrate {
+        /// Which persisted handle failed (deque entry or restart
+        /// pointer, with its location).
+        what: String,
+        /// The rehydration failure, carrying the typed decode error when
+        /// a constructor rejected the argument words.
+        error: RehydrateError,
+    },
+    /// A `taken` entry references a thief coordinate outside the machine
+    /// (corrupt state).
+    InvalidTakenRef {
+        /// Victim deque owner.
+        victim: usize,
+        /// Victim slot index.
+        slot: usize,
+        /// Referenced thief processor.
+        thief: usize,
+        /// Referenced thief slot.
+        thief_slot: usize,
+    },
+    /// The crash caught a steal between the victim-entry CAM and the
+    /// thief-entry CAM; the stolen thread's handle lived only in the dead
+    /// thief's ephemeral closure.
+    StealInFlight {
+        /// Victim deque owner.
+        victim: usize,
+        /// Victim slot index.
+        slot: usize,
+        /// Thief processor.
+        thief: usize,
+        /// Thief slot the steal was transferring into.
+        thief_slot: usize,
+    },
+    /// A deque held two `local` entries: the crash landed mid-`pushBottom`.
+    MidPush {
+        /// The deque's owner.
+        deque: usize,
+    },
+}
+
+impl FallbackReason {
+    /// The typed frame-argument decode error, when the fallback was a
+    /// constructor rejecting a frame's words.
+    pub fn decode_error(&self) -> Option<&FrameDecodeError> {
+        match self {
+            FallbackReason::Rehydrate { error, .. } => error.decode_error(),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FallbackReason::NoFrontier => {
+                write!(f, "no in-flight entries found; restarting from the root")
+            }
+            FallbackReason::LegacyClosures => {
+                write!(f, "legacy closure computation (no persistent frames)")
+            }
+            FallbackReason::Rehydrate { what, error } => write!(f, "{what}: {error}"),
+            FallbackReason::InvalidTakenRef {
+                victim,
+                slot,
+                thief,
+                thief_slot,
+            } => write!(
+                f,
+                "taken entry {slot} of deque {victim} references invalid thief \
+                 ({thief}, {thief_slot})"
+            ),
+            FallbackReason::StealInFlight {
+                victim,
+                slot,
+                thief,
+                thief_slot,
+            } => write!(
+                f,
+                "steal of entry {slot} of deque {victim} was in flight (thief {thief} \
+                 slot {thief_slot} not yet claimed)"
+            ),
+            FallbackReason::MidPush { deque } => {
+                write!(f, "deque {deque} was mid-pushBottom (two local entries)")
+            }
+        }
+    }
+}
+
+/// The unified report of a [`crate::Runtime`] session: what the session
+/// found on the machine, how it drove the computation, and the inner
+/// run's statistics. Subsumes the pre-session `RunReport`-plus-
+/// `RecoveryReport` pair.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Durable run epoch of the machine (0 volatile, 1 creating run,
+    /// +1 per reopen).
+    pub epoch: u64,
+    /// How the computation was driven.
+    pub mode: SessionMode,
+    /// In-flight `job` entries found across the persisted deques (0 on a
+    /// fresh run).
+    pub found_jobs: usize,
+    /// `local` entries (threads that were running when the crash hit).
+    pub found_locals: usize,
+    /// `taken` entries (completed or in-progress steals).
+    pub found_taken: usize,
+    /// Processors whose persisted restart pointer was non-null.
+    pub live_restart_pointers: usize,
+    /// Continuations rehydrated from persistent frames and re-planted as
+    /// jobs (0 unless [`SessionMode::Resumed`]); the resumed run executes
+    /// only these threads' remaining work plus their joins.
+    pub resumed: usize,
+    /// Why resume was not possible, when `mode` is
+    /// [`SessionMode::Replayed`].
+    pub fallback_reason: Option<FallbackReason>,
+    /// The driven run's report (`None` only when
+    /// [`SessionMode::AlreadyComplete`]).
+    pub run: Option<RunReport>,
+}
+
+impl SessionReport {
+    pub(crate) fn fresh_run(epoch: u64, run: RunReport) -> Self {
+        SessionReport {
+            epoch,
+            mode: SessionMode::FreshRun,
+            found_jobs: 0,
+            found_locals: 0,
+            found_taken: 0,
+            live_restart_pointers: 0,
+            resumed: 0,
+            fallback_reason: None,
+            run: Some(run),
+        }
+    }
+
+    /// Whether the computation is complete after this session.
+    pub fn completed(&self) -> bool {
+        self.mode == SessionMode::AlreadyComplete
+            || self.run.as_ref().map(|r| r.completed).unwrap_or(false)
+    }
+
+    /// The persisted completion flag was already set when the session
+    /// started: the previous run finished and nothing was re-driven.
+    pub fn already_complete(&self) -> bool {
+        self.mode == SessionMode::AlreadyComplete
+    }
+
+    /// Whether this session resumed a crash frontier instead of running
+    /// or replaying from the root.
+    pub fn resumed_run(&self) -> bool {
+        self.mode == SessionMode::Resumed
+    }
+
+    /// Total in-flight deque entries found at session start.
+    pub fn found_in_flight(&self) -> usize {
+        self.found_jobs + self.found_locals + self.found_taken
+    }
+
+    /// The inner run's report.
+    ///
+    /// # Panics
+    /// Panics when the session was [`SessionMode::AlreadyComplete`] (no
+    /// run happened); check [`SessionReport::run`] first in that case.
+    pub fn run_report(&self) -> &RunReport {
+        self.run
+            .as_ref()
+            .expect("session was AlreadyComplete: no run to report")
+    }
+
+    /// The inner run's statistics (see [`SessionReport::run_report`] for
+    /// the panic condition).
+    pub fn stats(&self) -> &StatsSnapshot {
+        &self.run_report().stats
+    }
+
+    /// The inner run's wall-clock duration (zero when already complete).
+    pub fn elapsed(&self) -> Duration {
+        self.run
+            .as_ref()
+            .map(|r| r.elapsed)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Processors that hard-faulted during the inner run.
+    pub fn dead_procs(&self) -> usize {
+        self.run.as_ref().map(|r| r.dead_procs()).unwrap_or(0)
+    }
+}
+
+// ====================================================================
+// Fresh runs
+// ====================================================================
+
 /// Runs a fork-join computation to completion on `machine`'s processors.
-///
-/// Allocates a completion flag, plants the root thread on processor 0, and
-/// drives all processors until the flag is set (or everyone is dead).
+#[deprecated(
+    note = "use a `ppm_sched::Runtime` session: `Runtime::new(machine, sched).run_or_replay(&comp)`"
+)]
 pub fn run_computation(machine: &Machine, comp: &Comp, cfg: &SchedConfig) -> RunReport {
+    run_computation_impl(machine, comp, cfg)
+}
+
+/// Fresh run of a legacy-closure computation: allocates a completion
+/// flag, plants the root thread on processor 0, and drives all processors
+/// until the flag is set (or everyone is dead).
+pub(crate) fn run_computation_impl(machine: &Machine, comp: &Comp, cfg: &SchedConfig) -> RunReport {
     let done = DoneFlag::new(machine);
     let root = comp(done.finale());
     run_root_thread(machine, root, done, cfg)
@@ -113,12 +358,22 @@ pub fn run_root_thread(
 }
 
 /// Runs a computation expressed as persistent capsule frames ([`PComp`]).
-///
-/// Like [`run_computation`], but the root thread — and every continuation
-/// it forks — is denoted by persistent frame addresses, so a crash of the
-/// whole process leaves a machine file that [`recover_persistent`] can
-/// *resume* instead of replaying from the root.
+#[deprecated(
+    note = "use a `ppm_sched::Runtime` session: `Runtime::new(machine, sched).run_or_recover(&pcomp)`"
+)]
 pub fn run_persistent(machine: &Machine, pcomp: &PComp, cfg: &SchedConfig) -> RunReport {
+    run_persistent_impl(machine, pcomp, cfg)
+}
+
+/// Fresh run of a persistent-capsule computation: the root thread — and
+/// every continuation it forks — is denoted by persistent frame
+/// addresses, so a crash of the whole process leaves a machine file that
+/// a recovering session can *resume* instead of replaying from the root.
+pub(crate) fn run_persistent_impl(
+    machine: &Machine,
+    pcomp: &PComp,
+    cfg: &SchedConfig,
+) -> RunReport {
     let done = DoneFlag::new(machine);
     let sched = Sched::new(machine, done, cfg);
     let finale = machine.setup_frame(CORE_ID_FINALE, &[done.addr() as Word]);
@@ -233,66 +488,9 @@ fn run_attached(
     }
 }
 
-/// How a recovery run re-drove the crashed computation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RecoveryMode {
-    /// The persisted completion flag was already set; nothing re-ran.
-    AlreadyComplete,
-    /// Persisted deque entries and restart pointers were rehydrated
-    /// through the capsule registry and re-planted: the run resumed from
-    /// the crash frontier.
-    Resumed,
-    /// State was scrubbed and the computation replayed from its root
-    /// (legacy closures, or an ambiguous crash window — see
-    /// [`RecoveryReport::fallback_reason`]).
-    Replayed,
-}
-
-/// What recovery found and did.
-#[derive(Debug, Clone)]
-pub struct RecoveryReport {
-    /// Run epoch of the recovering machine (0 for volatile machines).
-    pub epoch: u64,
-    /// The persisted completion flag was already set: the previous run
-    /// finished and nothing was re-driven.
-    pub already_complete: bool,
-    /// How the computation was re-driven.
-    pub mode: RecoveryMode,
-    /// In-flight `job` entries found across the persisted deques.
-    pub found_jobs: usize,
-    /// `local` entries (threads that were running when the crash hit).
-    pub found_locals: usize,
-    /// `taken` entries (completed or in-progress steals).
-    pub found_taken: usize,
-    /// Processors whose persisted restart pointer was non-null.
-    pub live_restart_pointers: usize,
-    /// Continuations rehydrated from persistent frames and re-planted as
-    /// jobs (0 when replaying); the resumed run executes only these
-    /// threads' remaining work plus their joins.
-    pub resumed: usize,
-    /// Why resume was not possible, when `mode` is
-    /// [`RecoveryMode::Replayed`].
-    pub fallback_reason: Option<String>,
-    /// The re-driven run's report (`None` when `already_complete`).
-    pub run: Option<RunReport>,
-}
-
-impl RecoveryReport {
-    /// Whether the computation is complete after recovery.
-    pub fn completed(&self) -> bool {
-        self.already_complete || self.run.as_ref().map(|r| r.completed).unwrap_or(false)
-    }
-
-    /// Total in-flight deque entries found at reopen.
-    pub fn found_in_flight(&self) -> usize {
-        self.found_jobs + self.found_locals + self.found_taken
-    }
-
-    /// Whether recovery resumed the crash frontier instead of replaying.
-    pub fn resumed_run(&self) -> bool {
-        self.mode == RecoveryMode::Resumed
-    }
-}
+// ====================================================================
+// Recovery
+// ====================================================================
 
 /// Entry counts found in the persisted deques, plus live restart pointers.
 fn crash_forensics(machine: &Machine, sched: &Arc<Sched>) -> (usize, usize, usize, usize) {
@@ -340,10 +538,11 @@ fn scrub_scheduler_state(machine: &Machine, sched: &Arc<Sched>, keep_watermarks:
 
 /// Harvests the crash frontier for resume: every persisted `job` entry's
 /// handle, plus — for every deque holding a `local` entry — the owning
-/// processor's restart pointer. Errors (with a reason) if any handle does
-/// not rehydrate through the registry or if the crash caught a steal
-/// mid-transfer, in which case the caller falls back to root replay.
-fn harvest_frontier(machine: &Machine, sched: &Arc<Sched>) -> Result<Vec<Word>, String> {
+/// processor's restart pointer. Errors with a structured
+/// [`FallbackReason`] if any handle does not rehydrate through the
+/// registry or if the crash caught a steal mid-transfer, in which case
+/// the caller falls back to root replay.
+fn harvest_frontier(machine: &Machine, sched: &Arc<Sched>) -> Result<Vec<Word>, FallbackReason> {
     let mem = machine.mem();
     // Validate through the registry directly, NOT through the arena: the
     // arena would cache each rehydrated capsule under its frame address,
@@ -363,7 +562,10 @@ fn harvest_frontier(machine: &Machine, sched: &Arc<Sched>) -> Result<Vec<Word>, 
                 (_, EntryVal::Job { handle }) => {
                     registry
                         .rehydrate(mem, handle)
-                        .map_err(|e| format!("job entry {i} of deque {}: {e}", d.owner))?;
+                        .map_err(|error| FallbackReason::Rehydrate {
+                            what: format!("job entry {i} of deque {}", d.owner),
+                            error,
+                        })?;
                     seeds.push(handle);
                 }
                 (_, EntryVal::Local) => locals += 1,
@@ -374,18 +576,21 @@ fn harvest_frontier(machine: &Machine, sched: &Arc<Sched>) -> Result<Vec<Word>, 
                     // holds the thread's handle only in the dead thief's
                     // ephemeral closure — unresumable.
                     if proc >= machine.procs() || slot >= sched.deques()[proc].slots {
-                        return Err(format!(
-                            "taken entry {i} of deque {} references invalid thief ({proc}, {slot})",
-                            d.owner
-                        ));
+                        return Err(FallbackReason::InvalidTakenRef {
+                            victim: d.owner,
+                            slot: i,
+                            thief: proc,
+                            thief_slot: slot,
+                        });
                     }
                     let thief_word = mem.load(sched.deques()[proc].entry(slot));
                     if thief_word == pack(tag, EntryVal::Empty) {
-                        return Err(format!(
-                            "steal of entry {i} of deque {} was in flight (thief {proc} \
-                             slot {slot} not yet claimed)",
-                            d.owner
-                        ));
+                        return Err(FallbackReason::StealInFlight {
+                            victim: d.owner,
+                            slot: i,
+                            thief: proc,
+                            thief_slot: slot,
+                        });
                     }
                 }
             }
@@ -396,20 +601,18 @@ fn harvest_frontier(machine: &Machine, sched: &Arc<Sched>) -> Result<Vec<Word>, 
                 // The thread running on this deque's processor at crash
                 // time; its state is the persisted restart pointer.
                 let handle = machine.active_handle(d.owner);
-                registry.rehydrate(mem, handle).map_err(|e| {
-                    format!(
-                        "local entry of deque {} (restart pointer {handle}): {e}",
-                        d.owner
-                    )
-                })?;
+                registry
+                    .rehydrate(mem, handle)
+                    .map_err(|error| FallbackReason::Rehydrate {
+                        what: format!(
+                            "local entry of deque {} (restart pointer {handle})",
+                            d.owner
+                        ),
+                        error,
+                    })?;
                 seeds.push(handle);
             }
-            _ => {
-                return Err(format!(
-                    "deque {} was mid-pushBottom (two local entries)",
-                    d.owner
-                ))
-            }
+            _ => return Err(FallbackReason::MidPush { deque: d.owner }),
         }
     }
     Ok(seeds)
@@ -436,6 +639,14 @@ fn plant_seeds(machine: &Machine, sched: &Arc<Sched>, seeds: &[Word]) {
     }
 }
 
+/// Resumes a crashed run of a persistent-capsule computation.
+#[deprecated(
+    note = "use a `ppm_sched::Runtime` session: `Runtime::open(path, cfg)?.run_or_recover(&pcomp)`"
+)]
+pub fn recover_persistent(machine: &Machine, pcomp: &PComp, cfg: &SchedConfig) -> SessionReport {
+    recover_persistent_impl(machine, pcomp, cfg)
+}
+
 /// Resumes a crashed run of a persistent-capsule computation from a
 /// machine that came back from [`Machine::reopen`].
 ///
@@ -455,21 +666,24 @@ fn plant_seeds(machine: &Machine, sched: &Arc<Sched>, seeds: &[Word]) {
 ///    resumed run executes only the threads that were in flight (plus
 ///    their joins up the spine), so recovery cost is proportional to
 ///    lost work, not total work.
-/// 3. Falls back to scrub-and-replay from the root — exactly
-///    [`recover_computation`]'s semantics — when any handle does not
-///    rehydrate (a legacy-closure computation or an unregistered id) or
-///    the crash landed in one of the narrow ambiguous windows (a steal
+/// 3. Falls back to scrub-and-replay from the root when any handle does
+///    not rehydrate (a legacy-closure computation or an unregistered id)
+///    or the crash landed in one of the narrow ambiguous windows (a steal
 ///    mid-transfer, a fork mid-push, a restart pointer parked on a
-///    scheduler-internal capsule). [`RecoveryReport::fallback_reason`]
-///    says which.
+///    scheduler-internal capsule). [`SessionReport::fallback_reason`]
+///    says which, as a structured [`FallbackReason`].
 ///
 /// Either way every effect is applied exactly once: rehydrated capsules
 /// are the same idempotent bodies, and replay relies on the §5 CAM
 /// discipline. The machine is flushed before this returns.
-pub fn recover_persistent(machine: &Machine, pcomp: &PComp, cfg: &SchedConfig) -> RecoveryReport {
-    // Replay the construction order of `run_persistent`: completion flag,
-    // scheduler deques, finale frame, then the computation's own frames
-    // (all deterministic, all rewriting identical words).
+pub(crate) fn recover_persistent_impl(
+    machine: &Machine,
+    pcomp: &PComp,
+    cfg: &SchedConfig,
+) -> SessionReport {
+    // Replay the construction order of a fresh persistent run: completion
+    // flag, scheduler deques, finale frame, then the computation's own
+    // frames (all deterministic, all rewriting identical words).
     let done = DoneFlag::new(machine);
     let sched = Sched::new(
         machine,
@@ -485,10 +699,9 @@ pub fn recover_persistent(machine: &Machine, pcomp: &PComp, cfg: &SchedConfig) -
     let root_handle = pcomp(machine, finale);
 
     if done.is_set(machine.mem()) {
-        return RecoveryReport {
+        return SessionReport {
             epoch: machine.epoch(),
-            already_complete: true,
-            mode: RecoveryMode::AlreadyComplete,
+            mode: SessionMode::AlreadyComplete,
             found_jobs,
             found_locals,
             found_taken,
@@ -502,10 +715,7 @@ pub fn recover_persistent(machine: &Machine, pcomp: &PComp, cfg: &SchedConfig) -
     let harvest = harvest_frontier(machine, &sched);
     let (seeds, fallback_reason) = match harvest {
         Ok(seeds) if !seeds.is_empty() => (seeds, None),
-        Ok(_) => (
-            Vec::new(),
-            Some("no in-flight entries found; restarting from the root".to_string()),
-        ),
+        Ok(_) => (Vec::new(), Some(FallbackReason::NoFrontier)),
         Err(reason) => (Vec::new(), Some(reason)),
     };
     let resume = fallback_reason.is_none();
@@ -528,13 +738,12 @@ pub fn recover_persistent(machine: &Machine, pcomp: &PComp, cfg: &SchedConfig) -
     machine
         .flush()
         .expect("flushing recovered machine to stable storage");
-    RecoveryReport {
+    SessionReport {
         epoch: machine.epoch(),
-        already_complete: false,
         mode: if resume {
-            RecoveryMode::Resumed
+            SessionMode::Resumed
         } else {
-            RecoveryMode::Replayed
+            SessionMode::Replayed
         },
         found_jobs,
         found_locals,
@@ -544,6 +753,15 @@ pub fn recover_persistent(machine: &Machine, pcomp: &PComp, cfg: &SchedConfig) -
         fallback_reason,
         run: Some(run),
     }
+}
+
+/// Resumes a *legacy-closure* computation after a crash (always by
+/// replay).
+#[deprecated(
+    note = "use a `ppm_sched::Runtime` session: `Runtime::open(path, cfg)?.run_or_replay(&comp)`"
+)]
+pub fn recover_computation(machine: &Machine, comp: &Comp, cfg: &SchedConfig) -> SessionReport {
+    recover_computation_impl(machine, comp, cfg)
 }
 
 /// Resumes a *legacy-closure* computation whose machine came back from
@@ -561,11 +779,14 @@ pub fn recover_persistent(machine: &Machine, pcomp: &PComp, cfg: &SchedConfig) -
 /// and the computation replays from its root. Capsule idempotence (the §5
 /// CAM discipline) makes the replay apply each effect exactly once —
 /// work, not effects, is what replay costs. Computations built from
-/// registered capsules should use [`recover_persistent`], which resumes
-/// the persisted entries directly and falls back to this path's semantics
-/// only when it must.
-pub fn recover_computation(machine: &Machine, comp: &Comp, cfg: &SchedConfig) -> RecoveryReport {
-    // Replay the allocation order of `run_computation`: completion flag
+/// registered capsules resume through [`recover_persistent_impl`]'s path
+/// instead.
+pub(crate) fn recover_computation_impl(
+    machine: &Machine,
+    comp: &Comp,
+    cfg: &SchedConfig,
+) -> SessionReport {
+    // Replay the allocation order of a fresh closure run: completion flag
     // first, then the scheduler's deques. The Figure 4 transition checker
     // is deferred past the scrub (scrub stores are machine maintenance,
     // not entry transitions).
@@ -582,10 +803,9 @@ pub fn recover_computation(machine: &Machine, comp: &Comp, cfg: &SchedConfig) ->
         crash_forensics(machine, &sched);
 
     if done.is_set(machine.mem()) {
-        return RecoveryReport {
+        return SessionReport {
             epoch: machine.epoch(),
-            already_complete: true,
-            mode: RecoveryMode::AlreadyComplete,
+            mode: SessionMode::AlreadyComplete,
             found_jobs,
             found_locals,
             found_taken,
@@ -606,16 +826,15 @@ pub fn recover_computation(machine: &Machine, comp: &Comp, cfg: &SchedConfig) ->
     machine
         .flush()
         .expect("flushing recovered machine to stable storage");
-    RecoveryReport {
+    SessionReport {
         epoch: machine.epoch(),
-        already_complete: false,
-        mode: RecoveryMode::Replayed,
+        mode: SessionMode::Replayed,
         found_jobs,
         found_locals,
         found_taken,
         live_restart_pointers,
         resumed: 0,
-        fallback_reason: Some("legacy closure computation (no persistent frames)".to_string()),
+        fallback_reason: Some(FallbackReason::LegacyClosures),
         run: Some(run),
     }
 }
@@ -673,7 +892,7 @@ mod tests {
         let m = machine(1, FaultConfig::none());
         let r = m.alloc_region(64);
         let comp = par_all((0..8).map(|i| write_marker(r, i)).collect());
-        let rep = run_computation(&m, &comp, &SchedConfig::with_slots(256));
+        let rep = run_computation_impl(&m, &comp, &SchedConfig::with_slots(256));
         assert!(rep.completed);
         assert_eq!(rep.outcomes, vec![ProcOutcome::Halted]);
         for i in 0..8 {
@@ -686,7 +905,7 @@ mod tests {
         let m = machine(2, FaultConfig::none());
         let r = m.alloc_region(64);
         let comp = comp_fork2(write_marker(r, 0), write_marker(r, 1));
-        let rep = run_computation(&m, &comp, &SchedConfig::with_slots(256));
+        let rep = run_computation_impl(&m, &comp, &SchedConfig::with_slots(256));
         assert!(rep.completed);
         assert_eq!(m.mem().load(r.at(0)), 1);
         assert_eq!(m.mem().load(r.at(1)), 2);
@@ -700,7 +919,7 @@ mod tests {
         let comp = par_all((0..n).map(|i| write_marker(r, i)).collect());
         let mut cfg = SchedConfig::with_slots(1024);
         cfg.check_transitions = true;
-        let rep = run_computation(&m, &comp, &cfg);
+        let rep = run_computation_impl(&m, &comp, &cfg);
         assert!(rep.completed);
         for i in 0..n {
             assert_eq!(m.mem().load(r.at(i)), i as u64 + 1, "task {i}");
@@ -714,7 +933,7 @@ mod tests {
             let n = 48;
             let r = m.alloc_region(n);
             let comp = par_all((0..n).map(|i| write_marker(r, i)).collect());
-            let rep = run_computation(&m, &comp, &SchedConfig::with_slots(1024));
+            let rep = run_computation_impl(&m, &comp, &SchedConfig::with_slots(1024));
             assert!(rep.completed, "seed {seed}");
             assert!(rep.stats.soft_faults > 0, "seed {seed} should see faults");
             for i in 0..n {
@@ -730,7 +949,7 @@ mod tests {
         let n = 32;
         let r = m.alloc_region(n);
         let comp = par_all((0..n).map(|i| write_marker(r, i)).collect());
-        let rep = run_computation(&m, &comp, &SchedConfig::with_slots(1024));
+        let rep = run_computation_impl(&m, &comp, &SchedConfig::with_slots(1024));
         assert!(rep.completed);
         assert_eq!(rep.dead_procs(), 1);
         assert_eq!(rep.outcomes[0], ProcOutcome::Dead);
@@ -750,7 +969,7 @@ mod tests {
         let n = 32;
         let r = m.alloc_region(n);
         let comp = par_all((0..n).map(|i| write_marker(r, i)).collect());
-        let rep = run_computation(&m, &comp, &SchedConfig::with_slots(1024));
+        let rep = run_computation_impl(&m, &comp, &SchedConfig::with_slots(1024));
         assert!(rep.completed);
         assert_eq!(rep.dead_procs(), 3);
         for i in 0..n {
@@ -767,8 +986,52 @@ mod tests {
         });
         let r = m.alloc_region(64);
         let comp = par_all((0..16).map(|i| write_marker(r, i)).collect());
-        let rep = run_computation(&m, &comp, &SchedConfig::with_slots(512));
+        let rep = run_computation_impl(&m, &comp, &SchedConfig::with_slots(512));
         assert!(!rep.completed);
         assert_eq!(rep.dead_procs(), 2);
+    }
+
+    #[test]
+    fn fallback_reasons_render_and_expose_decode_errors() {
+        let reasons = [
+            FallbackReason::NoFrontier,
+            FallbackReason::LegacyClosures,
+            FallbackReason::StealInFlight {
+                victim: 0,
+                slot: 3,
+                thief: 1,
+                thief_slot: 2,
+            },
+            FallbackReason::InvalidTakenRef {
+                victim: 1,
+                slot: 0,
+                thief: 9,
+                thief_slot: 9,
+            },
+            FallbackReason::MidPush { deque: 2 },
+        ];
+        for r in &reasons {
+            assert!(!r.to_string().is_empty());
+            assert!(r.decode_error().is_none());
+        }
+        let decode = ppm_core::persist::FrameDecodeError {
+            capsule: "prefix/up",
+            kind: ppm_core::persist::FrameDecodeKind::Arity {
+                expected: 12,
+                got: 3,
+            },
+        };
+        let r = FallbackReason::Rehydrate {
+            what: "job entry 0 of deque 1".into(),
+            error: RehydrateError::BadArgs {
+                addr: 64,
+                capsule_id: 0x100,
+                error: decode,
+            },
+        };
+        assert_eq!(r.decode_error().unwrap().capsule, "prefix/up");
+        let msg = r.to_string();
+        assert!(msg.contains("prefix/up"), "{msg}");
+        assert!(msg.contains("job entry 0"), "{msg}");
     }
 }

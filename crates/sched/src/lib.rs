@@ -14,11 +14,15 @@
 //!   `findWork` and `scheduler` as capsule state machines with the paper's
 //!   exact commit boundaries.
 //! * [`driver`] — one OS thread per model processor; runs fork-join
-//!   computations to completion and reports cost statistics. Also the
-//!   cross-process recovery path ([`driver::recover_computation`]): after
-//!   a whole process dies mid-run on a durable machine, a fresh process
-//!   reopens the file and drives the computation to completion with
-//!   exactly-once effects.
+//!   computations to completion and reports cost statistics, including
+//!   the cross-process recovery paths (resume via the capsule registry,
+//!   replay from the root).
+//! * [`runtime`] — the user-facing session object: [`Runtime`] wraps a
+//!   machine and dispatches [`Runtime::run_or_recover`] to fresh-run,
+//!   persistent-resume, or replay-fallback internally, returning one
+//!   unified [`SessionReport`]. After a whole process dies mid-run on a
+//!   durable machine, a fresh process `Runtime::open`s the file and
+//!   drives the computation to completion with exactly-once effects.
 //! * [`abp`] — the CAS-based Arora–Blumofe–Plaxton baseline (not
 //!   fault-tolerant), for the comparison benchmarks.
 
@@ -30,11 +34,14 @@ pub mod capsules;
 pub mod deque;
 pub mod driver;
 pub mod entry;
+pub mod runtime;
 
 pub use capsules::{Sched, SchedConfig};
 pub use deque::{build_deques, check_invariant, render, snapshot, DequeAddrs, DequeSnapshot};
+#[allow(deprecated)]
 pub use driver::{
     recover_computation, recover_persistent, run_computation, run_persistent, run_root_on,
-    run_root_thread, PComp, ProcOutcome, RecoveryMode, RecoveryReport, RunReport,
+    run_root_thread, FallbackReason, PComp, ProcOutcome, RunReport, SessionMode, SessionReport,
 };
 pub use entry::{kind_of, pack, tag_of, unpack, EntryKind, EntryVal};
+pub use runtime::{Runtime, RuntimeConfig};

@@ -1,0 +1,360 @@
+//! `Runtime`: one session object for running and recovering computations.
+//!
+//! The pre-session API exposed four free functions (`run_computation`,
+//! `run_persistent`, `recover_computation`, `recover_persistent`) and
+//! left the caller to decide which to call — i.e. to re-implement the
+//! "did the previous process crash?" dispatch at every call site. A
+//! [`Runtime`] owns that decision: it wraps a [`Machine`] plus a
+//! [`SchedConfig`], and its one entry point for persistent computations,
+//! [`Runtime::run_or_recover`], dispatches internally to
+//!
+//! * a **fresh run** when the machine has no crashed predecessor
+//!   (volatile machines, or the creating run of a durable file),
+//! * a **persistent resume** of the crash frontier when the machine was
+//!   reopened from a crashed run and every in-flight handle rehydrates,
+//! * the **replay-from-root fallback** otherwise (with a structured
+//!   [`crate::FallbackReason`] saying why), or
+//! * nothing at all when the persisted completion flag shows the
+//!   previous run already finished,
+//!
+//! and always returns the same unified [`SessionReport`].
+//!
+//! [`Runtime::run_or_replay`] is the equivalent single entry point for
+//! legacy closure computations (which can only ever replay after a
+//! crash).
+//!
+//! ## Sessions and determinism
+//!
+//! A `Runtime` stands for one *session* against one machine. The
+//! recovery contract of the underlying machinery is unchanged: the
+//! process that calls [`Runtime::open`] must rebuild the computation
+//! deterministically — same `alloc_region` calls in the same order, same
+//! capsule names declared in the same order (see `ppm_core::dsl`), same
+//! scheduler shape — before `run_or_recover` inspects the persisted
+//! deques. The typed DSL makes that cheap: a `pcomp` closure carries the
+//! whole construction.
+//!
+//! ```
+//! use ppm_core::{dsl, Machine, PComp};
+//! use ppm_pm::PmConfig;
+//! use ppm_sched::{Runtime, RuntimeConfig};
+//! use std::sync::Arc;
+//!
+//! let rt = Runtime::volatile(RuntimeConfig::new(PmConfig::parallel(2, 1 << 20)));
+//! let out = rt.machine().alloc_region(16);
+//! let pcomp: PComp = Arc::new(move |m: &Machine, finale| {
+//!     let mut set = dsl::CapsuleSet::new(m);
+//!     let leaf = set.define("doc/mark", |st: &dsl::Span<ppm_pm::Region>, k, ctx| {
+//!         for i in st.lo..st.hi {
+//!             ctx.pwrite(st.env.at(i), i as u64 + 1)?;
+//!         }
+//!         Ok(dsl::Step::Jump(k))
+//!     });
+//!     let split = set.map_grain("doc/split", 4, leaf);
+//!     split.setup(m, &dsl::Span { env: out, lo: 0, hi: 16 }, dsl::K(finale)).0
+//! });
+//! let report = rt.run_or_recover(&pcomp);
+//! assert!(report.completed());
+//! assert_eq!(rt.machine().mem().load(out.at(5)), 6);
+//! ```
+
+use ppm_core::{Comp, Machine};
+use ppm_pm::PmConfig;
+
+use crate::capsules::SchedConfig;
+use crate::driver::{
+    recover_computation_impl, recover_persistent_impl, run_computation_impl, run_persistent_impl,
+    PComp, SessionReport,
+};
+
+/// Configuration for a [`Runtime`] session: the machine shape plus the
+/// scheduler shape.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Machine configuration (processors, memory size, fault adversary,
+    /// validation mode). When a session is [`Runtime::open`]ed from an
+    /// existing file, the shape fields come from the file's superblock
+    /// and only the fault/validation fields of this value apply.
+    pub pm: PmConfig,
+    /// Scheduler configuration (deque slots, victim-selection seed,
+    /// transition checking).
+    pub sched: SchedConfig,
+    /// Per-processor allocation-pool words; `None` uses the machine
+    /// default sizing.
+    pub pool_words: Option<usize>,
+}
+
+impl RuntimeConfig {
+    /// A config over a machine shape, with default scheduler settings.
+    pub fn new(pm: PmConfig) -> Self {
+        RuntimeConfig {
+            pm,
+            sched: SchedConfig::default(),
+            pool_words: None,
+        }
+    }
+
+    /// Replaces the scheduler configuration.
+    pub fn with_sched(mut self, sched: SchedConfig) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Sets the deque size (shorthand for the common scheduler knob).
+    pub fn with_slots(mut self, slots: usize) -> Self {
+        self.sched.deque_slots = slots;
+        self
+    }
+
+    /// Sets explicit per-processor pool sizing (needed by the
+    /// scratch-hungry algorithms — see e.g.
+    /// `ppm_algs::sort::samplesort_pool_words`).
+    pub fn with_pool_words(mut self, words: usize) -> Self {
+        self.pool_words = Some(words);
+        self
+    }
+}
+
+/// A session against one Parallel-PM machine: the single user-facing way
+/// to run fork-join computations, durable or volatile, fresh or
+/// recovering. See the [module docs](self) for the dispatch semantics.
+#[derive(Debug)]
+pub struct Runtime {
+    machine: Machine,
+    sched: SchedConfig,
+}
+
+impl Runtime {
+    /// Wraps an already-constructed machine (volatile, durable-created,
+    /// or reopened) in a session. The universal adapter: `create`,
+    /// `open` and `volatile` are conveniences over this.
+    pub fn new(machine: Machine, sched: SchedConfig) -> Self {
+        Runtime { machine, sched }
+    }
+
+    /// A session on a fresh volatile machine (persistence spans the
+    /// simulated fault adversary only — tests, benchmarks, experiments).
+    pub fn volatile(cfg: RuntimeConfig) -> Self {
+        let machine = match cfg.pool_words {
+            Some(w) => Machine::with_pool_words(cfg.pm, w),
+            None => Machine::new(cfg.pm),
+        };
+        Runtime {
+            machine,
+            sched: cfg.sched,
+        }
+    }
+
+    /// Creates a session on a fresh durable machine file at `path`
+    /// (truncating anything already there). The first
+    /// [`Runtime::run_or_recover`] on this session is a fresh run whose
+    /// every continuation persists in the file.
+    #[cfg(unix)]
+    pub fn create(path: impl AsRef<std::path::Path>, cfg: RuntimeConfig) -> std::io::Result<Self> {
+        let machine = match cfg.pool_words {
+            Some(w) => Machine::create_durable_with_pool_words(cfg.pm, w, path)?,
+            None => Machine::create_durable(cfg.pm, path)?,
+        };
+        Ok(Runtime {
+            machine,
+            sched: cfg.sched,
+        })
+    }
+
+    /// Opens a session on an existing durable machine file (typically
+    /// after the creating process crashed). The machine shape comes from
+    /// the file's superblock; `cfg.pm`'s fault adversary and validation
+    /// mode apply to this run. [`Runtime::run_or_recover`] on this
+    /// session resumes, replays, or reports the computation already
+    /// complete.
+    #[cfg(unix)]
+    pub fn open(path: impl AsRef<std::path::Path>, cfg: RuntimeConfig) -> std::io::Result<Self> {
+        let machine = Machine::reopen_with(path, cfg.pm.fault.clone(), cfg.pm.validate)?;
+        Ok(Runtime {
+            machine,
+            sched: cfg.sched,
+        })
+    }
+
+    /// The session's machine (region allocation, oracle reads, flushing).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The session's scheduler configuration.
+    pub fn sched_config(&self) -> &SchedConfig {
+        &self.sched
+    }
+
+    /// Whether this session is recovering a previous process's machine
+    /// (reopened durable file) rather than running fresh.
+    pub fn is_recovery(&self) -> bool {
+        self.machine.epoch() >= 2
+    }
+
+    /// Runs a registered persistent computation — **the** entry point of
+    /// the typed API. Dispatches internally:
+    ///
+    /// * fresh session → fresh run (continuations persisted as frames);
+    /// * recovering session, completion flag set → nothing re-runs
+    ///   ([`crate::SessionMode::AlreadyComplete`]);
+    /// * recovering session, frontier rehydrates → resume from the crash
+    ///   frontier ([`crate::SessionMode::Resumed`]);
+    /// * recovering session otherwise → replay from the root with a
+    ///   structured fallback reason ([`crate::SessionMode::Replayed`]).
+    ///
+    /// `pcomp` must follow the construction-determinism contract (see
+    /// the [module docs](self)).
+    pub fn run_or_recover(&self, pcomp: &PComp) -> SessionReport {
+        if self.is_recovery() {
+            recover_persistent_impl(&self.machine, pcomp, &self.sched)
+        } else {
+            let epoch = self.machine.epoch();
+            SessionReport::fresh_run(
+                epoch,
+                run_persistent_impl(&self.machine, pcomp, &self.sched),
+            )
+        }
+    }
+
+    /// Runs a legacy closure computation: a fresh run on a fresh session,
+    /// a scrub-and-replay recovery on a recovering one. Closure capsules
+    /// cannot be rehydrated, so crash recovery always replays from the
+    /// root (idempotence makes that correct; registered computations
+    /// should prefer [`Runtime::run_or_recover`]).
+    pub fn run_or_replay(&self, comp: &Comp) -> SessionReport {
+        if self.is_recovery() {
+            recover_computation_impl(&self.machine, comp, &self.sched)
+        } else {
+            let epoch = self.machine.epoch();
+            SessionReport::fresh_run(
+                epoch,
+                run_computation_impl(&self.machine, comp, &self.sched),
+            )
+        }
+    }
+
+    /// Forces all stored words to stable storage (no-op for volatile
+    /// sessions).
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.machine.flush()
+    }
+
+    /// Flushes and records a clean shutdown in the durable superblock.
+    pub fn mark_clean(&self) -> std::io::Result<()> {
+        self.machine.mark_clean()
+    }
+
+    /// Unwraps the session back into its machine.
+    pub fn into_machine(self) -> Machine {
+        self.machine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SessionMode;
+    use ppm_core::{comp_step, par_all, Comp};
+    use ppm_pm::{FaultConfig, ProcCtx};
+
+    fn marker_comp(r: ppm_pm::Region, n: usize) -> Comp {
+        par_all(
+            (0..n)
+                .map(|i| {
+                    comp_step("mark", move |ctx: &mut ProcCtx| {
+                        ctx.pcam(r.at(i), 0, i as u64 + 1)
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn volatile_session_runs_fresh() {
+        let rt = Runtime::volatile(
+            RuntimeConfig::new(PmConfig::parallel(2, 1 << 18).with_fault(FaultConfig::none()))
+                .with_slots(512),
+        );
+        assert!(!rt.is_recovery());
+        let r = rt.machine().alloc_region(32);
+        let rep = rt.run_or_replay(&marker_comp(r, 16));
+        assert_eq!(rep.mode, SessionMode::FreshRun);
+        assert!(rep.completed());
+        assert_eq!(rep.epoch, 0);
+        assert!(rep.fallback_reason.is_none());
+        for i in 0..16 {
+            assert_eq!(rt.machine().mem().load(r.at(i)), i as u64 + 1);
+        }
+    }
+
+    #[cfg(unix)]
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ppm-runtime-test-{}-{tag}.ppm", std::process::id()));
+        p
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn create_then_open_dispatches_fresh_then_recover() {
+        let path = tmp("dispatch");
+        let _ = std::fs::remove_file(&path);
+        let cfg = || {
+            RuntimeConfig::new(
+                PmConfig::parallel(1, 1 << 18)
+                    .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, 60)),
+            )
+            .with_slots(512)
+        };
+        {
+            let rt = Runtime::create(&path, cfg()).unwrap();
+            assert!(!rt.is_recovery());
+            let r = rt.machine().alloc_region(32);
+            let rep = rt.run_or_replay(&marker_comp(r, 16));
+            assert_eq!(rep.mode, SessionMode::FreshRun);
+            assert!(!rep.completed(), "the scheduled hard fault kills the run");
+        }
+        let rt = Runtime::open(
+            &path,
+            RuntimeConfig::new(PmConfig::parallel(1, 1 << 18)).with_slots(512),
+        )
+        .unwrap();
+        assert!(rt.is_recovery());
+        let r = rt.machine().alloc_region(32);
+        let rep = rt.run_or_replay(&marker_comp(r, 16));
+        assert_eq!(rep.mode, SessionMode::Replayed);
+        assert!(rep.completed());
+        assert!(matches!(
+            rep.fallback_reason,
+            Some(crate::FallbackReason::LegacyClosures)
+        ));
+        for i in 0..16 {
+            assert_eq!(rt.machine().mem().load(r.at(i)), i as u64 + 1);
+        }
+        rt.mark_clean().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn reopening_a_clean_session_reports_already_complete() {
+        let path = tmp("clean");
+        let _ = std::fs::remove_file(&path);
+        let cfg = RuntimeConfig::new(PmConfig::parallel(1, 1 << 18)).with_slots(512);
+        {
+            let rt = Runtime::create(&path, cfg.clone()).unwrap();
+            let r = rt.machine().alloc_region(32);
+            assert!(rt.run_or_replay(&marker_comp(r, 8)).completed());
+            rt.mark_clean().unwrap();
+        }
+        let rt = Runtime::open(&path, cfg).unwrap();
+        let r = rt.machine().alloc_region(32);
+        let rep = rt.run_or_replay(&marker_comp(r, 8));
+        assert_eq!(rep.mode, SessionMode::AlreadyComplete);
+        assert!(rep.completed() && rep.already_complete());
+        assert!(rep.run.is_none());
+        assert_eq!(rep.elapsed(), std::time::Duration::ZERO);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

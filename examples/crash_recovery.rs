@@ -11,10 +11,10 @@
 //! 2. watches the durable file until some — but not all — marker cells are
 //!    set, then delivers `SIGKILL` (no handler can run: this is a real
 //!    crash, not a simulated fault);
-//! 3. reopens the file (`Machine::reopen`), reports how much progress the
-//!    dead run had made, and calls `recover_computation`, which re-attaches
-//!    fresh OS threads to the persisted scheduler state and drives the
-//!    computation to completion;
+//! 3. opens a fresh `Runtime` session on the file, reports how much
+//!    progress the dead run had made, and calls `run_or_replay`, which
+//!    re-attaches fresh OS threads to the persisted scheduler state and
+//!    drives the computation to completion;
 //! 4. verifies exactly-once effects: every marker cell holds its expected
 //!    value, cells the dead run already marked were never written again
 //!    during recovery (observed with a write observer), and cells it had
@@ -48,7 +48,7 @@ mod scenario {
 
     use ppm::core::{comp_step, par_all, Comp, Machine};
     use ppm::pm::{PmConfig, ProcCtx, Region, Word, SUPERBLOCK_BYTES};
-    use ppm::sched::{recover_computation, run_computation, SchedConfig};
+    use ppm::sched::{Runtime, RuntimeConfig};
 
     const PROCS: usize = 4;
     const WORDS: usize = 1 << 21;
@@ -65,8 +65,8 @@ mod scenario {
         PmConfig::parallel(PROCS, WORDS)
     }
 
-    fn sched_cfg() -> SchedConfig {
-        SchedConfig::with_slots(SLOTS)
+    fn runtime_cfg() -> RuntimeConfig {
+        RuntimeConfig::new(machine_cfg()).with_slots(SLOTS)
     }
 
     /// The deterministic user-allocation sequence. Creating run, probe,
@@ -100,11 +100,11 @@ mod scenario {
     }
 
     pub fn child(path: &str) {
-        let m = Machine::create_durable(machine_cfg(), path).expect("create durable machine");
-        let (scratch, markers) = alloc_regions(&m);
-        let rep = run_computation(&m, &build_comp(scratch, markers), &sched_cfg());
-        m.mark_clean().expect("flush completed run");
-        std::process::exit(if rep.completed { 0 } else { 1 });
+        let rt = Runtime::create(path, runtime_cfg()).expect("create durable session");
+        let (scratch, markers) = alloc_regions(rt.machine());
+        let rep = rt.run_or_replay(&build_comp(scratch, markers));
+        rt.mark_clean().expect("flush completed run");
+        std::process::exit(if rep.completed() { 0 } else { 1 });
     }
 
     /// Byte offset of marker cell `i` inside the durable file.
@@ -160,15 +160,15 @@ mod scenario {
         );
 
         // --- the recovering process's view ---
-        let m = Machine::reopen(&path).expect("reopen durable file");
-        let (scratch, markers) = alloc_regions(&m);
+        let rt = Runtime::open(&path, runtime_cfg()).expect("open session on durable file");
+        let (scratch, markers) = alloc_regions(rt.machine());
         let pre: Vec<bool> = (0..TASKS)
-            .map(|i| m.mem().load(markers.at(i)) != 0)
+            .map(|i| rt.machine().mem().load(markers.at(i)) != 0)
             .collect();
         let pre_count = pre.iter().filter(|b| **b).count();
         println!(
-            "reopened (epoch {}): crash left {pre_count}/{TASKS} tasks marked",
-            m.epoch()
+            "opened session (epoch {}): crash left {pre_count}/{TASKS} tasks marked",
+            rt.machine().epoch()
         );
         assert!(pre_count > 0, "kill threshold guarantees some progress");
         assert!(pre_count < TASKS, "child was killed mid-run");
@@ -177,14 +177,15 @@ mod scenario {
         let write_counts: Arc<Vec<AtomicU64>> =
             Arc::new((0..TASKS).map(|_| AtomicU64::new(0)).collect());
         let wc = write_counts.clone();
-        m.mem()
+        rt.machine()
+            .mem()
             .set_observer(Some(Arc::new(move |addr, _prev, _new| {
                 if markers.contains(addr) {
                     wc[addr - markers.start].fetch_add(1, Ordering::Relaxed);
                 }
             })));
 
-        let rec = recover_computation(&m, &build_comp(scratch, markers), &sched_cfg());
+        let rec = rt.run_or_replay(&build_comp(scratch, markers));
         let run = rec.run.as_ref().expect("crash left the run incomplete");
         assert!(run.completed, "recovery must finish the computation");
         println!(
@@ -203,7 +204,7 @@ mod scenario {
         let mut recovered = 0;
         for i in 0..TASKS {
             assert_eq!(
-                m.mem().load(markers.at(i)),
+                rt.machine().mem().load(markers.at(i)),
                 i as Word + 1,
                 "marker {i} must hold its once-only value"
             );
@@ -221,7 +222,7 @@ mod scenario {
                 recovered += 1;
             }
         }
-        m.mark_clean().expect("record clean shutdown");
+        rt.mark_clean().expect("record clean shutdown");
         println!(
             "exactly-once verified: {pre_count} markers from the killed run + {recovered} from \
              recovery = {TASKS}, none written twice"

@@ -2,21 +2,21 @@
 //! and a fresh process *resumes* the persisted deques instead of replaying
 //! the computation from its root.
 //!
-//! This is `examples/crash_recovery.rs` upgraded to the persistent-capsule
-//! representation: the computation is a registered binary task tree whose
-//! every continuation is a frame in persistent memory, so the recovering
+//! This is `examples/crash_recovery.rs` upgraded to the typed persistent
+//! API: the computation is a `ppm_core::dsl` parallel map whose every
+//! continuation is a typed frame in persistent memory, so the recovering
 //! process rehydrates the crash frontier through the capsule registry
-//! (`recover_persistent`) and pays only for the work that was lost.
+//! (`Runtime::run_or_recover`) and pays only for the work that was lost.
 //!
 //! The parent process:
 //!
-//! 1. spawns a child worker that creates a durable machine and runs a
-//!    200-task registered computation, each task CAM-marking its own
-//!    persistent cell (a once-only effect);
+//! 1. spawns a child worker that creates a durable `Runtime` session and
+//!    runs a 200-task registered computation, each task CAM-marking its
+//!    own persistent cell (a once-only effect);
 //! 2. watches the durable file until some — but not all — markers are set,
 //!    then delivers `SIGKILL` (a real crash, no handler runs);
-//! 3. reopens the file, rebuilds the computation deterministically, and
-//!    calls `recover_persistent`;
+//! 3. opens a fresh session on the file, rebuilds the computation
+//!    deterministically, and calls `run_or_recover`;
 //! 4. verifies the run **resumed**: the report says
 //!    `mode == Resumed` with `resumed > 0` re-planted frontier entries,
 //!    the recovery executed strictly fewer *task* capsules than the dead
@@ -66,12 +66,10 @@ mod scenario {
     use std::sync::Arc;
     use std::time::{Duration, Instant};
 
-    use ppm::core::{
-        capsule, fork_join_frames, CapsuleId, CapsuleRegistry, Cont, Machine, Next, PComp,
-        FIRST_USER_CAPSULE_ID,
-    };
-    use ppm::pm::{write_frame, PmConfig, Region, Word, SUPERBLOCK_BYTES};
-    use ppm::sched::{recover_persistent, run_persistent, RecoveryMode, SchedConfig};
+    use ppm::core::dsl::{CapsuleSet, Span, Step, K};
+    use ppm::core::{Machine, PComp};
+    use ppm::pm::{PmConfig, Region, Word, SUPERBLOCK_BYTES};
+    use ppm::sched::{Runtime, RuntimeConfig, SessionMode};
 
     const PROCS: usize = 4;
     const WORDS: usize = 1 << 21;
@@ -89,16 +87,8 @@ mod scenario {
     /// Scenario retries before giving up on observing a resume.
     const MAX_ATTEMPTS: usize = 5;
 
-    /// The task tree's capsule id (one id: an internal node forks its
-    /// halves, a leaf runs one task).
-    const SPAN_ID: CapsuleId = FIRST_USER_CAPSULE_ID + 0x40;
-
-    fn machine_cfg() -> PmConfig {
-        PmConfig::parallel(PROCS, WORDS)
-    }
-
-    fn sched_cfg() -> SchedConfig {
-        SchedConfig::with_slots(SLOTS)
+    fn runtime_cfg() -> RuntimeConfig {
+        RuntimeConfig::new(PmConfig::parallel(PROCS, WORDS)).with_slots(SLOTS)
     }
 
     /// The deterministic user-allocation sequence, replayed identically by
@@ -109,62 +99,52 @@ mod scenario {
         (scratch, markers)
     }
 
-    /// The registered task-tree capsule over tasks `[lo, hi)`: a leaf
-    /// performs busy reads, pauses, and CAMs its marker from unset to
-    /// `i + 1` (once-only under restarts, replay, and resume alike); an
-    /// internal node forks its halves as persistent frames.
-    fn span_capsule(scratch: Region, markers: Region, lo: usize, hi: usize, k: Word) -> Cont {
-        capsule("span", move |ctx| {
-            if hi - lo == 1 {
-                let i = lo;
+    /// The task tree as a typed DSL map: a leaf performs busy reads,
+    /// pauses, and CAMs its marker from unset to `i + 1` (once-only under
+    /// restarts, replay, and resume alike); the map's internal splits
+    /// fork as persistent frames — no hand-packed words anywhere.
+    fn build_pcomp(scratch: Region, markers: Region) -> PComp {
+        Arc::new(move |machine: &Machine, finale: Word| {
+            let mut set = CapsuleSet::new(machine);
+            let leaf = set.define("resume/task", move |st: &Span<()>, k, ctx| {
+                let i = st.lo;
                 for b in 0..BUSY_READS {
                     ctx.pread(scratch.at((i * 31 + b * 7) % scratch.len))?;
                 }
                 std::thread::sleep(TASK_SLEEP);
                 ctx.pcam(markers.at(i), 0, i as Word + 1)?;
-                return Ok(Next::JumpHandle(k));
-            }
-            let mid = lo + (hi - lo) / 2;
-            let (la, ra) = fork_join_frames(ctx, k)?;
-            let lf = write_frame(ctx, SPAN_ID, &[lo as Word, mid as Word, la])?;
-            let rf = write_frame(ctx, SPAN_ID, &[mid as Word, hi as Word, ra])?;
-            Ok(Next::ForkHandle {
-                child: rf as Word,
-                cont: lf as Word,
-            })
-        })
-    }
-
-    fn register_span(registry: &CapsuleRegistry, scratch: Region, markers: Region) {
-        registry.register(SPAN_ID, "span", move |args| {
-            let [lo, hi, k] = ppm::core::frame_args(args)?;
-            Ok(span_capsule(scratch, markers, lo as usize, hi as usize, k))
-        });
-    }
-
-    fn build_pcomp(scratch: Region, markers: Region) -> PComp {
-        Arc::new(move |machine: &Machine, finale: Word| {
-            register_span(machine.registry(), scratch, markers);
-            machine.setup_frame(SPAN_ID, &[0, TASKS as Word, finale])
+                Ok(Step::Jump(k))
+            });
+            let span = set.map_grain("resume/span", 1, leaf);
+            span.setup(
+                machine,
+                &Span {
+                    env: (),
+                    lo: 0,
+                    hi: TASKS,
+                },
+                K(finale),
+            )
+            .word()
         })
     }
 
     pub fn child(path: &str) {
-        let m = Machine::create_durable(machine_cfg(), path).expect("create durable machine");
-        let (scratch, markers) = alloc_regions(&m);
-        let rep = run_persistent(&m, &build_pcomp(scratch, markers), &sched_cfg());
-        m.mark_clean().expect("flush completed run");
-        std::process::exit(if rep.completed { 0 } else { 1 });
+        let rt = Runtime::create(path, runtime_cfg()).expect("create durable session");
+        let (scratch, markers) = alloc_regions(rt.machine());
+        let rep = rt.run_or_recover(&build_pcomp(scratch, markers));
+        rt.mark_clean().expect("flush completed run");
+        std::process::exit(if rep.completed() { 0 } else { 1 });
     }
 
     /// External writes a complete from-root run performs (the work a
     /// resume must strictly beat) — measured once on a volatile twin.
     fn full_run_writes() -> u64 {
-        let m = Machine::new(machine_cfg());
-        let (scratch, markers) = alloc_regions(&m);
-        let rep = run_persistent(&m, &build_pcomp(scratch, markers), &sched_cfg());
-        assert!(rep.completed, "volatile reference run must complete");
-        rep.stats.total_writes
+        let rt = Runtime::volatile(runtime_cfg());
+        let (scratch, markers) = alloc_regions(rt.machine());
+        let rep = rt.run_or_recover(&build_pcomp(scratch, markers));
+        assert!(rep.completed(), "volatile reference run must complete");
+        rep.stats().total_writes
     }
 
     /// Byte offset of marker cell `i` inside the durable file.
@@ -213,7 +193,7 @@ mod scenario {
         // The layout is deterministic, so a throwaway volatile machine of
         // the same shape tells the parent where the child's markers live.
         let markers = {
-            let probe = Machine::new(machine_cfg());
+            let probe = Machine::new(PmConfig::parallel(PROCS, WORDS));
             alloc_regions(&probe).1
         };
 
@@ -232,15 +212,15 @@ mod scenario {
         println!("killed child mid-run at {progress_at_kill}/{TASKS} markers (exit: {status:?})");
 
         // --- the recovering process's view ---
-        let m = Machine::reopen(&path).expect("reopen durable file");
-        let (scratch, markers) = alloc_regions(&m);
+        let rt = Runtime::open(&path, runtime_cfg()).expect("open session on durable file");
+        let (scratch, markers) = alloc_regions(rt.machine());
         let pre: Vec<bool> = (0..TASKS)
-            .map(|i| m.mem().load(markers.at(i)) != 0)
+            .map(|i| rt.machine().mem().load(markers.at(i)) != 0)
             .collect();
         let pre_count = pre.iter().filter(|b| **b).count();
         println!(
-            "reopened (epoch {}): crash left {pre_count}/{TASKS} tasks marked",
-            m.epoch()
+            "opened session (epoch {}): crash left {pre_count}/{TASKS} tasks marked",
+            rt.machine().epoch()
         );
         assert!(pre_count > 0, "kill threshold guarantees progress");
         if pre_count == TASKS {
@@ -255,14 +235,15 @@ mod scenario {
         let write_counts: Arc<Vec<AtomicU64>> =
             Arc::new((0..TASKS).map(|_| AtomicU64::new(0)).collect());
         let wc = write_counts.clone();
-        m.mem()
+        rt.machine()
+            .mem()
             .set_observer(Some(Arc::new(move |addr, _prev, _new| {
                 if markers.contains(addr) {
                     wc[addr - markers.start].fetch_add(1, Ordering::Relaxed);
                 }
             })));
 
-        let rec = recover_persistent(&m, &build_pcomp(scratch, markers), &sched_cfg());
+        let rec = rt.run_or_recover(&build_pcomp(scratch, markers));
         assert!(rec.completed(), "recovery must finish the computation");
         let Some(run) = rec.run.as_ref() else {
             // All markers were observed unset moments ago, but the kill
@@ -274,7 +255,7 @@ mod scenario {
         };
         assert!(run.completed, "recovery must finish the computation");
         println!(
-            "recovery mode: {:?} — {} frontier entries re-planted vs {} in-flight found \
+            "session mode: {:?} — {} frontier entries re-planted vs {} in-flight found \
              ({} jobs, {} locals, {} taken); ran {} capsules in {:?}",
             rec.mode,
             rec.resumed,
@@ -285,10 +266,13 @@ mod scenario {
             run.stats.capsule_completions,
             run.elapsed,
         );
-        if rec.mode != RecoveryMode::Resumed {
+        if rec.mode != SessionMode::Resumed {
             println!(
                 "fallback reason: {}",
-                rec.fallback_reason.as_deref().unwrap_or("<none>")
+                rec.fallback_reason
+                    .as_ref()
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|| "<none>".into())
             );
             let _ = std::fs::remove_file(&path);
             return false; // correct, but retry until we demonstrate a resume
@@ -310,7 +294,7 @@ mod scenario {
         let mut recovered = 0;
         for i in 0..TASKS {
             assert_eq!(
-                m.mem().load(markers.at(i)),
+                rt.machine().mem().load(markers.at(i)),
                 i as Word + 1,
                 "marker {i} must hold its once-only value"
             );
@@ -332,7 +316,7 @@ mod scenario {
             recovered < TASKS,
             "a resumed run must execute strictly fewer task capsules than the total"
         );
-        m.mark_clean().expect("record clean shutdown");
+        rt.mark_clean().expect("record clean shutdown");
         println!(
             "resumed + exactly-once verified: {pre_count} markers from the killed run + \
              {recovered} from recovery = {TASKS}, none written twice; \

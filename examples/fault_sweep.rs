@@ -12,7 +12,7 @@
 use ppm::algs::{prefix_sum_seq, PrefixSum};
 use ppm::core::Machine;
 use ppm::pm::{FaultConfig, PmConfig};
-use ppm::sched::{run_computation, SchedConfig};
+use ppm::sched::{Runtime, SchedConfig};
 
 fn main() {
     let n = 1 << 12;
@@ -35,11 +35,12 @@ fn main() {
         let machine = Machine::new(PmConfig::parallel(2, 1 << 22).with_fault(cfg));
         let ps = PrefixSum::new(&machine, n);
         ps.load_input(&machine, &input);
-        let report = run_computation(&machine, &ps.comp(), &SchedConfig::with_slots(1 << 13));
-        assert!(report.completed);
-        assert_eq!(ps.read_output(&machine), expected, "f = {f}");
+        let rt = Runtime::new(machine, SchedConfig::with_slots(1 << 13));
+        let report = rt.run_or_replay(&ps.comp());
+        assert!(report.completed());
+        assert_eq!(ps.read_output(rt.machine()), expected, "f = {f}");
 
-        let s = &report.stats;
+        let s = report.stats();
         if i == 0 {
             w0 = s.total_work();
         }

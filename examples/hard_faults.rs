@@ -13,7 +13,7 @@ use ppm::algs::matmul::matmul_pool_words;
 use ppm::algs::{matmul_seq, MatMul};
 use ppm::core::Machine;
 use ppm::pm::{FaultConfig, PmConfig};
-use ppm::sched::{run_computation, SchedConfig};
+use ppm::sched::{Runtime, SchedConfig};
 
 fn main() {
     let n = 24;
@@ -34,22 +34,23 @@ fn main() {
     mm.load_inputs(&machine, &a, &b);
 
     println!("matrix multiply {n}x{n} on 4 procs; procs 1 and 3 will hard-fault\n");
-    let report = run_computation(&machine, &mm.comp(), &SchedConfig::with_slots(1 << 13));
+    let rt = Runtime::new(machine, SchedConfig::with_slots(1 << 13));
+    let report = rt.run_or_replay(&mm.comp());
 
-    assert!(report.completed);
+    assert!(report.completed());
     assert_eq!(
-        mm.read_output(&machine),
+        mm.read_output(rt.machine()),
         matmul_seq(&a, &b, n),
         "product must be correct despite the deaths"
     );
 
-    println!("outcomes    : {:?}", report.outcomes);
-    println!("hard faults : {}", report.stats.hard_faults);
-    println!("total work  : {} transfers", report.stats.total_work());
+    println!("outcomes    : {:?}", report.run_report().outcomes);
+    println!("hard faults : {}", report.stats().hard_faults);
+    println!("total work  : {} transfers", report.stats().total_work());
     println!("result      : correct\n");
 
     println!("per-processor activity:");
-    for (p, ps) in report.stats.per_proc.iter().enumerate() {
+    for (p, ps) in report.stats().per_proc.iter().enumerate() {
         println!(
             "  proc {p}: reads={:<8} writes={:<8} capsules={:<7} {}",
             ps.reads,
@@ -64,7 +65,7 @@ fn main() {
     }
 
     println!("\nfinal WS-deques (T taken, J job, L local, . empty):");
-    for line in &report.deque_dump {
+    for line in &report.run_report().deque_dump {
         // Truncate the long empty tail for readability.
         let cut = line.find(". . . .").unwrap_or(line.len().min(120));
         println!("  {}...", &line[..cut.min(line.len())]);

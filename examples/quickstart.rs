@@ -1,54 +1,110 @@
-//! Quickstart: run a fork-join computation on a faulty Parallel-PM
-//! machine and watch it complete exactly once.
+//! Quickstart: write a typed persistent fork-join computation, run it in
+//! a `Runtime` session on a faulty Parallel-PM machine, and watch it
+//! complete exactly once — with every continuation living in persistent
+//! memory, so the same program would survive `kill -9` unchanged (see
+//! `examples/crash_resume.rs` for that scenario).
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use ppm::core::{comp_step, par_all, Machine};
-use ppm::pm::{FaultConfig, PmConfig, ProcCtx};
-use ppm::sched::{run_computation, SchedConfig};
+use std::sync::Arc;
+
+use ppm::core::dsl::{CapsuleSet, Fold, Span, Step, K};
+use ppm::core::{Machine, PComp};
+use ppm::pm::{FaultConfig, PmConfig, Region};
+use ppm::sched::{Runtime, RuntimeConfig};
 
 fn main() {
-    // A machine with 4 processors, 1M words of persistent memory, blocks
-    // of 8 words — and an adversary that soft-faults every processor with
-    // probability 2% at each persistent-memory access.
-    let machine =
-        Machine::new(PmConfig::parallel(4, 1 << 21).with_fault(FaultConfig::soft(0.02, 2024)));
-
-    // 64 output slots in persistent memory.
-    let n = 64;
-    let out = machine.alloc_region(n);
-
-    // One idempotent capsule per task: each writes its own slot (first
-    // access is a write, so re-running after a fault is harmless —
-    // Theorem 3.1). `par_all` builds a balanced binary fork tree.
-    let comp = par_all(
-        (0..n)
-            .map(|i| {
-                comp_step("task", move |ctx: &mut ProcCtx| {
-                    ctx.pwrite(out.at(i), (i * i) as u64)
-                })
-            })
-            .collect(),
+    // A session over a machine with 4 processors, 1M words of persistent
+    // memory — and an adversary that soft-faults every processor with
+    // probability 2% at each persistent-memory access. (Swap `volatile`
+    // for `Runtime::create(path, cfg)` to put the words in a durable
+    // file.)
+    let rt = Runtime::volatile(
+        RuntimeConfig::new(
+            PmConfig::parallel(4, 1 << 21).with_fault(FaultConfig::soft(0.02, 2024)),
+        )
+        .with_slots(1 << 10),
     );
 
-    // Run it under the fault-tolerant work-stealing scheduler (Figure 3).
-    let report = run_computation(&machine, &comp, &SchedConfig::with_slots(1 << 10));
+    // 64 output slots plus one result word in persistent memory.
+    let n = 64usize;
+    let out = rt.machine().alloc_region(n);
+    let total = rt.machine().alloc_region(1);
+
+    // The computation, typed end to end: a parallel map writes each
+    // square into its own slot (first access is a write, so re-running
+    // after a fault is harmless — Theorem 3.1), then a parallel reduce
+    // sums the squares into `total`. Both loops unfold as persistent
+    // capsule frames; nothing here touches raw frame words.
+    let pcomp: PComp = Arc::new(move |machine: &Machine, finale| {
+        let mut set = CapsuleSet::new(machine);
+        let square_leaf = set.define("quickstart/squares", |st: &Span<Region>, k, ctx| {
+            for i in st.lo..st.hi {
+                ctx.pwrite(st.env.at(i), (i * i) as u64)?;
+            }
+            Ok(Step::Jump(k))
+        });
+        let squares = set.map_grain("quickstart/map", 4, square_leaf);
+        let sum = set.reduce(
+            "quickstart/sum",
+            8,
+            |env: &Region, lo, hi, ctx: &mut ppm::pm::ProcCtx| {
+                let mut acc = 0u64;
+                for i in lo..hi {
+                    acc = acc.wrapping_add(ctx.pread(env.at(i))?);
+                }
+                Ok(acc)
+            },
+            |a, b| a.wrapping_add(b),
+        );
+
+        // map, then reduce, then the session's finale.
+        let entry = set.define("quickstart/root", move |_: &(), k, ctx| {
+            let reduce_k = sum.frame(
+                ctx,
+                &Fold {
+                    env: out,
+                    lo: 0,
+                    hi: n,
+                    dst: total.start,
+                },
+                k,
+            )?;
+            ppm::core::dsl::jump_to(
+                ctx,
+                squares,
+                &Span {
+                    env: out,
+                    lo: 0,
+                    hi: n,
+                },
+                reduce_k,
+            )
+        });
+        entry.setup(machine, &(), K(finale)).word()
+    });
+
+    // One entry point: fresh machines run, reopened machines resume.
+    let report = rt.run_or_recover(&pcomp);
 
     assert!(
-        report.completed,
+        report.completed(),
         "the computation must finish despite faults"
     );
     for i in 0..n {
-        assert_eq!(machine.mem().load(out.at(i)), (i * i) as u64);
+        assert_eq!(rt.machine().mem().load(out.at(i)), (i * i) as u64);
     }
+    let expect: u64 = (0..n as u64).map(|i| i * i).sum();
+    assert_eq!(rt.machine().mem().load(total.start), expect);
 
-    let s = &report.stats;
-    println!("completed          : {}", report.completed);
+    let s = report.stats();
+    println!("mode               : {:?}", report.mode);
+    println!("completed          : {}", report.completed());
     println!(
         "processors         : {} (dead: {})",
-        machine.procs(),
+        rt.machine().procs(),
         report.dead_procs()
     );
     println!("soft faults        : {}", s.soft_faults);
@@ -59,6 +115,7 @@ fn main() {
     );
     println!("total work W_f     : {} transfers", s.total_work());
     println!("max capsule work C : {}", s.max_capsule_work);
-    println!("wall time          : {:?}", report.elapsed);
-    println!("\nall {n} tasks ran exactly once — fault tolerance for free.");
+    println!("wall time          : {:?}", report.elapsed());
+    println!("sum of squares     : {expect}");
+    println!("\nall {n} tasks and the reduction ran exactly once — fault tolerance for free.");
 }

@@ -13,7 +13,7 @@ use ppm::algs::sort::samplesort_pool_words;
 use ppm::algs::SampleSort;
 use ppm::core::Machine;
 use ppm::pm::{FaultConfig, PmConfig};
-use ppm::sched::{run_computation, SchedConfig};
+use ppm::sched::{Runtime, SchedConfig};
 
 fn main() {
     let n = 1 << 13;
@@ -43,25 +43,26 @@ fn main() {
     sorter.load_input(&machine, &input);
 
     println!("sorting {n} keys on 4 processors; 3 will hard-fault mid-run...");
-    let report = run_computation(&machine, &sorter.comp(), &SchedConfig::with_slots(1 << 14));
+    let rt = Runtime::new(machine, SchedConfig::with_slots(1 << 14));
+    let report = rt.run_or_replay(&sorter.comp());
 
     let mut expected = input.clone();
     expected.sort_unstable();
-    let got = sorter.read_output(&machine);
+    let got = sorter.read_output(rt.machine());
 
-    assert!(report.completed, "the sort must complete");
+    assert!(report.completed(), "the sort must complete");
     assert_eq!(got, expected, "and be correct");
 
-    println!("\ncompleted     : {}", report.completed);
+    println!("\ncompleted     : {}", report.completed());
     println!(
         "dead procs    : {} of {}",
         report.dead_procs(),
-        machine.procs()
+        rt.machine().procs()
     );
-    println!("outcome/proc  : {:?}", report.outcomes);
-    println!("soft faults   : {}", report.stats.soft_faults);
-    println!("hard faults   : {}", report.stats.hard_faults);
-    println!("total work    : {} transfers", report.stats.total_work());
-    println!("wall time     : {:?}", report.elapsed);
+    println!("outcome/proc  : {:?}", report.run_report().outcomes);
+    println!("soft faults   : {}", report.stats().soft_faults);
+    println!("hard faults   : {}", report.stats().hard_faults);
+    println!("total work    : {} transfers", report.stats().total_work());
+    println!("wall time     : {:?}", report.elapsed());
     println!("\nsorted correctly with one surviving processor.");
 }

@@ -1,22 +1,25 @@
 //! Crash **resume**: a run of a registered persistent-capsule computation
-//! dies mid-flight, a fresh machine instance reopens the durable file, and
-//! `recover_persistent` rehydrates the persisted deque entries through the
-//! capsule registry — resuming the crash frontier instead of replaying
-//! from the root.
+//! dies mid-flight, a fresh `Runtime` session opens the durable file, and
+//! `Runtime::run_or_recover` rehydrates the persisted deque entries
+//! through the capsule registry — resuming the crash frontier instead of
+//! replaying from the root.
 //!
 //! Death is simulated with scheduled hard faults killing every processor
 //! (the all-processors-hard-fault event that models `kill -9`), after
-//! which the `Machine` is dropped and the file reopened exactly as a fresh
+//! which the session is dropped and the file reopened exactly as a fresh
 //! process would (`examples/crash_resume.rs` performs the real-SIGKILL
 //! version of the same scenario). With one processor the access schedule
 //! is fully deterministic, so the assertions are exact.
+//!
+//! All four §7 algorithm families are exercised: prefix sums (the
+//! deterministic strict-inequality case), samplesort and matmul (the two
+//! newly ported pipelines), and mergesort implicitly inside samplesort.
 
 #![cfg(unix)]
 
-use ppm::algs::{prefix_sum_seq, PrefixSum};
-use ppm::core::Machine;
+use ppm::algs::{matmul_seq, prefix_sum_seq, samplesort_pool_words, MatMul, PrefixSum, SampleSort};
 use ppm::pm::{FaultConfig, PmConfig, Word};
-use ppm::sched::{recover_persistent, run_computation, run_persistent, RecoveryMode, SchedConfig};
+use ppm::sched::{Runtime, RuntimeConfig, SessionMode};
 
 const N: usize = 512;
 const WORDS: usize = 1 << 20;
@@ -32,35 +35,34 @@ fn input() -> Vec<Word> {
     (0..N as u64).map(|i| i.wrapping_mul(31) % 1009).collect()
 }
 
-fn sched_cfg() -> SchedConfig {
-    SchedConfig::with_slots(SLOTS)
+fn cfg_with(pm: PmConfig) -> RuntimeConfig {
+    RuntimeConfig::new(pm).with_slots(SLOTS)
 }
 
 /// Capsules a complete from-root run of the workload executes (the replay
 /// cost a resume must beat).
 fn full_run_capsules() -> u64 {
-    let m = Machine::new(PmConfig::parallel(1, WORDS));
-    let ps = PrefixSum::new(&m, N);
-    ps.load_input(&m, &input());
-    let rep = run_persistent(&m, &ps.pcomp(), &sched_cfg());
-    assert!(rep.completed);
-    rep.stats.capsule_completions
+    let rt = Runtime::volatile(cfg_with(PmConfig::parallel(1, WORDS)));
+    let ps = PrefixSum::new(rt.machine(), N);
+    ps.load_input(rt.machine(), &input());
+    let rep = rt.run_or_recover(&ps.pcomp());
+    assert!(rep.completed());
+    rep.stats().capsule_completions
 }
 
-/// Runs the workload on a durable machine with a hard fault at access
+/// Runs the workload on a durable session with a hard fault at access
 /// `kill_at` (death mid-run when it fires), then recovers in a fresh
-/// machine instance. Returns `(died, report_mode, resumed, recovery_capsules)`.
-fn crash_and_recover(tag: &str, kill_at: u64) -> Option<(RecoveryMode, usize, u64)> {
+/// session. Returns `(mode, resumed, recovery_capsules)`.
+fn crash_and_recover(tag: &str, kill_at: u64) -> Option<(SessionMode, usize, u64)> {
     let path = tmp(tag);
     let _ = std::fs::remove_file(&path);
     let died = {
-        let cfg = PmConfig::parallel(1, WORDS)
+        let pm = PmConfig::parallel(1, WORDS)
             .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, kill_at));
-        let m = Machine::create_durable(cfg, &path).expect("create durable machine");
-        let ps = PrefixSum::new(&m, N);
-        ps.load_input(&m, &input());
-        let rep = run_persistent(&m, &ps.pcomp(), &sched_cfg());
-        !rep.completed
+        let rt = Runtime::create(&path, cfg_with(pm)).expect("create durable session");
+        let ps = PrefixSum::new(rt.machine(), N);
+        ps.load_input(rt.machine(), &input());
+        !rt.run_or_recover(&ps.pcomp()).completed()
     };
     if !died {
         // The schedule outlived the computation; nothing to recover.
@@ -69,20 +71,21 @@ fn crash_and_recover(tag: &str, kill_at: u64) -> Option<(RecoveryMode, usize, u6
     }
 
     // --- the recovering process's view ---
-    let m = Machine::reopen(&path).expect("reopen durable file");
-    assert_eq!(m.epoch(), 2);
-    let ps = PrefixSum::new(&m, N);
+    let rt = Runtime::open(&path, cfg_with(PmConfig::parallel(1, WORDS))).expect("open session");
+    assert!(rt.is_recovery());
+    assert_eq!(rt.machine().epoch(), 2);
+    let ps = PrefixSum::new(rt.machine(), N);
     // Input is already in the file; the deterministic reload is idempotent.
-    ps.load_input(&m, &input());
-    let rec = recover_persistent(&m, &ps.pcomp(), &sched_cfg());
+    ps.load_input(rt.machine(), &input());
+    let rec = rt.run_or_recover(&ps.pcomp());
     assert!(rec.completed(), "kill_at={kill_at}: recovery must finish");
     assert!(
-        !rec.already_complete,
+        !rec.already_complete(),
         "kill_at={kill_at}: the dead run must not have finished"
     );
     let run = rec.run.as_ref().expect("re-driven run report");
     assert_eq!(
-        ps.read_output(&m),
+        ps.read_output(rt.machine()),
         prefix_sum_seq(&input()),
         "kill_at={kill_at}: recovered output must match the oracle"
     );
@@ -103,7 +106,7 @@ fn killed_run_is_resumed_not_replayed() {
             continue;
         };
         died_runs += 1;
-        if mode == RecoveryMode::Resumed {
+        if mode == SessionMode::Resumed {
             assert!(
                 resumed > 0,
                 "kill_at={kill_at}: resumed mode must re-plant entries"
@@ -139,31 +142,35 @@ fn corrupted_frame_falls_back_to_root_replay() {
     let path = tmp("fallback");
     let _ = std::fs::remove_file(&path);
     {
-        let cfg = PmConfig::parallel(1, WORDS)
+        let pm = PmConfig::parallel(1, WORDS)
             .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, 2400));
-        let m = Machine::create_durable(cfg, &path).expect("create durable machine");
-        let ps = PrefixSum::new(&m, N);
-        ps.load_input(&m, &input());
-        let rep = run_persistent(&m, &ps.pcomp(), &sched_cfg());
-        assert!(!rep.completed, "the run must die mid-flight");
+        let rt = Runtime::create(&path, cfg_with(pm)).expect("create durable session");
+        let ps = PrefixSum::new(rt.machine(), N);
+        ps.load_input(rt.machine(), &input());
+        let rep = rt.run_or_recover(&ps.pcomp());
+        assert!(!rep.completed(), "the run must die mid-flight");
     }
 
-    let m = Machine::reopen(&path).expect("reopen durable file");
+    let rt = Runtime::open(&path, cfg_with(PmConfig::parallel(1, WORDS))).expect("open session");
     // Smash the restart pointer's frame header: the frontier is no longer
     // fully rehydratable, so recovery must degrade to replay-from-root —
     // cleanly, not with a panic.
-    let active = m.active_handle(0);
+    let active = rt.machine().active_handle(0);
     assert_ne!(active, 0, "the dead run left a restart pointer");
-    m.mem().store(active as usize, 0xBAAD_F00D);
+    rt.machine().mem().store(active as usize, 0xBAAD_F00D);
 
-    let ps = PrefixSum::new(&m, N);
-    ps.load_input(&m, &input());
-    let rec = recover_persistent(&m, &ps.pcomp(), &sched_cfg());
-    assert_eq!(rec.mode, RecoveryMode::Replayed);
+    let ps = PrefixSum::new(rt.machine(), N);
+    ps.load_input(rt.machine(), &input());
+    let rec = rt.run_or_recover(&ps.pcomp());
+    assert_eq!(rec.mode, SessionMode::Replayed);
     assert_eq!(rec.resumed, 0);
-    assert!(rec.fallback_reason.is_some());
+    let reason = rec.fallback_reason.as_ref().expect("fallback reason");
+    assert!(
+        matches!(reason, ppm::sched::FallbackReason::Rehydrate { .. }),
+        "smashed frame must surface as a structured rehydration failure, got {reason}"
+    );
     assert!(rec.completed());
-    assert_eq!(ps.read_output(&m), prefix_sum_seq(&input()));
+    assert_eq!(ps.read_output(rt.machine()), prefix_sum_seq(&input()));
     let _ = std::fs::remove_file(&path);
 }
 
@@ -175,25 +182,26 @@ fn multi_proc_crash_recovers_correctly_in_either_mode() {
     let path = tmp("mp");
     let _ = std::fs::remove_file(&path);
     let died = {
-        let cfg = PmConfig::parallel(4, WORDS).with_fault(
+        let pm = PmConfig::parallel(4, WORDS).with_fault(
             FaultConfig::none()
                 .with_scheduled_hard_fault(0, 900)
                 .with_scheduled_hard_fault(1, 700)
                 .with_scheduled_hard_fault(2, 1100)
                 .with_scheduled_hard_fault(3, 800),
         );
-        let m = Machine::create_durable(cfg, &path).expect("create durable machine");
-        let ps = PrefixSum::new(&m, N);
-        ps.load_input(&m, &input());
-        !run_persistent(&m, &ps.pcomp(), &sched_cfg()).completed
+        let rt = Runtime::create(&path, cfg_with(pm)).expect("create durable session");
+        let ps = PrefixSum::new(rt.machine(), N);
+        ps.load_input(rt.machine(), &input());
+        !rt.run_or_recover(&ps.pcomp()).completed()
     };
     if died {
-        let m = Machine::reopen(&path).expect("reopen durable file");
-        let ps = PrefixSum::new(&m, N);
-        ps.load_input(&m, &input());
-        let rec = recover_persistent(&m, &ps.pcomp(), &sched_cfg());
+        let rt =
+            Runtime::open(&path, cfg_with(PmConfig::parallel(4, WORDS))).expect("open session");
+        let ps = PrefixSum::new(rt.machine(), N);
+        ps.load_input(rt.machine(), &input());
+        let rec = rt.run_or_recover(&ps.pcomp());
         assert!(rec.completed());
-        assert_eq!(ps.read_output(&m), prefix_sum_seq(&input()));
+        assert_eq!(ps.read_output(rt.machine()), prefix_sum_seq(&input()));
     }
     let _ = std::fs::remove_file(&path);
 }
@@ -203,34 +211,30 @@ fn recovering_a_clean_run_reports_already_complete() {
     let path = tmp("clean");
     let _ = std::fs::remove_file(&path);
     {
-        let m = Machine::create_durable(PmConfig::parallel(2, WORDS), &path).unwrap();
-        let ps = PrefixSum::new(&m, N);
-        ps.load_input(&m, &input());
-        assert!(run_persistent(&m, &ps.pcomp(), &sched_cfg()).completed);
-        m.mark_clean().unwrap();
+        let rt = Runtime::create(&path, cfg_with(PmConfig::parallel(2, WORDS))).unwrap();
+        let ps = PrefixSum::new(rt.machine(), N);
+        ps.load_input(rt.machine(), &input());
+        assert!(rt.run_or_recover(&ps.pcomp()).completed());
+        rt.mark_clean().unwrap();
     }
-    let m = Machine::reopen(&path).unwrap();
-    let ps = PrefixSum::new(&m, N);
-    let rec = recover_persistent(&m, &ps.pcomp(), &sched_cfg());
-    assert!(rec.already_complete);
-    assert_eq!(rec.mode, RecoveryMode::AlreadyComplete);
+    let rt = Runtime::open(&path, cfg_with(PmConfig::parallel(2, WORDS))).unwrap();
+    let ps = PrefixSum::new(rt.machine(), N);
+    let rec = rt.run_or_recover(&ps.pcomp());
+    assert!(rec.already_complete());
+    assert_eq!(rec.mode, SessionMode::AlreadyComplete);
     assert!(rec.run.is_none());
-    assert_eq!(ps.read_output(&m), prefix_sum_seq(&input()));
+    assert_eq!(ps.read_output(rt.machine()), prefix_sum_seq(&input()));
     let _ = std::fs::remove_file(&path);
 }
 
 #[test]
-fn legacy_recovery_still_replays_with_new_report_fields() {
-    // The pre-existing closure path keeps working and now self-describes
-    // as a replay.
+fn legacy_closure_session_still_replays_with_unified_report() {
+    // The pre-existing closure path keeps working through the same
+    // session object, and self-describes as a replay.
     let path = tmp("legacy");
     let _ = std::fs::remove_file(&path);
-    let markers = {
-        let cfg = PmConfig::parallel(1, WORDS)
-            .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, 300));
-        let m = Machine::create_durable(cfg, &path).unwrap();
-        let r = m.alloc_region(64);
-        let comp = ppm::core::par_all(
+    let build_comp = |r: ppm::pm::Region| {
+        ppm::core::par_all(
             (0..32)
                 .map(|i| {
                     ppm::core::comp_step("mark", move |ctx: &mut ppm::pm::ProcCtx| {
@@ -238,30 +242,169 @@ fn legacy_recovery_still_replays_with_new_report_fields() {
                     })
                 })
                 .collect(),
-        );
-        let rep = run_computation(&m, &comp, &sched_cfg());
-        assert!(!rep.completed);
+        )
+    };
+    let markers = {
+        let pm = PmConfig::parallel(1, WORDS)
+            .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, 300));
+        let rt = Runtime::create(&path, cfg_with(pm)).unwrap();
+        let r = rt.machine().alloc_region(64);
+        let rep = rt.run_or_replay(&build_comp(r));
+        assert_eq!(rep.mode, SessionMode::FreshRun);
+        assert!(!rep.completed());
         r
     };
-    let m = Machine::reopen(&path).unwrap();
-    let r = m.alloc_region(64);
+    let rt = Runtime::open(&path, cfg_with(PmConfig::parallel(1, WORDS))).unwrap();
+    let r = rt.machine().alloc_region(64);
     assert_eq!(r, markers);
-    let comp = ppm::core::par_all(
-        (0..32)
-            .map(|i| {
-                ppm::core::comp_step("mark", move |ctx: &mut ppm::pm::ProcCtx| {
-                    ctx.pcam(r.at(i), 0, i as Word + 1)
-                })
-            })
-            .collect(),
-    );
-    let rec = ppm::sched::recover_computation(&m, &comp, &sched_cfg());
+    let rec = rt.run_or_replay(&build_comp(r));
     assert!(rec.completed());
-    assert_eq!(rec.mode, RecoveryMode::Replayed);
+    assert_eq!(rec.mode, SessionMode::Replayed);
     assert_eq!(rec.resumed, 0);
-    assert!(rec.fallback_reason.is_some());
+    assert!(matches!(
+        rec.fallback_reason,
+        Some(ppm::sched::FallbackReason::LegacyClosures)
+    ));
     for i in 0..32 {
-        assert_eq!(m.mem().load(r.at(i)), i as Word + 1, "marker {i}");
+        assert_eq!(
+            rt.machine().mem().load(r.at(i)),
+            i as Word + 1,
+            "marker {i}"
+        );
     }
     let _ = std::fs::remove_file(&path);
+}
+
+// ====================================================================
+// Samplesort and matmul: the newly ported pipelines resume too
+// ====================================================================
+
+fn ss_input(n: usize) -> Vec<Word> {
+    (0..n as u64)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(17);
+            (x ^ (x >> 31)) % 10_000
+        })
+        .collect()
+}
+
+fn samplesort_cfg(n: usize, fault: FaultConfig) -> RuntimeConfig {
+    RuntimeConfig::new(
+        PmConfig::parallel(1, 1 << 22)
+            .with_ephemeral_words(64)
+            .with_fault(fault),
+    )
+    .with_pool_words(samplesort_pool_words(n))
+    .with_slots(1 << 13)
+}
+
+#[test]
+fn killed_samplesort_resumes_mid_pipeline() {
+    let n = 700;
+    let data = ss_input(n);
+    let mut expect = data.clone();
+    expect.sort_unstable();
+    // Kill points spread across the nine-phase pipeline (row sorts,
+    // sampling, pivots, scatter, bucket recursion). Every recovery must
+    // sort correctly; at least one must take the Resumed path.
+    let mut resumed_runs = 0usize;
+    let mut died_runs = 0usize;
+    for (i, kill_at) in [600u64, 2000, 6000, 12_000, 20_000].into_iter().enumerate() {
+        let path = tmp(&format!("ss{i}"));
+        let _ = std::fs::remove_file(&path);
+        let died = {
+            let fault = FaultConfig::none().with_scheduled_hard_fault(0, kill_at);
+            let rt = Runtime::create(&path, samplesort_cfg(n, fault)).unwrap();
+            let ss = SampleSort::new(rt.machine(), n);
+            ss.load_input(rt.machine(), &data);
+            !rt.run_or_recover(&ss.pcomp()).completed()
+        };
+        if !died {
+            let _ = std::fs::remove_file(&path);
+            continue;
+        }
+        died_runs += 1;
+        let rt = Runtime::open(&path, samplesort_cfg(n, FaultConfig::none())).unwrap();
+        let ss = SampleSort::new(rt.machine(), n);
+        ss.load_input(rt.machine(), &data);
+        let rec = rt.run_or_recover(&ss.pcomp());
+        assert!(rec.completed(), "kill_at={kill_at}");
+        assert_eq!(
+            ss.read_output(rt.machine()),
+            expect,
+            "kill_at={kill_at}: recovered sort must match the oracle"
+        );
+        if rec.mode == SessionMode::Resumed {
+            assert!(rec.resumed > 0, "kill_at={kill_at}");
+            resumed_runs += 1;
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+    assert!(
+        died_runs >= 3,
+        "kill schedule must catch samplesort mid-run"
+    );
+    assert!(
+        resumed_runs >= 1,
+        "at least one samplesort kill must resume with Resumed mode"
+    );
+}
+
+#[test]
+fn killed_matmul_resumes_mid_recursion() {
+    let n = 16;
+    let m_eph = 64; // base_dim 4: two recursion levels
+    let a: Vec<Word> = (0..(n * n) as u64).map(|i| i % 97).collect();
+    let b: Vec<Word> = (0..(n * n) as u64).map(|i| (i * 7) % 89).collect();
+    let expect = matmul_seq(&a, &b, n);
+    let cfg = |fault: FaultConfig| {
+        RuntimeConfig::new(
+            PmConfig::parallel(1, 1 << 22)
+                .with_ephemeral_words(m_eph)
+                .with_fault(fault),
+        )
+        .with_pool_words(ppm::algs::matmul_pool_words(n, m_eph))
+        .with_slots(1 << 13)
+    };
+    let mut resumed_runs = 0usize;
+    let mut died_runs = 0usize;
+    for (i, kill_at) in [400u64, 1500, 4000, 9000].into_iter().enumerate() {
+        let path = tmp(&format!("mm{i}"));
+        let _ = std::fs::remove_file(&path);
+        let died = {
+            let rt = Runtime::create(
+                &path,
+                cfg(FaultConfig::none().with_scheduled_hard_fault(0, kill_at)),
+            )
+            .unwrap();
+            let mm = MatMul::new(rt.machine(), n);
+            mm.load_inputs(rt.machine(), &a, &b);
+            !rt.run_or_recover(&mm.pcomp()).completed()
+        };
+        if !died {
+            let _ = std::fs::remove_file(&path);
+            continue;
+        }
+        died_runs += 1;
+        let rt = Runtime::open(&path, cfg(FaultConfig::none())).unwrap();
+        let mm = MatMul::new(rt.machine(), n);
+        mm.load_inputs(rt.machine(), &a, &b);
+        let rec = rt.run_or_recover(&mm.pcomp());
+        assert!(rec.completed(), "kill_at={kill_at}");
+        assert_eq!(
+            mm.read_output(rt.machine()),
+            expect,
+            "kill_at={kill_at}: recovered product must match the oracle"
+        );
+        if rec.mode == SessionMode::Resumed {
+            assert!(rec.resumed > 0, "kill_at={kill_at}");
+            resumed_runs += 1;
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+    assert!(died_runs >= 2, "kill schedule must catch matmul mid-run");
+    assert!(
+        resumed_runs >= 1,
+        "at least one matmul kill must resume with Resumed mode"
+    );
 }

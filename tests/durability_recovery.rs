@@ -1,7 +1,8 @@
-//! Crash-recovery integration tests: a durable machine whose run is cut
+//! Crash-recovery integration tests: a durable session whose run is cut
 //! short (every processor hard-faults, the in-process analogue of the
-//! process dying) is reopened and recovered, and every task's once-only
-//! effect is applied exactly once across the two process lifetimes.
+//! process dying) is reopened and recovered through
+//! `Runtime::run_or_replay`, and every task's once-only effect is applied
+//! exactly once across the two process lifetimes.
 #![cfg(unix)]
 
 use std::path::PathBuf;
@@ -10,7 +11,7 @@ use std::sync::Arc;
 
 use ppm::core::{comp_step, par_all, Comp, Machine};
 use ppm::pm::{FaultConfig, PmConfig, ProcCtx, Region, Word};
-use ppm::sched::{recover_computation, run_computation, SchedConfig};
+use ppm::sched::{Runtime, RuntimeConfig, SchedConfig, SessionMode};
 
 fn tmp(tag: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
@@ -27,8 +28,8 @@ fn cfg() -> PmConfig {
     PmConfig::parallel(4, 1 << 21)
 }
 
-fn sched_cfg() -> SchedConfig {
-    SchedConfig::with_slots(1 << 10)
+fn rt_cfg(pm: PmConfig) -> RuntimeConfig {
+    RuntimeConfig::new(pm).with_slots(1 << 10)
 }
 
 /// Task `i` CAMs its marker from unset to `i + 1`: a once-only effect.
@@ -53,32 +54,37 @@ fn recovery_after_mid_run_stop_applies_every_task_exactly_once() {
     // state and partial results frozen in the durable words, no flush, no
     // clean shutdown.
     {
-        let m = Machine::create_durable(
-            cfg().with_fault(
-                FaultConfig::none()
-                    .with_scheduled_hard_fault(0, 700)
-                    .with_scheduled_hard_fault(1, 500)
-                    .with_scheduled_hard_fault(2, 600)
-                    .with_scheduled_hard_fault(3, 400),
-            ),
+        let rt = Runtime::create(
             &path,
+            rt_cfg(
+                cfg().with_fault(
+                    FaultConfig::none()
+                        .with_scheduled_hard_fault(0, 700)
+                        .with_scheduled_hard_fault(1, 500)
+                        .with_scheduled_hard_fault(2, 600)
+                        .with_scheduled_hard_fault(3, 400),
+                ),
+            ),
         )
         .unwrap();
-        let markers = m.alloc_region(N);
-        let rep = run_computation(&m, &build_comp(markers), &sched_cfg());
+        let markers = rt.machine().alloc_region(N);
+        let rep = rt.run_or_replay(&build_comp(markers));
         assert!(
-            !rep.completed,
+            !rep.completed(),
             "all processors dead: the run must stop early"
         );
         assert_eq!(rep.dead_procs(), 4);
     }
 
-    // The recovering "process": reopen, replay the deterministic setup,
-    // recover.
-    let m = Machine::reopen(&path).unwrap();
-    assert_eq!(m.epoch(), 2);
-    let markers = m.alloc_region(N);
-    let pre: Vec<bool> = (0..N).map(|i| m.mem().load(markers.at(i)) != 0).collect();
+    // The recovering "process": open a session, replay the deterministic
+    // setup, recover.
+    let rt = Runtime::open(&path, rt_cfg(cfg())).unwrap();
+    assert!(rt.is_recovery());
+    assert_eq!(rt.machine().epoch(), 2);
+    let markers = rt.machine().alloc_region(N);
+    let pre: Vec<bool> = (0..N)
+        .map(|i| rt.machine().mem().load(markers.at(i)) != 0)
+        .collect();
     let pre_count = pre.iter().filter(|b| **b).count();
     assert!(
         pre_count > 0 && pre_count < N,
@@ -88,16 +94,18 @@ fn recovery_after_mid_run_stop_applies_every_task_exactly_once() {
     // Observe every recovery-time mutation of the marker cells.
     let writes: Arc<Vec<AtomicU64>> = Arc::new((0..N).map(|_| AtomicU64::new(0)).collect());
     let wc = writes.clone();
-    m.mem()
+    rt.machine()
+        .mem()
         .set_observer(Some(Arc::new(move |addr, _prev, _new| {
             if markers.contains(addr) {
                 wc[addr - markers.start].fetch_add(1, Ordering::Relaxed);
             }
         })));
 
-    let rec = recover_computation(&m, &build_comp(markers), &sched_cfg());
-    assert!(!rec.already_complete);
+    let rec = rt.run_or_replay(&build_comp(markers));
+    assert!(!rec.already_complete());
     assert!(rec.completed(), "recovery must finish the computation");
+    assert_eq!(rec.mode, SessionMode::Replayed);
     assert!(
         rec.found_in_flight() > 0,
         "a mid-run stop leaves in-flight deque entries behind"
@@ -106,7 +114,7 @@ fn recovery_after_mid_run_stop_applies_every_task_exactly_once() {
 
     for i in 0..N {
         assert_eq!(
-            m.mem().load(markers.at(i)),
+            rt.machine().mem().load(markers.at(i)),
             i as Word + 1,
             "marker {i} value"
         );
@@ -121,7 +129,7 @@ fn recovery_after_mid_run_stop_applies_every_task_exactly_once() {
         }
     }
 
-    m.mark_clean().unwrap();
+    rt.mark_clean().unwrap();
     std::fs::remove_file(&path).unwrap();
 }
 
@@ -129,33 +137,33 @@ fn recovery_after_mid_run_stop_applies_every_task_exactly_once() {
 fn recovery_of_completed_run_reruns_nothing() {
     let path = tmp("complete");
     {
-        let m = Machine::create_durable(cfg(), &path).unwrap();
-        let markers = m.alloc_region(N);
-        let rep = run_computation(&m, &build_comp(markers), &sched_cfg());
-        assert!(rep.completed);
-        m.mark_clean().unwrap();
+        let rt = Runtime::create(&path, rt_cfg(cfg())).unwrap();
+        let markers = rt.machine().alloc_region(N);
+        assert!(rt.run_or_replay(&build_comp(markers)).completed());
+        rt.mark_clean().unwrap();
     }
-    let m = Machine::reopen(&path).unwrap();
-    let markers = m.alloc_region(N);
+    let rt = Runtime::open(&path, rt_cfg(cfg())).unwrap();
+    let markers = rt.machine().alloc_region(N);
 
     let writes = Arc::new(AtomicU64::new(0));
     let wc = writes.clone();
-    m.mem()
+    rt.machine()
+        .mem()
         .set_observer(Some(Arc::new(move |addr, _prev, _new| {
             if markers.contains(addr) {
                 wc.fetch_add(1, Ordering::Relaxed);
             }
         })));
 
-    let rec = recover_computation(&m, &build_comp(markers), &sched_cfg());
-    assert!(rec.already_complete, "completion flag is persistent");
+    let rec = rt.run_or_replay(&build_comp(markers));
+    assert!(rec.already_complete(), "completion flag is persistent");
     assert!(rec.run.is_none(), "nothing re-driven");
     assert!(rec.completed());
     assert_eq!(writes.load(Ordering::Relaxed), 0, "no marker touched");
     for i in 0..N {
-        assert_eq!(m.mem().load(markers.at(i)), i as Word + 1);
+        assert_eq!(rt.machine().mem().load(markers.at(i)), i as Word + 1);
     }
-    m.mem().set_observer(None);
+    rt.machine().mem().set_observer(None);
     std::fs::remove_file(&path).unwrap();
 }
 
@@ -165,45 +173,54 @@ fn recovery_survives_repeated_crashes() {
     // effects stay exactly-once across three process lifetimes.
     let path = tmp("repeated");
     {
-        let m = Machine::create_durable(
-            cfg().with_fault(
-                FaultConfig::none()
-                    .with_scheduled_hard_fault(0, 300)
-                    .with_scheduled_hard_fault(1, 250)
-                    .with_scheduled_hard_fault(2, 350)
-                    .with_scheduled_hard_fault(3, 280),
-            ),
+        let rt = Runtime::create(
             &path,
+            rt_cfg(
+                cfg().with_fault(
+                    FaultConfig::none()
+                        .with_scheduled_hard_fault(0, 300)
+                        .with_scheduled_hard_fault(1, 250)
+                        .with_scheduled_hard_fault(2, 350)
+                        .with_scheduled_hard_fault(3, 280),
+                ),
+            ),
         )
         .unwrap();
-        let markers = m.alloc_region(N);
-        assert!(!run_computation(&m, &build_comp(markers), &sched_cfg()).completed);
+        let markers = rt.machine().alloc_region(N);
+        assert!(!rt.run_or_replay(&build_comp(markers)).completed());
     }
     {
         // Second lifetime also dies mid-recovery.
-        let m = Machine::reopen_with(
+        let rt = Runtime::open(
             &path,
-            FaultConfig::none()
-                .with_scheduled_hard_fault(0, 400)
-                .with_scheduled_hard_fault(1, 300)
-                .with_scheduled_hard_fault(2, 450)
-                .with_scheduled_hard_fault(3, 350),
-            ppm::pm::ValidateMode::Strict,
+            rt_cfg(
+                cfg().with_fault(
+                    FaultConfig::none()
+                        .with_scheduled_hard_fault(0, 400)
+                        .with_scheduled_hard_fault(1, 300)
+                        .with_scheduled_hard_fault(2, 450)
+                        .with_scheduled_hard_fault(3, 350),
+                ),
+            ),
         )
         .unwrap();
-        let markers = m.alloc_region(N);
-        let rec = recover_computation(&m, &build_comp(markers), &sched_cfg());
+        let markers = rt.machine().alloc_region(N);
+        let rec = rt.run_or_replay(&build_comp(markers));
         assert!(!rec.completed(), "this recovery was itself cut short");
     }
-    let m = Machine::reopen(&path).unwrap();
-    assert_eq!(m.epoch(), 3);
-    let markers = m.alloc_region(N);
-    let rec = recover_computation(&m, &build_comp(markers), &sched_cfg());
+    let rt = Runtime::open(&path, rt_cfg(cfg())).unwrap();
+    assert_eq!(rt.machine().epoch(), 3);
+    let markers = rt.machine().alloc_region(N);
+    let rec = rt.run_or_replay(&build_comp(markers));
     assert!(rec.completed());
     for i in 0..N {
-        assert_eq!(m.mem().load(markers.at(i)), i as Word + 1, "marker {i}");
+        assert_eq!(
+            rt.machine().mem().load(markers.at(i)),
+            i as Word + 1,
+            "marker {i}"
+        );
     }
-    m.mark_clean().unwrap();
+    rt.mark_clean().unwrap();
     std::fs::remove_file(&path).unwrap();
 }
 
@@ -213,34 +230,39 @@ fn recovery_with_transition_checking_scrubs_without_tripping_the_checker() {
     // Figure 4 checker would reject as an illegal transition if it were
     // installed during the scrub; recovery must defer it.
     let path = tmp("checked");
+    let mut scfg = SchedConfig::with_slots(1 << 10);
+    scfg.check_transitions = true;
     {
-        let m = Machine::create_durable(
-            cfg().with_fault(
-                FaultConfig::none()
-                    .with_scheduled_hard_fault(0, 700)
-                    .with_scheduled_hard_fault(1, 500)
-                    .with_scheduled_hard_fault(2, 600)
-                    .with_scheduled_hard_fault(3, 400),
-            ),
+        let rt = Runtime::create(
             &path,
+            rt_cfg(
+                cfg().with_fault(
+                    FaultConfig::none()
+                        .with_scheduled_hard_fault(0, 700)
+                        .with_scheduled_hard_fault(1, 500)
+                        .with_scheduled_hard_fault(2, 600)
+                        .with_scheduled_hard_fault(3, 400),
+                ),
+            )
+            .with_sched(scfg.clone()),
         )
         .unwrap();
-        let markers = m.alloc_region(N);
-        let mut scfg = sched_cfg();
-        scfg.check_transitions = true;
-        assert!(!run_computation(&m, &build_comp(markers), &scfg).completed);
+        let markers = rt.machine().alloc_region(N);
+        assert!(!rt.run_or_replay(&build_comp(markers)).completed());
     }
-    let m = Machine::reopen(&path).unwrap();
-    let markers = m.alloc_region(N);
-    let mut scfg = sched_cfg();
-    scfg.check_transitions = true;
-    let rec = recover_computation(&m, &build_comp(markers), &scfg);
+    let rt = Runtime::open(&path, rt_cfg(cfg()).with_sched(scfg)).unwrap();
+    let markers = rt.machine().alloc_region(N);
+    let rec = rt.run_or_replay(&build_comp(markers));
     assert!(
         rec.completed(),
         "recovery with the checker on must complete"
     );
     for i in 0..N {
-        assert_eq!(m.mem().load(markers.at(i)), i as Word + 1, "marker {i}");
+        assert_eq!(
+            rt.machine().mem().load(markers.at(i)),
+            i as Word + 1,
+            "marker {i}"
+        );
     }
     std::fs::remove_file(&path).unwrap();
 }
@@ -249,17 +271,17 @@ fn recovery_with_transition_checking_scrubs_without_tripping_the_checker() {
 fn durable_and_volatile_runs_compute_identical_results() {
     let path = tmp("parity");
     let volatile = {
-        let m = Machine::new(cfg());
-        let markers = m.alloc_region(N);
-        assert!(run_computation(&m, &build_comp(markers), &sched_cfg()).completed);
-        m.mem().to_vec(markers.start, N)
+        let rt = Runtime::new(Machine::new(cfg()), SchedConfig::with_slots(1 << 10));
+        let markers = rt.machine().alloc_region(N);
+        assert!(rt.run_or_replay(&build_comp(markers)).completed());
+        rt.machine().mem().to_vec(markers.start, N)
     };
     let durable = {
-        let m = Machine::create_durable(cfg(), &path).unwrap();
-        let markers = m.alloc_region(N);
-        assert!(run_computation(&m, &build_comp(markers), &sched_cfg()).completed);
-        m.mark_clean().unwrap();
-        m.mem().to_vec(markers.start, N)
+        let rt = Runtime::create(&path, rt_cfg(cfg())).unwrap();
+        let markers = rt.machine().alloc_region(N);
+        assert!(rt.run_or_replay(&build_comp(markers)).completed());
+        rt.mark_clean().unwrap();
+        rt.machine().mem().to_vec(markers.start, N)
     };
     assert_eq!(volatile, durable);
     std::fs::remove_file(&path).unwrap();

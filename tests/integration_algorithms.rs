@@ -1,14 +1,14 @@
 //! Cross-crate integration: the four §7 algorithms against their
-//! sequential oracles, across machine geometries and fault adversaries.
+//! sequential oracles, across machine geometries and fault adversaries,
+//! all driven through `Runtime` sessions.
 
-use ppm::algs::matmul::matmul_pool_words;
-use ppm::algs::sort::samplesort_pool_words;
 use ppm::algs::{
-    matmul_seq, merge_seq, prefix_sum_seq, MatMul, Merge, MergeSort, PrefixSum, SampleSort,
+    matmul_pool_words, matmul_seq, merge_seq, prefix_sum_seq, samplesort_pool_words, MatMul, Merge,
+    MergeSort, PrefixSum, SampleSort,
 };
 use ppm::core::Machine;
 use ppm::pm::{FaultConfig, PmConfig};
-use ppm::sched::{run_computation, SchedConfig};
+use ppm::sched::{Runtime, SchedConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -21,17 +21,24 @@ fn rand_data(seed: u64, n: usize, range: u64) -> Vec<u64> {
 fn prefix_sum_matches_oracle_across_geometries() {
     for (b, m_eph) in [(4usize, 64usize), (8, 256), (16, 1024)] {
         for n in [1usize, 7, 64, 1000] {
-            let m = Machine::new(
-                PmConfig::parallel(2, 1 << 21)
-                    .with_block_size(b)
-                    .with_ephemeral_words(m_eph),
+            let rt = Runtime::new(
+                Machine::new(
+                    PmConfig::parallel(2, 1 << 21)
+                        .with_block_size(b)
+                        .with_ephemeral_words(m_eph),
+                ),
+                SchedConfig::with_slots(1 << 12),
             );
-            let ps = PrefixSum::new(&m, n);
+            let ps = PrefixSum::new(rt.machine(), n);
             let data = rand_data(n as u64 ^ b as u64, n, 1 << 20);
-            ps.load_input(&m, &data);
-            let rep = run_computation(&m, &ps.comp(), &SchedConfig::with_slots(1 << 12));
-            assert!(rep.completed, "B={b} n={n}");
-            assert_eq!(ps.read_output(&m), prefix_sum_seq(&data), "B={b} n={n}");
+            ps.load_input(rt.machine(), &data);
+            let rep = rt.run_or_replay(&ps.comp());
+            assert!(rep.completed(), "B={b} n={n}");
+            assert_eq!(
+                ps.read_output(rt.machine()),
+                prefix_sum_seq(&data),
+                "B={b} n={n}"
+            );
         }
     }
 }
@@ -40,16 +47,23 @@ fn prefix_sum_matches_oracle_across_geometries() {
 fn merge_matches_oracle_randomized() {
     for seed in 0..6 {
         let (la, lb) = (500 + seed as usize * 37, 800 - seed as usize * 41);
-        let m = Machine::new(PmConfig::parallel(3, 1 << 21));
-        let mg = Merge::new(&m, la, lb);
+        let rt = Runtime::new(
+            Machine::new(PmConfig::parallel(3, 1 << 21)),
+            SchedConfig::with_slots(1 << 12),
+        );
+        let mg = Merge::new(rt.machine(), la, lb);
         let mut a = rand_data(seed, la, 5_000);
         let mut b = rand_data(seed + 100, lb, 5_000);
         a.sort_unstable();
         b.sort_unstable();
-        mg.load_inputs(&m, &a, &b);
-        let rep = run_computation(&m, &mg.comp(), &SchedConfig::with_slots(1 << 12));
-        assert!(rep.completed, "seed {seed}");
-        assert_eq!(mg.read_output(&m), merge_seq(&a, &b), "seed {seed}");
+        mg.load_inputs(rt.machine(), &a, &b);
+        let rep = rt.run_or_replay(&mg.comp());
+        assert!(rep.completed(), "seed {seed}");
+        assert_eq!(
+            mg.read_output(rt.machine()),
+            merge_seq(&a, &b),
+            "seed {seed}"
+        );
     }
 }
 
@@ -61,28 +75,40 @@ fn both_sorts_agree_with_std_sort_under_faults() {
         let mut expect = input.clone();
         expect.sort_unstable();
 
-        let m = Machine::new(
-            PmConfig::parallel(2, 1 << 22)
-                .with_ephemeral_words(128)
-                .with_fault(FaultConfig::soft(0.002, seed)),
+        let rt = Runtime::new(
+            Machine::new(
+                PmConfig::parallel(2, 1 << 22)
+                    .with_ephemeral_words(128)
+                    .with_fault(FaultConfig::soft(0.002, seed)),
+            ),
+            SchedConfig::with_slots(1 << 13),
         );
-        let ms = MergeSort::new(&m, n);
-        ms.load_input(&m, &input);
-        let rep = run_computation(&m, &ms.comp(), &SchedConfig::with_slots(1 << 13));
-        assert!(rep.completed);
-        assert_eq!(ms.read_output(&m), expect, "mergesort seed {seed}");
+        let ms = MergeSort::new(rt.machine(), n);
+        ms.load_input(rt.machine(), &input);
+        assert!(rt.run_or_replay(&ms.comp()).completed());
+        assert_eq!(
+            ms.read_output(rt.machine()),
+            expect,
+            "mergesort seed {seed}"
+        );
 
-        let m2 = Machine::with_pool_words(
-            PmConfig::parallel(2, 1 << 23)
-                .with_ephemeral_words(128)
-                .with_fault(FaultConfig::soft(0.002, seed + 50)),
-            samplesort_pool_words(n),
+        let rt2 = Runtime::new(
+            Machine::with_pool_words(
+                PmConfig::parallel(2, 1 << 23)
+                    .with_ephemeral_words(128)
+                    .with_fault(FaultConfig::soft(0.002, seed + 50)),
+                samplesort_pool_words(n),
+            ),
+            SchedConfig::with_slots(1 << 14),
         );
-        let ss = SampleSort::new(&m2, n);
-        ss.load_input(&m2, &input);
-        let rep = run_computation(&m2, &ss.comp(), &SchedConfig::with_slots(1 << 14));
-        assert!(rep.completed);
-        assert_eq!(ss.read_output(&m2), expect, "samplesort seed {seed}");
+        let ss = SampleSort::new(rt2.machine(), n);
+        ss.load_input(rt2.machine(), &input);
+        assert!(rt2.run_or_replay(&ss.comp()).completed());
+        assert_eq!(
+            ss.read_output(rt2.machine()),
+            expect,
+            "samplesort seed {seed}"
+        );
     }
 }
 
@@ -99,17 +125,20 @@ fn sort_adversarial_inputs() {
             .collect(),
     ];
     for (k, input) in inputs.iter().enumerate() {
-        let m = Machine::with_pool_words(
-            PmConfig::parallel(2, 1 << 23).with_ephemeral_words(64),
-            samplesort_pool_words(n),
+        let rt = Runtime::new(
+            Machine::with_pool_words(
+                PmConfig::parallel(2, 1 << 23).with_ephemeral_words(64),
+                samplesort_pool_words(n),
+            ),
+            SchedConfig::with_slots(1 << 14),
         );
-        let ss = SampleSort::new(&m, n);
-        ss.load_input(&m, input);
-        let rep = run_computation(&m, &ss.comp(), &SchedConfig::with_slots(1 << 14));
-        assert!(rep.completed, "input {k}");
+        let ss = SampleSort::new(rt.machine(), n);
+        ss.load_input(rt.machine(), input);
+        let rep = rt.run_or_replay(&ss.comp());
+        assert!(rep.completed(), "input {k}");
         let mut expect = input.clone();
         expect.sort_unstable();
-        assert_eq!(ss.read_output(&m), expect, "input {k}");
+        assert_eq!(ss.read_output(rt.machine()), expect, "input {k}");
     }
 }
 
@@ -117,38 +146,82 @@ fn sort_adversarial_inputs() {
 fn matmul_matches_oracle_with_hard_fault() {
     let n = 20;
     let m_eph = 128;
-    let m = Machine::with_pool_words(
-        PmConfig::parallel(3, 1 << 23)
-            .with_ephemeral_words(m_eph)
-            .with_fault(FaultConfig::none().with_scheduled_hard_fault(2, 700)),
-        matmul_pool_words(n, m_eph),
+    let rt = Runtime::new(
+        Machine::with_pool_words(
+            PmConfig::parallel(3, 1 << 23)
+                .with_ephemeral_words(m_eph)
+                .with_fault(FaultConfig::none().with_scheduled_hard_fault(2, 700)),
+            matmul_pool_words(n, m_eph),
+        ),
+        SchedConfig::with_slots(1 << 13),
     );
-    let mm = MatMul::new(&m, n);
+    let mm = MatMul::new(rt.machine(), n);
     let a = rand_data(1, n * n, 1000);
     let b = rand_data(2, n * n, 1000);
-    mm.load_inputs(&m, &a, &b);
-    let rep = run_computation(&m, &mm.comp(), &SchedConfig::with_slots(1 << 13));
-    assert!(rep.completed);
+    mm.load_inputs(rt.machine(), &a, &b);
+    let rep = rt.run_or_replay(&mm.comp());
+    assert!(rep.completed());
     assert_eq!(rep.dead_procs(), 1);
-    assert_eq!(mm.read_output(&m), matmul_seq(&a, &b, n));
+    assert_eq!(mm.read_output(rt.machine()), matmul_seq(&a, &b, n));
 }
 
 #[test]
 fn algorithms_compose_on_one_machine() {
     // Prefix-sum the output of a sort — two algorithm instances sharing
-    // one machine and one scheduler run each.
+    // one session and one scheduler run each.
     let n = 512;
-    let m = Machine::new(PmConfig::parallel(2, 1 << 22).with_ephemeral_words(128));
-    let ms = MergeSort::new(&m, n);
+    let rt = Runtime::new(
+        Machine::new(PmConfig::parallel(2, 1 << 22).with_ephemeral_words(128)),
+        SchedConfig::with_slots(1 << 13),
+    );
+    let ms = MergeSort::new(rt.machine(), n);
     let input = rand_data(5, n, 100);
-    ms.load_input(&m, &input);
-    let rep = run_computation(&m, &ms.comp(), &SchedConfig::with_slots(1 << 13));
-    assert!(rep.completed);
-    let sorted = ms.read_output(&m);
+    ms.load_input(rt.machine(), &input);
+    assert!(rt.run_or_replay(&ms.comp()).completed());
+    let sorted = ms.read_output(rt.machine());
 
-    let ps = PrefixSum::new(&m, n);
-    ps.load_input(&m, &sorted);
-    let rep2 = run_computation(&m, &ps.comp(), &SchedConfig::with_slots(1 << 13));
-    assert!(rep2.completed);
-    assert_eq!(ps.read_output(&m), prefix_sum_seq(&sorted));
+    let ps = PrefixSum::new(rt.machine(), n);
+    ps.load_input(rt.machine(), &sorted);
+    assert!(rt.run_or_replay(&ps.comp()).completed());
+    assert_eq!(ps.read_output(rt.machine()), prefix_sum_seq(&sorted));
+}
+
+#[test]
+fn registered_forms_of_all_four_algorithms_complete_on_one_machine() {
+    // The typed-DSL pcomps of every §7 algorithm share one machine: the
+    // registry allocates disjoint ids per capsule name, so nothing
+    // collides (the hazard the old manual id bases carried).
+    let n = 256;
+    let rt = Runtime::new(
+        Machine::with_pool_words(
+            PmConfig::parallel(2, 1 << 23).with_ephemeral_words(64),
+            samplesort_pool_words(n) + matmul_pool_words(16, 64),
+        ),
+        SchedConfig::with_slots(1 << 14),
+    );
+    let data = rand_data(9, n, 10_000);
+    let mut expect = data.clone();
+    expect.sort_unstable();
+
+    let ps = PrefixSum::new(rt.machine(), n);
+    ps.load_input(rt.machine(), &data);
+    assert!(rt.run_or_recover(&ps.pcomp()).completed());
+    assert_eq!(ps.read_output(rt.machine()), prefix_sum_seq(&data));
+
+    let ms = MergeSort::new(rt.machine(), n);
+    ms.load_input(rt.machine(), &data);
+    assert!(rt.run_or_recover(&ms.pcomp()).completed());
+    assert_eq!(ms.read_output(rt.machine()), expect);
+
+    let ss = SampleSort::new(rt.machine(), n);
+    ss.load_input(rt.machine(), &data);
+    assert!(rt.run_or_recover(&ss.pcomp()).completed());
+    assert_eq!(ss.read_output(rt.machine()), expect);
+
+    let mm = MatMul::new(rt.machine(), 12);
+    let a = rand_data(3, 144, 100);
+    let b = rand_data(4, 144, 100);
+    mm.load_inputs(rt.machine(), &a, &b);
+    assert!(rt.run_or_recover(&mm.pcomp()).completed());
+    assert_eq!(mm.read_output(rt.machine()), matmul_seq(&a, &b, 12));
 }

@@ -4,7 +4,7 @@
 
 use ppm::core::{comp_dyn, comp_fork2, comp_nop, comp_step, par_all, Comp, Machine};
 use ppm::pm::{FaultConfig, PmConfig, ProcCtx, Region};
-use ppm::sched::{run_computation, ProcOutcome, SchedConfig};
+use ppm::sched::{ProcOutcome, Runtime, SchedConfig, SessionReport};
 
 fn marker_tasks(r: Region, n: usize) -> Comp {
     par_all(
@@ -22,6 +22,13 @@ fn assert_all_marked(m: &Machine, r: Region, n: usize, tag: &str) {
             "{tag}: task {i} must run exactly once"
         );
     }
+}
+
+/// Runs a closure computation on a fresh session over `m`.
+fn run(m: Machine, comp: &Comp, cfg: SchedConfig) -> (Runtime, SessionReport) {
+    let rt = Runtime::new(m, cfg);
+    let rep = rt.run_or_replay(comp);
+    (rt, rep)
 }
 
 /// An unbalanced recursive computation: a "spine" that forks a leaf at
@@ -46,9 +53,9 @@ fn balanced_fanout_with_transition_checking_across_proc_counts() {
         let r = m.alloc_region(n);
         let mut cfg = SchedConfig::with_slots(1 << 11);
         cfg.check_transitions = true;
-        let rep = run_computation(&m, &marker_tasks(r, n), &cfg);
-        assert!(rep.completed, "P={procs}");
-        assert_all_marked(&m, r, n, &format!("P={procs}"));
+        let (rt, rep) = run(m, &marker_tasks(r, n), cfg);
+        assert!(rep.completed(), "P={procs}");
+        assert_all_marked(rt.machine(), r, n, &format!("P={procs}"));
     }
 }
 
@@ -57,9 +64,9 @@ fn skewed_spine_distributes_over_steals() {
     let m = Machine::new(PmConfig::parallel(4, 1 << 21));
     let n = 64;
     let r = m.alloc_region(n);
-    let rep = run_computation(&m, &skewed(r, 0, n), &SchedConfig::with_slots(1 << 11));
-    assert!(rep.completed);
-    assert_all_marked(&m, r, n, "skewed");
+    let (rt, rep) = run(m, &skewed(r, 0, n), SchedConfig::with_slots(1 << 11));
+    assert!(rep.completed());
+    assert_all_marked(rt.machine(), r, n, "skewed");
 }
 
 #[test]
@@ -73,10 +80,10 @@ fn randomized_soft_fault_storm() {
         let r = m.alloc_region(n);
         let mut cfg = SchedConfig::with_slots(1 << 11);
         cfg.check_transitions = true;
-        let rep = run_computation(&m, &marker_tasks(r, n), &cfg);
-        assert!(rep.completed, "seed {seed}");
-        assert!(rep.stats.soft_faults > 0, "seed {seed} must see faults");
-        assert_all_marked(&m, r, n, &format!("seed {seed}"));
+        let (rt, rep) = run(m, &marker_tasks(r, n), cfg);
+        assert!(rep.completed(), "seed {seed}");
+        assert!(rep.stats().soft_faults > 0, "seed {seed} must see faults");
+        assert_all_marked(rt.machine(), r, n, &format!("seed {seed}"));
     }
 }
 
@@ -92,9 +99,9 @@ fn mixed_hard_and_soft_faults_random_placement() {
         );
         let n = 48;
         let r = m.alloc_region(n);
-        let rep = run_computation(&m, &marker_tasks(r, n), &SchedConfig::with_slots(1 << 11));
-        if rep.completed {
-            assert_all_marked(&m, r, n, &format!("seed {seed}"));
+        let (rt, rep) = run(m, &marker_tasks(r, n), SchedConfig::with_slots(1 << 11));
+        if rep.completed() {
+            assert_all_marked(rt.machine(), r, n, &format!("seed {seed}"));
             if rep.dead_procs() > 0 {
                 completed_with_deaths += 1;
             }
@@ -119,10 +126,10 @@ fn adversarial_hard_fault_placements_on_root() {
         );
         let n = 32;
         let r = m.alloc_region(n);
-        let rep = run_computation(&m, &marker_tasks(r, n), &SchedConfig::with_slots(1 << 11));
-        assert!(rep.completed, "death at access {at}");
-        assert_eq!(rep.outcomes[0], ProcOutcome::Dead);
-        assert_all_marked(&m, r, n, &format!("death@{at}"));
+        let (rt, rep) = run(m, &marker_tasks(r, n), SchedConfig::with_slots(1 << 11));
+        assert!(rep.completed(), "death at access {at}");
+        assert_eq!(rep.run_report().outcomes[0], ProcOutcome::Dead);
+        assert_all_marked(rt.machine(), r, n, &format!("death@{at}"));
     }
 }
 
@@ -140,10 +147,10 @@ fn cascading_deaths_during_recovery() {
     );
     let n = 48;
     let r = m.alloc_region(n);
-    let rep = run_computation(&m, &marker_tasks(r, n), &SchedConfig::with_slots(1 << 11));
-    assert!(rep.completed);
+    let (rt, rep) = run(m, &marker_tasks(r, n), SchedConfig::with_slots(1 << 11));
+    assert!(rep.completed());
     assert_eq!(rep.dead_procs(), 3);
-    assert_all_marked(&m, r, n, "cascade");
+    assert_all_marked(rt.machine(), r, n, "cascade");
 }
 
 #[test]
@@ -160,14 +167,14 @@ fn deep_sequential_chain_under_faults() {
             })
         })
         .collect();
-    let rep = run_computation(
-        &m,
+    let (rt, rep) = run(
+        m,
         &ppm::core::seq_all(chain),
-        &SchedConfig::with_slots(1 << 11),
+        SchedConfig::with_slots(1 << 11),
     );
-    assert!(rep.completed);
+    assert!(rep.completed());
     assert_eq!(
-        m.mem().load(r.at(199)),
+        rt.machine().mem().load(r.at(199)),
         200,
         "each link applied exactly once"
     );
@@ -189,9 +196,9 @@ fn work_term_grows_mildly_with_fault_rate() {
         }));
         let n = 64;
         let r = m.alloc_region(n);
-        let rep = run_computation(&m, &marker_tasks(r, n), &SchedConfig::with_slots(1 << 11));
-        assert!(rep.completed);
-        rep.stats.total_work()
+        let (_rt, rep) = run(m, &marker_tasks(r, n), SchedConfig::with_slots(1 << 11));
+        assert!(rep.completed());
+        rep.stats().total_work()
     };
     let w0 = work(0.0, 0);
     let wf: u64 = (0..5).map(|s| work(0.01, s)).sum::<u64>() / 5;

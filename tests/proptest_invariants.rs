@@ -3,7 +3,7 @@
 use ppm::algs::{merge_seq, prefix_sum_seq, Merge, MergeSort, PrefixSum};
 use ppm::core::{comp_step, par_all, Machine};
 use ppm::pm::{FaultConfig, PmConfig, ProcCtx};
-use ppm::sched::{pack, run_computation, unpack, EntryKind, EntryVal, SchedConfig};
+use ppm::sched::{pack, unpack, EntryKind, EntryVal, Runtime, SchedConfig};
 use proptest::prelude::*;
 
 proptest! {
@@ -66,12 +66,14 @@ proptest! {
     /// Prefix sums match the oracle on arbitrary inputs.
     #[test]
     fn prefix_sum_correct(data in prop::collection::vec(any::<u64>(), 1..300)) {
-        let m = Machine::new(PmConfig::parallel(2, 1 << 21));
-        let ps = PrefixSum::new(&m, data.len());
-        ps.load_input(&m, &data);
-        let rep = run_computation(&m, &ps.comp(), &SchedConfig::with_slots(1 << 12));
-        prop_assert!(rep.completed);
-        prop_assert_eq!(ps.read_output(&m), prefix_sum_seq(&data));
+        let rt = Runtime::new(
+            Machine::new(PmConfig::parallel(2, 1 << 21)),
+            SchedConfig::with_slots(1 << 12),
+        );
+        let ps = PrefixSum::new(rt.machine(), data.len());
+        ps.load_input(rt.machine(), &data);
+        prop_assert!(rt.run_or_replay(&ps.comp()).completed());
+        prop_assert_eq!(ps.read_output(rt.machine()), prefix_sum_seq(&data));
     }
 
     /// Merging matches the oracle on arbitrary sorted inputs.
@@ -82,25 +84,29 @@ proptest! {
     ) {
         a.sort_unstable();
         b.sort_unstable();
-        let m = Machine::new(PmConfig::parallel(2, 1 << 21));
-        let mg = Merge::new(&m, a.len(), b.len());
-        mg.load_inputs(&m, &a, &b);
-        let rep = run_computation(&m, &mg.comp(), &SchedConfig::with_slots(1 << 12));
-        prop_assert!(rep.completed);
-        prop_assert_eq!(mg.read_output(&m), merge_seq(&a, &b));
+        let rt = Runtime::new(
+            Machine::new(PmConfig::parallel(2, 1 << 21)),
+            SchedConfig::with_slots(1 << 12),
+        );
+        let mg = Merge::new(rt.machine(), a.len(), b.len());
+        mg.load_inputs(rt.machine(), &a, &b);
+        prop_assert!(rt.run_or_replay(&mg.comp()).completed());
+        prop_assert_eq!(mg.read_output(rt.machine()), merge_seq(&a, &b));
     }
 
     /// Mergesort matches std sort on arbitrary inputs.
     #[test]
     fn mergesort_correct(data in prop::collection::vec(any::<u64>(), 1..400)) {
-        let m = Machine::new(PmConfig::parallel(2, 1 << 21).with_ephemeral_words(64));
-        let ms = MergeSort::new(&m, data.len());
-        ms.load_input(&m, &data);
-        let rep = run_computation(&m, &ms.comp(), &SchedConfig::with_slots(1 << 12));
-        prop_assert!(rep.completed);
+        let rt = Runtime::new(
+            Machine::new(PmConfig::parallel(2, 1 << 21).with_ephemeral_words(64)),
+            SchedConfig::with_slots(1 << 12),
+        );
+        let ms = MergeSort::new(rt.machine(), data.len());
+        ms.load_input(rt.machine(), &data);
+        prop_assert!(rt.run_or_replay(&ms.comp()).completed());
         let mut expect = data.clone();
         expect.sort_unstable();
-        prop_assert_eq!(ms.read_output(&m), expect);
+        prop_assert_eq!(ms.read_output(rt.machine()), expect);
     }
 }
 
@@ -126,10 +132,10 @@ proptest! {
                 .map(|i| comp_step("inc", move |ctx: &mut ProcCtx| ctx.pwrite(r.at(i), 1)))
                 .collect(),
         );
-        let rep = run_computation(&m, &comp, &SchedConfig::with_slots(1 << 11));
-        prop_assert!(rep.completed);
+        let rt = Runtime::new(m, SchedConfig::with_slots(1 << 11));
+        prop_assert!(rt.run_or_replay(&comp).completed());
         for i in 0..n {
-            prop_assert_eq!(m.mem().load(r.at(i)), 1);
+            prop_assert_eq!(rt.machine().mem().load(r.at(i)), 1);
         }
     }
 
@@ -148,10 +154,10 @@ proptest! {
                 .map(|i| comp_step("inc", move |ctx: &mut ProcCtx| ctx.pwrite(r.at(i), 1)))
                 .collect(),
         );
-        let rep = run_computation(&m, &comp, &SchedConfig::with_slots(1 << 11));
-        prop_assert!(rep.completed);
+        let rt = Runtime::new(m, SchedConfig::with_slots(1 << 11));
+        prop_assert!(rt.run_or_replay(&comp).completed());
         for i in 0..n {
-            prop_assert_eq!(m.mem().load(r.at(i)), 1);
+            prop_assert_eq!(rt.machine().mem().load(r.at(i)), 1);
         }
     }
 }

@@ -2,11 +2,10 @@
 //! under a combined soft+hard fault adversary with all validators on —
 //! the closest thing to the paper's whole story in one run.
 
-use ppm::algs::sort::samplesort_pool_words;
-use ppm::algs::{prefix_sum_seq, PrefixSum, SampleSort};
+use ppm::algs::{prefix_sum_seq, samplesort_pool_words, PrefixSum, SampleSort};
 use ppm::core::Machine;
 use ppm::pm::{FaultConfig, PmConfig};
-use ppm::sched::{run_computation, SchedConfig};
+use ppm::sched::{Runtime, SchedConfig};
 
 #[test]
 fn sort_then_scan_pipeline_survives_combined_adversary() {
@@ -22,13 +21,14 @@ fn sort_then_scan_pipeline_survives_combined_adversary() {
             .with_fault(FaultConfig::soft(0.002, 99).with_scheduled_hard_fault(3, 4_000)),
         samplesort_pool_words(n),
     );
-    let ss = SampleSort::new(&m1, n);
-    ss.load_input(&m1, &input);
     let mut cfg = SchedConfig::with_slots(1 << 14);
     cfg.check_transitions = true;
-    let rep1 = run_computation(&m1, &ss.comp(), &cfg);
-    assert!(rep1.completed, "sort must complete");
-    let sorted = ss.read_output(&m1);
+    let rt1 = Runtime::new(m1, cfg);
+    let ss = SampleSort::new(rt1.machine(), n);
+    ss.load_input(rt1.machine(), &input);
+    let rep1 = rt1.run_or_replay(&ss.comp());
+    assert!(rep1.completed(), "sort must complete");
+    let sorted = ss.read_output(rt1.machine());
     let mut expect = input.clone();
     expect.sort_unstable();
     assert_eq!(sorted, expect, "sorted correctly under the adversary");
@@ -38,16 +38,17 @@ fn sort_then_scan_pipeline_survives_combined_adversary() {
         PmConfig::parallel(3, 1 << 23)
             .with_fault(FaultConfig::soft(0.003, 5).with_scheduled_hard_fault(1, 2_500)),
     );
-    let ps = PrefixSum::new(&m2, n);
-    ps.load_input(&m2, &sorted);
-    let rep2 = run_computation(&m2, &ps.comp(), &SchedConfig::with_slots(1 << 14));
-    assert!(rep2.completed, "scan must complete");
-    assert_eq!(ps.read_output(&m2), prefix_sum_seq(&sorted));
+    let rt2 = Runtime::new(m2, SchedConfig::with_slots(1 << 14));
+    let ps = PrefixSum::new(rt2.machine(), n);
+    ps.load_input(rt2.machine(), &sorted);
+    let rep2 = rt2.run_or_replay(&ps.comp());
+    assert!(rep2.completed(), "scan must complete");
+    assert_eq!(ps.read_output(rt2.machine()), prefix_sum_seq(&sorted));
 
     // The whole pipeline absorbed faults without correctness loss.
-    let total_faults = rep1.stats.soft_faults
-        + rep1.stats.hard_faults
-        + rep2.stats.soft_faults
-        + rep2.stats.hard_faults;
+    let total_faults = rep1.stats().soft_faults
+        + rep1.stats().hard_faults
+        + rep2.stats().soft_faults
+        + rep2.stats().hard_faults;
     assert!(total_faults > 0, "the adversary must actually have fired");
 }
