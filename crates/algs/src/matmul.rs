@@ -299,6 +299,11 @@ impl MmCapsules {
 /// Pool words one processor may need for multiplying padded dimension
 /// `n_pad` with ephemeral memory `m_eph` (worst case: one processor
 /// expands every node: 2·n³/base_dim temporary words, plus slack).
+///
+/// **Assumes checkpoint GC** (`ppm_sched::checkpoint`, on by default) —
+/// see [`crate::sort::samplesort_pool_words`] for the caveat; a run with
+/// checkpointing disabled that must survive crash resume or hard-fault
+/// adoption should roughly double this budget (the pre-GC sizing).
 pub fn matmul_pool_words(n: usize, m_eph: usize) -> usize {
     let np = next_pow2(n);
     let bd = base_dim(m_eph);
@@ -310,11 +315,14 @@ pub fn matmul_pool_words(n: usize, m_eph: usize) -> usize {
         // node); 3·n³/bd covers both with slack. The registered form also
         // writes typed frames for the eight products, the fork-pair tree
         // and the per-row add map — ≈ 48·size words per node, which sums
-        // to ≈ 48·n³/bd² and dominates at small base dimensions — and a
-        // crash-resumed (or hard-fault-adopted) run re-allocates above
-        // the dead run's watermark, doubling the demand.
+        // to ≈ 48·n³/bd² and dominates at small base dimensions. The
+        // pre-checkpoint sizing (PR 3) doubled both terms because a
+        // crash-resumed (or hard-fault-adopted) run re-allocated above
+        // the dead run's watermark; checkpoint GC (`ppm_sched::checkpoint`,
+        // on by default) now caps that re-allocation at one epoch's
+        // churn, so the doubling is gone.
         let cube = np * np * (np / bd).max(1);
-        6 * cube + 96 * cube / bd.max(1) + (1 << 15)
+        3 * cube + 48 * cube / bd.max(1) + (1 << 15)
     }
 }
 

@@ -53,6 +53,10 @@ impl Persist for Run {
             hi: usize::decode(r)?,
         })
     }
+
+    fn pool_refs(&self, out: &mut ppm_core::PoolRefs) {
+        self.region.pool_refs(out);
+    }
 }
 
 /// Base-case size: merge sequentially once `≤ B` elements remain (the

@@ -54,11 +54,12 @@ pub use flag::DoneFlag;
 pub use join::{fork_join_frames, JoinCell, TOKEN_LEFT, TOKEN_RIGHT, UNSET};
 pub use machine::{Machine, ProcMeta, DEFAULT_POOL_WORDS, PROC_META_WORDS};
 pub use persist::{
-    decode_args, encode_args, FrameDecodeError, FrameDecodeKind, Persist, ValueError, WordReader,
+    decode_args, encode_args, FrameDecodeError, FrameDecodeKind, Persist, PoolRefs, ValueError,
+    WordReader,
 };
 pub use registry::{
-    frame_args, register_core_capsules, CapsuleId, CapsuleRegistry, PComp, RehydrateError,
-    CORE_ID_END, CORE_ID_FINALE, CORE_ID_FORK_PAIR, CORE_ID_JOIN_CAM, CORE_ID_JOIN_CHECK,
-    FIRST_USER_CAPSULE_ID,
+    frame_args, register_core_capsules, CapsuleId, CapsuleRegistry, CapsuleTracer, PComp,
+    RehydrateError, CORE_ID_END, CORE_ID_FINALE, CORE_ID_FORK_PAIR, CORE_ID_JOIN_CAM,
+    CORE_ID_JOIN_CHECK, FIRST_USER_CAPSULE_ID,
 };
 pub use runner::{run_capsule, run_chain, ForkWrap, InstallCtx, Step};

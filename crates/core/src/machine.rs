@@ -210,6 +210,34 @@ impl Machine {
         self.mem.backend().mark_clean()
     }
 
+    /// Syncs only the pages mutated since the last flush (falls back to a
+    /// full flush for backends without dirty tracking). The incremental
+    /// durability boundary checkpoints use; exact under quiescence.
+    pub fn flush_dirty(&self) -> std::io::Result<ppm_pm::DirtyFlush> {
+        self.mem.flush_dirty()
+    }
+
+    /// Durably stores an epoch-checkpoint record (no-op returning `false`
+    /// on volatile machines). See [`ppm_pm::CheckpointRecord`].
+    pub fn write_checkpoint_record(
+        &self,
+        record: &ppm_pm::CheckpointRecord,
+    ) -> std::io::Result<bool> {
+        self.mem.backend().write_checkpoint(record)
+    }
+
+    /// The newest valid checkpoint record on stable storage, if any.
+    pub fn latest_checkpoint_record(&self) -> Option<ppm_pm::CheckpointRecord> {
+        self.mem.backend().latest_checkpoint()
+    }
+
+    /// Invalidates all stored checkpoint records (a replay-from-root
+    /// recovery resets pool cursors, so old checkpoint frontiers no
+    /// longer denote live frames).
+    pub fn clear_checkpoint_records(&self) -> std::io::Result<()> {
+        self.mem.backend().clear_checkpoints()
+    }
+
     /// Durable run epoch: 1 for the creating run, incremented on every
     /// reopen; 0 for volatile machines.
     pub fn epoch(&self) -> u64 {

@@ -41,7 +41,7 @@ use ppm_pm::{read_frame, Frame, FrameError, PersistentMemory, Word};
 
 use crate::capsule::{capsule, Cont, Next};
 use crate::join::JoinCell;
-use crate::persist::{FrameDecodeError, FrameDecodeKind};
+use crate::persist::{FrameDecodeError, FrameDecodeKind, PoolRefs};
 
 /// A stable capsule identifier. Equal across processes for the same
 /// computation, by the determinism discipline of machine construction.
@@ -136,6 +136,16 @@ impl From<FrameError> for RehydrateError {
 pub type CapsuleCtor =
     std::sync::Arc<dyn Fn(&[Word]) -> Result<Cont, FrameDecodeError> + Send + Sync>;
 
+/// A frame tracer: reports the persistent-memory references a frame's
+/// argument words carry (continuation handles, live word extents) into a
+/// [`PoolRefs`] collector, returning whether the words were fully
+/// understood — `false` (e.g. the typed state failed to decode) makes
+/// the checkpoint subsystem refuse to reclaim anything, exactly like a
+/// missing tracer. Installed alongside the constructor by
+/// [`CapsuleRegistry::register_traced`] (the typed DSL derives it from
+/// [`crate::persist::Persist::pool_refs`]).
+pub type CapsuleTracer = std::sync::Arc<dyn Fn(&[Word], &mut PoolRefs) -> bool + Send + Sync>;
+
 /// A computation expressed as persistent capsule frames: given the
 /// machine and the frame handle of the continuation to run after the
 /// computation (typically the finale), register the needed rehydration
@@ -152,6 +162,7 @@ pub type PComp = std::sync::Arc<dyn Fn(&crate::machine::Machine, Word) -> Word +
 struct Entry {
     name: &'static str,
     ctor: CapsuleCtor,
+    trace: Option<CapsuleTracer>,
 }
 
 #[derive(Default)]
@@ -233,6 +244,32 @@ impl CapsuleRegistry {
     where
         F: Fn(&[Word]) -> Result<Cont, FrameDecodeError> + Send + Sync + 'static,
     {
+        self.register_inner(id, name, std::sync::Arc::new(ctor), None);
+    }
+
+    /// [`CapsuleRegistry::register`] plus a [`CapsuleTracer`], making
+    /// frames of this capsule traceable by checkpoint GC. Same idempotence
+    /// and collision rules.
+    pub fn register_traced<F, T>(&self, id: CapsuleId, name: &'static str, ctor: F, trace: T)
+    where
+        F: Fn(&[Word]) -> Result<Cont, FrameDecodeError> + Send + Sync + 'static,
+        T: Fn(&[Word], &mut PoolRefs) -> bool + Send + Sync + 'static,
+    {
+        self.register_inner(
+            id,
+            name,
+            std::sync::Arc::new(ctor),
+            Some(std::sync::Arc::new(trace)),
+        );
+    }
+
+    fn register_inner(
+        &self,
+        id: CapsuleId,
+        name: &'static str,
+        ctor: CapsuleCtor,
+        trace: Option<CapsuleTracer>,
+    ) {
         let mut inner = self.inner.write();
         if let Some(existing) = inner.entries.get(&id) {
             assert_eq!(
@@ -255,13 +292,7 @@ impl CapsuleRegistry {
             inner.next = id + 1;
         }
         inner.by_name.insert(name, id);
-        inner.entries.insert(
-            id,
-            Entry {
-                name,
-                ctor: std::sync::Arc::new(ctor),
-            },
-        );
+        inner.entries.insert(id, Entry { name, ctor, trace });
     }
 
     /// Whether `id` has a constructor.
@@ -317,6 +348,22 @@ impl CapsuleRegistry {
         let frame = read_frame(mem, handle as ppm_pm::Addr)?;
         self.instantiate(&frame)
     }
+
+    /// Traces the persistent references of a frame's argument words into
+    /// `out`. Returns `false` when `capsule_id` has no tracer (an
+    /// unregistered id, or a raw registration without one) or the tracer
+    /// could not decode the words — the signal for checkpoint GC to skip
+    /// reclamation rather than guess at liveness.
+    pub fn trace_refs(&self, capsule_id: CapsuleId, args: &[Word], out: &mut PoolRefs) -> bool {
+        let trace = {
+            let inner = self.inner.read();
+            match inner.entries.get(&capsule_id).and_then(|e| e.trace.clone()) {
+                Some(t) => t,
+                None => return false,
+            }
+        };
+        trace(args, out)
+    }
 }
 
 /// Decodes a frame's argument words into a fixed-arity array on behalf of
@@ -349,36 +396,80 @@ pub fn frame_args<const N: usize>(
 /// the trivial end, the fork pair) on `registry`. Called by machine
 /// construction; idempotent.
 pub fn register_core_capsules(registry: &CapsuleRegistry) {
-    registry.register(CORE_ID_JOIN_CAM, "join-cam", |args| {
-        let [cell, token, after] = frame_args("join-cam", args)?;
-        Ok(JoinCell::at(cell as ppm_pm::Addr).arrive_cam_frame(token, after))
-    });
-    registry.register(CORE_ID_JOIN_CHECK, "join-check", |args| {
-        let [cell, token, after] = frame_args("join-check", args)?;
-        Ok(JoinCell::at(cell as ppm_pm::Addr).arrive_check_frame(token, after))
-    });
-    registry.register(CORE_ID_FINALE, "finale", |args| {
-        let [flag] = frame_args("finale", args)?;
-        let flag = flag as ppm_pm::Addr;
-        Ok(capsule("finale", move |ctx| {
-            ctx.pwrite(flag, 1)?;
-            Ok(Next::End)
-        }))
-    });
-    registry.register(
+    // A join arrival keeps its cell word and its post-join continuation
+    // frame alive; the tracer reports both (and refuses malformed args).
+    let join_trace = |args: &[Word], out: &mut PoolRefs| {
+        if let [cell, _token, after] = args {
+            out.extent(*cell as usize, 1);
+            out.handle(*after);
+            true
+        } else {
+            false
+        }
+    };
+    registry.register_traced(
+        CORE_ID_JOIN_CAM,
+        "join-cam",
+        |args| {
+            let [cell, token, after] = frame_args("join-cam", args)?;
+            Ok(JoinCell::at(cell as ppm_pm::Addr).arrive_cam_frame(token, after))
+        },
+        join_trace,
+    );
+    registry.register_traced(
+        CORE_ID_JOIN_CHECK,
+        "join-check",
+        |args| {
+            let [cell, token, after] = frame_args("join-check", args)?;
+            Ok(JoinCell::at(cell as ppm_pm::Addr).arrive_check_frame(token, after))
+        },
+        join_trace,
+    );
+    registry.register_traced(
+        CORE_ID_FINALE,
+        "finale",
+        |args| {
+            let [flag] = frame_args("finale", args)?;
+            let flag = flag as ppm_pm::Addr;
+            Ok(capsule("finale", move |ctx| {
+                ctx.pwrite(flag, 1)?;
+                Ok(Next::End)
+            }))
+        },
+        |args, out| {
+            if let [flag] = args {
+                out.extent(*flag as usize, 1);
+                true
+            } else {
+                false
+            }
+        },
+    );
+    registry.register_traced(
         CORE_ID_END,
         "end",
         |_args| Ok(crate::capsule::end_capsule()),
+        |_args, _out| true,
     );
-    registry.register(CORE_ID_FORK_PAIR, "fork-pair", |args| {
-        let [left, right] = frame_args("fork-pair", args)?;
-        Ok(capsule("fork-pair", move |_ctx| {
-            Ok(Next::ForkHandle {
-                child: right,
-                cont: left,
-            })
-        }))
-    });
+    registry.register_traced(
+        CORE_ID_FORK_PAIR,
+        "fork-pair",
+        |args| {
+            let [left, right] = frame_args("fork-pair", args)?;
+            Ok(capsule("fork-pair", move |_ctx| {
+                Ok(Next::ForkHandle {
+                    child: right,
+                    cont: left,
+                })
+            }))
+        },
+        |args, out| {
+            for a in args {
+                out.handle(*a);
+            }
+            args.len() == 2
+        },
+    );
 }
 
 #[cfg(test)]

@@ -19,8 +19,12 @@ use std::sync::atomic::AtomicU64;
 
 use parking_lot::Mutex;
 
-use super::superblock::{Superblock, STATE_CLEAN, STATE_IN_RUN, SUPERBLOCK_BYTES};
+use super::superblock::{
+    CheckpointRecord, Superblock, CKPT_SLOT_BYTES, CKPT_SLOT_OFFSETS, STATE_CLEAN, STATE_IN_RUN,
+    SUPERBLOCK_BYTES,
+};
 use super::MemBackend;
+use crate::dirty::PageRun;
 
 mod sys {
     use std::ffi::c_void;
@@ -176,6 +180,15 @@ impl MmapBackend {
         Superblock::decode(page).expect("mapped superblock was validated at open/create")
     }
 
+    /// Reads one checkpoint slot from the mapped superblock page.
+    fn read_ckpt_slot(&self, slot: usize) -> io::Result<Option<CheckpointRecord>> {
+        let _guard = self.sb_lock.lock();
+        let bytes = unsafe {
+            std::slice::from_raw_parts(self.base.add(CKPT_SLOT_OFFSETS[slot]), CKPT_SLOT_BYTES)
+        };
+        CheckpointRecord::decode(bytes)
+    }
+
     fn msync_range(&self, offset: usize, len: usize) -> io::Result<()> {
         debug_assert_eq!(offset % SUPERBLOCK_BYTES, 0, "msync needs page alignment");
         let rc = unsafe {
@@ -227,6 +240,63 @@ impl MemBackend for MmapBackend {
         let mut sb = self.read_superblock();
         sb.state = STATE_CLEAN;
         self.write_superblock(&sb)
+    }
+
+    fn wants_dirty_tracking(&self) -> bool {
+        true
+    }
+
+    fn flush_dirty(&self, runs: &[PageRun]) -> io::Result<()> {
+        for (start, len) in runs {
+            // Word run → byte range past the superblock page. Runs are
+            // page-aligned by construction (DirtyTracker::drain), so the
+            // msync alignment requirement holds.
+            self.msync_range(SUPERBLOCK_BYTES + start * 8, len * 8)?;
+        }
+        Ok(())
+    }
+
+    fn write_checkpoint(&self, record: &CheckpointRecord) -> io::Result<bool> {
+        if !record.fits() {
+            return Ok(false);
+        }
+        let off = CKPT_SLOT_OFFSETS[record.slot()];
+        {
+            let _guard = self.sb_lock.lock();
+            let bytes =
+                unsafe { std::slice::from_raw_parts_mut(self.base.add(off), CKPT_SLOT_BYTES) };
+            bytes.fill(0);
+            record.encode_into(bytes);
+        }
+        // The slots live inside the (one-page) superblock page.
+        self.msync_range(0, SUPERBLOCK_BYTES)?;
+        Ok(true)
+    }
+
+    fn latest_checkpoint(&self) -> Option<CheckpointRecord> {
+        let mut best: Option<CheckpointRecord> = None;
+        for slot in 0..CKPT_SLOT_OFFSETS.len() {
+            // A torn slot is skipped, not fatal: the other slot holds the
+            // previous epoch's record.
+            if let Ok(Some(rec)) = self.read_ckpt_slot(slot) {
+                if best.as_ref().map(|b| rec.seq > b.seq).unwrap_or(true) {
+                    best = Some(rec);
+                }
+            }
+        }
+        best
+    }
+
+    fn clear_checkpoints(&self) -> io::Result<()> {
+        {
+            let _guard = self.sb_lock.lock();
+            for off in CKPT_SLOT_OFFSETS {
+                let bytes =
+                    unsafe { std::slice::from_raw_parts_mut(self.base.add(off), CKPT_SLOT_BYTES) };
+                bytes.fill(0);
+            }
+        }
+        self.msync_range(0, SUPERBLOCK_BYTES)
     }
 
     fn kind(&self) -> &'static str {
@@ -326,6 +396,47 @@ mod tests {
         drop(f);
         let err = MmapBackend::open(&path).unwrap_err();
         assert!(err.to_string().contains("truncated"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flush_dirty_syncs_runs_and_checkpoints_round_trip() {
+        let path = tmp_path("ckpt");
+        let rec = |seq: u64| CheckpointRecord {
+            seq,
+            epoch: 1,
+            capsules: 40 * seq,
+            watermarks: vec![64 * seq],
+            frontier: vec![0x100 + seq],
+        };
+        {
+            let b = MmapBackend::create(&path, sb(4096)).unwrap();
+            b.words()[100].store(7, Ordering::SeqCst);
+            b.flush_dirty(&[(0, 512), (3584, 512)]).unwrap();
+            assert!(b.latest_checkpoint().is_none());
+            assert!(b.write_checkpoint(&rec(1)).unwrap());
+            assert!(b.write_checkpoint(&rec(2)).unwrap());
+            assert_eq!(b.latest_checkpoint().unwrap().seq, 2);
+        }
+        {
+            // Both records survive reopen; the newest wins.
+            let (b, _) = MmapBackend::open(&path).unwrap();
+            let latest = b.latest_checkpoint().unwrap();
+            assert_eq!(latest, rec(2));
+            // Tear the newest slot on disk: reopen must fall back to the
+            // previous record, not error out.
+            let off = CKPT_SLOT_OFFSETS[rec(2).slot()];
+            {
+                let guard = b.sb_lock.lock();
+                let bytes =
+                    unsafe { std::slice::from_raw_parts_mut(b.base.add(off), CKPT_SLOT_BYTES) };
+                bytes[16] ^= 0xFF;
+                drop(guard);
+            }
+            assert_eq!(b.latest_checkpoint().unwrap(), rec(1));
+            b.clear_checkpoints().unwrap();
+            assert!(b.latest_checkpoint().is_none());
+        }
         std::fs::remove_file(&path).unwrap();
     }
 

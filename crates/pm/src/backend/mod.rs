@@ -27,13 +27,15 @@ use std::io;
 use std::path::Path;
 use std::sync::atomic::AtomicU64;
 
+use crate::dirty::PageRun;
+
 pub mod superblock;
 pub mod volatile;
 
 #[cfg(unix)]
 pub mod mmap;
 
-pub use superblock::{Superblock, SUPERBLOCK_BYTES};
+pub use superblock::{CheckpointRecord, Superblock, SUPERBLOCK_BYTES};
 pub use volatile::VolatileBackend;
 
 #[cfg(unix)]
@@ -75,6 +77,43 @@ pub trait MemBackend: Send + Sync + Debug {
     /// a crashed one.
     fn mark_clean(&self) -> io::Result<()> {
         self.flush()
+    }
+
+    /// Whether [`crate::mem::PersistentMemory`] should maintain a dirty
+    /// bitmap for this backend. `true` for backends whose
+    /// [`MemBackend::flush_dirty`] beats a full [`MemBackend::flush`]
+    /// (file-mapped storage); `false` keeps volatile word traffic free of
+    /// the tracking atomics.
+    fn wants_dirty_tracking(&self) -> bool {
+        false
+    }
+
+    /// Forces only the given word runs (page-aligned, from
+    /// [`crate::DirtyTracker::drain`]) to stable storage — the
+    /// incremental twin of [`MemBackend::flush`]. The default falls back
+    /// to a full flush, which is always correct.
+    fn flush_dirty(&self, _runs: &[PageRun]) -> io::Result<()> {
+        self.flush()
+    }
+
+    /// Durably writes a checkpoint record (durable backends; no-op
+    /// otherwise, returning `false`). Records alternate between two
+    /// superblock-page slots so a torn write can never destroy the
+    /// previous checkpoint.
+    fn write_checkpoint(&self, _record: &CheckpointRecord) -> io::Result<bool> {
+        Ok(false)
+    }
+
+    /// The newest valid checkpoint record on stable storage, if any.
+    fn latest_checkpoint(&self) -> Option<CheckpointRecord> {
+        None
+    }
+
+    /// Invalidates every stored checkpoint record (called when a recovery
+    /// replays from the root: pool cursors reset, so old checkpoint
+    /// frontiers no longer denote live frames).
+    fn clear_checkpoints(&self) -> io::Result<()> {
+        Ok(())
     }
 
     /// Short human-readable backend name for diagnostics.

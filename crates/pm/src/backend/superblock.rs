@@ -189,6 +189,132 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
+// ====================================================================
+// Checkpoint records
+// ====================================================================
+
+/// `b"PPMCKPT1"` as a little-endian word: the checkpoint-record magic.
+pub const CKPT_MAGIC: u64 = u64::from_le_bytes(*b"PPMCKPT1");
+
+/// Byte offsets (within the superblock page) of the two alternating
+/// checkpoint slots. The superblock proper occupies the first 80 bytes;
+/// the slots use the rest of the page. Writes alternate by sequence
+/// number, so a crash mid-write tears at most the slot being written and
+/// the previous record survives in the other.
+pub const CKPT_SLOT_OFFSETS: [usize; 2] = [1024, 2560];
+
+/// Bytes per checkpoint slot.
+pub const CKPT_SLOT_BYTES: usize = 1536;
+
+/// Header words ahead of the variable-length arrays (magic, seq, epoch,
+/// capsules, procs, frontier_len), plus one trailing checksum word.
+const CKPT_HEADER_WORDS: usize = 6;
+
+/// Largest `procs + frontier` a record can carry.
+pub const CKPT_MAX_PAYLOAD_WORDS: usize = CKPT_SLOT_BYTES / 8 - CKPT_HEADER_WORDS - 1;
+
+/// An epoch checkpoint: the durable resume point a quiesced run records
+/// after reclaiming its frame pools.
+///
+/// The *meaning* of the fields is owed to the scheduler's checkpoint
+/// protocol (`ppm-sched`'s `checkpoint` module): `watermarks[p]` is the
+/// stable pool cursor of processor `p` — every live frame, join cell and
+/// scratch word of the computation sits below it — and `frontier` is the
+/// set of frame handles (deque jobs plus restart pointers) that, planted
+/// on scrubbed deques with cursors at the watermarks, re-drive exactly
+/// the computation's remaining work. A recovering session that cannot
+/// rehydrate the crash frontier falls back to the newest valid record,
+/// bounding replay distance to the work done since this checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointRecord {
+    /// Monotone checkpoint sequence number (1 for the first checkpoint of
+    /// a file's lifetime).
+    pub seq: u64,
+    /// Run epoch that wrote the record.
+    pub epoch: u64,
+    /// Capsules the writing run had completed at the checkpoint (for
+    /// replay-distance accounting).
+    pub capsules: u64,
+    /// Stable pool-cursor watermark per processor.
+    pub watermarks: Vec<u64>,
+    /// Frame handles of the checkpoint frontier.
+    pub frontier: Vec<u64>,
+}
+
+impl CheckpointRecord {
+    /// Whether the record fits a slot ([`CKPT_MAX_PAYLOAD_WORDS`]).
+    pub fn fits(&self) -> bool {
+        self.watermarks.len() + self.frontier.len() <= CKPT_MAX_PAYLOAD_WORDS
+    }
+
+    /// Which of the two slots this record (by sequence parity) writes to.
+    pub fn slot(&self) -> usize {
+        (self.seq % 2) as usize
+    }
+
+    /// Serializes into `slot` (at least [`CKPT_SLOT_BYTES`] long).
+    ///
+    /// # Panics
+    /// Panics if the record does not [`CheckpointRecord::fits`] — callers
+    /// skip writing oversized records instead.
+    pub fn encode_into(&self, slot: &mut [u8]) {
+        assert!(slot.len() >= CKPT_SLOT_BYTES);
+        assert!(self.fits(), "checkpoint record exceeds slot capacity");
+        let mut words: Vec<u64> =
+            Vec::with_capacity(CKPT_HEADER_WORDS + 1 + self.watermarks.len() + self.frontier.len());
+        words.extend([
+            CKPT_MAGIC,
+            self.seq,
+            self.epoch,
+            self.capsules,
+            self.watermarks.len() as u64,
+            self.frontier.len() as u64,
+        ]);
+        words.extend(&self.watermarks);
+        words.extend(&self.frontier);
+        words.push(fnv1a(&words));
+        for (i, w) in words.iter().enumerate() {
+            slot[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Parses and validates one slot. `Ok(None)` for a blank slot (no
+    /// magic), `Err` for a torn or corrupt record.
+    pub fn decode(slot: &[u8]) -> io::Result<Option<Self>> {
+        if slot.len() < CKPT_HEADER_WORDS * 8 {
+            return Err(bad("slot too short for a checkpoint header"));
+        }
+        let word_at = |i: usize| -> u64 {
+            u64::from_le_bytes(slot[i * 8..(i + 1) * 8].try_into().expect("8 bytes"))
+        };
+        if word_at(0) != CKPT_MAGIC {
+            return Ok(None);
+        }
+        if word_at(4).saturating_add(word_at(5)) > CKPT_MAX_PAYLOAD_WORDS as u64 {
+            return Err(bad("checkpoint record claims an oversized payload"));
+        }
+        let procs = word_at(4) as usize;
+        let frontier_len = word_at(5) as usize;
+        let total = CKPT_HEADER_WORDS + procs + frontier_len + 1;
+        if slot.len() < total * 8 {
+            return Err(bad("slot too short for the claimed checkpoint payload"));
+        }
+        let body: Vec<u64> = (0..total - 1).map(word_at).collect();
+        if word_at(total - 1) != fnv1a(&body) {
+            return Err(bad("checkpoint record checksum mismatch (torn write)"));
+        }
+        Ok(Some(CheckpointRecord {
+            seq: word_at(1),
+            epoch: word_at(2),
+            capsules: word_at(3),
+            watermarks: (0..procs).map(|p| word_at(CKPT_HEADER_WORDS + p)).collect(),
+            frontier: (0..frontier_len)
+                .map(|f| word_at(CKPT_HEADER_WORDS + procs + f))
+                .collect(),
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +377,69 @@ mod tests {
         sb.encode_into(&mut page);
         let err = Superblock::decode(&page).unwrap_err();
         assert!(err.to_string().contains("limit"), "{err}");
+    }
+
+    fn sample_record(seq: u64) -> CheckpointRecord {
+        CheckpointRecord {
+            seq,
+            epoch: 3,
+            capsules: 12_345,
+            watermarks: vec![100, 200, 300],
+            frontier: vec![0x4000, 0x4010, 0x8020],
+        }
+    }
+
+    #[test]
+    fn checkpoint_record_round_trips() {
+        let rec = sample_record(7);
+        let mut slot = vec![0u8; CKPT_SLOT_BYTES];
+        rec.encode_into(&mut slot);
+        assert_eq!(CheckpointRecord::decode(&slot).unwrap(), Some(rec));
+    }
+
+    #[test]
+    fn blank_slot_decodes_to_none() {
+        assert_eq!(
+            CheckpointRecord::decode(&vec![0u8; CKPT_SLOT_BYTES]).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn torn_checkpoint_record_is_an_error_not_a_record() {
+        let mut slot = vec![0u8; CKPT_SLOT_BYTES];
+        sample_record(9).encode_into(&mut slot);
+        slot[8 * 8] ^= 0x40; // flip a frontier-handle bit
+        let err = CheckpointRecord::decode(&slot).unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_slots_alternate_by_sequence() {
+        assert_eq!(sample_record(6).slot(), 0);
+        assert_eq!(sample_record(7).slot(), 1);
+    }
+
+    #[test]
+    fn oversized_checkpoint_payload_rejected() {
+        let mut rec = sample_record(1);
+        rec.frontier = vec![1; CKPT_MAX_PAYLOAD_WORDS];
+        assert!(!rec.fits());
+        // A crafted slot claiming an absurd payload is rejected before any
+        // out-of-bounds word reads.
+        let mut slot = vec![0u8; CKPT_SLOT_BYTES];
+        sample_record(1).encode_into(&mut slot);
+        slot[5 * 8..6 * 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(CheckpointRecord::decode(&slot).is_err());
+    }
+
+    #[test]
+    fn checkpoint_slots_fit_the_superblock_page() {
+        for off in CKPT_SLOT_OFFSETS {
+            assert!(off >= FIELDS * 8, "slot {off} overlaps the superblock");
+            assert!(off + CKPT_SLOT_BYTES <= SUPERBLOCK_BYTES);
+        }
+        assert!(CKPT_SLOT_OFFSETS[0] + CKPT_SLOT_BYTES <= CKPT_SLOT_OFFSETS[1]);
     }
 
     #[test]

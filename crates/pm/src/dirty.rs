@@ -1,0 +1,259 @@
+//! Dirty-page tracking for incremental flushes.
+//!
+//! A durable machine's [`crate::backend::MemBackend::flush`] syncs the
+//! *whole* mapping — correct, but wasteful once files grow past a few
+//! MiB: a checkpoint that committed a handful of capsules still pays an
+//! `msync` over every page. The [`DirtyTracker`] records, at page
+//! granularity, which parts of the word array have been mutated since the
+//! last drain, so a checkpoint can sync only the touched page runs
+//! ([`crate::backend::MemBackend::flush_dirty`]).
+//!
+//! The tracker is a bitmap of [`PAGE_WORDS`]-word pages (one 4 KiB OS
+//! page each, matching the mapping's `msync` granularity) maintained by
+//! [`crate::mem::PersistentMemory`]: every applied mutation — costed or
+//! uncosted, word or block — marks its page(s) with one relaxed
+//! `fetch_or`. Marking is monotone and race-free in the "never lose a
+//! page" direction at any time; the *drain* ([`DirtyTracker::drain`])
+//! clears bits as it collects them and is therefore exact only while the
+//! machine is quiescent (no concurrent stores), which is precisely when
+//! checkpoints run — the scheduler parks every processor at a capsule
+//! boundary first.
+//!
+//! The tracker sits outside the model: marking is machine bookkeeping
+//! (like statistics), costs no external transfers, and never faults.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::word::Addr;
+
+/// Words per dirty-tracking page: 4096 bytes, the size of one OS page of
+/// the mapped word array (and of the superblock page that precedes it).
+pub const PAGE_WORDS: usize = 512;
+
+/// A maximal run of consecutive dirty pages: `(first_word, word_len)`,
+/// both multiples of [`PAGE_WORDS`] (the final run is clamped to the
+/// tracked length).
+pub type PageRun = (usize, usize);
+
+/// A page-granular dirty bitmap over a word array.
+#[derive(Debug)]
+pub struct DirtyTracker {
+    /// One bit per page, packed 64 pages per word.
+    bits: Vec<AtomicU64>,
+    /// Tracked length in words.
+    len_words: usize,
+    /// Number of whole-or-partial pages covering `len_words`.
+    pages: usize,
+}
+
+impl DirtyTracker {
+    /// A clean tracker over `len_words` words.
+    pub fn new(len_words: usize) -> Self {
+        let pages = len_words.div_ceil(PAGE_WORDS);
+        DirtyTracker {
+            bits: (0..pages.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            len_words,
+            pages,
+        }
+    }
+
+    /// Number of pages tracked.
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+
+    /// Marks the page containing `addr` dirty. Out-of-range addresses are
+    /// ignored (the store they describe would have panicked first).
+    #[inline]
+    pub fn mark(&self, addr: Addr) {
+        if addr < self.len_words {
+            let page = addr / PAGE_WORDS;
+            self.bits[page / 64].fetch_or(1 << (page % 64), Ordering::Relaxed);
+        }
+    }
+
+    /// Marks every page intersecting `[addr, addr + len)` dirty — a store
+    /// spanning a page boundary dirties both pages.
+    pub fn mark_range(&self, addr: Addr, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / PAGE_WORDS;
+        let last = (addr + len - 1) / PAGE_WORDS;
+        for page in first..=last.min(self.pages.saturating_sub(1)) {
+            self.bits[page / 64].fetch_or(1 << (page % 64), Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the page containing `addr` is currently marked.
+    pub fn is_dirty(&self, addr: Addr) -> bool {
+        let page = addr / PAGE_WORDS;
+        page < self.pages && self.bits[page / 64].load(Ordering::Relaxed) & (1 << (page % 64)) != 0
+    }
+
+    /// Number of pages currently marked.
+    pub fn dirty_pages(&self) -> usize {
+        self.bits
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Collects all dirty pages as maximal word runs and clears the
+    /// bitmap. Exact only under quiescence (see the module docs): a store
+    /// racing the drain may land on a page whose bit was just cleared, in
+    /// which case that page is simply dirty again for the *next* drain —
+    /// but the store itself is not covered by *this* drain's runs, so
+    /// callers that need "everything stored so far is in the returned
+    /// runs" must quiesce first.
+    pub fn drain(&self) -> Vec<PageRun> {
+        let mut runs: Vec<PageRun> = Vec::new();
+        let mut open: Option<(usize, usize)> = None; // (first_page, pages)
+        for page in 0..self.pages {
+            let word = &self.bits[page / 64];
+            let bit = 1 << (page % 64);
+            if word.load(Ordering::Relaxed) & bit != 0 {
+                word.fetch_and(!bit, Ordering::Relaxed);
+                open = match open {
+                    Some((first, pages)) if first + pages == page => Some((first, pages + 1)),
+                    other => {
+                        if let Some((first, pages)) = other {
+                            runs.push(page_run_to_words(first, pages, self.len_words));
+                        }
+                        Some((page, 1))
+                    }
+                };
+            }
+        }
+        if let Some((first, pages)) = open {
+            runs.push(page_run_to_words(first, pages, self.len_words));
+        }
+        runs
+    }
+
+    /// Marks every page dirty (used when a caller must force the next
+    /// incremental flush to cover everything, e.g. after an `msync`
+    /// error left coverage unknown).
+    pub fn mark_all(&self) {
+        for (i, w) in self.bits.iter().enumerate() {
+            let pages_in_word = self.pages.saturating_sub(i * 64).min(64);
+            if pages_in_word == 0 {
+                break;
+            }
+            let mask = if pages_in_word == 64 {
+                u64::MAX
+            } else {
+                (1u64 << pages_in_word) - 1
+            };
+            w.fetch_or(mask, Ordering::Relaxed);
+        }
+    }
+}
+
+fn page_run_to_words(first_page: usize, pages: usize, len_words: usize) -> PageRun {
+    let start = first_page * PAGE_WORDS;
+    let len = (pages * PAGE_WORDS).min(len_words - start);
+    (start, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tracker_is_clean() {
+        let t = DirtyTracker::new(4 * PAGE_WORDS);
+        assert_eq!(t.pages(), 4);
+        assert_eq!(t.dirty_pages(), 0);
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn mark_and_drain_round_trip() {
+        let t = DirtyTracker::new(8 * PAGE_WORDS);
+        t.mark(0);
+        t.mark(3 * PAGE_WORDS + 7);
+        assert_eq!(t.dirty_pages(), 2);
+        assert!(t.is_dirty(5));
+        assert!(!t.is_dirty(PAGE_WORDS));
+        let runs = t.drain();
+        assert_eq!(
+            runs,
+            vec![(0, PAGE_WORDS), (3 * PAGE_WORDS, PAGE_WORDS)],
+            "two isolated pages, two runs"
+        );
+        assert_eq!(t.dirty_pages(), 0, "drain clears");
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn adjacent_pages_coalesce_into_one_run() {
+        let t = DirtyTracker::new(16 * PAGE_WORDS);
+        for page in [2usize, 3, 4] {
+            t.mark(page * PAGE_WORDS);
+        }
+        assert_eq!(t.drain(), vec![(2 * PAGE_WORDS, 3 * PAGE_WORDS)]);
+    }
+
+    #[test]
+    fn range_spanning_a_page_boundary_dirties_both_pages() {
+        let t = DirtyTracker::new(4 * PAGE_WORDS);
+        // Words [510, 514): last two words of page 0, first two of page 1.
+        t.mark_range(PAGE_WORDS - 2, 4);
+        assert_eq!(t.dirty_pages(), 2);
+        assert_eq!(t.drain(), vec![(0, 2 * PAGE_WORDS)]);
+    }
+
+    #[test]
+    fn partial_final_page_is_clamped() {
+        let t = DirtyTracker::new(PAGE_WORDS + 100);
+        assert_eq!(t.pages(), 2);
+        t.mark(PAGE_WORDS + 99);
+        assert_eq!(t.drain(), vec![(PAGE_WORDS, 100)]);
+    }
+
+    #[test]
+    fn out_of_range_marks_are_ignored() {
+        let t = DirtyTracker::new(PAGE_WORDS);
+        t.mark(PAGE_WORDS + 5);
+        t.mark_range(PAGE_WORDS * 3, 10);
+        assert_eq!(t.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn mark_all_covers_exactly_the_tracked_pages() {
+        let t = DirtyTracker::new(70 * PAGE_WORDS); // crosses one bitmap word
+        t.mark_all();
+        assert_eq!(t.dirty_pages(), 70);
+        let runs = t.drain();
+        assert_eq!(runs, vec![(0, 70 * PAGE_WORDS)]);
+    }
+
+    #[test]
+    fn zero_length_range_marks_nothing() {
+        let t = DirtyTracker::new(4 * PAGE_WORDS);
+        t.mark_range(100, 0);
+        assert_eq!(t.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn concurrent_marks_never_lose_pages() {
+        use std::sync::Arc;
+        let t = Arc::new(DirtyTracker::new(64 * PAGE_WORDS));
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for page in (k..64).step_by(4) {
+                        t.mark(page * PAGE_WORDS + k);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.dirty_pages(), 64);
+        assert_eq!(t.drain(), vec![(0, 64 * PAGE_WORDS)]);
+    }
+}

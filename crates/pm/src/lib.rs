@@ -46,6 +46,7 @@
 
 pub mod backend;
 pub mod config;
+pub mod dirty;
 pub mod error;
 pub mod fault;
 pub mod frame;
@@ -58,8 +59,9 @@ pub mod word;
 
 #[cfg(unix)]
 pub use backend::MmapBackend;
-pub use backend::{MemBackend, Superblock, VolatileBackend, SUPERBLOCK_BYTES};
+pub use backend::{CheckpointRecord, MemBackend, Superblock, VolatileBackend, SUPERBLOCK_BYTES};
 pub use config::{FaultConfig, PmConfig, ValidateMode};
+pub use dirty::{DirtyTracker, PageRun, PAGE_WORDS};
 pub use error::{Fault, PmResult};
 pub use fault::{FaultInjector, HeartbeatLiveness, Liveness};
 pub use frame::{
@@ -67,7 +69,7 @@ pub use frame::{
     MAX_FRAME_ARGS,
 };
 pub use layout::{LayoutBuilder, Region};
-pub use mem::PersistentMemory;
+pub use mem::{DirtyFlush, PersistentMemory};
 pub use proc::ProcCtx;
 pub use stats::{MemStats, StatsSnapshot};
 pub use word::{Addr, Word};

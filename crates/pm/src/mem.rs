@@ -33,6 +33,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use crate::backend::{MemBackend, VolatileBackend};
+use crate::dirty::{DirtyTracker, PAGE_WORDS};
 use crate::word::{Addr, Word};
 
 /// An observer invoked on every *applied* mutation of a watched word:
@@ -40,6 +41,41 @@ use crate::word::{Addr, Word};
 /// Figure 4 entry-state transition matrix) and debugging; it sits outside
 /// the model and does not affect cost or semantics.
 pub type WriteObserver = Arc<dyn Fn(Addr, Word, Word) + Send + Sync>;
+
+/// Dirty runs separated by at most this many clean pages are flushed as
+/// one range: an `msync` syscall's fixed cost exceeds the kernel's cost
+/// of skipping the clean pages in between.
+pub const COALESCE_GAP_PAGES: usize = 32;
+
+/// Most runs an incremental flush will issue as separate syscalls before
+/// degrading to one whole-mapping flush.
+pub const MAX_DIRTY_RUNS: usize = 8;
+
+/// Merges word runs whose gaps are at most `gap_words` (input runs are
+/// sorted and disjoint, as produced by [`DirtyTracker::drain`]).
+fn coalesce(runs: Vec<crate::dirty::PageRun>, gap_words: usize) -> Vec<crate::dirty::PageRun> {
+    let mut out: Vec<crate::dirty::PageRun> = Vec::with_capacity(runs.len());
+    for (start, len) in runs {
+        match out.last_mut() {
+            Some((s, l)) if start <= *s + *l + gap_words => *l = start + len - *s,
+            _ => out.push((start, len)),
+        }
+    }
+    out
+}
+
+/// What an incremental flush synced: how many pages, in how many
+/// contiguous runs, and whether it degraded to a full flush (backend
+/// without dirty tracking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirtyFlush {
+    /// Pages synced.
+    pub pages: usize,
+    /// Contiguous page runs the pages coalesced into.
+    pub runs: usize,
+    /// Whether the whole mapping was synced instead of tracked pages.
+    pub full: bool,
+}
 
 /// The shared persistent memory of one Parallel-PM machine.
 pub struct PersistentMemory {
@@ -53,6 +89,11 @@ pub struct PersistentMemory {
     len: usize,
     block_size: usize,
     observer: RwLock<Option<WriteObserver>>,
+    /// Page-granular dirty bitmap feeding [`PersistentMemory::flush_dirty`].
+    /// Present only when the backend asks for it (durable backends whose
+    /// flush cost scales with the synced range); `None` keeps volatile
+    /// word traffic free of the extra atomic.
+    dirty: Option<DirtyTracker>,
 }
 
 // `words` aliases storage owned by `backend`, which is `Send + Sync`; all
@@ -84,12 +125,16 @@ impl PersistentMemory {
         assert!(block_size > 0, "block size must be positive");
         let slice = backend.words();
         let (words, len) = (slice.as_ptr(), slice.len());
+        let dirty = backend
+            .wants_dirty_tracking()
+            .then(|| DirtyTracker::new(len));
         PersistentMemory {
             backend,
             words,
             len,
             block_size,
             observer: RwLock::new(None),
+            dirty,
         }
     }
 
@@ -107,8 +152,76 @@ impl PersistentMemory {
 
     /// Forces all stored words to stable storage (the backend's durability
     /// boundary — `msync` for file-mapped memory, no-op for volatile).
+    /// Also clears the dirty bitmap: a full flush covers every page.
     pub fn flush(&self) -> std::io::Result<()> {
-        self.backend.flush()
+        self.backend.flush()?;
+        if let Some(d) = &self.dirty {
+            let _ = d.drain();
+        }
+        Ok(())
+    }
+
+    /// Forces only the pages mutated since the last flush to stable
+    /// storage, and reports how much work that was. Exact only while the
+    /// machine is quiescent (see [`crate::dirty`]); falls back to a full
+    /// [`PersistentMemory::flush`] when the backend tracks no dirty
+    /// state. On an `msync` error the bitmap is re-marked in full so the
+    /// next attempt cannot under-sync.
+    ///
+    /// Each synced run is one `msync` syscall, whose fixed cost dwarfs
+    /// the per-clean-page cost of a larger range — so nearby runs are
+    /// coalesced across small gaps, and a pathologically scattered
+    /// footprint (more than [`MAX_DIRTY_RUNS`] runs even after
+    /// coalescing) degrades to one whole-mapping flush, which is never
+    /// slower than that many syscalls.
+    pub fn flush_dirty(&self) -> std::io::Result<DirtyFlush> {
+        let full_pages = self.len.div_ceil(PAGE_WORDS);
+        let Some(d) = &self.dirty else {
+            self.flush()?;
+            return Ok(DirtyFlush {
+                pages: full_pages,
+                runs: 1,
+                full: true,
+            });
+        };
+        let runs = coalesce(d.drain(), COALESCE_GAP_PAGES * PAGE_WORDS);
+        if runs.len() > MAX_DIRTY_RUNS {
+            if let Err(e) = self.backend.flush() {
+                d.mark_all();
+                return Err(e);
+            }
+            return Ok(DirtyFlush {
+                pages: full_pages,
+                runs: 1,
+                full: true,
+            });
+        }
+        let pages = runs
+            .iter()
+            .map(|(_, len)| len.div_ceil(PAGE_WORDS))
+            .sum::<usize>();
+        if let Err(e) = self.backend.flush_dirty(&runs) {
+            d.mark_all();
+            return Err(e);
+        }
+        Ok(DirtyFlush {
+            pages,
+            runs: runs.len(),
+            full: false,
+        })
+    }
+
+    /// The dirty tracker, when the backend maintains one (diagnostics and
+    /// tests; flushing goes through [`PersistentMemory::flush_dirty`]).
+    pub fn dirty_tracker(&self) -> Option<&DirtyTracker> {
+        self.dirty.as_ref()
+    }
+
+    #[inline]
+    fn mark_dirty(&self, addr: Addr) {
+        if let Some(d) = &self.dirty {
+            d.mark(addr);
+        }
     }
 
     /// Installs a write observer (see [`WriteObserver`]). Pass `None` to
@@ -156,6 +269,7 @@ impl PersistentMemory {
     #[inline]
     pub fn store(&self, addr: Addr, value: Word) {
         let prev = self.words()[addr].swap(value, Ordering::SeqCst);
+        self.mark_dirty(addr);
         self.observe(addr, prev, value);
     }
 
@@ -171,6 +285,7 @@ impl PersistentMemory {
             .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
         {
+            self.mark_dirty(addr);
             self.observe(addr, old, new);
         }
     }
@@ -185,6 +300,7 @@ impl PersistentMemory {
             .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok();
         if ok {
+            self.mark_dirty(addr);
             self.observe(addr, old, new);
         }
         ok
@@ -195,6 +311,7 @@ impl PersistentMemory {
     /// this).
     #[inline]
     pub fn fetch_add(&self, addr: Addr, delta: Word) -> Word {
+        self.mark_dirty(addr);
         self.words()[addr].fetch_add(delta, Ordering::SeqCst)
     }
 
@@ -321,6 +438,95 @@ mod tests {
         m.set_observer(None);
         m.store(2, 1);
         assert_eq!(log.lock().len(), 3);
+    }
+
+    /// A volatile backend that opts into dirty tracking, for exercising
+    /// the marking paths without a file.
+    #[derive(Debug)]
+    struct TrackingBackend(crate::backend::VolatileBackend);
+
+    impl crate::backend::MemBackend for TrackingBackend {
+        fn words(&self) -> &[AtomicU64] {
+            self.0.words()
+        }
+        fn wants_dirty_tracking(&self) -> bool {
+            true
+        }
+        fn kind(&self) -> &'static str {
+            "tracking-test"
+        }
+    }
+
+    fn tracked(words: usize) -> PersistentMemory {
+        PersistentMemory::with_backend(
+            Box::new(TrackingBackend(crate::backend::VolatileBackend::new(words))),
+            8,
+        )
+    }
+
+    #[test]
+    fn mutations_mark_their_pages_dirty() {
+        use crate::dirty::PAGE_WORDS;
+        let m = tracked(4 * PAGE_WORDS);
+        let t = m.dirty_tracker().expect("tracking backend has a tracker");
+        assert_eq!(t.dirty_pages(), 0);
+        m.store(3, 1); // page 0
+        m.cam(PAGE_WORDS + 1, 0, 5); // page 1: applies
+        m.cam(PAGE_WORDS + 1, 0, 6); // does not apply: no mark
+        m.fetch_add(3 * PAGE_WORDS, 1); // page 3
+        assert!(m.cas_unsafe_under_faults(PAGE_WORDS + 2, 0, 9));
+        assert_eq!(t.dirty_pages(), 3);
+        let flush = m.flush_dirty().unwrap();
+        assert_eq!(
+            (flush.pages, flush.runs),
+            (4, 1),
+            "pages 0,1,3 coalesce across the 1-page gap into one 4-page run"
+        );
+        assert!(!flush.full);
+        // Nothing stored since: the next incremental flush is free.
+        assert_eq!(m.flush_dirty().unwrap().pages, 0);
+    }
+
+    #[test]
+    fn write_range_spanning_pages_marks_both() {
+        use crate::dirty::PAGE_WORDS;
+        let m = tracked(2 * PAGE_WORDS);
+        m.write_range(PAGE_WORDS - 1, &[1, 2]);
+        assert_eq!(m.dirty_tracker().unwrap().dirty_pages(), 2);
+    }
+
+    #[test]
+    fn widely_scattered_dirty_pages_degrade_to_one_full_flush() {
+        use crate::dirty::PAGE_WORDS;
+        // More than MAX_DIRTY_RUNS runs, each isolated by > the coalesce
+        // gap: one whole-mapping flush beats that many msync calls.
+        let pages = (super::MAX_DIRTY_RUNS + 2) * (super::COALESCE_GAP_PAGES + 2);
+        let m = tracked(pages * PAGE_WORDS);
+        for r in 0..super::MAX_DIRTY_RUNS + 2 {
+            m.store(r * (super::COALESCE_GAP_PAGES + 2) * PAGE_WORDS, 1);
+        }
+        let flush = m.flush_dirty().unwrap();
+        assert!(flush.full);
+        assert_eq!(flush.runs, 1);
+        assert_eq!(m.dirty_tracker().unwrap().dirty_pages(), 0);
+    }
+
+    #[test]
+    fn full_flush_clears_the_dirty_bitmap() {
+        let m = tracked(1024);
+        m.store(0, 1);
+        m.flush().unwrap();
+        assert_eq!(m.flush_dirty().unwrap().pages, 0);
+    }
+
+    #[test]
+    fn untracked_backends_fall_back_to_full_flush() {
+        let m = PersistentMemory::new(1024, 8);
+        assert!(m.dirty_tracker().is_none());
+        m.store(0, 1);
+        let flush = m.flush_dirty().unwrap();
+        assert!(flush.full);
+        assert_eq!(flush.pages, 2, "1024 words = 2 pages, all covered");
     }
 
     #[test]

@@ -355,6 +355,16 @@ impl ProcCtx {
         self.alloc_cursor
     }
 
+    /// Moves the allocation cursor to `cursor` at a capsule boundary.
+    /// Checkpoint GC uses this after a quiesced reclamation rolled the
+    /// persisted watermark back below the old cursor: subsequent
+    /// allocations reuse the pool words whose frames are dead. Must only
+    /// be called between capsules (the committed cursor moves too).
+    pub fn set_pool_cursor(&mut self, cursor: usize) {
+        self.alloc_cursor = cursor;
+        self.capsule_start_cursor = cursor;
+    }
+
     /// Configures the persistent word that mirrors the committed
     /// allocation cursor (`None` disables mirroring). Engine use.
     pub fn set_watermark_addr(&mut self, addr: Option<Addr>) {
@@ -398,6 +408,8 @@ impl ProcCtx {
         );
         let addr = pool.start + self.alloc_cursor;
         self.alloc_cursor += words;
+        self.stats
+            .record_pool_cursor(self.proc, self.alloc_cursor as u64);
         addr
     }
 }

@@ -35,6 +35,10 @@ pub struct ProcStats {
     pub capsule_runs: AtomicU64,
     /// Capsule executions that completed (installed a successor).
     pub capsule_completions: AtomicU64,
+    /// Highest pool-allocation cursor this processor ever reached — the
+    /// peak pool-word footprint (checkpoint GC rolls the *cursor* back,
+    /// so the peak is what pool-sizing formulas must cover).
+    pub pool_peak: AtomicU64,
 }
 
 /// Shared, thread-safe statistics for one machine instance.
@@ -114,6 +118,15 @@ impl MemStats {
             .fetch_max(capsule_work, Ordering::Relaxed);
     }
 
+    /// Records processor `proc`'s pool cursor after an allocation,
+    /// keeping the running per-processor peak.
+    #[inline]
+    pub fn record_pool_cursor(&self, proc: usize, cursor: u64) {
+        self.per_proc[proc]
+            .pool_peak
+            .fetch_max(cursor, Ordering::Relaxed);
+    }
+
     /// Records a write-after-read conflict (Record mode only).
     #[inline]
     pub fn record_war_conflict(&self) {
@@ -142,6 +155,7 @@ impl MemStats {
                 hard_faults: p.hard_faults.load(Ordering::Relaxed),
                 capsule_runs: p.capsule_runs.load(Ordering::Relaxed),
                 capsule_completions: p.capsule_completions.load(Ordering::Relaxed),
+                pool_peak: p.pool_peak.load(Ordering::Relaxed),
             };
             s.total_reads += ps.reads;
             s.total_writes += ps.writes;
@@ -149,6 +163,7 @@ impl MemStats {
             s.hard_faults += ps.hard_faults;
             s.capsule_runs += ps.capsule_runs;
             s.capsule_completions += ps.capsule_completions;
+            s.max_pool_peak = s.max_pool_peak.max(ps.pool_peak);
             s.per_proc.push(ps);
         }
         s.max_capsule_work = self.max_capsule_work.load(Ordering::Relaxed);
@@ -173,6 +188,8 @@ pub struct ProcSnapshot {
     pub capsule_runs: u64,
     /// Capsule runs completed.
     pub capsule_completions: u64,
+    /// Peak pool-allocation cursor (words).
+    pub pool_peak: u64,
 }
 
 /// Point-in-time copy of a machine's statistics.
@@ -194,6 +211,9 @@ pub struct StatsSnapshot {
     pub capsule_completions: u64,
     /// Empirical maximum capsule work `C`.
     pub max_capsule_work: u64,
+    /// Peak pool-allocation cursor over all processors (words) — the
+    /// per-processor pool size a re-run of this workload needs.
+    pub max_pool_peak: u64,
     /// Write-after-read conflicts observed (Record mode).
     pub war_conflicts: u64,
     /// Well-formedness violations observed (Record mode).

@@ -53,6 +53,14 @@ pub struct SchedConfig {
     /// Install a write observer asserting the Figure 4 entry-transition
     /// table on every deque mutation (tests and the E11 experiment).
     pub check_transitions: bool,
+    /// Checkpoint cadence for registered persistent runs (see
+    /// [`crate::checkpoint`]): periodic quiesced boundaries that flush
+    /// dirty pages, write a resume record (durable machines), and reclaim
+    /// dead frame-pool words. Defaults to every
+    /// [`crate::checkpoint::DEFAULT_CHECKPOINT_CAPSULES`] capsules;
+    /// ignored by legacy-closure runs, whose continuations cannot be
+    /// traced or re-planted.
+    pub checkpoint: crate::checkpoint::CheckpointPolicy,
 }
 
 impl Default for SchedConfig {
@@ -61,6 +69,7 @@ impl Default for SchedConfig {
             deque_slots: 1 << 14,
             seed: 0x5EED_CAFE,
             check_transitions: false,
+            checkpoint: crate::checkpoint::CheckpointPolicy::default(),
         }
     }
 }

@@ -17,15 +17,12 @@
 //! The session object [`crate::Runtime`] is the one public entry point:
 //! `Runtime::run_or_recover` (registered persistent computations) and
 //! `Runtime::run_or_replay` (legacy closure computations) dispatch to the
-//! fresh-run, persistent-resume, or replay-fallback paths in this module
-//! and return a unified [`SessionReport`]. The four free functions of the
-//! pre-session API ([`run_computation`], [`run_persistent`],
-//! [`recover_computation`], [`recover_persistent`]) remain as deprecated
-//! thin shims for one release. The landing is soft only for the two run
-//! functions: the recover shims now return the unified
-//! [`SessionReport`] — the old `RecoveryReport`/`RecoveryMode` types are
-//! gone and `fallback_reason` is a structured [`FallbackReason`] — so
-//! their callers migrate field accesses either way.
+//! fresh-run, persistent-resume, checkpoint-resume, or replay-fallback
+//! paths in this module and return a unified [`SessionReport`]. (The four
+//! deprecated free functions of the pre-session API — `run_computation`,
+//! `run_persistent`, `recover_computation`, `recover_persistent` — have
+//! been removed; [`run_root_thread`] / [`run_root_on`] remain for callers
+//! that instrument a prebuilt scheduler.)
 //!
 //! ## Crash recovery across process lifetimes
 //!
@@ -66,6 +63,7 @@ use ppm_core::{run_capsule, Comp, Cont, DoneFlag, InstallCtx, Machine, Step, COR
 use ppm_pm::{StatsSnapshot, Word};
 
 use crate::capsules::{Sched, SchedConfig};
+use crate::checkpoint::{checkpoint_seeds, CheckpointCtl, CheckpointSummary};
 use crate::deque::check_invariant;
 use crate::entry::{kind_of, pack, unpack, EntryKind, EntryVal};
 
@@ -94,6 +92,9 @@ pub struct RunReport {
     /// A rendered snapshot of every WS-deque at the end of the run
     /// (compact form: `T` taken, `J` job, `L` local, `.` empty).
     pub deque_dump: Vec<String>,
+    /// What the run's checkpointing did (all zeros when the policy is
+    /// disabled or the run is legacy-closure).
+    pub checkpoints: CheckpointSummary,
 }
 
 impl RunReport {
@@ -250,9 +251,30 @@ pub struct SessionReport {
     /// Why resume was not possible, when `mode` is
     /// [`SessionMode::Replayed`].
     pub fallback_reason: Option<FallbackReason>,
+    /// Present when the crash frontier was unharvestable but the session
+    /// resumed from a durable checkpoint record instead of replaying from
+    /// the root (`mode` is [`SessionMode::Resumed`]). Replay distance is
+    /// bounded by the work done after that checkpoint.
+    pub checkpoint_resume: Option<CheckpointResume>,
     /// The driven run's report (`None` only when
     /// [`SessionMode::AlreadyComplete`]).
     pub run: Option<RunReport>,
+}
+
+/// How a session resumed from an epoch checkpoint (see
+/// [`crate::checkpoint`]): which record, how far the dead run had
+/// progressed when it was written, and why the crash frontier itself was
+/// not resumable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointResume {
+    /// Sequence number of the checkpoint record resumed from.
+    pub seq: u64,
+    /// Capsules the dead run had completed when the record was written
+    /// (replay-distance accounting: the resumed run re-drives everything
+    /// after this point).
+    pub capsules_at_checkpoint: u64,
+    /// Why the crash frontier could not be resumed directly.
+    pub crash_frontier: FallbackReason,
 }
 
 impl SessionReport {
@@ -266,6 +288,7 @@ impl SessionReport {
             live_restart_pointers: 0,
             resumed: 0,
             fallback_reason: None,
+            checkpoint_resume: None,
             run: Some(run),
         }
     }
@@ -328,14 +351,6 @@ impl SessionReport {
 // Fresh runs
 // ====================================================================
 
-/// Runs a fork-join computation to completion on `machine`'s processors.
-#[deprecated(
-    note = "use a `ppm_sched::Runtime` session: `Runtime::new(machine, sched).run_or_replay(&comp)`"
-)]
-pub fn run_computation(machine: &Machine, comp: &Comp, cfg: &SchedConfig) -> RunReport {
-    run_computation_impl(machine, comp, cfg)
-}
-
 /// Fresh run of a legacy-closure computation: allocates a completion
 /// flag, plants the root thread on processor 0, and drives all processors
 /// until the flag is set (or everyone is dead).
@@ -357,18 +372,11 @@ pub fn run_root_thread(
     run_root_on(machine, &sched, root, done)
 }
 
-/// Runs a computation expressed as persistent capsule frames ([`PComp`]).
-#[deprecated(
-    note = "use a `ppm_sched::Runtime` session: `Runtime::new(machine, sched).run_or_recover(&pcomp)`"
-)]
-pub fn run_persistent(machine: &Machine, pcomp: &PComp, cfg: &SchedConfig) -> RunReport {
-    run_persistent_impl(machine, pcomp, cfg)
-}
-
 /// Fresh run of a persistent-capsule computation: the root thread — and
 /// every continuation it forks — is denoted by persistent frame
 /// addresses, so a crash of the whole process leaves a machine file that
 /// a recovering session can *resume* instead of replaying from the root.
+/// Checkpoints per `cfg.checkpoint`.
 pub(crate) fn run_persistent_impl(
     machine: &Machine,
     pcomp: &PComp,
@@ -378,17 +386,21 @@ pub(crate) fn run_persistent_impl(
     let sched = Sched::new(machine, done, cfg);
     let finale = machine.setup_frame(CORE_ID_FINALE, &[done.addr() as Word]);
     let root_handle = pcomp(machine, finale);
-    run_root_handle_on(machine, &sched, root_handle, done)
+    let ctl = CheckpointCtl::new(machine, sched.clone(), cfg.checkpoint.clone());
+    run_root_handle_on(machine, &sched, root_handle, done, &ctl)
 }
 
 /// Runs a root thread on a *prebuilt* scheduler (so callers can inspect or
 /// instrument its deques — e.g. the Figure 4 transition experiment).
+/// Closure roots cannot checkpoint (their continuations are untraceable),
+/// so no checkpoint policy applies here.
 pub fn run_root_on(machine: &Machine, sched: &Arc<Sched>, root: Cont, done: DoneFlag) -> RunReport {
     // Legacy closure root: park it at a fresh address so the restart
     // pointer resolves (in this process only).
     let root_slot = machine.alloc_region(1).start;
     machine.arena().preregister(root_slot, root.clone());
-    launch_root(machine, sched, root, root_slot as Word, done)
+    let ctl = CheckpointCtl::disabled(machine, sched.clone());
+    launch_root(machine, sched, root, root_slot as Word, done, &ctl)
 }
 
 /// Runs a frame-denoted root thread on a prebuilt scheduler: the restart
@@ -399,6 +411,7 @@ fn run_root_handle_on(
     sched: &Arc<Sched>,
     root_handle: Word,
     done: DoneFlag,
+    ctl: &Arc<CheckpointCtl>,
 ) -> RunReport {
     let root = machine.arena().resolve(root_handle).unwrap_or_else(|| {
         panic!(
@@ -406,7 +419,7 @@ fn run_root_handle_on(
              register its capsule constructors before returning"
         )
     });
-    launch_root(machine, sched, root, root_handle, done)
+    launch_root(machine, sched, root, root_handle, done, ctl)
 }
 
 /// §6.3 initialization shared by both root forms: the root processor's
@@ -419,6 +432,7 @@ fn launch_root(
     root: Cont,
     root_handle: Word,
     done: DoneFlag,
+    ctl: &Arc<CheckpointCtl>,
 ) -> RunReport {
     machine
         .mem()
@@ -436,7 +450,7 @@ fn launch_root(
             }
         })
         .collect();
-    run_attached(machine, sched, first, done, vec![0; machine.procs()])
+    run_attached(machine, sched, first, done, vec![0; machine.procs()], ctl)
 }
 
 /// The shared parallel section: spawns one OS thread per processor with
@@ -448,6 +462,7 @@ fn run_attached(
     first: Vec<Cont>,
     done: DoneFlag,
     pool_cursors: Vec<usize>,
+    ctl: &Arc<CheckpointCtl>,
 ) -> RunReport {
     let start = Instant::now();
     let outcomes: Vec<ProcOutcome> = std::thread::scope(|s| {
@@ -457,7 +472,8 @@ fn run_attached(
             .enumerate()
             .map(|(p, (first, cursor))| {
                 let sched = sched.clone();
-                s.spawn(move || proc_loop(machine, &sched, p, first, cursor))
+                let ctl = ctl.clone();
+                s.spawn(move || proc_loop(machine, &sched, p, first, cursor, &ctl))
             })
             .collect();
         handles
@@ -485,6 +501,7 @@ fn run_attached(
         stats: machine.stats().snapshot(),
         elapsed,
         deque_dump,
+        checkpoints: ctl.summary(),
     }
 }
 
@@ -542,7 +559,10 @@ fn scrub_scheduler_state(machine: &Machine, sched: &Arc<Sched>, keep_watermarks:
 /// [`FallbackReason`] if any handle does not rehydrate through the
 /// registry or if the crash caught a steal mid-transfer, in which case
 /// the caller falls back to root replay.
-fn harvest_frontier(machine: &Machine, sched: &Arc<Sched>) -> Result<Vec<Word>, FallbackReason> {
+pub(crate) fn harvest_frontier(
+    machine: &Machine,
+    sched: &Arc<Sched>,
+) -> Result<Vec<Word>, FallbackReason> {
     let mem = machine.mem();
     // Validate through the registry directly, NOT through the arena: the
     // arena would cache each rehydrated capsule under its frame address,
@@ -639,14 +659,6 @@ fn plant_seeds(machine: &Machine, sched: &Arc<Sched>, seeds: &[Word]) {
     }
 }
 
-/// Resumes a crashed run of a persistent-capsule computation.
-#[deprecated(
-    note = "use a `ppm_sched::Runtime` session: `Runtime::open(path, cfg)?.run_or_recover(&pcomp)`"
-)]
-pub fn recover_persistent(machine: &Machine, pcomp: &PComp, cfg: &SchedConfig) -> SessionReport {
-    recover_persistent_impl(machine, pcomp, cfg)
-}
-
 /// Resumes a crashed run of a persistent-capsule computation from a
 /// machine that came back from [`Machine::reopen`].
 ///
@@ -666,12 +678,20 @@ pub fn recover_persistent(machine: &Machine, pcomp: &PComp, cfg: &SchedConfig) -
 ///    resumed run executes only the threads that were in flight (plus
 ///    their joins up the spine), so recovery cost is proportional to
 ///    lost work, not total work.
-/// 3. Falls back to scrub-and-replay from the root when any handle does
-///    not rehydrate (a legacy-closure computation or an unregistered id)
-///    or the crash landed in one of the narrow ambiguous windows (a steal
+/// 3. When the crash frontier is *not* fully resumable — a handle that
+///    does not rehydrate, or one of the narrow ambiguous windows (a steal
 ///    mid-transfer, a fork mid-push, a restart pointer parked on a
-///    scheduler-internal capsule). [`SessionReport::fallback_reason`]
-///    says which, as a structured [`FallbackReason`].
+///    scheduler-internal capsule) — resumes instead from the newest valid
+///    **checkpoint record** (see [`crate::checkpoint`]): the record's
+///    frontier is planted, pool cursors return to the recorded
+///    watermarks, and replay distance is bounded by one checkpoint epoch.
+///    [`SessionReport::checkpoint_resume`] carries the record identity
+///    and the structured reason the crash frontier was rejected.
+/// 4. Falls back to scrub-and-replay from the root only when no valid
+///    checkpoint exists either (and then invalidates any stale records,
+///    since the replay resets the pool cursors their frontiers live
+///    above). [`SessionReport::fallback_reason`] says why, as a
+///    structured [`FallbackReason`].
 ///
 /// Either way every effect is applied exactly once: rehydrated capsules
 /// are the same idempotent bodies, and replay relies on the §5 CAM
@@ -708,32 +728,66 @@ pub(crate) fn recover_persistent_impl(
             live_restart_pointers,
             resumed: 0,
             fallback_reason: None,
+            checkpoint_resume: None,
             run: None,
         };
     }
 
     let harvest = harvest_frontier(machine, &sched);
+    let mut checkpoint_resume = None;
     let (seeds, fallback_reason) = match harvest {
         Ok(seeds) if !seeds.is_empty() => (seeds, None),
-        Ok(_) => (Vec::new(), Some(FallbackReason::NoFrontier)),
-        Err(reason) => (Vec::new(), Some(reason)),
+        other => {
+            let reason = match other {
+                Ok(_) => FallbackReason::NoFrontier,
+                Err(r) => r,
+            };
+            // The crash frontier is unresumable; try the newest durable
+            // checkpoint before degrading to replay-from-root.
+            match machine
+                .latest_checkpoint_record()
+                .and_then(|rec| checkpoint_seeds(machine, &rec).map(|s| (rec, s)))
+            {
+                Some((rec, seeds)) => {
+                    // Pool cursors return to the checkpoint's stable
+                    // watermarks; the resumed run re-allocates (and
+                    // re-drives) only the span after the checkpoint.
+                    for (p, wm) in rec.watermarks.iter().enumerate() {
+                        machine.mem().store(machine.proc_meta(p).watermark, *wm);
+                    }
+                    checkpoint_resume = Some(CheckpointResume {
+                        seq: rec.seq,
+                        capsules_at_checkpoint: rec.capsules,
+                        crash_frontier: reason,
+                    });
+                    (seeds, None)
+                }
+                None => (Vec::new(), Some(reason)),
+            }
+        }
     };
     let resume = fallback_reason.is_none();
+    if !resume {
+        // A root replay resets pool cursors to 0, so any stored
+        // checkpoint frontier would dangle above reused words.
+        let _ = machine.clear_checkpoint_records();
+    }
 
     scrub_scheduler_state(machine, &sched, resume);
     if cfg.check_transitions {
         crate::capsules::install_transition_checker(machine, sched.deques());
     }
 
+    let ctl = CheckpointCtl::new(machine, sched.clone(), cfg.checkpoint.clone());
     let run = if resume {
         plant_seeds(machine, &sched, &seeds);
         let first: Vec<Cont> = (0..machine.procs()).map(|_| sched.find_work()).collect();
         let cursors: Vec<usize> = (0..machine.procs())
             .map(|p| machine.pool_watermark(p))
             .collect();
-        run_attached(machine, &sched, first, done, cursors)
+        run_attached(machine, &sched, first, done, cursors, &ctl)
     } else {
-        run_root_handle_on(machine, &sched, root_handle, done)
+        run_root_handle_on(machine, &sched, root_handle, done, &ctl)
     };
     machine
         .flush()
@@ -751,17 +805,9 @@ pub(crate) fn recover_persistent_impl(
         live_restart_pointers,
         resumed: if resume { seeds.len() } else { 0 },
         fallback_reason,
+        checkpoint_resume,
         run: Some(run),
     }
-}
-
-/// Resumes a *legacy-closure* computation after a crash (always by
-/// replay).
-#[deprecated(
-    note = "use a `ppm_sched::Runtime` session: `Runtime::open(path, cfg)?.run_or_replay(&comp)`"
-)]
-pub fn recover_computation(machine: &Machine, comp: &Comp, cfg: &SchedConfig) -> SessionReport {
-    recover_computation_impl(machine, comp, cfg)
 }
 
 /// Resumes a *legacy-closure* computation whose machine came back from
@@ -812,10 +858,15 @@ pub(crate) fn recover_computation_impl(
             live_restart_pointers,
             resumed: 0,
             fallback_reason: None,
+            checkpoint_resume: None,
             run: None,
         };
     }
 
+    // Legacy runs write no checkpoints, but a registered run may have on
+    // an earlier epoch of this file; the replay resets cursors, so any
+    // such records are now stale.
+    let _ = machine.clear_checkpoint_records();
     scrub_scheduler_state(machine, &sched, false);
     if cfg.check_transitions {
         crate::capsules::install_transition_checker(machine, sched.deques());
@@ -835,6 +886,7 @@ pub(crate) fn recover_computation_impl(
         live_restart_pointers,
         resumed: 0,
         fallback_reason: Some(FallbackReason::LegacyClosures),
+        checkpoint_resume: None,
         run: Some(run),
     }
 }
@@ -845,6 +897,7 @@ fn proc_loop(
     p: usize,
     first: Cont,
     pool_cursor: usize,
+    ctl: &Arc<CheckpointCtl>,
 ) -> ProcOutcome {
     let mut ctx = machine.ctx_with_pool_cursor(p, pool_cursor);
     let mut install = InstallCtx::new(machine.proc_meta(p));
@@ -855,7 +908,7 @@ fn proc_loop(
     };
 
     let mut cur = first;
-    loop {
+    let outcome = loop {
         match run_capsule(
             &mut ctx,
             machine.arena(),
@@ -865,10 +918,15 @@ fn proc_loop(
             Some(&on_end),
         ) {
             Ok(Step::Next(c)) => cur = c,
-            Ok(Step::Done) => return ProcOutcome::Halted,
-            Err(_) => return ProcOutcome::Dead,
+            Ok(Step::Done) => break ProcOutcome::Halted,
+            Err(_) => break ProcOutcome::Dead,
         }
-    }
+        // Capsule boundary: the committed state is self-consistent here,
+        // so this is where checkpoint quiesces park.
+        ctl.at_boundary(machine, p, &mut ctx);
+    };
+    ctl.proc_exit();
+    outcome
 }
 
 #[cfg(test)]

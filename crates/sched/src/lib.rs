@@ -19,10 +19,15 @@
 //!   replay from the root).
 //! * [`runtime`] — the user-facing session object: [`Runtime`] wraps a
 //!   machine and dispatches [`Runtime::run_or_recover`] to fresh-run,
-//!   persistent-resume, or replay-fallback internally, returning one
-//!   unified [`SessionReport`]. After a whole process dies mid-run on a
-//!   durable machine, a fresh process `Runtime::open`s the file and
-//!   drives the computation to completion with exactly-once effects.
+//!   persistent-resume, checkpoint-resume, or replay-fallback internally,
+//!   returning one unified [`SessionReport`]. After a whole process dies
+//!   mid-run on a durable machine, a fresh process `Runtime::open`s the
+//!   file and drives the computation to completion with exactly-once
+//!   effects.
+//! * [`checkpoint`] — epoch checkpoints for registered persistent runs:
+//!   periodic quiesced persist boundaries that flush only dirty pages,
+//!   write a durable resume record, and garbage-collect dead frame-pool
+//!   words (see [`CheckpointPolicy`]).
 //! * [`abp`] — the CAS-based Arora–Blumofe–Plaxton baseline (not
 //!   fault-tolerant), for the comparison benchmarks.
 
@@ -31,17 +36,18 @@
 
 pub mod abp;
 pub mod capsules;
+pub mod checkpoint;
 pub mod deque;
 pub mod driver;
 pub mod entry;
 pub mod runtime;
 
 pub use capsules::{Sched, SchedConfig};
+pub use checkpoint::{CheckpointPolicy, CheckpointSummary, CheckpointTrigger};
 pub use deque::{build_deques, check_invariant, render, snapshot, DequeAddrs, DequeSnapshot};
-#[allow(deprecated)]
 pub use driver::{
-    recover_computation, recover_persistent, run_computation, run_persistent, run_root_on,
-    run_root_thread, FallbackReason, PComp, ProcOutcome, RunReport, SessionMode, SessionReport,
+    run_root_on, run_root_thread, CheckpointResume, FallbackReason, PComp, ProcOutcome, RunReport,
+    SessionMode, SessionReport,
 };
 pub use entry::{kind_of, pack, tag_of, unpack, EntryKind, EntryVal};
 pub use runtime::{Runtime, RuntimeConfig};

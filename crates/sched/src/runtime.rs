@@ -106,6 +106,16 @@ impl RuntimeConfig {
         self
     }
 
+    /// Sets the checkpoint policy (see [`crate::checkpoint`]): how often
+    /// persistent runs quiesce to flush dirty pages, write a durable
+    /// resume record, and reclaim dead frame-pool words. Defaults to
+    /// every [`crate::checkpoint::DEFAULT_CHECKPOINT_CAPSULES`] capsules;
+    /// pass [`crate::CheckpointPolicy::disabled`] to opt out.
+    pub fn with_checkpoint(mut self, policy: crate::CheckpointPolicy) -> Self {
+        self.sched.checkpoint = policy;
+        self
+    }
+
     /// Sets explicit per-processor pool sizing (needed by the
     /// scratch-hungry algorithms — see e.g.
     /// `ppm_algs::sort::samplesort_pool_words`).
@@ -200,6 +210,11 @@ impl Runtime {
     ///   ([`crate::SessionMode::AlreadyComplete`]);
     /// * recovering session, frontier rehydrates → resume from the crash
     ///   frontier ([`crate::SessionMode::Resumed`]);
+    /// * recovering session, frontier unresumable but a durable
+    ///   checkpoint record exists → resume from the newest checkpoint
+    ///   (still [`crate::SessionMode::Resumed`], with
+    ///   [`crate::SessionReport::checkpoint_resume`] set; replay distance
+    ///   is bounded by one checkpoint epoch — see [`crate::checkpoint`]);
     /// * recovering session otherwise → replay from the root with a
     ///   structured fallback reason ([`crate::SessionMode::Replayed`]).
     ///

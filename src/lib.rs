@@ -17,8 +17,9 @@
 //!   join cells, fork-join combinators, machines (including durable
 //!   machines: `core::Machine::create_durable` / `core::Machine::reopen`).
 //! * [`sched`] (`ppm-sched`) — the fault-tolerant WS-deque and scheduler,
-//!   the ABP baseline, and cross-process crash recovery
-//!   (`sched::recover_computation`).
+//!   the ABP baseline, the `Runtime` session object with cross-process
+//!   crash recovery, and the checkpoint subsystem
+//!   (`sched::checkpoint`).
 //! * [`sim`] (`ppm-sim`) — the Theorem 3.2–3.4 virtual machines and their
 //!   PM-model simulations.
 //! * [`algs`] (`ppm-algs`) — prefix sums, merging, sorting, matrix
@@ -35,23 +36,31 @@
 //! and `core::Machine::flush` (`msync`) is the explicit boundary at which
 //! they also survive machine failure.
 //!
-//! After a crash, a fresh process calls `core::Machine::reopen` (which
-//! validates the superblock, replays the deterministic address-space
-//! layout, and bumps the run epoch) and then recovers the computation
+//! After a crash, a fresh process opens a session on the file
+//! (`sched::Runtime::open` — which validates the superblock, replays the
+//! deterministic address-space layout, and bumps the run epoch) and
+//! `sched::Runtime::run_or_recover` drives the computation to completion
 //! with every effect applied exactly once:
 //!
-//! * **Resume** (`sched::recover_persistent`): computations built from
-//!   *registered persistent capsules* — continuations stored as
-//!   `(capsule_id, args…)` frames in persistent memory
-//!   (`pm::frame`), re-materialized through `core::CapsuleRegistry` —
-//!   have their in-flight deque entries and restart pointers rehydrated
-//!   and re-planted, so recovery pays only for the work that was lost.
-//!   Prefix sums and mergesort ship in this form
-//!   (`algs::PrefixSum::pcomp`, `algs::MergeSort::pcomp`);
+//! * **Resume**: computations built from *registered persistent
+//!   capsules* — continuations stored as `(capsule_id, args…)` frames in
+//!   persistent memory (`pm::frame`), re-materialized through
+//!   `core::CapsuleRegistry` — have their in-flight deque entries and
+//!   restart pointers rehydrated and re-planted, so recovery pays only
+//!   for the work that was lost. All §7 algorithms ship in this form
+//!   (`algs::PrefixSum::pcomp`, `algs::MergeSort::pcomp`,
+//!   `algs::SampleSort::pcomp`, `algs::MatMul::pcomp`);
 //!   `examples/crash_resume.rs` SIGKILLs a worker and verifies the
 //!   resumed run beats a from-root replay.
-//! * **Replay** (`sched::recover_computation`, also the automatic
-//!   fallback of `recover_persistent`): legacy closure computations are
+//! * **Checkpoint resume** (`sched::checkpoint`): persistent runs
+//!   periodically quiesce to flush only their dirty pages, write a
+//!   durable checkpoint record, and garbage-collect dead frame-pool
+//!   words. When a crash frontier is not directly resumable, recovery
+//!   re-plants the newest checkpoint's frontier instead of replaying
+//!   from the root — replay distance is bounded by one checkpoint
+//!   epoch (`examples/checkpointed_run.rs`).
+//! * **Replay** (`sched::Runtime::run_or_replay`, also the last-resort
+//!   fallback of `run_or_recover`): legacy closure computations are
 //!   scrubbed and re-driven from the root, relying on capsule idempotence
 //!   for exactly-once effects. `examples/crash_recovery.rs` demonstrates
 //!   this scenario end to end.
@@ -59,16 +68,18 @@
 //! ## Quickstart
 //!
 //! ```
-//! use ppm::core::{comp_step, par_all, Machine};
+//! use ppm::core::{comp_step, par_all};
 //! use ppm::pm::{FaultConfig, PmConfig, ProcCtx};
-//! use ppm::sched::{run_computation, SchedConfig};
+//! use ppm::sched::{Runtime, RuntimeConfig};
 //!
-//! // A 4-processor machine where every persistent access faults with
-//! // probability 1% (soft faults: the processor restarts its capsule).
-//! let machine = Machine::new(
-//!     PmConfig::parallel(4, 1 << 20).with_fault(FaultConfig::soft(0.01, 42)),
+//! // A session on a 4-processor machine where every persistent access
+//! // faults with probability 1% (soft faults: the processor restarts
+//! // its capsule).
+//! let rt = Runtime::volatile(
+//!     RuntimeConfig::new(PmConfig::parallel(4, 1 << 20).with_fault(FaultConfig::soft(0.01, 42)))
+//!         .with_slots(256),
 //! );
-//! let out = machine.alloc_region(16);
+//! let out = rt.machine().alloc_region(16);
 //!
 //! // Sixteen parallel tasks, each one idempotent capsule.
 //! let comp = par_all(
@@ -77,10 +88,10 @@
 //!         .collect(),
 //! );
 //!
-//! let report = run_computation(&machine, &comp, &SchedConfig::with_slots(256));
-//! assert!(report.completed);
+//! let report = rt.run_or_replay(&comp);
+//! assert!(report.completed());
 //! for i in 0..16 {
-//!     assert_eq!(machine.mem().load(out.at(i)), i as u64 + 1);
+//!     assert_eq!(rt.machine().mem().load(out.at(i)), i as u64 + 1);
 //! }
 //! ```
 

@@ -1,0 +1,548 @@
+//! The checkpoint subsystem end to end: bounded replay from epoch
+//! checkpoints, frame-pool GC shrinking peak pool footprints, torn-record
+//! fallback, and the checkpoint policies.
+//!
+//! Deterministic where it matters: single-processor machines with
+//! scheduled hard faults give exact capsule schedules, so the
+//! replay-distance assertions are inequalities over measured counts, not
+//! probabilistic observations.
+
+use ppm::algs::{prefix_sum_seq, samplesort_pool_words, MergeSort, PrefixSum, SampleSort};
+use ppm::pm::{FaultConfig, PmConfig, Word};
+use ppm::sched::{CheckpointPolicy, Runtime, RuntimeConfig, SessionMode};
+
+const WORDS: usize = 1 << 21;
+const SLOTS: usize = 1 << 12;
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ppm-checkpoint-{}-{tag}.ppm", std::process::id()));
+    p
+}
+
+fn input(n: usize) -> Vec<Word> {
+    (0..n as u64).map(|i| i.wrapping_mul(31) % 1009).collect()
+}
+
+// ====================================================================
+// Bounded replay: resume from the newest checkpoint record
+// ====================================================================
+
+const N: usize = 512;
+const EPOCH_CAPSULES: u64 = 200;
+
+fn prefix_cfg(pm: PmConfig) -> RuntimeConfig {
+    RuntimeConfig::new(pm)
+        .with_slots(SLOTS)
+        .with_checkpoint(CheckpointPolicy::every_capsules(EPOCH_CAPSULES))
+}
+
+/// Capsules a complete from-root run completes (P = 1, deterministic).
+fn full_run_capsules() -> u64 {
+    let rt = Runtime::volatile(prefix_cfg(PmConfig::parallel(1, WORDS)));
+    let ps = PrefixSum::new(rt.machine(), N);
+    ps.load_input(rt.machine(), &input(N));
+    let rep = rt.run_or_recover(&ps.pcomp());
+    assert!(rep.completed());
+    rep.stats().capsule_completions
+}
+
+#[cfg(unix)]
+#[test]
+fn unresumable_crash_frontier_resumes_from_checkpoint_with_bounded_replay() {
+    let full = full_run_capsules();
+    let path = tmp("bounded");
+    let _ = std::fs::remove_file(&path);
+    {
+        let pm = PmConfig::parallel(1, WORDS)
+            .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, 6000));
+        let rt = Runtime::create(&path, prefix_cfg(pm)).unwrap();
+        let ps = PrefixSum::new(rt.machine(), N);
+        ps.load_input(rt.machine(), &input(N));
+        let rep = rt.run_or_recover(&ps.pcomp());
+        assert!(!rep.completed(), "the scheduled kill must land mid-run");
+        let ck = &rep.run.as_ref().unwrap().checkpoints;
+        assert!(
+            ck.records_written >= 2,
+            "the dying run must have written checkpoint records, got {ck:?}"
+        );
+        assert!(ck.words_reclaimed > 0, "GC must have reclaimed churn");
+    }
+
+    let rt = Runtime::open(&path, prefix_cfg(PmConfig::parallel(1, WORDS))).unwrap();
+    // Point the restart pointer at garbage so the crash frontier cannot
+    // resume (the checkpoint frontier's own frames stay intact): the
+    // session must fall back to the newest checkpoint, NOT to the root.
+    assert_ne!(rt.machine().active_handle(0), 0);
+    rt.machine()
+        .mem()
+        .store(rt.machine().proc_meta(0).active, 0xBAAD_F00D);
+
+    let ps = PrefixSum::new(rt.machine(), N);
+    ps.load_input(rt.machine(), &input(N));
+    let rec = rt.run_or_recover(&ps.pcomp());
+    assert!(rec.completed());
+    assert_eq!(
+        rec.mode,
+        SessionMode::Resumed,
+        "checkpoint resume, not replay"
+    );
+    assert!(rec.fallback_reason.is_none());
+    let ckpt = rec
+        .checkpoint_resume
+        .as_ref()
+        .expect("resume must credit the checkpoint record");
+    assert!(ckpt.seq >= 1);
+    assert!(
+        matches!(
+            ckpt.crash_frontier,
+            ppm::sched::FallbackReason::Rehydrate { .. }
+        ),
+        "the rejected crash frontier is explained: {:?}",
+        ckpt.crash_frontier
+    );
+    assert!(
+        ckpt.capsules_at_checkpoint > 0,
+        "the kill landed after the first checkpoint"
+    );
+    assert_eq!(ps.read_output(rt.machine()), prefix_sum_seq(&input(N)));
+
+    // Replay distance ≤ one epoch: the recovery re-drives the span after
+    // the checkpoint (full − capsules_at_checkpoint) plus per-seed claim
+    // overhead — never the whole run from the root.
+    let recovered = rec.run.as_ref().unwrap().stats.capsule_completions;
+    let slack = 4 * rec.resumed as u64 + 64;
+    assert!(
+        recovered <= full - ckpt.capsules_at_checkpoint + slack,
+        "recovery ran {recovered} capsules; checkpoint at {} of {full} allows ≤ {}",
+        ckpt.capsules_at_checkpoint,
+        full - ckpt.capsules_at_checkpoint + slack
+    );
+    assert!(
+        recovered < full,
+        "checkpoint resume ({recovered}) must beat a from-root replay ({full})"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[cfg(unix)]
+#[test]
+fn torn_newest_record_falls_back_to_the_previous_checkpoint() {
+    use ppm::pm::backend::superblock::{CheckpointRecord, CKPT_SLOT_BYTES, CKPT_SLOT_OFFSETS};
+    let path = tmp("torn");
+    let _ = std::fs::remove_file(&path);
+    {
+        let pm = PmConfig::parallel(1, WORDS)
+            .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, 6000));
+        let rt = Runtime::create(&path, prefix_cfg(pm)).unwrap();
+        let ps = PrefixSum::new(rt.machine(), N);
+        ps.load_input(rt.machine(), &input(N));
+        assert!(!rt.run_or_recover(&ps.pcomp()).completed());
+    }
+
+    // Read both record slots straight off the file and tear the newest —
+    // the mid-write machine-failure scenario.
+    let bytes = std::fs::read(&path).unwrap();
+    let slot_rec = |s: usize| {
+        CheckpointRecord::decode(
+            &bytes[CKPT_SLOT_OFFSETS[s]..CKPT_SLOT_OFFSETS[s] + CKPT_SLOT_BYTES],
+        )
+        .ok()
+        .flatten()
+    };
+    let (a, b) = (slot_rec(0), slot_rec(1));
+    let newest = match (&a, &b) {
+        (Some(a), Some(b)) => {
+            if a.seq > b.seq {
+                0
+            } else {
+                1
+            }
+        }
+        _ => panic!("the dying run must have filled both record slots"),
+    };
+    let newest_seq = [&a, &b][newest].as_ref().unwrap().seq;
+    let prev_seq = [&a, &b][1 - newest].as_ref().unwrap().seq;
+    assert_eq!(prev_seq + 1, newest_seq);
+    {
+        use std::os::unix::fs::FileExt;
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        // Flip a byte in the middle of the newest record's payload.
+        f.write_at(&[0xFF], (CKPT_SLOT_OFFSETS[newest] + 64) as u64)
+            .unwrap();
+    }
+
+    let rt = Runtime::open(&path, prefix_cfg(PmConfig::parallel(1, WORDS))).unwrap();
+    rt.machine()
+        .mem()
+        .store(rt.machine().proc_meta(0).active, 0xBAAD_F00D);
+    let ps = PrefixSum::new(rt.machine(), N);
+    ps.load_input(rt.machine(), &input(N));
+    let rec = rt.run_or_recover(&ps.pcomp());
+    assert!(rec.completed());
+    assert_eq!(rec.mode, SessionMode::Resumed);
+    assert_eq!(
+        rec.checkpoint_resume.as_ref().unwrap().seq,
+        prev_seq,
+        "a torn newest record must fall back to the previous epoch's"
+    );
+    assert_eq!(ps.read_output(rt.machine()), prefix_sum_seq(&input(N)));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The acceptance scenario: a killed **samplesort** under
+/// `every_capsules(K)` resumes in `Resumed` mode replaying at most one
+/// epoch of capsules. Death is the all-processors-hard-fault event that
+/// models `kill -9` (deterministic at P = 1; the real-SIGKILL version
+/// lives in `examples/checkpointed_run.rs`), and the crash frontier is
+/// smashed so the resume must come from the checkpoint record.
+#[cfg(unix)]
+#[test]
+fn killed_samplesort_resumes_from_checkpoint_within_one_epoch() {
+    const SS_N: usize = 700;
+    const K: u64 = 400;
+    let data = ss_data(SS_N);
+    let mut expect = data.clone();
+    expect.sort_unstable();
+    let cfg = |fault: FaultConfig| {
+        RuntimeConfig::new(
+            PmConfig::parallel(1, 1 << 22)
+                .with_ephemeral_words(64)
+                .with_fault(fault),
+        )
+        .with_pool_words(samplesort_pool_words(SS_N))
+        .with_slots(1 << 13)
+        .with_checkpoint(CheckpointPolicy::every_capsules(K))
+    };
+
+    // Reference: the full from-root capsule count (volatile, same shape).
+    let full = {
+        let rt = Runtime::volatile(cfg(FaultConfig::none()));
+        let ss = SampleSort::new(rt.machine(), SS_N);
+        ss.load_input(rt.machine(), &data);
+        let rep = rt.run_or_recover(&ss.pcomp());
+        assert!(rep.completed());
+        rep.stats().capsule_completions
+    };
+
+    let path = tmp("ss-bounded");
+    let _ = std::fs::remove_file(&path);
+    {
+        let rt = Runtime::create(
+            &path,
+            cfg(FaultConfig::none().with_scheduled_hard_fault(0, 20_000)),
+        )
+        .unwrap();
+        let ss = SampleSort::new(rt.machine(), SS_N);
+        ss.load_input(rt.machine(), &data);
+        let rep = rt.run_or_recover(&ss.pcomp());
+        assert!(!rep.completed(), "the kill must land mid-pipeline");
+        assert!(
+            rep.run.as_ref().unwrap().checkpoints.records_written >= 1,
+            "{:?}",
+            rep.run.as_ref().unwrap().checkpoints
+        );
+    }
+
+    let rt = Runtime::open(&path, cfg(FaultConfig::none())).unwrap();
+    assert_ne!(rt.machine().active_handle(0), 0);
+    rt.machine()
+        .mem()
+        .store(rt.machine().proc_meta(0).active, 0xBAAD_F00D);
+    let ss = SampleSort::new(rt.machine(), SS_N);
+    ss.load_input(rt.machine(), &data);
+    let rec = rt.run_or_recover(&ss.pcomp());
+    assert!(rec.completed());
+    assert_eq!(rec.mode, SessionMode::Resumed);
+    let ckpt = rec.checkpoint_resume.as_ref().expect("checkpoint resume");
+    assert_eq!(ss.read_output(rt.machine()), expect);
+    let recovered = rec.run.as_ref().unwrap().stats.capsule_completions;
+    let slack = 4 * rec.resumed as u64 + 64;
+    assert!(
+        recovered <= full - ckpt.capsules_at_checkpoint + slack,
+        "samplesort recovery ran {recovered} capsules; checkpoint at {} of {full} \
+         allows ≤ {}",
+        ckpt.capsules_at_checkpoint,
+        full - ckpt.capsules_at_checkpoint + slack
+    );
+    assert!(recovered < full);
+    let _ = std::fs::remove_file(&path);
+}
+
+fn ss_data(n: usize) -> Vec<Word> {
+    (0..n as u64)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(17);
+            (x ^ (x >> 31)) % 10_000
+        })
+        .collect()
+}
+
+// ====================================================================
+// Frame-pool GC: peak pool usage drops
+// ====================================================================
+
+/// Runs a pcomp workload twice — checkpointing off and on — and returns
+/// `(peak_without_gc, peak_with_gc, gc_summary)`.
+fn peaks<F: Fn(&Runtime) -> ppm::core::PComp>(
+    build: F,
+    pool_words: usize,
+) -> (u64, u64, ppm::sched::CheckpointSummary) {
+    let run = |policy: CheckpointPolicy| {
+        // Small ephemeral memory forces deep recursion (many frames), the
+        // regime the pool GC exists for.
+        let rt = Runtime::volatile(
+            RuntimeConfig::new(PmConfig::parallel(1, WORDS).with_ephemeral_words(64))
+                .with_slots(SLOTS)
+                .with_pool_words(pool_words)
+                .with_checkpoint(policy),
+        );
+        let pcomp = build(&rt);
+        let rep = rt.run_or_recover(&pcomp);
+        assert!(rep.completed());
+        let r = rep.run.unwrap();
+        (r.stats.max_pool_peak, r.checkpoints)
+    };
+    let (peak_off, _) = run(CheckpointPolicy::disabled());
+    let (peak_on, ck) = run(CheckpointPolicy::every_capsules(150));
+    (peak_off, peak_on, ck)
+}
+
+#[test]
+fn gc_shrinks_prefix_sum_peak_pool_usage() {
+    let (off, on, ck) = peaks(
+        |rt| {
+            let ps = PrefixSum::new(rt.machine(), 2048);
+            ps.load_input(rt.machine(), &input(2048));
+            ps.pcomp()
+        },
+        1 << 17,
+    );
+    assert!(ck.words_reclaimed > 0, "{ck:?}");
+    assert!(
+        on < off,
+        "prefix peak with GC ({on}) must drop below the retain-everything peak ({off})"
+    );
+}
+
+#[test]
+fn gc_shrinks_mergesort_peak_pool_usage() {
+    let (off, on, ck) = peaks(
+        |rt| {
+            let ms = MergeSort::new(rt.machine(), 1500);
+            ms.load_input(rt.machine(), &input(1500));
+            ms.pcomp()
+        },
+        1 << 17,
+    );
+    assert!(ck.words_reclaimed > 0, "{ck:?}");
+    assert!(
+        on < off,
+        "mergesort peak with GC ({on}) must drop below the retain-everything peak ({off})"
+    );
+}
+
+#[test]
+fn gc_shrinks_samplesort_peak_pool_usage_below_the_pr3_formula() {
+    let n = 900;
+    // The PR-3 sizing formula carried a doubled 72·n frame term for the
+    // resume-rebuild worst case; GC makes the retained footprint obsolete.
+    let pr3_frame_term = 72 * n;
+    let (off, on, ck) = peaks(
+        |rt| {
+            let ss = SampleSort::new(rt.machine(), n);
+            ss.load_input(rt.machine(), &input(n));
+            ss.pcomp()
+        },
+        samplesort_pool_words(n) + pr3_frame_term,
+    );
+    assert!(ck.words_reclaimed > 0, "{ck:?}");
+    assert!(
+        on < off,
+        "samplesort peak with GC ({on}) must drop below the retain-everything peak ({off})"
+    );
+    assert!(
+        (off as usize) > samplesort_pool_words(n),
+        "the retain-everything footprint ({off}) must exceed the tightened budget ({}) — \
+         otherwise the PR-3 doubling was never needed and this test proves nothing",
+        samplesort_pool_words(n)
+    );
+}
+
+/// The tightened budget itself is sufficient: with the pool sized by the
+/// post-GC formula (smaller than the retain-everything footprint measured
+/// above), the run completes — the pressure-triggered GC keeps the bump
+/// allocator inside the budget where the PR-3 sizing needed the doubled
+/// term.
+#[test]
+fn tightened_samplesort_budget_completes_under_gc() {
+    let n = 900;
+    let data = input(n);
+    let mut expect = data.clone();
+    expect.sort_unstable();
+    let rt = Runtime::volatile(
+        RuntimeConfig::new(PmConfig::parallel(1, WORDS).with_ephemeral_words(64))
+            .with_slots(SLOTS)
+            .with_pool_words(samplesort_pool_words(n)),
+    );
+    let ss = SampleSort::new(rt.machine(), n);
+    ss.load_input(rt.machine(), &data);
+    let rep = rt.run_or_recover(&ss.pcomp());
+    assert!(rep.completed());
+    assert_eq!(ss.read_output(rt.machine()), expect);
+    let ck = rep.run.unwrap().checkpoints;
+    assert!(ck.words_reclaimed > 0, "{ck:?}");
+}
+
+/// Satellite regression: the pre-checkpoint hard-fault exhaustion case.
+/// A hard-faulted processor's threads are adopted and re-driven by the
+/// survivor, whose pool absorbs the re-allocation — under the PR-3
+/// formulas this was the case that doubled the budget. With checkpoint
+/// GC on (the default) the tightened formula must still complete it.
+#[test]
+fn tightened_samplesort_budget_survives_hard_fault_adoption() {
+    let n = 600;
+    let data: Vec<Word> = (0..n as u64)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(17);
+            (x ^ (x >> 31)) % 10_000
+        })
+        .collect();
+    let mut expect = data.clone();
+    expect.sort_unstable();
+    let rt = Runtime::volatile(
+        RuntimeConfig::new(
+            PmConfig::parallel(2, 1 << 22)
+                .with_ephemeral_words(64)
+                .with_fault(FaultConfig::none().with_scheduled_hard_fault(1, 2000)),
+        )
+        .with_pool_words(samplesort_pool_words(n))
+        .with_slots(1 << 13),
+    );
+    let ss = SampleSort::new(rt.machine(), n);
+    ss.load_input(rt.machine(), &data);
+    let rep = rt.run_or_recover(&ss.pcomp());
+    assert!(rep.completed(), "survivor must finish the adopted work");
+    assert_eq!(rep.dead_procs(), 1);
+    assert_eq!(ss.read_output(rt.machine()), expect);
+}
+
+// ====================================================================
+// Policies
+// ====================================================================
+
+#[test]
+fn disabled_policy_never_checkpoints() {
+    let rt = Runtime::volatile(
+        RuntimeConfig::new(PmConfig::parallel(1, WORDS))
+            .with_slots(SLOTS)
+            .with_checkpoint(CheckpointPolicy::disabled()),
+    );
+    let ps = PrefixSum::new(rt.machine(), N);
+    ps.load_input(rt.machine(), &input(N));
+    let rep = rt.run_or_recover(&ps.pcomp());
+    assert!(rep.completed());
+    assert_eq!(
+        rep.run.unwrap().checkpoints,
+        ppm::sched::CheckpointSummary::default()
+    );
+}
+
+#[test]
+fn every_pool_words_policy_reclaims() {
+    let rt = Runtime::volatile(
+        RuntimeConfig::new(PmConfig::parallel(1, WORDS))
+            .with_slots(SLOTS)
+            .with_pool_words(1 << 17)
+            .with_checkpoint(CheckpointPolicy::every_pool_words(1 << 12)),
+    );
+    let ps = PrefixSum::new(rt.machine(), 2048);
+    ps.load_input(rt.machine(), &input(2048));
+    let rep = rt.run_or_recover(&ps.pcomp());
+    assert!(rep.completed());
+    let ck = rep.run.unwrap().checkpoints;
+    assert!(ck.completed >= 1, "{ck:?}");
+    assert!(ck.words_reclaimed > 0, "{ck:?}");
+}
+
+#[test]
+fn manual_policy_checkpoints_only_on_request() {
+    let (policy, trigger) = CheckpointPolicy::manual();
+    let rt = Runtime::volatile(
+        RuntimeConfig::new(PmConfig::parallel(1, WORDS))
+            .with_slots(SLOTS)
+            .with_checkpoint(policy),
+    );
+    let ps = PrefixSum::new(rt.machine(), N);
+    ps.load_input(rt.machine(), &input(N));
+    // Request before the run: the first capsule boundary takes it.
+    trigger.request();
+    let rep = rt.run_or_recover(&ps.pcomp());
+    assert!(rep.completed());
+    let ck = rep.run.unwrap().checkpoints;
+    assert_eq!(
+        ck.completed, 1,
+        "exactly the one requested checkpoint completes: {ck:?}"
+    );
+}
+
+#[cfg(unix)]
+#[test]
+fn completed_durable_run_leaves_a_record_behind() {
+    let path = tmp("records");
+    let _ = std::fs::remove_file(&path);
+    let rt = Runtime::create(&path, prefix_cfg(PmConfig::parallel(1, WORDS))).unwrap();
+    let ps = PrefixSum::new(rt.machine(), N);
+    ps.load_input(rt.machine(), &input(N));
+    assert!(rt.run_or_recover(&ps.pcomp()).completed());
+    let rec = rt
+        .machine()
+        .latest_checkpoint_record()
+        .expect("a durable checkpointed run leaves its records behind");
+    assert!(rec.seq >= 1);
+    assert!(rec.capsules > 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[cfg(unix)]
+#[test]
+fn replay_from_root_clears_stale_checkpoint_records() {
+    let path = tmp("clear");
+    let _ = std::fs::remove_file(&path);
+    {
+        // A checkpointed persistent run dies mid-flight, leaving records.
+        let pm = PmConfig::parallel(1, WORDS)
+            .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, 6000));
+        let rt = Runtime::create(&path, prefix_cfg(pm)).unwrap();
+        let ps = PrefixSum::new(rt.machine(), N);
+        ps.load_input(rt.machine(), &input(N));
+        assert!(!rt.run_or_recover(&ps.pcomp()).completed());
+    }
+    // A legacy-closure session replays from the root, which resets pool
+    // cursors — the stale records' frontiers would dangle, so the replay
+    // must invalidate them.
+    let rt = Runtime::open(&path, prefix_cfg(PmConfig::parallel(1, WORDS))).unwrap();
+    assert!(rt.machine().latest_checkpoint_record().is_some());
+    // Replay the dead run's allocation order so the completion flag lands
+    // on the same (unset) word, then drive a legacy computation over the
+    // instance's own regions.
+    let ps = PrefixSum::new(rt.machine(), N);
+    let r = ps.output;
+    let comp = ppm::core::par_all(
+        (0..4)
+            .map(|i| {
+                ppm::core::comp_step("mark", move |ctx: &mut ppm::pm::ProcCtx| {
+                    ctx.pcam(r.at(i), 0, i as Word + 1)
+                })
+            })
+            .collect(),
+    );
+    let rep = rt.run_or_replay(&comp);
+    assert!(rep.completed());
+    assert_eq!(rep.mode, SessionMode::Replayed);
+    assert!(
+        rt.machine().latest_checkpoint_record().is_none(),
+        "replay-from-root must clear stale checkpoint records"
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -139,19 +139,25 @@ fn killed_run_is_resumed_not_replayed() {
 
 #[test]
 fn corrupted_frame_falls_back_to_root_replay() {
+    // Checkpointing is disabled on both sessions: with records available
+    // a smashed frontier would resume from the newest checkpoint instead
+    // (tests/checkpoint.rs covers that path); this test pins the
+    // last-resort root-replay behavior.
+    let no_ckpt =
+        |pm: PmConfig| cfg_with(pm).with_checkpoint(ppm::sched::CheckpointPolicy::disabled());
     let path = tmp("fallback");
     let _ = std::fs::remove_file(&path);
     {
         let pm = PmConfig::parallel(1, WORDS)
             .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, 2400));
-        let rt = Runtime::create(&path, cfg_with(pm)).expect("create durable session");
+        let rt = Runtime::create(&path, no_ckpt(pm)).expect("create durable session");
         let ps = PrefixSum::new(rt.machine(), N);
         ps.load_input(rt.machine(), &input());
         let rep = rt.run_or_recover(&ps.pcomp());
         assert!(!rep.completed(), "the run must die mid-flight");
     }
 
-    let rt = Runtime::open(&path, cfg_with(PmConfig::parallel(1, WORDS))).expect("open session");
+    let rt = Runtime::open(&path, no_ckpt(PmConfig::parallel(1, WORDS))).expect("open session");
     // Smash the restart pointer's frame header: the frontier is no longer
     // fully rehydratable, so recovery must degrade to replay-from-root —
     // cleanly, not with a panic.
