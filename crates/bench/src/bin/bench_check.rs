@@ -1,0 +1,161 @@
+//! Bench-regression gate: compares the `BENCH_*.json` reports of the
+//! current run against the checked-in baseline.
+//!
+//! ```text
+//! cargo run -p ppm-bench --bin bench_check -- \
+//!     --dir=bench_out --baseline=bench/baseline.json [--threshold=1.5] [--update]
+//! ```
+//!
+//! The baseline is itself a [`ppm_bench::BenchReport`]-formatted file
+//! whose metric keys are `"<experiment>.<metric>"`. Every baselined
+//! metric is lower-is-better (times, overhead factors); the gate fails
+//! when `current > threshold * baseline`. The threshold is generous
+//! (default 1.5x) and the checked-in baselines themselves carry slack
+//! over measured values, so the gate catches real regressions (3x+)
+//! rather than CI-runner noise. A baselined metric missing from the
+//! current run also fails — it means an experiment stopped emitting.
+//!
+//! `--update` rewrites the baseline from the current reports (times the
+//! slack factor), for refreshing after an intentional change.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use ppm_bench::BenchReport;
+
+/// Slack multiplied into measured values when `--update` writes a new
+/// baseline, so freshly recorded baselines do not sit at the noise edge.
+const UPDATE_SLACK: f64 = 2.0;
+
+struct Args {
+    dir: PathBuf,
+    baseline: PathBuf,
+    threshold: f64,
+    update: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        dir: PathBuf::from("."),
+        baseline: PathBuf::from("bench/baseline.json"),
+        threshold: 1.5,
+        update: false,
+    };
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--dir=") {
+            args.dir = PathBuf::from(v);
+        } else if let Some(v) = arg.strip_prefix("--baseline=") {
+            args.baseline = PathBuf::from(v);
+        } else if let Some(v) = arg.strip_prefix("--threshold=") {
+            args.threshold = v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid --threshold value `{v}`");
+                exit(2);
+            });
+        } else if arg == "--update" {
+            args.update = true;
+        } else {
+            eprintln!(
+                "unknown argument `{arg}`; accepted: --dir= --baseline= --threshold= --update"
+            );
+            exit(2);
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let reports = BenchReport::load_dir(&args.dir).unwrap_or_else(|e| {
+        eprintln!("cannot read bench dir {}: {e}", args.dir.display());
+        exit(2);
+    });
+    if reports.is_empty() {
+        eprintln!(
+            "no BENCH_*.json reports under {} — did the experiments run with \
+             PPM_BENCH_DIR set?",
+            args.dir.display()
+        );
+        exit(2);
+    }
+    println!(
+        "bench_check: {} report(s) under {}",
+        reports.len(),
+        args.dir.display()
+    );
+
+    if args.update {
+        let mut baseline = BenchReport::new("baseline");
+        baseline.note("threshold_hint", args.threshold);
+        for rep in &reports {
+            for (k, v) in &rep.metrics {
+                baseline.metric(format!("{}.{k}", rep.name), v * UPDATE_SLACK);
+            }
+        }
+        if let Some(parent) = args.baseline.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(&args.baseline, baseline.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", args.baseline.display());
+            exit(2);
+        });
+        println!(
+            "baseline rewritten from current reports (x{UPDATE_SLACK} slack): {}",
+            args.baseline.display()
+        );
+        return;
+    }
+
+    let text = std::fs::read_to_string(&args.baseline).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {}: {e}", args.baseline.display());
+        exit(2);
+    });
+    let baseline = BenchReport::parse(&text).unwrap_or_else(|| {
+        eprintln!("baseline {} is not a bench report", args.baseline.display());
+        exit(2);
+    });
+
+    let current = |key: &str| -> Option<f64> {
+        let (exp, metric) = key.split_once('.')?;
+        reports
+            .iter()
+            .find(|r| r.name == exp)
+            .and_then(|r| r.metrics.get(metric).copied())
+    };
+
+    let mut failures = 0usize;
+    println!(
+        "{:<44} {:>12} {:>12} {:>8}  verdict",
+        "metric", "current", "baseline", "ratio"
+    );
+    for (key, base) in &baseline.metrics {
+        match current(key) {
+            None => {
+                failures += 1;
+                println!("{key:<44} {:>12} {base:>12.3} {:>8}  MISSING", "-", "-");
+            }
+            Some(cur) => {
+                let ratio = if *base > 0.0 { cur / base } else { 0.0 };
+                let ok = cur <= base * args.threshold;
+                if !ok {
+                    failures += 1;
+                }
+                println!(
+                    "{key:<44} {cur:>12.3} {base:>12.3} {ratio:>7.2}x  {}",
+                    if ok { "ok" } else { "REGRESSION" }
+                );
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "\nbench_check FAILED: {failures} metric(s) regressed past {}x (or went missing)",
+            args.threshold
+        );
+        exit(1);
+    }
+    println!(
+        "\nbench_check passed: all {} baselined metric(s) within {}x",
+        baseline.metrics.len(),
+        args.threshold
+    );
+}

@@ -9,7 +9,7 @@
 //! writes and split CAM/check capsules; ABP pays neither but dies on the
 //! first fault — see `exp_cam_vs_cas`.)
 
-use ppm_bench::{banner, f2, header, row, s};
+use ppm_bench::{banner, f2, header, row, s, BenchReport};
 use ppm_core::{comp_step, par_all, Comp, Machine};
 use ppm_pm::{PmConfig, ProcCtx, Region, ValidateMode};
 use ppm_sched::abp::run_computation_abp;
@@ -44,6 +44,7 @@ fn main() {
         &W,
     );
 
+    let mut report = BenchReport::new("exp_abp_compare");
     let cases = [(64usize, 1usize), (64, 8), (64, 64), (256, 8), (1024, 8)];
     for (n, leaf_work) in cases.into_iter().filter(|(n, _)| *n <= cli.n(1024)) {
         let cfg = || PmConfig::parallel(1, 1 << 24).with_validate(ValidateMode::Off);
@@ -73,7 +74,12 @@ fn main() {
             ],
             &W,
         );
+        report
+            .note("last_case", format!("{n}x{leaf_work}"))
+            .metric("ft_over_abp_x", ft as f64 / abp as f64)
+            .metric("ft_work_words", ft as f64);
     }
+    report.emit();
 
     println!("\nshape check: the overhead is a flat small constant per capsule");
     println!("(installation writes + split synchronization capsules), so the ratio");

@@ -15,7 +15,7 @@
 //!   capsule 2 *reads* `x` and claims iff it holds `id`. Success is
 //!   observed from persistent memory, so restarts are harmless.
 
-use ppm_bench::{banner, f2, header, row, s};
+use ppm_bench::{banner, f2, header, row, s, BenchReport};
 use ppm_core::{capsule, run_chain, InstallCtx, Machine, Next};
 use ppm_pm::{FaultConfig, PmConfig};
 
@@ -84,9 +84,19 @@ fn main() {
     );
     header(&["protocol", "f", "wins", "claims", "lost wins"], &W);
 
+    let mut report = BenchReport::new("exp_cam_vs_cas");
+    report.note("trials", trials);
     for f in [0.0, 0.01, 0.05, 0.1, 0.2] {
         for use_cas in [true, false] {
             let (claims, wins) = run_protocol(trials, f, seed, use_cas);
+            if f == 0.2 {
+                let key = if use_cas {
+                    "cas_lost_wins"
+                } else {
+                    "cam_lost_wins"
+                };
+                report.metric(key, (wins - claims) as f64);
+            }
             assert_eq!(wins, trials as u64, "the location always gets set");
             row(
                 &[
@@ -107,6 +117,8 @@ fn main() {
             }
         }
     }
+
+    report.emit();
 
     println!("\nshape check: the CAS protocol silently drops wins at a rate that");
     println!("grows with f (the fault window between the CAS and using its result);");

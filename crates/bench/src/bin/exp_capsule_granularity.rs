@@ -10,7 +10,7 @@
 //! per fault and violates `f ≤ 1/(2C)` sooner. The table exposes the
 //! U-shape and its movement with `f`.
 
-use ppm_bench::{banner, f2, header, row, s};
+use ppm_bench::{banner, f2, header, row, s, BenchReport};
 use ppm_core::{comp_step, seq_all, Comp, Machine};
 use ppm_pm::{FaultConfig, PmConfig, ProcCtx, Region};
 use ppm_sched::{Runtime, SchedConfig};
@@ -53,6 +53,8 @@ fn main() {
     let b = 8;
 
     header(&["k", "f", "C", "W_f", "restarts", "wasted", "vs best"], &W);
+    let mut report = BenchReport::new("exp_capsule_granularity");
+    report.note("nblocks", nblocks);
     for f in [0.0, 0.002, 0.01, 0.05] {
         let mut results = Vec::new();
         for k in [1usize, 2, 4, 8, 16, 32, 64] {
@@ -80,6 +82,17 @@ fn main() {
             results.push((k, rep.stats().clone()));
         }
         let best = results.iter().map(|(_, st)| st.total_work()).min().unwrap();
+        if f == 0.0 {
+            let k1 = results
+                .iter()
+                .find(|(k, _)| *k == 1)
+                .unwrap()
+                .1
+                .total_work();
+            report
+                .metric("install_overhead_k1_x", k1 as f64 / best as f64)
+                .metric("work_best_f0_words", best as f64);
+        }
         for (k, st) in &results {
             row(
                 &[
@@ -96,6 +109,8 @@ fn main() {
         }
         println!();
     }
+
+    report.emit();
 
     println!("shape check: at f = 0 bigger capsules strictly win (fewer installs);");
     println!("as f grows the optimum k shrinks — the paper's checkpointing tension,");

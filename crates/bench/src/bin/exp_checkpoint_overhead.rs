@@ -19,7 +19,7 @@
 use std::time::{Duration, Instant};
 
 use ppm_algs::PrefixSum;
-use ppm_bench::{banner, f2, header, row, s};
+use ppm_bench::{banner, f2, header, row, s, BenchReport};
 use ppm_core::Machine;
 use ppm_pm::{PmConfig, Word, PAGE_WORDS};
 use ppm_sched::{CheckpointPolicy, Runtime, RuntimeConfig};
@@ -124,6 +124,13 @@ fn main() {
         .expect("create durable machine");
     let full_us = flush_micro(&machine, trials, true);
     let dirty_us = flush_micro(&machine, trials, false);
+    let mut report = BenchReport::new("exp_checkpoint_overhead");
+    report
+        .note("procs", procs)
+        .note("dirty_pages", DIRTY_PAGES)
+        .metric("flush_full_us", full_us)
+        .metric("flush_dirty_us", dirty_us)
+        .metric("dirty_over_full_x", dirty_us / full_us.max(0.01));
     drop(machine);
     let _ = std::fs::remove_file(&path);
     let total_pages = MICRO_WORDS / PAGE_WORDS;
@@ -161,6 +168,7 @@ fn main() {
         &widths,
     );
     let base = epoch_run(procs, CheckpointPolicy::disabled(), "off");
+    report.metric_ms("run_disabled_ms", base.elapsed);
     row(
         &[
             s("disabled"),
@@ -174,6 +182,12 @@ fn main() {
     );
     for k in [256u64, 1024, 4096] {
         let r = epoch_run(procs, CheckpointPolicy::every_capsules(k), &format!("k{k}"));
+        if k == 256 {
+            report.metric(
+                "ckpt_k256_overhead_x",
+                r.elapsed.as_secs_f64() / base.elapsed.as_secs_f64().max(1e-9),
+            );
+        }
         row(
             &[
                 format!("every {k}"),
@@ -186,6 +200,7 @@ fn main() {
             &widths,
         );
     }
+    report.emit();
     println!(
         "\n(each checkpoint also wrote a durable resume record; replay after a crash is \
          bounded by one epoch — see examples/checkpointed_run.rs)"

@@ -11,7 +11,7 @@
 
 use std::time::{Duration, Instant};
 
-use ppm_bench::{banner, f2, header, row, s};
+use ppm_bench::{banner, f2, header, row, s, BenchReport};
 use ppm_core::{comp_step, par_all, Comp, Machine};
 use ppm_pm::{PmConfig, ProcCtx, Region};
 use ppm_sched::{Runtime, SchedConfig};
@@ -109,11 +109,17 @@ fn main() {
         ],
         &widths,
     );
+    let mut report = BenchReport::new("exp_durable_overhead");
     for n in cli.cap_sizes(&[256usize, 1024, 4096]) {
         let vol = run_trials(&cli, n, false);
         let dur = run_trials(&cli, n, true);
         let overhead = (dur.run_mean + dur.flush_mean).as_secs_f64()
             / (vol.run_mean + vol.flush_mean).as_secs_f64();
+        report
+            .note("n", n)
+            .metric("durable_overhead_x", overhead)
+            .metric_ms("durable_flush_ms", dur.flush_mean)
+            .metric_ms("durable_run_ms", dur.run_mean);
         row(
             &[
                 s(n),
@@ -137,4 +143,5 @@ fn main() {
             &widths,
         );
     }
+    report.emit();
 }

@@ -6,7 +6,7 @@
 //! task, deque structural invariants (checked by the driver), and the
 //! Figure 4 transition table (checked by a memory observer).
 
-use ppm_bench::{banner, header, row, s};
+use ppm_bench::{banner, header, row, s, BenchReport};
 use ppm_core::{comp_dyn, comp_fork2, comp_nop, comp_step, Comp, Machine};
 use ppm_pm::{FaultConfig, PmConfig, ProcCtx, Region};
 use ppm_sched::{Runtime, SchedConfig};
@@ -106,6 +106,12 @@ fn main() {
             &W,
         );
     }
+
+    let mut report = BenchReport::new("exp_fig3_correctness");
+    report
+        .metric("trials", grand_total as f64)
+        .metric("unverified_trials", 0.0);
+    report.emit();
 
     println!("\n{grand_total} randomized trials: all completed (or died entirely),");
     println!("all verified exactly-once, no deque-invariant or Figure 4 transition");

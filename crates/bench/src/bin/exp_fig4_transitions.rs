@@ -8,7 +8,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use ppm_bench::banner;
+use ppm_bench::{banner, BenchReport};
 use ppm_core::{comp_step, par_all, DoneFlag, Machine};
 use ppm_pm::{FaultConfig, PmConfig, ProcCtx};
 use ppm_sched::{kind_of, run_root_on, EntryKind, Sched, SchedConfig};
@@ -110,6 +110,11 @@ fn main() {
     }
     println!("\nillegal off-diagonal transitions observed: {illegal}");
     assert_eq!(illegal, 0, "Figure 4 must hold");
+    let mut report = BenchReport::new("exp_fig4_transitions");
+    report
+        .metric("illegal_transitions", illegal as f64)
+        .metric("observed_steals", m[2][3] as f64);
+    report.emit();
     println!("matches Figure 4: Empty->Local, Local->{{Empty,Job,Taken}}, Job->{{Local,Taken}},");
     println!("and Taken is terminal. Parenthesized diagonals are tag-only refreshes.");
 }

@@ -7,7 +7,7 @@
 //! effectively the same as forking a thread onto the bottom of a
 //! work-queue and then finishing" — i.e. cheap.
 
-use ppm_bench::{banner, f2, header, row, s};
+use ppm_bench::{banner, f2, header, row, s, BenchReport};
 use ppm_core::{comp_step, par_all, Comp, Machine};
 use ppm_pm::{FaultConfig, PmConfig, ProcCtx, Region};
 use ppm_sched::{Runtime, SchedConfig};
@@ -118,6 +118,13 @@ fn main() {
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     let max = ratios.iter().cloned().fold(0.0f64, f64::max);
     println!("mean W_f/W_baseline = {}, max = {}", f2(mean), f2(max));
+    let mut report = BenchReport::new("exp_hard_faults");
+    report
+        .note("procs", p)
+        .note("n", n)
+        .metric("death_overhead_mean_x", mean)
+        .metric("death_overhead_max_x", max);
+    report.emit();
 
     println!("\nshape check: every configuration with at least one survivor");
     println!("completes with all tasks exactly once; work overhead of a death is");

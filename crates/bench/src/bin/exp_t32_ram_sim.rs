@@ -5,14 +5,14 @@
 //! and reports the transfers-per-step constant. The theorem predicts a
 //! constant independent of `t` and (for `f ≤ 1/(2C)`) of `f`.
 
-use ppm_bench::{banner, f2, header, row, s};
+use ppm_bench::{banner, f2, header, row, s, BenchReport};
 use ppm_core::Machine;
 use ppm_pm::{FaultConfig, PmConfig};
 use ppm_sim::ram::programs::{fib, memset, sum_array};
 use ppm_sim::ram::RamProgram;
 use ppm_sim::run_both;
 
-fn run_case(name: &str, prog: &RamProgram, init: Vec<i64>, f: f64, seed: u64) {
+fn run_case(name: &str, prog: &RamProgram, init: Vec<i64>, f: f64, seed: u64) -> f64 {
     let cfg = if f == 0.0 {
         FaultConfig::none()
     } else {
@@ -35,6 +35,7 @@ fn run_case(name: &str, prog: &RamProgram, init: Vec<i64>, f: f64, seed: u64) {
         ],
         &WIDTHS,
     );
+    snap.total_work() as f64 / native.steps as f64
 }
 
 const WIDTHS: [usize; 7] = [10, 7, 9, 10, 8, 8, 8];
@@ -51,10 +52,12 @@ fn main() {
         &WIDTHS,
     );
 
+    let mut report = BenchReport::new("exp_t32_ram_sim");
     for n in cli.cap_sizes(&[100usize, 400, 1600]) {
         let mut init: Vec<i64> = (0..n as i64).collect();
         init.push(0);
-        run_case(&format!("sum({n})"), &sum_array(n), init, 0.0, 0);
+        let per_step = run_case(&format!("sum({n})"), &sum_array(n), init, 0.0, 0);
+        report.note("n", n).metric("work_per_step_x", per_step);
     }
     println!();
     for f in [0.0, 0.001, 0.01, 0.02, 0.05, 0.1] {
@@ -66,6 +69,7 @@ fn main() {
     println!();
     run_case("fib(40)", &fib(40), vec![0; 4], 0.02, 7);
     run_case("memset", &memset(256, 9), vec![0; 256], 0.02, 7);
+    report.emit();
 
     println!("\nshape check: W_f/t is a constant (~21 faultless; rising mildly with f");
     println!("as 1/(1-Cf) predicts) across programs and three orders of t — Theorem 3.2 holds.");

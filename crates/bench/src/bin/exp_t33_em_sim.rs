@@ -6,7 +6,7 @@
 //! overhead is O(M/B), so the constant scales with M/B — visible in the
 //! table — while staying flat in `t` and in `f` below the theorem's bound.
 
-use ppm_bench::{banner, f2, header, row, s};
+use ppm_bench::{banner, f2, header, row, s, BenchReport};
 use ppm_core::Machine;
 use ppm_pm::{FaultConfig, PmConfig};
 use ppm_sim::em::programs::{block_reverse, block_sum_built};
@@ -15,7 +15,7 @@ use ppm_sim::{run_native_em, simulate_em_on_pm, EmPmLayout};
 
 const WIDTHS: [usize; 8] = [12, 5, 4, 7, 7, 10, 8, 8];
 
-fn run_case(name: &str, prog: &EmProgram, ext: Vec<i64>, f: f64) {
+fn run_case(name: &str, prog: &EmProgram, ext: Vec<i64>, f: f64) -> f64 {
     let cfg = if f == 0.0 {
         FaultConfig::none()
     } else {
@@ -53,6 +53,7 @@ fn run_case(name: &str, prog: &EmProgram, ext: Vec<i64>, f: f64) {
         ],
         &WIDTHS,
     );
+    snap.total_work() as f64 / native.transfers.max(1) as f64
 }
 
 fn main() {
@@ -75,10 +76,12 @@ fn main() {
     }
     println!();
     // t sweep at fixed geometry: W_f/t flat in t.
+    let mut report = BenchReport::new("exp_t33_em_sim");
     for nb in cli.cap_sizes(&[8usize, 32, 128]) {
         let (m, b) = (64usize, 8usize);
         let ext: Vec<i64> = vec![1; (nb + 1) * b];
-        run_case("block_sum", &block_sum_built(nb, m, b), ext, 0.0);
+        let per_t = run_case("block_sum", &block_sum_built(nb, m, b), ext, 0.0);
+        report.note("nb", nb).metric("work_per_transfer_x", per_t);
     }
     println!();
     // f sweep at fixed geometry: B/(cM) = 8/(2*64) = 1/16; stay below.
@@ -93,6 +96,8 @@ fn main() {
         let ext: Vec<i64> = (0..(2 * nb * b) as i64).collect();
         run_case("block_rev", &block_reverse(nb, m, b), ext, f);
     }
+
+    report.emit();
 
     println!("\nshape check: W_f/t grows with M/B (the per-round copy cost), is flat");
     println!("in t, and rises only mildly with f below B/(cM) — Theorem 3.3 holds.");

@@ -5,14 +5,14 @@
 //! PM-simulation work per native LRU miss. Each simulation round costs
 //! O(M/B) and covers at least M/B misses, so the ratio is a constant.
 
-use ppm_bench::{banner, f2, header, row, s};
+use ppm_bench::{banner, f2, header, row, s, BenchReport};
 use ppm_core::Machine;
 use ppm_pm::{FaultConfig, PmConfig};
 use ppm_sim::{run_native_cache, simulate_cache_on_pm, AccessPattern, CachePmLayout};
 
 const WIDTHS: [usize; 8] = [22, 5, 4, 7, 8, 10, 8, 8];
 
-fn run_case(name: &str, pattern: &AccessPattern, m: usize, b: usize, f: f64) {
+fn run_case(name: &str, pattern: &AccessPattern, m: usize, b: usize, f: f64) -> f64 {
     let cfg = if f == 0.0 {
         FaultConfig::none()
     } else {
@@ -50,6 +50,7 @@ fn run_case(name: &str, pattern: &AccessPattern, m: usize, b: usize, f: f64) {
         ],
         &WIDTHS,
     );
+    snap.total_work() as f64 / native.misses.max(1) as f64
 }
 
 fn main() {
@@ -64,14 +65,16 @@ fn main() {
         &WIDTHS,
     );
 
+    let mut report = BenchReport::new("exp_t34_cache_sim");
     for n in cli.cap_sizes(&[256usize, 1024, 4096]) {
-        run_case(
+        let per_miss = run_case(
             &format!("seq_scan({n})"),
             &AccessPattern::SeqScan { n },
             64,
             8,
             0.0,
         );
+        report.note("n", n).metric("work_per_miss_x", per_miss);
     }
     println!();
     for (m, b) in [(32usize, 8usize), (64, 8), (128, 16)] {
@@ -101,6 +104,8 @@ fn main() {
             f,
         );
     }
+
+    report.emit();
 
     println!("\nshape check: W_f per ideal-cache miss is a small constant across");
     println!("patterns, trace lengths, geometries and fault rates — Theorem 3.4 holds.");

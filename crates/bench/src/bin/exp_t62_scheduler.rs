@@ -7,7 +7,7 @@
 //!  3. the fault factor: max capsule re-run count vs the predicted
 //!     ⌈log_{1/(Cf)} W⌉ depth-inflation factor.
 
-use ppm_bench::{banner, f2, header, row, s};
+use ppm_bench::{banner, f2, header, row, s, BenchReport};
 use ppm_core::{comp_step, par_all, Comp, Machine};
 use ppm_pm::{FaultConfig, PmConfig, ProcCtx, Region};
 use ppm_sched::{Runtime, SchedConfig};
@@ -77,6 +77,8 @@ fn main() {
 
     println!("\n-- f sweep at P = 4: the work and depth factors --");
     header(&["P", "f", "W_f", "T", "restarts", "C", "W_f/W_0"], &W1);
+    let mut report = BenchReport::new("exp_t62_scheduler");
+    report.note("n", n);
     let mut w0 = 0u64;
     for f in [0.0, 0.001, 0.005, 0.01, 0.02] {
         let cfg = if f == 0.0 {
@@ -91,6 +93,13 @@ fn main() {
         assert!(rep.completed());
         if f == 0.0 {
             w0 = rep.stats().total_work();
+            report.metric("work_f0_words", w0 as f64);
+        }
+        if f == 0.02 {
+            report.metric(
+                "fault_work_overhead_x",
+                rep.stats().total_work() as f64 / w0 as f64,
+            );
         }
         row(
             &[
@@ -105,6 +114,8 @@ fn main() {
             &W1,
         );
     }
+
+    report.emit();
 
     println!("\n-- the depth-term fault factor: restarts per capsule vs log_(1/Cf) W --");
     println!(

@@ -6,14 +6,14 @@
 //! faulty run verified against the oracle.
 
 use ppm_algs::{prefix_sum_seq, PrefixSum};
-use ppm_bench::{banner, f2, header, row, s};
+use ppm_bench::{banner, f2, header, row, s, BenchReport};
 use ppm_core::Machine;
 use ppm_pm::{FaultConfig, PmConfig};
 use ppm_sched::{Runtime, SchedConfig};
 
 const W: [usize; 7] = [8, 4, 7, 10, 9, 5, 8];
 
-fn run_case(n: usize, b: usize, f: f64) {
+fn run_case(n: usize, b: usize, f: f64) -> (f64, u64) {
     let cfg = if f == 0.0 {
         FaultConfig::none()
     } else {
@@ -36,6 +36,7 @@ fn run_case(n: usize, b: usize, f: f64) {
         "n={n} B={b} f={f}"
     );
     let st = rep.stats();
+    let per_nb = st.total_work() as f64 / (n as f64 / b as f64);
     row(
         &[
             s(n),
@@ -48,6 +49,7 @@ fn run_case(n: usize, b: usize, f: f64) {
         ],
         &W,
     );
+    (per_nb, st.max_capsule_work)
 }
 
 fn main() {
@@ -59,9 +61,16 @@ fn main() {
     );
     header(&["n", "B", "f", "W_f", "W/(n/B)", "C", "faults"], &W);
 
+    let mut report = BenchReport::new("exp_t71_prefix");
+    let mut headline = (0usize, 0.0, 0u64);
     for n in cli.cap_sizes(&[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18]) {
-        run_case(n, 8, 0.0);
+        let (per_nb, c) = run_case(n, 8, 0.0);
+        headline = (n, per_nb, c);
     }
+    report
+        .note("n", headline.0)
+        .metric("work_per_nb_x", headline.1)
+        .metric("max_capsule_work_words", headline.2 as f64);
     println!();
     for b in [4usize, 8, 16, 64] {
         run_case(1 << 14, b, 0.0);
@@ -70,6 +79,7 @@ fn main() {
     for f in [0.001, 0.005] {
         run_case(1 << 13, 8, f);
     }
+    report.emit();
 
     println!("\nshape check: W/(n/B) is a constant across 256x of n; C stays a flat");
     println!("small constant — Theorem 7.1 holds. (Measured at P = 1: the model's");

@@ -6,7 +6,7 @@
 //! capsule), plus verified faulty runs.
 
 use ppm_algs::{merge_seq, Merge};
-use ppm_bench::{banner, f2, header, row, s};
+use ppm_bench::{banner, f2, header, row, s, BenchReport};
 use ppm_core::Machine;
 use ppm_pm::{FaultConfig, PmConfig};
 use ppm_sched::{Runtime, SchedConfig};
@@ -21,7 +21,7 @@ fn sorted(seed: u64, n: usize) -> Vec<u64> {
     v
 }
 
-fn run_case(n: usize, b: usize, f: f64) {
+fn run_case(n: usize, b: usize, f: f64) -> (f64, u64) {
     let cfg = if f == 0.0 {
         FaultConfig::none()
     } else {
@@ -54,6 +54,10 @@ fn run_case(n: usize, b: usize, f: f64) {
         ],
         &W,
     );
+    (
+        st.total_work() as f64 / (total as f64 / b as f64),
+        st.max_capsule_work,
+    )
 }
 
 fn main() {
@@ -68,8 +72,13 @@ fn main() {
         &W,
     );
 
+    let mut report = BenchReport::new("exp_t72_merge");
     for n in cli.cap_sizes(&[1 << 9, 1 << 11, 1 << 13, 1 << 15]) {
-        run_case(n, 8, 0.0);
+        let (per_nb, c) = run_case(n, 8, 0.0);
+        report
+            .note("n", 2 * n)
+            .metric("work_per_nb_x", per_nb)
+            .metric("max_capsule_work_words", c as f64);
     }
     println!();
     for b in [4usize, 16] {
@@ -77,6 +86,7 @@ fn main() {
     }
     println!();
     run_case(1 << 12, 8, 0.002);
+    report.emit();
 
     println!("\nshape check: W/(n/B) is a near-constant (slowly decaying lower-order");
     println!("search term), and C tracks ~2·log2 n + O(1) — the binary-search capsule");

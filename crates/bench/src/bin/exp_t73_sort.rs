@@ -8,7 +8,7 @@
 
 use ppm_algs::sort::samplesort_pool_words;
 use ppm_algs::{MergeSort, SampleSort};
-use ppm_bench::{banner, f2, header, row, s};
+use ppm_bench::{banner, f2, header, row, s, BenchReport};
 use ppm_core::Machine;
 use ppm_pm::PmConfig;
 use ppm_sched::{Runtime, SchedConfig};
@@ -46,6 +46,7 @@ fn main() {
         &W,
     );
 
+    let mut report = BenchReport::new("exp_t73_sort");
     for n in cli.cap_sizes(&[1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13]) {
         let input = data(n);
         let mut expect = input.clone();
@@ -97,7 +98,12 @@ fn main() {
             ],
             &W,
         );
+        report
+            .note("n", n)
+            .metric("merge_per_level_x", w_ms as f64 / (nb * log_n_m))
+            .metric("sample_per_level_x", w_ss as f64 / (nb * log_m_n));
     }
+    report.emit();
 
     println!("\nshape check: each normalized per-level constant is flat in n for its");
     println!("own model (columns 5-6), and the ms/ss ratio drifts upward with n —");

@@ -6,14 +6,14 @@
 
 use ppm_algs::matmul::matmul_pool_words;
 use ppm_algs::{matmul_seq, MatMul};
-use ppm_bench::{banner, f2, header, row, s};
+use ppm_bench::{banner, f2, header, row, s, BenchReport};
 use ppm_core::Machine;
 use ppm_pm::{FaultConfig, PmConfig};
 use ppm_sched::{Runtime, SchedConfig};
 
 const W: [usize; 7] = [5, 6, 7, 11, 13, 7, 8];
 
-fn run_case(n: usize, m_eph: usize, f: f64, verify: bool) {
+fn run_case(n: usize, m_eph: usize, f: f64, verify: bool) -> f64 {
     let cfg = if f == 0.0 {
         FaultConfig::none()
     } else {
@@ -55,6 +55,7 @@ fn run_case(n: usize, m_eph: usize, f: f64, verify: bool) {
         ],
         &W,
     );
+    st.total_work() as f64 / model
 }
 
 fn main() {
@@ -67,8 +68,10 @@ fn main() {
     header(&["n", "M", "f", "W_f", "W/model", "C", "faults"], &W);
 
     // n sweep at fixed M.
+    let mut report = BenchReport::new("exp_t74_matmul");
     for n in cli.cap_sizes(&[16usize, 32, 64, 128]) {
-        run_case(n, 64, 0.0, n <= 64);
+        let per_model = run_case(n, 64, 0.0, n <= 64);
+        report.note("n", n).metric("work_per_model_x", per_model);
     }
     println!();
     // M sweep at fixed n: work should drop like 1/sqrt(M).
@@ -77,6 +80,7 @@ fn main() {
     }
     println!();
     run_case(32, 64, 0.002, true);
+    report.emit();
 
     println!("\nshape check: W/model (model = n^3/(B*sqrt(M))) is a stable constant");
     println!("across 8x of n — 512x of n^3 — confirming the cubic work term. The");

@@ -8,6 +8,9 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod report;
+
+pub use report::BenchReport;
 
 use std::fmt::Display;
 

@@ -198,6 +198,32 @@ impl Machine {
         Ok(Self::from_mem(cfg, pool_words, mem, epoch))
     }
 
+    /// Attaches to a durable file as a **secondary attacher** — the
+    /// sharded runtime's worker-process entry point. Unlike
+    /// [`Machine::reopen`], the superblock is left exactly as the
+    /// creating process wrote it: no epoch bump, no state rewrite. The
+    /// attaching machine shares the creator's run epoch, so "is this a
+    /// recovery?" stays a property of the *run* (file lifecycle), not of
+    /// how many worker processes serve it. The deterministic layout is
+    /// replayed from the superblock like every other construction path.
+    #[cfg(unix)]
+    pub fn attach(
+        path: impl AsRef<std::path::Path>,
+        fault: ppm_pm::FaultConfig,
+        validate: ppm_pm::ValidateMode,
+    ) -> std::io::Result<Self> {
+        use ppm_pm::backend::MmapBackend;
+        let (backend, found) = MmapBackend::attach(path)?;
+        let epoch = found.epoch; // shared with the creating run
+        let cfg = found.to_config().with_fault(fault).with_validate(validate);
+        let pool_words = found.pool_words as usize;
+        let mem = Arc::new(PersistentMemory::with_backend(
+            Box::new(backend),
+            cfg.block_size,
+        ));
+        Ok(Self::from_mem(cfg, pool_words, mem, epoch))
+    }
+
     /// Forces all stored words to stable storage (the backend's durability
     /// boundary; no-op for volatile machines).
     pub fn flush(&self) -> std::io::Result<()> {
@@ -485,6 +511,35 @@ mod tests {
         // Same words.
         assert_eq!(m.mem().to_vec(r.start, 3), vec![11, 22, 33]);
         assert_eq!(m.mem().load(m.proc_meta(1).active), 777);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn attach_shares_epoch_and_layout_with_the_creator() {
+        let path = tmp("attach");
+        let cfg = PmConfig::parallel(2, 1 << 14);
+        let creator = Machine::create_durable_with_pool_words(cfg, 1 << 8, &path).unwrap();
+        assert_eq!(creator.epoch(), 1);
+        let r = creator.alloc_region(32);
+        creator.mem().store(r.at(3), 99);
+
+        let worker =
+            Machine::attach(&path, FaultConfig::none(), ppm_pm::ValidateMode::Strict).unwrap();
+        // Same epoch (no bump), same deterministic layout, same words.
+        assert_eq!(worker.epoch(), 1);
+        assert_eq!(worker.procs(), 2);
+        assert_eq!(worker.proc_meta(1).active, creator.proc_meta(1).active);
+        assert_eq!(worker.pool(0), creator.pool(0));
+        let r2 = worker.alloc_region(32);
+        assert_eq!(r2, r);
+        assert_eq!(worker.mem().load(r2.at(3)), 99);
+        // Stores propagate both ways through the shared mapping.
+        worker.mem().store(r.at(5), 55);
+        assert_eq!(creator.mem().load(r.at(5)), 55);
+
+        drop(worker);
+        drop(creator);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -25,6 +25,7 @@ use super::superblock::{
 };
 use super::MemBackend;
 use crate::dirty::PageRun;
+use crate::lease::{lease_slot_offset, ClusterHeader, Lease, CLUSTER_HEADER_OFFSET};
 
 mod sys {
     use std::ffi::c_void;
@@ -140,6 +141,40 @@ impl MmapBackend {
         Ok((backend, found))
     }
 
+    /// Opens an existing durable file as a **secondary attacher**: the
+    /// superblock is validated and returned exactly as found, but — unlike
+    /// [`MmapBackend::open`] — neither the run epoch nor the state word is
+    /// touched. A sharded runtime's worker processes attach this way: the
+    /// coordinator's `create` established the run epoch, and every worker
+    /// shares it, so recovery semantics ("did the previous *run* crash?")
+    /// stay a property of the run, not of how many processes served it.
+    pub fn attach(path: impl AsRef<Path>) -> io::Result<(Self, Superblock)> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let actual_len = file.metadata()?.len();
+        if actual_len < SUPERBLOCK_BYTES as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file too short for a superblock",
+            ));
+        }
+        let mut page = vec![0u8; SUPERBLOCK_BYTES];
+        read_exact_at(&file, &mut page, 0)?;
+        let found = Superblock::decode(&page)?;
+        let words = found.persistent_words as usize;
+        if actual_len != file_bytes(words) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "file is {actual_len} bytes but the superblock describes {} (truncated?)",
+                    file_bytes(words)
+                ),
+            ));
+        }
+        let backend = Self::map(file, path, words)?;
+        Ok((backend, found))
+    }
+
     fn map(file: File, path: PathBuf, words: usize) -> io::Result<Self> {
         use std::os::fd::AsRawFd;
         let map_len = SUPERBLOCK_BYTES + words * 8;
@@ -187,6 +222,36 @@ impl MmapBackend {
             std::slice::from_raw_parts(self.base.add(CKPT_SLOT_OFFSETS[slot]), CKPT_SLOT_BYTES)
         };
         CheckpointRecord::decode(bytes)
+    }
+
+    /// Word `i` (by byte offset) of the mapped superblock page as an
+    /// atomic. Cross-process lease traffic must go through atomics: the
+    /// `sb_lock` only serializes writers *within* one process, while
+    /// lease slots are written by their owning worker and read by every
+    /// sibling concurrently. Offsets are 8-aligned by construction
+    /// (`mmap` returns page-aligned memory).
+    fn sb_word(&self, byte_off: usize) -> &AtomicU64 {
+        debug_assert!(byte_off.is_multiple_of(8) && byte_off + 8 <= SUPERBLOCK_BYTES);
+        unsafe { &*(self.base.add(byte_off) as *const AtomicU64) }
+    }
+
+    fn write_sb_words(&self, byte_off: usize, words: &[u64]) {
+        use std::sync::atomic::Ordering;
+        // Checksum word last: a racing reader either sees the previous
+        // record's checksum (stale but valid view) or a mismatch (torn
+        // view, which it discards) — never a half-new record accepted.
+        for (i, w) in words.iter().enumerate() {
+            self.sb_word(byte_off + i * 8).store(*w, Ordering::SeqCst);
+        }
+    }
+
+    fn read_sb_words<const N: usize>(&self, byte_off: usize) -> [u64; N] {
+        use std::sync::atomic::Ordering;
+        let mut out = [0u64; N];
+        for (i, w) in out.iter_mut().enumerate() {
+            *w = self.sb_word(byte_off + i * 8).load(Ordering::SeqCst);
+        }
+        out
     }
 
     fn msync_range(&self, offset: usize, len: usize) -> io::Result<()> {
@@ -297,6 +362,33 @@ impl MemBackend for MmapBackend {
             }
         }
         self.msync_range(0, SUPERBLOCK_BYTES)
+    }
+
+    fn write_cluster_header(&self, header: &ClusterHeader) -> io::Result<bool> {
+        self.write_sb_words(CLUSTER_HEADER_OFFSET, &header.encode());
+        // The header is written once, by the coordinator, before workers
+        // spawn — sync it so a machine failure cannot orphan a sharded
+        // file without its geometry.
+        self.msync_range(0, SUPERBLOCK_BYTES)?;
+        Ok(true)
+    }
+
+    fn read_cluster_header(&self) -> Option<ClusterHeader> {
+        let words: [u64; 6] = self.read_sb_words(CLUSTER_HEADER_OFFSET);
+        ClusterHeader::decode(&words)
+    }
+
+    fn write_lease(&self, shard: usize, lease: &Lease) -> io::Result<()> {
+        self.write_sb_words(lease_slot_offset(shard), &lease.encode());
+        // Deliberately no msync: heartbeats only need page-cache
+        // visibility across the sharing processes, and syncing every few
+        // hundred milliseconds would tax the durability path for nothing.
+        Ok(())
+    }
+
+    fn read_lease(&self, shard: usize) -> Option<Lease> {
+        let words: [u64; 4] = self.read_sb_words(lease_slot_offset(shard));
+        Lease::decode(&words)
     }
 
     fn kind(&self) -> &'static str {
@@ -437,6 +529,65 @@ mod tests {
             b.clear_checkpoints().unwrap();
             assert!(b.latest_checkpoint().is_none());
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn attach_shares_words_without_bumping_the_epoch() {
+        use crate::lease::{LeaseState, ShardMap};
+        let path = tmp_path("attach");
+        let creator = MmapBackend::create(&path, sb(1024)).unwrap();
+        assert_eq!(creator.superblock().unwrap().epoch, 1);
+
+        // A secondary attacher maps the same words, sees the same epoch,
+        // and leaves the superblock untouched.
+        let (worker, found) = MmapBackend::attach(&path).unwrap();
+        assert_eq!(found.epoch, 1);
+        assert_eq!(worker.superblock().unwrap().epoch, 1);
+        creator.words()[9].store(1234, Ordering::SeqCst);
+        assert_eq!(worker.words()[9].load(Ordering::SeqCst), 1234);
+        worker.words()[10].store(4321, Ordering::SeqCst);
+        assert_eq!(creator.words()[10].load(Ordering::SeqCst), 4321);
+
+        // Cluster header and leases are visible across mappings (this is
+        // the cross-process liveness oracle's transport).
+        let header = ClusterHeader {
+            shards: 2,
+            lease_ms: 700,
+            deque_slots: 4096,
+            seed: 0xC0FFEE,
+        };
+        assert!(creator.write_cluster_header(&header).unwrap());
+        assert_eq!(worker.read_cluster_header(), Some(header));
+        let map = ShardMap::new(2, 2);
+        assert_eq!(map.procs_per_shard, 1);
+        let lease = Lease::alive(7, 10_000);
+        worker.write_lease(1, &lease).unwrap();
+        assert_eq!(creator.read_lease(1), Some(lease));
+        assert!(creator.read_lease(0).is_none(), "blank slot stays blank");
+        let tomb = Lease {
+            state: LeaseState::Dead,
+            seq: 8,
+            deadline_ms: u64::MAX,
+        };
+        creator.write_lease(1, &tomb).unwrap();
+        assert!(worker
+            .read_lease(1)
+            .unwrap()
+            .is_dead(crate::lease::now_ms()));
+
+        // A real `open` after both detach still bumps the epoch once.
+        drop(worker);
+        drop(creator);
+        let (reopened, found) = MmapBackend::open(&path).unwrap();
+        assert_eq!(found.epoch, 1, "attachers never advanced the epoch");
+        assert_eq!(reopened.superblock().unwrap().epoch, 2);
+        assert_eq!(
+            reopened.read_cluster_header(),
+            Some(header),
+            "cluster header survives reopen"
+        );
+        drop(reopened);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -28,6 +28,7 @@ use std::path::Path;
 use std::sync::atomic::AtomicU64;
 
 use crate::dirty::PageRun;
+use crate::lease::{ClusterHeader, Lease};
 
 pub mod superblock;
 pub mod volatile;
@@ -114,6 +115,32 @@ pub trait MemBackend: Send + Sync + Debug {
     /// frontiers no longer denote live frames).
     fn clear_checkpoints(&self) -> io::Result<()> {
         Ok(())
+    }
+
+    /// Writes the cluster header describing a sharded run (see
+    /// [`crate::lease`]). Returns `false` when the backend cannot carry
+    /// cluster state (no superblock page and no in-memory table).
+    fn write_cluster_header(&self, _header: &ClusterHeader) -> io::Result<bool> {
+        Ok(false)
+    }
+
+    /// The cluster header, if one was written and is not torn.
+    fn read_cluster_header(&self) -> Option<ClusterHeader> {
+        None
+    }
+
+    /// Writes shard `shard`'s lease slot. Lease writes are heartbeat
+    /// traffic: they go to the shared page (visible to every attached
+    /// process immediately) but are *not* synced — liveness signals do
+    /// not need to survive machine failure.
+    fn write_lease(&self, _shard: usize, _lease: &Lease) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Reads shard `shard`'s lease slot. `None` for a blank slot or a
+    /// torn (mid-rewrite) read — callers keep their previous view.
+    fn read_lease(&self, _shard: usize) -> Option<Lease> {
+        None
     }
 
     /// Short human-readable backend name for diagnostics.

@@ -2,13 +2,23 @@
 
 use std::sync::atomic::AtomicU64;
 
+use parking_lot::Mutex;
+
 use super::MemBackend;
+use crate::lease::{ClusterHeader, Lease, MAX_SHARDS};
 
 /// Word storage on the process heap. Survives simulated (model-level)
 /// faults, which never actually kill the process; lost on process exit.
 /// This is the backend of every machine built without a path.
+///
+/// Carries an in-memory cluster-lease table mirroring the superblock-page
+/// layout of the durable backend, so the sharded runtime's liveness logic
+/// is exercisable by single-process tests (simulated fault domains)
+/// without a machine file.
 pub struct VolatileBackend {
     words: Box<[AtomicU64]>,
+    cluster: Mutex<Option<ClusterHeader>>,
+    leases: Mutex<[Option<Lease>; MAX_SHARDS]>,
 }
 
 impl VolatileBackend {
@@ -18,6 +28,8 @@ impl VolatileBackend {
         v.resize_with(len, || AtomicU64::new(0));
         VolatileBackend {
             words: v.into_boxed_slice(),
+            cluster: Mutex::new(None),
+            leases: Mutex::new([None; MAX_SHARDS]),
         }
     }
 }
@@ -33,6 +45,24 @@ impl MemBackend for VolatileBackend {
         &self.words
     }
 
+    fn write_cluster_header(&self, header: &ClusterHeader) -> std::io::Result<bool> {
+        *self.cluster.lock() = Some(*header);
+        Ok(true)
+    }
+
+    fn read_cluster_header(&self) -> Option<ClusterHeader> {
+        *self.cluster.lock()
+    }
+
+    fn write_lease(&self, shard: usize, lease: &Lease) -> std::io::Result<()> {
+        self.leases.lock()[shard] = Some(*lease);
+        Ok(())
+    }
+
+    fn read_lease(&self, shard: usize) -> Option<Lease> {
+        self.leases.lock()[shard]
+    }
+
     fn kind(&self) -> &'static str {
         "volatile"
     }
@@ -41,6 +71,7 @@ impl MemBackend for VolatileBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lease::LeaseState;
     use std::sync::atomic::Ordering;
 
     #[test]
@@ -61,5 +92,28 @@ mod tests {
     fn words_slice_is_stable() {
         let b = VolatileBackend::new(4);
         assert_eq!(b.words().as_ptr(), b.words().as_ptr());
+    }
+
+    #[test]
+    fn cluster_state_round_trips_in_memory() {
+        let b = VolatileBackend::new(4);
+        assert!(b.read_cluster_header().is_none());
+        assert!(b.read_lease(0).is_none());
+        let h = ClusterHeader {
+            shards: 2,
+            lease_ms: 500,
+            deque_slots: 64,
+            seed: 9,
+        };
+        assert!(b.write_cluster_header(&h).unwrap());
+        assert_eq!(b.read_cluster_header(), Some(h));
+        let l = Lease {
+            state: LeaseState::Alive,
+            seq: 1,
+            deadline_ms: 42,
+        };
+        b.write_lease(1, &l).unwrap();
+        assert_eq!(b.read_lease(1), Some(l));
+        assert!(b.read_lease(0).is_none());
     }
 }

@@ -1,0 +1,366 @@
+//! Cluster leases: the cross-process liveness oracle's persistent state.
+//!
+//! A sharded runtime (`ppm-sched`'s `cluster` module) attaches several
+//! worker OS processes to one durable machine file, each driving a
+//! disjoint group of model processors — an independent *fault domain*.
+//! The paper's liveness oracle `isLive(procId)` (§2, §6.3) must then work
+//! *across process boundaries*: a surviving worker has to detect that a
+//! sibling process died (SIGKILL, OOM, machine partition) so it can adopt
+//! the dead shard's deque frontier through the ordinary hard-fault steal
+//! path.
+//!
+//! The oracle's persistent state lives in the superblock page of the
+//! machine file, between the superblock proper and the checkpoint slots:
+//!
+//! * a [`ClusterHeader`] (written once by the coordinator) recording the
+//!   shard geometry and the scheduler shape every attacher must replay
+//!   (deque slots, victim seed, lease interval), and
+//! * one [`Lease`] slot per shard — exactly the §6.3 heartbeat
+//!   construction ("each process updates its counter after a constant
+//!   number of steps; if the time since a counter has last updated passes
+//!   some threshold, the process is considered dead"), made durable and
+//!   cross-process: the owning worker rewrites its slot with a bumped
+//!   sequence number and a fresh deadline every few hundred
+//!   milliseconds; any reader whose clock passes the deadline (or who
+//!   finds a [`LeaseState::Dead`] tombstone written by the coordinator's
+//!   `waitpid` observer) declares the shard dead.
+//!
+//! Both records are word arrays guarded by an FNV-1a checksum, written
+//! through aligned atomic stores — a reader that races a rewrite (or a
+//! crash mid-write) sees a checksum mismatch and keeps its previous view,
+//! the same torn-write discipline as [`super::backend::superblock::CheckpointRecord`].
+
+use crate::word::Word;
+
+/// Byte offset of the cluster header inside the superblock page. The
+/// superblock proper uses the first 80 bytes; the checkpoint slots start
+/// at 1024.
+pub const CLUSTER_HEADER_OFFSET: usize = 128;
+
+/// Byte offset of the first lease slot.
+pub const LEASE_SLOT_OFFSET: usize = 256;
+
+/// Words per lease slot (`state, seq, deadline_ms, checksum`).
+pub const LEASE_SLOT_WORDS: usize = 4;
+
+/// Maximum worker shards a machine file can carry leases for. Bounded by
+/// the superblock page real estate between the header and the first
+/// checkpoint slot: `256 + 16 * 32 = 768 <= 1024`.
+pub const MAX_SHARDS: usize = 16;
+
+/// `b"PPMCLST1"` as a little-endian word: the cluster-header magic.
+pub const CLUSTER_MAGIC: u64 = u64::from_le_bytes(*b"PPMCLST1");
+
+const HEADER_WORDS: usize = 6; // magic, shards, lease_ms, deque_slots, seed, checksum
+
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Milliseconds since the unix epoch — the shared clock of the lease
+/// protocol. All workers of a cluster run on one machine (they share a
+/// `MAP_SHARED` mapping), so wall-clock comparisons across processes are
+/// meaningful; skew between readers only widens or narrows the grace
+/// period, never breaks safety (a false "dead" verdict makes survivors
+/// adopt a live shard's entries through the same CAM-guarded steal path
+/// the model already proves safe for hard-faulted processors).
+pub fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// The once-written description of a sharded run: geometry plus the
+/// scheduler shape every attaching process must rebuild identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterHeader {
+    /// Number of worker shards (process groups).
+    pub shards: u64,
+    /// Lease validity window in milliseconds; the owning worker renews
+    /// well inside it.
+    pub lease_ms: u64,
+    /// Deque slots per processor (determines the deque region layout, so
+    /// it must be identical in every attacher).
+    pub deque_slots: u64,
+    /// Victim-selection seed of the schedulers.
+    pub seed: u64,
+}
+
+impl ClusterHeader {
+    /// Serializes into [`ClusterHeader::words`] checksummed words.
+    pub fn encode(&self) -> [u64; HEADER_WORDS] {
+        let mut w = [
+            CLUSTER_MAGIC,
+            self.shards,
+            self.lease_ms,
+            self.deque_slots,
+            self.seed,
+            0,
+        ];
+        w[HEADER_WORDS - 1] = fnv1a(&w[..HEADER_WORDS - 1]);
+        w
+    }
+
+    /// Parses checksummed words; `None` for a blank or torn header.
+    pub fn decode(words: &[u64]) -> Option<Self> {
+        if words.len() < HEADER_WORDS || words[0] != CLUSTER_MAGIC {
+            return None;
+        }
+        if words[HEADER_WORDS - 1] != fnv1a(&words[..HEADER_WORDS - 1]) {
+            return None;
+        }
+        Some(ClusterHeader {
+            shards: words[1],
+            lease_ms: words[2],
+            deque_slots: words[3],
+            seed: words[4],
+        })
+    }
+
+    /// Number of header words (for backends sizing their reads).
+    pub const fn words() -> usize {
+        HEADER_WORDS
+    }
+}
+
+/// A lease slot's state word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseState {
+    /// The worker is (or claims to be) running; dead once `deadline_ms`
+    /// passes without a renewal.
+    Alive = 1,
+    /// The worker exited deliberately after the computation completed.
+    Done = 2,
+    /// Tombstone: an observer (typically the coordinator reaping the
+    /// worker's exit status) recorded the worker as dead. Overrides any
+    /// deadline — survivors adopt immediately instead of waiting out the
+    /// lease.
+    Dead = 3,
+}
+
+impl LeaseState {
+    fn from_word(w: u64) -> Option<LeaseState> {
+        match w {
+            1 => Some(LeaseState::Alive),
+            2 => Some(LeaseState::Done),
+            3 => Some(LeaseState::Dead),
+            _ => None,
+        }
+    }
+}
+
+/// One shard's heartbeat record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// Liveness state of the owning worker.
+    pub state: LeaseState,
+    /// Renewal counter (monotone per shard; diagnostic).
+    pub seq: u64,
+    /// Epoch-milliseconds after which an [`LeaseState::Alive`] lease is
+    /// expired.
+    pub deadline_ms: u64,
+}
+
+impl Lease {
+    /// A fresh alive lease valid until `now_ms() + validity_ms`.
+    pub fn alive(seq: u64, validity_ms: u64) -> Self {
+        Lease {
+            state: LeaseState::Alive,
+            seq,
+            deadline_ms: now_ms().saturating_add(validity_ms),
+        }
+    }
+
+    /// Whether this lease currently certifies the worker dead: a
+    /// tombstone, or an alive lease whose deadline has passed.
+    pub fn is_dead(&self, now_ms: u64) -> bool {
+        match self.state {
+            LeaseState::Dead => true,
+            LeaseState::Alive => now_ms > self.deadline_ms,
+            LeaseState::Done => false,
+        }
+    }
+
+    /// Serializes into [`LEASE_SLOT_WORDS`] checksummed words.
+    pub fn encode(&self) -> [u64; LEASE_SLOT_WORDS] {
+        let mut w = [self.state as u64, self.seq, self.deadline_ms, 0];
+        w[LEASE_SLOT_WORDS - 1] = fnv1a(&w[..LEASE_SLOT_WORDS - 1]);
+        w
+    }
+
+    /// Parses checksummed words; `None` for a blank slot or a torn write
+    /// (the reader keeps its previous view in that case).
+    pub fn decode(words: &[u64]) -> Option<Self> {
+        if words.len() < LEASE_SLOT_WORDS {
+            return None;
+        }
+        if words[LEASE_SLOT_WORDS - 1] != fnv1a(&words[..LEASE_SLOT_WORDS - 1]) {
+            return None;
+        }
+        Some(Lease {
+            state: LeaseState::from_word(words[0])?,
+            seq: words[1],
+            deadline_ms: words[2],
+        })
+    }
+}
+
+/// Byte offset of shard `s`'s lease slot inside the superblock page.
+///
+/// # Panics
+/// Panics if `s >= MAX_SHARDS`.
+pub fn lease_slot_offset(s: usize) -> usize {
+    assert!(s < MAX_SHARDS, "shard {s} exceeds MAX_SHARDS {MAX_SHARDS}");
+    LEASE_SLOT_OFFSET + s * LEASE_SLOT_WORDS * 8
+}
+
+/// The static partition of a machine's processors into per-process-group
+/// arenas: shard `s` owns the contiguous processor range
+/// `[s * procs_per_shard, (s + 1) * procs_per_shard)`, and with it every
+/// per-processor region of the deterministic layout — metadata block,
+/// frame pool, WS-deque. Carving by *processor* is what makes the address
+/// space carve cleanly by *shard*: all shard-owned state is disjoint by
+/// the layout's block alignment, so worker processes never contend on
+/// machine-owned words outside the steal protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Number of shards.
+    pub shards: usize,
+    /// Processors per shard.
+    pub procs_per_shard: usize,
+}
+
+impl ShardMap {
+    /// Partitions `total_procs` processors into `shards` equal groups.
+    ///
+    /// # Panics
+    /// Panics when the partition is degenerate: zero shards, more than
+    /// [`MAX_SHARDS`], or a processor count not divisible by the shard
+    /// count.
+    pub fn new(total_procs: usize, shards: usize) -> Self {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        assert!(shards <= MAX_SHARDS, "at most {MAX_SHARDS} shards");
+        assert!(
+            total_procs.is_multiple_of(shards) && total_procs > 0,
+            "{total_procs} processors do not split evenly into {shards} shards"
+        );
+        ShardMap {
+            shards,
+            procs_per_shard: total_procs / shards,
+        }
+    }
+
+    /// Total processors across all shards.
+    pub fn procs(&self) -> usize {
+        self.shards * self.procs_per_shard
+    }
+
+    /// The shard owning processor `proc`.
+    pub fn shard_of(&self, proc: usize) -> usize {
+        assert!(proc < self.procs());
+        proc / self.procs_per_shard
+    }
+
+    /// The processor range of shard `s`.
+    pub fn procs_of(&self, s: usize) -> std::ops::Range<usize> {
+        assert!(s < self.shards);
+        s * self.procs_per_shard..(s + 1) * self.procs_per_shard
+    }
+}
+
+/// A word as [`Word`] (re-export convenience so lease code reads
+/// uniformly with the rest of the crate).
+pub type LeaseWord = Word;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips_and_rejects_tears() {
+        let h = ClusterHeader {
+            shards: 4,
+            lease_ms: 800,
+            deque_slots: 1 << 14,
+            seed: 0x5EED,
+        };
+        let mut w = h.encode();
+        assert_eq!(ClusterHeader::decode(&w), Some(h));
+        w[2] ^= 1; // tear the lease interval
+        assert_eq!(ClusterHeader::decode(&w), None);
+        assert_eq!(ClusterHeader::decode(&[0u64; HEADER_WORDS]), None);
+    }
+
+    #[test]
+    fn lease_round_trips_and_rejects_tears() {
+        let l = Lease {
+            state: LeaseState::Alive,
+            seq: 41,
+            deadline_ms: 123_456,
+        };
+        let mut w = l.encode();
+        assert_eq!(Lease::decode(&w), Some(l));
+        w[1] ^= 0x10;
+        assert_eq!(Lease::decode(&w), None, "torn lease must not decode");
+        assert_eq!(Lease::decode(&[0u64; LEASE_SLOT_WORDS]), None);
+    }
+
+    #[test]
+    fn expiry_and_tombstone_semantics() {
+        let now = now_ms();
+        let live = Lease::alive(1, 10_000);
+        assert!(!live.is_dead(now));
+        assert!(live.is_dead(live.deadline_ms + 1));
+        let tomb = Lease {
+            state: LeaseState::Dead,
+            seq: 2,
+            deadline_ms: u64::MAX,
+        };
+        assert!(tomb.is_dead(now), "tombstones override any deadline");
+        let done = Lease {
+            state: LeaseState::Done,
+            seq: 3,
+            deadline_ms: 0,
+        };
+        assert!(!done.is_dead(now), "a completed worker is not adoptable");
+    }
+
+    #[test]
+    fn slots_fit_between_header_and_checkpoint_slots() {
+        const {
+            assert!(CLUSTER_HEADER_OFFSET >= 80);
+            assert!(CLUSTER_HEADER_OFFSET + HEADER_WORDS * 8 <= LEASE_SLOT_OFFSET);
+        }
+        let last_end = lease_slot_offset(MAX_SHARDS - 1) + LEASE_SLOT_WORDS * 8;
+        assert!(
+            last_end <= 1024,
+            "lease slots must end before the first checkpoint slot (got {last_end})"
+        );
+    }
+
+    #[test]
+    fn shard_map_partitions_procs() {
+        let m = ShardMap::new(8, 4);
+        assert_eq!(m.procs_per_shard, 2);
+        assert_eq!(m.procs(), 8);
+        assert_eq!(m.procs_of(0), 0..2);
+        assert_eq!(m.procs_of(3), 6..8);
+        assert_eq!(m.shard_of(0), 0);
+        assert_eq!(m.shard_of(5), 2);
+        assert_eq!(m.shard_of(7), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not split evenly")]
+    fn uneven_partition_rejected() {
+        let _ = ShardMap::new(7, 4);
+    }
+}

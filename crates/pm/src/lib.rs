@@ -51,9 +51,11 @@ pub mod error;
 pub mod fault;
 pub mod frame;
 pub mod layout;
+pub mod lease;
 pub mod mem;
 pub mod proc;
 pub mod stats;
+pub mod tempfile;
 pub mod validate;
 pub mod word;
 
@@ -69,7 +71,9 @@ pub use frame::{
     MAX_FRAME_ARGS,
 };
 pub use layout::{LayoutBuilder, Region};
+pub use lease::{now_ms, ClusterHeader, Lease, LeaseState, ShardMap, MAX_SHARDS};
 pub use mem::{DirtyFlush, PersistentMemory};
 pub use proc::ProcCtx;
 pub use stats::{MemStats, StatsSnapshot};
+pub use tempfile::TempMachineFile;
 pub use word::{Addr, Word};

@@ -1,0 +1,97 @@
+//! RAII guard for temporary machine files.
+//!
+//! Crash-scenario tests and examples create durable machine files under
+//! the system temp directory; before this guard they removed them with an
+//! explicit `remove_file` at the end of the happy path, which leaked the
+//! file whenever an assertion failed first — reruns and CI workspaces
+//! accumulated stale `.ppm` files. [`TempMachineFile`] ties the removal to
+//! `Drop`, which runs on panic unwinding too, so failure paths clean up
+//! exactly like success paths.
+//!
+//! The path is unique per process *and* per guard (pid + a process-wide
+//! counter), so parallel tests in one binary never collide.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named file path under the temp directory, removed on drop.
+///
+/// The guard does not create the file — backends do — it only owns the
+/// name and the cleanup. Anything already at the path is removed at
+/// construction so a retried scenario starts fresh.
+#[derive(Debug)]
+pub struct TempMachineFile {
+    path: PathBuf,
+}
+
+impl TempMachineFile {
+    /// A fresh path `ppm-<tag>-<pid>-<n>.ppm` in the system temp
+    /// directory (or `$PPM_TMPDIR` when set, so CI can keep scenario
+    /// files inside the workspace).
+    pub fn new(tag: &str) -> Self {
+        let dir = std::env::var_os("PPM_TMPDIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        let n = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("ppm-{tag}-{}-{n}.ppm", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        TempMachineFile { path }
+    }
+
+    /// The guarded path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl AsRef<Path> for TempMachineFile {
+    fn as_ref(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempMachineFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_are_unique_and_removed_on_drop() {
+        let (p1, p2) = {
+            let a = TempMachineFile::new("guard");
+            let b = TempMachineFile::new("guard");
+            assert_ne!(a.path(), b.path());
+            std::fs::write(a.path(), b"x").unwrap();
+            std::fs::write(b.path(), b"y").unwrap();
+            (a.path().to_path_buf(), b.path().to_path_buf())
+        };
+        assert!(!p1.exists(), "dropped guard must remove its file");
+        assert!(!p2.exists());
+    }
+
+    #[test]
+    fn cleanup_runs_on_panic_paths_too() {
+        let observed = std::sync::Mutex::new(PathBuf::new());
+        let outcome = std::panic::catch_unwind(|| {
+            let g = TempMachineFile::new("panicky");
+            std::fs::write(g.path(), b"z").unwrap();
+            *observed.lock().unwrap() = g.path().to_path_buf();
+            panic!("scenario assertion failed");
+        });
+        assert!(outcome.is_err());
+        let path = observed.lock().unwrap().clone();
+        assert!(path.file_name().is_some());
+        assert!(
+            !path.exists(),
+            "unwinding through the guard must remove {}",
+            path.display()
+        );
+    }
+}

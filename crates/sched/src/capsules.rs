@@ -36,8 +36,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ppm_core::{capsule, capsule_unchecked, Cont, DoneFlag, Machine, Next, ProcMeta};
-use ppm_pm::Word;
+use ppm_pm::{PersistentMemory, Word};
 
+use crate::cluster::ShardDomain;
 use crate::deque::{build_deques, DequeAddrs};
 use crate::entry::{kind_of, pack, tag_of, unpack, EntryKind, EntryVal, MAX_PROCS};
 
@@ -99,17 +100,53 @@ pub struct Sched {
     deques: Vec<DequeAddrs>,
     metas: Vec<ProcMeta>,
     arena: Arc<ppm_core::ContArena>,
+    mem: Arc<PersistentMemory>,
+    registry: Arc<ppm_core::CapsuleRegistry>,
     done: DoneFlag,
     seed: u64,
     /// Per-processor steal-attempt epochs (victim-selection stream state;
     /// ephemeral, affects only which victim is probed next).
     epochs: Vec<AtomicU64>,
+    /// Sharded-mode steal domain (see [`crate::cluster`]): restricts
+    /// victim selection to this process's own shard plus the shards the
+    /// cross-process liveness oracle has declared dead, and hardens the
+    /// dead-owner adoption path for remote processors (whose ephemeral
+    /// closures died with their process). `None` for ordinary
+    /// single-process schedulers — every path below behaves exactly as
+    /// before.
+    domain: Option<Arc<ShardDomain>>,
 }
 
 impl Sched {
     /// Builds scheduler state on a machine: carves the deques and captures
     /// the shared handles.
     pub fn new(machine: &Machine, done: DoneFlag, cfg: &SchedConfig) -> Arc<Self> {
+        Self::new_inner(machine, done, cfg, None)
+    }
+
+    /// [`Sched::new`] for one shard of a multi-process cluster: victim
+    /// selection spans only `domain`'s own processors until the liveness
+    /// oracle marks sibling shards dead and adoptable.
+    pub fn new_sharded(
+        machine: &Machine,
+        done: DoneFlag,
+        cfg: &SchedConfig,
+        domain: Arc<ShardDomain>,
+    ) -> Arc<Self> {
+        assert_eq!(
+            domain.map().procs(),
+            machine.procs(),
+            "shard map must partition exactly the machine's processors"
+        );
+        Self::new_inner(machine, done, cfg, Some(domain))
+    }
+
+    fn new_inner(
+        machine: &Machine,
+        done: DoneFlag,
+        cfg: &SchedConfig,
+        domain: Option<Arc<ShardDomain>>,
+    ) -> Arc<Self> {
         let p = machine.procs();
         assert!((1..=MAX_PROCS).contains(&p), "P must be in 1..={MAX_PROCS}");
         assert!(
@@ -124,11 +161,20 @@ impl Sched {
             p,
             metas: (0..p).map(|i| machine.proc_meta(i)).collect(),
             arena: machine.arena().clone(),
+            mem: machine.mem().clone(),
+            registry: machine.registry().clone(),
             done,
             seed: cfg.seed,
             epochs: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            domain,
             deques,
         })
+    }
+
+    /// The sharded-mode steal domain, if this scheduler drives one shard
+    /// of a cluster.
+    pub fn domain(&self) -> Option<&Arc<ShardDomain>> {
+        self.domain.as_ref()
     }
 
     /// The deque addresses (read-only; used by the driver and tests).
@@ -146,12 +192,56 @@ impl Sched {
     }
 
     fn pick_victim(&self, thief: usize, n: u64) -> Option<usize> {
+        let r = splitmix64(self.seed ^ ((thief as u64) << 40) ^ n);
+        if let Some(domain) = &self.domain {
+            return domain.pick_victim(thief, r);
+        }
         if self.p <= 1 {
             return None;
         }
-        let r = splitmix64(self.seed ^ ((thief as u64) << 40) ^ n) as usize;
-        let v = r % (self.p - 1);
+        let v = r as usize % (self.p - 1);
         Some(if v >= thief { v + 1 } else { v })
+    }
+
+    /// Whether `handle` (the restart pointer of dead processor `owner`)
+    /// can actually be resumed by *this* process. In-process adoption
+    /// accepts anything the arena resolves — including closures in the
+    /// shared swap slots. Cross-shard adoption must be stricter: a remote
+    /// processor's closures died with its process, and only persistent
+    /// *frames* (fully described by shared words) are meaningful here.
+    fn adoptable_handle(&self, owner: usize, handle: Word) -> bool {
+        match &self.domain {
+            Some(d) if d.is_remote(owner) => {
+                handle != 0
+                    && ppm_pm::is_frame_at(&self.mem, handle as usize)
+                    && self.registry.rehydrate(&self.mem, handle).is_ok()
+            }
+            _ => self.resolvable(handle),
+        }
+    }
+
+    /// Pre-steal guard for `local` entries of dead *remote* processors:
+    /// committing the steal (the CAM sequence of lines 54-60) is only
+    /// safe when the frozen restart pointer will rehydrate, because a
+    /// taken local entry whose thread cannot be resumed is a lost thread.
+    /// A dead remote owner's words are frozen, so the verdict is stable;
+    /// a blocked window is recorded (the cluster degrades to
+    /// process-level recovery rather than hanging silently). In-process
+    /// owners always pass — their swap-slot closures are in the shared
+    /// arena, which is exactly the Lemma A.10 situation.
+    fn remote_local_adoptable(&self, owner: usize) -> bool {
+        match &self.domain {
+            Some(d) if d.is_remote(owner) => {
+                let handle = self.mem.load(self.metas[owner].active);
+                if self.adoptable_handle(owner, handle) {
+                    true
+                } else {
+                    d.note_blocked_adoption(owner);
+                    false
+                }
+            }
+            _ => true,
+        }
     }
 
     // ==================================================================
@@ -379,7 +469,7 @@ impl Sched {
                 }
                 // Lines 51-63: local work; steal it only from a dead owner.
                 (tag, EntryVal::Local) => {
-                    if !ctx.is_live(v.owner) {
+                    if !ctx.is_live(v.owner) && s.remote_local_adoptable(v.owner) {
                         let recheck = ctx.pread(v.entry(i))?;
                         if recheck == old {
                             // commit (line 54), then lines 55-60.
@@ -432,6 +522,11 @@ impl Sched {
         capsule("sched/popTop/check", move |ctx| {
             let cur = ctx.pread(v.entry(i))?;
             if cur == new {
+                if let Some(d) = &s.domain {
+                    if d.is_remote(v.owner) {
+                        d.note_adopted_job();
+                    }
+                }
                 Ok(Next::JumpHandle(f))
             } else {
                 Ok(Next::Jump(s.steal_attempt(n + 1)))
@@ -511,7 +606,12 @@ impl Sched {
                 return Ok(Next::Jump(s.steal_attempt(n + 1)));
             }
             let handle = ctx.pread(s.metas[v.owner].active)?;
-            if s.resolvable(handle) {
+            if s.adoptable_handle(v.owner, handle) {
+                if let Some(d) = &s.domain {
+                    if d.is_remote(v.owner) {
+                        d.note_adopted_local();
+                    }
+                }
                 Ok(Next::JumpHandle(handle))
             } else {
                 // The owner died outside threaded code with a cleared

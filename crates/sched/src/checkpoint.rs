@@ -255,6 +255,21 @@ pub(crate) struct CheckpointCtl {
 
 impl CheckpointCtl {
     pub(crate) fn new(machine: &Machine, sched: Arc<Sched>, policy: CheckpointPolicy) -> Arc<Self> {
+        let procs = machine.procs();
+        Self::new_for(machine, sched, policy, procs)
+    }
+
+    /// [`CheckpointCtl::new`] with an explicit count of driver threads
+    /// this process will run. A cluster worker seats only its own shard's
+    /// processors, so its quiesce barrier must count those — a worker can
+    /// never quiesce processors living in sibling processes (which is
+    /// also why sharded workers run with the policy disabled).
+    pub(crate) fn new_for(
+        machine: &Machine,
+        sched: Arc<Sched>,
+        policy: CheckpointPolicy,
+        live_procs: usize,
+    ) -> Arc<Self> {
         let next_seq = machine
             .latest_checkpoint_record()
             .map(|r| r.seq + 1)
@@ -277,7 +292,7 @@ impl CheckpointCtl {
             next_seq: AtomicU64::new(next_seq),
             barrier: Mutex::new(Barrier {
                 parked: 0,
-                live: machine.procs(),
+                live: live_procs,
             }),
             cv: Condvar::new(),
             summary: Mutex::new(CheckpointSummary::default()),

@@ -1,0 +1,1271 @@
+//! Multi-process sharded runtime: independent fault domains over one
+//! `MAP_SHARED` machine file.
+//!
+//! The paper models `P` *individual processors* faulting independently —
+//! one dies, the other `P − 1` keep the computation going by stealing its
+//! deque entries and adopting its restart pointer (§6.3). Until this
+//! module, the reproduction could only exercise that model *within* one
+//! OS process (scheduled hard faults) or lose the whole machine at once
+//! (`kill -9` + reopen + recover). A **cluster** restores the paper's
+//! actual granularity at OS scale: `N` worker processes attach to one
+//! durable machine file, each owning a contiguous *shard* of the model
+//! processors (its fault domain — metadata blocks, frame pools, and
+//! WS-deques all disjoint by the deterministic layout, see
+//! [`ppm_pm::ShardMap`]). Killing one worker costs that shard's in-flight
+//! work only; the survivors adopt its frontier and the run **keeps
+//! going** instead of restarting.
+//!
+//! ## How adoption works
+//!
+//! The trick is that the whole steal protocol is already CAM on shared
+//! persistent words, and `MAP_SHARED` makes those words coherent across
+//! processes. A dead worker's processors are therefore *exactly* the
+//! paper's hard-faulted processors, just observed from another process:
+//!
+//! 1. Every worker renews a [`ppm_pm::Lease`] in the superblock page (a
+//!    few hundred milliseconds of validity, renewed at a quarter of
+//!    that). The coordinator additionally tombstones the lease of any
+//!    worker whose exit it reaps. This is the §6.3 heartbeat
+//!    construction of `isLive`, made cross-process.
+//! 2. Each worker's monitor thread folds expired or tombstoned leases
+//!    into its local [`ppm_pm::Liveness`] oracle (marking the dead
+//!    shard's processors dead) and widens its [`ShardDomain`] so victim
+//!    selection starts probing the dead shard's deques.
+//! 3. From there the *unmodified* Figure 3 machinery does the work:
+//!    `popTop` steals the dead shard's `job` entries (frame handles,
+//!    rehydratable by any process), and the dead-owner local-steal path
+//!    adopts running threads through their persisted restart pointers —
+//!    with one cross-process hardening: a remote restart pointer must be
+//!    a registered *frame* (a dead sibling's in-process closures are
+//!    gone), otherwise the steal is refused and recorded as a blocked
+//!    adoption instead of silently dropping the thread. Replay cost is
+//!    bounded by the adopted shard's in-flight capsules — the same bound
+//!    hard-fault adoption has in-process.
+//!
+//! Live shards never steal from each other (victim selection stays
+//! inside the fault domain until the oracle declares a sibling dead);
+//! cross-process stealing between live shards is a ROADMAP follow-on.
+//!
+//! ## Work distribution and completion
+//!
+//! Without live cross-shard stealing, work reaches a shard by
+//! **planting**: the coordinator builds one sub-root per shard (the
+//! caller's [`ShardBuild`], e.g. "sort slice `s`") and plants it as a
+//! `job` entry on the shard's first deque — the same mechanism recovery
+//! uses to re-plant a harvested frontier. Each sub-root's continuation is
+//! a registered `cluster/arrive` capsule that CAMs the shard's completion
+//! flag and jumps to `cluster/check`, which reads all the flags and jumps
+//! to the finale (setting the global done flag) once every shard's
+//! subtree has finished — wherever it finished: a subtree adopted by a
+//! survivor arrives exactly the same way, because the arrive frame
+//! travels with the subtree. Every effect stays exactly-once by the §5
+//! CAM discipline.
+//!
+//! ## Degraded paths
+//!
+//! * A worker killed while one of its processors was inside a
+//!   scheduler-internal capsule (a steal or push in flight) can leave a
+//!   thread only its own process could resume — the same narrow windows
+//!   process-level recovery documents. Survivors refuse those adoptions
+//!   (blocked, counted); if the run cannot finish, the coordinator's
+//!   deadline fires and [`recover`] finishes the job single-process via
+//!   the ordinary resume/replay machinery.
+//! * The coordinator is only an observer after planting: if *it* dies,
+//!   the workers keep running and complete the computation on their own.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppm_core::registry::frame_args;
+use ppm_core::{capsule, DoneFlag, Machine, Next};
+use ppm_pm::{Lease, LeaseState, Region, ShardMap, Word};
+
+use crate::capsules::{Sched, SchedConfig};
+use crate::checkpoint::{CheckpointCtl, CheckpointPolicy};
+use crate::driver::{
+    crash_forensics, harvest_frontier, plant_seeds, run_attached_seats, scrub_scheduler_state,
+    FallbackReason, ProcOutcome, ProcSeat, RunReport, SessionMode, SessionReport,
+};
+use crate::entry::{pack, EntryVal};
+
+/// Default lease validity window for worker heartbeats.
+pub const DEFAULT_LEASE_MS: u64 = 1500;
+
+/// Multiplier on the lease window granted to a worker that has not yet
+/// written its first heartbeat (process spawn + attach + session build).
+const STARTUP_LEASE_FACTOR: u64 = 10;
+
+/// Words per shard in the in-memory report block region.
+const REPORT_WORDS: usize = 8;
+
+/// Builds shard `s`'s sub-computation: given the machine and the frame
+/// handle of the shard's arrival continuation, register constructors,
+/// build the subtree's root frame, and return its handle — the same
+/// contract as [`crate::PComp`], parameterized by shard. Called for
+/// *every* shard in *every* attaching process (construction determinism:
+/// all processes must replay identical allocations), so builders must be
+/// pure setup: WAR-free rewrites of identical values.
+pub type ShardBuild = Arc<dyn Fn(&Machine, usize, Word) -> Word + Send + Sync>;
+
+// ====================================================================
+// Steal domain
+// ====================================================================
+
+/// One worker's view of the cluster for victim selection: its own
+/// processor range, plus the set of sibling shards the liveness oracle
+/// has declared dead (and therefore adoptable). Shared between the
+/// worker's scheduler capsules and its lease-monitor thread.
+#[derive(Debug)]
+pub struct ShardDomain {
+    map: ShardMap,
+    shard: usize,
+    /// Per-shard adoptable flags (set once, by the monitor, when the
+    /// shard's lease expires or is tombstoned; never cleared — death is
+    /// sticky, as in the model).
+    adoptable: Vec<AtomicBool>,
+    adopted_jobs: AtomicU64,
+    adopted_locals: AtomicU64,
+    blocked_adoptions: AtomicU64,
+    /// Per-processor dedup for [`ShardDomain::note_blocked_adoption`].
+    blocked_marked: Vec<AtomicBool>,
+}
+
+impl ShardDomain {
+    /// A domain for `shard` of `map` with no dead siblings yet.
+    pub fn new(map: ShardMap, shard: usize) -> Arc<Self> {
+        assert!(shard < map.shards, "shard {shard} out of range");
+        Arc::new(ShardDomain {
+            map,
+            shard,
+            adoptable: (0..map.shards).map(|_| AtomicBool::new(false)).collect(),
+            adopted_jobs: AtomicU64::new(0),
+            adopted_locals: AtomicU64::new(0),
+            blocked_adoptions: AtomicU64::new(0),
+            blocked_marked: (0..map.procs()).map(|_| AtomicBool::new(false)).collect(),
+        })
+    }
+
+    /// The cluster's shard geometry.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// This worker's shard index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// This worker's own processor range.
+    pub fn own_procs(&self) -> std::ops::Range<usize> {
+        self.map.procs_of(self.shard)
+    }
+
+    /// Whether `proc` belongs to another shard.
+    pub fn is_remote(&self, proc: usize) -> bool {
+        self.map.shard_of(proc) != self.shard
+    }
+
+    /// Declares sibling `shard` dead: its processors join the victim set.
+    /// Idempotent; marking the own shard is ignored.
+    pub fn mark_adoptable(&self, shard: usize) {
+        if shard != self.shard {
+            self.adoptable[shard].store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether sibling `shard` has been declared dead.
+    pub fn is_adoptable(&self, shard: usize) -> bool {
+        self.adoptable[shard].load(Ordering::Acquire)
+    }
+
+    /// The shards currently declared dead, as a bitmask (diagnostics and
+    /// the worker's report block).
+    pub fn adoptable_mask(&self) -> u64 {
+        (0..self.map.shards)
+            .filter(|s| self.is_adoptable(*s))
+            .fold(0u64, |m, s| m | (1 << s))
+    }
+
+    /// Successful steals of `job` entries from dead siblings' deques.
+    pub fn adopted_jobs(&self) -> u64 {
+        self.adopted_jobs.load(Ordering::Relaxed)
+    }
+
+    /// Successful adoptions of dead siblings' running threads (local
+    /// entries + restart pointers).
+    pub fn adopted_locals(&self) -> u64 {
+        self.adopted_locals.load(Ordering::Relaxed)
+    }
+
+    /// Refused adoptions: dead remote processors whose running thread's
+    /// frozen restart pointer was not a rehydratable frame (counted once
+    /// per processor, not per probing steal attempt).
+    pub fn blocked_adoptions(&self) -> u64 {
+        self.blocked_adoptions.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_adopted_job(&self) {
+        self.adopted_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_adopted_local(&self) {
+        self.adopted_locals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a refused adoption of `proc`'s thread. The refusing steal
+    /// path re-probes the same frozen entry on every findWork spin, so
+    /// the count is deduplicated per processor — the dead owner's words
+    /// never change, one refusal is one lost-thread event.
+    pub(crate) fn note_blocked_adoption(&self, proc: usize) {
+        if !self.blocked_marked[proc].swap(true, Ordering::Relaxed) {
+            self.blocked_adoptions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Victim selection over the domain: the own shard's other
+    /// processors, plus every processor of every shard declared dead.
+    /// Allocation-free — this runs on every steal attempt of every
+    /// spinning processor. Sound under concurrent `mark_adoptable`:
+    /// adoptable flags are sticky, so a shard appearing between the
+    /// count and the walk only widens the walk, and `idx` (bounded by
+    /// the counted total) still lands on a valid candidate.
+    pub(crate) fn pick_victim(&self, thief: usize, r: u64) -> Option<usize> {
+        let own = self.own_procs();
+        let own_candidates = own.len() - 1;
+        let pps = self.map.procs_per_shard;
+        let mut total = own_candidates;
+        for s in 0..self.map.shards {
+            if s != self.shard && self.is_adoptable(s) {
+                total += pps;
+            }
+        }
+        if total == 0 {
+            return None;
+        }
+        let mut idx = r as usize % total;
+        if idx < own_candidates {
+            let v = own.start + idx;
+            return Some(if v >= thief { v + 1 } else { v });
+        }
+        idx -= own_candidates;
+        for s in 0..self.map.shards {
+            if s != self.shard && self.is_adoptable(s) {
+                if idx < pps {
+                    return Some(self.map.procs_of(s).start + idx);
+                }
+                idx -= pps;
+            }
+        }
+        None
+    }
+}
+
+// ====================================================================
+// Cluster configuration
+// ====================================================================
+
+/// Coordinator-side configuration of a sharded run. The pieces every
+/// attacher must agree on (shard count, deque slots, victim seed, lease
+/// interval) are persisted in the machine file's cluster header, so
+/// workers configure themselves from the file alone.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Machine shape — `pm.procs` is the *total* processor count, split
+    /// evenly across shards.
+    pub pm: ppm_pm::PmConfig,
+    /// Number of worker processes (fault domains).
+    pub shards: usize,
+    /// Lease validity window in milliseconds.
+    pub lease_ms: u64,
+    /// Deque slots per processor.
+    pub deque_slots: usize,
+    /// Victim-selection seed.
+    pub seed: u64,
+    /// Per-processor pool words (`None` = machine default).
+    pub pool_words: Option<usize>,
+    /// Overall coordinator deadline: past it, remaining workers are
+    /// killed and the session reports incomplete (callers then finish
+    /// via [`recover`]).
+    pub deadline: Duration,
+}
+
+impl ClusterConfig {
+    /// A config over a machine shape and shard count, with defaults for
+    /// the rest.
+    pub fn new(pm: ppm_pm::PmConfig, shards: usize) -> Self {
+        ClusterConfig {
+            pm,
+            shards,
+            lease_ms: DEFAULT_LEASE_MS,
+            deque_slots: SchedConfig::default().deque_slots,
+            seed: SchedConfig::default().seed,
+            pool_words: None,
+            deadline: Duration::from_secs(300),
+        }
+    }
+
+    /// Sets the lease window.
+    pub fn with_lease_ms(mut self, ms: u64) -> Self {
+        self.lease_ms = ms;
+        self
+    }
+
+    /// Sets the deque size.
+    pub fn with_slots(mut self, slots: usize) -> Self {
+        self.deque_slots = slots;
+        self
+    }
+
+    /// Sets explicit per-processor pool sizing. Size for the shard's own
+    /// work *plus* adoption headroom: a survivor may re-drive a dead
+    /// sibling's frontier out of its own pools.
+    pub fn with_pool_words(mut self, words: usize) -> Self {
+        self.pool_words = Some(words);
+        self
+    }
+
+    /// Sets the coordinator deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    fn header(&self) -> ppm_pm::ClusterHeader {
+        ppm_pm::ClusterHeader {
+            shards: self.shards as u64,
+            lease_ms: self.lease_ms,
+            deque_slots: self.deque_slots as u64,
+            seed: self.seed,
+        }
+    }
+}
+
+// ====================================================================
+// Session construction (identical in every attaching process)
+// ====================================================================
+
+/// The deterministic construction every cluster process replays: done
+/// flag, scheduler deques, shard-completion flags, report blocks, the
+/// finale/check/arrive frames, and the per-shard sub-roots.
+struct ClusterSession {
+    done: DoneFlag,
+    sched: Arc<Sched>,
+    flags: Region,
+    reports: Region,
+    roots: Vec<Word>,
+}
+
+fn build_session(
+    machine: &Machine,
+    map: ShardMap,
+    deque_slots: usize,
+    seed: u64,
+    domain: Option<Arc<ShardDomain>>,
+    build: &ShardBuild,
+) -> ClusterSession {
+    let done = DoneFlag::new(machine);
+    let cfg = SchedConfig {
+        deque_slots,
+        seed,
+        check_transitions: false,
+        // Checkpoints quiesce *all* of a machine's processors; one worker
+        // can only park its own shard, so sharded runs never checkpoint.
+        // Cross-process quiesce is a ROADMAP follow-on.
+        checkpoint: CheckpointPolicy::disabled(),
+    };
+    let sched = match domain {
+        Some(d) => Sched::new_sharded(machine, done, &cfg, d),
+        None => Sched::new(machine, done, &cfg),
+    };
+    let flags = machine.alloc_region(map.shards);
+    let reports = machine.alloc_region(map.shards * REPORT_WORDS);
+
+    let registry = machine.registry();
+    let arrive_id = registry.allocate("cluster/arrive");
+    registry.register_traced(
+        arrive_id,
+        "cluster/arrive",
+        |args| {
+            let [flag, check] = frame_args("cluster/arrive", args)?;
+            // A CAM capsule: the shard-completion flag only ever goes
+            // 0 → 1, so re-execution (including duplicate execution by an
+            // adopting survivor racing a falsely-declared-dead owner) is
+            // benign.
+            Ok(capsule("cluster/arrive", move |ctx| {
+                ctx.pcam(flag as ppm_pm::Addr, 0, 1)?;
+                Ok(Next::JumpHandle(check))
+            }))
+        },
+        |args, out| {
+            if let [flag, check] = args {
+                out.extent(*flag as usize, 1);
+                out.handle(*check);
+                true
+            } else {
+                false
+            }
+        },
+    );
+    let check_id = registry.allocate("cluster/check");
+    registry.register_traced(
+        check_id,
+        "cluster/check",
+        |args| {
+            let [base, n, finale] = frame_args("cluster/check", args)?;
+            // Racy reads of monotone flags: if every shard has arrived,
+            // jump to the finale (itself a racy 0 → 1 write — duplicate
+            // finishers are idempotent); otherwise this thread is done.
+            Ok(capsule("cluster/check", move |ctx| {
+                for i in 0..n as usize {
+                    if ctx.pread(base as ppm_pm::Addr + i)? == 0 {
+                        return Ok(Next::End);
+                    }
+                }
+                Ok(Next::JumpHandle(finale))
+            }))
+        },
+        |args, out| {
+            if let [base, n, finale] = args {
+                out.extent(*base as usize, *n as usize);
+                out.handle(*finale);
+                true
+            } else {
+                false
+            }
+        },
+    );
+
+    let finale = machine.setup_frame(ppm_core::CORE_ID_FINALE, &[done.addr() as Word]);
+    let check = machine.setup_frame(check_id, &[flags.start as Word, map.shards as Word, finale]);
+    let roots = (0..map.shards)
+        .map(|s| {
+            let arrive = machine.setup_frame(arrive_id, &[flags.at(s) as Word, check]);
+            build(machine, s, arrive)
+        })
+        .collect();
+
+    ClusterSession {
+        done,
+        sched,
+        flags,
+        reports,
+        roots,
+    }
+}
+
+/// Plants shard `s`'s sub-root as the initial `job` entry of the shard's
+/// first deque — the same planted shape recovery uses, so every
+/// processor's ordinary `findWork` picks it up.
+fn plant_roots(machine: &Machine, session: &ClusterSession, map: ShardMap) {
+    for (s, root) in session.roots.iter().enumerate() {
+        let p = map.procs_of(s).start;
+        let d = session.sched.deques()[p];
+        machine
+            .mem()
+            .store(d.entry(0), pack(1, EntryVal::Job { handle: *root }));
+        machine.mem().store(d.bot, 1);
+        machine.mem().store(d.top, 0);
+    }
+}
+
+// ====================================================================
+// Reports
+// ====================================================================
+
+/// One shard's outcome, read from its persistent report block and lease.
+#[derive(Debug, Clone, Default)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// The worker wrote its running-state marker (it attached and built
+    /// the session).
+    pub started: bool,
+    /// The worker wrote its exit marker (it left the driver loop).
+    pub exited: bool,
+    /// The global completion flag was set when the worker exited.
+    pub saw_completion: bool,
+    /// The shard's *subtree* has arrived (its completion flag is set) —
+    /// true for a dead shard exactly when a survivor finished the
+    /// adopted work.
+    pub subtree_complete: bool,
+    /// Jobs this worker stole from dead siblings' deques.
+    pub adopted_jobs: u64,
+    /// Running threads this worker adopted from dead siblings.
+    pub adopted_locals: u64,
+    /// Adoptions this worker refused (unresumable remote restart
+    /// pointer).
+    pub blocked_adoptions: u64,
+    /// Bitmask of shards this worker declared dead.
+    pub declared_dead_mask: u64,
+    /// Model-level hard faults among the worker's own processors.
+    pub dead_procs: u64,
+    /// The shard's lease as last read (None: never readable).
+    pub lease: Option<Lease>,
+}
+
+/// The cluster-wide outcome carried in [`SessionReport::cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterSummary {
+    /// Shard count.
+    pub shards: usize,
+    /// Processors per shard.
+    pub procs_per_shard: usize,
+    /// Which role produced this summary.
+    pub role: ClusterRole,
+    /// Per-shard outcomes.
+    pub shard_reports: Vec<ShardReport>,
+    /// Shards that died (tombstoned, expired, or exited without seeing
+    /// completion).
+    pub dead_shards: Vec<usize>,
+}
+
+/// Which cluster participant produced a [`ClusterSummary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterRole {
+    /// The coordinator process (created the file, spawned the workers).
+    Coordinator,
+    /// Worker process serving the given shard.
+    Worker(usize),
+    /// A post-mortem single-process recovery of a cluster file.
+    Recovery,
+}
+
+impl ClusterSummary {
+    /// Total frontier entries adopted from dead shards, across workers.
+    pub fn adopted(&self) -> u64 {
+        self.shard_reports
+            .iter()
+            .map(|r| r.adopted_jobs + r.adopted_locals)
+            .sum()
+    }
+
+    /// Total refused adoptions across workers.
+    pub fn blocked(&self) -> u64 {
+        self.shard_reports.iter().map(|r| r.blocked_adoptions).sum()
+    }
+}
+
+const REPORT_STATE_RUNNING: Word = 1;
+const REPORT_STATE_EXITED: Word = 2;
+
+fn write_report(
+    machine: &Machine,
+    reports: Region,
+    shard: usize,
+    state: Word,
+    saw_completion: bool,
+    domain: &ShardDomain,
+    dead_procs: u64,
+) {
+    let base = reports.at(shard * REPORT_WORDS);
+    let mem = machine.mem();
+    mem.store(base + 1, saw_completion as Word);
+    mem.store(base + 2, domain.adopted_jobs());
+    mem.store(base + 3, domain.adopted_locals());
+    mem.store(base + 4, domain.blocked_adoptions());
+    mem.store(base + 5, domain.adoptable_mask());
+    mem.store(base + 6, dead_procs);
+    // State word last: a report is only readable once its fields are.
+    mem.store(base, state);
+}
+
+fn read_reports(
+    machine: &Machine,
+    reports: Region,
+    flags: Region,
+    map: ShardMap,
+) -> Vec<ShardReport> {
+    let mem = machine.mem();
+    (0..map.shards)
+        .map(|s| {
+            let base = reports.at(s * REPORT_WORDS);
+            let state = mem.load(base);
+            ShardReport {
+                shard: s,
+                started: state >= REPORT_STATE_RUNNING,
+                exited: state >= REPORT_STATE_EXITED,
+                saw_completion: mem.load(base + 1) != 0,
+                subtree_complete: mem.load(flags.at(s)) != 0,
+                adopted_jobs: mem.load(base + 2),
+                adopted_locals: mem.load(base + 3),
+                blocked_adoptions: mem.load(base + 4),
+                declared_dead_mask: mem.load(base + 5),
+                dead_procs: mem.load(base + 6),
+                lease: machine.mem().backend().read_lease(s),
+            }
+        })
+        .collect()
+}
+
+// ====================================================================
+// Worker
+// ====================================================================
+
+/// Serves one shard of a sharded run: attaches to the machine file
+/// (shared run epoch, no superblock rewrite), replays the deterministic
+/// session construction, then drives the shard's processors while a
+/// monitor thread renews this shard's lease and folds sibling deaths
+/// into the liveness oracle. Returns when the global completion flag is
+/// set (or every own processor hard-faulted).
+///
+/// The worker configures itself entirely from the file: machine shape
+/// from the superblock, cluster geometry from the cluster header. `build`
+/// must be the same [`ShardBuild`] the coordinator used.
+#[cfg(unix)]
+pub fn run_worker(
+    path: impl AsRef<std::path::Path>,
+    shard: usize,
+    build: &ShardBuild,
+) -> io::Result<SessionReport> {
+    let machine = Machine::attach(
+        &path,
+        ppm_pm::FaultConfig::none(),
+        ppm_pm::ValidateMode::Strict,
+    )?;
+    let header = machine
+        .mem()
+        .backend()
+        .read_cluster_header()
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "machine file has no cluster header (not a sharded run)",
+            )
+        })?;
+    let map = ShardMap::new(machine.procs(), header.shards as usize);
+    if shard >= map.shards {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("shard {shard} out of range ({} shards)", map.shards),
+        ));
+    }
+    let domain = ShardDomain::new(map, shard);
+    let session = build_session(
+        &machine,
+        map,
+        header.deque_slots as usize,
+        header.seed,
+        Some(domain.clone()),
+        build,
+    );
+    write_report(
+        &machine,
+        session.reports,
+        shard,
+        REPORT_STATE_RUNNING,
+        false,
+        &domain,
+        0,
+    );
+
+    let stop = AtomicBool::new(false);
+    let run = std::thread::scope(|scope| {
+        let monitor = {
+            let machine = &machine;
+            let domain = domain.clone();
+            let stop = &stop;
+            scope.spawn(move || lease_monitor_loop(machine, &domain, header.lease_ms, stop))
+        };
+        let seats: Vec<ProcSeat> = domain
+            .own_procs()
+            .map(|proc| ProcSeat {
+                proc,
+                first: session.sched.find_work(),
+                cursor: 0,
+            })
+            .collect();
+        let ctl = CheckpointCtl::new_for(
+            &machine,
+            session.sched.clone(),
+            CheckpointPolicy::disabled(),
+            seats.len(),
+        );
+        let run = run_attached_seats(&machine, &session.sched, seats, session.done, &ctl);
+        stop.store(true, Ordering::Release);
+        monitor.join().expect("lease monitor panicked");
+        run
+    });
+
+    let completed = session.done.is_set(machine.mem());
+    write_report(
+        &machine,
+        session.reports,
+        shard,
+        REPORT_STATE_EXITED,
+        completed,
+        &domain,
+        run.dead_procs() as u64,
+    );
+    // Final lease: Done on a clean halt (siblings must not adopt a
+    // completed shard), a self-tombstone when our own processors all
+    // hard-faulted with the run unfinished (siblings should adopt *now*
+    // rather than wait out the lease).
+    let final_lease = if completed {
+        Lease {
+            state: LeaseState::Done,
+            seq: u64::MAX,
+            deadline_ms: 0,
+        }
+    } else {
+        Lease {
+            state: LeaseState::Dead,
+            seq: u64::MAX,
+            deadline_ms: 0,
+        }
+    };
+    let _ = machine.mem().backend().write_lease(shard, &final_lease);
+    machine.flush()?;
+
+    let summary = ClusterSummary {
+        shards: map.shards,
+        procs_per_shard: map.procs_per_shard,
+        role: ClusterRole::Worker(shard),
+        shard_reports: read_reports(&machine, session.reports, session.flags, map),
+        dead_shards: (0..map.shards)
+            .filter(|s| domain.is_adoptable(*s))
+            .collect(),
+    };
+    Ok(SessionReport {
+        epoch: machine.epoch(),
+        mode: SessionMode::FreshRun,
+        found_jobs: 0,
+        found_locals: 0,
+        found_taken: 0,
+        live_restart_pointers: 0,
+        resumed: 0,
+        fallback_reason: None,
+        checkpoint_resume: None,
+        cluster: Some(summary),
+        run: Some(run),
+    })
+}
+
+/// The worker's combined heartbeat + sibling monitor: renews this
+/// shard's lease and folds dead siblings into the liveness oracle and
+/// the steal domain. Runs until `stop`.
+fn lease_monitor_loop(
+    machine: &Machine,
+    domain: &Arc<ShardDomain>,
+    lease_ms: u64,
+    stop: &AtomicBool,
+) {
+    let backend = machine.mem().backend();
+    let tick = Duration::from_millis((lease_ms / 4).max(10));
+    let mut seq = 1u64;
+    while !stop.load(Ordering::Acquire) {
+        let _ = backend.write_lease(domain.shard(), &Lease::alive(seq, lease_ms));
+        seq += 1;
+        let now = ppm_pm::now_ms();
+        for s in 0..domain.map().shards {
+            if s == domain.shard() || domain.is_adoptable(s) {
+                continue;
+            }
+            // A torn read (concurrent rewrite) keeps the previous view;
+            // the next tick sees a consistent record.
+            if let Some(lease) = backend.read_lease(s) {
+                if lease.is_dead(now) {
+                    // The oracle's verdict: fold the dead shard into the
+                    // model's isLive and widen the victim set. The Figure
+                    // 3 protocol takes it from here.
+                    for p in domain.map().procs_of(s) {
+                        machine.liveness().mark_dead(p);
+                    }
+                    domain.mark_adoptable(s);
+                }
+            }
+        }
+        std::thread::sleep(tick);
+    }
+}
+
+// ====================================================================
+// Coordinator
+// ====================================================================
+
+/// Creates and fully prepares a sharded machine file — superblock,
+/// cluster header, session frames, planted sub-roots, seeded leases —
+/// without spawning or monitoring anything. [`run_coordinator`] builds
+/// on this; it is public for coordinator-less deployments (workers
+/// launched by an external supervisor) and tests.
+#[cfg(unix)]
+pub fn init(
+    path: impl AsRef<std::path::Path>,
+    cfg: &ClusterConfig,
+    build: &ShardBuild,
+) -> io::Result<()> {
+    let (machine, _session) = init_machine(path, cfg, build)?;
+    machine.flush()
+}
+
+/// [`init`] returning an observer handle: a custom coordinator (one that
+/// wants its own spawn, kill, or progress logic — e.g. a fault-injection
+/// harness) keeps this to watch the completion flag, read progress
+/// through the shared mapping, tombstone the leases of workers whose
+/// deaths it learns about out-of-band, and assemble the final
+/// [`ClusterSummary`].
+#[cfg(unix)]
+pub fn init_observed(
+    path: impl AsRef<std::path::Path>,
+    cfg: &ClusterConfig,
+    build: &ShardBuild,
+) -> io::Result<ClusterObserver> {
+    let map = ShardMap::new(cfg.pm.procs, cfg.shards);
+    let (machine, session) = init_machine(path, cfg, build)?;
+    Ok(ClusterObserver {
+        machine,
+        session,
+        map,
+    })
+}
+
+/// A coordinator's handle on a running sharded machine: oracle reads of
+/// the shared state (never a driver of any processor).
+pub struct ClusterObserver {
+    machine: Machine,
+    session: ClusterSession,
+    map: ShardMap,
+}
+
+impl ClusterObserver {
+    /// The observing machine attachment (progress reads, region oracle).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Whether the global completion flag is set.
+    pub fn is_done(&self) -> bool {
+        self.session.done.is_set(self.machine.mem())
+    }
+
+    /// Shard `s`'s current lease.
+    pub fn lease(&self, shard: usize) -> Option<Lease> {
+        self.machine.mem().backend().read_lease(shard)
+    }
+
+    /// Tombstones shard `s`'s lease — the coordinator's reap step: call
+    /// when the worker's death is known out-of-band (exit status), so
+    /// survivors adopt immediately instead of waiting out the expiry.
+    pub fn tombstone(&self, shard: usize) {
+        let _ = self.machine.mem().backend().write_lease(
+            shard,
+            &Lease {
+                state: LeaseState::Dead,
+                seq: u64::MAX,
+                deadline_ms: 0,
+            },
+        );
+    }
+
+    /// The cluster outcome as currently persisted. Dead shards are
+    /// judged exactly like the workers' monitors judge them — tombstone
+    /// *or* lease expiry — so a coordinator-less deployment that never
+    /// tombstones still reports expiry-detected deaths; a worker that
+    /// exited without seeing completion (own processors all
+    /// hard-faulted) also counts.
+    pub fn summary(&self) -> ClusterSummary {
+        let shard_reports = read_reports(
+            &self.machine,
+            self.session.reports,
+            self.session.flags,
+            self.map,
+        );
+        let now = ppm_pm::now_ms();
+        let dead_shards = shard_reports
+            .iter()
+            .filter(|r| {
+                r.lease.map(|l| l.is_dead(now)).unwrap_or(false)
+                    || (r.started && r.exited && !r.saw_completion)
+            })
+            .map(|r| r.shard)
+            .collect();
+        ClusterSummary {
+            shards: self.map.shards,
+            procs_per_shard: self.map.procs_per_shard,
+            role: ClusterRole::Coordinator,
+            shard_reports,
+            dead_shards,
+        }
+    }
+
+    /// Flushes, and records a clean shutdown when the run completed.
+    pub fn finish(&self) -> io::Result<()> {
+        self.machine.flush()?;
+        if self.is_done() {
+            self.machine.mark_clean()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(unix)]
+fn init_machine(
+    path: impl AsRef<std::path::Path>,
+    cfg: &ClusterConfig,
+    build: &ShardBuild,
+) -> io::Result<(Machine, ClusterSession)> {
+    let map = ShardMap::new(cfg.pm.procs, cfg.shards);
+    let machine = match cfg.pool_words {
+        Some(w) => Machine::create_durable_with_pool_words(cfg.pm.clone(), w, &path)?,
+        None => Machine::create_durable(cfg.pm.clone(), &path)?,
+    };
+    if !machine
+        .mem()
+        .backend()
+        .write_cluster_header(&cfg.header())?
+    {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "backend cannot store a cluster header",
+        ));
+    }
+    let session = build_session(&machine, map, cfg.deque_slots, cfg.seed, None, build);
+    plant_roots(&machine, &session, map);
+    for s in 0..map.shards {
+        machine
+            .mem()
+            .backend()
+            .write_lease(s, &Lease::alive(0, cfg.lease_ms * STARTUP_LEASE_FACTOR))?;
+    }
+    // Everything a worker needs is durable before any worker exists.
+    machine.flush()?;
+    Ok((machine, session))
+}
+
+/// SIGKILLs and reaps every still-tracked child.
+#[cfg(unix)]
+fn kill_all(children: &mut [Option<std::process::Child>]) {
+    for slot in children.iter_mut() {
+        if let Some(child) = slot {
+            let _ = child.kill();
+            let _ = child.wait();
+            *slot = None;
+        }
+    }
+}
+
+/// Creates a sharded run and drives it to completion: prepares the
+/// machine file via [`init`]'s path (superblock, cluster header, session
+/// frames, one planted sub-root per shard, seeded leases), spawns the
+/// `N` worker processes via `spawn_worker` (which receives the shard
+/// index and must return a command that ends up calling [`run_worker`]
+/// for it — typically the current executable with a `worker` argument),
+/// and then *observes*: reaping worker exits (tombstoning the leases of
+/// the dead so survivors adopt immediately), watching the completion
+/// flag, and enforcing the deadline.
+///
+/// The returned [`SessionReport`] carries a [`ClusterSummary`]; its
+/// `run.completed` reflects the persisted completion flag. On an
+/// incomplete outcome (all workers dead, or deadline) the machine file is
+/// left crashed-in-run; [`recover`] finishes the computation
+/// single-process.
+#[cfg(unix)]
+pub fn run_coordinator(
+    path: impl AsRef<std::path::Path>,
+    cfg: &ClusterConfig,
+    build: &ShardBuild,
+    mut spawn_worker: impl FnMut(usize) -> std::process::Command,
+) -> io::Result<SessionReport> {
+    let start = Instant::now();
+    let map = ShardMap::new(cfg.pm.procs, cfg.shards);
+    let (machine, session) = init_machine(path, cfg, build)?;
+
+    // Spawn, killing the partial fleet if any spawn fails: leaking live
+    // workers past an Err would leave them running against a file the
+    // caller may immediately hand to `recover`, which scrubs deques
+    // under them.
+    let mut children: Vec<Option<std::process::Child>> = Vec::with_capacity(map.shards);
+    for s in 0..map.shards {
+        match spawn_worker(s).spawn() {
+            Ok(child) => children.push(Some(child)),
+            Err(e) => {
+                kill_all(&mut children);
+                return Err(e);
+            }
+        }
+    }
+
+    let poll = Duration::from_millis(20);
+    let deadline_hit = loop {
+        // Reap exits; a worker that exited without completing the run is
+        // dead — tombstone its lease so survivors adopt immediately
+        // instead of waiting out the expiry. A try_wait error counts as
+        // an exit (the child is unobservable; the lease expiry would
+        // catch it anyway).
+        for (s, slot) in children.iter_mut().enumerate() {
+            if let Some(child) = slot {
+                if child.try_wait().map(|st| st.is_some()).unwrap_or(true) {
+                    *slot = None;
+                    let lease = machine.mem().backend().read_lease(s);
+                    let done_lease = matches!(
+                        lease,
+                        Some(Lease {
+                            state: LeaseState::Done,
+                            ..
+                        })
+                    );
+                    if !done_lease {
+                        let _ = machine.mem().backend().write_lease(
+                            s,
+                            &Lease {
+                                state: LeaseState::Dead,
+                                seq: u64::MAX,
+                                deadline_ms: 0,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        let done = session.done.is_set(machine.mem());
+        let live = children.iter().filter(|c| c.is_some()).count();
+        if done && live == 0 {
+            break false;
+        }
+        if !done && live == 0 {
+            break false; // every fault domain died; caller recovers
+        }
+        if start.elapsed() > cfg.deadline {
+            kill_all(&mut children);
+            break true;
+        }
+        std::thread::sleep(poll);
+    };
+
+    let completed = session.done.is_set(machine.mem());
+    machine.flush()?;
+    if completed {
+        machine.mark_clean()?;
+    }
+
+    let shard_reports = read_reports(&machine, session.reports, session.flags, map);
+    let now = ppm_pm::now_ms();
+    let dead_shards: Vec<usize> = shard_reports
+        .iter()
+        .filter(|r| {
+            r.lease.map(|l| l.is_dead(now)).unwrap_or(false) || (r.started && !r.saw_completion)
+        })
+        .map(|r| r.shard)
+        .collect();
+    let outcomes = shard_reports
+        .iter()
+        .map(|r| {
+            if r.saw_completion {
+                ProcOutcome::Halted
+            } else {
+                ProcOutcome::Dead
+            }
+        })
+        .collect();
+    let deque_dump = session
+        .sched
+        .deques()
+        .iter()
+        .map(|d| crate::deque::render(machine.mem(), d))
+        .collect();
+    let summary = ClusterSummary {
+        shards: map.shards,
+        procs_per_shard: map.procs_per_shard,
+        role: ClusterRole::Coordinator,
+        shard_reports,
+        dead_shards,
+    };
+    let _ = deadline_hit; // recorded implicitly: incomplete + dead shards
+    Ok(SessionReport {
+        epoch: machine.epoch(),
+        mode: SessionMode::FreshRun,
+        found_jobs: 0,
+        found_locals: 0,
+        found_taken: 0,
+        live_restart_pointers: 0,
+        resumed: 0,
+        fallback_reason: None,
+        checkpoint_resume: None,
+        cluster: Some(summary),
+        run: Some(RunReport {
+            completed,
+            outcomes,
+            stats: machine.stats().snapshot(),
+            elapsed: start.elapsed(),
+            deque_dump,
+            checkpoints: Default::default(),
+        }),
+    })
+}
+
+// ====================================================================
+// Single-process recovery of a cluster file
+// ====================================================================
+
+/// Finishes a sharded run single-process: the cluster twin of
+/// `Runtime::run_or_recover`, for when the cluster itself could not
+/// complete (every fault domain died, or a blocked-adoption window
+/// stalled the run past the coordinator's deadline). Reopens the file
+/// (epoch bump — this *is* a recovery), replays the session
+/// construction, and then:
+///
+/// * done flag already set → nothing re-runs;
+/// * the crash frontier harvests → resume it on scrubbed deques, pool
+///   cursors at the persisted watermarks (replay bounded by in-flight
+///   work);
+/// * otherwise → scrub everything and re-plant the per-shard sub-roots
+///   (replay from the roots; §5 idempotence makes completed effects
+///   stick).
+#[cfg(unix)]
+pub fn recover(path: impl AsRef<std::path::Path>, build: &ShardBuild) -> io::Result<SessionReport> {
+    let machine = Machine::reopen(&path)?;
+    let header = machine
+        .mem()
+        .backend()
+        .read_cluster_header()
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "machine file has no cluster header (not a sharded run)",
+            )
+        })?;
+    let map = ShardMap::new(machine.procs(), header.shards as usize);
+    let session = build_session(
+        &machine,
+        map,
+        header.deque_slots as usize,
+        header.seed,
+        None,
+        build,
+    );
+    let (found_jobs, found_locals, found_taken, live_restart_pointers) =
+        crash_forensics(&machine, &session.sched);
+    // Reports are re-read once the run is over, so subtree flags reflect
+    // what recovery itself finished.
+    let summary = |machine: &Machine, dead: Vec<usize>| ClusterSummary {
+        shards: map.shards,
+        procs_per_shard: map.procs_per_shard,
+        role: ClusterRole::Recovery,
+        shard_reports: read_reports(machine, session.reports, session.flags, map),
+        dead_shards: dead,
+    };
+
+    if session.done.is_set(machine.mem()) {
+        return Ok(SessionReport {
+            epoch: machine.epoch(),
+            mode: SessionMode::AlreadyComplete,
+            found_jobs,
+            found_locals,
+            found_taken,
+            live_restart_pointers,
+            resumed: 0,
+            fallback_reason: None,
+            checkpoint_resume: None,
+            cluster: Some(summary(&machine, Vec::new())),
+            run: None,
+        });
+    }
+
+    let harvest = harvest_frontier(&machine, &session.sched);
+    let (seeds, fallback_reason) = match harvest {
+        Ok(seeds) if !seeds.is_empty() => (seeds, None),
+        Ok(_) => (Vec::new(), Some(FallbackReason::NoFrontier)),
+        Err(reason) => (Vec::new(), Some(reason)),
+    };
+    let resume = fallback_reason.is_none();
+    if !resume {
+        // Replay resets the pool cursors any stale records live above.
+        let _ = machine.clear_checkpoint_records();
+    }
+    scrub_scheduler_state(&machine, &session.sched, resume);
+    if resume {
+        plant_seeds(&machine, &session.sched, &seeds);
+    } else {
+        plant_roots(&machine, &session, map);
+    }
+    let seats: Vec<ProcSeat> = (0..machine.procs())
+        .map(|proc| ProcSeat {
+            proc,
+            first: session.sched.find_work(),
+            cursor: if resume {
+                machine.pool_watermark(proc)
+            } else {
+                0
+            },
+        })
+        .collect();
+    let ctl = CheckpointCtl::new_for(
+        &machine,
+        session.sched.clone(),
+        CheckpointPolicy::disabled(),
+        seats.len(),
+    );
+    let run = run_attached_seats(&machine, &session.sched, seats, session.done, &ctl);
+    machine.flush()?;
+
+    let dead = (0..map.shards).collect();
+    Ok(SessionReport {
+        epoch: machine.epoch(),
+        mode: if resume {
+            SessionMode::Resumed
+        } else {
+            SessionMode::Replayed
+        },
+        found_jobs,
+        found_locals,
+        found_taken,
+        live_restart_pointers,
+        resumed: if resume { seeds.len() } else { 0 },
+        fallback_reason,
+        checkpoint_resume: None,
+        cluster: Some(summary(&machine, dead)),
+        run: Some(run),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_pm::PmConfig;
+
+    #[test]
+    fn domain_victims_stay_in_shard_until_adoption() {
+        let map = ShardMap::new(8, 4);
+        let d = ShardDomain::new(map, 1); // owns procs 2..4
+        for r in 0..100u64 {
+            let v = d.pick_victim(2, r).unwrap();
+            assert_eq!(v, 3, "only the shard sibling before adoption");
+        }
+        d.mark_adoptable(3); // procs 6..8 join
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..200u64 {
+            seen.insert(d.pick_victim(2, r).unwrap());
+        }
+        assert_eq!(
+            seen,
+            [3usize, 6, 7].into_iter().collect(),
+            "own sibling plus the dead shard's processors"
+        );
+        assert!(d.is_adoptable(3));
+        assert_eq!(d.adoptable_mask(), 1 << 3);
+        // Own shard cannot be marked; death of others is sticky.
+        d.mark_adoptable(1);
+        assert!(!d.is_adoptable(1));
+    }
+
+    #[test]
+    fn single_proc_shard_has_no_victims_until_adoption() {
+        let map = ShardMap::new(2, 2);
+        let d = ShardDomain::new(map, 0);
+        assert_eq!(d.pick_victim(0, 7), None);
+        d.mark_adoptable(1);
+        assert_eq!(d.pick_victim(0, 7), Some(1));
+    }
+
+    #[test]
+    fn cluster_config_header_round_trip() {
+        let cfg = ClusterConfig::new(PmConfig::parallel(8, 1 << 20), 4)
+            .with_lease_ms(700)
+            .with_slots(1 << 12);
+        let h = cfg.header();
+        assert_eq!(h.shards, 4);
+        assert_eq!(h.lease_ms, 700);
+        assert_eq!(h.deque_slots, 1 << 12);
+    }
+}

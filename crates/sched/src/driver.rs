@@ -256,6 +256,10 @@ pub struct SessionReport {
     /// the root (`mode` is [`SessionMode::Resumed`]). Replay distance is
     /// bounded by the work done after that checkpoint.
     pub checkpoint_resume: Option<CheckpointResume>,
+    /// Present when this session coordinated (or served one shard of) a
+    /// multi-process sharded run — see [`crate::cluster`]. Carries the
+    /// per-shard outcomes, adoption counts, and which fault domains died.
+    pub cluster: Option<crate::cluster::ClusterSummary>,
     /// The driven run's report (`None` only when
     /// [`SessionMode::AlreadyComplete`]).
     pub run: Option<RunReport>,
@@ -289,6 +293,7 @@ impl SessionReport {
             resumed: 0,
             fallback_reason: None,
             checkpoint_resume: None,
+            cluster: None,
             run: Some(run),
         }
     }
@@ -453,6 +458,18 @@ fn launch_root(
     run_attached(machine, sched, first, done, vec![0; machine.procs()], ctl)
 }
 
+/// One processor's seat in a parallel section: which model processor to
+/// drive, its first capsule, and its starting pool cursor.
+pub(crate) struct ProcSeat {
+    /// The model processor index this OS thread embodies.
+    pub proc: usize,
+    /// First capsule of the thread's driver loop.
+    pub first: Cont,
+    /// Starting pool-allocation cursor (0 fresh, the persisted watermark
+    /// on resume).
+    pub cursor: usize,
+}
+
 /// The shared parallel section: spawns one OS thread per processor with
 /// the given first capsule and pool cursor, joins them, checks the deque
 /// invariant, and assembles the report.
@@ -464,16 +481,44 @@ fn run_attached(
     pool_cursors: Vec<usize>,
     ctl: &Arc<CheckpointCtl>,
 ) -> RunReport {
+    let seats = first
+        .into_iter()
+        .zip(pool_cursors)
+        .enumerate()
+        .map(|(proc, (first, cursor))| ProcSeat {
+            proc,
+            first,
+            cursor,
+        })
+        .collect();
+    run_attached_seats(machine, sched, seats, done, ctl)
+}
+
+/// [`run_attached`] over an explicit seat list — the general form. A
+/// single-process session seats every model processor; a cluster worker
+/// seats only its own shard's processors (its fault domain) while the
+/// sibling processors are driven by other OS processes attached to the
+/// same machine file. Only the seated processors' deques are
+/// invariant-checked and rendered: remote deques are live in other
+/// processes, so reading them here would race their owners.
+pub(crate) fn run_attached_seats(
+    machine: &Machine,
+    sched: &Arc<Sched>,
+    seats: Vec<ProcSeat>,
+    done: DoneFlag,
+    ctl: &Arc<CheckpointCtl>,
+) -> RunReport {
+    let seated: Vec<usize> = seats.iter().map(|s| s.proc).collect();
     let start = Instant::now();
     let outcomes: Vec<ProcOutcome> = std::thread::scope(|s| {
-        let handles: Vec<_> = first
+        let handles: Vec<_> = seats
             .into_iter()
-            .zip(pool_cursors)
-            .enumerate()
-            .map(|(p, (first, cursor))| {
+            .map(|seat| {
                 let sched = sched.clone();
                 let ctl = ctl.clone();
-                s.spawn(move || proc_loop(machine, &sched, p, first, cursor, &ctl))
+                s.spawn(move || {
+                    proc_loop(machine, &sched, seat.proc, seat.first, seat.cursor, &ctl)
+                })
             })
             .collect();
         handles
@@ -483,9 +528,11 @@ fn run_attached(
     });
     let elapsed = start.elapsed();
 
-    // Post-run structural check (quiescent, so exact).
-    let mut deque_dump = Vec::with_capacity(sched.deques().len());
-    for d in sched.deques() {
+    // Post-run structural check (quiescent among the seated processors,
+    // so exact for their deques).
+    let mut deque_dump = Vec::with_capacity(seated.len());
+    for p in &seated {
+        let d = &sched.deques()[*p];
         if let Err(e) = check_invariant(machine.mem(), d) {
             panic!("WS-deque invariant violated after run: {e}");
         }
@@ -510,7 +557,10 @@ fn run_attached(
 // ====================================================================
 
 /// Entry counts found in the persisted deques, plus live restart pointers.
-fn crash_forensics(machine: &Machine, sched: &Arc<Sched>) -> (usize, usize, usize, usize) {
+pub(crate) fn crash_forensics(
+    machine: &Machine,
+    sched: &Arc<Sched>,
+) -> (usize, usize, usize, usize) {
     let (mut jobs, mut locals, mut taken) = (0usize, 0usize, 0usize);
     for d in sched.deques() {
         for i in 0..d.slots {
@@ -532,7 +582,7 @@ fn crash_forensics(machine: &Machine, sched: &Arc<Sched>) -> (usize, usize, usiz
 /// empty with tag 0, `top = bot = 0`, restart pointers and swap slots
 /// null. Pool watermarks are zeroed only when replaying from the root —
 /// a resumed run keeps allocating above the dead run's live frames.
-fn scrub_scheduler_state(machine: &Machine, sched: &Arc<Sched>, keep_watermarks: bool) {
+pub(crate) fn scrub_scheduler_state(machine: &Machine, sched: &Arc<Sched>, keep_watermarks: bool) {
     for d in sched.deques() {
         for i in 0..d.slots {
             if machine.mem().load(d.entry(i)) != 0 {
@@ -641,7 +691,7 @@ pub(crate) fn harvest_frontier(
 /// Plants rehydrated frontier handles as `job` entries, round-robin
 /// across the (scrubbed) deques, so every processor's ordinary `findWork`
 /// picks them up.
-fn plant_seeds(machine: &Machine, sched: &Arc<Sched>, seeds: &[Word]) {
+pub(crate) fn plant_seeds(machine: &Machine, sched: &Arc<Sched>, seeds: &[Word]) {
     let procs = machine.procs();
     let mut counts = vec![0usize; procs];
     for (i, handle) in seeds.iter().enumerate() {
@@ -729,6 +779,7 @@ pub(crate) fn recover_persistent_impl(
             resumed: 0,
             fallback_reason: None,
             checkpoint_resume: None,
+            cluster: None,
             run: None,
         };
     }
@@ -806,6 +857,7 @@ pub(crate) fn recover_persistent_impl(
         resumed: if resume { seeds.len() } else { 0 },
         fallback_reason,
         checkpoint_resume,
+        cluster: None,
         run: Some(run),
     }
 }
@@ -859,6 +911,7 @@ pub(crate) fn recover_computation_impl(
             resumed: 0,
             fallback_reason: None,
             checkpoint_resume: None,
+            cluster: None,
             run: None,
         };
     }
@@ -887,6 +940,7 @@ pub(crate) fn recover_computation_impl(
         resumed: 0,
         fallback_reason: Some(FallbackReason::LegacyClosures),
         checkpoint_resume: None,
+        cluster: None,
         run: Some(run),
     }
 }

@@ -28,6 +28,11 @@
 //!   periodic quiesced persist boundaries that flush only dirty pages,
 //!   write a durable resume record, and garbage-collect dead frame-pool
 //!   words (see [`CheckpointPolicy`]).
+//! * [`cluster`] — the multi-process sharded runtime: `N` worker OS
+//!   processes attach to one `MAP_SHARED` machine file as independent
+//!   fault domains, with a lease-based cross-process liveness oracle and
+//!   dead-shard adoption through the ordinary steal protocol
+//!   ([`Runtime::sharded`] is the coordinator entry point).
 //! * [`abp`] — the CAS-based Arora–Blumofe–Plaxton baseline (not
 //!   fault-tolerant), for the comparison benchmarks.
 
@@ -37,6 +42,7 @@
 pub mod abp;
 pub mod capsules;
 pub mod checkpoint;
+pub mod cluster;
 pub mod deque;
 pub mod driver;
 pub mod entry;
@@ -44,6 +50,10 @@ pub mod runtime;
 
 pub use capsules::{Sched, SchedConfig};
 pub use checkpoint::{CheckpointPolicy, CheckpointSummary, CheckpointTrigger};
+pub use cluster::{
+    ClusterConfig, ClusterObserver, ClusterRole, ClusterSummary, ShardBuild, ShardDomain,
+    ShardReport, DEFAULT_LEASE_MS,
+};
 pub use deque::{build_deques, check_invariant, render, snapshot, DequeAddrs, DequeSnapshot};
 pub use driver::{
     run_root_on, run_root_thread, CheckpointResume, FallbackReason, PComp, ProcOutcome, RunReport,

@@ -186,6 +186,26 @@ impl Runtime {
         })
     }
 
+    /// Runs a sharded multi-process session: creates the durable machine
+    /// file at `path`, plants one sub-root per shard, spawns
+    /// `cfg.shards` worker processes (via `spawn_worker`, which receives
+    /// the shard index and returns the command that will call
+    /// [`crate::cluster::run_worker`] for it), and monitors the run —
+    /// leases, worker exits, the completion flag — until it completes or
+    /// the deadline fires. Workers form independent fault domains:
+    /// killing one mid-run costs bounded replay while the survivors
+    /// adopt its deque frontier and the run keeps going. See
+    /// [`crate::cluster`] for the full protocol.
+    #[cfg(unix)]
+    pub fn sharded(
+        path: impl AsRef<std::path::Path>,
+        cfg: &crate::cluster::ClusterConfig,
+        build: &crate::cluster::ShardBuild,
+        spawn_worker: impl FnMut(usize) -> std::process::Command,
+    ) -> std::io::Result<SessionReport> {
+        crate::cluster::run_coordinator(path, cfg, build, spawn_worker)
+    }
+
     /// The session's machine (region allocation, oracle reads, flushing).
     pub fn machine(&self) -> &Machine {
         &self.machine

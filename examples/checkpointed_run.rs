@@ -36,7 +36,7 @@ fn main() {
 
 #[cfg(unix)]
 mod scenario {
-    use std::path::{Path, PathBuf};
+    use std::path::Path;
     use std::time::{Duration, Instant};
 
     use ppm::algs::{prefix_sum_seq, PrefixSum};
@@ -113,32 +113,25 @@ mod scenario {
     }
 
     fn run_scenario(attempt: usize, full: u64) -> bool {
-        let path: PathBuf = {
-            let mut p = std::env::temp_dir();
-            p.push(format!(
-                "ppm-checkpointed-run-{}-{attempt}.ppm",
-                std::process::id()
-            ));
-            p
-        };
-        let _ = std::fs::remove_file(&path);
+        // Guarded path: removed when the attempt ends, even on a panic.
+        let file = ppm::pm::TempMachineFile::new(&format!("checkpointed-run-{attempt}"));
+        let path = file.path();
 
         println!("spawning checkpointed worker on {}", path.display());
         let exe = std::env::current_exe().expect("current_exe");
         let mut worker = std::process::Command::new(exe)
             .arg("child")
-            .arg(&path)
+            .arg(path)
             .spawn()
             .expect("spawn child worker");
 
         // SIGKILL between checkpoints: wait until at least two records
         // exist (the second proves the epoch cadence), then kill.
-        let seen = wait_for_records(&path, 2, &mut worker);
+        let seen = wait_for_records(path, 2, &mut worker);
         worker.kill().expect("SIGKILL child");
         let status = worker.wait().expect("reap child");
         let Some(seen) = seen else {
             println!("child completed before two checkpoints (exit {status:?})");
-            let _ = std::fs::remove_file(&path);
             return false;
         };
         println!(
@@ -147,7 +140,7 @@ mod scenario {
         );
 
         // --- the recovering process ---
-        let rt = Runtime::open(&path, runtime_cfg()).expect("open session");
+        let rt = Runtime::open(path, runtime_cfg()).expect("open session");
         // Force the unresumable-crash-frontier case: point every restart
         // pointer at garbage (the checkpoint frontier's frames stay
         // intact) so recovery *must* use the checkpoint record.
@@ -170,7 +163,6 @@ mod scenario {
         if rec.mode != SessionMode::Resumed {
             // A kill in the first epoch can leave nothing to resume.
             println!("no checkpoint resume this attempt (mode {:?})", rec.mode);
-            let _ = std::fs::remove_file(&path);
             return false;
         }
         let ckpt = rec
@@ -196,7 +188,6 @@ mod scenario {
         println!(
             "bounded replay verified: at most one {EPOCH}-capsule epoch plus seed overhead re-ran"
         );
-        let _ = std::fs::remove_file(&path);
         true
     }
 

@@ -41,7 +41,7 @@ use scenario::{child, parent};
 
 #[cfg(unix)]
 mod scenario {
-    use std::path::{Path, PathBuf};
+    use std::path::Path;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
     use std::time::{Duration, Instant};
@@ -127,12 +127,9 @@ mod scenario {
     }
 
     pub fn parent() {
-        let path: PathBuf = {
-            let mut p = std::env::temp_dir();
-            p.push(format!("ppm-crash-recovery-{}.ppm", std::process::id()));
-            p
-        };
-        let _ = std::fs::remove_file(&path);
+        // Guarded path: removed when the scenario ends, even on a panic.
+        let file = ppm::pm::TempMachineFile::new("crash-recovery");
+        let path = file.path();
 
         // The layout is deterministic, so a throwaway volatile machine of
         // the same shape tells the parent where the child's markers live.
@@ -145,12 +142,12 @@ mod scenario {
         let exe = std::env::current_exe().expect("current_exe");
         let mut worker = std::process::Command::new(exe)
             .arg("child")
-            .arg(&path)
+            .arg(path)
             .spawn()
             .expect("spawn child worker");
 
         // Wait for partial progress, then kill -9.
-        let progress_at_kill = wait_for_progress(&path, markers, &mut worker);
+        let progress_at_kill = wait_for_progress(path, markers, &mut worker);
         worker.kill().expect("SIGKILL child");
         let status = worker.wait().expect("reap child");
         println!("killed child mid-run at {progress_at_kill}/{TASKS} markers (exit: {status:?})");
@@ -160,7 +157,7 @@ mod scenario {
         );
 
         // --- the recovering process's view ---
-        let rt = Runtime::open(&path, runtime_cfg()).expect("open session on durable file");
+        let rt = Runtime::open(path, runtime_cfg()).expect("open session on durable file");
         let (scratch, markers) = alloc_regions(rt.machine());
         let pre: Vec<bool> = (0..TASKS)
             .map(|i| rt.machine().mem().load(markers.at(i)) != 0)
@@ -227,7 +224,6 @@ mod scenario {
             "exactly-once verified: {pre_count} markers from the killed run + {recovered} from \
              recovery = {TASKS}, none written twice"
         );
-        let _ = std::fs::remove_file(&path);
     }
 
     fn wait_for_progress(path: &Path, markers: Region, worker: &mut std::process::Child) -> usize {

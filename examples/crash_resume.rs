@@ -61,7 +61,7 @@ use scenario::{child, parent};
 
 #[cfg(unix)]
 mod scenario {
-    use std::path::{Path, PathBuf};
+    use std::path::Path;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
     use std::time::{Duration, Instant};
@@ -180,15 +180,9 @@ mod scenario {
 
     /// One kill-and-recover round. Returns whether recovery *resumed*.
     fn run_scenario(attempt: usize, full_writes: u64) -> bool {
-        let path: PathBuf = {
-            let mut p = std::env::temp_dir();
-            p.push(format!(
-                "ppm-crash-resume-{}-{attempt}.ppm",
-                std::process::id()
-            ));
-            p
-        };
-        let _ = std::fs::remove_file(&path);
+        // Guarded path: removed when the attempt ends, even on a panic.
+        let file = ppm::pm::TempMachineFile::new(&format!("crash-resume-{attempt}"));
+        let path = file.path();
 
         // The layout is deterministic, so a throwaway volatile machine of
         // the same shape tells the parent where the child's markers live.
@@ -201,18 +195,18 @@ mod scenario {
         let exe = std::env::current_exe().expect("current_exe");
         let mut worker = std::process::Command::new(exe)
             .arg("child")
-            .arg(&path)
+            .arg(path)
             .spawn()
             .expect("spawn child worker");
 
         // Wait for partial progress, then kill -9.
-        let progress_at_kill = wait_for_progress(&path, markers, &mut worker);
+        let progress_at_kill = wait_for_progress(path, markers, &mut worker);
         worker.kill().expect("SIGKILL child");
         let status = worker.wait().expect("reap child");
         println!("killed child mid-run at {progress_at_kill}/{TASKS} markers (exit: {status:?})");
 
         // --- the recovering process's view ---
-        let rt = Runtime::open(&path, runtime_cfg()).expect("open session on durable file");
+        let rt = Runtime::open(path, runtime_cfg()).expect("open session on durable file");
         let (scratch, markers) = alloc_regions(rt.machine());
         let pre: Vec<bool> = (0..TASKS)
             .map(|i| rt.machine().mem().load(markers.at(i)) != 0)
@@ -227,7 +221,6 @@ mod scenario {
             // The child outran the SIGKILL (possible on a loaded host);
             // there is nothing mid-flight to resume. Retry.
             println!("child finished every task before the kill landed; retrying");
-            let _ = std::fs::remove_file(&path);
             return false;
         }
 
@@ -250,7 +243,6 @@ mod scenario {
             // can still land after the finale capsule set the completion
             // flag; nothing was re-driven, so retry for a real resume.
             println!("dead run had already completed (flag set); retrying");
-            let _ = std::fs::remove_file(&path);
             return false;
         };
         assert!(run.completed, "recovery must finish the computation");
@@ -274,7 +266,6 @@ mod scenario {
                     .map(|r| r.to_string())
                     .unwrap_or_else(|| "<none>".into())
             );
-            let _ = std::fs::remove_file(&path);
             return false; // correct, but retry until we demonstrate a resume
         }
 
@@ -325,7 +316,6 @@ mod scenario {
             full_writes,
             100.0 * (1.0 - run.stats.total_writes as f64 / full_writes as f64),
         );
-        let _ = std::fs::remove_file(&path);
         true
     }
 

@@ -30,7 +30,7 @@ fn main() {
 
 #[cfg(unix)]
 mod scenario {
-    use std::path::{Path, PathBuf};
+    use std::path::Path;
     use std::time::{Duration, Instant};
 
     use ppm::algs::{samplesort_pool_words, SampleSort};
@@ -108,15 +108,9 @@ mod scenario {
     }
 
     fn run_scenario(attempt: usize, expect: &[Word]) -> bool {
-        let path: PathBuf = {
-            let mut p = std::env::temp_dir();
-            p.push(format!(
-                "ppm-resilient-ssort-{}-{attempt}.ppm",
-                std::process::id()
-            ));
-            p
-        };
-        let _ = std::fs::remove_file(&path);
+        // Guarded path: removed when the attempt ends, even on a panic.
+        let file = ppm::pm::TempMachineFile::new(&format!("resilient-ssort-{attempt}"));
+        let path = file.path();
 
         // Probe the deterministic layout for the output region.
         let output = {
@@ -132,17 +126,16 @@ mod scenario {
         let exe = std::env::current_exe().expect("current_exe");
         let mut worker = std::process::Command::new(exe)
             .arg("child")
-            .arg(&path)
+            .arg(path)
             .spawn()
             .expect("spawn child worker");
 
-        let progress = wait_for_progress(&path, output, &mut worker);
+        let progress = wait_for_progress(path, output, &mut worker);
         worker.kill().expect("SIGKILL child");
         let status = worker.wait().expect("reap child");
         if progress.is_none() {
             // The child finished before the kill window opened.
             println!("child completed before the kill landed (exit {status:?})");
-            let _ = std::fs::remove_file(&path);
             return false;
         }
         println!(
@@ -151,7 +144,7 @@ mod scenario {
         );
 
         // --- the recovering process ---
-        let rt = Runtime::open(&path, runtime_cfg()).expect("open session");
+        let rt = Runtime::open(path, runtime_cfg()).expect("open session");
         let ss = build(rt.machine());
         let rec = rt.run_or_recover(&ss.pcomp());
         assert!(rec.completed(), "recovery must finish the sort");
@@ -176,7 +169,6 @@ mod scenario {
         } else if let Some(reason) = rec.fallback_reason {
             println!("correct, but fell back to replay: {reason}");
         }
-        let _ = std::fs::remove_file(&path);
         resumed
     }
 

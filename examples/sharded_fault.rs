@@ -1,0 +1,320 @@
+//! The paper's actual fault model at OS scale: N worker *processes*
+//! attach to one `MAP_SHARED` machine file as independent fault domains,
+//! each samplesorting its own slice of the keys. The parent SIGKILLs one
+//! worker at ~50% of that worker's output, tombstones its lease (the
+//! coordinator's reap step — lease expiry covers coordinator-less
+//! deployments), and the survivors **adopt** the dead shard's deque
+//! frontier through the ordinary steal protocol: the run keeps going
+//! instead of restarting, replay cost bounded by the dead shard's
+//! in-flight work.
+//!
+//! Verified on every attempt: every shard's output equals the sorted
+//! input slice, exactly once. An attempt demonstrates *adoption* when a
+//! survivor's report counts frontier entries taken from the dead shard
+//! and the dead shard's subtree-complete flag was set by someone else.
+//! Kills can land in narrow unresumable windows (a steal or push in
+//! flight inside the dying worker); those attempts degrade to the
+//! single-process `cluster::recover` path — still exactly-once — and the
+//! scenario retries until one attempt shows a live adoption.
+//!
+//! `PPM_SHARD_WORKERS` selects the worker count (default 4; `1` makes
+//! the kill leave no survivors, exercising the recover path instead —
+//! the CI fault matrix runs both).
+//!
+//! Run with `cargo run --release --example sharded_fault`.
+
+#[cfg(unix)]
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("worker") => scenario::worker(&args[2], args[3].parse().expect("shard index")),
+        _ => scenario::parent(),
+    }
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("sharded_fault needs the unix durable backend (mmap); skipping");
+}
+
+#[cfg(unix)]
+mod scenario {
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    use ppm::algs::{samplesort_pool_words, SampleSort};
+    use ppm::core::Machine;
+    use ppm::pm::{PmConfig, Region, TempMachineFile, Word};
+    use ppm::sched::cluster::{self, ClusterConfig, ClusterObserver, ShardBuild};
+    use ppm::sched::SessionMode;
+
+    const PROCS_PER_SHARD: usize = 2;
+    const WORDS: usize = 1 << 23;
+    /// Keys per shard slice.
+    const N: usize = 3000;
+    /// Small ephemeral memory deepens recursion: more capsules, a wider
+    /// kill window.
+    const M_EPH: usize = 256;
+    const SLOTS: usize = 1 << 14;
+    const LEASE_MS: u64 = 600;
+    /// Kill the victim once this many of its output words are in place.
+    const KILL_AT: usize = N / 2;
+    const MAX_ATTEMPTS: usize = 8;
+
+    fn workers() -> usize {
+        std::env::var("PPM_SHARD_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|n| (1..=8).contains(n))
+            .unwrap_or(4)
+    }
+
+    fn cluster_cfg(shards: usize) -> ClusterConfig {
+        ClusterConfig::new(
+            PmConfig::parallel(shards * PROCS_PER_SHARD, WORDS).with_ephemeral_words(M_EPH),
+            shards,
+        )
+        // Adoption headroom: a survivor may re-drive a dead sibling's
+        // frontier out of its own pools.
+        .with_pool_words(samplesort_pool_words(N) * 2)
+        .with_slots(SLOTS)
+        .with_lease_ms(LEASE_MS)
+        .with_deadline(Duration::from_secs(120))
+    }
+
+    fn input(shard: usize) -> Vec<Word> {
+        (0..N as u64)
+            .map(|i| {
+                let x = (((shard as u64) << 32) | i)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(1 + shard as u64);
+                1 + (x ^ (x >> 29)) % 1_000_000
+            })
+            .collect()
+    }
+
+    /// The deterministic construction every process replays: shard `s`
+    /// samplesorts its own slice, arriving at `k` when done. Output
+    /// regions are recorded for the parent's progress gate.
+    fn build(outputs: Arc<Mutex<Vec<Option<Region>>>>) -> ShardBuild {
+        Arc::new(move |m: &Machine, s: usize, k: Word| {
+            let ss = SampleSort::new(m, N);
+            ss.load_input(m, &input(s));
+            outputs.lock().unwrap()[s] = Some(ss.output);
+            ss.pcomp()(m, k)
+        })
+    }
+
+    pub fn worker(path: &str, shard: usize) {
+        let outputs = Arc::new(Mutex::new(vec![None; ppm::pm::MAX_SHARDS]));
+        let rep = cluster::run_worker(path, shard, &build(outputs)).expect("worker session");
+        if let Some(summary) = &rep.cluster {
+            let own = &summary.shard_reports[shard];
+            println!(
+                "worker {shard}: completed={} adopted_jobs={} adopted_locals={} \
+                 blocked={} declared_dead={:?}",
+                rep.completed(),
+                own.adopted_jobs,
+                own.adopted_locals,
+                own.blocked_adoptions,
+                summary.dead_shards,
+            );
+        }
+        std::process::exit(if rep.completed() { 0 } else { 1 });
+    }
+
+    pub fn parent() {
+        let shards = workers();
+        println!("sharded fault scenario: {shards} worker processes x {PROCS_PER_SHARD} procs");
+        for attempt in 1..=MAX_ATTEMPTS {
+            let outcome = run_scenario(attempt, shards);
+            if shards == 1 {
+                // A lone worker has no survivors: the scenario here is
+                // the degraded path — SIGKILL, then a process-level
+                // recovery resumes the crash frontier exactly-once.
+                if outcome.recovered {
+                    println!("single-shard leg: kill + recover demonstrated");
+                    return;
+                }
+                println!("attempt {attempt}: child finished before the kill; retrying\n");
+            } else if outcome.adopted {
+                return;
+            } else {
+                println!("attempt {attempt}: no live adoption observed; retrying\n");
+            }
+        }
+        panic!("no attempt out of {MAX_ATTEMPTS} demonstrated the scenario — statistically absurd");
+    }
+
+    struct Outcome {
+        /// Survivors adopted the dead shard's frontier and completed.
+        adopted: bool,
+        /// The degraded single-process recovery path ran (and verified).
+        recovered: bool,
+    }
+
+    fn count_written(machine: &Machine, out: Region) -> usize {
+        // Values are >= 1, so nonzero means written; sample every 8th.
+        (0..N)
+            .step_by(8)
+            .filter(|i| machine.mem().load(out.at(*i)) != 0)
+            .count()
+            * 8
+    }
+
+    fn run_scenario(attempt: usize, shards: usize) -> Outcome {
+        let file = TempMachineFile::new(&format!("sharded-fault-{attempt}"));
+        let outputs = Arc::new(Mutex::new(vec![None; ppm::pm::MAX_SHARDS]));
+        let build = build(outputs.clone());
+        let observer =
+            cluster::init_observed(file.path(), &cluster_cfg(shards), &build).expect("init");
+
+        let exe = std::env::current_exe().expect("current_exe");
+        let mut children: Vec<std::process::Child> = (0..shards)
+            .map(|s| {
+                std::process::Command::new(&exe)
+                    .arg("worker")
+                    .arg(file.path())
+                    .arg(s.to_string())
+                    .spawn()
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        // Kill the last shard's worker once its own output is half full.
+        let victim = shards - 1;
+        let victim_out = outputs.lock().unwrap()[victim].expect("builder ran");
+        let killed = wait_and_kill(&observer, victim_out, &mut children[victim]);
+        println!(
+            "attempt {attempt}: victim shard {victim} {}",
+            if killed {
+                "SIGKILLed mid-sort; lease tombstoned"
+            } else {
+                "finished before the kill window"
+            }
+        );
+        if killed {
+            observer.tombstone(victim);
+        }
+
+        // Wait for the survivors (or, with one worker, nobody) to finish.
+        // A kill can land in one of the narrow unadoptable windows (the
+        // victim mid-steal or mid-push, its thread's restart pointer a
+        // process-local closure): survivors refuse that adoption and the
+        // run stalls — past the deadline we degrade to recovery instead.
+        let deadline = Instant::now() + Duration::from_secs(45);
+        let mut done = loop {
+            if observer.is_done() {
+                break true;
+            }
+            let any_alive = children
+                .iter_mut()
+                .any(|c| c.try_wait().expect("try_wait").is_none());
+            if !any_alive || Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        if done {
+            // Let the survivors write their exit reports (they halt as
+            // soon as they read the completion flag) before summarizing.
+            let grace = Instant::now() + Duration::from_secs(10);
+            while Instant::now() < grace
+                && children
+                    .iter_mut()
+                    .any(|c| c.try_wait().expect("try_wait").is_none())
+            {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        for c in children.iter_mut() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        done = done && observer.is_done();
+
+        let outcome = if done {
+            let summary = observer.summary();
+            observer.finish().expect("flush + mark clean");
+            let adopted = summary.adopted();
+            println!(
+                "run complete: adopted={} blocked={} dead_shards={:?}",
+                adopted,
+                summary.blocked(),
+                summary.dead_shards
+            );
+            assert!(
+                summary.shard_reports.iter().all(|r| r.subtree_complete),
+                "every shard's subtree must arrive"
+            );
+            if killed {
+                assert!(
+                    summary.dead_shards.contains(&victim),
+                    "the killed worker must be reported dead"
+                );
+            }
+            // Survivors adopted: the run never restarted, so any progress
+            // on the dead shard's subtree after the kill is adoption.
+            Outcome {
+                adopted: killed && adopted > 0 && summary.shard_reports[victim].subtree_complete,
+                recovered: false,
+            }
+        } else {
+            // No survivors (1-worker matrix leg) or a blocked-adoption
+            // stall: degrade to single-process recovery — the run must
+            // still finish exactly-once.
+            drop(observer);
+            println!("survivors could not finish; degrading to cluster::recover");
+            let rep = cluster::recover(file.path(), &build).expect("recover");
+            assert!(rep.completed(), "recovery must finish the sort");
+            println!(
+                "recover mode: {:?} ({} frontier entries resumed)",
+                rep.mode, rep.resumed
+            );
+            assert_ne!(rep.mode, SessionMode::FreshRun);
+            Outcome {
+                adopted: false,
+                recovered: killed,
+            }
+        };
+
+        // Exactly-once output: every shard's slice is the sorted input.
+        let machine = Machine::attach(
+            file.path(),
+            ppm::pm::FaultConfig::none(),
+            ppm::pm::ValidateMode::Strict,
+        )
+        .expect("attach for verification");
+        for s in 0..shards {
+            let out = outputs.lock().unwrap()[s].expect("region recorded");
+            let mut expect = input(s);
+            expect.sort_unstable();
+            let got: Vec<Word> = (0..N).map(|i| machine.mem().load(out.at(i))).collect();
+            assert_eq!(got, expect, "shard {s} output must be its sorted slice");
+        }
+        println!("all {shards} slices sorted exactly-once");
+        outcome
+    }
+
+    /// Waits until the victim's output region is ~half written, then
+    /// SIGKILLs it. Returns false if the victim exits first.
+    fn wait_and_kill(
+        observer: &ClusterObserver,
+        out: Region,
+        victim: &mut std::process::Child,
+    ) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            assert!(Instant::now() < deadline, "victim made no progress in 60s");
+            if victim.try_wait().expect("try_wait").is_some() {
+                return false;
+            }
+            if count_written(observer.machine(), out) >= KILL_AT {
+                victim.kill().expect("SIGKILL victim");
+                victim.wait().expect("reap victim");
+                return true;
+            }
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Multi-process sharded runtime, exercised in-process: several
+//! `Machine::attach`-style attachments to one machine file inside one
+//! test process (the `MAP_SHARED` mapping makes them exactly as coherent
+//! as separate OS processes — what a real `kill -9` adds is exercised by
+//! `examples/sharded_fault.rs`).
+
+#![cfg(unix)]
+
+use std::sync::{Arc, Mutex};
+
+use ppm::core::{dsl, Machine};
+use ppm::pm::{PmConfig, Region, TempMachineFile, Word};
+use ppm::sched::cluster::{self, ClusterConfig, ClusterRole, ShardBuild};
+use ppm::sched::SessionMode;
+
+const PROCS_PER_SHARD: usize = 2;
+const SLICE: usize = 96;
+const GRAIN: usize = 8;
+
+/// A sharded marker computation: shard `s` fills its own slice with
+/// `i + 1`. The builder records each shard's slice region so the test
+/// can verify the output (regions are deterministic across attachments,
+/// so every re-invocation records the same addresses).
+fn marker_build(slices: Arc<Mutex<Vec<Option<Region>>>>) -> ShardBuild {
+    Arc::new(move |m: &Machine, shard: usize, k: Word| {
+        let out = m.alloc_region(SLICE);
+        slices.lock().unwrap()[shard] = Some(out);
+        let mut set = dsl::CapsuleSet::new(m);
+        let leaf = set.define("clt/mark", |st: &dsl::Span<Region>, k, ctx| {
+            for i in st.lo..st.hi {
+                ctx.pwrite(st.env.at(i), i as u64 + 1)?;
+            }
+            Ok(dsl::Step::Jump(k))
+        });
+        let split = set.map_grain("clt/split", GRAIN, leaf);
+        split
+            .setup(
+                m,
+                &dsl::Span {
+                    env: out,
+                    lo: 0,
+                    hi: SLICE,
+                },
+                dsl::K(k),
+            )
+            .0
+    })
+}
+
+fn cluster_cfg(shards: usize, lease_ms: u64) -> ClusterConfig {
+    ClusterConfig::new(
+        PmConfig::parallel(shards * PROCS_PER_SHARD, 1 << 21),
+        shards,
+    )
+    .with_lease_ms(lease_ms)
+    .with_slots(1 << 10)
+}
+
+fn assert_slices_filled(machine: &Machine, slices: &Mutex<Vec<Option<Region>>>) {
+    for (s, slice) in slices.lock().unwrap().iter().enumerate() {
+        let r = slice.expect("builder ran for every shard");
+        for i in 0..SLICE {
+            assert_eq!(
+                machine.mem().load(r.at(i)),
+                i as u64 + 1,
+                "shard {s} word {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn workers_complete_their_shards_independently() {
+    let file = TempMachineFile::new("cluster-basic");
+    let slices = Arc::new(Mutex::new(vec![None; 2]));
+    let build = marker_build(slices.clone());
+    cluster::init(file.path(), &cluster_cfg(2, 1000), &build).unwrap();
+
+    // Two "workers" as threads, each with its own attachment — the same
+    // memory semantics as separate processes over the shared mapping.
+    let reports: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|s| {
+                let build = build.clone();
+                let path = file.path().to_path_buf();
+                scope.spawn(move || cluster::run_worker(&path, s, &build).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (s, rep) in reports.iter().enumerate() {
+        assert!(rep.completed(), "worker {s} must see the run complete");
+        assert_eq!(rep.epoch, 1, "attachers share the creating run's epoch");
+        let summary = rep.cluster.as_ref().unwrap();
+        assert_eq!(summary.role, ClusterRole::Worker(s));
+        assert_eq!(summary.shards, 2);
+        assert!(
+            summary.dead_shards.is_empty(),
+            "no worker died; nothing to adopt"
+        );
+    }
+
+    // Verify the output through a fresh attachment.
+    let machine = Machine::attach(
+        file.path(),
+        ppm::pm::FaultConfig::none(),
+        ppm::pm::ValidateMode::Strict,
+    )
+    .unwrap();
+    assert_slices_filled(&machine, &slices);
+}
+
+#[test]
+fn survivor_adopts_a_shard_that_never_starts() {
+    let file = TempMachineFile::new("cluster-adopt");
+    let slices = Arc::new(Mutex::new(vec![None; 2]));
+    let build = marker_build(slices.clone());
+    // Short lease: shard 1's startup lease (10x the window) expires while
+    // worker 0 is spinning for work, standing in for a worker that was
+    // spawned and immediately SIGKILLed.
+    cluster::init(file.path(), &cluster_cfg(2, 60), &build).unwrap();
+
+    let rep = cluster::run_worker(file.path(), 0, &build).unwrap();
+    assert!(
+        rep.completed(),
+        "the lone survivor must finish the whole run"
+    );
+    let summary = rep.cluster.as_ref().unwrap();
+    assert_eq!(summary.dead_shards, vec![1], "shard 1's lease expired");
+    let own = &summary.shard_reports[0];
+    assert!(
+        own.adopted_jobs >= 1,
+        "the dead shard's planted sub-root must be stolen via popTop \
+         (adopted_jobs = {})",
+        own.adopted_jobs
+    );
+    assert!(own.subtree_complete, "survivor's own subtree arrived");
+    assert!(
+        summary.shard_reports[1].subtree_complete,
+        "the dead shard's subtree arrived through adoption"
+    );
+    assert!(
+        !summary.shard_reports[1].started,
+        "shard 1 never wrote its running marker"
+    );
+
+    let machine = Machine::attach(
+        file.path(),
+        ppm::pm::FaultConfig::none(),
+        ppm::pm::ValidateMode::Strict,
+    )
+    .unwrap();
+    assert_slices_filled(&machine, &slices);
+}
+
+#[test]
+fn recover_finishes_an_abandoned_cluster_file() {
+    let file = TempMachineFile::new("cluster-recover");
+    let slices = Arc::new(Mutex::new(vec![None; 3]));
+    let build = marker_build(slices.clone());
+    // Init plants three sub-roots; no worker ever runs (the "every fault
+    // domain died at once" outcome).
+    cluster::init(file.path(), &cluster_cfg(3, 500), &build).unwrap();
+
+    let rep = cluster::recover(file.path(), &build).unwrap();
+    assert!(rep.completed(), "recovery must finish the computation");
+    assert_eq!(
+        rep.mode,
+        SessionMode::Resumed,
+        "the planted sub-roots are a harvestable frontier"
+    );
+    assert_eq!(rep.found_jobs, 3, "one planted sub-root per shard");
+    assert_eq!(rep.resumed, 3);
+    assert_eq!(rep.epoch, 2, "recovery is a real reopen: epoch bumps");
+    let summary = rep.cluster.as_ref().unwrap();
+    assert_eq!(summary.role, ClusterRole::Recovery);
+    assert!(summary
+        .shard_reports
+        .iter()
+        .all(|r| r.subtree_complete && !r.started));
+
+    let machine = Machine::reopen(file.path()).unwrap();
+    assert_slices_filled(&machine, &slices);
+
+    // A second recover on the finished file is a no-op.
+    let again = cluster::recover(file.path(), &build).unwrap();
+    assert_eq!(again.mode, SessionMode::AlreadyComplete);
+}

@@ -25,10 +25,9 @@ const N: usize = 512;
 const WORDS: usize = 1 << 20;
 const SLOTS: usize = 1 << 12;
 
-fn tmp(tag: &str) -> std::path::PathBuf {
-    let mut p = std::env::temp_dir();
-    p.push(format!("ppm-crash-resume-{}-{tag}.ppm", std::process::id()));
-    p
+// Guarded temp paths: removed on drop, so failing assertions clean up too.
+fn tmp(tag: &str) -> ppm::pm::TempMachineFile {
+    ppm::pm::TempMachineFile::new(&format!("crash-resume-{tag}"))
 }
 
 fn input() -> Vec<Word> {

@@ -5,7 +5,6 @@
 //! exactly once across the two process lifetimes.
 #![cfg(unix)]
 
-use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -13,13 +12,9 @@ use ppm::core::{comp_step, par_all, Comp, Machine};
 use ppm::pm::{FaultConfig, PmConfig, ProcCtx, Region, Word};
 use ppm::sched::{Runtime, RuntimeConfig, SchedConfig, SessionMode};
 
-fn tmp(tag: &str) -> PathBuf {
-    let mut p = std::env::temp_dir();
-    p.push(format!(
-        "ppm-recovery-test-{}-{tag}.ppm",
-        std::process::id()
-    ));
-    p
+// Guarded temp paths: removed on drop, so failing assertions clean up too.
+fn tmp(tag: &str) -> ppm::pm::TempMachineFile {
+    ppm::pm::TempMachineFile::new(&format!("recovery-test-{tag}"))
 }
 
 const N: usize = 48;

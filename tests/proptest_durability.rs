@@ -3,8 +3,6 @@
 #![cfg(unix)]
 
 use std::collections::HashMap;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use ppm::pm::backend::{MmapBackend, Superblock};
 use ppm::pm::{PersistentMemory, PmConfig};
@@ -12,15 +10,10 @@ use proptest::prelude::*;
 
 const WORDS: usize = 1024;
 
-fn unique_tmp() -> PathBuf {
-    static SEQ: AtomicU64 = AtomicU64::new(0);
-    let mut p = std::env::temp_dir();
-    p.push(format!(
-        "ppm-proptest-durability-{}-{}.ppm",
-        std::process::id(),
-        SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    p
+// Guarded temp paths (unique per case): removed on drop, so shrinking
+// and failing cases clean up too.
+fn unique_tmp() -> ppm::pm::TempMachineFile {
+    ppm::pm::TempMachineFile::new("proptest-durability")
 }
 
 proptest! {

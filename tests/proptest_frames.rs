@@ -4,9 +4,6 @@
 //! unregistered frames are rejected with a clean error, never a panic.
 #![cfg(unix)]
 
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use ppm::core::{CapsuleRegistry, RehydrateError};
 use ppm::pm::backend::{MmapBackend, Superblock};
 use ppm::pm::{
@@ -16,15 +13,10 @@ use proptest::prelude::*;
 
 const WORDS: usize = 2048;
 
-fn unique_tmp() -> PathBuf {
-    static SEQ: AtomicU64 = AtomicU64::new(0);
-    let mut p = std::env::temp_dir();
-    p.push(format!(
-        "ppm-proptest-frames-{}-{}.ppm",
-        std::process::id(),
-        SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    p
+// Guarded temp paths (unique per case): removed on drop, so shrinking
+// and failing cases clean up too.
+fn unique_tmp() -> ppm::pm::TempMachineFile {
+    ppm::pm::TempMachineFile::new("proptest-frames")
 }
 
 proptest! {
