@@ -17,6 +17,11 @@
 //!
 //! `--update` rewrites the baseline from the current reports (times the
 //! slack factor), for refreshing after an intentional change.
+//!
+//! `--trend` prints a GitHub-flavored markdown table of current-vs-
+//! baseline deltas instead of gating — CI appends it to the job summary
+//! (`>> "$GITHUB_STEP_SUMMARY"`) so every run shows where each metric
+//! sits inside its regression allowance. Trend mode always exits 0.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -32,6 +37,7 @@ struct Args {
     baseline: PathBuf,
     threshold: f64,
     update: bool,
+    trend: bool,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +46,7 @@ fn parse_args() -> Args {
         baseline: PathBuf::from("bench/baseline.json"),
         threshold: 1.5,
         update: false,
+        trend: false,
     };
     for arg in std::env::args().skip(1) {
         if let Some(v) = arg.strip_prefix("--dir=") {
@@ -53,9 +60,11 @@ fn parse_args() -> Args {
             });
         } else if arg == "--update" {
             args.update = true;
+        } else if arg == "--trend" {
+            args.trend = true;
         } else {
             eprintln!(
-                "unknown argument `{arg}`; accepted: --dir= --baseline= --threshold= --update"
+                "unknown argument `{arg}`; accepted: --dir= --baseline= --threshold= --update --trend"
             );
             exit(2);
         }
@@ -121,6 +130,41 @@ fn main() {
             .find(|r| r.name == exp)
             .and_then(|r| r.metrics.get(metric).copied())
     };
+
+    if args.trend {
+        // Markdown for the CI job summary: where each baselined metric
+        // sits relative to its allowance. Lower is better everywhere, so
+        // negative deltas are headroom and >0% is drift toward the gate
+        // (which fires at +{(threshold-1)*100}% past the slack-padded
+        // baseline). Never fails — the gating run below is separate.
+        println!("### Bench trend (gate: {}x baseline)\n", args.threshold);
+        println!("| metric | current | baseline | delta |");
+        println!("|:---|---:|---:|---:|");
+        for (key, base) in &baseline.metrics {
+            match current(key) {
+                None => println!("| `{key}` | — | {base:.3} | missing |"),
+                Some(cur) => {
+                    let delta = if *base > 0.0 {
+                        100.0 * (cur - base) / base
+                    } else {
+                        0.0
+                    };
+                    println!("| `{key}` | {cur:.3} | {base:.3} | {delta:+.1}% |");
+                }
+            }
+        }
+        let extra: usize = reports
+            .iter()
+            .map(|r| {
+                r.metrics
+                    .keys()
+                    .filter(|k| !baseline.metrics.contains_key(&format!("{}.{k}", r.name)))
+                    .count()
+            })
+            .sum();
+        println!("\n{extra} unbaselined metric(s) also emitted (see BENCH_*.json artifacts).");
+        return;
+    }
 
     let mut failures = 0usize;
     println!(

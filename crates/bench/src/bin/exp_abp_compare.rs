@@ -45,6 +45,7 @@ fn main() {
     );
 
     let mut report = BenchReport::new("exp_abp_compare");
+    let mut last_scrape = String::new();
     let cases = [(64usize, 1usize), (64, 8), (64, 64), (256, 8), (1024, 8)];
     for (n, leaf_work) in cases.into_iter().filter(|(n, _)| *n <= cli.n(1024)) {
         let cfg = || PmConfig::parallel(1, 1 << 24).with_validate(ValidateMode::Off);
@@ -54,6 +55,7 @@ fn main() {
             let rt = Runtime::new(m, SchedConfig::with_slots(1 << 13));
             let rep = rt.run_or_replay(&tasks(r, n, leaf_work));
             assert!(rep.completed());
+            last_scrape = rt.machine().obs().registry().render();
             rep.stats().total_work()
         };
         let abp = {
@@ -79,6 +81,7 @@ fn main() {
             .metric("ft_over_abp_x", ft as f64 / abp as f64)
             .metric("ft_work_words", ft as f64);
     }
+    report.embed_scrape(&last_scrape);
     report.emit();
 
     println!("\nshape check: the overhead is a flat small constant per capsule");

@@ -24,8 +24,8 @@ const TRIALS: usize = 400;
 const W: [usize; 5] = [9, 7, 9, 7, 11];
 
 /// Runs `trials` single-contender test-and-set trials; returns
-/// (claims recorded, wins actually taken).
-fn run_protocol(trials: usize, f: f64, seed: u64, use_cas: bool) -> (u64, u64) {
+/// (claims recorded, wins actually taken, final metrics scrape).
+fn run_protocol(trials: usize, f: f64, seed: u64, use_cas: bool) -> (u64, u64, String) {
     let machine = Machine::new(PmConfig::parallel(1, 1 << 20).with_fault(if f == 0.0 {
         FaultConfig::none()
     } else {
@@ -70,7 +70,8 @@ fn run_protocol(trials: usize, f: f64, seed: u64, use_cas: bool) -> (u64, u64) {
         wins += machine.mem().load(slots.at(2 * t));
         claims += machine.mem().load(slots.at(2 * t + 1));
     }
-    (claims, wins)
+    let scrape = machine.obs().registry().render();
+    (claims, wins, scrape)
 }
 
 fn main() {
@@ -86,9 +87,11 @@ fn main() {
 
     let mut report = BenchReport::new("exp_cam_vs_cas");
     report.note("trials", trials);
+    let mut last_scrape = String::new();
     for f in [0.0, 0.01, 0.05, 0.1, 0.2] {
         for use_cas in [true, false] {
-            let (claims, wins) = run_protocol(trials, f, seed, use_cas);
+            let (claims, wins, scrape) = run_protocol(trials, f, seed, use_cas);
+            last_scrape = scrape;
             if f == 0.2 {
                 let key = if use_cas {
                     "cas_lost_wins"
@@ -118,6 +121,7 @@ fn main() {
         }
     }
 
+    report.embed_scrape(&last_scrape);
     report.emit();
 
     println!("\nshape check: the CAS protocol silently drops wins at a rate that");

@@ -55,6 +55,7 @@ fn main() {
     header(&["k", "f", "C", "W_f", "restarts", "wasted", "vs best"], &W);
     let mut report = BenchReport::new("exp_capsule_granularity");
     report.note("nblocks", nblocks);
+    let mut last_scrape = String::new();
     for f in [0.0, 0.002, 0.01, 0.05] {
         let mut results = Vec::new();
         for k in [1usize, 2, 4, 8, 16, 32, 64] {
@@ -80,6 +81,7 @@ fn main() {
                 );
             }
             results.push((k, rep.stats().clone()));
+            last_scrape = rt.machine().obs().registry().render();
         }
         let best = results.iter().map(|(_, st)| st.total_work()).min().unwrap();
         if f == 0.0 {
@@ -110,6 +112,7 @@ fn main() {
         println!();
     }
 
+    report.embed_scrape(&last_scrape);
     report.emit();
 
     println!("shape check: at f = 0 bigger capsules strictly win (fewer installs);");

@@ -78,6 +78,7 @@ struct EpochRun {
     pages_flushed: u64,
     words_reclaimed: u64,
     records: u64,
+    scrape: String,
 }
 
 fn epoch_run(procs: usize, policy: CheckpointPolicy, tag: &str) -> EpochRun {
@@ -97,6 +98,7 @@ fn epoch_run(procs: usize, policy: CheckpointPolicy, tag: &str) -> EpochRun {
     let elapsed = start.elapsed();
     assert!(rep.completed());
     let run = rep.run.expect("fresh run report");
+    let scrape = rt.machine().obs().registry().render();
     let _ = std::fs::remove_file(&path);
     EpochRun {
         elapsed,
@@ -104,6 +106,7 @@ fn epoch_run(procs: usize, policy: CheckpointPolicy, tag: &str) -> EpochRun {
         pages_flushed: run.checkpoints.pages_flushed,
         words_reclaimed: run.checkpoints.words_reclaimed,
         records: run.checkpoints.records_written,
+        scrape,
     }
 }
 
@@ -180,8 +183,10 @@ fn main() {
         ],
         &widths,
     );
+    let mut last_scrape = base.scrape.clone();
     for k in [256u64, 1024, 4096] {
         let r = epoch_run(procs, CheckpointPolicy::every_capsules(k), &format!("k{k}"));
+        last_scrape = r.scrape.clone();
         if k == 256 {
             report.metric(
                 "ckpt_k256_overhead_x",
@@ -200,6 +205,7 @@ fn main() {
             &widths,
         );
     }
+    report.embed_scrape(&last_scrape);
     report.emit();
     println!(
         "\n(each checkpoint also wrote a durable resume record; replay after a crash is \

@@ -41,12 +41,25 @@ fn build_comp(out: Region, n: usize) -> Comp {
 
 struct Measured {
     run_mean: Duration,
+    run_min: Duration,
     flush_mean: Duration,
+    /// Fastest `/metrics` scrape over the trials (observed runs only).
+    scrape_min: Option<Duration>,
+    /// Final metrics snapshot (Prometheus text) from the last trial.
+    scrape: String,
 }
 
-fn run_trials(cli: &ppm_bench::cli::Cli, n: usize, durable: bool) -> Measured {
+/// Runs the workload `trials` times. With `observed` set, each trial also
+/// enables per-event tracing (sample = 1) and serves `/metrics` from a
+/// live exporter on an ephemeral port, scraping it once after the run —
+/// the fully instrumented configuration whose run-time delta against a
+/// plain run the baseline gates.
+fn run_trials(cli: &ppm_bench::cli::Cli, n: usize, durable: bool, observed: bool) -> Measured {
     let mut run_total = Duration::ZERO;
+    let mut run_min = Duration::MAX;
     let mut flush_total = Duration::ZERO;
+    let mut scrape_min: Option<Duration> = None;
+    let mut scrape = String::new();
     let trials = cli.trials(TRIALS);
     let procs = cli.procs(PROCS);
     for trial in 0..trials {
@@ -66,14 +79,36 @@ fn run_trials(cli: &ppm_bench::cli::Cli, n: usize, durable: bool) -> Measured {
         };
         let out = m.alloc_region(n);
         let comp = build_comp(out, n);
-        let start = Instant::now();
         let rt = Runtime::new(m, SchedConfig::with_slots(1 << 12));
+        let server = if observed {
+            let obs = rt.machine().obs();
+            obs.tracer().enable();
+            obs.tracer().set_sample(1);
+            obs.serve(0).ok() // port 0: the OS picks an ephemeral port
+        } else {
+            None
+        };
+        let start = Instant::now();
         let rep = rt.run_or_replay(&comp);
-        run_total += start.elapsed();
+        let elapsed = start.elapsed();
+        run_total += elapsed;
+        run_min = run_min.min(elapsed);
         assert!(rep.completed());
+        if let Some(srv) = &server {
+            let t0 = Instant::now();
+            if let Ok(text) = ppm_obs::http_get(srv.addr(), "/metrics", Duration::from_millis(500))
+            {
+                let took = t0.elapsed();
+                scrape_min = Some(scrape_min.map_or(took, |m| m.min(took)));
+                scrape = text;
+            }
+        } else {
+            scrape = rt.machine().obs().registry().render();
+        }
         let start = Instant::now();
         rt.flush().expect("flush");
         flush_total += start.elapsed();
+        drop(server);
         drop(rt);
         if durable {
             let _ = std::fs::remove_file(&path);
@@ -81,7 +116,10 @@ fn run_trials(cli: &ppm_bench::cli::Cli, n: usize, durable: bool) -> Measured {
     }
     Measured {
         run_mean: run_total / trials as u32,
+        run_min,
         flush_mean: flush_total / trials as u32,
+        scrape_min,
+        scrape,
     }
 }
 
@@ -110,9 +148,10 @@ fn main() {
         &widths,
     );
     let mut report = BenchReport::new("exp_durable_overhead");
+    let mut last = None;
     for n in cli.cap_sizes(&[256usize, 1024, 4096]) {
-        let vol = run_trials(&cli, n, false);
-        let dur = run_trials(&cli, n, true);
+        let vol = run_trials(&cli, n, false, false);
+        let dur = run_trials(&cli, n, true, false);
         let overhead = (dur.run_mean + dur.flush_mean).as_secs_f64()
             / (vol.run_mean + vol.flush_mean).as_secs_f64();
         report
@@ -142,6 +181,27 @@ fn main() {
             ],
             &widths,
         );
+        last = Some((n, dur));
+    }
+
+    // Observability tax: the same durable workload with per-event tracing
+    // on and a live `/metrics` exporter attached, against the plain run
+    // just measured. Min-over-trials on both sides keeps scheduler noise
+    // out of the ratio; `bench_check` gates the result against
+    // `obs_instrumented_delta_x` in the baseline (~<= 3% regression room).
+    if let Some((n, plain)) = last {
+        let observed = run_trials(&cli, n, true, true);
+        let delta = observed.run_min.as_secs_f64() / plain.run_min.as_secs_f64().max(1e-9);
+        report.metric("obs_instrumented_delta_x", delta);
+        println!(
+            "\nobservability: instrumented run (tracing + live exporter) {}x the plain run",
+            f2(delta)
+        );
+        if let Some(scrape) = observed.scrape_min {
+            report.metric_ms("obs_scrape_ms", scrape);
+            println!("observability: /metrics scrape min {:?}", scrape);
+        }
+        report.embed_scrape(&observed.scrape);
     }
     report.emit();
 }

@@ -55,6 +55,7 @@ fn main() {
     );
 
     let mut grand_total = 0u64;
+    let mut last_scrape = String::new();
     for (procs, f, hard_ratio, trials) in [
         (1usize, 0.01f64, 0.0f64, 30usize),
         (2, 0.02, 0.0, 30),
@@ -89,6 +90,7 @@ fn main() {
                 verified += 1; // nothing to verify; counted as consistent
                 completed += u64::from(rep.dead_procs() == procs);
             }
+            last_scrape = rt.machine().obs().registry().render();
         }
         assert_eq!(completed, trials as u64);
         assert_eq!(verified, trials as u64);
@@ -111,6 +113,7 @@ fn main() {
     report
         .metric("trials", grand_total as f64)
         .metric("unverified_trials", 0.0);
+    report.embed_scrape(&last_scrape);
     report.emit();
 
     println!("\n{grand_total} randomized trials: all completed (or died entirely),");

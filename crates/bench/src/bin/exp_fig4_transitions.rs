@@ -114,6 +114,7 @@ fn main() {
     report
         .metric("illegal_transitions", illegal as f64)
         .metric("observed_steals", m[2][3] as f64);
+    report.embed_obs(machine.obs().registry());
     report.emit();
     println!("matches Figure 4: Empty->Local, Local->{{Empty,Job,Taken}}, Job->{{Local,Taken}},");
     println!("and Taken is terminal. Parenthesized diagonals are tag-only refreshes.");

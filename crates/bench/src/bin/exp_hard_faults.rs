@@ -102,6 +102,7 @@ fn main() {
         cli.seeds(12)
     );
     let mut ratios = Vec::new();
+    let mut last_scrape = String::new();
     for seed in 0..cli.seeds(12) {
         let at = 100 + (seed * 997) % 2000;
         let victim = 1 + (seed as usize % (p - 1));
@@ -114,6 +115,7 @@ fn main() {
         let rep = rt.run_or_replay(&tasks(r, n));
         assert!(rep.completed(), "seed {seed}");
         ratios.push(rep.stats().total_work() as f64 / w_baseline as f64);
+        last_scrape = rt.machine().obs().registry().render();
     }
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     let max = ratios.iter().cloned().fold(0.0f64, f64::max);
@@ -124,6 +126,7 @@ fn main() {
         .note("n", n)
         .metric("death_overhead_mean_x", mean)
         .metric("death_overhead_max_x", max);
+    report.embed_scrape(&last_scrape);
     report.emit();
 
     println!("\nshape check: every configuration with at least one survivor");

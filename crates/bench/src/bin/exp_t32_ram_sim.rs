@@ -12,7 +12,14 @@ use ppm_sim::ram::programs::{fib, memset, sum_array};
 use ppm_sim::ram::RamProgram;
 use ppm_sim::run_both;
 
-fn run_case(name: &str, prog: &RamProgram, init: Vec<i64>, f: f64, seed: u64) -> f64 {
+fn run_case(
+    name: &str,
+    prog: &RamProgram,
+    init: Vec<i64>,
+    f: f64,
+    seed: u64,
+    scrape: &mut String,
+) -> f64 {
     let cfg = if f == 0.0 {
         FaultConfig::none()
     } else {
@@ -35,6 +42,7 @@ fn run_case(name: &str, prog: &RamProgram, init: Vec<i64>, f: f64, seed: u64) ->
         ],
         &WIDTHS,
     );
+    *scrape = machine.obs().registry().render();
     snap.total_work() as f64 / native.steps as f64
 }
 
@@ -53,10 +61,18 @@ fn main() {
     );
 
     let mut report = BenchReport::new("exp_t32_ram_sim");
+    let mut last_scrape = String::new();
     for n in cli.cap_sizes(&[100usize, 400, 1600]) {
         let mut init: Vec<i64> = (0..n as i64).collect();
         init.push(0);
-        let per_step = run_case(&format!("sum({n})"), &sum_array(n), init, 0.0, 0);
+        let per_step = run_case(
+            &format!("sum({n})"),
+            &sum_array(n),
+            init,
+            0.0,
+            0,
+            &mut last_scrape,
+        );
         report.note("n", n).metric("work_per_step_x", per_step);
     }
     println!();
@@ -64,11 +80,26 @@ fn main() {
         let n = 400;
         let mut init: Vec<i64> = (0..n as i64).collect();
         init.push(0);
-        run_case(&format!("sum({n})"), &sum_array(n), init, f, cli.seed(42));
+        run_case(
+            &format!("sum({n})"),
+            &sum_array(n),
+            init,
+            f,
+            cli.seed(42),
+            &mut last_scrape,
+        );
     }
     println!();
-    run_case("fib(40)", &fib(40), vec![0; 4], 0.02, 7);
-    run_case("memset", &memset(256, 9), vec![0; 256], 0.02, 7);
+    run_case("fib(40)", &fib(40), vec![0; 4], 0.02, 7, &mut last_scrape);
+    run_case(
+        "memset",
+        &memset(256, 9),
+        vec![0; 256],
+        0.02,
+        7,
+        &mut last_scrape,
+    );
+    report.embed_scrape(&last_scrape);
     report.emit();
 
     println!("\nshape check: W_f/t is a constant (~21 faultless; rising mildly with f");

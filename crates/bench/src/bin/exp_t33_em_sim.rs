@@ -15,7 +15,7 @@ use ppm_sim::{run_native_em, simulate_em_on_pm, EmPmLayout};
 
 const WIDTHS: [usize; 8] = [12, 5, 4, 7, 7, 10, 8, 8];
 
-fn run_case(name: &str, prog: &EmProgram, ext: Vec<i64>, f: f64) -> f64 {
+fn run_case(name: &str, prog: &EmProgram, ext: Vec<i64>, f: f64, scrape: &mut String) -> f64 {
     let cfg = if f == 0.0 {
         FaultConfig::none()
     } else {
@@ -53,6 +53,7 @@ fn run_case(name: &str, prog: &EmProgram, ext: Vec<i64>, f: f64) -> f64 {
         ],
         &WIDTHS,
     );
+    *scrape = machine.obs().registry().render();
     snap.total_work() as f64 / native.transfers.max(1) as f64
 }
 
@@ -69,10 +70,17 @@ fn main() {
     );
 
     // Geometry sweep, faultless: the constant tracks M/B.
+    let mut last_scrape = String::new();
     for (m, b) in [(32usize, 8usize), (64, 8), (128, 8), (64, 16)] {
         let nb = 24;
         let ext: Vec<i64> = (0..((nb + 1) * b) as i64).collect();
-        run_case("block_sum", &block_sum_built(nb, m, b), ext, 0.0);
+        run_case(
+            "block_sum",
+            &block_sum_built(nb, m, b),
+            ext,
+            0.0,
+            &mut last_scrape,
+        );
     }
     println!();
     // t sweep at fixed geometry: W_f/t flat in t.
@@ -80,7 +88,13 @@ fn main() {
     for nb in cli.cap_sizes(&[8usize, 32, 128]) {
         let (m, b) = (64usize, 8usize);
         let ext: Vec<i64> = vec![1; (nb + 1) * b];
-        let per_t = run_case("block_sum", &block_sum_built(nb, m, b), ext, 0.0);
+        let per_t = run_case(
+            "block_sum",
+            &block_sum_built(nb, m, b),
+            ext,
+            0.0,
+            &mut last_scrape,
+        );
         report.note("nb", nb).metric("work_per_transfer_x", per_t);
     }
     println!();
@@ -88,15 +102,28 @@ fn main() {
     for f in [0.0, 0.002, 0.01, 0.03] {
         let (nb, m, b) = (64usize, 64usize, 8usize);
         let ext: Vec<i64> = vec![1; (nb + 1) * b];
-        run_case("block_sum", &block_sum_built(nb, m, b), ext, f);
+        run_case(
+            "block_sum",
+            &block_sum_built(nb, m, b),
+            ext,
+            f,
+            &mut last_scrape,
+        );
     }
     println!();
     for f in [0.0, 0.01] {
         let (nb, m, b) = (16usize, 64usize, 8usize);
         let ext: Vec<i64> = (0..(2 * nb * b) as i64).collect();
-        run_case("block_rev", &block_reverse(nb, m, b), ext, f);
+        run_case(
+            "block_rev",
+            &block_reverse(nb, m, b),
+            ext,
+            f,
+            &mut last_scrape,
+        );
     }
 
+    report.embed_scrape(&last_scrape);
     report.emit();
 
     println!("\nshape check: W_f/t grows with M/B (the per-round copy cost), is flat");

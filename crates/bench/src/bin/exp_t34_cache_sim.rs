@@ -12,7 +12,14 @@ use ppm_sim::{run_native_cache, simulate_cache_on_pm, AccessPattern, CachePmLayo
 
 const WIDTHS: [usize; 8] = [22, 5, 4, 7, 8, 10, 8, 8];
 
-fn run_case(name: &str, pattern: &AccessPattern, m: usize, b: usize, f: f64) -> f64 {
+fn run_case(
+    name: &str,
+    pattern: &AccessPattern,
+    m: usize,
+    b: usize,
+    f: f64,
+    scrape: &mut String,
+) -> f64 {
     let cfg = if f == 0.0 {
         FaultConfig::none()
     } else {
@@ -50,6 +57,7 @@ fn run_case(name: &str, pattern: &AccessPattern, m: usize, b: usize, f: f64) -> 
         ],
         &WIDTHS,
     );
+    *scrape = machine.obs().registry().render();
     snap.total_work() as f64 / native.misses.max(1) as f64
 }
 
@@ -66,6 +74,7 @@ fn main() {
     );
 
     let mut report = BenchReport::new("exp_t34_cache_sim");
+    let mut last_scrape = String::new();
     for n in cli.cap_sizes(&[256usize, 1024, 4096]) {
         let per_miss = run_case(
             &format!("seq_scan({n})"),
@@ -73,6 +82,7 @@ fn main() {
             64,
             8,
             0.0,
+            &mut last_scrape,
         );
         report.note("n", n).metric("work_per_miss_x", per_miss);
     }
@@ -88,6 +98,7 @@ fn main() {
             m,
             b,
             0.0,
+            &mut last_scrape,
         );
     }
     println!();
@@ -102,9 +113,11 @@ fn main() {
             64,
             8,
             f,
+            &mut last_scrape,
         );
     }
 
+    report.embed_scrape(&last_scrape);
     report.emit();
 
     println!("\nshape check: W_f per ideal-cache miss is a small constant across");

@@ -79,6 +79,7 @@ fn main() {
     header(&["P", "f", "W_f", "T", "restarts", "C", "W_f/W_0"], &W1);
     let mut report = BenchReport::new("exp_t62_scheduler");
     report.note("n", n);
+    let mut last_scrape = String::new();
     let mut w0 = 0u64;
     for f in [0.0, 0.001, 0.005, 0.01, 0.02] {
         let cfg = if f == 0.0 {
@@ -91,6 +92,7 @@ fn main() {
         let rt = Runtime::new(m, SchedConfig::with_slots(1 << 12));
         let rep = rt.run_or_replay(&balanced(r, n, leaf_work));
         assert!(rep.completed());
+        last_scrape = rt.machine().obs().registry().render();
         if f == 0.0 {
             w0 = rep.stats().total_work();
             report.metric("work_f0_words", w0 as f64);
@@ -115,6 +117,7 @@ fn main() {
         );
     }
 
+    report.embed_scrape(&last_scrape);
     report.emit();
 
     println!("\n-- the depth-term fault factor: restarts per capsule vs log_(1/Cf) W --");

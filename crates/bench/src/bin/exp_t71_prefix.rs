@@ -13,7 +13,7 @@ use ppm_sched::{Runtime, SchedConfig};
 
 const W: [usize; 7] = [8, 4, 7, 10, 9, 5, 8];
 
-fn run_case(n: usize, b: usize, f: f64) -> (f64, u64) {
+fn run_case(n: usize, b: usize, f: f64, scrape: &mut String) -> (f64, u64) {
     let cfg = if f == 0.0 {
         FaultConfig::none()
     } else {
@@ -49,6 +49,7 @@ fn run_case(n: usize, b: usize, f: f64) -> (f64, u64) {
         ],
         &W,
     );
+    *scrape = rt.machine().obs().registry().render();
     (per_nb, st.max_capsule_work)
 }
 
@@ -62,9 +63,10 @@ fn main() {
     header(&["n", "B", "f", "W_f", "W/(n/B)", "C", "faults"], &W);
 
     let mut report = BenchReport::new("exp_t71_prefix");
+    let mut last_scrape = String::new();
     let mut headline = (0usize, 0.0, 0u64);
     for n in cli.cap_sizes(&[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18]) {
-        let (per_nb, c) = run_case(n, 8, 0.0);
+        let (per_nb, c) = run_case(n, 8, 0.0, &mut last_scrape);
         headline = (n, per_nb, c);
     }
     report
@@ -73,12 +75,13 @@ fn main() {
         .metric("max_capsule_work_words", headline.2 as f64);
     println!();
     for b in [4usize, 8, 16, 64] {
-        run_case(1 << 14, b, 0.0);
+        run_case(1 << 14, b, 0.0, &mut last_scrape);
     }
     println!();
     for f in [0.001, 0.005] {
-        run_case(1 << 13, 8, f);
+        run_case(1 << 13, 8, f, &mut last_scrape);
     }
+    report.embed_scrape(&last_scrape);
     report.emit();
 
     println!("\nshape check: W/(n/B) is a constant across 256x of n; C stays a flat");

@@ -21,7 +21,7 @@ fn sorted(seed: u64, n: usize) -> Vec<u64> {
     v
 }
 
-fn run_case(n: usize, b: usize, f: f64) -> (f64, u64) {
+fn run_case(n: usize, b: usize, f: f64, scrape: &mut String) -> (f64, u64) {
     let cfg = if f == 0.0 {
         FaultConfig::none()
     } else {
@@ -54,6 +54,7 @@ fn run_case(n: usize, b: usize, f: f64) -> (f64, u64) {
         ],
         &W,
     );
+    *scrape = rt.machine().obs().registry().render();
     (
         st.total_work() as f64 / (total as f64 / b as f64),
         st.max_capsule_work,
@@ -73,8 +74,9 @@ fn main() {
     );
 
     let mut report = BenchReport::new("exp_t72_merge");
+    let mut last_scrape = String::new();
     for n in cli.cap_sizes(&[1 << 9, 1 << 11, 1 << 13, 1 << 15]) {
-        let (per_nb, c) = run_case(n, 8, 0.0);
+        let (per_nb, c) = run_case(n, 8, 0.0, &mut last_scrape);
         report
             .note("n", 2 * n)
             .metric("work_per_nb_x", per_nb)
@@ -82,10 +84,11 @@ fn main() {
     }
     println!();
     for b in [4usize, 16] {
-        run_case(1 << 13, b, 0.0);
+        run_case(1 << 13, b, 0.0, &mut last_scrape);
     }
     println!();
-    run_case(1 << 12, 8, 0.002);
+    run_case(1 << 12, 8, 0.002, &mut last_scrape);
+    report.embed_scrape(&last_scrape);
     report.emit();
 
     println!("\nshape check: W/(n/B) is a near-constant (slowly decaying lower-order");

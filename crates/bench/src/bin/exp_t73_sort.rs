@@ -47,6 +47,7 @@ fn main() {
     );
 
     let mut report = BenchReport::new("exp_t73_sort");
+    let mut last_scrape = String::new();
     for n in cli.cap_sizes(&[1 << 9, 1 << 10, 1 << 11, 1 << 12, 1 << 13]) {
         let input = data(n);
         let mut expect = input.clone();
@@ -79,6 +80,7 @@ fn main() {
             let rep = rt.run_or_replay(&ss.comp());
             assert!(rep.completed());
             assert_eq!(ss.read_output(rt.machine()), expect);
+            last_scrape = rt.machine().obs().registry().render();
             rep.stats().total_work()
         };
 
@@ -103,6 +105,7 @@ fn main() {
             .metric("merge_per_level_x", w_ms as f64 / (nb * log_n_m))
             .metric("sample_per_level_x", w_ss as f64 / (nb * log_m_n));
     }
+    report.embed_scrape(&last_scrape);
     report.emit();
 
     println!("\nshape check: each normalized per-level constant is flat in n for its");

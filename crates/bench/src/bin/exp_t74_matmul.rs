@@ -13,7 +13,7 @@ use ppm_sched::{Runtime, SchedConfig};
 
 const W: [usize; 7] = [5, 6, 7, 11, 13, 7, 8];
 
-fn run_case(n: usize, m_eph: usize, f: f64, verify: bool) -> f64 {
+fn run_case(n: usize, m_eph: usize, f: f64, verify: bool, scrape: &mut String) -> f64 {
     let cfg = if f == 0.0 {
         FaultConfig::none()
     } else {
@@ -55,6 +55,7 @@ fn run_case(n: usize, m_eph: usize, f: f64, verify: bool) -> f64 {
         ],
         &W,
     );
+    *scrape = rt.machine().obs().registry().render();
     st.total_work() as f64 / model
 }
 
@@ -69,17 +70,19 @@ fn main() {
 
     // n sweep at fixed M.
     let mut report = BenchReport::new("exp_t74_matmul");
+    let mut last_scrape = String::new();
     for n in cli.cap_sizes(&[16usize, 32, 64, 128]) {
-        let per_model = run_case(n, 64, 0.0, n <= 64);
+        let per_model = run_case(n, 64, 0.0, n <= 64, &mut last_scrape);
         report.note("n", n).metric("work_per_model_x", per_model);
     }
     println!();
     // M sweep at fixed n: work should drop like 1/sqrt(M).
     for m_eph in [64usize, 256, 1024] {
-        run_case(64, m_eph, 0.0, false);
+        run_case(64, m_eph, 0.0, false, &mut last_scrape);
     }
     println!();
-    run_case(32, 64, 0.002, true);
+    run_case(32, 64, 0.002, true, &mut last_scrape);
+    report.embed_scrape(&last_scrape);
     report.emit();
 
     println!("\nshape check: W/model (model = n^3/(B*sqrt(M))) is a stable constant");

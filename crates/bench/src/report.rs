@@ -92,6 +92,56 @@ impl BenchReport {
         s
     }
 
+    /// Embeds a Prometheus-format scrape (see [`ppm_obs::MetricsRegistry::render`])
+    /// as metrics named `obs.<family>[.<label>_<value>...]` — the final
+    /// observability snapshot rides along in `BENCH_<name>.json`, so a CI
+    /// artifact carries the counters (steals, adoptions, checkpoint skips,
+    /// faults) behind each wall-clock number. Label values are sanitized
+    /// to `[A-Za-z0-9_]` so the restricted JSON subset round-trips; `#`
+    /// comment lines and non-finite samples are skipped.
+    pub fn embed_scrape(&mut self, scrape: &str) -> &mut Self {
+        for line in scrape.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((series, value)) = line.rsplit_once(' ') else {
+                continue;
+            };
+            let Ok(value) = value.parse::<f64>() else {
+                continue;
+            };
+            if !value.is_finite() {
+                continue;
+            }
+            let mut key = String::from("obs.");
+            match series.split_once('{') {
+                None => key.push_str(series),
+                Some((family, labels)) => {
+                    key.push_str(family);
+                    for lab in labels.trim_end_matches('}').split(',') {
+                        let Some((k, v)) = lab.split_once('=') else {
+                            continue;
+                        };
+                        key.push('.');
+                        key.push_str(k.trim());
+                        key.push('_');
+                        for c in v.trim().trim_matches('"').chars() {
+                            key.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+                        }
+                    }
+                }
+            }
+            self.metric(key, value);
+        }
+        self
+    }
+
+    /// Renders `registry` and embeds the snapshot via [`Self::embed_scrape`].
+    pub fn embed_obs(&mut self, registry: &ppm_obs::MetricsRegistry) -> &mut Self {
+        self.embed_scrape(&registry.render())
+    }
+
     /// The output path this report writes to under `dir`.
     pub fn path_in(&self, dir: &Path) -> PathBuf {
         dir.join(format!("BENCH_{}.json", self.name))
@@ -256,6 +306,25 @@ mod tests {
     fn garbage_does_not_parse() {
         assert!(BenchReport::parse("not json").is_none());
         assert!(BenchReport::parse("{\"name\": \"x\"}").is_none());
+    }
+
+    #[test]
+    fn embedded_scrape_round_trips() {
+        let mut r = BenchReport::new("exp_obs");
+        r.embed_scrape(
+            "# HELP ppm_work_total faultless work\n\
+             # TYPE ppm_work_total counter\n\
+             ppm_work_total 42\n\
+             ppm_reads_total{proc=\"0\"} 7\n\
+             ppm_steal_latency_us_bucket{le=\"+Inf\"} 3\n\
+             ppm_bad NaN\n",
+        );
+        assert_eq!(r.metrics["obs.ppm_work_total"], 42.0);
+        assert_eq!(r.metrics["obs.ppm_reads_total.proc_0"], 7.0);
+        assert_eq!(r.metrics["obs.ppm_steal_latency_us_bucket.le__Inf"], 3.0);
+        assert!(!r.metrics.contains_key("obs.ppm_bad"));
+        let parsed = BenchReport::parse(&r.to_json()).expect("parses");
+        assert_eq!(parsed, r);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use ppm_obs::Obs;
 use ppm_pm::{
     Addr, LayoutBuilder, Liveness, MemStats, PersistentMemory, PmConfig, ProcCtx, Region,
     StatsSnapshot, Word,
@@ -61,6 +62,7 @@ pub struct Machine {
     cfg: PmConfig,
     mem: Arc<PersistentMemory>,
     stats: Arc<MemStats>,
+    obs: Arc<Obs>,
     liveness: Arc<Liveness>,
     arena: Arc<ContArena>,
     registry: Arc<CapsuleRegistry>,
@@ -112,8 +114,26 @@ impl Machine {
         let pools = (0..cfg.procs).map(|_| layout.region(pool_words)).collect();
         let registry = Arc::new(CapsuleRegistry::new());
         register_core_capsules(&registry);
+        let obs = Arc::new(Obs::new());
+        let stats = Arc::new(MemStats::new(cfg.procs));
+        // Every subsystem built over this machine exports through this
+        // one handle: the cost-model counters now, the scheduler and
+        // checkpoint layers as they are constructed.
+        stats.register_into(obs.registry());
+        mem.set_dirty_histogram(obs.registry().histogram(
+            "ppm_dirty_run_pages",
+            "page length of each run synced by an incremental flush",
+        ));
+        let epoch_val = epoch;
+        obs.registry().gauge_fn(
+            "ppm_epoch",
+            "durable run epoch (0 volatile, 1 creating run, +1 per reopen)",
+            &[],
+            move || epoch_val as f64,
+        );
         Machine {
-            stats: Arc::new(MemStats::new(cfg.procs)),
+            stats,
+            obs,
             liveness: Arc::new(Liveness::new(cfg.procs)),
             arena: Arc::new(ContArena::with_rehydration(mem.clone(), registry.clone())),
             registry,
@@ -293,6 +313,13 @@ impl Machine {
     /// The machine's statistics.
     pub fn stats(&self) -> &Arc<MemStats> {
         &self.stats
+    }
+
+    /// The machine's observability handle: the metrics registry every
+    /// subsystem over this machine registers into (scraped by
+    /// [`ppm_obs::MetricsServer`]) plus the structured event tracer.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// Snapshot of the statistics.

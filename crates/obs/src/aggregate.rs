@@ -1,0 +1,177 @@
+//! Multi-scrape aggregation for the sharded runtime: the coordinator
+//! scrapes each worker's endpoint, tags every series with the worker's
+//! `shard` label, and regroups families so the merged output is still
+//! valid Prometheus text exposition (one `# HELP`/`# TYPE` per family,
+//! series of a family consecutive).
+//!
+//! Both passes are plain line transforms over already-rendered text, so
+//! a worker whose process is gone keeps contributing its **last-seen**
+//! scrape verbatim — exactly the staleness semantics adoption needs.
+
+use std::collections::HashMap;
+
+/// Splits a series line `name{labels} value` / `name value` into
+/// `(name, rest-of-line)`.
+fn series_name(line: &str) -> (&str, &str) {
+    let cut = line.find(['{', ' ']).unwrap_or(line.len());
+    (&line[..cut], &line[cut..])
+}
+
+/// Injects `key="value"` as the first label of every series line in a
+/// rendered scrape, leaving comment lines untouched and lines that
+/// already carry `key` unchanged.
+pub fn inject_label(text: &str, key: &str, value: &str) -> String {
+    let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::with_capacity(text.len() + 64);
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        }
+        let (name, rest) = series_name(line);
+        if let Some(inner) = rest.strip_prefix('{') {
+            if labels_contain_key(inner, key) {
+                out.push_str(line);
+            } else {
+                out.push_str(name);
+                out.push_str(&format!("{{{key}=\"{escaped}\",{inner}"));
+            }
+        } else {
+            out.push_str(name);
+            out.push_str(&format!("{{{key}=\"{escaped}\"}}{rest}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Whether the `{...} value` tail already binds `key`.
+fn labels_contain_key(inner_and_value: &str, key: &str) -> bool {
+    let labels = inner_and_value.split('}').next().unwrap_or(inner_and_value);
+    labels.split(',').any(|pair| {
+        pair.trim_start()
+            .strip_prefix(key)
+            .is_some_and(|r| r.trim_start().starts_with('='))
+    })
+}
+
+struct Family {
+    help: Option<String>,
+    typ: Option<String>,
+    series: Vec<String>,
+}
+
+/// Merges several rendered scrapes into one valid exposition: families
+/// with the same name are unified (first `# HELP`/`# TYPE` wins, series
+/// concatenated in input order, exact-duplicate series dropped).
+pub fn merge_scrapes(parts: &[String]) -> String {
+    let mut order: Vec<String> = Vec::new();
+    let mut families: HashMap<String, Family> = HashMap::new();
+    for part in parts {
+        for line in part.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, payload) = if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (n, h) = rest.split_once(' ').unwrap_or((rest, ""));
+                (family_of(n), Some(("help", h)))
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (n, t) = rest.split_once(' ').unwrap_or((rest, ""));
+                (family_of(n), Some(("type", t)))
+            } else if line.starts_with('#') {
+                continue;
+            } else {
+                (family_of(series_name(line).0), None)
+            };
+            let fam = families.entry(name.clone()).or_insert_with(|| {
+                order.push(name.clone());
+                Family {
+                    help: None,
+                    typ: None,
+                    series: Vec::new(),
+                }
+            });
+            match payload {
+                Some(("help", h)) => {
+                    fam.help.get_or_insert_with(|| h.to_string());
+                }
+                Some(("type", t)) => {
+                    fam.typ.get_or_insert_with(|| t.to_string());
+                }
+                _ => {
+                    if !fam.series.iter().any(|s| s == line) {
+                        fam.series.push(line.to_string());
+                    }
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    for name in order {
+        let fam = &families[&name];
+        if let Some(h) = &fam.help {
+            out.push_str(&format!("# HELP {name} {h}\n"));
+        }
+        if let Some(t) = &fam.typ {
+            out.push_str(&format!("# TYPE {name} {t}\n"));
+        }
+        for s in &fam.series {
+            out.push_str(s);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Collapses histogram sub-series (`_bucket`/`_sum`/`_count`) onto their
+/// family name so a family's pieces stay grouped under one header.
+fn family_of(series: &str) -> String {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = series.strip_suffix(suffix) {
+            return stem.to_string();
+        }
+    }
+    series.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_adds_first_label() {
+        let text = "# HELP m h\n# TYPE m counter\nm 3\nm{proc=\"1\"} 4\n";
+        let got = inject_label(text, "shard", "2");
+        assert!(got.contains("m{shard=\"2\"} 3"));
+        assert!(got.contains("m{shard=\"2\",proc=\"1\"} 4"));
+        assert!(got.contains("# HELP m h"));
+    }
+
+    #[test]
+    fn inject_skips_existing_key() {
+        let text = "m{shard=\"9\"} 1\n";
+        assert_eq!(inject_label(text, "shard", "2"), text);
+    }
+
+    #[test]
+    fn merge_groups_families_across_parts() {
+        let a = "# HELP m h\n# TYPE m counter\nm{shard=\"0\"} 1\n".to_string();
+        let b = "# HELP m h\n# TYPE m counter\nm{shard=\"1\"} 2\n".to_string();
+        let got = merge_scrapes(&[a, b]);
+        assert_eq!(got.matches("# TYPE m counter").count(), 1);
+        let help_at = got.find("# HELP m").unwrap();
+        let s0 = got.find("m{shard=\"0\"}").unwrap();
+        let s1 = got.find("m{shard=\"1\"}").unwrap();
+        assert!(help_at < s0 && s0 < s1);
+    }
+
+    #[test]
+    fn merge_keeps_histogram_pieces_under_one_family() {
+        let a = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 2\nh_count 1\n".to_string();
+        let b = "# TYPE h histogram\nh_bucket{shard=\"1\",le=\"+Inf\"} 3\n".to_string();
+        let got = merge_scrapes(&[a, b]);
+        assert_eq!(got.matches("# TYPE h histogram").count(), 1);
+        assert!(got.contains("h_bucket{shard=\"1\",le=\"+Inf\"} 3"));
+    }
+}

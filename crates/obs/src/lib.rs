@@ -1,0 +1,111 @@
+//! # `ppm-obs` — observability for the Parallel-PM runtime
+//!
+//! The paper's cost model (Blelloch, Gibbons, Gu, McGuffey and Shun,
+//! SPAA 2018) is defined by counters — faultless work `W` vs. total work
+//! `W_f`, maximum capsule work `C`, fault and restart counts — and the
+//! runtime grew more (checkpoint skip/retry, shard adoption, lease
+//! heartbeats, dirty-page flushing). This crate gives them one export
+//! path:
+//!
+//! * [`MetricsRegistry`] — typed [`Counter`]/[`Gauge`]/[`Histogram`]
+//!   handles over relaxed atomics plus scrape-time collector closures,
+//!   rendered in the Prometheus text exposition format (0.0.4).
+//! * [`MetricsServer`] — a hand-rolled stdlib-`TcpListener` HTTP
+//!   endpoint answering `GET /metrics` (the build is offline; no HTTP
+//!   framework), with [`http_get`] as the matching one-shot client and
+//!   [`inject_label`]/[`merge_scrapes`] so a sharded coordinator can
+//!   aggregate per-worker scrapes under `shard` labels — keeping a dead
+//!   worker's last-seen series visible through adoption.
+//! * [`Tracer`] — a ring-buffered, sampled structured event trace
+//!   (run/epoch/capsule/steal/adoption/checkpoint/recovery) flushed to a
+//!   JSONL sidecar and summarized as [`TraceSummary`].
+//!
+//! [`Obs`] bundles one registry plus one tracer; a machine owns exactly
+//! one `Arc<Obs>` and every subsystem built over that machine registers
+//! into it.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregate;
+pub mod metrics;
+pub mod server;
+pub mod trace;
+
+use std::sync::Arc;
+
+pub use aggregate::{inject_label, merge_scrapes};
+pub use metrics::{
+    Counter, CounterSource, Gauge, GaugeSource, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS,
+};
+pub use server::{http_get, BodyFn, MetricsServer};
+pub use trace::{
+    TraceEvent, TraceKind, TraceSummary, Tracer, DEFAULT_TRACE_CAPACITY, DEFAULT_TRACE_SAMPLE,
+};
+
+/// Environment variable selecting the scrape port. Single-process runs
+/// serve on exactly this port; a sharded coordinator serves the
+/// aggregated view here and worker `s` serves on `port + 1 + s`.
+pub const METRICS_PORT_ENV: &str = "PPM_METRICS_PORT";
+/// Environment variable naming the JSONL trace sidecar file (workers
+/// append `.shard<N>`). Setting it enables the tracer.
+pub const TRACE_FILE_ENV: &str = "PPM_TRACE_FILE";
+/// Environment variable overriding the trace sampling divisor for
+/// high-rate kinds (default [`DEFAULT_TRACE_SAMPLE`]).
+pub const TRACE_SAMPLE_ENV: &str = "PPM_TRACE_SAMPLE";
+
+/// One machine's observability handle: a metrics registry plus an event
+/// tracer, shared by every subsystem built over that machine.
+#[derive(Debug, Default)]
+pub struct Obs {
+    registry: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
+}
+
+impl Obs {
+    /// A fresh handle (tracer disabled, default capacity), honoring the
+    /// `PPM_TRACE_FILE` / `PPM_TRACE_SAMPLE` environment knobs.
+    pub fn new() -> Self {
+        let obs = Obs {
+            registry: Arc::new(MetricsRegistry::new()),
+            tracer: Arc::new(Tracer::new(DEFAULT_TRACE_CAPACITY)),
+        };
+        if std::env::var(TRACE_FILE_ENV).is_ok() {
+            obs.tracer.enable();
+        }
+        if let Some(n) = std::env::var(TRACE_SAMPLE_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
+            obs.tracer.set_sample(n);
+        }
+        obs
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The event tracer.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Port requested via `PPM_METRICS_PORT`, if any.
+    pub fn metrics_port_from_env() -> Option<u16> {
+        std::env::var(METRICS_PORT_ENV).ok()?.parse().ok()
+    }
+
+    /// Trace sidecar path requested via `PPM_TRACE_FILE`, if any.
+    pub fn trace_file_from_env() -> Option<std::path::PathBuf> {
+        std::env::var(TRACE_FILE_ENV).ok().map(Into::into)
+    }
+
+    /// Starts a [`MetricsServer`] on `port` rendering this handle's
+    /// registry.
+    pub fn serve(&self, port: u16) -> std::io::Result<MetricsServer> {
+        let reg = self.registry.clone();
+        MetricsServer::start(port, Arc::new(move || reg.render()))
+    }
+}

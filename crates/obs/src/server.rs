@@ -1,0 +1,192 @@
+//! The scrape surface: a hand-rolled blocking HTTP/1.1 listener over
+//! stdlib `TcpListener` (the build is fully offline — no HTTP framework)
+//! plus the matching one-shot GET client the coordinator uses to scrape
+//! its workers.
+//!
+//! The server answers `GET /metrics` (and `/`) with whatever the body
+//! closure renders at that instant, `Content-Type:
+//! text/plain; version=0.0.4` per the Prometheus exposition spec, and
+//! closes the connection. One accept thread, nonblocking accept with a
+//! short poll so shutdown is prompt; request handling is sequential —
+//! scrapers poll at human timescales and the registry render is
+//! microseconds.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Closure rendering the scrape body; called once per request.
+pub type BodyFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// A running metrics endpoint. Dropping (or [`MetricsServer::stop`])
+/// shuts the accept loop down.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MetricsServer({})", self.addr)
+    }
+}
+
+impl MetricsServer {
+    /// Binds `127.0.0.1:port` (`port` 0 picks an ephemeral port — read it
+    /// back from [`MetricsServer::port`]) and serves `body()` on every
+    /// `GET /metrics`.
+    pub fn start(port: u16, body: BodyFn) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = shutdown.clone();
+        let handle = std::thread::Builder::new()
+            .name("ppm-obs-http".into())
+            .spawn(move || accept_loop(listener, stop, body))?;
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shutdown: Arc<AtomicBool>, body: BodyFn) {
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = serve_one(stream, &body);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, body: &BodyFn) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Read until the header terminator (we ignore request bodies).
+    let mut req = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        req.extend_from_slice(&buf[..n]);
+        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 16 * 1024 {
+            break;
+        }
+    }
+    let first = String::from_utf8_lossy(&req);
+    let first = first.lines().next().unwrap_or("");
+    let mut parts = first.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, text) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            String::from("method not allowed\n"),
+        )
+    } else if path == "/metrics" || path == "/" {
+        ("200 OK", body())
+    } else {
+        ("404 Not Found", String::from("try /metrics\n"))
+    };
+    let resp = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{text}",
+        text.len()
+    );
+    stream.write_all(resp.as_bytes())?;
+    stream.flush()
+}
+
+/// One-shot `GET` against a local scrape endpoint; returns the body on
+/// HTTP 200, an error otherwise. This is the coordinator's worker-scrape
+/// primitive and doubles as the assertion hook in examples and tests.
+pub fn http_get(
+    addr: impl ToSocketAddrs,
+    path: &str,
+    timeout: Duration,
+) -> std::io::Result<String> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut resp = String::new();
+    stream.read_to_string(&mut resp)?;
+    let (head, rest) = resp
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header end"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(std::io::Error::other(format!("scrape failed: {status}")));
+    }
+    Ok(rest.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn serves_metrics_and_404s_elsewhere() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.counter("ppm_up_total", "ups").add(3);
+        let r = reg.clone();
+        let server = MetricsServer::start(0, Arc::new(move || r.render())).unwrap();
+        let body = http_get(server.addr(), "/metrics", Duration::from_secs(2)).unwrap();
+        assert!(body.contains("ppm_up_total 3"));
+        let err = http_get(server.addr(), "/nope", Duration::from_secs(2));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn stop_is_prompt_and_idempotent() {
+        let mut server = MetricsServer::start(0, Arc::new(|| String::from("x 1\n"))).unwrap();
+        let addr = server.addr();
+        server.stop();
+        server.stop();
+        assert!(http_get(addr, "/metrics", Duration::from_millis(200)).is_err());
+    }
+}

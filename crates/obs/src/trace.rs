@@ -1,0 +1,388 @@
+//! Structured event tracing: a fixed-capacity ring of timestamped
+//! events (run/epoch/capsule/steal/adoption/checkpoint/recovery) with a
+//! sampling knob bounding the overhead of the high-rate kinds, flushed
+//! to a JSONL sidecar file and summarized into the session report.
+//!
+//! The disabled fast path is one relaxed atomic load; the enabled path
+//! for sampled kinds is an atomic increment plus a modulo check before
+//! anything allocates, so tracing can stay compiled into the steal loop.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default ring capacity (events retained, oldest overwritten).
+pub const DEFAULT_TRACE_CAPACITY: usize = 8192;
+/// Default sampling divisor for high-rate kinds: record 1 in N.
+pub const DEFAULT_TRACE_SAMPLE: u64 = 64;
+
+/// What happened. High-rate kinds ([`TraceKind::Steal`],
+/// [`TraceKind::Capsule`]) are sampled; the rest always record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A scheduler session started driving seats.
+    RunStart,
+    /// A scheduler session finished (completed or stalled).
+    RunEnd,
+    /// A machine epoch began (fresh run or recovery attempt).
+    Epoch,
+    /// A capsule phase executed (sampled).
+    Capsule,
+    /// A steal attempt resolved (sampled).
+    Steal,
+    /// A frontier entry of a *remote* (dead) shard was adopted.
+    Adoption,
+    /// An adoption was refused (unresumable remote entry).
+    BlockedAdoption,
+    /// A sibling shard's lease was declared dead.
+    ShardDead,
+    /// A checkpoint quiesce ran.
+    Checkpoint,
+    /// A recovery path executed (resume, checkpoint-resume, replay).
+    Recovery,
+}
+
+/// All kinds, in stable order (indexes the per-kind counters).
+const KINDS: [TraceKind; 10] = [
+    TraceKind::RunStart,
+    TraceKind::RunEnd,
+    TraceKind::Epoch,
+    TraceKind::Capsule,
+    TraceKind::Steal,
+    TraceKind::Adoption,
+    TraceKind::BlockedAdoption,
+    TraceKind::ShardDead,
+    TraceKind::Checkpoint,
+    TraceKind::Recovery,
+];
+
+impl TraceKind {
+    /// Stable lowercase name used in JSONL and summaries.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::RunStart => "run_start",
+            TraceKind::RunEnd => "run_end",
+            TraceKind::Epoch => "epoch",
+            TraceKind::Capsule => "capsule",
+            TraceKind::Steal => "steal",
+            TraceKind::Adoption => "adoption",
+            TraceKind::BlockedAdoption => "blocked_adoption",
+            TraceKind::ShardDead => "shard_dead",
+            TraceKind::Checkpoint => "checkpoint",
+            TraceKind::Recovery => "recovery",
+        }
+    }
+
+    fn idx(self) -> usize {
+        KINDS.iter().position(|k| *k == self).unwrap()
+    }
+
+    fn sampled(self) -> bool {
+        matches!(self, TraceKind::Capsule | TraceKind::Steal)
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Microseconds since the tracer was created.
+    pub t_us: u64,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Shard index, when the event is shard-scoped.
+    pub shard: Option<u32>,
+    /// Model-processor index, when the event is proc-scoped.
+    pub proc_id: Option<u32>,
+    /// Free-form detail (kept short; appears verbatim in the JSONL).
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// Renders the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = format!("{{\"t_us\":{},\"kind\":\"{}\"", self.t_us, self.kind.name());
+        if let Some(sh) = self.shard {
+            s.push_str(&format!(",\"shard\":{sh}"));
+        }
+        if let Some(p) = self.proc_id {
+            s.push_str(&format!(",\"proc\":{p}"));
+        }
+        if !self.detail.is_empty() {
+            s.push_str(&format!(",\"detail\":\"{}\"", escape_json(&self.detail)));
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Ring {
+    buf: Vec<Option<TraceEvent>>,
+    next: usize,
+    recorded: u64,
+}
+
+/// The ring-buffered event tracer one [`crate::Obs`] handle owns.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    sample: AtomicU64,
+    start: Instant,
+    seen: [AtomicU64; KINDS.len()],
+    dropped: AtomicU64,
+    inner: Mutex<Ring>,
+}
+
+impl std::fmt::Debug for Ring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Ring(cap {}, recorded {})",
+            self.buf.len(),
+            self.recorded
+        )
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer retaining up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            sample: AtomicU64::new(DEFAULT_TRACE_SAMPLE),
+            start: Instant::now(),
+            seen: std::array::from_fn(|_| AtomicU64::new(0)),
+            dropped: AtomicU64::new(0),
+            inner: Mutex::new(Ring {
+                buf: vec![None; capacity.max(16)],
+                next: 0,
+                recorded: 0,
+            }),
+        }
+    }
+
+    /// Turns recording on.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Turns recording off (events already buffered are kept).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Whether recording is on.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Sets the sampling divisor for high-rate kinds: record 1 in `n`
+    /// (`n = 1` records everything; 0 is clamped to 1).
+    pub fn set_sample(&self, n: u64) {
+        self.sample.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// Microseconds since tracer creation (the event clock).
+    pub fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Records an event, building `detail` only if it will be kept.
+    #[inline]
+    pub fn record_with(
+        &self,
+        kind: TraceKind,
+        shard: Option<u32>,
+        proc_id: Option<u32>,
+        detail: impl FnOnce() -> String,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let seen = self.seen[kind.idx()].fetch_add(1, Ordering::Relaxed);
+        if kind.sampled() && !seen.is_multiple_of(self.sample.load(Ordering::Relaxed)) {
+            return;
+        }
+        let ev = TraceEvent {
+            t_us: self.now_us(),
+            kind,
+            shard,
+            proc_id,
+            detail: detail(),
+        };
+        let mut ring = self.inner.lock().unwrap();
+        let slot = ring.next;
+        if ring.buf[slot].is_some() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.buf[slot] = Some(ev);
+        ring.next = (slot + 1) % ring.buf.len();
+        ring.recorded += 1;
+    }
+
+    /// Records an event with a ready-made detail string.
+    pub fn record(&self, kind: TraceKind, shard: Option<u32>, proc_id: Option<u32>, detail: &str) {
+        self.record_with(kind, shard, proc_id, || detail.to_string());
+    }
+
+    /// The buffered events in chronological order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let ring = self.inner.lock().unwrap();
+        let n = ring.buf.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            if let Some(ev) = &ring.buf[(ring.next + i) % n] {
+                out.push(ev.clone());
+            }
+        }
+        out
+    }
+
+    /// Renders the buffered events as JSON Lines.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for ev in self.events() {
+            s.push_str(&ev.to_json());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Writes the buffered events to `path` as JSONL (creating parent
+    /// directories as needed); returns how many events were written.
+    pub fn flush_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
+        let events = self.events();
+        let mut s = String::new();
+        for ev in &events {
+            s.push_str(&ev.to_json());
+            s.push('\n');
+        }
+        if let Some(parent) = path.as_ref().parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, s)?;
+        Ok(events.len())
+    }
+
+    /// Point-in-time summary of tracing activity.
+    pub fn summary(&self) -> TraceSummary {
+        let ring = self.inner.lock().unwrap();
+        TraceSummary {
+            enabled: self.is_enabled(),
+            recorded: ring.recorded,
+            overwritten: self.dropped.load(Ordering::Relaxed),
+            seen: KINDS
+                .iter()
+                .map(|k| (k.name(), self.seen[k.idx()].load(Ordering::Relaxed)))
+                .filter(|(_, n)| *n > 0)
+                .map(|(k, n)| (k.to_string(), n))
+                .collect(),
+        }
+    }
+}
+
+/// Compact trace accounting embedded in session reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Whether the tracer was enabled when summarized.
+    pub enabled: bool,
+    /// Events written into the ring (post-sampling).
+    pub recorded: u64,
+    /// Ring overwrites (events lost to capacity).
+    pub overwritten: u64,
+    /// Events *seen* per kind (pre-sampling), nonzero kinds only.
+    pub seen: Vec<(String, u64)>,
+}
+
+impl TraceSummary {
+    /// Events seen for `kind` (pre-sampling), 0 when never seen.
+    pub fn seen_of(&self, kind: TraceKind) -> u64 {
+        self.seen
+            .iter()
+            .find(|(k, _)| k == kind.name())
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new(64);
+        t.record(TraceKind::Adoption, Some(1), None, "x");
+        assert!(t.events().is_empty());
+        assert_eq!(t.summary().recorded, 0);
+    }
+
+    #[test]
+    fn events_round_trip_to_jsonl() {
+        let t = Tracer::new(64);
+        t.enable();
+        t.record(TraceKind::ShardDead, Some(3), None, "lease expired");
+        t.record(TraceKind::Adoption, Some(0), Some(1), "job from shard 3");
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"shard_dead\"") && lines[0].contains("\"shard\":3"));
+        assert!(lines[1].contains("\"proc\":1"));
+        assert_eq!(t.summary().seen_of(TraceKind::Adoption), 1);
+    }
+
+    #[test]
+    fn sampling_bounds_high_rate_kinds() {
+        let t = Tracer::new(4096);
+        t.enable();
+        t.set_sample(10);
+        for _ in 0..100 {
+            t.record(TraceKind::Steal, None, Some(0), "");
+        }
+        assert_eq!(t.events().len(), 10);
+        assert_eq!(t.summary().seen_of(TraceKind::Steal), 100);
+        // Low-rate kinds are never sampled away.
+        for _ in 0..5 {
+            t.record(TraceKind::Checkpoint, None, None, "");
+        }
+        assert_eq!(t.summary().seen_of(TraceKind::Checkpoint), 5);
+        assert_eq!(t.events().len(), 15);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let t = Tracer::new(16);
+        t.enable();
+        for i in 0..40 {
+            t.record(TraceKind::Epoch, None, None, &format!("e{i}"));
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 16);
+        assert_eq!(evs.last().unwrap().detail, "e39");
+        assert_eq!(evs.first().unwrap().detail, "e24");
+        let sum = t.summary();
+        assert_eq!(sum.recorded, 40);
+        assert_eq!(sum.overwritten, 24);
+    }
+}

@@ -94,6 +94,11 @@ pub struct PersistentMemory {
     /// flush cost scales with the synced range); `None` keeps volatile
     /// word traffic free of the extra atomic.
     dirty: Option<DirtyTracker>,
+    /// Observability hook: per-run flushed-page counts land here when the
+    /// owning machine has wired a registry histogram (see
+    /// [`PersistentMemory::set_dirty_histogram`]). Read-locked only on
+    /// the flush path, never on word access.
+    dirty_hist: RwLock<Option<ppm_obs::Histogram>>,
 }
 
 // `words` aliases storage owned by `backend`, which is `Send + Sync`; all
@@ -135,6 +140,23 @@ impl PersistentMemory {
             block_size,
             observer: RwLock::new(None),
             dirty,
+            dirty_hist: RwLock::new(None),
+        }
+    }
+
+    /// Wires the histogram that [`PersistentMemory::flush_dirty`] feeds
+    /// with the page length of every synced run (the "dirty-run length"
+    /// distribution the checkpoint subsystem sizes itself against).
+    pub fn set_dirty_histogram(&self, h: ppm_obs::Histogram) {
+        *self.dirty_hist.write() = Some(h);
+    }
+
+    /// Records synced-run page lengths into the wired histogram, if any.
+    fn observe_dirty_runs(&self, page_lens: impl Iterator<Item = usize>) {
+        if let Some(h) = &*self.dirty_hist.read() {
+            for len in page_lens {
+                h.observe(len as u64);
+            }
         }
     }
 
@@ -178,6 +200,7 @@ impl PersistentMemory {
         let full_pages = self.len.div_ceil(PAGE_WORDS);
         let Some(d) = &self.dirty else {
             self.flush()?;
+            self.observe_dirty_runs(std::iter::once(full_pages));
             return Ok(DirtyFlush {
                 pages: full_pages,
                 runs: 1,
@@ -190,6 +213,7 @@ impl PersistentMemory {
                 d.mark_all();
                 return Err(e);
             }
+            self.observe_dirty_runs(std::iter::once(full_pages));
             return Ok(DirtyFlush {
                 pages: full_pages,
                 runs: 1,
@@ -204,6 +228,7 @@ impl PersistentMemory {
             d.mark_all();
             return Err(e);
         }
+        self.observe_dirty_runs(runs.iter().map(|(_, len)| len.div_ceil(PAGE_WORDS)));
         Ok(DirtyFlush {
             pages,
             runs: runs.len(),

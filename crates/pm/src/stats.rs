@@ -17,11 +17,16 @@
 //! perturb the concurrency being measured.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// One processor's counters. Padded out by being its own cache line in the
-/// parent `Vec` is unnecessary here — counts are low-rate relative to the
-/// simulated work.
+use ppm_obs::{Histogram, MetricsRegistry};
+
+/// One processor's counters, padded to a cache line: at `P = 8`+ (and in
+/// sharded runs, where every worker process hammers its own slice of the
+/// shared `Vec`), false sharing between adjacent processors' counters is
+/// measurable on the read/write hot path.
 #[derive(Debug, Default)]
+#[repr(align(64))]
 pub struct ProcStats {
     /// External reads performed by this processor (including re-runs).
     pub reads: AtomicU64,
@@ -53,6 +58,9 @@ pub struct MemStats {
     war_conflicts: AtomicU64,
     /// Ephemeral well-formedness violations observed (`Record` mode).
     wellformed_violations: AtomicU64,
+    /// Distribution of per-capsule work (external transfers per completed
+    /// capsule run) — the shape behind the empirical `C`.
+    capsule_work: Histogram,
 }
 
 impl MemStats {
@@ -63,6 +71,7 @@ impl MemStats {
             max_capsule_work: AtomicU64::new(0),
             war_conflicts: AtomicU64::new(0),
             wellformed_violations: AtomicU64::new(0),
+            capsule_work: Histogram::new(),
         }
     }
 
@@ -116,6 +125,7 @@ impl MemStats {
             .fetch_add(1, Ordering::Relaxed);
         self.max_capsule_work
             .fetch_max(capsule_work, Ordering::Relaxed);
+        self.capsule_work.observe(capsule_work);
     }
 
     /// Records processor `proc`'s pool cursor after an allocation,
@@ -170,6 +180,107 @@ impl MemStats {
         s.war_conflicts = self.war_conflicts.load(Ordering::Relaxed);
         s.wellformed_violations = self.wellformed_violations.load(Ordering::Relaxed);
         s
+    }
+
+    /// Registers every counter into `reg` so the scrape surface exports
+    /// the model's cost measures live: per-processor series under a
+    /// `proc` label, the totals (`W_f` as `ppm_work_total`), the
+    /// empirical `C` (`ppm_max_capsule_work`) and its distribution
+    /// (`ppm_capsule_work` histogram). Collector closures read the same
+    /// relaxed atomics [`MemStats::snapshot`] reads, so registration
+    /// adds nothing to the record path.
+    pub fn register_into(self: &Arc<Self>, reg: &MetricsRegistry) {
+        type Row = (&'static str, fn(&ProcStats) -> &AtomicU64, &'static str);
+        let per_proc: &[Row] = &[
+            (
+                "ppm_reads_total",
+                |p| &p.reads,
+                "external reads (includes re-runs)",
+            ),
+            (
+                "ppm_writes_total",
+                |p| &p.writes,
+                "external writes (includes re-runs)",
+            ),
+            (
+                "ppm_soft_faults_total",
+                |p| &p.soft_faults,
+                "soft faults suffered",
+            ),
+            (
+                "ppm_hard_faults_total",
+                |p| &p.hard_faults,
+                "hard faults suffered",
+            ),
+            (
+                "ppm_capsule_runs_total",
+                |p| &p.capsule_runs,
+                "capsule executions started (first runs + restarts)",
+            ),
+            (
+                "ppm_capsule_completions_total",
+                |p| &p.capsule_completions,
+                "capsule executions that installed a successor",
+            ),
+        ];
+        for (name, field, help) in per_proc {
+            for p in 0..self.per_proc.len() {
+                let stats = self.clone();
+                let field = *field;
+                reg.counter_fn(name, help, &[("proc", &p.to_string())], move || {
+                    field(&stats.per_proc[p]).load(Ordering::Relaxed)
+                });
+            }
+        }
+        for p in 0..self.per_proc.len() {
+            let stats = self.clone();
+            reg.gauge_fn(
+                "ppm_pool_peak_words",
+                "peak frame-pool allocation cursor (words)",
+                &[("proc", &p.to_string())],
+                move || stats.per_proc[p].pool_peak.load(Ordering::Relaxed) as f64,
+            );
+        }
+        let stats = self.clone();
+        reg.counter_fn(
+            "ppm_work_total",
+            "total external transfers: the model's total work W_f",
+            &[],
+            move || {
+                stats
+                    .per_proc
+                    .iter()
+                    .map(|p| p.reads.load(Ordering::Relaxed) + p.writes.load(Ordering::Relaxed))
+                    .sum()
+            },
+        );
+        let stats = self.clone();
+        reg.gauge_fn(
+            "ppm_max_capsule_work",
+            "empirical maximum capsule work C (transfers in one capsule run)",
+            &[],
+            move || stats.max_capsule_work.load(Ordering::Relaxed) as f64,
+        );
+        let stats = self.clone();
+        reg.counter_fn(
+            "ppm_war_conflicts_total",
+            "write-after-read conflicts observed (Record mode)",
+            &[],
+            move || stats.war_conflicts.load(Ordering::Relaxed),
+        );
+        let stats = self.clone();
+        reg.counter_fn(
+            "ppm_wellformed_violations_total",
+            "ephemeral well-formedness violations observed (Record mode)",
+            &[],
+            move || stats.wellformed_violations.load(Ordering::Relaxed),
+        );
+        reg.register_histogram(
+            "ppm_capsule_work",
+            "distribution of external transfers per completed capsule run",
+            &[],
+            self.capsule_work.clone(),
+        );
     }
 }
 

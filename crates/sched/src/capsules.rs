@@ -36,6 +36,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ppm_core::{capsule, capsule_unchecked, Cont, DoneFlag, Machine, Next, ProcMeta};
+use ppm_obs::{Counter, Histogram, Obs, TraceKind};
 use ppm_pm::{PersistentMemory, Word};
 
 use crate::cluster::ShardDomain;
@@ -115,6 +116,18 @@ pub struct Sched {
     /// single-process schedulers — every path below behaves exactly as
     /// before.
     domain: Option<Arc<ShardDomain>>,
+    /// The machine's observability handle (steal trace events flow here).
+    obs: Arc<Obs>,
+    /// Steal attempts entered (registered as `ppm_steal_attempts_total`).
+    steal_attempts: Counter,
+    /// Steals that won their CAM (registered as `ppm_steals_total`).
+    steals: Counter,
+    /// Time from entering the steal loop to winning a steal, µs
+    /// (registered as `ppm_steal_latency_us`).
+    steal_latency: Histogram,
+    /// Per-processor µs timestamp of the current steal-loop entry
+    /// (0 = not in the loop). Ephemeral: only feeds the latency metric.
+    steal_since: Vec<AtomicU64>,
 }
 
 impl Sched {
@@ -157,6 +170,17 @@ impl Sched {
         if cfg.check_transitions {
             install_transition_checker(machine, &deques);
         }
+        let obs = machine.obs().clone();
+        let reg = obs.registry();
+        let steal_attempts = reg.counter("ppm_steal_attempts_total", "steal attempts entered");
+        let steals = reg.counter("ppm_steals_total", "steals that won their CAM");
+        let steal_latency = reg.histogram(
+            "ppm_steal_latency_us",
+            "time from entering the steal loop to winning a steal (microseconds)",
+        );
+        if let Some(d) = &domain {
+            d.register_into(reg);
+        }
         Arc::new(Sched {
             p,
             metas: (0..p).map(|i| machine.proc_meta(i)).collect(),
@@ -168,7 +192,49 @@ impl Sched {
             epochs: (0..p).map(|_| AtomicU64::new(0)).collect(),
             domain,
             deques,
+            obs,
+            steal_attempts,
+            steals,
+            steal_latency,
+            steal_since: (0..p).map(|_| AtomicU64::new(0)).collect(),
         })
+    }
+
+    /// Marks `me` as inside the steal loop (first attempt only), so a
+    /// later win can report the loop-entry-to-steal latency.
+    fn note_steal_enter(&self, me: usize) {
+        self.steal_attempts.inc();
+        if self.steal_since[me].load(Ordering::Relaxed) == 0 {
+            self.steal_since[me].store(self.obs.tracer().now_us().max(1), Ordering::Relaxed);
+        }
+    }
+
+    /// Reports a won steal: latency histogram, counter, sampled trace
+    /// event. `what` distinguishes job steals from dead-owner local
+    /// adoption in the trace.
+    fn note_steal_win(&self, me: usize, victim: usize, what: &'static str) {
+        self.steals.inc();
+        let since = self.steal_since[me].swap(0, Ordering::Relaxed);
+        if since != 0 {
+            let lat = self.obs.tracer().now_us().saturating_sub(since);
+            self.steal_latency.observe(lat);
+        }
+        self.obs
+            .tracer()
+            .record_with(TraceKind::Steal, None, Some(me as u32), || {
+                format!("{what} from proc {victim}")
+            });
+    }
+
+    /// Reports a cross-shard adoption of a dead sibling's frontier entry
+    /// (always traced — these are the recovery-timeline events).
+    fn note_adoption_event(&self, me: usize, owner: usize, what: &'static str) {
+        let shard = self.domain.as_ref().map(|d| d.shard_of(owner) as u32);
+        self.obs
+            .tracer()
+            .record_with(TraceKind::Adoption, shard, Some(me as u32), || {
+                format!("{what} entry of dead proc {owner}")
+            });
     }
 
     /// The sharded-mode steal domain, if this scheduler drives one shard
@@ -237,6 +303,12 @@ impl Sched {
                     true
                 } else {
                     d.note_blocked_adoption(owner);
+                    self.obs.tracer().record_with(
+                        TraceKind::BlockedAdoption,
+                        Some(d.shard_of(owner) as u32),
+                        None,
+                        || format!("unresumable local entry of dead proc {owner}"),
+                    );
                     false
                 }
             }
@@ -358,6 +430,7 @@ impl Sched {
                 return Ok(Next::Halt);
             }
             let me = ctx.proc();
+            s.note_steal_enter(me);
             let victim = match s.pick_victim(me, n) {
                 Some(v) => v,
                 None => {
@@ -522,9 +595,12 @@ impl Sched {
         capsule("sched/popTop/check", move |ctx| {
             let cur = ctx.pread(v.entry(i))?;
             if cur == new {
+                let me = ctx.proc();
+                s.note_steal_win(me, v.owner, "job");
                 if let Some(d) = &s.domain {
                     if d.is_remote(v.owner) {
                         d.note_adopted_job();
+                        s.note_adoption_event(me, v.owner, "job");
                     }
                 }
                 Ok(Next::JumpHandle(f))
@@ -607,9 +683,12 @@ impl Sched {
             }
             let handle = ctx.pread(s.metas[v.owner].active)?;
             if s.adoptable_handle(v.owner, handle) {
+                let me = ctx.proc();
+                s.note_steal_win(me, v.owner, "local");
                 if let Some(d) = &s.domain {
                     if d.is_remote(v.owner) {
                         d.note_adopted_local();
+                        s.note_adoption_event(me, v.owner, "local");
                     }
                 }
                 Ok(Next::JumpHandle(handle))

@@ -88,8 +88,10 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use ppm_core::{DoneFlag, Machine, PoolRefs};
+use ppm_obs::TraceKind;
 use ppm_pm::{frame_words, read_frame, CheckpointRecord, ProcCtx, Region, Word};
 
 use crate::capsules::Sched;
@@ -250,7 +252,12 @@ pub(crate) struct CheckpointCtl {
     next_seq: AtomicU64,
     barrier: Mutex<Barrier>,
     cv: Condvar,
-    summary: Mutex<CheckpointSummary>,
+    /// Shared with the machine's metrics registry: scrape-time collector
+    /// closures read the same accounting the run report snapshots.
+    summary: Arc<Mutex<CheckpointSummary>>,
+    /// Microseconds the machine spends quiesced per checkpoint attempt
+    /// (including skipped ones — a busy quiesce still parks everyone).
+    quiesce_us: ppm_obs::Histogram,
 }
 
 impl CheckpointCtl {
@@ -279,6 +286,56 @@ impl CheckpointCtl {
             _ => u64::MAX,
         };
         let done = sched.done();
+        let summary = Arc::new(Mutex::new(CheckpointSummary::default()));
+        let reg = machine.obs().registry();
+        let quiesce_us = reg.histogram(
+            "ppm_checkpoint_quiesce_us",
+            "microseconds the machine spent quiesced per checkpoint attempt",
+        );
+        // Skip/retry accounting as scrape-time collectors over the same
+        // summary the run report snapshots. Replace semantics: each run's
+        // control (including recovery's rebuild) supersedes the last.
+        let register = |name: &str, help: &str, field: fn(&CheckpointSummary) -> u64| {
+            let s = summary.clone();
+            reg.counter_fn(name, help, &[], move || {
+                field(&s.lock().expect("checkpoint summary poisoned"))
+            });
+        };
+        register(
+            "ppm_checkpoints_attempted_total",
+            "quiesces that reached the checkpoint coordinator",
+            |s| s.attempted,
+        );
+        register(
+            "ppm_checkpoints_completed_total",
+            "checkpoints fully taken (GC + flush + record when durable)",
+            |s| s.completed,
+        );
+        register(
+            "ppm_checkpoint_skips_busy_total",
+            "quiesces skipped on an unharvestable boundary, retried later",
+            |s| s.skipped_busy,
+        );
+        register(
+            "ppm_checkpoint_skips_untraced_total",
+            "quiesces skipped because a reachable frame had no GC tracer",
+            |s| s.skipped_untraced,
+        );
+        register(
+            "ppm_checkpoint_records_written_total",
+            "checkpoint records durably written",
+            |s| s.records_written,
+        );
+        register(
+            "ppm_checkpoint_pages_flushed_total",
+            "pages synced by incremental checkpoint flushes",
+            |s| s.pages_flushed,
+        );
+        register(
+            "ppm_checkpoint_words_reclaimed_total",
+            "pool words reclaimed by frame-pool GC",
+            |s| s.words_reclaimed,
+        );
         Arc::new(CheckpointCtl {
             policy,
             done,
@@ -295,7 +352,8 @@ impl CheckpointCtl {
                 live: live_procs,
             }),
             cv: Condvar::new(),
-            summary: Mutex::new(CheckpointSummary::default()),
+            summary,
+            quiesce_us,
             sched,
         })
     }
@@ -397,17 +455,34 @@ impl CheckpointCtl {
         ctx.set_pool_cursor(machine.pool_watermark(proc));
     }
 
-    /// The checkpoint itself. Runs under the barrier lock with every live
-    /// processor parked at a capsule boundary — the machine is quiescent,
-    /// so oracle reads and uncosted stores are exact and race-free.
+    /// The checkpoint itself, timed and traced: the quiesce-time
+    /// histogram sees every attempt (a busy skip still parked everyone),
+    /// and each attempt leaves one `checkpoint` trace event.
     fn run_checkpoint(&self, machine: &Machine) {
+        let t0 = Instant::now();
+        let outcome = self.run_checkpoint_inner(machine);
+        let us = t0.elapsed().as_micros() as u64;
+        self.quiesce_us.observe(us);
+        machine
+            .obs()
+            .tracer()
+            .record_with(TraceKind::Checkpoint, None, None, || {
+                format!("{outcome}; quiesced {us} us")
+            });
+    }
+
+    /// Runs under the barrier lock with every live processor parked at a
+    /// capsule boundary — the machine is quiescent, so oracle reads and
+    /// uncosted stores are exact and race-free. Returns the outcome line
+    /// for the trace event.
+    fn run_checkpoint_inner(&self, machine: &Machine) -> String {
         let mut summary = self.summary.lock().expect("checkpoint summary poisoned");
         summary.attempted += 1;
         if self.done.is_set(machine.mem()) {
             // The computation finished while the request was in flight.
             self.rearm(true, BUSY_RETRY_CAPSULES);
             summary.skipped_busy += 1;
-            return;
+            return "skipped: run already complete".into();
         }
         // The frontier, exactly as crash recovery would harvest it. An
         // unharvestable boundary (steal/push in flight somewhere) skips
@@ -418,7 +493,7 @@ impl CheckpointCtl {
             _ => {
                 self.rearm(false, BUSY_RETRY_CAPSULES);
                 summary.skipped_busy += 1;
-                return;
+                return "skipped: busy boundary".into();
             }
         };
         // Frame-pool GC: highest live word per pool, traced from the
@@ -429,7 +504,7 @@ impl CheckpointCtl {
         let Some(maxima) = trace_live_maxima(machine, &seeds) else {
             self.rearm(false, UNTRACED_RETRY_CAPSULES);
             summary.skipped_untraced += 1;
-            return;
+            return "skipped: untraced frame".into();
         };
         self.rearm(true, BUSY_RETRY_CAPSULES);
         let mut reclaimed_now = 0u64;
@@ -486,6 +561,10 @@ impl CheckpointCtl {
             }
         }
         summary.completed += 1;
+        format!(
+            "completed ({reclaimed_now} words reclaimed, {} pages flushed so far)",
+            summary.pages_flushed
+        )
     }
 
     /// Re-arms the trigger state after a quiesce: a completed checkpoint

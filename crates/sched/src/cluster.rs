@@ -75,12 +75,13 @@
 
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ppm_core::registry::frame_args;
 use ppm_core::{capsule, DoneFlag, Machine, Next};
-use ppm_pm::{Lease, LeaseState, Region, ShardMap, Word};
+use ppm_obs::{MetricsRegistry, MetricsServer, Obs, TraceKind};
+use ppm_pm::{Lease, LeaseState, PersistentMemory, Region, ShardMap, Word};
 
 use crate::capsules::{Sched, SchedConfig};
 use crate::checkpoint::{CheckpointCtl, CheckpointPolicy};
@@ -167,6 +168,11 @@ impl ShardDomain {
         self.map.shard_of(proc) != self.shard
     }
 
+    /// The shard owning processor `proc`.
+    pub fn shard_of(&self, proc: usize) -> usize {
+        self.map.shard_of(proc)
+    }
+
     /// Declares sibling `shard` dead: its processors join the victim set.
     /// Idempotent; marking the own shard is ignored.
     pub fn mark_adoptable(&self, shard: usize) {
@@ -204,6 +210,41 @@ impl ShardDomain {
     /// per processor, not per probing steal attempt).
     pub fn blocked_adoptions(&self) -> u64 {
         self.blocked_adoptions.load(Ordering::Relaxed)
+    }
+
+    /// Registers the domain's adoption counters and dead-sibling mask as
+    /// scrape-time collector closures. Replace semantics: recovery
+    /// rebuilds the scheduler (and with it the domain) over the same
+    /// machine, and the scrape must follow the live instance.
+    pub fn register_into(self: &Arc<Self>, reg: &MetricsRegistry) {
+        let d = self.clone();
+        reg.counter_fn(
+            "ppm_adopted_jobs_total",
+            "job entries stolen from dead siblings' deques",
+            &[],
+            move || d.adopted_jobs(),
+        );
+        let d = self.clone();
+        reg.counter_fn(
+            "ppm_adopted_locals_total",
+            "running threads adopted from dead siblings via restart pointers",
+            &[],
+            move || d.adopted_locals(),
+        );
+        let d = self.clone();
+        reg.counter_fn(
+            "ppm_blocked_adoptions_total",
+            "adoptions refused because the remote restart pointer was not a rehydratable frame",
+            &[],
+            move || d.blocked_adoptions(),
+        );
+        let d = self.clone();
+        reg.gauge_fn(
+            "ppm_shards_declared_dead_mask",
+            "bitmask of sibling shards this worker's liveness oracle declared dead",
+            &[],
+            move || d.adoptable_mask() as f64,
+        );
     }
 
     pub(crate) fn note_adopted_job(&self) {
@@ -501,6 +542,13 @@ pub struct ShardReport {
     pub declared_dead_mask: u64,
     /// Model-level hard faults among the worker's own processors.
     pub dead_procs: u64,
+    /// Epoch-milliseconds horizon of the shard's last accepted heartbeat
+    /// (the deadline of its last `Alive` renewal, preserved through the
+    /// coordinator's tombstone). `None` when the worker never wrote a
+    /// heartbeat — a worker tombstoned before its first renewal still
+    /// gets a report row here (counters zeroed, `started: false`)
+    /// instead of the shard being omitted from the summary.
+    pub last_seen: Option<u64>,
     /// The shard's lease as last read (None: never readable).
     pub lease: Option<Lease>,
 }
@@ -582,6 +630,12 @@ fn read_reports(
         .map(|s| {
             let base = reports.at(s * REPORT_WORDS);
             let state = mem.load(base);
+            let lease = machine.mem().backend().read_lease(s);
+            // Worker heartbeats count from 1; the coordinator's seed
+            // lease is seq 0 and a bare tombstone is seq u64::MAX, so
+            // any other seq proves the worker renewed at least once.
+            let last_seen =
+                lease.and_then(|l| (l.seq >= 1 && l.seq < u64::MAX).then_some(l.deadline_ms));
             ShardReport {
                 shard: s,
                 started: state >= REPORT_STATE_RUNNING,
@@ -593,10 +647,123 @@ fn read_reports(
                 blocked_adoptions: mem.load(base + 4),
                 declared_dead_mask: mem.load(base + 5),
                 dead_procs: mem.load(base + 6),
-                lease: machine.mem().backend().read_lease(s),
+                last_seen,
+                lease,
             }
         })
         .collect()
+}
+
+/// Tombstones shard `s`'s lease, preserving the sequence number and
+/// deadline of a prior accepted heartbeat so the shard's
+/// [`ShardReport::last_seen`] survives the reap. A worker that never
+/// heartbeated (seed lease `seq == 0`, or no readable lease) gets the
+/// bare tombstone and reports `last_seen: None`.
+fn tombstone_lease(machine: &Machine, shard: usize) {
+    let backend = machine.mem().backend();
+    let (seq, deadline_ms) = match backend.read_lease(shard) {
+        Some(l) if l.state == LeaseState::Alive && l.seq >= 1 => (l.seq, l.deadline_ms),
+        _ => (u64::MAX, 0),
+    };
+    let _ = backend.write_lease(
+        shard,
+        &Lease {
+            state: LeaseState::Dead,
+            seq,
+            deadline_ms,
+        },
+    );
+}
+
+// ====================================================================
+// Aggregated scrape surface
+// ====================================================================
+
+/// Renders live lease telemetry for every shard, read from the shared
+/// superblock at scrape time: `ppm_lease_up` (1 while the lease is alive
+/// and unexpired), `ppm_lease_seq` (renewal counter), and
+/// `ppm_lease_age_ms` (milliseconds since the last accepted renewal —
+/// which keeps growing after the worker dies, which is the point).
+fn lease_metrics_text(mem: &PersistentMemory, shards: usize, lease_ms: u64) -> String {
+    use std::fmt::Write as _;
+    let now = ppm_pm::now_ms();
+    let leases: Vec<Option<Lease>> = (0..shards).map(|s| mem.backend().read_lease(s)).collect();
+    let mut out = String::new();
+    out.push_str("# HELP ppm_lease_up whether the shard's lease is alive and unexpired\n");
+    out.push_str("# TYPE ppm_lease_up gauge\n");
+    for (s, l) in leases.iter().enumerate() {
+        let up = matches!(l, Some(l) if l.state == LeaseState::Alive && !l.is_dead(now));
+        let _ = writeln!(out, "ppm_lease_up{{shard=\"{s}\"}} {}", up as u32);
+    }
+    out.push_str("# HELP ppm_lease_seq lease renewal counter of the shard\n");
+    out.push_str("# TYPE ppm_lease_seq gauge\n");
+    for (s, l) in leases.iter().enumerate() {
+        if let Some(l) = l {
+            if l.seq < u64::MAX {
+                let _ = writeln!(out, "ppm_lease_seq{{shard=\"{s}\"}} {}", l.seq);
+            }
+        }
+    }
+    out.push_str(
+        "# HELP ppm_lease_age_ms milliseconds since the shard's last accepted lease renewal\n",
+    );
+    out.push_str("# TYPE ppm_lease_age_ms gauge\n");
+    for (s, l) in leases.iter().enumerate() {
+        if let Some(l) = l {
+            // Heartbeats only (seed and bare tombstones carry no renewal
+            // time); a tombstone that preserved its heartbeat still ages.
+            if l.seq >= 1 && l.seq < u64::MAX {
+                let renewed = l.deadline_ms.saturating_sub(lease_ms);
+                let _ = writeln!(
+                    out,
+                    "ppm_lease_age_ms{{shard=\"{s}\"}} {}",
+                    now.saturating_sub(renewed)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Starts the coordinator's aggregated Prometheus endpoint on `port`.
+/// Each scrape merges (a) the coordinator machine's own registry, (b)
+/// live lease telemetry from the shared superblock, and (c) every
+/// worker's scrape, fetched from `port + 1 + shard` at scrape time and
+/// labeled `shard="<s>"`. A worker that stops answering keeps
+/// contributing its **last-seen** scrape, so a dead shard's counters
+/// stay visible (its lease age still growing) until adoption completes
+/// and the run ends.
+fn serve_aggregate(
+    machine: &Machine,
+    map: ShardMap,
+    lease_ms: u64,
+    port: u16,
+) -> Option<MetricsServer> {
+    let reg = machine.obs().registry().clone();
+    let mem = machine.mem().clone();
+    let cache: Arc<Mutex<Vec<Option<String>>>> = Arc::new(Mutex::new(vec![None; map.shards]));
+    let body: ppm_obs::BodyFn = Arc::new(move || {
+        let mut parts = vec![reg.render(), lease_metrics_text(&mem, map.shards, lease_ms)];
+        let mut cache = cache.lock().unwrap();
+        for (s, slot) in cache.iter_mut().enumerate() {
+            let worker_port = match port.checked_add(1 + s as u16) {
+                Some(p) => p,
+                None => continue,
+            };
+            if let Ok(text) = ppm_obs::http_get(
+                (std::net::Ipv4Addr::LOCALHOST, worker_port),
+                "/metrics",
+                Duration::from_millis(200),
+            ) {
+                *slot = Some(text);
+            }
+            if let Some(text) = slot.as_deref() {
+                parts.push(ppm_obs::inject_label(text, "shard", &s.to_string()));
+            }
+        }
+        ppm_obs::merge_scrapes(&parts)
+    });
+    MetricsServer::start(port, body).ok()
 }
 
 // ====================================================================
@@ -659,6 +826,17 @@ pub fn run_worker(
         &domain,
         0,
     );
+    let obs = machine.obs().clone();
+    obs.tracer()
+        .record_with(TraceKind::RunStart, Some(shard as u32), None, || {
+            format!("worker attached; own procs {:?}", domain.own_procs())
+        });
+    // Worker scrape endpoint on `PPM_METRICS_PORT + 1 + shard`; the
+    // coordinator aggregates these under `shard` labels. Held to the end
+    // of the session so a scraper can watch the shard's whole life.
+    let _metrics = Obs::metrics_port_from_env()
+        .and_then(|p| p.checked_add(1 + shard as u16))
+        .and_then(|p| obs.serve(p).ok());
 
     let stop = AtomicBool::new(false);
     let run = std::thread::scope(|scope| {
@@ -717,6 +895,21 @@ pub fn run_worker(
     };
     let _ = machine.mem().backend().write_lease(shard, &final_lease);
     machine.flush()?;
+    obs.tracer().record(
+        TraceKind::RunEnd,
+        Some(shard as u32),
+        None,
+        if completed {
+            "global completion flag set"
+        } else {
+            "exiting incomplete (own processors dead)"
+        },
+    );
+    if let Some(base) = Obs::trace_file_from_env() {
+        let _ = obs
+            .tracer()
+            .flush_jsonl(format!("{}.shard{shard}", base.display()));
+    }
 
     let summary = ClusterSummary {
         shards: map.shards,
@@ -738,6 +931,7 @@ pub fn run_worker(
         fallback_reason: None,
         checkpoint_resume: None,
         cluster: Some(summary),
+        trace: Some(obs.tracer().summary()),
         run: Some(run),
     })
 }
@@ -773,6 +967,17 @@ fn lease_monitor_loop(
                         machine.liveness().mark_dead(p);
                     }
                     domain.mark_adoptable(s);
+                    machine
+                        .obs()
+                        .tracer()
+                        .record_with(TraceKind::ShardDead, Some(s as u32), None, || {
+                            format!(
+                                "shard {s} declared dead by shard {} (lease {:?}); procs {:?} adoptable",
+                                domain.shard(),
+                                lease.state,
+                                domain.map().procs_of(s)
+                            )
+                        });
                 }
             }
         }
@@ -817,6 +1022,7 @@ pub fn init_observed(
         machine,
         session,
         map,
+        lease_ms: cfg.lease_ms,
     })
 }
 
@@ -826,6 +1032,7 @@ pub struct ClusterObserver {
     machine: Machine,
     session: ClusterSession,
     map: ShardMap,
+    lease_ms: u64,
 }
 
 impl ClusterObserver {
@@ -847,15 +1054,26 @@ impl ClusterObserver {
     /// Tombstones shard `s`'s lease — the coordinator's reap step: call
     /// when the worker's death is known out-of-band (exit status), so
     /// survivors adopt immediately instead of waiting out the expiry.
+    /// The worker's last heartbeat (if any) is preserved in the
+    /// tombstone, so [`ShardReport::last_seen`] survives the reap.
     pub fn tombstone(&self, shard: usize) {
-        let _ = self.machine.mem().backend().write_lease(
-            shard,
-            &Lease {
-                state: LeaseState::Dead,
-                seq: u64::MAX,
-                deadline_ms: 0,
-            },
+        tombstone_lease(&self.machine, shard);
+        self.machine.obs().tracer().record_with(
+            TraceKind::ShardDead,
+            Some(shard as u32),
+            None,
+            || format!("coordinator tombstoned shard {shard}"),
         );
+    }
+
+    /// Starts the aggregated Prometheus scrape endpoint on `port` (see
+    /// [`run_coordinator`]'s `PPM_METRICS_PORT` handling): worker
+    /// scrapes are fetched from `port + 1 + shard` and labeled, lease
+    /// telemetry is read live from the shared superblock, and a dead
+    /// worker keeps contributing its last-seen series. `None` when the
+    /// port cannot be bound.
+    pub fn serve_metrics(&self, port: u16) -> Option<MetricsServer> {
+        serve_aggregate(&self.machine, self.map, self.lease_ms, port)
     }
 
     /// The cluster outcome as currently persisted. Dead shards are
@@ -970,6 +1188,17 @@ pub fn run_coordinator(
     let start = Instant::now();
     let map = ShardMap::new(cfg.pm.procs, cfg.shards);
     let (machine, session) = init_machine(path, cfg, build)?;
+    let obs = machine.obs().clone();
+    obs.tracer()
+        .record_with(TraceKind::RunStart, None, None, || {
+            format!(
+                "coordinator: {} shards x {} procs",
+                map.shards, map.procs_per_shard
+            )
+        });
+    // Aggregated scrape surface (workers serve `port + 1 + shard`).
+    let _metrics =
+        Obs::metrics_port_from_env().and_then(|p| serve_aggregate(&machine, map, cfg.lease_ms, p));
 
     // Spawn, killing the partial fleet if any spawn fails: leaking live
     // workers past an Err would leave them running against a file the
@@ -1006,13 +1235,12 @@ pub fn run_coordinator(
                         })
                     );
                     if !done_lease {
-                        let _ = machine.mem().backend().write_lease(
-                            s,
-                            &Lease {
-                                state: LeaseState::Dead,
-                                seq: u64::MAX,
-                                deadline_ms: 0,
-                            },
+                        tombstone_lease(&machine, s);
+                        obs.tracer().record_with(
+                            TraceKind::ShardDead,
+                            Some(s as u32),
+                            None,
+                            || format!("worker process for shard {s} exited before completion"),
                         );
                     }
                 }
@@ -1072,6 +1300,19 @@ pub fn run_coordinator(
         dead_shards,
     };
     let _ = deadline_hit; // recorded implicitly: incomplete + dead shards
+    obs.tracer().record(
+        TraceKind::RunEnd,
+        None,
+        None,
+        if completed {
+            "cluster run completed"
+        } else {
+            "cluster run incomplete (recover to finish)"
+        },
+    );
+    if let Some(path) = Obs::trace_file_from_env() {
+        let _ = obs.tracer().flush_jsonl(path);
+    }
     Ok(SessionReport {
         epoch: machine.epoch(),
         mode: SessionMode::FreshRun,
@@ -1083,6 +1324,7 @@ pub fn run_coordinator(
         fallback_reason: None,
         checkpoint_resume: None,
         cluster: Some(summary),
+        trace: Some(obs.tracer().summary()),
         run: Some(RunReport {
             completed,
             outcomes,
@@ -1136,6 +1378,16 @@ pub fn recover(path: impl AsRef<std::path::Path>, build: &ShardBuild) -> io::Res
     );
     let (found_jobs, found_locals, found_taken, live_restart_pointers) =
         crash_forensics(&machine, &session.sched);
+    machine
+        .obs()
+        .tracer()
+        .record_with(TraceKind::Recovery, None, None, || {
+            format!(
+                "single-process recovery of a {}-shard cluster file: \
+                 {found_jobs} jobs, {found_locals} locals, {live_restart_pointers} live restart pointers",
+                map.shards
+            )
+        });
     // Reports are re-read once the run is over, so subtree flags reflect
     // what recovery itself finished.
     let summary = |machine: &Machine, dead: Vec<usize>| ClusterSummary {
@@ -1158,6 +1410,7 @@ pub fn recover(path: impl AsRef<std::path::Path>, build: &ShardBuild) -> io::Res
             fallback_reason: None,
             checkpoint_resume: None,
             cluster: Some(summary(&machine, Vec::new())),
+            trace: Some(machine.obs().tracer().summary()),
             run: None,
         });
     }
@@ -1215,6 +1468,7 @@ pub fn recover(path: impl AsRef<std::path::Path>, build: &ShardBuild) -> io::Res
         fallback_reason,
         checkpoint_resume: None,
         cluster: Some(summary(&machine, dead)),
+        trace: Some(machine.obs().tracer().summary()),
         run: Some(run),
     })
 }
@@ -1256,6 +1510,48 @@ mod tests {
         assert_eq!(d.pick_victim(0, 7), None);
         d.mark_adoptable(1);
         assert_eq!(d.pick_victim(0, 7), Some(1));
+    }
+
+    /// A worker tombstoned before its first heartbeat must still get a
+    /// report row (`last_seen: None`, counters intact) instead of being
+    /// dropped, and a tombstone over a real heartbeat must preserve it.
+    #[cfg(unix)]
+    #[test]
+    fn tombstone_before_first_heartbeat_keeps_report_row() {
+        let path =
+            std::env::temp_dir().join(format!("ppm-cluster-tombstone-{}.ppm", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = ClusterConfig::new(PmConfig::parallel(2, 1 << 20), 2).with_lease_ms(500);
+        // The sub-root IS the arrival continuation: each shard's subtree
+        // completes the moment it runs (no workers run here anyway).
+        let build: ShardBuild = Arc::new(|_machine, _s, arrive| arrive);
+        let observer = init_observed(&path, &cfg, &build).expect("init cluster file");
+
+        // Shard 0 heartbeats once, then dies and is reaped.
+        let hb = Lease::alive(7, 500);
+        let _ = observer.machine().mem().backend().write_lease(0, &hb);
+        observer.tombstone(0);
+        // Shard 1 is reaped before ever renewing its seed lease.
+        observer.tombstone(1);
+
+        let summary = observer.summary();
+        assert_eq!(summary.shard_reports.len(), 2, "no shard row is dropped");
+        let r0 = &summary.shard_reports[0];
+        let r1 = &summary.shard_reports[1];
+        assert_eq!(
+            r0.last_seen,
+            Some(hb.deadline_ms),
+            "tombstone preserves the last heartbeat"
+        );
+        assert_eq!(r0.lease.unwrap().state, LeaseState::Dead);
+        assert_eq!(
+            r1.last_seen, None,
+            "never-heartbeated shard: last_seen None"
+        );
+        assert!(!r1.started && r1.adopted_jobs == 0 && r1.blocked_adoptions == 0);
+        assert_eq!(summary.dead_shards, vec![0, 1], "both tombstones count");
+
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

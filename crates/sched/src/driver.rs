@@ -260,6 +260,11 @@ pub struct SessionReport {
     /// multi-process sharded run — see [`crate::cluster`]. Carries the
     /// per-shard outcomes, adoption counts, and which fault domains died.
     pub cluster: Option<crate::cluster::ClusterSummary>,
+    /// Summary of the machine's structured event trace over this session
+    /// (see [`ppm_obs::Tracer`]): per-kind event counts, ring occupancy,
+    /// and whether tracing was enabled at all (`PPM_TRACE_FILE`). Filled
+    /// by every `Runtime` and cluster entry point.
+    pub trace: Option<ppm_obs::TraceSummary>,
     /// The driven run's report (`None` only when
     /// [`SessionMode::AlreadyComplete`]).
     pub run: Option<RunReport>,
@@ -294,6 +299,7 @@ impl SessionReport {
             fallback_reason: None,
             checkpoint_resume: None,
             cluster: None,
+            trace: None,
             run: Some(run),
         }
     }
@@ -765,6 +771,16 @@ pub(crate) fn recover_persistent_impl(
     );
     let (found_jobs, found_locals, found_taken, live_restart_pointers) =
         crash_forensics(machine, &sched);
+    machine
+        .obs()
+        .tracer()
+        .record_with(ppm_obs::TraceKind::Recovery, None, None, || {
+            format!(
+                "persistent recovery, epoch {}: {found_jobs} jobs, {found_locals} locals, \
+                 {found_taken} taken, {live_restart_pointers} live restart pointers",
+                machine.epoch()
+            )
+        });
     let finale = machine.setup_frame(CORE_ID_FINALE, &[done.addr() as Word]);
     let root_handle = pcomp(machine, finale);
 
@@ -780,6 +796,7 @@ pub(crate) fn recover_persistent_impl(
             fallback_reason: None,
             checkpoint_resume: None,
             cluster: None,
+            trace: None,
             run: None,
         };
     }
@@ -858,6 +875,7 @@ pub(crate) fn recover_persistent_impl(
         fallback_reason,
         checkpoint_resume,
         cluster: None,
+        trace: None,
         run: Some(run),
     }
 }
@@ -899,6 +917,16 @@ pub(crate) fn recover_computation_impl(
     );
     let (found_jobs, found_locals, found_taken, live_restart_pointers) =
         crash_forensics(machine, &sched);
+    machine
+        .obs()
+        .tracer()
+        .record_with(ppm_obs::TraceKind::Recovery, None, None, || {
+            format!(
+                "legacy-closure recovery, epoch {}: replay from root \
+                 ({found_jobs} jobs, {found_locals} locals found)",
+                machine.epoch()
+            )
+        });
 
     if done.is_set(machine.mem()) {
         return SessionReport {
@@ -912,6 +940,7 @@ pub(crate) fn recover_computation_impl(
             fallback_reason: None,
             checkpoint_resume: None,
             cluster: None,
+            trace: None,
             run: None,
         };
     }
@@ -941,6 +970,7 @@ pub(crate) fn recover_computation_impl(
         fallback_reason: Some(FallbackReason::LegacyClosures),
         checkpoint_resume: None,
         cluster: None,
+        trace: None,
         run: Some(run),
     }
 }

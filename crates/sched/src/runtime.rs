@@ -211,6 +211,44 @@ impl Runtime {
         &self.machine
     }
 
+    /// Starts a Prometheus scrape endpoint for this session's machine on
+    /// `port` (`GET /metrics`, text exposition format 0.0.4; `port` 0
+    /// picks an ephemeral one — read it back from the handle). The
+    /// server runs until the returned handle is dropped. Runs also
+    /// auto-serve while `PPM_METRICS_PORT` is set.
+    pub fn serve_metrics(&self, port: u16) -> std::io::Result<ppm_obs::MetricsServer> {
+        self.machine.obs().serve(port)
+    }
+
+    /// The scrape endpoint for one driven run, when `PPM_METRICS_PORT`
+    /// asks for it (held across the parallel section, dropped when the
+    /// entry point returns).
+    fn auto_metrics(&self) -> Option<ppm_obs::MetricsServer> {
+        ppm_obs::Obs::metrics_port_from_env().and_then(|p| self.machine.obs().serve(p).ok())
+    }
+
+    /// Session epilogue shared by both entry points: close the event
+    /// trace (RunEnd, sidecar flush per `PPM_TRACE_FILE`) and embed its
+    /// summary in the report.
+    fn finish_session(&self, mut report: SessionReport) -> SessionReport {
+        let obs = self.machine.obs();
+        obs.tracer().record(
+            ppm_obs::TraceKind::RunEnd,
+            None,
+            None,
+            if report.completed() {
+                "session complete"
+            } else {
+                "session incomplete"
+            },
+        );
+        if let Some(path) = ppm_obs::Obs::trace_file_from_env() {
+            let _ = obs.tracer().flush_jsonl(path);
+        }
+        report.trace = Some(obs.tracer().summary());
+        report
+    }
+
     /// The session's scheduler configuration.
     pub fn sched_config(&self) -> &SchedConfig {
         &self.sched
@@ -241,7 +279,22 @@ impl Runtime {
     /// `pcomp` must follow the construction-determinism contract (see
     /// the [module docs](self)).
     pub fn run_or_recover(&self, pcomp: &PComp) -> SessionReport {
-        if self.is_recovery() {
+        let _metrics = self.auto_metrics();
+        self.machine
+            .obs()
+            .tracer()
+            .record_with(ppm_obs::TraceKind::RunStart, None, None, || {
+                format!(
+                    "persistent session, epoch {} ({})",
+                    self.machine.epoch(),
+                    if self.is_recovery() {
+                        "recovering"
+                    } else {
+                        "fresh"
+                    }
+                )
+            });
+        let report = if self.is_recovery() {
             recover_persistent_impl(&self.machine, pcomp, &self.sched)
         } else {
             let epoch = self.machine.epoch();
@@ -249,7 +302,8 @@ impl Runtime {
                 epoch,
                 run_persistent_impl(&self.machine, pcomp, &self.sched),
             )
-        }
+        };
+        self.finish_session(report)
     }
 
     /// Runs a legacy closure computation: a fresh run on a fresh session,
@@ -258,7 +312,22 @@ impl Runtime {
     /// root (idempotence makes that correct; registered computations
     /// should prefer [`Runtime::run_or_recover`]).
     pub fn run_or_replay(&self, comp: &Comp) -> SessionReport {
-        if self.is_recovery() {
+        let _metrics = self.auto_metrics();
+        self.machine
+            .obs()
+            .tracer()
+            .record_with(ppm_obs::TraceKind::RunStart, None, None, || {
+                format!(
+                    "closure session, epoch {} ({})",
+                    self.machine.epoch(),
+                    if self.is_recovery() {
+                        "recovering"
+                    } else {
+                        "fresh"
+                    }
+                )
+            });
+        let report = if self.is_recovery() {
             recover_computation_impl(&self.machine, comp, &self.sched)
         } else {
             let epoch = self.machine.epoch();
@@ -266,7 +335,8 @@ impl Runtime {
                 epoch,
                 run_computation_impl(&self.machine, comp, &self.sched),
             )
-        }
+        };
+        self.finish_session(report)
     }
 
     /// Forces all stored words to stable storage (no-op for volatile

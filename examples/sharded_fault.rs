@@ -21,6 +21,13 @@
 //! the kill leave no survivors, exercising the recover path instead —
 //! the CI fault matrix runs both).
 //!
+//! With `PPM_METRICS_PORT` set, the parent serves the coordinator's
+//! aggregated `/metrics` (per-worker scrapes merged under `shard`
+//! labels, plus live lease telemetry) and, on a successful adoption
+//! run, asserts the scrape shows it: the dead shard stays visible
+//! (stale-labeled, `ppm_lease_up 0`) and a survivor's
+//! `ppm_adopted_jobs_total` is nonzero.
+//!
 //! Run with `cargo run --release --example sharded_fault`.
 
 #[cfg(unix)]
@@ -39,6 +46,7 @@ fn main() {
 
 #[cfg(unix)]
 mod scenario {
+    use std::net::Ipv4Addr;
     use std::sync::{Arc, Mutex};
     use std::time::{Duration, Instant};
 
@@ -168,6 +176,8 @@ mod scenario {
         let build = build(outputs.clone());
         let observer =
             cluster::init_observed(file.path(), &cluster_cfg(shards), &build).expect("init");
+        let metrics_port = ppm::obs::Obs::metrics_port_from_env();
+        let _metrics = metrics_port.and_then(|p| observer.serve_metrics(p));
 
         let exe = std::env::current_exe().expect("current_exe");
         let mut children: Vec<std::process::Child> = (0..shards)
@@ -203,6 +213,8 @@ mod scenario {
         // process-local closure): survivors refuse that adoption and the
         // run stalls — past the deadline we degrade to recovery instead.
         let deadline = Instant::now() + Duration::from_secs(45);
+        let mut last_scrape = String::new();
+        let mut next_scrape = Instant::now();
         let mut done = loop {
             if observer.is_done() {
                 break true;
@@ -213,8 +225,28 @@ mod scenario {
             if !any_alive || Instant::now() >= deadline {
                 break false;
             }
+            // Keep the aggregate exporter's per-worker cache warm: each
+            // scrape pulls the live workers, so their last-seen counters
+            // survive into post-mortem scrapes after they exit.
+            if let Some(port) = metrics_port {
+                if Instant::now() >= next_scrape {
+                    if let Ok(text) = scrape(port) {
+                        last_scrape = text;
+                    }
+                    next_scrape = Instant::now() + Duration::from_millis(150);
+                }
+            }
             std::thread::sleep(Duration::from_millis(20));
         };
+        if done {
+            // One more scrape while the survivors are (most likely)
+            // still alive writing exit reports: final counter values.
+            if let Some(port) = metrics_port {
+                if let Ok(text) = scrape(port) {
+                    last_scrape = text;
+                }
+            }
+        }
         if done {
             // Let the survivors write their exit reports (they halt as
             // soon as they read the completion flag) before summarizing.
@@ -255,8 +287,13 @@ mod scenario {
             }
             // Survivors adopted: the run never restarted, so any progress
             // on the dead shard's subtree after the kill is adoption.
+            let adoption_shown =
+                killed && adopted > 0 && summary.shard_reports[victim].subtree_complete;
+            if adoption_shown && metrics_port.is_some() {
+                assert_adoption_scraped(&last_scrape, victim);
+            }
             Outcome {
-                adopted: killed && adopted > 0 && summary.shard_reports[victim].subtree_complete,
+                adopted: adoption_shown,
                 recovered: false,
             }
         } else {
@@ -294,6 +331,40 @@ mod scenario {
         }
         println!("all {shards} slices sorted exactly-once");
         outcome
+    }
+
+    /// One scrape of the parent's aggregate exporter.
+    fn scrape(port: u16) -> std::io::Result<String> {
+        ppm::obs::http_get(
+            (Ipv4Addr::LOCALHOST, port),
+            "/metrics",
+            Duration::from_secs(2),
+        )
+    }
+
+    /// A live adoption must be legible from the scrape alone: the dead
+    /// shard's lease gauge reads down (its series stayed visible after
+    /// the kill), and some survivor's adopted-jobs counter is nonzero.
+    fn assert_adoption_scraped(scrape: &str, victim: usize) {
+        assert!(!scrape.is_empty(), "aggregate exporter never answered");
+        assert!(
+            scrape.contains(&format!("ppm_lease_up{{shard=\"{victim}\"}} 0")),
+            "dead shard {victim} must stay visible with its lease down; scrape:\n{scrape}"
+        );
+        let survivor_adopted: u64 = scrape
+            .lines()
+            .filter(|l| l.starts_with("ppm_adopted_jobs_total{"))
+            .filter(|l| !l.contains(&format!("shard=\"{victim}\"")))
+            .filter_map(|l| l.rsplit_once(' ').and_then(|(_, v)| v.parse::<u64>().ok()))
+            .sum();
+        assert!(
+            survivor_adopted > 0,
+            "some survivor's ppm_adopted_jobs_total must be nonzero; scrape:\n{scrape}"
+        );
+        println!(
+            "metrics scrape confirms adoption: shard {victim} lease down, \
+             survivors adopted {survivor_adopted} jobs"
+        );
     }
 
     /// Waits until the victim's output region is ~half written, then

@@ -24,6 +24,11 @@
 //!   PM-model simulations.
 //! * [`algs`] (`ppm-algs`) — prefix sums, merging, sorting, matrix
 //!   multiply.
+//! * [`obs`] (`ppm-obs`) — the observability layer: a typed metrics
+//!   registry every machine carries (`core::Machine::obs`), a
+//!   dependency-free Prometheus text exporter (`obs::MetricsServer`,
+//!   enabled with `PPM_METRICS_PORT`), and ring-buffered structured
+//!   event tracing (`obs::Tracer`, enabled with `PPM_TRACE_FILE`).
 //!
 //! ## Durability: surviving real crashes, not just simulated faults
 //!
@@ -97,6 +102,7 @@
 
 pub use ppm_algs as algs;
 pub use ppm_core as core;
+pub use ppm_obs as obs;
 pub use ppm_pm as pm;
 pub use ppm_sched as sched;
 pub use ppm_sim as sim;
