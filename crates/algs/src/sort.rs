@@ -10,9 +10,11 @@
 //! samples (with mergesort) and pick ~√n pivots by fixed stride; compute
 //! each subarray's bucket boundaries; use **prefix sums and matrix
 //! transposes** to compute destination offsets; move keys with a
-//! divide-and-conquer **bucket transpose** whose base case handles ≈ M
-//! elements at a time (writing each bucket's rows as one contiguous run —
-//! the tall-cache trick that keeps the move at O(n/B) transfers); then
+//! divide-and-conquer **propagation-blocked bucket transpose**: each base
+//! tile streams its row segments through per-bucket one-block staging
+//! bins ([`crate::util::BlockScatter`]), so every destination write is a
+//! (near-)full sequential block and the move stays at O(n/B) transfers
+//! with tiles ~8× taller than whole-tile buffering would allow; then
 //! recursively sort each bucket. Work O((n/B)·log_M n), maximum capsule
 //! work O(M/B + √n/B) (= O(M/B) whenever n ≤ M², which the constructor
 //! asserts).
@@ -43,7 +45,7 @@ use ppm_pm::{ProcCtx, Region, Word};
 
 use crate::merge::{base_size, merge_runs, split_rank, Run};
 use crate::prefix::{PrefixCapsules, PrefixSum};
-use crate::util::{ceil_div, pread_range, pwrite_range};
+use crate::util::{ceil_div, pread_range, pwrite_range, BlockScatter};
 
 fn region_at(start: usize, len: usize) -> Region {
     Region { start, len }
@@ -612,7 +614,15 @@ fn transpose_base_body(
 }
 
 /// Phase 8 base body: move the `[r0, r1) × [j0, j1)` segments of
-/// `subsorted` to their destinations in `bucketed`.
+/// `subsorted` to their destinations in `bucketed` — propagation-blocked.
+///
+/// Row segments are read sequentially and appended into per-bucket
+/// staging bins ([`BlockScatter`]); full bins stream to the destination
+/// as aligned block writes. Bins bound the ephemeral footprint at
+/// `O((j1−j0)·B)` regardless of the tile's row count, which is what lets
+/// [`tile_plan`] run scatter tiles ~8× taller than the buffered-transpose
+/// tiles: fewer tiles means fewer per-tile offset reads, and taller
+/// tiles mean longer per-bucket runs, so more writes are full blocks.
 fn scatter_base_body(
     ctx: &mut ProcCtx,
     g: &Geometry,
@@ -622,36 +632,39 @@ fn scatter_base_body(
     j0: usize,
     j1: usize,
 ) -> ppm_pm::PmResult<()> {
+    let jw = j1 - j0;
     // Per bucket j: destination of the run contributed by rows [r0, r1)
-    // starts at S[j·rows + r0] − count(r0, j).
-    let mut runs: Vec<Vec<Word>> = vec![Vec::new(); j1 - j0];
-    let mut dests: Vec<usize> = vec![0; j1 - j0];
-    for i in r0..r1 {
-        let brow = pread_range(ctx, s.bounds.at(i * (g.buckets + 1) + j0), j1 - j0 + 1)?;
-        let lo = brow[0] as usize;
-        let hi = brow[j1 - j0] as usize;
-        let data = if hi > lo {
-            pread_range(ctx, s.subsorted.at(i * g.sub + lo), hi - lo)?
-        } else {
-            Vec::new()
-        };
-        for c in 0..(j1 - j0) {
-            let (a, b) = (brow[c] as usize, brow[c + 1] as usize);
-            runs[c].extend_from_slice(&data[a - lo..b - lo]);
-        }
-    }
-    for c in 0..(j1 - j0) {
+    // starts at S[j·rows + r0] − count(r0, j); count(r0, j) falls out of
+    // row r0's boundary slice, which doubles as the first data row's.
+    let brow0 = pread_range(ctx, s.bounds.at(r0 * (g.buckets + 1) + j0), jw + 1)?;
+    let mut dests = Vec::with_capacity(jw);
+    for c in 0..jw {
         let j = j0 + c;
         let s_first = ctx.pread(s.sums.at(j * g.rows + r0))? as usize;
-        let brow0 = ctx.pread(s.bounds.at(r0 * (g.buckets + 1) + j))? as usize;
-        let brow1 = ctx.pread(s.bounds.at(r0 * (g.buckets + 1) + j + 1))? as usize;
-        let count_r0 = brow1 - brow0;
-        dests[c] = s_first - count_r0;
-        if !runs[c].is_empty() {
-            pwrite_range(ctx, s.bucketed.at(dests[c]), &runs[c])?;
+        let count_r0 = (brow0[c + 1] - brow0[c]) as usize;
+        // An empty bucket column at the tail of the key range starts its
+        // (zero-length) run one past the region end — cursor, not at.
+        dests.push(s.bucketed.cursor(s_first - count_r0));
+    }
+    let mut sc = BlockScatter::new(ctx, dests);
+    for i in r0..r1 {
+        let brow = if i == r0 {
+            brow0.clone()
+        } else {
+            pread_range(ctx, s.bounds.at(i * (g.buckets + 1) + j0), jw + 1)?
+        };
+        let lo = brow[0] as usize;
+        let hi = brow[jw] as usize;
+        if hi == lo {
+            continue;
+        }
+        let data = pread_range(ctx, s.subsorted.at(i * g.sub + lo), hi - lo)?;
+        for c in 0..jw {
+            let (a, b) = (brow[c] as usize, brow[c + 1] as usize);
+            sc.push_run(ctx, c, &data[a - lo..b - lo])?;
         }
     }
-    Ok(())
+    sc.flush(ctx)
 }
 
 /// 2D split threshold shared by both forms.
@@ -659,59 +672,94 @@ fn grid_cap(ctx: &ProcCtx) -> usize {
     (ctx.ephemeral_words() / 4).max(64)
 }
 
+/// Tile caps for the two grid phases: `(area cap, bucket-width cap)`.
+///
+/// The transpose buffers its whole submatrix ephemerally, so its area is
+/// capped at `M/4` and its width unconstrained. The propagation-blocked
+/// scatter only keeps one staging bin per bucket column plus one data
+/// row, so its tiles run `2M` in area — as long as the bin footprint
+/// `(j1−j0)·B` stays under `M/2`.
+fn tile_caps(ctx: &ProcCtx, scatter: bool) -> (usize, usize) {
+    if scatter {
+        let m = ctx.ephemeral_words();
+        let b = ctx.block_size();
+        ((2 * m).max(64), (m / (2 * b)).max(1))
+    } else {
+        (grid_cap(ctx), usize::MAX)
+    }
+}
+
+/// A 2D grid step: run the tile as a base case, or split rows/buckets.
+enum Tile {
+    Base,
+    SplitR(usize),
+    SplitJ(usize),
+}
+
+/// The split policy shared by the closure and registered grid drivers:
+/// force bucket splits until the width cap holds (the staging bins must
+/// fit in ephemeral memory), then halve the longer dimension until the
+/// area fits a capsule.
+fn tile_plan(r0: usize, r1: usize, j0: usize, j1: usize, caps: (usize, usize)) -> Tile {
+    let (area_cap, jcap) = caps;
+    let area = (r1 - r0) * (j1 - j0);
+    if (r1 - r0 == 1 && j1 - j0 == 1) || (area <= area_cap && j1 - j0 <= jcap) {
+        return Tile::Base;
+    }
+    if j1 - j0 > jcap {
+        return Tile::SplitJ((j0 + j1) / 2);
+    }
+    if r1 - r0 >= j1 - j0 {
+        Tile::SplitR((r0 + r1) / 2)
+    } else {
+        Tile::SplitJ((j0 + j1) / 2)
+    }
+}
+
 /// Cache-oblivious transpose: counts (row-major in `bounds` as
 /// differences) → `counts_cm` (column-major). D&C until the submatrix
 /// area fits comfortably in a capsule.
 fn transpose_counts(g: Geometry, s: Scratch, r0: usize, r1: usize, j0: usize, j1: usize) -> Comp {
-    comp_dyn("ssort/transpose", move |ctx: &mut ProcCtx| {
-        let area = (r1 - r0) * (j1 - j0);
-        if area <= grid_cap(ctx) {
-            return Ok(comp_step(
-                "ssort/transpose-base",
-                move |ctx: &mut ProcCtx| transpose_base_body(ctx, &g, &s, r0, r1, j0, j1),
-            ));
-        }
-        if r1 - r0 >= j1 - j0 {
-            let rm = (r0 + r1) / 2;
-            Ok(comp_fork2(
-                transpose_counts(g, s, r0, rm, j0, j1),
-                transpose_counts(g, s, rm, r1, j0, j1),
-            ))
-        } else {
-            let jm = (j0 + j1) / 2;
-            Ok(comp_fork2(
-                transpose_counts(g, s, r0, r1, j0, jm),
-                transpose_counts(g, s, r0, r1, jm, j1),
-            ))
-        }
+    comp_dyn("ssort/transpose", move |ctx: &mut ProcCtx| match tile_plan(
+        r0,
+        r1,
+        j0,
+        j1,
+        tile_caps(ctx, false),
+    ) {
+        Tile::Base => Ok(comp_step(
+            "ssort/transpose-base",
+            move |ctx: &mut ProcCtx| transpose_base_body(ctx, &g, &s, r0, r1, j0, j1),
+        )),
+        Tile::SplitR(rm) => Ok(comp_fork2(
+            transpose_counts(g, s, r0, rm, j0, j1),
+            transpose_counts(g, s, rm, r1, j0, j1),
+        )),
+        Tile::SplitJ(jm) => Ok(comp_fork2(
+            transpose_counts(g, s, r0, r1, j0, jm),
+            transpose_counts(g, s, r0, r1, jm, j1),
+        )),
     })
 }
 
 /// D&C bucket transpose: move each (row, bucket) segment of `subsorted`
-/// to its destination in `bucketed`. The base case covers a submatrix of
-/// ≈ M elements and writes each bucket's rows as one contiguous run.
+/// to its destination in `bucketed` via the propagation-blocked base
+/// case. Area proxies element count (segments average ~1 element; skew
+/// only grows one capsule's work, never breaks correctness).
 fn bucket_scatter(g: Geometry, s: Scratch, r0: usize, r1: usize, j0: usize, j1: usize) -> Comp {
     comp_dyn("ssort/scatter", move |ctx: &mut ProcCtx| {
-        let area = (r1 - r0) * (j1 - j0);
-        // Area proxies element count (segments average ~1 element; skew
-        // only grows one capsule's work, never breaks correctness).
-        if area <= grid_cap(ctx) || (r1 - r0 == 1 && j1 - j0 == 1) {
-            return Ok(comp_step("ssort/scatter-base", move |ctx: &mut ProcCtx| {
+        match tile_plan(r0, r1, j0, j1, tile_caps(ctx, true)) {
+            Tile::Base => Ok(comp_step("ssort/scatter-base", move |ctx: &mut ProcCtx| {
                 scatter_base_body(ctx, &g, &s, r0, r1, j0, j1)
-            }));
-        }
-        if r1 - r0 >= j1 - j0 {
-            let rm = (r0 + r1) / 2;
-            Ok(comp_fork2(
+            })),
+            Tile::SplitR(rm) => Ok(comp_fork2(
                 bucket_scatter(g, s, r0, rm, j0, j1),
                 bucket_scatter(g, s, rm, r1, j0, j1),
-            ))
-        } else {
-            let jm = (j0 + j1) / 2;
-            Ok(comp_fork2(
+            )),
+            Tile::SplitJ(jm) => Ok(comp_fork2(
                 bucket_scatter(g, s, r0, r1, j0, jm),
                 bucket_scatter(g, s, r0, r1, jm, j1),
-            ))
+            )),
         }
     })
 }
@@ -992,10 +1040,10 @@ impl SsCapsules {
 
         // Phases 6 and 8: the 2D grid splits.
         set.body(transpose, move |st: &SsGrid, k, ctx| {
-            grid_body(ctx, transpose, st, k, transpose_base_body)
+            grid_body(ctx, transpose, st, k, false, transpose_base_body)
         });
         set.body(scatter, move |st: &SsGrid, k, ctx| {
-            grid_body(ctx, scatter, st, k, scatter_base_body)
+            grid_body(ctx, scatter, st, k, true, scatter_base_body)
         });
 
         // The node: base sort, degenerate fallback, or the nine-phase
@@ -1083,15 +1131,11 @@ fn grid_body(
     def: CapsuleDef<SsGrid>,
     st: &SsGrid,
     k: K,
+    scatter: bool,
     base: fn(&mut ProcCtx, &Geometry, &Scratch, usize, usize, usize, usize) -> ppm_pm::PmResult<()>,
 ) -> ppm_pm::PmResult<Step> {
     let g = Geometry::new(st.env.n);
     let (r0, r1, j0, j1) = (st.r0, st.r1, st.j0, st.j1);
-    let area = (r1 - r0) * (j1 - j0);
-    if area <= grid_cap(ctx) || (r1 - r0 == 1 && j1 - j0 == 1) {
-        base(ctx, &g, &st.env.s, r0, r1, j0, j1)?;
-        return Ok(Step::Jump(k));
-    }
     let sub = |r0, r1, j0, j1| SsGrid {
         env: st.env,
         r0,
@@ -1099,22 +1143,23 @@ fn grid_body(
         j0,
         j1,
     };
-    if r1 - r0 >= j1 - j0 {
-        let rm = (r0 + r1) / 2;
-        fork2(
+    match tile_plan(r0, r1, j0, j1, tile_caps(ctx, scatter)) {
+        Tile::Base => {
+            base(ctx, &g, &st.env.s, r0, r1, j0, j1)?;
+            Ok(Step::Jump(k))
+        }
+        Tile::SplitR(rm) => fork2(
             ctx,
             (def, &sub(r0, rm, j0, j1)),
             (def, &sub(rm, r1, j0, j1)),
             k,
-        )
-    } else {
-        let jm = (j0 + j1) / 2;
-        fork2(
+        ),
+        Tile::SplitJ(jm) => fork2(
             ctx,
             (def, &sub(r0, r1, j0, jm)),
             (def, &sub(r0, r1, jm, j1)),
             k,
-        )
+        ),
     }
 }
 

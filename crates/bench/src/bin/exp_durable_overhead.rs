@@ -185,14 +185,18 @@ fn main() {
     }
 
     // Observability tax: the same durable workload with per-event tracing
-    // on and a live `/metrics` exporter attached, against the plain run
-    // just measured. Min-over-trials on both sides keeps scheduler noise
-    // out of the ratio; `bench_check` gates the result against
-    // `obs_instrumented_delta_x` in the baseline (~<= 3% regression room).
-    if let Some((n, plain)) = last {
+    // on and a live `/metrics` exporter attached, against a plain run.
+    // The plain side is re-measured here, back-to-back with the
+    // instrumented one — the n-sweep measurement above ran minutes of
+    // work earlier, so comparing against it folds page-cache and CPU
+    // warm-up into the ratio (historically it made instrumentation look
+    // ~1.5x *faster*). Min-over-trials on both sides keeps scheduler
+    // noise out; `bench_check` gates `obs_instrumented_over_plain_x`.
+    if let Some((n, _)) = last {
+        let plain = run_trials(&cli, n, true, false);
         let observed = run_trials(&cli, n, true, true);
         let delta = observed.run_min.as_secs_f64() / plain.run_min.as_secs_f64().max(1e-9);
-        report.metric("obs_instrumented_delta_x", delta);
+        report.metric("obs_instrumented_over_plain_x", delta);
         println!(
             "\nobservability: instrumented run (tracing + live exporter) {}x the plain run",
             f2(delta)

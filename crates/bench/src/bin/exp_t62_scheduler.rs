@@ -10,7 +10,7 @@
 use ppm_bench::{banner, f2, header, row, s, BenchReport};
 use ppm_core::{comp_step, par_all, Comp, Machine};
 use ppm_pm::{FaultConfig, PmConfig, ProcCtx, Region};
-use ppm_sched::{Runtime, SchedConfig};
+use ppm_sched::{Runtime, SchedConfig, VictimStrategy};
 
 /// A balanced tree of `n` leaf tasks, each performing `leaf_work` writes.
 fn balanced(r: Region, n: usize, leaf_work: usize) -> Comp {
@@ -115,6 +115,59 @@ fn main() {
             ],
             &W1,
         );
+    }
+
+    // --- contention backoff under thief herding ----------------------
+    //
+    // `LeastLoaded` victim selection deliberately herds every idle
+    // processor onto the same (deepest) deque, so their `popTop` CAMs
+    // collide and the randomized exponential backoff engages. The p99
+    // sleep saturates at the backoff cap on a contended run, which is
+    // exactly what the baseline pins: regressions show up as the p99
+    // collapsing to zero (backoff never firing — contention ignored) or
+    // the cap being blown.
+    {
+        let p = 8;
+        let tasks = 2048;
+        let m = Machine::new(PmConfig::parallel(p, 1 << 23));
+        let r = m.alloc_region(tasks);
+        let cfg = SchedConfig {
+            victim_strategy: VictimStrategy::LeastLoaded,
+            ..SchedConfig::with_slots(1 << 13)
+        };
+        let rt = Runtime::new(m, cfg);
+        let rep = rt.run_or_replay(&balanced(r, tasks, 1));
+        assert!(rep.completed());
+        let live = rt.machine().obs().registry().histogram(
+            "ppm_steal_backoff_us",
+            "contention backoff sleeps applied before steal attempts (microseconds)",
+        );
+        println!("\n-- steal contention backoff (LeastLoaded herding, P = {p}) --");
+        println!(
+            "  live backoff sleeps = {} (OS-schedule dependent; 0 on a serialized host)",
+            live.count()
+        );
+
+        // The baselined p99 comes from a deterministic policy probe — 64
+        // consecutive failed CAMs on a fresh scheduler — so it pins the
+        // window-doubling curve and the cap identically on every host,
+        // instead of measuring how often this machine's OS happens to
+        // interleave two thieves.
+        let m2 = Machine::new(PmConfig::parallel(2, 1 << 18));
+        let done = ppm_core::DoneFlag::new(&m2);
+        let s = ppm_sched::Sched::new(&m2, done, &SchedConfig::with_slots(64));
+        s.contention_probe(0, 64);
+        let h = m2.obs().registry().histogram(
+            "ppm_steal_backoff_us",
+            "contention backoff sleeps applied before steal attempts (microseconds)",
+        );
+        let p99 = h.quantile(0.99).expect("probe observed sleeps");
+        println!(
+            "  policy probe: {} sleeps, p99 = {p99} us (cap {} us)",
+            h.count(),
+            64
+        );
+        report.metric("steal_backoff_p99_us", p99 as f64);
     }
 
     report.embed_scrape(&last_scrape);

@@ -638,6 +638,7 @@ mod tests {
             loop {
                 ctx.begin_capsule(cur.name());
                 let next = cur.run(&mut ctx).expect("faultless run");
+                ctx.flush_staged().expect("faultless flush");
                 ctx.publish_watermark();
                 ctx.complete_capsule();
                 match next {

@@ -19,12 +19,16 @@ use crate::registry::{register_core_capsules, CapsuleId, CapsuleRegistry};
 
 /// Persistent words of per-processor metadata.
 ///
-/// Layout per processor: `[active_capsule, slot_a, slot_b, watermark]`.
+/// Layout per processor: `[slot_a, active_capsule, slot_b, watermark]`.
 /// * `active_capsule` — the restart-pointer location (§2): the handle of
 ///   the capsule the processor is currently executing. Read by thieves via
 ///   `getActiveCapsule` when recovering from a hard fault.
 /// * `slot_a`/`slot_b` — the two-closure swap area of §4.1 used for thread
 ///   continuations, so running a long thread does not consume pool space.
+///   Each slot sits *adjacent* to the restart pointer so an install —
+///   fill the free slot, swing the pointer to it — writes one contiguous
+///   word pair (`[slot_a, active]` or `[active, slot_b]`) and coalesces
+///   into a single block transfer (see `InstallCtx::install_jump`).
 /// * `watermark` — mirror of the processor's committed pool-allocation
 ///   cursor, refreshed (uncosted) at every capsule boundary. A recovering
 ///   process reads it to resume allocation *above* the dead run's live
@@ -33,10 +37,12 @@ pub const PROC_META_WORDS: usize = 4;
 
 /// Offsets within a processor's metadata area.
 pub mod meta {
-    /// Restart-pointer location: handle of the active capsule.
-    pub const ACTIVE: usize = 0;
     /// First swap slot for thread-continuation closures.
-    pub const SLOT_A: usize = 1;
+    pub const SLOT_A: usize = 0;
+    /// Restart-pointer location: handle of the active capsule. Placed
+    /// between the swap slots so either `(slot, active)` install pair is
+    /// contiguous.
+    pub const ACTIVE: usize = 1;
     /// Second swap slot.
     pub const SLOT_B: usize = 2;
     /// Committed pool-allocation cursor mirror.

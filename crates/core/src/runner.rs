@@ -64,14 +64,35 @@ impl InstallCtx {
     }
 
     /// Installs `c` as the next capsule: writes its closure into the free
-    /// swap slot and swings the restart pointer to it. Two external writes,
-    /// either of which may fault — in which case the *current* capsule
-    /// restarts and the (idempotent) install is re-attempted.
+    /// swap slot and swings the restart pointer to it.
+    ///
+    /// The metadata layout places each swap slot adjacent to the restart
+    /// pointer (`[slot_a, active, slot_b, watermark]`, block-aligned), so
+    /// filling the closure and swinging the pointer is **one** contiguous
+    /// block transfer — the §4.1 "swap back and forth" pair lives in a
+    /// single block. The write may fault, in which case the *current*
+    /// capsule restarts and the (idempotent) install is re-attempted.
+    /// Machines whose block size cannot hold the pair fall back to the
+    /// two-write install.
     pub fn install_jump(&mut self, ctx: &mut ProcCtx, arena: &ContArena, c: &Cont) -> PmResult<()> {
         let slot = self.next_slot();
-        arena.register_at(ctx, slot, c.clone(), self.gen)?;
-        ctx.pwrite(self.active, slot as Word)?;
-        // Flip only after both writes succeeded: a re-run must target the
+        let adjacent = self.slot_a + 1 == self.active && self.active + 1 == self.slot_b;
+        let (lo, pair) = if self.use_a {
+            (self.slot_a, [self.gen, self.slot_a as Word])
+        } else {
+            (self.active, [self.slot_b as Word, self.gen])
+        };
+        let b = ctx.block_size();
+        if adjacent && lo / b == (lo + 1) / b {
+            // The in-process map entry is uncosted bookkeeping; the costed
+            // closure content is the block write below.
+            arena.preregister(slot, c.clone());
+            ctx.write_block(lo, &pair)?;
+        } else {
+            arena.register_at(ctx, slot, c.clone(), self.gen)?;
+            ctx.pwrite(self.active, slot as Word)?;
+        }
+        // Flip only after the install succeeded: a re-run must target the
         // same slot.
         self.use_a = !self.use_a;
         self.gen += 1;
@@ -164,6 +185,12 @@ fn run_body_and_install(
     on_end: Option<&Cont>,
 ) -> PmResult<Step> {
     let next = cur.run(ctx)?;
+    // Charge the frames the body staged as coalesced block persists
+    // *before* anything can publish their handles: after this point the
+    // staged words are paid for, so an install or a successor's deque
+    // write never exposes an uncharged frame. A fault here restarts the
+    // capsule like any body fault.
+    ctx.flush_staged()?;
     // The installs below may publish frames the body just allocated (the
     // restart pointer can become one of them); make the persisted pool
     // watermark cover them first, so a crash after the publication still
@@ -316,7 +343,7 @@ mod tests {
 
     #[test]
     fn hard_fault_stops_chain_and_leaves_restart_pointer() {
-        let m = machine_with(FaultConfig::none().with_scheduled_hard_fault(0, 6));
+        let m = machine_with(FaultConfig::none().with_scheduled_hard_fault(0, 4));
         let r = m.alloc_region(8);
         let c3 = final_capsule("c3", move |ctx| ctx.pwrite(r.at(2), 3));
         let c2 = step_capsule("c2", move |ctx| ctx.pwrite(r.at(1), 2), c3);
@@ -326,10 +353,10 @@ mod tests {
         let err = run_chain(&mut ctx, m.arena(), &mut install, c1).unwrap_err();
         assert_eq!(err, Fault::Hard);
         assert!(!m.liveness().is_live(0));
-        // c1 completed (writes: r0, slot, active = 3, then c2 starts:
-        // write r1 (4), install c3: slot (5), active faults at access 6).
-        // The restart pointer still points at the last *installed* capsule,
-        // so a thief could resume from there.
+        // c1 completed (write r0 = access 1, coalesced install of c2 = 2),
+        // then c2 starts: write r1 (3), and its install of c3 faults at
+        // access 4. The restart pointer still points at the last
+        // *installed* capsule, so a thief could resume from there.
         let h = m.active_handle(0);
         assert_ne!(h, NULL_HANDLE);
         assert!(m.arena().get(h).is_some());

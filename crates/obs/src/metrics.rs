@@ -125,6 +125,31 @@ impl Histogram {
         self.0.sum.load(Ordering::Relaxed)
     }
 
+    /// Upper bound of the bucket containing the `q`-quantile observation
+    /// (`q` in `[0, 1]`), or `None` while the histogram is empty. Bucket
+    /// granularity means the answer is the power-of-two ceiling of the
+    /// true quantile — good enough to seed backoff windows and summarize
+    /// tail latency.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut acc = 0;
+        for i in 0..HISTOGRAM_BUCKETS {
+            acc += self.0.buckets[i].load(Ordering::Relaxed);
+            if acc >= rank {
+                return Some(if i == HISTOGRAM_BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    1u64 << i
+                });
+            }
+        }
+        None
+    }
+
     /// `(upper_bound, cumulative_count)` pairs; the last entry is `+Inf`
     /// (represented as `u64::MAX`).
     pub fn cumulative(&self) -> Vec<(u64, u64)> {
@@ -522,6 +547,21 @@ mod tests {
         let (_, last) = cum[HISTOGRAM_BUCKETS - 1];
         assert_eq!(last, 7, "+Inf bucket covers everything");
         assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_ceilings() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.99), None, "empty histogram has no quantile");
+        for v in [1, 1, 2, 4, 8, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(h.quantile(0.99), Some(128), "power-of-two ceiling of 100");
+        assert_eq!(h.quantile(1.0), Some(128));
+        h.observe(u64::MAX);
+        assert_eq!(h.quantile(1.0), Some(u64::MAX), "+Inf bucket");
     }
 
     #[test]

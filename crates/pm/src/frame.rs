@@ -24,9 +24,10 @@
 //! [`crate::mem::PersistentMemory`] words as everything else, so the
 //! backend's [`crate::backend::MemBackend::flush`] boundary covers them.
 //!
-//! Encoding ([`write_frame`]) is costed and restart-stable: the frame
-//! address comes from the processor's §4.1 pool allocator, so a capsule
-//! re-run rewrites the identical words at the identical address. Decoding
+//! Encoding ([`write_frame`]) is costed (through the capsule-boundary
+//! write-combining flush) and restart-stable: the frame address comes
+//! from the processor's §4.1 pool allocator, so a capsule re-run rewrites
+//! the identical words at the identical address. Decoding
 //! ([`read_frame`]) is strict: a word that does not carry the magic, an
 //! oversized argument count, or an out-of-bounds frame is a
 //! [`FrameError`], never a panic — recovery code downgrades to
@@ -136,18 +137,21 @@ pub struct Frame {
 
 impl Frame {
     /// Argument word `i`, if present.
+    #[inline]
     pub fn arg(&self, i: usize) -> Option<Word> {
         self.args.get(i).copied()
     }
 
     /// The last argument word — by the `ppm-core` DSL convention, a
     /// frame's continuation handle.
+    #[inline]
     pub fn cont(&self) -> Option<Word> {
         self.args.last().copied()
     }
 
     /// The argument words before the last one — by the DSL convention,
     /// the capsule's typed state words.
+    #[inline]
     pub fn state_words(&self) -> &[Word] {
         match self.args.len() {
             0 => &self.args,
@@ -156,18 +160,42 @@ impl Frame {
     }
 }
 
+/// Out-of-line [`FrameError::NotAFrame`] constructor: decode failures are
+/// the recovery-forensics path, and keeping their construction `#[cold]`
+/// keeps the hot decode loop's happy path branch-predictable and small.
+#[cold]
+fn not_a_frame(addr: Addr, word: Word) -> FrameError {
+    FrameError::NotAFrame { addr, word }
+}
+
+/// Out-of-line [`FrameError::OutOfBounds`] constructor (see [`not_a_frame`]).
+#[cold]
+fn out_of_bounds(addr: Addr, argc: usize) -> FrameError {
+    FrameError::OutOfBounds { addr, argc }
+}
+
 /// Writes a frame for `(capsule_id, args)` from within a capsule:
 /// allocates `2 + args.len()` words from the processor's restart-stable
-/// pool and fills them with costed external writes. Returns the frame
-/// address — the single persistent word that now denotes the
-/// continuation. Idempotent under capsule restart (same address, same
-/// words).
+/// pool and fills them through the write-combining staging buffer
+/// ([`ProcCtx::stage_write`]). The words hit memory immediately — a
+/// frame is readable by its writer the instant this returns — but their
+/// transfer cost is charged at the capsule boundary, where the engine's
+/// [`ProcCtx::flush_staged`] coalesces every frame the capsule wrote
+/// into sequential whole-block persists (§4.1 bump allocation makes
+/// consecutive frames contiguous). Returns the frame address — the
+/// single persistent word that now denotes the continuation. Idempotent
+/// under capsule restart (same address, same words).
+///
+/// Crash-safety is preserved by ordering: a frame handle only escapes
+/// through a costed install or deque write, and the engine flushes the
+/// staging buffer before performing any install.
+#[inline]
 pub fn write_frame(ctx: &mut ProcCtx, capsule_id: Word, args: &[Word]) -> PmResult<Addr> {
     let addr = ctx.palloc(frame_words(args.len()));
-    ctx.pwrite(addr, frame_header(args.len()))?;
-    ctx.pwrite(addr + 1, capsule_id)?;
+    ctx.stage_write(addr, frame_header(args.len()));
+    ctx.stage_write(addr + 1, capsule_id);
     for (i, a) in args.iter().enumerate() {
-        ctx.pwrite(addr + 2 + i, *a)?;
+        ctx.stage_write(addr + 2 + i, *a);
     }
     Ok(addr)
 }
@@ -190,12 +218,12 @@ pub fn store_frame(mem: &PersistentMemory, addr: Addr, capsule_id: Word, args: &
 /// accounts for).
 pub fn read_frame(mem: &PersistentMemory, addr: Addr) -> Result<Frame, FrameError> {
     if addr == 0 || addr >= mem.len() {
-        return Err(FrameError::NotAFrame { addr, word: 0 });
+        return Err(not_a_frame(addr, 0));
     }
     let header = mem.load(addr);
-    let argc = parse_header(header).ok_or(FrameError::NotAFrame { addr, word: header })?;
+    let argc = parse_header(header).ok_or_else(|| not_a_frame(addr, header))?;
     if addr + frame_words(argc) > mem.len() {
-        return Err(FrameError::OutOfBounds { addr, argc });
+        return Err(out_of_bounds(addr, argc));
     }
     let capsule_id = mem.load(addr + 1);
     let args = (0..argc).map(|i| mem.load(addr + 2 + i)).collect();
@@ -208,6 +236,7 @@ pub fn read_frame(mem: &PersistentMemory, addr: Addr) -> Result<Frame, FrameErro
 
 /// Whether the word at `addr` looks like a frame header (cheap probe used
 /// by recovery forensics; [`read_frame`] remains the authoritative check).
+#[inline]
 pub fn is_frame_at(mem: &PersistentMemory, addr: Addr) -> bool {
     addr != 0 && addr < mem.len() && parse_header(mem.load(addr)).is_some()
 }

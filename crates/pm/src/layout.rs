@@ -27,6 +27,21 @@ impl Region {
         self.start + i
     }
 
+    /// Address of the `i`-th word as a *cursor* position: unlike
+    /// [`Region::at`], `i == len` is allowed. A scatter destination for
+    /// an empty run legitimately sits one past the end (every element
+    /// landed in earlier buckets); nothing is ever read or written
+    /// through the saturated cursor.
+    #[inline]
+    pub fn cursor(&self, i: usize) -> Addr {
+        debug_assert!(
+            i <= self.len,
+            "region cursor {i} out of bounds {}",
+            self.len
+        );
+        self.start + i
+    }
+
     /// One-past-the-end address.
     #[inline]
     pub fn end(&self) -> Addr {

@@ -53,6 +53,12 @@ pub struct ProcCtx {
     /// the Figure 3 scheduler capsules whose idempotence the paper proves
     /// directly (via entry tags) rather than via conflict freedom.
     war_exempt: bool,
+    /// Write-combining staging buffer: contiguous pool ranges stored by
+    /// [`ProcCtx::stage_write`] whose transfer cost has not been charged
+    /// yet. Flushed as whole-block persists at the capsule boundary;
+    /// cleared on capsule begin/restart (the §4.1 cursor rollback makes a
+    /// re-run re-stage identical words at identical addresses).
+    staged: Vec<(Addr, usize)>,
 }
 
 impl ProcCtx {
@@ -84,6 +90,7 @@ impl ProcCtx {
             watermark_addr: None,
             ephemeral_words: cfg.ephemeral_words,
             war_exempt: false,
+            staged: Vec::new(),
         }
     }
 
@@ -161,6 +168,7 @@ impl ProcCtx {
     pub fn begin_capsule(&mut self, name: &str) {
         self.capsule_start_cursor = self.alloc_cursor;
         self.capsule_work = 0;
+        self.staged.clear();
         self.war.reset(name);
         self.stats.record_capsule_run(self.proc);
     }
@@ -172,6 +180,7 @@ impl ProcCtx {
     pub fn restart_capsule(&mut self, name: &str) {
         self.alloc_cursor = self.capsule_start_cursor;
         self.capsule_work = 0;
+        self.staged.clear();
         self.war.reset(name);
         self.stats.record_capsule_run(self.proc);
     }
@@ -325,6 +334,70 @@ impl ProcCtx {
         }
         self.mem.write_range(addr, src);
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Write-combining staging (frame-pool writes)
+    // ------------------------------------------------------------------
+
+    /// Stores one word through the write-combining buffer. The word hits
+    /// memory **immediately** — same-capsule reads, frame rehydration and
+    /// recovery-time decoding always see current words — but the model's
+    /// unit transfer cost (and its fault point) is deferred to
+    /// [`ProcCtx::flush_staged`] at the capsule boundary, where adjacent
+    /// staged words coalesce into whole-block persists. Intended for
+    /// frame-pool writes: §4.1 bump allocation makes consecutive frames
+    /// contiguous, so an entire capsule boundary's closures persist as a
+    /// handful of sequential block transfers instead of one random write
+    /// per word. WAR-tracked like a plain [`ProcCtx::pwrite`].
+    ///
+    /// Crash-safe by publication ordering: a staged frame's handle only
+    /// escapes through a costed install or deque write, which the engine
+    /// performs *after* the boundary flush.
+    #[inline]
+    pub fn stage_write(&mut self, addr: Addr, value: Word) {
+        if !self.war_exempt {
+            self.war.on_write(addr, &self.stats);
+        }
+        self.stats.record_staged_word(self.proc);
+        match self.staged.last_mut() {
+            Some((start, len)) if *start + *len == addr => *len += 1,
+            _ => self.staged.push((addr, 1)),
+        }
+        self.mem.store(addr, value);
+    }
+
+    /// Charges the staged writes of the current capsule as coalesced block
+    /// transfers — one unit cost per touched block per contiguous range —
+    /// and drains the staging buffer. Each block transfer consults the
+    /// fault adversary; on a fault the engine restarts the capsule, whose
+    /// re-run re-stages identical words at identical addresses (cursor
+    /// rollback), so the flush is idempotent. Called by the capsule engine
+    /// after the body returns, before the successor is installed.
+    pub fn flush_staged(&mut self) -> PmResult<()> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        let b = self.mem.block_size();
+        let mut ranges = std::mem::take(&mut self.staged);
+        for (start, len) in ranges.drain(..) {
+            let first = start / b;
+            let last = (start + len - 1) / b;
+            for _ in first..=last {
+                self.fault_point()?;
+                self.capsule_work += 1;
+                self.stats.record_write(self.proc);
+                self.stats.record_staged_persist(self.proc);
+            }
+        }
+        self.staged = ranges; // keep the (now empty) allocation
+        Ok(())
+    }
+
+    /// Words currently sitting in the write-combining buffer (diagnostics).
+    #[inline]
+    pub fn staged_words(&self) -> usize {
+        self.staged.iter().map(|(_, len)| len).sum()
     }
 
     #[inline]

@@ -44,6 +44,14 @@ pub struct ProcStats {
     /// peak pool-word footprint (checkpoint GC rolls the *cursor* back,
     /// so the peak is what pool-sizing formulas must cover).
     pub pool_peak: AtomicU64,
+    /// Words stored through the write-combining staging path
+    /// (`ProcCtx::stage_write`) — the raw side of the coalescing ratio.
+    pub staged_words: AtomicU64,
+    /// Coalesced whole-block persists charged for staged words at capsule
+    /// boundaries (`ProcCtx::flush_staged`) — the batched side. With block
+    /// size `B` and perfectly sequential frames this approaches
+    /// `staged_words / B`.
+    pub staged_persists: AtomicU64,
 }
 
 /// Shared, thread-safe statistics for one machine instance.
@@ -137,6 +145,22 @@ impl MemStats {
             .fetch_max(cursor, Ordering::Relaxed);
     }
 
+    /// Records one word stored through the write-combining staging path.
+    #[inline]
+    pub fn record_staged_word(&self, proc: usize) {
+        self.per_proc[proc]
+            .staged_words
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one coalesced block persist charged for staged words.
+    #[inline]
+    pub fn record_staged_persist(&self, proc: usize) {
+        self.per_proc[proc]
+            .staged_persists
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a write-after-read conflict (Record mode only).
     #[inline]
     pub fn record_war_conflict(&self) {
@@ -166,6 +190,8 @@ impl MemStats {
                 capsule_runs: p.capsule_runs.load(Ordering::Relaxed),
                 capsule_completions: p.capsule_completions.load(Ordering::Relaxed),
                 pool_peak: p.pool_peak.load(Ordering::Relaxed),
+                staged_words: p.staged_words.load(Ordering::Relaxed),
+                staged_persists: p.staged_persists.load(Ordering::Relaxed),
             };
             s.total_reads += ps.reads;
             s.total_writes += ps.writes;
@@ -173,6 +199,8 @@ impl MemStats {
             s.hard_faults += ps.hard_faults;
             s.capsule_runs += ps.capsule_runs;
             s.capsule_completions += ps.capsule_completions;
+            s.staged_words += ps.staged_words;
+            s.staged_persists += ps.staged_persists;
             s.max_pool_peak = s.max_pool_peak.max(ps.pool_peak);
             s.per_proc.push(ps);
         }
@@ -222,6 +250,16 @@ impl MemStats {
                 |p| &p.capsule_completions,
                 "capsule executions that installed a successor",
             ),
+            (
+                "ppm_staged_words_total",
+                |p| &p.staged_words,
+                "words stored through the write-combining frame staging path",
+            ),
+            (
+                "ppm_staged_persists_total",
+                |p| &p.staged_persists,
+                "coalesced block persists charged for staged frame words",
+            ),
         ];
         for (name, field, help) in per_proc {
             for p in 0..self.per_proc.len() {
@@ -252,6 +290,24 @@ impl MemStats {
                     .iter()
                     .map(|p| p.reads.load(Ordering::Relaxed) + p.writes.load(Ordering::Relaxed))
                     .sum()
+            },
+        );
+        let stats = self.clone();
+        reg.gauge_fn(
+            "ppm_frame_coalesce_ratio",
+            "coalesced block persists over raw staged words (1.0 = no write combining, 1/B = perfect)",
+            &[],
+            move || {
+                let (mut words, mut persists) = (0u64, 0u64);
+                for p in &stats.per_proc {
+                    words += p.staged_words.load(Ordering::Relaxed);
+                    persists += p.staged_persists.load(Ordering::Relaxed);
+                }
+                if words == 0 {
+                    0.0
+                } else {
+                    persists as f64 / words as f64
+                }
             },
         );
         let stats = self.clone();
@@ -301,6 +357,10 @@ pub struct ProcSnapshot {
     pub capsule_completions: u64,
     /// Peak pool-allocation cursor (words).
     pub pool_peak: u64,
+    /// Words stored through the write-combining staging path.
+    pub staged_words: u64,
+    /// Coalesced block persists charged for staged words.
+    pub staged_persists: u64,
 }
 
 /// Point-in-time copy of a machine's statistics.
@@ -320,6 +380,10 @@ pub struct StatsSnapshot {
     pub capsule_runs: u64,
     /// Total capsule runs completed.
     pub capsule_completions: u64,
+    /// Total words stored through the write-combining staging path.
+    pub staged_words: u64,
+    /// Total coalesced block persists charged for staged words.
+    pub staged_persists: u64,
     /// Empirical maximum capsule work `C`.
     pub max_capsule_work: u64,
     /// Peak pool-allocation cursor over all processors (words) — the
@@ -357,6 +421,13 @@ impl StatsSnapshot {
     /// Capsule restarts (runs that did not complete because of a fault).
     pub fn capsule_restarts(&self) -> u64 {
         self.capsule_runs.saturating_sub(self.capsule_completions)
+    }
+
+    /// Coalesced block persists over raw staged frame words: 1.0 means the
+    /// write-combining buffer achieved nothing, `1/B` is perfect
+    /// coalescing. `None` when nothing was staged.
+    pub fn frame_coalesce_ratio(&self) -> Option<f64> {
+        (self.staged_words > 0).then(|| self.staged_persists as f64 / self.staged_words as f64)
     }
 
     /// The maximum work done by any one processor — the model's notion of

@@ -43,6 +43,56 @@ use crate::cluster::ShardDomain;
 use crate::deque::{build_deques, DequeAddrs};
 use crate::entry::{kind_of, pack, tag_of, unpack, EntryKind, EntryVal, MAX_PROCS};
 
+/// How a spinning processor picks its next steal victim.
+///
+/// Figure 3 leaves victim selection unspecified ("a randomly selected
+/// victim"); these are the standard policies, pluggable per run. All
+/// three are ephemeral heuristics — they steer which deque is *probed*,
+/// never whether a probe is *correct* — so a capsule re-run drawing a
+/// different victim is harmless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VictimStrategy {
+    /// Independent uniform draws (splitmix64 over a per-attempt stream):
+    /// the classic randomized work stealing the paper's bounds assume.
+    #[default]
+    Random,
+    /// Cycle through the other processors in index order. Deterministic
+    /// probe spacing: no victim is hit twice before every other victim
+    /// has been probed once — the simplest contention spreader.
+    RoundRobin,
+    /// Probe the processor whose deque is currently deepest (an
+    /// uncosted ephemeral peek at the other deques' `bot` words): the
+    /// idle — least-loaded — thief aims where the most work sits, which
+    /// both rebalances fastest and spreads thieves across distinct
+    /// deep deques instead of hammering one victim at high P.
+    LeastLoaded,
+}
+
+impl VictimStrategy {
+    /// Packs the strategy into the top two bits of a seed word. The
+    /// sharded cluster header persists exactly one victim-selection seed
+    /// word; riding in its top bits lets every attaching worker agree on
+    /// the strategy without a machine-file format change.
+    pub fn pack_into_seed(self, seed: u64) -> u64 {
+        let code = match self {
+            VictimStrategy::Random => 0u64,
+            VictimStrategy::RoundRobin => 1,
+            VictimStrategy::LeastLoaded => 2,
+        };
+        (seed & !(0b11 << 62)) | (code << 62)
+    }
+
+    /// Inverse of [`VictimStrategy::pack_into_seed`] (unknown codes read
+    /// as `Random`).
+    pub fn unpack_from_seed(seed: u64) -> VictimStrategy {
+        match seed >> 62 {
+            1 => VictimStrategy::RoundRobin,
+            2 => VictimStrategy::LeastLoaded,
+            _ => VictimStrategy::Random,
+        }
+    }
+}
+
 /// Scheduler configuration.
 #[derive(Debug, Clone)]
 pub struct SchedConfig {
@@ -52,6 +102,8 @@ pub struct SchedConfig {
     pub deque_slots: usize,
     /// Seed for deterministic victim selection.
     pub seed: u64,
+    /// Victim-selection policy for the steal loop.
+    pub victim_strategy: VictimStrategy,
     /// Install a write observer asserting the Figure 4 entry-transition
     /// table on every deque mutation (tests and the E11 experiment).
     pub check_transitions: bool,
@@ -70,6 +122,7 @@ impl Default for SchedConfig {
         SchedConfig {
             deque_slots: 1 << 14,
             seed: 0x5EED_CAFE,
+            victim_strategy: VictimStrategy::default(),
             check_transitions: false,
             checkpoint: crate::checkpoint::CheckpointPolicy::default(),
         }
@@ -128,7 +181,24 @@ pub struct Sched {
     /// Per-processor µs timestamp of the current steal-loop entry
     /// (0 = not in the loop). Ephemeral: only feeds the latency metric.
     steal_since: Vec<AtomicU64>,
+    /// Victim-selection policy.
+    strategy: VictimStrategy,
+    /// Per-processor round-robin cursors (ephemeral probe-stream state).
+    rr: Vec<AtomicU64>,
+    /// Per-processor consecutive failed `popTop` CAMs since the last won
+    /// steal or uncontended probe. Ephemeral: drives only the backoff
+    /// window, never correctness.
+    contention: Vec<AtomicU64>,
+    /// Backoff sleeps actually applied, µs (registered as
+    /// `ppm_steal_backoff_us`; p99 surfaces as
+    /// `ppm_steal_backoff_p99_us`).
+    steal_backoff: Histogram,
 }
+
+/// Longest single backoff sleep, µs. Small enough that a saturated
+/// spinner still polls the done flag promptly; large enough that a
+/// contended `popTop` CAM stops being re-fired back-to-back.
+const BACKOFF_CAP_US: u64 = 64;
 
 impl Sched {
     /// Builds scheduler state on a machine: carves the deques and captures
@@ -178,6 +248,19 @@ impl Sched {
             "ppm_steal_latency_us",
             "time from entering the steal loop to winning a steal (microseconds)",
         );
+        let steal_backoff = reg.histogram(
+            "ppm_steal_backoff_us",
+            "contention backoff sleeps applied before steal attempts (microseconds)",
+        );
+        {
+            let h = steal_backoff.clone();
+            reg.gauge_fn(
+                "ppm_steal_backoff_p99_us",
+                "99th-percentile contention backoff sleep (microseconds)",
+                &[],
+                move || h.quantile(0.99).unwrap_or(0) as f64,
+            );
+        }
         if let Some(d) = &domain {
             d.register_into(reg);
         }
@@ -197,6 +280,10 @@ impl Sched {
             steals,
             steal_latency,
             steal_since: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            strategy: cfg.victim_strategy,
+            rr: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            contention: (0..p).map(|_| AtomicU64::new(0)).collect(),
+            steal_backoff,
         })
     }
 
@@ -214,6 +301,7 @@ impl Sched {
     /// adoption in the trace.
     fn note_steal_win(&self, me: usize, victim: usize, what: &'static str) {
         self.steals.inc();
+        self.note_calm(me);
         let since = self.steal_since[me].swap(0, Ordering::Relaxed);
         if since != 0 {
             let lat = self.obs.tracer().now_us().saturating_sub(since);
@@ -258,7 +346,21 @@ impl Sched {
     }
 
     fn pick_victim(&self, thief: usize, n: u64) -> Option<usize> {
-        let r = splitmix64(self.seed ^ ((thief as u64) << 40) ^ n);
+        let r = match self.strategy {
+            VictimStrategy::Random => splitmix64(self.seed ^ ((thief as u64) << 40) ^ n),
+            // A per-processor cursor: candidate index advances by one per
+            // probe, cycling every other processor before repeating.
+            VictimStrategy::RoundRobin => self.rr[thief].fetch_add(1, Ordering::Relaxed),
+            VictimStrategy::LeastLoaded => {
+                if let Some(v) = self.deepest_victim(thief) {
+                    return Some(v);
+                }
+                // No candidate showed any depth (or sharded candidates are
+                // all remote): fall back to rotation so probes still cover
+                // everyone.
+                self.rr[thief].fetch_add(1, Ordering::Relaxed)
+            }
+        };
         if let Some(domain) = &self.domain {
             return domain.pick_victim(thief, r);
         }
@@ -267,6 +369,74 @@ impl Sched {
         }
         let v = r as usize % (self.p - 1);
         Some(if v >= thief { v + 1 } else { v })
+    }
+
+    /// The in-process candidate whose deque is deepest right now, by an
+    /// uncosted ephemeral peek at the `bot` words (victim selection is a
+    /// probe heuristic, not part of the costed computation — like the
+    /// paper's uncosted random draw). `None` when every candidate is
+    /// empty, remote, or `P = 1`.
+    fn deepest_victim(&self, thief: usize) -> Option<usize> {
+        let candidates: Box<dyn Iterator<Item = usize>> = match &self.domain {
+            Some(d) => Box::new(d.own_procs()),
+            None => Box::new(0..self.p),
+        };
+        let mut best: Option<(u64, usize)> = None;
+        for v in candidates {
+            if v == thief {
+                continue;
+            }
+            let depth = self.mem.load(self.deques[v].bot);
+            if depth > 0 && best.map(|(d, _)| depth > d).unwrap_or(true) {
+                best = Some((depth, v));
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    /// Exponential-backoff sleep before a steal attempt, engaged only
+    /// after consecutive failed `popTop` CAMs. The base window is seeded
+    /// from the live steal-latency histogram (median loop-entry-to-win
+    /// time, clamped to `[1, 8]` µs), doubles per consecutive failure up
+    /// to [`BACKOFF_CAP_US`], and the actual sleep is drawn uniformly
+    /// from the window — randomized exponential backoff, so colliding
+    /// thieves decorrelate instead of re-firing their CAMs in lockstep.
+    fn backoff(&self, me: usize, n: u64) {
+        let fails = self.contention[me].load(Ordering::Relaxed);
+        if fails == 0 {
+            return;
+        }
+        let base = self.steal_latency.quantile(0.5).unwrap_or(1).clamp(1, 8);
+        let window = (base << fails.min(16)).min(BACKOFF_CAP_US);
+        let jitter = splitmix64(self.seed ^ n ^ ((me as u64) << 52)) % window + 1;
+        self.steal_backoff.observe(jitter);
+        std::thread::sleep(std::time::Duration::from_micros(jitter));
+    }
+
+    /// A failed `popTop` CAM: someone else won the entry — contention.
+    fn note_contention(&self, me: usize) {
+        self.contention[me].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An uncontended probe outcome (empty deque, won steal): clear the
+    /// backoff window.
+    fn note_calm(&self, me: usize) {
+        self.contention[me].store(0, Ordering::Relaxed);
+    }
+
+    /// Bench/diagnostic hook: drive the backoff policy as if `rounds`
+    /// consecutive `popTop` CAMs had failed, observing every sleep into
+    /// `ppm_steal_backoff_us`. Real runs engage the identical path from
+    /// the CAM-loss arms; this exists so hosts where the OS serializes
+    /// the worker threads (and genuine CAM races are vanishingly rare)
+    /// can still pin the policy curve — window growth and cap — in a
+    /// deterministic benchmark.
+    pub fn contention_probe(&self, me: usize, rounds: u64) {
+        for n in 0..rounds {
+            self.note_contention(me);
+            self.backoff(me, n);
+        }
+        self.note_calm(me);
     }
 
     /// Whether `handle` (the restart pointer of dead processor `owner`)
@@ -431,6 +601,7 @@ impl Sched {
             }
             let me = ctx.proc();
             s.note_steal_enter(me);
+            s.backoff(me, n);
             let victim = match s.pick_victim(me, n) {
                 Some(v) => v,
                 None => {
@@ -522,8 +693,12 @@ impl Sched {
             let i = ctx.pread(v.top)? as usize;
             let old = ctx.pread(v.entry(i))?;
             match unpack(old) {
-                // Line 39: nothing to steal.
-                (_, EntryVal::Empty) => Ok(Next::Jump(s.steal_attempt(n + 1))),
+                // Line 39: nothing to steal — an uncontended outcome, so
+                // any backoff window collapses.
+                (_, EntryVal::Empty) => {
+                    s.note_calm(ctx.proc());
+                    Ok(Next::Jump(s.steal_attempt(n + 1)))
+                }
                 // Lines 41-42: a steal is in progress; help it, then give up.
                 (_, EntryVal::Taken { .. }) => {
                     Ok(Next::Jump(s.help_pop_top(v, s.steal_attempt(n + 1))))
@@ -605,6 +780,9 @@ impl Sched {
                 }
                 Ok(Next::JumpHandle(f))
             } else {
+                // Our CAM lost to another thief: contention — widen the
+                // backoff window for the next attempt.
+                s.note_contention(ctx.proc());
                 Ok(Next::Jump(s.steal_attempt(n + 1)))
             }
         })
@@ -679,6 +857,8 @@ impl Sched {
         capsule("sched/popTop/checkLocal", move |ctx| {
             let cur = ctx.pread(v.entry(i))?;
             if cur != new {
+                // Lost the adoption CAM to a competing thief.
+                s.note_contention(ctx.proc());
                 return Ok(Next::Jump(s.steal_attempt(n + 1)));
             }
             let handle = ctx.pread(s.metas[v.owner].active)?;
@@ -836,6 +1016,59 @@ mod tests {
             seen.insert(s.pick_victim(0, n).unwrap());
         }
         assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn round_robin_cycles_all_victims_and_never_self() {
+        let machine = Machine::new(ppm_pm::PmConfig::parallel(4, 1 << 20));
+        let done = DoneFlag::new(&machine);
+        let mut cfg = SchedConfig::with_slots(64);
+        cfg.victim_strategy = VictimStrategy::RoundRobin;
+        let s = Sched::new(&machine, done, &cfg);
+        for thief in 0..4 {
+            let seq: Vec<usize> = (0..6).map(|n| s.pick_victim(thief, n).unwrap()).collect();
+            assert!(seq.iter().all(|&v| v != thief && v < 4));
+            // One rotation covers every other processor, then repeats.
+            let first: std::collections::HashSet<usize> = seq[..3].iter().copied().collect();
+            assert_eq!(first.len(), 3);
+            assert_eq!(seq[..3], seq[3..6]);
+        }
+    }
+
+    #[test]
+    fn least_loaded_targets_the_deepest_deque() {
+        let machine = Machine::new(ppm_pm::PmConfig::parallel(4, 1 << 20));
+        let done = DoneFlag::new(&machine);
+        let mut cfg = SchedConfig::with_slots(64);
+        cfg.victim_strategy = VictimStrategy::LeastLoaded;
+        let s = Sched::new(&machine, done, &cfg);
+        // All deques empty: rotation fallback, still never self.
+        let v = s.pick_victim(0, 0).unwrap();
+        assert_ne!(v, 0);
+        // Give proc 2 the deepest deque and proc 1 a shallower one.
+        s.mem.store(s.deques[2].bot, 5);
+        s.mem.store(s.deques[1].bot, 2);
+        for n in 0..8 {
+            assert_eq!(s.pick_victim(0, n), Some(2));
+            assert_eq!(s.pick_victim(3, n), Some(2));
+            // The deepest proc never probes itself: next-deepest wins.
+            assert_eq!(s.pick_victim(2, n), Some(1));
+        }
+    }
+
+    #[test]
+    fn victim_strategy_round_trips_through_seed_top_bits() {
+        for (st, code) in [
+            (VictimStrategy::Random, 0u64),
+            (VictimStrategy::RoundRobin, 1),
+            (VictimStrategy::LeastLoaded, 2),
+        ] {
+            let seed = 0x0123_4567_89ab_cdef;
+            let packed = st.pack_into_seed(seed);
+            assert_eq!(VictimStrategy::unpack_from_seed(packed), st);
+            assert_eq!(packed & ((1 << 62) - 1), seed & ((1 << 62) - 1));
+            assert_eq!(packed >> 62, code);
+        }
     }
 
     #[test]

@@ -324,6 +324,10 @@ pub struct ClusterConfig {
     pub deque_slots: usize,
     /// Victim-selection seed.
     pub seed: u64,
+    /// Victim-selection policy of every shard's steal loop. Persisted in
+    /// the cluster header's seed word (top two bits), so attaching
+    /// workers pick it up from the machine file alone.
+    pub victim_strategy: crate::capsules::VictimStrategy,
     /// Per-processor pool words (`None` = machine default).
     pub pool_words: Option<usize>,
     /// Overall coordinator deadline: past it, remaining workers are
@@ -342,9 +346,16 @@ impl ClusterConfig {
             lease_ms: DEFAULT_LEASE_MS,
             deque_slots: SchedConfig::default().deque_slots,
             seed: SchedConfig::default().seed,
+            victim_strategy: crate::capsules::VictimStrategy::default(),
             pool_words: None,
             deadline: Duration::from_secs(300),
         }
+    }
+
+    /// Sets the victim-selection policy.
+    pub fn with_victim_strategy(mut self, v: crate::capsules::VictimStrategy) -> Self {
+        self.victim_strategy = v;
+        self
     }
 
     /// Sets the lease window.
@@ -378,7 +389,7 @@ impl ClusterConfig {
             shards: self.shards as u64,
             lease_ms: self.lease_ms,
             deque_slots: self.deque_slots as u64,
-            seed: self.seed,
+            seed: self.victim_strategy.pack_into_seed(self.seed),
         }
     }
 }
@@ -410,6 +421,9 @@ fn build_session(
     let cfg = SchedConfig {
         deque_slots,
         seed,
+        // Every attacher decodes the same header seed word, so all
+        // shards run the same policy.
+        victim_strategy: crate::capsules::VictimStrategy::unpack_from_seed(seed),
         check_transitions: false,
         // Checkpoints quiesce *all* of a machine's processors; one worker
         // can only park its own shard, so sharded runs never checkpoint.

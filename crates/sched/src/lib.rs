@@ -48,7 +48,7 @@ pub mod driver;
 pub mod entry;
 pub mod runtime;
 
-pub use capsules::{Sched, SchedConfig};
+pub use capsules::{Sched, SchedConfig, VictimStrategy};
 pub use checkpoint::{CheckpointPolicy, CheckpointSummary, CheckpointTrigger};
 pub use cluster::{
     ClusterConfig, ClusterObserver, ClusterRole, ClusterSummary, ShardBuild, ShardDomain,

@@ -37,25 +37,35 @@ fn prefix_cfg(pm: PmConfig) -> RuntimeConfig {
         .with_checkpoint(CheckpointPolicy::every_capsules(EPOCH_CAPSULES))
 }
 
-/// Capsules a complete from-root run completes (P = 1, deterministic).
-fn full_run_capsules() -> u64 {
+/// Capsules and total accesses a complete from-root run performs (P = 1,
+/// deterministic). The kill-point tests schedule their hard fault as a
+/// fraction of the measured access count, so they keep landing mid-run
+/// when per-capsule costs change (coalesced installs, batched frames).
+fn full_run_profile() -> (u64, u64) {
     let rt = Runtime::volatile(prefix_cfg(PmConfig::parallel(1, WORDS)));
     let ps = PrefixSum::new(rt.machine(), N);
     ps.load_input(rt.machine(), &input(N));
     let rep = rt.run_or_recover(&ps.pcomp());
     assert!(rep.completed());
-    rep.stats().capsule_completions
+    (rep.stats().capsule_completions, rep.stats().total_work())
+}
+
+/// A scheduled-fault access index ~60% through the measured from-root
+/// run: deterministically past the first checkpoint epochs and short of
+/// completion.
+fn mid_run_kill_access() -> u64 {
+    full_run_profile().1 * 3 / 5
 }
 
 #[cfg(unix)]
 #[test]
 fn unresumable_crash_frontier_resumes_from_checkpoint_with_bounded_replay() {
-    let full = full_run_capsules();
+    let (full, full_work) = full_run_profile();
     let path = tmp("bounded");
     let _ = std::fs::remove_file(&path);
     {
         let pm = PmConfig::parallel(1, WORDS)
-            .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, 6000));
+            .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, full_work * 13 / 20));
         let rt = Runtime::create(&path, prefix_cfg(pm)).unwrap();
         let ps = PrefixSum::new(rt.machine(), N);
         ps.load_input(rt.machine(), &input(N));
@@ -133,7 +143,7 @@ fn torn_newest_record_falls_back_to_the_previous_checkpoint() {
     let _ = std::fs::remove_file(&path);
     {
         let pm = PmConfig::parallel(1, WORDS)
-            .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, 6000));
+            .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, mid_run_kill_access()));
         let rt = Runtime::create(&path, prefix_cfg(pm)).unwrap();
         let ps = PrefixSum::new(rt.machine(), N);
         ps.load_input(rt.machine(), &input(N));
@@ -512,7 +522,7 @@ fn replay_from_root_clears_stale_checkpoint_records() {
     {
         // A checkpointed persistent run dies mid-flight, leaving records.
         let pm = PmConfig::parallel(1, WORDS)
-            .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, 6000));
+            .with_fault(FaultConfig::none().with_scheduled_hard_fault(0, mid_run_kill_access()));
         let rt = Runtime::create(&path, prefix_cfg(pm)).unwrap();
         let ps = PrefixSum::new(rt.machine(), N);
         ps.load_input(rt.machine(), &input(N));

@@ -54,10 +54,10 @@ fn recovery_after_mid_run_stop_applies_every_task_exactly_once() {
             rt_cfg(
                 cfg().with_fault(
                     FaultConfig::none()
-                        .with_scheduled_hard_fault(0, 700)
-                        .with_scheduled_hard_fault(1, 500)
-                        .with_scheduled_hard_fault(2, 600)
-                        .with_scheduled_hard_fault(3, 400),
+                        .with_scheduled_hard_fault(0, 350)
+                        .with_scheduled_hard_fault(1, 250)
+                        .with_scheduled_hard_fault(2, 300)
+                        .with_scheduled_hard_fault(3, 200),
                 ),
             ),
         )
@@ -233,10 +233,10 @@ fn recovery_with_transition_checking_scrubs_without_tripping_the_checker() {
             rt_cfg(
                 cfg().with_fault(
                     FaultConfig::none()
-                        .with_scheduled_hard_fault(0, 700)
-                        .with_scheduled_hard_fault(1, 500)
-                        .with_scheduled_hard_fault(2, 600)
-                        .with_scheduled_hard_fault(3, 400),
+                        .with_scheduled_hard_fault(0, 350)
+                        .with_scheduled_hard_fault(1, 250)
+                        .with_scheduled_hard_fault(2, 300)
+                        .with_scheduled_hard_fault(3, 200),
                 ),
             )
             .with_sched(scfg.clone()),
