@@ -66,9 +66,14 @@ pub struct MmapBackend {
     sb_lock: Mutex<()>,
 }
 
-// The raw pointer is a shared file mapping: word access goes through
-// `&[AtomicU64]` and superblock rewrites are serialized by `sb_lock`.
+// SAFETY: the raw pointer is a shared file mapping that lives until Drop:
+// word access goes through `&[AtomicU64]`, cross-process slots go through
+// `sb_word` atomics, and superblock rewrites are serialized by `sb_lock`,
+// so moving or sharing the handle across threads cannot introduce a data
+// race that the mapping's own protocol does not already govern.
 unsafe impl Send for MmapBackend {}
+// SAFETY: see the Send justification above — all interior access paths
+// are atomic or lock-serialized.
 unsafe impl Sync for MmapBackend {}
 
 impl std::fmt::Debug for MmapBackend {
@@ -178,6 +183,9 @@ impl MmapBackend {
     fn map(file: File, path: PathBuf, words: usize) -> io::Result<Self> {
         use std::os::fd::AsRawFd;
         let map_len = SUPERBLOCK_BYTES + words * 8;
+        // SAFETY: plain FFI mmap of `map_len` bytes of an open fd we own;
+        // a MAP_FAILED return is checked immediately below, and the fd is
+        // kept alive in `_file` for the lifetime of the mapping.
         let base = unsafe {
             sys::mmap(
                 std::ptr::null_mut(),
@@ -204,6 +212,9 @@ impl MmapBackend {
     /// Rewrites the superblock page and syncs it to the file.
     fn write_superblock(&self, sb: &Superblock) -> io::Result<()> {
         let _guard = self.sb_lock.lock();
+        // SAFETY: the mapping is at least SUPERBLOCK_BYTES long for the
+        // lifetime of `self`, and `sb_lock` (held above) serializes every
+        // mutable view of the superblock page within this process.
         let page = unsafe { std::slice::from_raw_parts_mut(self.base, SUPERBLOCK_BYTES) };
         sb.encode_into(page);
         self.msync_range(0, SUPERBLOCK_BYTES)
@@ -211,6 +222,8 @@ impl MmapBackend {
 
     fn read_superblock(&self) -> Superblock {
         let _guard = self.sb_lock.lock();
+        // SAFETY: in-bounds shared view of the superblock page; `sb_lock`
+        // excludes in-process writers while this borrow is live.
         let page = unsafe { std::slice::from_raw_parts(self.base, SUPERBLOCK_BYTES) };
         Superblock::decode(page).expect("mapped superblock was validated at open/create")
     }
@@ -218,6 +231,9 @@ impl MmapBackend {
     /// Reads one checkpoint slot from the mapped superblock page.
     fn read_ckpt_slot(&self, slot: usize) -> io::Result<Option<CheckpointRecord>> {
         let _guard = self.sb_lock.lock();
+        // SAFETY: every checkpoint slot lies inside the superblock page
+        // (asserted by the CKPT_SLOT_OFFSETS layout constants), and
+        // `sb_lock` excludes in-process writers while this borrow is live.
         let bytes = unsafe {
             std::slice::from_raw_parts(self.base.add(CKPT_SLOT_OFFSETS[slot]), CKPT_SLOT_BYTES)
         };
@@ -232,6 +248,10 @@ impl MmapBackend {
     /// (`mmap` returns page-aligned memory).
     fn sb_word(&self, byte_off: usize) -> &AtomicU64 {
         debug_assert!(byte_off.is_multiple_of(8) && byte_off + 8 <= SUPERBLOCK_BYTES);
+        // SAFETY: `base` is page-aligned (mmap) and `byte_off` is 8-aligned
+        // and in-bounds (asserted above), so the cast produces a valid,
+        // live AtomicU64 reference; atomics make the cross-process sharing
+        // sound by construction.
         unsafe { &*(self.base.add(byte_off) as *const AtomicU64) }
     }
 
@@ -256,6 +276,8 @@ impl MmapBackend {
 
     fn msync_range(&self, offset: usize, len: usize) -> io::Result<()> {
         debug_assert_eq!(offset % SUPERBLOCK_BYTES, 0, "msync needs page alignment");
+        // SAFETY: plain FFI msync over a sub-range of our own live mapping;
+        // page alignment is asserted above and the return code is checked.
         let rc = unsafe {
             sys::msync(
                 self.base.add(offset) as *mut std::ffi::c_void,
@@ -277,9 +299,11 @@ fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
 
 impl MemBackend for MmapBackend {
     fn words(&self) -> &[AtomicU64] {
-        // The region after the superblock page is 8-byte aligned (page
-        // alignment of `base` plus the 4096-byte offset) and lives for
-        // `self` — the mapping is only torn down in Drop.
+        // SAFETY: the region after the superblock page is 8-byte aligned
+        // (page alignment of `base` plus the 4096-byte offset), holds
+        // exactly `len_words` words, and lives for `self` — the mapping is
+        // only torn down in Drop. AtomicU64 access makes the MAP_SHARED
+        // cross-process aliasing sound.
         unsafe {
             std::slice::from_raw_parts(
                 self.base.add(SUPERBLOCK_BYTES) as *const AtomicU64,
@@ -328,6 +352,9 @@ impl MemBackend for MmapBackend {
         let off = CKPT_SLOT_OFFSETS[record.slot()];
         {
             let _guard = self.sb_lock.lock();
+            // SAFETY: the slot lies inside the superblock page and
+            // `sb_lock` (held above) excludes every other in-process view
+            // of that page while this mutable borrow is live.
             let bytes =
                 unsafe { std::slice::from_raw_parts_mut(self.base.add(off), CKPT_SLOT_BYTES) };
             bytes.fill(0);
@@ -356,6 +383,8 @@ impl MemBackend for MmapBackend {
         {
             let _guard = self.sb_lock.lock();
             for off in CKPT_SLOT_OFFSETS {
+                // SAFETY: same argument as `write_checkpoint` — in-page
+                // slot, `sb_lock` held by the enclosing block.
                 let bytes =
                     unsafe { std::slice::from_raw_parts_mut(self.base.add(off), CKPT_SLOT_BYTES) };
                 bytes.fill(0);
@@ -398,6 +427,8 @@ impl MemBackend for MmapBackend {
 
 impl Drop for MmapBackend {
     fn drop(&mut self) {
+        // SAFETY: unmaps exactly the region `map` established; `&mut self`
+        // guarantees no outstanding borrows of the mapping remain.
         unsafe {
             sys::munmap(self.base as *mut std::ffi::c_void, self.map_len);
         }
@@ -520,6 +551,8 @@ mod tests {
             let off = CKPT_SLOT_OFFSETS[rec(2).slot()];
             {
                 let guard = b.sb_lock.lock();
+                // SAFETY: in-page checkpoint slot, sb_lock held — same
+                // argument as the non-test write_checkpoint path.
                 let bytes =
                     unsafe { std::slice::from_raw_parts_mut(b.base.add(off), CKPT_SLOT_BYTES) };
                 bytes[16] ^= 0xFF;

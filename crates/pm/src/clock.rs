@@ -1,0 +1,97 @@
+//! Pluggable time source for the lease/heartbeat protocol.
+//!
+//! Every liveness decision in the crate — lease deadlines, heartbeat
+//! staleness, adoption grace periods — funnels through a [`Clock`] so
+//! that tests (and the deterministic fault-injection simulator in
+//! `ppm-sched`) can drive the protocol on a virtual timeline instead of
+//! sleeping real milliseconds. Production code uses [`SystemClock`],
+//! which reads the unix epoch exactly like the free function
+//! [`crate::now_ms`] always did; tests use [`VirtualClock`] and advance
+//! it explicitly, making lease-expiry races reproducible byte-for-byte.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotone-enough millisecond clock. Implementations must be safe to
+/// share across the worker threads of a process; cross-*process* sharing
+/// is not required (each worker process owns its clock, and the lease
+/// protocol already tolerates skew between real clocks).
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Current time in milliseconds. For [`SystemClock`] this is epoch
+    /// milliseconds; for [`VirtualClock`] it is whatever the test set.
+    fn now_ms(&self) -> u64;
+}
+
+/// The production clock: epoch milliseconds from the system wall clock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        crate::lease::now_ms()
+    }
+}
+
+/// A manually-advanced clock for deterministic tests. Starts at the
+/// construction value and only moves when told to.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    ms: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock reading `start_ms`.
+    pub fn starting_at(start_ms: u64) -> Self {
+        VirtualClock {
+            ms: AtomicU64::new(start_ms),
+        }
+    }
+
+    /// Moves the clock forward by `delta_ms`.
+    pub fn advance(&self, delta_ms: u64) {
+        self.ms.fetch_add(delta_ms, Ordering::SeqCst);
+    }
+
+    /// Jumps the clock to an absolute reading (test convenience; never
+    /// moves backwards in sane tests, but nothing here enforces it).
+    pub fn set(&self, now_ms: u64) {
+        self.ms.store(now_ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::SeqCst)
+    }
+}
+
+/// The shared-ownership form every consumer actually threads around.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// The default production clock, ready to clone into workers.
+pub fn system_clock() -> SharedClock {
+    Arc::new(SystemClock)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_only_when_told() {
+        let c = VirtualClock::starting_at(100);
+        assert_eq!(c.now_ms(), 100);
+        c.advance(50);
+        assert_eq!(c.now_ms(), 150);
+        c.set(1_000);
+        assert_eq!(c.now_ms(), 1_000);
+    }
+
+    #[test]
+    fn system_clock_tracks_now_ms() {
+        let before = crate::lease::now_ms();
+        let read = SystemClock.now_ms();
+        let after = crate::lease::now_ms();
+        assert!(read >= before && read <= after);
+    }
+}

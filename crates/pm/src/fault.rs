@@ -19,12 +19,13 @@
 //! as well.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::clock::{system_clock, SharedClock};
 use crate::config::FaultConfig;
 use crate::error::Fault;
 
@@ -169,20 +170,30 @@ impl Liveness {
 pub struct HeartbeatLiveness {
     counters: Vec<AtomicU64>,
     flags: Vec<AtomicBool>,
-    observed: Vec<Mutex<(u64, Instant)>>,
-    threshold: Duration,
+    observed: Vec<Mutex<(u64, u64)>>,
+    threshold_ms: u64,
+    clock: SharedClock,
 }
 
 impl HeartbeatLiveness {
     /// Creates the oracle for `procs` processors; a processor whose counter
-    /// does not advance for `threshold` is declared dead.
+    /// does not advance for `threshold` is declared dead. Staleness is
+    /// measured on the system clock; tests that need a reproducible
+    /// timeline use [`HeartbeatLiveness::with_clock`].
     pub fn new(procs: usize, threshold: Duration) -> Self {
-        let now = Instant::now();
+        Self::with_clock(procs, threshold, system_clock())
+    }
+
+    /// Same oracle, with staleness measured on the supplied [`SharedClock`]
+    /// (a [`crate::VirtualClock`] makes expiry deterministic).
+    pub fn with_clock(procs: usize, threshold: Duration, clock: SharedClock) -> Self {
+        let now = clock.now_ms();
         HeartbeatLiveness {
             counters: (0..procs).map(|_| AtomicU64::new(0)).collect(),
             flags: (0..procs).map(|_| AtomicBool::new(true)).collect(),
             observed: (0..procs).map(|_| Mutex::new((0, now))).collect(),
-            threshold,
+            threshold_ms: threshold.as_millis() as u64,
+            clock,
         }
     }
 
@@ -203,12 +214,12 @@ impl HeartbeatLiveness {
         }
         let current = self.counters[proc].load(Ordering::Relaxed);
         let mut obs = self.observed[proc].lock();
-        let (last_value, last_time) = *obs;
+        let (last_value, last_seen_ms) = *obs;
         if current != last_value {
-            *obs = (current, Instant::now());
+            *obs = (current, self.clock.now_ms());
             return true;
         }
-        if last_time.elapsed() > self.threshold {
+        if self.clock.now_ms().saturating_sub(last_seen_ms) > self.threshold_ms {
             self.flags[proc].store(false, Ordering::SeqCst);
             return false;
         }
@@ -303,11 +314,12 @@ mod tests {
 
     #[test]
     fn heartbeat_marks_stale_processor_dead() {
-        let hb = HeartbeatLiveness::new(2, Duration::from_millis(10));
+        let clock = std::sync::Arc::new(crate::VirtualClock::starting_at(1_000));
+        let hb = HeartbeatLiveness::with_clock(2, Duration::from_millis(10), clock.clone());
         hb.beat(0);
         assert!(hb.is_live(0));
         assert!(hb.is_live(1)); // first observation records baseline
-        std::thread::sleep(Duration::from_millis(25));
+        clock.advance(25);
         // Proc 0 keeps beating, proc 1 is silent.
         hb.beat(0);
         assert!(hb.is_live(0));

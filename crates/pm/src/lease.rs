@@ -170,12 +170,20 @@ pub struct Lease {
 }
 
 impl Lease {
-    /// A fresh alive lease valid until `now_ms() + validity_ms`.
+    /// A fresh alive lease valid until `now_ms() + validity_ms` on the
+    /// system clock. Clock-threaded callers use [`Lease::alive_at`].
     pub fn alive(seq: u64, validity_ms: u64) -> Self {
+        Self::alive_at(seq, validity_ms, now_ms())
+    }
+
+    /// A fresh alive lease valid until `now_ms + validity_ms`, with the
+    /// current time supplied by the caller's [`crate::Clock`] so lease
+    /// renewal is testable on a virtual timeline.
+    pub fn alive_at(seq: u64, validity_ms: u64, now_ms: u64) -> Self {
         Lease {
             state: LeaseState::Alive,
             seq,
-            deadline_ms: now_ms().saturating_add(validity_ms),
+            deadline_ms: now_ms.saturating_add(validity_ms),
         }
     }
 

@@ -45,6 +45,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod backend;
+pub mod clock;
 pub mod config;
 pub mod dirty;
 pub mod error;
@@ -62,6 +63,7 @@ pub mod word;
 #[cfg(unix)]
 pub use backend::MmapBackend;
 pub use backend::{CheckpointRecord, MemBackend, Superblock, VolatileBackend, SUPERBLOCK_BYTES};
+pub use clock::{system_clock, Clock, SharedClock, SystemClock, VirtualClock};
 pub use config::{FaultConfig, PmConfig, ValidateMode};
 pub use dirty::{DirtyTracker, PageRun, PAGE_WORDS};
 pub use error::{Fault, PmResult};

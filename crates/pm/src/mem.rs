@@ -101,9 +101,12 @@ pub struct PersistentMemory {
     dirty_hist: RwLock<Option<ppm_obs::Histogram>>,
 }
 
-// `words` aliases storage owned by `backend`, which is `Send + Sync`; all
-// word access is through `&AtomicU64`.
+// SAFETY: `words` aliases storage owned by `backend` (kept alive by the
+// struct itself), the backend is `Send + Sync`, and all word access goes
+// through `&AtomicU64` — so the cached raw pointer adds no thread-safety
+// hazard beyond what the backend already guarantees.
 unsafe impl Send for PersistentMemory {}
+// SAFETY: see the Send justification above.
 unsafe impl Sync for PersistentMemory {}
 
 impl std::fmt::Debug for PersistentMemory {
@@ -162,8 +165,10 @@ impl PersistentMemory {
 
     #[inline]
     fn words(&self) -> &[AtomicU64] {
-        // See the field comment: the pointer is stable and outlived by the
-        // owning backend.
+        // SAFETY: the pointer was taken from the backend's own word slice
+        // at construction, is stable (the backend is boxed and never
+        // replaced), holds exactly `len` words, and is outlived by the
+        // owning backend stored in the same struct.
         unsafe { std::slice::from_raw_parts(self.words, self.len) }
     }
 

@@ -455,6 +455,17 @@ impl CheckpointCtl {
         ctx.set_pool_cursor(machine.pool_watermark(proc));
     }
 
+    /// Runs one checkpoint directly, bypassing the quiesce barrier. Only
+    /// sound when the caller guarantees every seated processor is parked
+    /// at a capsule boundary — the single-threaded [`crate::sim`]
+    /// stepper, which holds every processor between capsules by
+    /// construction. The caller must resync each processor's pool cursor
+    /// from its (possibly rolled-back) watermark afterwards, as
+    /// [`CheckpointCtl::at_boundary`]'s park path does.
+    pub(crate) fn quiesced_checkpoint(&self, machine: &Machine) {
+        self.run_checkpoint(machine);
+    }
+
     /// The checkpoint itself, timed and traced: the quiesce-time
     /// histogram sees every attempt (a busy skip still parked everyone),
     /// and each attempt leaves one `checkpoint` trace event.

@@ -96,7 +96,9 @@ pub const DEFAULT_LEASE_MS: u64 = 1500;
 
 /// Multiplier on the lease window granted to a worker that has not yet
 /// written its first heartbeat (process spawn + attach + session build).
-const STARTUP_LEASE_FACTOR: u64 = 10;
+/// Public so tests driving the protocol on a [`ppm_pm::VirtualClock`]
+/// can compute exactly when a never-started shard's seed lease expires.
+pub const STARTUP_LEASE_FACTOR: u64 = 10;
 
 /// Words per shard in the in-memory report block region.
 const REPORT_WORDS: usize = 8;
@@ -800,6 +802,22 @@ pub fn run_worker(
     shard: usize,
     build: &ShardBuild,
 ) -> io::Result<SessionReport> {
+    run_worker_with_clock(path, shard, build, ppm_pm::system_clock())
+}
+
+/// [`run_worker`] with an explicit [`ppm_pm::SharedClock`] driving every
+/// lease-expiry judgment the worker makes (its own renewals and its
+/// verdicts on sibling shards). Production uses the system clock; the
+/// deterministic tests hand every worker one [`ppm_pm::VirtualClock`]
+/// and advance it explicitly, so lease-expiry adoption is exercised
+/// without racing real milliseconds.
+#[cfg(unix)]
+pub fn run_worker_with_clock(
+    path: impl AsRef<std::path::Path>,
+    shard: usize,
+    build: &ShardBuild,
+    clock: ppm_pm::SharedClock,
+) -> io::Result<SessionReport> {
     let machine = Machine::attach(
         &path,
         ppm_pm::FaultConfig::none(),
@@ -858,7 +876,8 @@ pub fn run_worker(
             let machine = &machine;
             let domain = domain.clone();
             let stop = &stop;
-            scope.spawn(move || lease_monitor_loop(machine, &domain, header.lease_ms, stop))
+            let clock = clock.clone();
+            scope.spawn(move || lease_monitor_loop(machine, &domain, header.lease_ms, stop, clock))
         };
         let seats: Vec<ProcSeat> = domain
             .own_procs()
@@ -958,14 +977,18 @@ fn lease_monitor_loop(
     domain: &Arc<ShardDomain>,
     lease_ms: u64,
     stop: &AtomicBool,
+    clock: ppm_pm::SharedClock,
 ) {
     let backend = machine.mem().backend();
     let tick = Duration::from_millis((lease_ms / 4).max(10));
     let mut seq = 1u64;
     while !stop.load(Ordering::Acquire) {
-        let _ = backend.write_lease(domain.shard(), &Lease::alive(seq, lease_ms));
+        let _ = backend.write_lease(
+            domain.shard(),
+            &Lease::alive_at(seq, lease_ms, clock.now_ms()),
+        );
         seq += 1;
-        let now = ppm_pm::now_ms();
+        let now = clock.now_ms();
         for s in 0..domain.map().shards {
             if s == domain.shard() || domain.is_adoptable(s) {
                 continue;

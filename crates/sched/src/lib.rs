@@ -46,7 +46,9 @@ pub mod cluster;
 pub mod deque;
 pub mod driver;
 pub mod entry;
+pub mod model;
 pub mod runtime;
+pub mod sim;
 
 pub use capsules::{Sched, SchedConfig, VictimStrategy};
 pub use checkpoint::{CheckpointPolicy, CheckpointSummary, CheckpointTrigger};
@@ -61,3 +63,4 @@ pub use driver::{
 };
 pub use entry::{kind_of, pack, tag_of, unpack, EntryKind, EntryVal};
 pub use runtime::{Runtime, RuntimeConfig};
+pub use sim::{SimEvent, SimOp, SimReport, SimSched};

@@ -1,0 +1,858 @@
+//! The Figure 3 steal/adoption protocol as a checkable state machine.
+//!
+//! The model mirrors `capsules.rs` **capsule by capsule**: every
+//! [`Pc`] variant is one capsule of the real decomposition (same names,
+//! same latched registers, same CAM targets), and one [`StealAction::Step`]
+//! runs exactly one capsule atomically. That granularity matches the
+//! paper's proof structure — capsules with at most one CAM are idempotent,
+//! so interleavings *between* persist boundaries are the complete race
+//! space — and [`StealAction::Crash`] transitions at every boundary model
+//! hard faults at each persist boundary. A dead processor's program
+//! counter freezes in place: it *is* the restart pointer (the real engine
+//! persists the active capsule handle at every boundary), and the
+//! dead-owner local-steal path adopts it verbatim, which reproduces the
+//! Lemma A.10 situation exactly (an adopting thief re-running the dead
+//! owner's `popBottom/check` capsule observes its own `Taken` with tag
+//! `+1` and claims the thread).
+//!
+//! Scope: two processors, two seeded jobs, no forks (`pushBottom` is
+//! exercised against the *real* code by `sim::SimSched`, which drives
+//! actual fork-join computations through scripted interleavings).
+//!
+//! Invariants (TLA+ twins in `specs/tla/FrontierAdoption.tla`):
+//!
+//! * **NoDoubleExecution** (W2): each task completes at most once, and at
+//!   most one live processor is ever committed to a task. At capsule
+//!   granularity this is *strict* — replay-after-crash resumes before the
+//!   effect, never after, so not even a crash justifies a second
+//!   completion.
+//! * **NoLostTask** (W1), as a conservation law: every unexecuted task is
+//!   always *referenced* — by a `Job` entry above `top`, by a live
+//!   processor's latched capsule registers, or by a dead processor's
+//!   frozen restart pointer that is still adoptable. A transition that
+//!   drops the last reference is the bug, and BFS pins it at minimal
+//!   depth. (Checked while at most one crash has occurred; a second
+//!   crash mid-adoption degrades to process-level recovery in the real
+//!   system and is out of the model's scope.)
+
+use ppm_check::Model;
+
+/// Deque slots per processor (no forks, so 4 is enough headroom for the
+/// two seeded jobs plus the clear-above slot).
+pub const NSLOTS: usize = 4;
+/// Processors in the model: one owner with seeded work, one thief.
+pub const NPROCS: usize = 2;
+/// Seeded tasks, both initially jobs in processor 0's deque.
+pub const NTASKS: usize = 2;
+
+/// An entry value — the four states of Figure 4.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Val {
+    /// Nothing here.
+    Empty,
+    /// The owning thread's (or an adopted thread's) local entry.
+    Local,
+    /// A stealable job (the task id stands in for the frame handle).
+    Job(u8),
+    /// A steal in progress: the thief's identity and where its local
+    /// entry will materialize.
+    Taken {
+        /// Thief processor.
+        proc: u8,
+        /// Slot in the thief's deque (its `bot` at steal time).
+        slot: u8,
+        /// Tag the thief's slot had at steal time.
+        tag: u8,
+    },
+}
+
+/// A tagged deque entry (`⟨tag, value⟩` of Figure 4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Entry {
+    /// ABA-prevention tag, bumped by every transition of this slot.
+    pub tag: u8,
+    /// The entry value.
+    pub val: Val,
+}
+
+impl Entry {
+    fn new(tag: u8, val: Val) -> Self {
+        Entry { tag, val }
+    }
+}
+
+/// One processor's WS-deque.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Deque {
+    /// The tagged entries.
+    pub entries: [Entry; NSLOTS],
+    /// Steal end (grows upward past consumed entries).
+    pub top: u8,
+    /// Owner end (the running thread's local entry lives at `bot`).
+    pub bot: u8,
+}
+
+/// What follows a `helpPopTop` interlude (the `then` continuation the
+/// real capsules thread through `help_pop_top`). The victim deque is the
+/// enclosing help's — the real code always helps on the deque it is
+/// about to operate on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Then {
+    /// Enter `popTop/read` with the thief's latched `(bot, tag)`.
+    PtRead {
+        /// Thief's `bot` at steal entry.
+        b: u8,
+        /// Tag of the thief's `entry(bot)` at steal entry.
+        c: u8,
+    },
+    /// `popTop/check` after the job-steal CAM.
+    CheckJob {
+        /// Victim slot the CAM targeted.
+        i: u8,
+        /// The CAM's intended new entry.
+        new: Entry,
+        /// The stolen task.
+        f: u8,
+    },
+    /// `popTop/checkLocal` after the local-steal CAM.
+    CheckLocal {
+        /// Victim slot the CAM targeted.
+        i: u8,
+        /// The CAM's intended new entry.
+        new: Entry,
+    },
+    /// Give up and try another steal.
+    Steal,
+}
+
+/// One capsule of the Figure 3 decomposition — the model's program
+/// counter, with the capsule's latched (boundary-committed) registers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Pc {
+    /// `sched/popBottom/read` (also the scheduler's findWork entry).
+    FindWork,
+    /// `sched/popBottom/cam` on deque `d`.
+    PbCam {
+        /// Deque the popBottom chain was entered on (latched: an adopter
+        /// re-runs it against the *dead owner's* deque).
+        d: u8,
+        /// Latched `bot`.
+        b: u8,
+        /// Entry read below `bot`.
+        old: Entry,
+        /// The job's task id.
+        f: u8,
+    },
+    /// `sched/popBottom/check`.
+    PbCheck {
+        /// Deque the chain runs on.
+        d: u8,
+        /// Latched `bot`.
+        b: u8,
+        /// The CAM's intended new entry.
+        new: Entry,
+        /// The job's task id.
+        f: u8,
+    },
+    /// `sched/steal`: termination check, victim pick, own-bottom read.
+    Steal,
+    /// `sched/help/read` on deque `v`, then `then`.
+    HelpRead {
+        /// Deque being helped.
+        v: u8,
+        /// Continuation after the help.
+        then: Then,
+    },
+    /// `sched/help/camThief`.
+    HelpCamThief {
+        /// Deque being helped.
+        v: u8,
+        /// `top` at help-read time.
+        t: u8,
+        /// Thief named by the `Taken` entry.
+        tproc: u8,
+        /// Thief slot named by the `Taken` entry.
+        tslot: u8,
+        /// Tag named by the `Taken` entry.
+        itag: u8,
+        /// Continuation after the help.
+        then: Then,
+    },
+    /// `sched/help/camTop`.
+    HelpCamTop {
+        /// Deque being helped.
+        v: u8,
+        /// `top` value to advance from.
+        t: u8,
+        /// Continuation after the help.
+        then: Then,
+    },
+    /// `sched/popTop/read` on victim `v`.
+    PtRead {
+        /// Victim deque.
+        v: u8,
+        /// Thief's latched `bot`.
+        b: u8,
+        /// Tag of thief's `entry(bot)`.
+        c: u8,
+    },
+    /// `sched/popTop/cam` (job steal).
+    PtCam {
+        /// Victim deque.
+        v: u8,
+        /// Victim slot.
+        i: u8,
+        /// Expected entry.
+        old: Entry,
+        /// Intended entry.
+        new: Entry,
+        /// The stolen task.
+        f: u8,
+    },
+    /// `sched/popTop/check` (job steal).
+    PtCheckJob {
+        /// Victim deque.
+        v: u8,
+        /// Victim slot.
+        i: u8,
+        /// The CAM's intended entry.
+        new: Entry,
+        /// The stolen task.
+        f: u8,
+    },
+    /// `sched/popTop/clearAboveRead` (local steal, dead owner).
+    PtClearAboveRead {
+        /// Victim deque.
+        v: u8,
+        /// Victim slot holding the local.
+        i: u8,
+        /// The local entry read.
+        old: Entry,
+        /// Intended `Taken` entry.
+        new: Entry,
+    },
+    /// `sched/popTop/clearAboveWrite`.
+    PtClearAboveWrite {
+        /// Victim deque.
+        v: u8,
+        /// Victim slot holding the local.
+        i: u8,
+        /// The local entry read.
+        old: Entry,
+        /// Intended `Taken` entry.
+        new: Entry,
+        /// Tag of the entry above, latched for the clearing write.
+        above_tag: u8,
+    },
+    /// `sched/popTop/camLocal`.
+    PtCamLocal {
+        /// Victim deque.
+        v: u8,
+        /// Victim slot holding the local.
+        i: u8,
+        /// Expected entry.
+        old: Entry,
+        /// Intended `Taken` entry.
+        new: Entry,
+    },
+    /// `sched/popTop/checkLocal`: on a win, read the dead owner's
+    /// restart pointer and adopt it.
+    PtCheckLocal {
+        /// Victim deque (owned by a dead processor).
+        v: u8,
+        /// Victim slot the CAM targeted.
+        i: u8,
+        /// The CAM's intended entry.
+        new: Entry,
+    },
+    /// The thread body: one capsule that commits the task's effect.
+    Exec {
+        /// The task being executed.
+        f: u8,
+    },
+    /// `sched/clearBottom` after a thread ends.
+    ClearBottom,
+    /// Saw the done flag in `steal`; this processor is finished.
+    Halted,
+}
+
+impl Then {
+    fn into_pc(self, v: u8) -> Pc {
+        match self {
+            Then::PtRead { b, c } => Pc::PtRead { v, b, c },
+            Then::CheckJob { i, new, f } => Pc::PtCheckJob { v, i, new, f },
+            Then::CheckLocal { i, new } => Pc::PtCheckLocal { v, i, new },
+            Then::Steal => Pc::Steal,
+        }
+    }
+}
+
+/// The global protocol state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct StealSt {
+    /// Per-processor deques.
+    pub deq: [Deque; NPROCS],
+    /// Per-processor program counters. A dead processor's pc freezes and
+    /// doubles as its persistent restart pointer.
+    pub pc: [Pc; NPROCS],
+    /// Liveness oracle (`isLive`).
+    pub alive: [bool; NPROCS],
+    /// Completion count per task — the committed effect.
+    pub runs: [u8; NTASKS],
+    /// Hard faults injected so far.
+    pub crashes: u8,
+}
+
+impl StealSt {
+    fn done(&self) -> bool {
+        self.runs.iter().all(|r| *r >= 1)
+    }
+}
+
+/// One transition: run one capsule on a processor, or hard-fault it at
+/// the current persist boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StealAction {
+    /// Run processor `p`'s current capsule atomically.
+    Step(u8),
+    /// Hard-fault processor `p` (its pc freezes as the restart pointer).
+    Crash(u8),
+}
+
+/// Deliberate protocol bugs, reintroduced one at a time so the test
+/// suite can demonstrate the explorer catches each with a minimal trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum StealMutation {
+    /// The faithful protocol.
+    #[default]
+    None,
+    /// Drop the Lemma A.10 arm of `popBottom/check`: an adopting thief
+    /// whose CAM won no longer recognizes its own `Taken` and abandons
+    /// the thread — a lost task.
+    DropLemmaA10,
+    /// Skip the `isLive` gate on local steals: thieves adopt the local
+    /// entry of a *live* owner — the owner and the adopter both run the
+    /// thread, a double execution.
+    AdoptLiveLocal,
+}
+
+/// The model: configuration plus the [`Model`] implementation.
+#[derive(Clone, Copy, Debug)]
+pub struct StealModel {
+    /// Maximum hard faults to inject (default 1; the conservation
+    /// invariant is checked while `crashes <= 1`).
+    pub crash_budget: u8,
+    /// Which deliberate bug (if any) to reintroduce.
+    pub mutation: StealMutation,
+}
+
+impl Default for StealModel {
+    fn default() -> Self {
+        StealModel {
+            crash_budget: 1,
+            mutation: StealMutation::None,
+        }
+    }
+}
+
+impl StealModel {
+    /// The faithful protocol with `crash_budget` hard faults.
+    pub fn with_crashes(crash_budget: u8) -> Self {
+        StealModel {
+            crash_budget,
+            ..Default::default()
+        }
+    }
+
+    /// A mutated protocol (for counterexample demonstrations).
+    pub fn mutated(mutation: StealMutation) -> Self {
+        StealModel {
+            crash_budget: 1,
+            mutation,
+        }
+    }
+
+    /// Does this frozen pc hold task `t` in a latched register (i.e. is
+    /// the capsule committed to delivering `t` if re-run)?
+    fn pc_owns(pc: &Pc, t: u8) -> bool {
+        match pc {
+            Pc::PbCam { f, .. }
+            | Pc::PbCheck { f, .. }
+            | Pc::PtCam { f, .. }
+            | Pc::PtCheckJob { f, .. }
+            | Pc::Exec { f } => *f == t,
+            // The latched handle also rides a help interlude's
+            // continuation (popTop/cam jumps to help-then-check).
+            Pc::HelpRead {
+                then: Then::CheckJob { f, .. },
+                ..
+            }
+            | Pc::HelpCamThief {
+                then: Then::CheckJob { f, .. },
+                ..
+            }
+            | Pc::HelpCamTop {
+                then: Then::CheckJob { f, .. },
+                ..
+            } => *f == t,
+            _ => false,
+        }
+    }
+
+    /// If this pc is mid-way through a dead-owner local steal, the owner
+    /// whose restart pointer it will adopt.
+    fn adoption_target(pc: &Pc) -> Option<u8> {
+        match pc {
+            Pc::PtClearAboveRead { v, .. }
+            | Pc::PtClearAboveWrite { v, .. }
+            | Pc::PtCamLocal { v, .. }
+            | Pc::PtCheckLocal { v, .. } => Some(*v),
+            Pc::HelpRead {
+                v,
+                then: Then::CheckLocal { .. },
+            }
+            | Pc::HelpCamThief {
+                v,
+                then: Then::CheckLocal { .. },
+                ..
+            }
+            | Pc::HelpCamTop {
+                v,
+                then: Then::CheckLocal { .. },
+                ..
+            } => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether dead processor `p`'s frozen restart pointer can still be
+    /// reached by an adopter: a `Local` at or above its `top` (the
+    /// local-steal path takes it), or an `Empty` slot that a pending
+    /// `helpPopTop` will convert to `Local` (a `Taken` entry somewhere
+    /// names it).
+    fn adoptable(s: &StealSt, p: usize) -> bool {
+        let d = &s.deq[p];
+        ((d.top as usize)..NSLOTS).any(|i| {
+            let e = d.entries[i];
+            match e.val {
+                Val::Local => true,
+                Val::Empty => s.deq.iter().any(|q| {
+                    ((q.top as usize)..NSLOTS).any(|u| {
+                        q.entries[u].val
+                            == Val::Taken {
+                                proc: p as u8,
+                                slot: i as u8,
+                                tag: e.tag,
+                            }
+                    })
+                }),
+                _ => false,
+            }
+        })
+    }
+
+    /// The W1 conservation law: is unexecuted task `t` still referenced?
+    fn referenced(s: &StealSt, t: u8) -> bool {
+        // r1: a Job entry at or above top in any deque.
+        for d in &s.deq {
+            for i in (d.top as usize)..NSLOTS {
+                if d.entries[i].val == Val::Job(t) {
+                    return true;
+                }
+            }
+        }
+        for p in 0..NPROCS {
+            if s.alive[p] {
+                // r2: a live processor's latched registers carry t.
+                if Self::pc_owns(&s.pc[p], t) {
+                    return true;
+                }
+                // r2b: a live processor is adopting a dead owner whose
+                // frozen restart pointer carries t.
+                if let Some(v) = Self::adoption_target(&s.pc[p]) {
+                    if !s.alive[v as usize] && Self::pc_owns(&s.pc[v as usize], t) {
+                        return true;
+                    }
+                }
+            } else {
+                // r3: a dead processor's frozen restart pointer carries t
+                // and is still adoptable.
+                if Self::pc_owns(&s.pc[p], t) && Self::adoptable(s, p) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Runs one capsule on processor `p`. Mirrors `capsules.rs` arm for
+    /// arm; `n` suffixes and backoff are elided (they steer timing, not
+    /// logical order).
+    fn run_capsule(&self, s: &StealSt, p: usize) -> StealSt {
+        let mut n = *s;
+        let me = p as u8;
+        match s.pc[p] {
+            Pc::FindWork => {
+                let d = &s.deq[p];
+                let b = d.bot as usize;
+                if b == 0 {
+                    n.pc[p] = Pc::Steal;
+                } else {
+                    let old = d.entries[b - 1];
+                    match old.val {
+                        Val::Job(f) => {
+                            n.pc[p] = Pc::PbCam {
+                                d: me,
+                                b: b as u8,
+                                old,
+                                f,
+                            }
+                        }
+                        _ => n.pc[p] = Pc::Steal,
+                    }
+                }
+            }
+            Pc::PbCam { d, b, old, f } => {
+                let new = Entry::new(old.tag.wrapping_add(1), Val::Local);
+                let slot = &mut n.deq[d as usize].entries[b as usize - 1];
+                if *slot == old {
+                    *slot = new;
+                }
+                n.pc[p] = Pc::PbCheck { d, b, new, f };
+            }
+            Pc::PbCheck { d, b, new, f } => {
+                let cur = s.deq[d as usize].entries[b as usize - 1];
+                if cur == new {
+                    n.deq[d as usize].bot = b - 1;
+                    n.pc[p] = Pc::Exec { f };
+                } else if matches!(cur.val, Val::Taken { .. })
+                    && cur.tag == new.tag.wrapping_add(1)
+                    && self.mutation != StealMutation::DropLemmaA10
+                {
+                    // Lemma A.10: our CAM succeeded, the owner died, and
+                    // we (the uniquely successful adopting thief) already
+                    // turned the local entry into taken.
+                    n.pc[p] = Pc::Exec { f };
+                } else {
+                    n.pc[p] = Pc::Steal;
+                }
+            }
+            Pc::Steal => {
+                if s.done() {
+                    n.pc[p] = Pc::Halted;
+                } else {
+                    let v = 1 - me; // two processors: the other one
+                    let d = &s.deq[p];
+                    let b = d.bot;
+                    let c = d.entries[b as usize].tag;
+                    n.pc[p] = Pc::HelpRead {
+                        v,
+                        then: Then::PtRead { b, c },
+                    };
+                }
+            }
+            Pc::HelpRead { v, then } => {
+                let t = s.deq[v as usize].top;
+                let e = s.deq[v as usize].entries[t as usize];
+                if let Val::Taken { proc, slot, tag } = e.val {
+                    n.pc[p] = Pc::HelpCamThief {
+                        v,
+                        t,
+                        tproc: proc,
+                        tslot: slot,
+                        itag: tag,
+                        then,
+                    };
+                } else {
+                    n.pc[p] = then.into_pc(v);
+                }
+            }
+            Pc::HelpCamThief {
+                v,
+                t,
+                tproc,
+                tslot,
+                itag,
+                then,
+            } => {
+                let slot = &mut n.deq[tproc as usize].entries[tslot as usize];
+                if *slot == Entry::new(itag, Val::Empty) {
+                    *slot = Entry::new(itag.wrapping_add(1), Val::Local);
+                }
+                n.pc[p] = Pc::HelpCamTop { v, t, then };
+            }
+            Pc::HelpCamTop { v, t, then } => {
+                if n.deq[v as usize].top == t {
+                    n.deq[v as usize].top = t + 1;
+                }
+                n.pc[p] = then.into_pc(v);
+            }
+            Pc::PtRead { v, b, c } => {
+                let i = s.deq[v as usize].top;
+                let old = s.deq[v as usize].entries[i as usize];
+                match old.val {
+                    Val::Empty => n.pc[p] = Pc::Steal,
+                    Val::Taken { .. } => {
+                        n.pc[p] = Pc::HelpRead {
+                            v,
+                            then: Then::Steal,
+                        }
+                    }
+                    Val::Job(f) => {
+                        let new = Entry::new(
+                            old.tag.wrapping_add(1),
+                            Val::Taken {
+                                proc: me,
+                                slot: b,
+                                tag: c,
+                            },
+                        );
+                        n.pc[p] = Pc::PtCam { v, i, old, new, f };
+                    }
+                    Val::Local => {
+                        let owner_dead = !s.alive[v as usize];
+                        if owner_dead || self.mutation == StealMutation::AdoptLiveLocal {
+                            // The recheck read (line 52-53) is atomic here
+                            // because the whole capsule is one transition.
+                            let new = Entry::new(
+                                old.tag.wrapping_add(1),
+                                Val::Taken {
+                                    proc: me,
+                                    slot: b,
+                                    tag: c,
+                                },
+                            );
+                            n.pc[p] = Pc::PtClearAboveRead { v, i, old, new };
+                        } else {
+                            n.pc[p] = Pc::Steal;
+                        }
+                    }
+                }
+            }
+            Pc::PtCam { v, i, old, new, f } => {
+                let slot = &mut n.deq[v as usize].entries[i as usize];
+                if *slot == old {
+                    *slot = new;
+                }
+                n.pc[p] = Pc::HelpRead {
+                    v,
+                    then: Then::CheckJob { i, new, f },
+                };
+            }
+            Pc::PtCheckJob { v, i, new, f } => {
+                let cur = s.deq[v as usize].entries[i as usize];
+                if cur == new {
+                    n.pc[p] = Pc::Exec { f };
+                } else {
+                    n.pc[p] = Pc::Steal;
+                }
+            }
+            Pc::PtClearAboveRead { v, i, old, new } => {
+                let above_tag = s.deq[v as usize].entries[i as usize + 1].tag;
+                n.pc[p] = Pc::PtClearAboveWrite {
+                    v,
+                    i,
+                    old,
+                    new,
+                    above_tag,
+                };
+            }
+            Pc::PtClearAboveWrite {
+                v,
+                i,
+                old,
+                new,
+                above_tag,
+            } => {
+                n.deq[v as usize].entries[i as usize + 1] =
+                    Entry::new(above_tag.wrapping_add(1), Val::Empty);
+                n.pc[p] = Pc::PtCamLocal { v, i, old, new };
+            }
+            Pc::PtCamLocal { v, i, old, new } => {
+                let slot = &mut n.deq[v as usize].entries[i as usize];
+                if *slot == old {
+                    *slot = new;
+                }
+                n.pc[p] = Pc::HelpRead {
+                    v,
+                    then: Then::CheckLocal { i, new },
+                };
+            }
+            Pc::PtCheckLocal { v, i, new } => {
+                let cur = s.deq[v as usize].entries[i as usize];
+                if cur != new {
+                    n.pc[p] = Pc::Steal;
+                } else {
+                    // getActiveCapsule: the dead owner's frozen pc *is*
+                    // its restart pointer; adopt it verbatim (in-process
+                    // adoption resolves any capsule — Lemma A.10's
+                    // situation arises when it is `PbCheck`).
+                    n.pc[p] = s.pc[v as usize];
+                }
+            }
+            Pc::Exec { f } => {
+                n.runs[f as usize] = n.runs[f as usize].saturating_add(1);
+                n.pc[p] = Pc::ClearBottom;
+            }
+            Pc::ClearBottom => {
+                let b = s.deq[p].bot as usize;
+                let cur = s.deq[p].entries[b];
+                n.deq[p].entries[b] = Entry::new(cur.tag.wrapping_add(1), Val::Empty);
+                n.pc[p] = Pc::FindWork;
+            }
+            Pc::Halted => {}
+        }
+        n
+    }
+}
+
+impl Model for StealModel {
+    type State = StealSt;
+    type Action = StealAction;
+
+    fn initial(&self) -> Vec<StealSt> {
+        let empty = Entry::new(0, Val::Empty);
+        let mut owner = Deque {
+            entries: [empty; NSLOTS],
+            top: 0,
+            bot: 2,
+        };
+        owner.entries[0] = Entry::new(0, Val::Job(0));
+        owner.entries[1] = Entry::new(0, Val::Job(1));
+        let thief = Deque {
+            entries: [empty; NSLOTS],
+            top: 0,
+            bot: 0,
+        };
+        vec![StealSt {
+            deq: [owner, thief],
+            pc: [Pc::FindWork, Pc::Steal],
+            alive: [true; NPROCS],
+            runs: [0; NTASKS],
+            crashes: 0,
+        }]
+    }
+
+    fn actions(&self, s: &StealSt) -> Vec<StealAction> {
+        let mut acts = Vec::new();
+        for p in 0..NPROCS {
+            if s.alive[p] && s.pc[p] != Pc::Halted {
+                acts.push(StealAction::Step(p as u8));
+                if s.crashes < self.crash_budget {
+                    acts.push(StealAction::Crash(p as u8));
+                }
+            }
+        }
+        acts
+    }
+
+    fn step(&self, s: &StealSt, a: &StealAction) -> StealSt {
+        match a {
+            StealAction::Step(p) => self.run_capsule(s, *p as usize),
+            StealAction::Crash(p) => {
+                let mut n = *s;
+                n.alive[*p as usize] = false;
+                n.crashes += 1;
+                n
+            }
+        }
+    }
+
+    fn invariant(&self, s: &StealSt) -> Result<(), String> {
+        // NoDoubleExecution (W2), strict at capsule granularity.
+        for (t, r) in s.runs.iter().enumerate() {
+            if *r > 1 {
+                return Err(format!("NoDoubleExecution: task {t} completed {r} times"));
+            }
+        }
+        for t in 0..NTASKS as u8 {
+            let live_owners = (0..NPROCS)
+                .filter(|&p| s.alive[p] && s.pc[p] == Pc::Exec { f: t })
+                .count();
+            if live_owners > 1 {
+                return Err(format!(
+                    "NoDoubleExecution: {live_owners} live processors executing task {t}"
+                ));
+            }
+        }
+        // NoLostTask (W1) conservation, in the single-fault regime.
+        if s.crashes <= 1 {
+            for t in 0..NTASKS as u8 {
+                if s.runs[t as usize] == 0 && !Self::referenced(s, t) {
+                    return Err(format!("NoLostTask: task {t} is no longer referenced"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn on_terminal(&self, s: &StealSt) -> Result<(), String> {
+        // Terminal means every processor halted or died. A halted
+        // processor saw the done flag, so a survivor implies completion.
+        if (0..NPROCS).any(|p| s.alive[p]) {
+            for t in 0..NTASKS {
+                if s.runs[t] == 0 {
+                    return Err(format!(
+                        "NoLostTask: terminated with a live processor but task {t} never ran"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_check::{Explorer, ExplorerConfig};
+
+    #[test]
+    fn faithful_protocol_is_clean_and_exhaustible() {
+        // Depth 40 exhausts the whole space (diameter 35 at this
+        // configuration): every interleaving with up to one hard fault.
+        let report = Explorer::new(ExplorerConfig::depth(40)).run(&StealModel::default());
+        assert!(
+            report.violation.is_none(),
+            "unexpected violation:\n{}",
+            report.violation.unwrap().render()
+        );
+        assert!(!report.truncated, "space should be exhaustible at depth 40");
+        assert!(report.states > 800, "explored {} states", report.states);
+    }
+
+    #[test]
+    fn crash_free_run_terminates_cleanly() {
+        let report = Explorer::new(ExplorerConfig::depth(30)).run(&StealModel::with_crashes(0));
+        assert!(
+            report.violation.is_none(),
+            "unexpected violation:\n{}",
+            report.violation.unwrap().render()
+        );
+        assert!(!report.truncated, "crash-free space should be exhaustible");
+    }
+
+    #[test]
+    fn adopting_a_live_owners_local_double_executes() {
+        let report = Explorer::new(ExplorerConfig::depth(20))
+            .run(&StealModel::mutated(StealMutation::AdoptLiveLocal));
+        let cex = report.violation.expect("mutation must be caught");
+        assert!(
+            cex.reason.contains("NoDoubleExecution") || cex.reason.contains("NoLostTask"),
+            "unexpected reason: {}",
+            cex.reason
+        );
+    }
+
+    #[test]
+    fn dropping_lemma_a10_loses_the_thread() {
+        let report = Explorer::new(ExplorerConfig::depth(20))
+            .run(&StealModel::mutated(StealMutation::DropLemmaA10));
+        let cex = report.violation.expect("mutation must be caught");
+        assert!(
+            cex.reason.contains("NoLostTask"),
+            "unexpected reason: {}",
+            cex.reason
+        );
+    }
+}

@@ -1,0 +1,571 @@
+//! Deterministic fault-injection simulator over the **real** capsule
+//! engine.
+//!
+//! Where the `model` module checks abstract twins of the protocols,
+//! [`SimSched`] drives the actual production code — `run_capsule`,
+//! `InstallCtx`, the scheduler's `pushBottom`/`findWork`/`popTop`
+//! capsules, persistent frames, checkpoint GC — through **scripted
+//! interleavings** on a single OS thread. Each [`SimSched::step`] runs
+//! exactly one capsule on one chosen processor, so a test can place a
+//! crash or a checkpoint between any two capsules of any processor and
+//! replay the schedule forever: the same seed and script produce a
+//! byte-identical event trace and a bit-identical final machine state
+//! ([`SimSched::digest`]).
+//!
+//! Faults compose from both layers:
+//!
+//! * **Boundary crashes** — [`SimSched::crash`] marks the processor dead
+//!   in the liveness oracle at a capsule boundary, leaving its restart
+//!   pointer and deque for thieves, exactly like a hard fault between
+//!   capsules.
+//! * **Mid-capsule crashes** — build the machine with
+//!   [`ppm_pm::FaultConfig::with_scheduled_hard_fault`]; the fault fires
+//!   inside `run_capsule` at the scheduled persistent access and the
+//!   step reports the processor dead.
+//! * **Checkpoints** — [`SimSched::checkpoint`] runs a quiesced
+//!   checkpoint directly (the single-threaded stepper holds every
+//!   processor at a boundary by construction), including frame-pool GC
+//!   and watermark rollback.
+//!
+//! The seeded driver [`SimSched::run_seeded`] generates the schedule
+//! from a xorshift stream, which is what the determinism property tests
+//! replay across many seeds (`tests/proptest_sim.rs`).
+
+use std::sync::Arc;
+
+use ppm_core::registry::PComp;
+use ppm_core::{run_capsule, Comp, Cont, DoneFlag, InstallCtx, Machine, Step, CORE_ID_FINALE};
+use ppm_pm::{ProcCtx, Word};
+
+use crate::capsules::{Sched, SchedConfig};
+use crate::checkpoint::{CheckpointCtl, CheckpointPolicy};
+use crate::deque::check_invariant;
+use crate::driver::ProcOutcome;
+use crate::entry::{pack, EntryVal};
+
+/// One scripted operation of a simulated schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimOp {
+    /// Run one capsule on processor `p`.
+    Step(usize),
+    /// Run up to `n` capsules on processor `p` (stops early if it halts
+    /// or dies).
+    Run(usize, usize),
+    /// Hard-kill processor `p` at its current capsule boundary: the
+    /// liveness oracle marks it dead, its restart pointer and deque stay
+    /// in persistent memory for thieves.
+    Crash(usize),
+    /// Take a quiesced checkpoint (harvest, GC, watermark roll) with
+    /// every processor parked between capsules.
+    Checkpoint,
+}
+
+/// What happened at one simulated step; the rendered lines of these are
+/// the determinism-checked event trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimEvent {
+    /// Processor `proc` ran capsule `capsule` and installed a successor.
+    Ran {
+        /// Global step index.
+        step: usize,
+        /// Which processor.
+        proc: usize,
+        /// Name of the capsule that ran.
+        capsule: String,
+        /// Name of the installed successor.
+        next: String,
+    },
+    /// Processor `proc` ran `capsule` and halted (saw the done flag).
+    Halted {
+        /// Global step index.
+        step: usize,
+        /// Which processor.
+        proc: usize,
+        /// Name of the final capsule.
+        capsule: String,
+    },
+    /// Processor `proc` hard-faulted inside `capsule` (scheduled
+    /// mid-capsule fault from the machine's [`ppm_pm::FaultConfig`]).
+    Died {
+        /// Global step index.
+        step: usize,
+        /// Which processor.
+        proc: usize,
+        /// Capsule it died in.
+        capsule: String,
+    },
+    /// Processor `proc` was killed by a scripted [`SimOp::Crash`].
+    Crashed {
+        /// Global step index.
+        step: usize,
+        /// Which processor.
+        proc: usize,
+    },
+    /// A scripted quiesced checkpoint ran.
+    Checkpoint {
+        /// Global step index.
+        step: usize,
+    },
+    /// A step was scripted for a processor that already halted or died.
+    Noop {
+        /// Global step index.
+        step: usize,
+        /// Which processor.
+        proc: usize,
+    },
+}
+
+impl std::fmt::Display for SimEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimEvent::Ran {
+                step,
+                proc,
+                capsule,
+                next,
+            } => write!(f, "{step:5} p{proc} run  {capsule} -> {next}"),
+            SimEvent::Halted {
+                step,
+                proc,
+                capsule,
+            } => write!(f, "{step:5} p{proc} halt {capsule}"),
+            SimEvent::Died {
+                step,
+                proc,
+                capsule,
+            } => write!(f, "{step:5} p{proc} died in {capsule}"),
+            SimEvent::Crashed { step, proc } => write!(f, "{step:5} p{proc} crash (scripted)"),
+            SimEvent::Checkpoint { step } => write!(f, "{step:5} -- checkpoint"),
+            SimEvent::Noop { step, proc } => write!(f, "{step:5} p{proc} noop (not running)"),
+        }
+    }
+}
+
+/// Summary of a finished (or abandoned) simulated run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The computation's completion flag is set.
+    pub completed: bool,
+    /// Per-processor outcomes (`None` = still runnable when the sim
+    /// stopped).
+    pub outcomes: Vec<Option<ProcOutcome>>,
+    /// Total capsule-steps executed.
+    pub steps: usize,
+    /// FNV-1a digest over the event trace and every machine word — the
+    /// determinism witness (same seed + script ⇒ same digest).
+    pub digest: u64,
+}
+
+struct SimProc {
+    ctx: ProcCtx,
+    install: InstallCtx,
+    cur: Option<Cont>,
+    outcome: Option<ProcOutcome>,
+}
+
+/// The single-threaded scripted stepper. See the module docs.
+pub struct SimSched<'m> {
+    machine: &'m Machine,
+    sched: Arc<Sched>,
+    done: DoneFlag,
+    ctl: Arc<CheckpointCtl>,
+    on_end: Cont,
+    procs: Vec<SimProc>,
+    events: Vec<SimEvent>,
+    steps: usize,
+}
+
+impl<'m> SimSched<'m> {
+    /// A simulator over a legacy-closure computation (the `comp` is the
+    /// same shape [`crate::Runtime::run_or_replay`] takes). The root
+    /// thread seats on processor 0; every other processor starts at
+    /// `findWork`, per §6.3.
+    pub fn new_closure(machine: &'m Machine, comp: &Comp, cfg: &SchedConfig) -> Self {
+        let done = DoneFlag::new(machine);
+        let root = comp(done.finale());
+        let root_slot = machine.alloc_region(1).start;
+        machine.arena().preregister(root_slot, root.clone());
+        Self::seat(machine, done, root, root_slot as Word, cfg)
+    }
+
+    /// A simulator over a persistent-capsule computation: the root (and
+    /// every fork) is frame-denoted, so scripted checkpoints can trace
+    /// and GC the frame pools, and crashes leave a resumable machine.
+    pub fn new_persistent(machine: &'m Machine, pcomp: &PComp, cfg: &SchedConfig) -> Self {
+        let done = DoneFlag::new(machine);
+        let finale = machine.setup_frame(CORE_ID_FINALE, &[done.addr() as Word]);
+        let root_handle = pcomp(machine, finale);
+        let root = machine
+            .arena()
+            .resolve(root_handle)
+            .expect("root frame handle must rehydrate through the registry");
+        Self::seat(machine, done, root, root_handle, cfg)
+    }
+
+    /// §6.3 seating shared by both roots (mirrors the driver's
+    /// `launch_root`): processor 0's first entry is `local`, its restart
+    /// pointer is the root handle; everyone else installs `findWork`.
+    fn seat(
+        machine: &'m Machine,
+        done: DoneFlag,
+        root: Cont,
+        root_handle: Word,
+        cfg: &SchedConfig,
+    ) -> Self {
+        let sched = Sched::new(machine, done, cfg);
+        machine
+            .mem()
+            .store(machine.proc_meta(0).active, root_handle);
+        machine
+            .mem()
+            .store(sched.deques()[0].entry(0), pack(1, EntryVal::Local));
+        let procs = (0..machine.procs())
+            .map(|p| SimProc {
+                ctx: machine.ctx(p),
+                install: InstallCtx::new(machine.proc_meta(p)),
+                cur: Some(if p == 0 {
+                    root.clone()
+                } else {
+                    sched.find_work()
+                }),
+                outcome: None,
+            })
+            .collect();
+        let ctl = CheckpointCtl::new(machine, sched.clone(), CheckpointPolicy::Disabled);
+        let on_end = sched.scheduler_entry();
+        SimSched {
+            machine,
+            sched,
+            done,
+            ctl,
+            on_end,
+            procs,
+            events: Vec::new(),
+            steps: 0,
+        }
+    }
+
+    /// Runs exactly one capsule on processor `p` (a no-op event if it
+    /// already halted or died). Returns the recorded event.
+    pub fn step(&mut self, p: usize) -> SimEvent {
+        let step = self.steps;
+        self.steps += 1;
+        let ev = if self.procs[p].outcome.is_some() || self.procs[p].cur.is_none() {
+            SimEvent::Noop { step, proc: p }
+        } else {
+            let cur = self.procs[p].cur.clone().expect("checked above");
+            let capsule = cur.name().to_string();
+            let sched = self.sched.clone();
+            let fork_wrap = move |handle: Word, cont: Cont, cont_handle: Option<Word>| {
+                sched.push_bottom(handle, cont, cont_handle)
+            };
+            let sp = &mut self.procs[p];
+            match run_capsule(
+                &mut sp.ctx,
+                self.machine.arena(),
+                &mut sp.install,
+                &cur,
+                Some(&fork_wrap),
+                Some(&self.on_end),
+            ) {
+                Ok(Step::Next(c)) => {
+                    let next = c.name().to_string();
+                    sp.cur = Some(c);
+                    SimEvent::Ran {
+                        step,
+                        proc: p,
+                        capsule,
+                        next,
+                    }
+                }
+                Ok(Step::Done) => {
+                    sp.cur = None;
+                    sp.outcome = Some(ProcOutcome::Halted);
+                    SimEvent::Halted {
+                        step,
+                        proc: p,
+                        capsule,
+                    }
+                }
+                Err(_) => {
+                    sp.cur = None;
+                    sp.outcome = Some(ProcOutcome::Dead);
+                    SimEvent::Died {
+                        step,
+                        proc: p,
+                        capsule,
+                    }
+                }
+            }
+        };
+        self.events.push(ev.clone());
+        ev
+    }
+
+    /// Scripted boundary crash: marks `p` dead in the liveness oracle and
+    /// stops stepping it. Its restart pointer and deque entries remain —
+    /// live processors adopt them through the ordinary steal protocol.
+    pub fn crash(&mut self, p: usize) {
+        let step = self.steps;
+        self.steps += 1;
+        self.machine.liveness().mark_dead(p);
+        self.procs[p].cur = None;
+        self.procs[p].outcome = Some(ProcOutcome::Dead);
+        self.events.push(SimEvent::Crashed { step, proc: p });
+    }
+
+    /// Scripted quiesced checkpoint. Sound here without the barrier: the
+    /// stepper is single-threaded, so every processor *is* parked at a
+    /// capsule boundary right now. Pool cursors resync from the (possibly
+    /// rolled-back) watermarks, as the real barrier's unpark path does.
+    pub fn checkpoint(&mut self) {
+        let step = self.steps;
+        self.steps += 1;
+        self.ctl.quiesced_checkpoint(self.machine);
+        for (p, sp) in self.procs.iter_mut().enumerate() {
+            if sp.outcome.is_none() {
+                sp.ctx.set_pool_cursor(self.machine.pool_watermark(p));
+            }
+        }
+        self.events.push(SimEvent::Checkpoint { step });
+    }
+
+    /// Executes a script in order.
+    pub fn run_script(&mut self, script: &[SimOp]) {
+        for op in script {
+            match *op {
+                SimOp::Step(p) => {
+                    self.step(p);
+                }
+                SimOp::Run(p, n) => {
+                    for _ in 0..n {
+                        if self.procs[p].outcome.is_some() {
+                            break;
+                        }
+                        self.step(p);
+                    }
+                }
+                SimOp::Crash(p) => self.crash(p),
+                SimOp::Checkpoint => self.checkpoint(),
+            }
+        }
+    }
+
+    /// Drives a seeded random schedule: each step picks a uniformly
+    /// pseudo-random runnable processor from a xorshift64* stream. Stops
+    /// when the computation completes, nobody is runnable, or `max_steps`
+    /// is hit. Same seed ⇒ same schedule ⇒ same trace and digest.
+    pub fn run_seeded(&mut self, seed: u64, max_steps: usize) {
+        // One splitmix64 round separates adjacent seeds (and maps no two
+        // seeds to the same stream, unlike e.g. `seed | 1`).
+        let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        x |= 1;
+        for _ in 0..max_steps {
+            if self.done.is_set(self.machine.mem()) {
+                break;
+            }
+            let runnable: Vec<usize> = self
+                .procs
+                .iter()
+                .enumerate()
+                .filter(|(_, sp)| sp.outcome.is_none())
+                .map(|(p, _)| p)
+                .collect();
+            if runnable.is_empty() {
+                break;
+            }
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let pick = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % runnable.len();
+            self.step(runnable[pick]);
+        }
+    }
+
+    /// Round-robin steps every runnable processor until the computation
+    /// completes, everyone halts/dies, or `max_steps` is hit.
+    pub fn run_to_completion(&mut self, max_steps: usize) {
+        let mut budget = max_steps;
+        'outer: while budget > 0 {
+            let mut progressed = false;
+            for p in 0..self.procs.len() {
+                if budget == 0 {
+                    break 'outer;
+                }
+                if self.procs[p].outcome.is_none() {
+                    self.step(p);
+                    progressed = true;
+                    budget -= 1;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// The recorded event trace.
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
+    }
+
+    /// The trace rendered one line per event (what the determinism tests
+    /// compare and what counterexample artifacts contain).
+    pub fn render_trace(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// FNV-1a digest over the rendered trace and every machine word: the
+    /// determinism witness. Two runs with the same machine construction,
+    /// script, and seed must produce equal digests.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(self.render_trace().as_bytes());
+        let mem = self.machine.mem();
+        for w in mem.to_vec(0, mem.len()) {
+            eat(&w.to_le_bytes());
+        }
+        h
+    }
+
+    /// Whether the computation's completion flag is set.
+    pub fn completed(&self) -> bool {
+        self.done.is_set(self.machine.mem())
+    }
+
+    /// Finishes the run: checks the WS-deque structural invariant on
+    /// every deque (the machine is quiescent) and returns the report.
+    ///
+    /// # Panics
+    /// Panics if any deque violates the §6.2 structural invariant — in a
+    /// simulated schedule that is always a scheduler bug worth a trace.
+    pub fn finish(self) -> SimReport {
+        for d in self.sched.deques() {
+            if let Err(e) = check_invariant(self.machine.mem(), d) {
+                panic!(
+                    "WS-deque invariant violated after simulated run: {e}\ntrace:\n{}",
+                    self.render_trace()
+                );
+            }
+        }
+        let digest = self.digest();
+        SimReport {
+            completed: self.done.is_set(self.machine.mem()),
+            outcomes: self.procs.iter().map(|p| p.outcome).collect(),
+            steps: self.steps,
+            digest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_core::{par_all, Comp};
+    use ppm_pm::{FaultConfig, PmConfig, ProcCtx, Region};
+
+    fn machine(p: usize, f: FaultConfig) -> Machine {
+        Machine::new(PmConfig::parallel(p, 1 << 21).with_fault(f))
+    }
+
+    fn markers(r: Region, n: usize) -> Comp {
+        par_all(
+            (0..n)
+                .map(|i| {
+                    ppm_core::comp_step("sim/mark", move |ctx: &mut ProcCtx| {
+                        ctx.pwrite(r.at(i), i as u64 + 1)
+                    })
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn round_robin_schedule_completes_the_computation() {
+        let m = machine(2, FaultConfig::none());
+        let r = m.alloc_region(64);
+        let comp = markers(r, 8);
+        let mut sim = SimSched::new_closure(&m, &comp, &SchedConfig::with_slots(256));
+        sim.run_to_completion(10_000);
+        let rep = sim.finish();
+        assert!(rep.completed);
+        for i in 0..8 {
+            assert_eq!(m.mem().load(r.at(i)), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn scripted_boundary_crash_is_adopted_by_the_survivor() {
+        let m = machine(2, FaultConfig::none());
+        let r = m.alloc_region(64);
+        let comp = markers(r, 8);
+        let mut sim = SimSched::new_closure(&m, &comp, &SchedConfig::with_slots(256));
+        // Let the root processor fork a bit, then kill it; processor 1
+        // must finish everything through steals and adoption.
+        sim.run_script(&[SimOp::Run(0, 6), SimOp::Crash(0)]);
+        sim.run_to_completion(10_000);
+        let rep = sim.finish();
+        assert!(rep.completed, "survivor finishes:\n{}", sim_trace(&m));
+        assert_eq!(rep.outcomes[0], Some(ProcOutcome::Dead));
+        assert_eq!(rep.outcomes[1], Some(ProcOutcome::Halted));
+        for i in 0..8 {
+            assert_eq!(m.mem().load(r.at(i)), i as u64 + 1, "task {i}");
+        }
+    }
+
+    // finish() consumes the sim; re-render for assertion messages.
+    fn sim_trace(_m: &Machine) -> &'static str {
+        "(trace consumed)"
+    }
+
+    #[test]
+    fn mid_capsule_hard_fault_surfaces_as_died_event() {
+        let m = machine(2, FaultConfig::none().with_scheduled_hard_fault(0, 12));
+        let r = m.alloc_region(64);
+        let comp = markers(r, 8);
+        let mut sim = SimSched::new_closure(&m, &comp, &SchedConfig::with_slots(256));
+        sim.run_to_completion(10_000);
+        assert!(sim
+            .events()
+            .iter()
+            .any(|e| matches!(e, SimEvent::Died { proc: 0, .. })));
+        let rep = sim.finish();
+        assert!(rep.completed, "processor 1 must finish alone");
+        for i in 0..8 {
+            assert_eq!(m.mem().load(r.at(i)), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace_and_digest() {
+        let run = |seed: u64| -> (String, u64, bool) {
+            let m = machine(3, FaultConfig::none());
+            let r = m.alloc_region(64);
+            let comp = markers(r, 12);
+            let mut sim = SimSched::new_closure(&m, &comp, &SchedConfig::with_slots(256));
+            sim.run_seeded(seed, 4_000);
+            (sim.render_trace(), sim.digest(), sim.completed())
+        };
+        let (t1, d1, c1) = run(42);
+        let (t2, d2, c2) = run(42);
+        assert_eq!(t1, t2, "same seed must replay the identical schedule");
+        assert_eq!(d1, d2);
+        assert!(c1 && c2, "seeded run should complete within the budget");
+        let (_, d3, _) = run(43);
+        assert_ne!(d1, d3, "different seeds should interleave differently");
+    }
+}

@@ -1,0 +1,160 @@
+------------------------- MODULE FrontierAdoption -------------------------
+(***************************************************************************)
+(* TLA+ twin of `crates/sched/src/model/steal.rs`: the Figure 3           *)
+(* popTop/helpPopTop steal protocol plus hard-fault adoption of a dead     *)
+(* processor's frozen frontier (Appendix A, Lemma A.10).                   *)
+(*                                                                         *)
+(* This spec abstracts the Rust model one level further: instead of        *)
+(* tracking every capsule pc, it tracks where each task *handle* lives —   *)
+(* in a deque Job entry, latched in a thief's private continuation, being  *)
+(* executed, or frozen on a dead processor — and checks the two            *)
+(* conservation laws the explorer enforces:                                *)
+(*                                                                         *)
+(*   NoLostTask (W1): a spawned, unfinished task is always reachable       *)
+(*     from some live processor or adoptable from a dead one.              *)
+(*   NoDoubleExecution (W2): a task's work capsule commits at most once.   *)
+(*                                                                         *)
+(* The names match the Rust model's violation strings and the TLC          *)
+(* INVARIANT declarations in FrontierAdoption.cfg one-to-one.              *)
+(***************************************************************************)
+EXTENDS Naturals, FiniteSets
+
+CONSTANTS Procs,       \* processor ids, e.g. {0, 1}
+          Tasks,       \* task handles, e.g. {0, 1}
+          CrashBudget  \* how many hard faults to inject, e.g. 1
+
+VARIABLES loc,       \* task -> "Unspawned" | "Deque" | "Latched" | "Exec"
+                     \*       | "Frozen" | "Done"
+          holder,    \* task -> proc whose deque/latch/frontier holds it
+          alive,     \* proc -> BOOLEAN
+          adopted,   \* proc -> BOOLEAN (dead frontier already adopted)
+          execCount, \* task -> number of times its work capsule committed
+          crashes    \* hard faults injected so far
+
+vars == <<loc, holder, alive, adopted, execCount, crashes>>
+
+SomeProc == CHOOSE p \in Procs : TRUE
+
+Init ==
+    /\ loc = [t \in Tasks |-> "Unspawned"]
+    /\ holder = [t \in Tasks |-> SomeProc]
+    /\ alive = [p \in Procs |-> TRUE]
+    /\ adopted = [p \in Procs |-> FALSE]
+    /\ execCount = [t \in Tasks |-> 0]
+    /\ crashes = 0
+
+\* pushBottom: a live processor spawns a task into its own deque.
+Spawn(p, t) ==
+    /\ alive[p]
+    /\ loc[t] = "Unspawned"
+    /\ loc' = [loc EXCEPT ![t] = "Deque"]
+    /\ holder' = [holder EXCEPT ![t] = p]
+    /\ UNCHANGED <<alive, adopted, execCount, crashes>>
+
+\* popTop commit: a thief's CAM on the top entry lands, latching the
+\* handle into the thief's private continuation (the Then::CheckJob pc
+\* in the Rust model). The Job entry becomes Taken atomically with the
+\* latch, so the handle moves rather than duplicates.
+StealCommit(thief, t) ==
+    /\ alive[thief]
+    /\ loc[t] = "Deque"
+    /\ loc' = [loc EXCEPT ![t] = "Latched"]
+    /\ holder' = [holder EXCEPT ![t] = thief]
+    /\ UNCHANGED <<alive, adopted, execCount, crashes>>
+
+\* popBottom commit: the owner takes its own bottom entry straight to
+\* execution (no latch interlude on the owner path).
+PopBottom(p, t) ==
+    /\ alive[p]
+    /\ loc[t] = "Deque"
+    /\ holder[t] = p
+    /\ loc' = [loc EXCEPT ![t] = "Exec"]
+    /\ UNCHANGED <<holder, alive, adopted, execCount, crashes>>
+
+\* A latched thief begins executing the stolen task.
+BeginExec(p, t) ==
+    /\ alive[p]
+    /\ loc[t] = "Latched"
+    /\ holder[t] = p
+    /\ loc' = [loc EXCEPT ![t] = "Exec"]
+    /\ UNCHANGED <<holder, alive, adopted, execCount, crashes>>
+
+\* The work capsule commits exactly once; re-execution after a soft
+\* fault replays into the same commit (idempotence), so the count only
+\* moves 0 -> 1 here. A protocol bug that let two processors hold the
+\* same handle would drive execCount to 2 via two distinct Finish paths.
+Finish(p, t) ==
+    /\ alive[p]
+    /\ loc[t] = "Exec"
+    /\ holder[t] = p
+    /\ loc' = [loc EXCEPT ![t] = "Done"]
+    /\ execCount' = [execCount EXCEPT ![t] = execCount[t] + 1]
+    /\ UNCHANGED <<holder, alive, adopted, crashes>>
+
+\* Hard fault: the processor dies at a capsule boundary. Everything it
+\* holds (deque entries, latched handles, in-flight execution) freezes
+\* into its persistent frontier — nothing is lost, because deque state
+\* and the latched continuation both live in persistent memory.
+Crash(p) ==
+    /\ alive[p]
+    /\ crashes < CrashBudget
+    /\ alive' = [alive EXCEPT ![p] = FALSE]
+    /\ loc' = [t \in Tasks |->
+                 IF holder[t] = p /\ loc[t] \in {"Deque", "Latched", "Exec"}
+                 THEN "Frozen" ELSE loc[t]]
+    /\ crashes' = crashes + 1
+    /\ UNCHANGED <<holder, adopted, execCount>>
+
+\* Lemma A.10 adoption: a live survivor adopts the *entire* frozen
+\* frontier of a dead, not-yet-adopted processor in one step (the Rust
+\* model's adoption CAM on the dead proc's seat). Frozen deque entries
+\* rejoin the survivor's deque; a frozen latch or execution resumes from
+\* its persisted capsule, which replays idempotently (execCount does not
+\* advance here — only Finish commits).
+Adopt(survivor, dead) ==
+    /\ alive[survivor]
+    /\ ~alive[dead]
+    /\ ~adopted[dead]
+    /\ adopted' = [adopted EXCEPT ![dead] = TRUE]
+    /\ loc' = [t \in Tasks |->
+                 IF holder[t] = dead /\ loc[t] = "Frozen"
+                 THEN IF execCount[t] = 0 THEN "Deque" ELSE "Done"
+                 ELSE loc[t]]
+    /\ holder' = [t \in Tasks |->
+                    IF holder[t] = dead /\ loc[t] = "Frozen"
+                    THEN survivor ELSE holder[t]]
+    /\ UNCHANGED <<alive, execCount, crashes>>
+
+Next ==
+    \/ \E p \in Procs, t \in Tasks :
+        Spawn(p, t) \/ StealCommit(p, t) \/ PopBottom(p, t)
+            \/ BeginExec(p, t) \/ Finish(p, t)
+    \/ \E p \in Procs : Crash(p)
+    \/ \E s, d \in Procs : s # d /\ Adopt(s, d)
+
+Spec == Init /\ [][Next]_vars
+
+---------------------------------------------------------------------------
+(* Invariants — names match the Rust explorer's violation strings. *)
+
+\* W1: every spawned, unfinished task is either held by a live processor
+\* or frozen on a dead processor whose frontier is still adoptable.
+NoLostTask ==
+    \A t \in Tasks :
+        loc[t] \in {"Deque", "Latched", "Exec"} => alive[holder[t]]
+
+FrozenAdoptable ==
+    \A t \in Tasks :
+        loc[t] = "Frozen" => ~alive[holder[t]] /\ ~adopted[holder[t]]
+
+\* W2: the work capsule of each task commits at most once.
+NoDoubleExecution ==
+    \A t \in Tasks : execCount[t] <= 1
+
+TypeOK ==
+    /\ \A t \in Tasks :
+        loc[t] \in {"Unspawned", "Deque", "Latched", "Exec", "Frozen", "Done"}
+    /\ \A t \in Tasks : holder[t] \in Procs
+    /\ crashes \in 0..CrashBudget
+
+===========================================================================

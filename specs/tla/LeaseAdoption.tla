@@ -1,0 +1,145 @@
+-------------------------- MODULE LeaseAdoption --------------------------
+(***************************************************************************)
+(* TLA+ twin of `crates/sched/src/model/lease.rs`: the cross-process      *)
+(* lease/heartbeat/tombstone oracle of the sharded runtime                 *)
+(* (`crates/sched/src/cluster.rs`).                                        *)
+(*                                                                         *)
+(* Each shard's worker renews an Alive lease with a deadline; an observer  *)
+(* judges a sibling dead when its lease is a tombstone or an expired       *)
+(* Alive; the coordinator reaps crashed workers into sticky tombstones;    *)
+(* survivors adopt a dead sibling's pending work through a CAM-guarded     *)
+(* claim.                                                                  *)
+(*                                                                         *)
+(* The invariant names match the Rust model's violation strings and the    *)
+(* README's verification table one-to-one: TombstoneSticky, NoDoubleClaim, *)
+(* NoDoneAdoption.                                                         *)
+(***************************************************************************)
+EXTENDS Naturals, FiniteSets
+
+CONSTANTS Shards,      \* e.g. {0, 1}
+          LeaseTicks,  \* lease validity window in ticks, e.g. 2
+          MaxTicks     \* bound on the virtual clock, e.g. 6
+
+VARIABLES now,         \* virtual clock (the Rust Clock trait's now_ms)
+          lease,       \* shard -> [state: {"Blank","Alive","Done","Dead"}, deadline: Nat]
+          proc,        \* shard -> {"Running","Crashed","Reaped","Exited"}
+          marked,      \* observer -> observed -> BOOLEAN (sticky death verdicts)
+          work,        \* shard -> "Pending" | shard that claimed it
+          tombstoned,  \* shard -> BOOLEAN (ever tombstoned; history)
+          doneJudged   \* TRUE if an observer ever judged a Done lease dead
+
+vars == <<now, lease, proc, marked, work, tombstoned, doneJudged>>
+
+Pending == CHOOSE x : x \notin Shards   \* sentinel: work not yet claimed
+
+IsDead(l, t) ==
+    \/ l.state = "Dead"
+    \/ l.state = "Alive" /\ t > l.deadline
+
+Init ==
+    /\ now = 0
+    /\ lease = [s \in Shards |-> [state |-> "Alive", deadline |-> LeaseTicks]]
+    /\ proc = [s \in Shards |-> "Running"]
+    /\ marked = [o \in Shards |-> [s \in Shards |-> FALSE]]
+    /\ work = [s \in Shards |-> Pending]
+    /\ tombstoned = [s \in Shards |-> FALSE]
+    /\ doneJudged = FALSE
+
+Tick ==
+    /\ now < MaxTicks
+    /\ now' = now + 1
+    /\ UNCHANGED <<lease, proc, marked, work, tombstoned, doneJudged>>
+
+\* A running worker renews its own lease (cluster.rs lease_monitor_loop).
+Renew(s) ==
+    /\ proc[s] = "Running"
+    /\ lease' = [lease EXCEPT ![s] = [state |-> "Alive", deadline |-> now + LeaseTicks]]
+    /\ UNCHANGED <<now, proc, marked, work, tombstoned, doneJudged>>
+
+\* A running worker claims its own pending work.
+ClaimOwn(s) ==
+    /\ proc[s] = "Running"
+    /\ work[s] = Pending
+    /\ work' = [work EXCEPT ![s] = s]
+    /\ UNCHANGED <<now, lease, proc, marked, tombstoned, doneJudged>>
+
+\* A worker finishes: lease goes Done, process exits.
+Finish(s) ==
+    /\ proc[s] = "Running"
+    /\ work[s] = s
+    /\ lease' = [lease EXCEPT ![s] = [state |-> "Done", deadline |-> 0]]
+    /\ proc' = [proc EXCEPT ![s] = "Exited"]
+    /\ UNCHANGED <<now, marked, work, tombstoned, doneJudged>>
+
+Crash(s) ==
+    /\ proc[s] = "Running"
+    /\ proc' = [proc EXCEPT ![s] = "Crashed"]
+    /\ UNCHANGED <<now, lease, marked, work, tombstoned, doneJudged>>
+
+\* The coordinator reaps a crashed worker's exit status.
+Reap(s) ==
+    /\ proc[s] = "Crashed"
+    /\ proc' = [proc EXCEPT ![s] = "Reaped"]
+    /\ UNCHANGED <<now, lease, marked, work, tombstoned, doneJudged>>
+
+\* The coordinator tombstones a reaped worker's lease. The faithful
+\* protocol only tombstones reaped (certainly-dead) workers; the Rust
+\* model's drop_tombstone_check mutation removes that guard, and the
+\* explorer then produces the 2-step resurrection trace.
+Tombstone(s) ==
+    /\ proc[s] = "Reaped"
+    /\ lease[s].state # "Dead"
+    /\ lease' = [lease EXCEPT ![s] = [state |-> "Dead", deadline |-> 0]]
+    /\ tombstoned' = [tombstoned EXCEPT ![s] = TRUE]
+    /\ UNCHANGED <<now, proc, marked, work, doneJudged>>
+
+\* Observer o judges sibling s dead from its lease (expiry or tombstone).
+\* The verdict is sticky. History flag: judging a Done lease dead would
+\* let a survivor adopt completed work.
+Observe(o, s) ==
+    /\ o # s
+    /\ proc[o] = "Running"
+    /\ ~marked[o][s]
+    /\ IsDead(lease[s], now)
+    /\ marked' = [marked EXCEPT ![o][s] = TRUE]
+    /\ doneJudged' = (doneJudged \/ lease[s].state = "Done")
+    /\ UNCHANGED <<now, lease, proc, work, tombstoned>>
+
+\* Observer o adopts dead sibling s's pending work (CAM-guarded claim).
+Adopt(o, s) ==
+    /\ o # s
+    /\ proc[o] = "Running"
+    /\ marked[o][s]
+    /\ work[s] = Pending
+    /\ work' = [work EXCEPT ![s] = o]
+    /\ UNCHANGED <<now, lease, proc, marked, tombstoned, doneJudged>>
+
+Next ==
+    \/ Tick
+    \/ \E s \in Shards :
+        Renew(s) \/ ClaimOwn(s) \/ Finish(s) \/ Crash(s) \/ Reap(s) \/ Tombstone(s)
+    \/ \E o, s \in Shards : Observe(o, s) \/ Adopt(o, s)
+
+Spec == Init /\ [][Next]_vars
+
+---------------------------------------------------------------------------
+(* Invariants — names match the Rust explorer's violation strings. *)
+
+\* Once tombstoned, a lease is Dead forever (no resurrected tombstone).
+TombstoneSticky ==
+    \A s \in Shards : tombstoned[s] => lease[s].state = "Dead"
+
+\* A sibling only holds s's work if it first recorded a death verdict.
+NoDoubleClaim ==
+    \A s \in Shards :
+        work[s] \notin Shards \/ work[s] = s \/ marked[work[s]][s]
+
+\* No observer ever judged a cleanly-completed (Done) shard dead.
+NoDoneAdoption == ~doneJudged
+
+TypeOK ==
+    /\ now \in 0..MaxTicks
+    /\ \A s \in Shards : lease[s].state \in {"Blank", "Alive", "Done", "Dead"}
+    /\ \A s \in Shards : proc[s] \in {"Running", "Crashed", "Reaped", "Exited"}
+
+===========================================================================

@@ -116,12 +116,19 @@ fn survivor_adopts_a_shard_that_never_starts() {
     let file = TempMachineFile::new("cluster-adopt");
     let slices = Arc::new(Mutex::new(vec![None; 2]));
     let build = marker_build(slices.clone());
-    // Short lease: shard 1's startup lease (10x the window) expires while
-    // worker 0 is spinning for work, standing in for a worker that was
-    // spawned and immediately SIGKILLed.
-    cluster::init(file.path(), &cluster_cfg(2, 60), &build).unwrap();
+    // Shard 1 never attaches, standing in for a worker that was spawned
+    // and immediately SIGKILLed. Its seed lease (10x the window, written
+    // by init on the system clock) must expire before worker 0 adopts;
+    // instead of sleeping those milliseconds away, hand worker 0 a
+    // virtual clock already past every possible seed deadline, so the
+    // first monitor tick judges shard 1 dead deterministically.
+    let lease_ms = 60;
+    cluster::init(file.path(), &cluster_cfg(2, lease_ms), &build).unwrap();
+    let clock = Arc::new(ppm::pm::VirtualClock::starting_at(
+        ppm::pm::now_ms() + lease_ms * cluster::STARTUP_LEASE_FACTOR + 1,
+    ));
 
-    let rep = cluster::run_worker(file.path(), 0, &build).unwrap();
+    let rep = cluster::run_worker_with_clock(file.path(), 0, &build, clock).unwrap();
     assert!(
         rep.completed(),
         "the lone survivor must finish the whole run"

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Invariant lint gate — greppable protocol rules that the type system
+# cannot express. Run from the repo root; CI runs it in the `verify` job
+# next to the ppm-check model explorer.
+#
+#   1. CAS stays quarantined. The paper's protocols are CAM-only
+#      (§3: CAS is not idempotent under faults). The one CAS primitive,
+#      `cas_unsafe_under_faults`, exists for the non-fault-tolerant ABP
+#      baseline and may only be referenced inside `crates/pm` (its
+#      definition and the costed ProcHandle wrapper).
+#
+#   2. Cross-process superblock slots are SeqCst. Lease, tombstone and
+#      cluster-header words are written by one process and read by its
+#      siblings; a Relaxed ordering on that path would let a stale lease
+#      resurrect a tombstoned shard (see model/lease.rs TombstoneSticky).
+#
+#   3. Unsafe stays quarantined in `crates/pm`. Every other crate is
+#      #![forbid]-clean by policy; the mmap/word-IO surface in pm is the
+#      only place raw pointers are allowed, and every site there carries
+#      a SAFETY: justification (also enforced by
+#      clippy::undocumented_unsafe_blocks workspace-wide).
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+    echo "lint_invariants: $1" >&2
+    echo "$2" | sed 's/^/    /' >&2
+    fail=1
+}
+
+# --- 1. CAS quarantine -----------------------------------------------------
+hits=$(grep -rn "cas_unsafe_under_faults" --include="*.rs" crates/ \
+    | grep -v "^crates/pm/" || true)
+if [ -n "$hits" ]; then
+    err "cas_unsafe_under_faults referenced outside crates/pm (CAM-only protocols; see §3 of the paper):" "$hits"
+fi
+
+# --- 2. SeqCst on cross-process slots --------------------------------------
+# The sb_word/write_sb_words/read_sb_words surface in the mmap backend is
+# the only path to lease/tombstone/cluster-header words; it must never
+# relax. Scope the check to that file so observability counters elsewhere
+# can stay Relaxed.
+hits=$(grep -n "Ordering::Relaxed\|Ordering::Acquire\|Ordering::Release" \
+    crates/pm/src/backend/mmap.rs || true)
+if [ -n "$hits" ]; then
+    err "non-SeqCst ordering in the mmap superblock-slot surface (lease/tombstone slots must be SeqCst):" "$hits"
+fi
+hits=$(grep -n "Ordering::Relaxed" crates/pm/src/lease.rs crates/sched/src/cluster.rs 2>/dev/null \
+    | grep -i "lease\|tombstone" || true)
+if [ -n "$hits" ]; then
+    err "Relaxed ordering on a lease/tombstone access path:" "$hits"
+fi
+
+# --- 3. unsafe quarantine + SAFETY comments --------------------------------
+hits=$(grep -rn "unsafe" --include="*.rs" \
+    crates/core/src crates/sched/src crates/algs/src crates/check/src \
+    crates/obs/src crates/sim/src crates/bench/src 2>/dev/null \
+    | grep -v "unsafe_code\|cas_unsafe_under_faults\|// \|//!" || true)
+if [ -n "$hits" ]; then
+    err "unsafe outside crates/pm (the raw-pointer surface is quarantined there):" "$hits"
+fi
+
+# Every unsafe site in crates/pm must have a SAFETY: line within the six
+# lines above it (clippy::undocumented_unsafe_blocks enforces the same
+# rule at compile time; this is the toolchain-independent backstop).
+missing=$(awk '
+    /SAFETY:/ { last = NR }
+    /^[^\/]*unsafe/ && !/cas_unsafe_under_faults/ && !/"/ {
+        if (NR - last > 6) print FILENAME ":" NR ": " $0
+    }
+' $(grep -rl "unsafe" --include="*.rs" crates/pm/src) || true)
+if [ -n "$missing" ]; then
+    err "unsafe site in crates/pm without a SAFETY: comment within 6 lines:" "$missing"
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint_invariants: FAILED" >&2
+    exit 1
+fi
+echo "lint_invariants: ok (CAS quarantined, slot orderings SeqCst, unsafe documented)"
