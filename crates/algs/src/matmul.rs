@@ -314,15 +314,16 @@ pub fn matmul_pool_words(n: usize, m_eph: usize) -> usize {
         // ≈ 2n³/bd, plus fork closures and join cells (tens of words per
         // node); 3·n³/bd covers both with slack. The registered form also
         // writes typed frames for the eight products, the fork-pair tree
-        // and the per-row add map — ≈ 48·size words per node, which sums
-        // to ≈ 48·n³/bd² and dominates at small base dimensions. The
+        // and the per-row add map — ≈ 52·size words per node (frames grew
+        // a parent-span provenance word), which sums to ≈ 52·n³/bd² and
+        // dominates at small base dimensions. The
         // pre-checkpoint sizing (PR 3) doubled both terms because a
         // crash-resumed (or hard-fault-adopted) run re-allocated above
         // the dead run's watermark; checkpoint GC (`ppm_sched::checkpoint`,
         // on by default) now caps that re-allocation at one epoch's
         // churn, so the doubling is gone.
         let cube = np * np * (np / bd).max(1);
-        3 * cube + 48 * cube / bd.max(1) + (1 << 15)
+        3 * cube + 52 * cube / bd.max(1) + (1 << 15)
     }
 }
 

@@ -520,21 +520,21 @@ fn node_scratch_words(n: usize) -> usize {
 /// frames. A run configured with `CheckpointPolicy::disabled()` that
 /// must survive crash resume or hard-fault adoption re-allocates the
 /// replayed span on top of the dead run's watermark and should budget
-/// roughly an extra `36 * n` words (the pre-GC doubling).
+/// roughly an extra `40 * n` words (the pre-GC doubling).
 pub fn samplesort_pool_words(n: usize) -> usize {
     // Geometric-ish recursion: level ℓ has total size n, so scratch per
     // level is O(n); depth is log_M n, small — 4 levels of scratch is
     // generous. The registered form additionally writes typed frames for
     // every fork; the embedded prefix sum over the rows × buckets counts
     // matrix (cm ≈ n words) dominates at ~12 frame words per counts
-    // element per level (~36·n across levels). The pre-checkpoint sizing
-    // (PR 3) doubled that term to 72·n because a crash-resumed or
-    // hard-fault-adopted run re-allocated above the dead run's watermark
-    // for the whole replayed span; checkpoint GC (`ppm_sched::checkpoint`,
-    // on by default) now rolls pool cursors back to the live frontier
-    // every epoch, capping re-allocation at one epoch's churn — the
-    // constant tail covers it.
-    4 * node_scratch_words(n.max(16)) + 36 * n + (1 << 13)
+    // element per level (~36·n across levels, ~40·n since frames grew a
+    // parent-span provenance word). The pre-checkpoint sizing (PR 3)
+    // doubled that term because a crash-resumed or hard-fault-adopted run
+    // re-allocated above the dead run's watermark for the whole replayed
+    // span; checkpoint GC (`ppm_sched::checkpoint`, on by default) now
+    // rolls pool cursors back to the live frontier every epoch, capping
+    // re-allocation at one epoch's churn — the constant tail covers it.
+    4 * node_scratch_words(n.max(16)) + 40 * n + (1 << 13)
 }
 
 // ---- Phase bodies shared by the closure and registered forms --------

@@ -190,13 +190,17 @@ impl BenchReport {
         Some(report)
     }
 
-    /// Loads every `BENCH_*.json` in `dir`.
+    /// Loads every `BENCH_*.json` — and every `TRACE_*.json` written by
+    /// `ppm-trace`, which uses the same restricted format so its W / D /
+    /// parallelism / wasted-work numbers gate like any benchmark — in
+    /// `dir`.
     pub fn load_dir(dir: &Path) -> io::Result<Vec<BenchReport>> {
         let mut out = Vec::new();
         for entry in std::fs::read_dir(dir)? {
             let path = entry?.path();
             let stem = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if stem.starts_with("BENCH_") && stem.ends_with(".json") {
+            if (stem.starts_with("BENCH_") || stem.starts_with("TRACE_")) && stem.ends_with(".json")
+            {
                 if let Ok(text) = std::fs::read_to_string(&path) {
                     if let Some(rep) = BenchReport::parse(&text) {
                         out.push(rep);

@@ -106,6 +106,20 @@ pub trait Capsule: Send + Sync {
     fn war_checked(&self) -> bool {
         true
     }
+
+    /// Whether this capsule's executions appear as spans in the causal
+    /// trace (default: yes). Scheduler-internal capsules (the Figure 3
+    /// deque steps, steal attempts, push/pop sequences) override this to
+    /// `false`: they are machinery *between* computation capsules, and
+    /// excluding them is what makes a scheduler-mediated transfer break
+    /// the same-thread parent chain — so a stolen or adopted capsule
+    /// takes its parent from the persistent frame word (the true causal
+    /// edge) instead of from the thief's scheduling loop. Join capsules
+    /// stay traced: the slower arrival's join-check is genuinely on the
+    /// critical path of the continuation it releases.
+    fn traced(&self) -> bool {
+        true
+    }
 }
 
 /// A continuation: a shared handle to a capsule ("closure") that can be
@@ -120,6 +134,7 @@ pub struct FnCapsule<F> {
     name: &'static str,
     body: F,
     war_checked: bool,
+    traced: bool,
 }
 
 impl<F> Capsule for FnCapsule<F>
@@ -136,6 +151,10 @@ where
 
     fn war_checked(&self) -> bool {
         self.war_checked
+    }
+
+    fn traced(&self) -> bool {
+        self.traced
     }
 }
 
@@ -155,6 +174,7 @@ where
         name,
         body,
         war_checked: true,
+        traced: true,
     })
 }
 
@@ -168,6 +188,21 @@ where
         name,
         body,
         war_checked: false,
+        traced: false,
+    })
+}
+
+/// Creates a scheduler-internal capsule: WAR-checked but excluded from
+/// causal span tracing — see [`Capsule::traced`].
+pub fn sched_capsule<F>(name: &'static str, body: F) -> Cont
+where
+    F: Fn(&mut ProcCtx) -> PmResult<Next> + Send + Sync + 'static,
+{
+    Arc::new(FnCapsule {
+        name,
+        body,
+        war_checked: true,
+        traced: false,
     })
 }
 

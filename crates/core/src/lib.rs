@@ -46,7 +46,8 @@ pub mod runner;
 
 pub use arena::{ContArena, CLOSURE_WORDS, NULL_HANDLE};
 pub use capsule::{
-    capsule, capsule_unchecked, end_capsule, final_capsule, step_capsule, Capsule, Cont, Next,
+    capsule, capsule_unchecked, end_capsule, final_capsule, sched_capsule, step_capsule, Capsule,
+    Cont, Next,
 };
 pub use comp::{comp_dyn, comp_fork2, comp_nop, comp_seq, comp_step, par_all, root, seq_all, Comp};
 pub use dsl::{fork2, fork_many, jump_to, seq, CapsuleDef, CapsuleSet, Fold, Span, K};

@@ -412,6 +412,11 @@ impl Machine {
         );
         ctx.set_alloc_pool(self.pools[proc], cursor);
         ctx.set_watermark_addr(Some(self.proc_meta(proc).watermark));
+        // Causal span tracing: every context minted after the runtime
+        // installed a sink emits span records (traced capsules only).
+        // `None` when tracing is off — the per-capsule cost is one
+        // Option check.
+        ctx.set_span_sink(self.obs.span_sink());
         ctx
     }
 

@@ -149,6 +149,12 @@ pub fn run_capsule(
 ) -> Result<Step, Fault> {
     ctx.begin_capsule(cur.name());
     ctx.set_war_exempt(!cur.war_checked());
+    // Open the causal span before the retry loop: the span id is
+    // restart-stable (one execution = one span, however many soft-fault
+    // re-runs it takes), and the frames the body writes carry it as
+    // their parent-span word. An untraced (scheduler) capsule instead
+    // breaks the same-thread parent chain here — see `ProcCtx::span_begin`.
+    ctx.span_begin(cur.name(), cur.traced());
     loop {
         let attempt: PmResult<Step> =
             run_body_and_install(ctx, arena, install, cur, fork_wrap, on_end);
@@ -203,6 +209,7 @@ fn run_body_and_install(
         }
         Next::JumpHandle(h) => {
             let c = resolve_handle(arena, h, cur.name());
+            note_frame_provenance(ctx, h);
             install.install_handle(ctx, h)?;
             Ok(Step::Next(c))
         }
@@ -242,6 +249,20 @@ fn run_body_and_install(
             install.install_jump(ctx, arena, &target)?;
             Ok(Step::Next(target))
         }
+    }
+}
+
+/// Records the causal edge of a frame-handle install: the frame's
+/// parent-span word plus the frame address, delivered to the next traced
+/// capsule begin. Uncosted oracle read — provenance metadata, charged to
+/// nobody (the costed install is the restart-pointer write). Runs after
+/// the current (possibly untraced, chain-breaking) capsule body, so a
+/// scheduler's `popBottom`/`popTop` hand-off survives to the computation
+/// capsule it installs. Public for the scheduler driver, which performs
+/// the same hand-off when it plants recovered or adopted frames.
+pub fn note_frame_provenance(ctx: &mut ProcCtx, handle: Word) {
+    if let Some(parent) = ppm_pm::frame::frame_parent_span(ctx.raw_mem(), handle as Addr) {
+        ctx.set_pending_parent(parent, handle as Addr);
     }
 }
 

@@ -19,47 +19,63 @@
 //! * [`Tracer`] — a ring-buffered, sampled structured event trace
 //!   (run/epoch/capsule/steal/adoption/checkpoint/recovery) flushed to a
 //!   JSONL sidecar and summarized as [`TraceSummary`].
+//! * [`SpanSink`] + [`profile`] — causal span tracing: every traced
+//!   capsule execution streams a span record with a parent edge
+//!   (propagated across processes through the persistent frame words),
+//!   and the `ppm-trace` binary reconstructs the capsule DAG to measure
+//!   the paper's W, D, parallelism, and fault-wasted work on real runs.
 //!
-//! [`Obs`] bundles one registry plus one tracer; a machine owns exactly
-//! one `Arc<Obs>` and every subsystem built over that machine registers
-//! into it.
+//! [`Obs`] bundles one registry plus one tracer plus an optional span
+//! sink; a machine owns exactly one `Arc<Obs>` and every subsystem
+//! built over that machine registers into it.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod aggregate;
 pub mod metrics;
+pub mod profile;
 pub mod server;
+pub mod span;
 pub mod trace;
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 pub use aggregate::{inject_label, merge_scrapes};
 pub use metrics::{
     Counter, CounterSource, Gauge, GaugeSource, Histogram, MetricsRegistry, HISTOGRAM_BUCKETS,
 };
+pub use profile::{expand_manifest, folded_stacks, Analysis, SpanExec, TraceSet};
 pub use server::{http_get, BodyFn, MetricsServer};
+pub use span::SpanSink;
 pub use trace::{
-    TraceEvent, TraceKind, TraceSummary, Tracer, DEFAULT_TRACE_CAPACITY, DEFAULT_TRACE_SAMPLE,
+    shard_trace_path, TraceEvent, TraceKind, TraceSummary, Tracer, DEFAULT_TRACE_CAPACITY,
+    DEFAULT_TRACE_SAMPLE,
 };
 
 /// Environment variable selecting the scrape port. Single-process runs
 /// serve on exactly this port; a sharded coordinator serves the
 /// aggregated view here and worker `s` serves on `port + 1 + s`.
 pub const METRICS_PORT_ENV: &str = "PPM_METRICS_PORT";
-/// Environment variable naming the JSONL trace sidecar file (workers
-/// append `.shard<N>`). Setting it enables the tracer.
+/// Environment variable naming the JSONL trace sidecar file. Setting it
+/// enables the tracer. Cluster workers write `<file>.shard<k>.jsonl`
+/// (see [`shard_trace_path`]) and every process additionally streams
+/// causal spans to `<file>.spans.jsonl` /
+/// `<file>.shard<k>.spans.jsonl` (see [`SpanSink`]); the coordinator
+/// writes a `<file>.manifest` naming the whole family for `ppm-trace`.
 pub const TRACE_FILE_ENV: &str = "PPM_TRACE_FILE";
 /// Environment variable overriding the trace sampling divisor for
 /// high-rate kinds (default [`DEFAULT_TRACE_SAMPLE`]).
 pub const TRACE_SAMPLE_ENV: &str = "PPM_TRACE_SAMPLE";
 
 /// One machine's observability handle: a metrics registry plus an event
-/// tracer, shared by every subsystem built over that machine.
+/// tracer plus an optional causal span sink, shared by every subsystem
+/// built over that machine.
 #[derive(Debug, Default)]
 pub struct Obs {
     registry: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
+    span_sink: Mutex<Option<Arc<SpanSink>>>,
 }
 
 impl Obs {
@@ -69,6 +85,7 @@ impl Obs {
         let obs = Obs {
             registry: Arc::new(MetricsRegistry::new()),
             tracer: Arc::new(Tracer::new(DEFAULT_TRACE_CAPACITY)),
+            span_sink: Mutex::new(None),
         };
         if std::env::var(TRACE_FILE_ENV).is_ok() {
             obs.tracer.enable();
@@ -79,6 +96,16 @@ impl Obs {
         {
             obs.tracer.set_sample(n);
         }
+        // Silent trace loss was invisible before this counter: the ring
+        // overwrites its oldest events with no signal anywhere. Scrapes
+        // now carry the running drop count.
+        let tracer = obs.tracer.clone();
+        obs.registry.counter_fn(
+            "ppm_trace_dropped_total",
+            "Trace events lost to ring-buffer capacity overwrites",
+            &[],
+            move || tracer.dropped(),
+        );
         obs
     }
 
@@ -90,6 +117,18 @@ impl Obs {
     /// The event tracer.
     pub fn tracer(&self) -> &Arc<Tracer> {
         &self.tracer
+    }
+
+    /// Installs the process-wide causal span sink. Every `ProcCtx`
+    /// minted from the machine after this point emits span records
+    /// into it (see [`SpanSink`]).
+    pub fn set_span_sink(&self, sink: Arc<SpanSink>) {
+        *self.span_sink.lock().unwrap() = Some(sink);
+    }
+
+    /// The installed span sink, if any.
+    pub fn span_sink(&self) -> Option<Arc<SpanSink>> {
+        self.span_sink.lock().unwrap().clone()
     }
 
     /// Port requested via `PPM_METRICS_PORT`, if any.

@@ -271,6 +271,12 @@ impl Tracer {
 
     /// Writes the buffered events to `path` as JSONL (creating parent
     /// directories as needed); returns how many events were written.
+    ///
+    /// The file ends with one summary line
+    /// (`{"k":"ts","recorded":N,"dropped":N}`) so downstream consumers
+    /// — `ppm-trace` in particular — can tell a lossy ring flush from a
+    /// complete one instead of silently analyzing a truncated event
+    /// stream.
     pub fn flush_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
         let events = self.events();
         let mut s = String::new();
@@ -278,11 +284,22 @@ impl Tracer {
             s.push_str(&ev.to_json());
             s.push('\n');
         }
+        s.push_str(&format!(
+            "{{\"k\":\"ts\",\"recorded\":{},\"dropped\":{}}}\n",
+            events.len(),
+            self.dropped()
+        ));
         if let Some(parent) = path.as_ref().parent().filter(|p| !p.as_os_str().is_empty()) {
             std::fs::create_dir_all(parent)?;
         }
         std::fs::write(path, s)?;
         Ok(events.len())
+    }
+
+    /// Events lost to ring-capacity overwrites so far (also exported as
+    /// the `ppm_trace_dropped_total` counter on every registry).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Point-in-time summary of tracing activity.
@@ -300,6 +317,17 @@ impl Tracer {
                 .collect(),
         }
     }
+}
+
+/// The per-shard event-trace path convention for cluster workers:
+/// `<trace>.shard<k>.jsonl`. Every worker flushing to the *same*
+/// `PPM_TRACE_FILE` base gets its own file (no cross-process clobbering);
+/// the coordinator writes `<trace>` itself plus a `<trace>.manifest`
+/// listing the whole family, which `ppm-trace` expands.
+pub fn shard_trace_path(trace_file: &std::path::Path, shard: usize) -> std::path::PathBuf {
+    let mut os = trace_file.as_os_str().to_os_string();
+    os.push(format!(".shard{shard}.jsonl"));
+    std::path::PathBuf::from(os)
 }
 
 /// Compact trace accounting embedded in session reports.
@@ -384,5 +412,23 @@ mod tests {
         let sum = t.summary();
         assert_eq!(sum.recorded, 40);
         assert_eq!(sum.overwritten, 24);
+        assert_eq!(t.dropped(), 24);
+    }
+
+    #[test]
+    fn flush_appends_drop_summary_line() {
+        let t = Tracer::new(16);
+        t.enable();
+        for i in 0..20 {
+            t.record(TraceKind::Epoch, None, None, &format!("e{i}"));
+        }
+        let path = std::env::temp_dir().join(format!("ppm-trace-flush-{}", std::process::id()));
+        t.flush_jsonl(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text.lines().last().unwrap(),
+            "{\"k\":\"ts\",\"recorded\":16,\"dropped\":4}"
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -12,9 +12,21 @@
 //!   word 0   header   = (FRAME_MAGIC << 32) | arg_word_count
 //!   word 1   capsule id (a stable u64 registered in ppm-core's
 //!            CapsuleRegistry at computation-construction time)
-//!   word 2.. argument words (plain data: addresses, indices, and —
+//!   word 2   parent span id (causal-tracing provenance: the span of
+//!            the capsule execution that wrote this frame, 0 when
+//!            tracing is off or the frame is a setup-time root)
+//!   word 3.. argument words (plain data: addresses, indices, and —
 //!            crucially — the frame addresses of other continuations)
 //! ```
+//!
+//! The parent-span word is what carries causality *across processes*: a
+//! frame stolen or adopted by another shard — or replanted by recovery
+//! in a later epoch — still names the span that forked it, so the
+//! span-trace analyzer (`ppm-trace`) can stitch one capsule DAG out of
+//! many per-process span files. It is provenance metadata, not program
+//! state: capsule bodies never read it, and it costs one extra staged
+//! word per frame (coalesced into the same block persist as its
+//! neighbors).
 //!
 //! Arguments are plain 64-bit words; a continuation argument is *itself* a
 //! frame address, which is what lets whole capsule DAGs round-trip through
@@ -50,11 +62,16 @@ pub const FRAME_MAGIC: u64 = 0xF7A3_C0DE;
 /// continuation handle.
 pub const MAX_FRAME_ARGS: usize = 64;
 
-/// Frame size in words for `argc` argument words (header + id + args).
+/// Frame size in words for `argc` argument words (header + id + parent
+/// span + args).
 #[inline]
 pub const fn frame_words(argc: usize) -> usize {
-    2 + argc
+    3 + argc
 }
+
+/// Offset of the first argument word within a frame (after the header,
+/// capsule-id, and parent-span words).
+pub const FRAME_ARGS_AT: usize = 3;
 
 /// Builds a frame header word for `argc` argument words.
 #[inline]
@@ -131,6 +148,9 @@ pub struct Frame {
     pub addr: Addr,
     /// The stable capsule id.
     pub capsule_id: Word,
+    /// The span id of the capsule execution that wrote this frame
+    /// (0 = untraced or setup-time root). See the module docs.
+    pub parent_span: Word,
     /// The argument words.
     pub args: Vec<Word>,
 }
@@ -194,8 +214,11 @@ pub fn write_frame(ctx: &mut ProcCtx, capsule_id: Word, args: &[Word]) -> PmResu
     let addr = ctx.palloc(frame_words(args.len()));
     ctx.stage_write(addr, frame_header(args.len()));
     ctx.stage_write(addr + 1, capsule_id);
+    // Provenance: the writing execution's span id. Restart-stable (the
+    // span is minted once per execution, before any soft-fault retry).
+    ctx.stage_write(addr + 2, ctx.cur_span());
     for (i, a) in args.iter().enumerate() {
-        ctx.stage_write(addr + 2 + i, *a);
+        ctx.stage_write(addr + FRAME_ARGS_AT + i, *a);
     }
     Ok(addr)
 }
@@ -207,8 +230,9 @@ pub fn write_frame(ctx: &mut ProcCtx, capsule_id: Word, args: &[Word]) -> PmResu
 pub fn store_frame(mem: &PersistentMemory, addr: Addr, capsule_id: Word, args: &[Word]) {
     mem.store(addr, frame_header(args.len()));
     mem.store(addr + 1, capsule_id);
+    mem.store(addr + 2, 0); // setup-time frames are span roots
     for (i, a) in args.iter().enumerate() {
-        mem.store(addr + 2 + i, *a);
+        mem.store(addr + FRAME_ARGS_AT + i, *a);
     }
 }
 
@@ -226,10 +250,14 @@ pub fn read_frame(mem: &PersistentMemory, addr: Addr) -> Result<Frame, FrameErro
         return Err(out_of_bounds(addr, argc));
     }
     let capsule_id = mem.load(addr + 1);
-    let args = (0..argc).map(|i| mem.load(addr + 2 + i)).collect();
+    let parent_span = mem.load(addr + 2);
+    let args = (0..argc)
+        .map(|i| mem.load(addr + FRAME_ARGS_AT + i))
+        .collect();
     Ok(Frame {
         addr,
         capsule_id,
+        parent_span,
         args,
     })
 }
@@ -239,6 +267,14 @@ pub fn read_frame(mem: &PersistentMemory, addr: Addr) -> Result<Frame, FrameErro
 #[inline]
 pub fn is_frame_at(mem: &PersistentMemory, addr: Addr) -> bool {
     addr != 0 && addr < mem.len() && parse_header(mem.load(addr)).is_some()
+}
+
+/// The parent-span word of the frame at `addr`, or `None` when `addr`
+/// does not hold a frame. Uncosted oracle read (tracing provenance, not
+/// program state).
+#[inline]
+pub fn frame_parent_span(mem: &PersistentMemory, addr: Addr) -> Option<Word> {
+    is_frame_at(mem, addr).then(|| mem.load(addr + 2))
 }
 
 #[cfg(test)]
@@ -314,7 +350,23 @@ mod tests {
         let mut ctx = ctx_with_pool(&mem);
         ctx.begin_capsule("t");
         let a = write_frame(&mut ctx, 5, &[10, 20]).unwrap();
-        assert_eq!(mem.to_vec(40, 4), mem.to_vec(a, 4), "identical word images");
+        // Both paths have span 0 here (no sink attached), so the full
+        // 5-word images — header, id, parent span, args — coincide.
+        assert_eq!(mem.to_vec(40, 5), mem.to_vec(a, 5), "identical word images");
+    }
+
+    #[test]
+    fn frames_carry_the_writers_span() {
+        let mem = Arc::new(PersistentMemory::new(1024, 8));
+        let mut ctx = ctx_with_pool(&mem);
+        ctx.begin_capsule("t");
+        ctx.set_span_for_test(0xBEEF);
+        let a = write_frame(&mut ctx, 5, &[10]).unwrap();
+        let f = read_frame(&mem, a).unwrap();
+        assert_eq!(f.parent_span, 0xBEEF);
+        assert_eq!(f.args, vec![10]);
+        store_frame(&mem, 40, 5, &[10]);
+        assert_eq!(read_frame(&mem, 40).unwrap().parent_span, 0, "setup roots");
     }
 
     #[test]

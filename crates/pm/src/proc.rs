@@ -59,6 +59,31 @@ pub struct ProcCtx {
     /// cleared on capsule begin/restart (the §4.1 cursor rollback makes a
     /// re-run re-stage identical words at identical addresses).
     staged: Vec<(Addr, usize)>,
+    /// Causal span sink, when span tracing is on for this process. All
+    /// span fields below stay zero when absent — the disabled path costs
+    /// one `Option` check per capsule.
+    span_sink: Option<Arc<ppm_obs::SpanSink>>,
+    /// Span id of the currently running traced capsule execution
+    /// (0 = none / untraced). Minted once per execution — soft-fault
+    /// restarts keep it — and stamped into every frame the capsule
+    /// writes ([`crate::frame::write_frame`]).
+    cur_span: u64,
+    /// Last traced span in an unbroken same-thread continuation chain.
+    /// A traced capsule's begin uses it as the parent (the enablement
+    /// edge of a `jump_to`/fork arm run in place); any untraced
+    /// scheduler capsule in between breaks the chain, forcing the
+    /// parent to come from the persistent frame word instead — which is
+    /// exactly the steal/adoption/recovery cross-process edge.
+    chain_span: u64,
+    /// Parent span read from the frame word of the next capsule to be
+    /// installed via a frame handle (set by the engine at resolve time,
+    /// consumed by the next traced begin).
+    pending_parent: u64,
+    /// Frame address the next capsule will run from (reported in its
+    /// span-start record; consumed with `pending_parent`).
+    pending_frame: u64,
+    /// Wall-clock start of the current span, for the duration field.
+    span_started: Option<std::time::Instant>,
 }
 
 impl ProcCtx {
@@ -91,6 +116,12 @@ impl ProcCtx {
             ephemeral_words: cfg.ephemeral_words,
             war_exempt: false,
             staged: Vec::new(),
+            span_sink: None,
+            cur_span: 0,
+            chain_span: 0,
+            pending_parent: 0,
+            pending_frame: 0,
+            span_started: None,
         }
     }
 
@@ -201,7 +232,91 @@ impl ProcCtx {
         if let Some(wm) = self.watermark_addr {
             self.mem.store(wm, self.alloc_cursor as Word);
         }
+        if self.cur_span != 0 {
+            if let Some(sink) = &self.span_sink {
+                let dur_us = self
+                    .span_started
+                    .map(|t| t.elapsed().as_micros() as u64)
+                    .unwrap_or(0);
+                sink.end(self.cur_span, w, dur_us);
+            }
+            self.cur_span = 0;
+            self.span_started = None;
+        }
         w
+    }
+
+    // ------------------------------------------------------------------
+    // Causal span tracing (called by the engine, not by capsule bodies)
+    // ------------------------------------------------------------------
+
+    /// Installs (or removes) the process-wide span sink for this context.
+    /// Engine use: the machine injects it into every context it mints.
+    pub fn set_span_sink(&mut self, sink: Option<Arc<ppm_obs::SpanSink>>) {
+        self.span_sink = sink;
+    }
+
+    /// Opens a span for a new capsule execution, resolving its causal
+    /// parent. Called by the engine once per execution, right after
+    /// [`ProcCtx::begin_capsule`] and **before** the soft-fault retry
+    /// loop — the span id is restart-stable, like the §4.1 allocation
+    /// cursor.
+    ///
+    /// Parent resolution: an unbroken same-thread chain wins (the
+    /// previous traced capsule jumped here); otherwise the parent comes
+    /// from the pending frame word set at handle-resolve time — the
+    /// cross-process steal/adoption/recovery edge. An *untraced* begin
+    /// (scheduler capsules) breaks the chain and clears any stale
+    /// pending edge; the engine re-sets the pending edge after the
+    /// scheduler body picks its target frame, so the handoff survives.
+    pub fn span_begin(&mut self, name: &str, traced: bool) {
+        if !traced {
+            self.cur_span = 0;
+            self.chain_span = 0;
+            self.pending_parent = 0;
+            self.pending_frame = 0;
+            return;
+        }
+        let Some(sink) = &self.span_sink else {
+            return;
+        };
+        let parent = if self.chain_span != 0 {
+            self.chain_span
+        } else {
+            self.pending_parent
+        };
+        let frame = self.pending_frame;
+        self.pending_parent = 0;
+        self.pending_frame = 0;
+        let id = sink.mint();
+        sink.start(id, parent, frame, name, self.proc);
+        self.cur_span = id;
+        self.chain_span = id;
+        self.span_started = Some(std::time::Instant::now());
+    }
+
+    /// Records the causal edge for the next frame-handle install: the
+    /// `parent` span read from the frame's parent word and the frame
+    /// address itself. Consumed by the next traced [`ProcCtx::span_begin`].
+    /// Engine use (uncosted — provenance, not program state).
+    pub fn set_pending_parent(&mut self, parent: u64, frame: Addr) {
+        if self.span_sink.is_some() {
+            self.pending_parent = parent;
+            self.pending_frame = frame as u64;
+        }
+    }
+
+    /// The span id of the running traced capsule execution (0 = none).
+    /// Stamped into frames by [`crate::frame::write_frame`].
+    #[inline]
+    pub fn cur_span(&self) -> u64 {
+        self.cur_span
+    }
+
+    /// Forces the current span id (tests of the frame format only).
+    #[cfg(test)]
+    pub(crate) fn set_span_for_test(&mut self, span: u64) {
+        self.cur_span = span;
     }
 
     /// External transfers performed so far by the current capsule run.

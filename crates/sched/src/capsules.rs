@@ -35,7 +35,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use ppm_core::{capsule, capsule_unchecked, Cont, DoneFlag, Machine, Next, ProcMeta};
+use ppm_core::{capsule_unchecked, sched_capsule, Cont, DoneFlag, Machine, Next, ProcMeta};
 use ppm_obs::{Counter, Histogram, Obs, TraceKind};
 use ppm_pm::{PersistentMemory, Word};
 
@@ -520,7 +520,7 @@ impl Sched {
         let s = self.clone();
         // popBottom capsule 1 (lines 82-84): read bot and the entry below
         // it, then commit.
-        capsule("sched/popBottom/read", move |ctx| {
+        sched_capsule("sched/popBottom/read", move |ctx| {
             let me = ctx.proc();
             let d = s.d(me);
             let b = ctx.pread(d.bot)? as usize;
@@ -556,7 +556,7 @@ impl Sched {
     /// popBottom capsule 2 (line 86): the CAM, alone in its capsule.
     fn pop_bottom_cam(self: &Arc<Self>, d: DequeAddrs, b: usize, old: Word, f: Word) -> Cont {
         let s = self.clone();
-        capsule("sched/popBottom/cam", move |ctx| {
+        sched_capsule("sched/popBottom/cam", move |ctx| {
             let new = pack(tag_of(old).wrapping_add(1), EntryVal::Local);
             ctx.pcam(d.entry(b - 1), old, new)?;
             Ok(Next::Jump(s.pop_bottom_check(d, b, new, f)))
@@ -567,7 +567,7 @@ impl Sched {
     /// give up. Includes the Lemma A.10 adoption case (module docs).
     fn pop_bottom_check(self: &Arc<Self>, d: DequeAddrs, b: usize, new: Word, f: Word) -> Cont {
         let s = self.clone();
-        capsule("sched/popBottom/check", move |ctx| {
+        sched_capsule("sched/popBottom/check", move |ctx| {
             let cur = ctx.pread(d.entry(b - 1))?;
             if cur == new {
                 ctx.pwrite(d.bot, (b - 1) as Word)?;
@@ -595,7 +595,7 @@ impl Sched {
     /// own bottom entry reference, and enter the victim's `popTop`.
     fn steal_attempt(self: &Arc<Self>, n: u64) -> Cont {
         let s = self.clone();
-        capsule("sched/steal", move |ctx| {
+        sched_capsule("sched/steal", move |ctx| {
             if s.done.read(ctx)? {
                 return Ok(Next::Halt);
             }
@@ -631,7 +631,7 @@ impl Sched {
     /// read `top` and the entry there.
     fn help_pop_top(self: &Arc<Self>, d: DequeAddrs, then: Cont) -> Cont {
         let s = self.clone();
-        capsule("sched/help/read", move |ctx| {
+        sched_capsule("sched/help/read", move |ctx| {
             let t = ctx.pread(d.top)? as usize;
             let w = ctx.pread(d.entry(t))?;
             match unpack(w) {
@@ -654,7 +654,7 @@ impl Sched {
         then: Cont,
     ) -> Cont {
         let s = self.clone();
-        capsule("sched/help/camThief", move |ctx| {
+        sched_capsule("sched/help/camThief", move |ctx| {
             ctx.pcam(
                 ps,
                 pack(i, EntryVal::Empty),
@@ -667,7 +667,7 @@ impl Sched {
     /// helpPopTop capsule 3 (line 26): advance `top`.
     fn help_cam_top(self: &Arc<Self>, d: DequeAddrs, t: usize, then: Cont) -> Cont {
         let _ = self;
-        capsule("sched/help/camTop", move |ctx| {
+        sched_capsule("sched/help/camTop", move |ctx| {
             ctx.pcam(d.top, t as Word, (t + 1) as Word)?;
             Ok(Next::Jump(then.clone()))
         })
@@ -689,7 +689,7 @@ impl Sched {
         n: u64,
     ) -> Cont {
         let s = self.clone();
-        capsule("sched/popTop/read", move |ctx| {
+        sched_capsule("sched/popTop/read", move |ctx| {
             let i = ctx.pread(v.top)? as usize;
             let old = ctx.pread(v.entry(i))?;
             match unpack(old) {
@@ -750,7 +750,7 @@ impl Sched {
         n: u64,
     ) -> Cont {
         let s = self.clone();
-        capsule("sched/popTop/cam", move |ctx| {
+        sched_capsule("sched/popTop/cam", move |ctx| {
             ctx.pcam(v.entry(i), old, new)?;
             let check = s.pop_top_check_job(v, i, new, f, n);
             Ok(Next::Jump(s.help_pop_top(v, check)))
@@ -767,7 +767,7 @@ impl Sched {
         n: u64,
     ) -> Cont {
         let s = self.clone();
-        capsule("sched/popTop/check", move |ctx| {
+        sched_capsule("sched/popTop/check", move |ctx| {
             let cur = ctx.pread(v.entry(i))?;
             if cur == new {
                 let me = ctx.proc();
@@ -799,7 +799,7 @@ impl Sched {
         n: u64,
     ) -> Cont {
         let s = self.clone();
-        capsule("sched/popTop/clearAboveRead", move |ctx| {
+        sched_capsule("sched/popTop/clearAboveRead", move |ctx| {
             let above = ctx.pread(v.entry(i + 1))?;
             Ok(Next::Jump(s.pop_top_clear_above_write(
                 v,
@@ -824,7 +824,7 @@ impl Sched {
         n: u64,
     ) -> Cont {
         let s = self.clone();
-        capsule("sched/popTop/clearAboveWrite", move |ctx| {
+        sched_capsule("sched/popTop/clearAboveWrite", move |ctx| {
             ctx.pwrite(
                 v.entry(i + 1),
                 pack(above_tag.wrapping_add(1), EntryVal::Empty),
@@ -843,7 +843,7 @@ impl Sched {
         n: u64,
     ) -> Cont {
         let s = self.clone();
-        capsule("sched/popTop/camLocal", move |ctx| {
+        sched_capsule("sched/popTop/camLocal", move |ctx| {
             ctx.pcam(v.entry(i), old, new)?;
             let check = s.pop_top_check_local(v, i, new, n);
             Ok(Next::Jump(s.help_pop_top(v, check)))
@@ -854,7 +854,7 @@ impl Sched {
     /// active capsule (`getActiveCapsule`).
     fn pop_top_check_local(self: &Arc<Self>, v: DequeAddrs, i: usize, new: Word, n: u64) -> Cont {
         let s = self.clone();
-        capsule("sched/popTop/checkLocal", move |ctx| {
+        sched_capsule("sched/popTop/checkLocal", move |ctx| {
             let cur = ctx.pread(v.entry(i))?;
             if cur != new {
                 // Lost the adoption CAM to a competing thief.
@@ -892,7 +892,7 @@ impl Sched {
     /// `bot` and the two tags, commit.
     pub fn push_bottom(self: &Arc<Self>, f: Word, cont: Cont, cont_handle: Option<Word>) -> Cont {
         let s = self.clone();
-        capsule("sched/pushBottom/read", move |ctx| {
+        sched_capsule("sched/pushBottom/read", move |ctx| {
             let me = ctx.proc();
             let d = s.d(me);
             let b = ctx.pread(d.bot)? as usize;

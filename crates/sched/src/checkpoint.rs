@@ -724,8 +724,8 @@ mod tests {
             &[end_a as Word, end_b as Word],
         );
         let maxima = trace_live_maxima(&m, &[pair as Word]).expect("core frames are traceable");
-        // Highest live: the pair frame itself at offset 300 (4 words).
-        assert_eq!(maxima[0], 300 + 4);
+        // Highest live: the pair frame itself at offset 300.
+        assert_eq!(maxima[0], 300 + frame_words(2));
 
         // An unregistered capsule id makes tracing refuse.
         let rogue = pool.start + 400;
@@ -752,7 +752,7 @@ mod tests {
         let good = pool.start + 200;
         store_frame(m.mem(), good, def.id(), &[1, 0]);
         let maxima = trace_live_maxima(&m, &[good as Word]).expect("decodes");
-        assert_eq!(maxima[0], 200 + 4);
+        assert_eq!(maxima[0], 200 + frame_words(2));
     }
 
     #[test]

@@ -859,6 +859,21 @@ pub fn run_worker_with_clock(
         0,
     );
     let obs = machine.obs().clone();
+    // Causal span sidecar: each worker streams to its own
+    // `<trace>.shard<k>.spans.jsonl` with origin `shard + 1` baked into
+    // its span ids, so a capsule stolen or adopted into this shard still
+    // links back to its forker's span in another shard's file.
+    if let Some(base) = Obs::trace_file_from_env() {
+        let spath = ppm_obs::SpanSink::shard_path_for(&base, shard);
+        if let Ok(sink) = ppm_obs::SpanSink::create(
+            &spath,
+            shard as u32 + 1,
+            machine.epoch(),
+            machine.epoch() >= 2,
+        ) {
+            obs.set_span_sink(std::sync::Arc::new(sink));
+        }
+    }
     obs.tracer()
         .record_with(TraceKind::RunStart, Some(shard as u32), None, || {
             format!("worker attached; own procs {:?}", domain.own_procs())
@@ -941,7 +956,7 @@ pub fn run_worker_with_clock(
     if let Some(base) = Obs::trace_file_from_env() {
         let _ = obs
             .tracer()
-            .flush_jsonl(format!("{}.shard{shard}", base.display()));
+            .flush_jsonl(ppm_obs::shard_trace_path(&base, shard));
     }
 
     let summary = ClusterSummary {
@@ -1145,10 +1160,18 @@ impl ClusterObserver {
     }
 
     /// Flushes, and records a clean shutdown when the run completed.
+    /// With `PPM_TRACE_FILE` set, also flushes the coordinator's event
+    /// ring and writes the `<trace>.manifest` naming every trace
+    /// artifact of the run (coordinator + per-shard families) for
+    /// `ppm-trace`.
     pub fn finish(&self) -> io::Result<()> {
         self.machine.flush()?;
         if self.is_done() {
             self.machine.mark_clean()?;
+        }
+        if let Some(path) = Obs::trace_file_from_env() {
+            let _ = self.machine.obs().tracer().flush_jsonl(&path);
+            write_trace_manifest(&path, self.map.shards);
         }
         Ok(())
     }
@@ -1348,7 +1371,8 @@ pub fn run_coordinator(
         },
     );
     if let Some(path) = Obs::trace_file_from_env() {
-        let _ = obs.tracer().flush_jsonl(path);
+        let _ = obs.tracer().flush_jsonl(&path);
+        write_trace_manifest(&path, map.shards);
     }
     Ok(SessionReport {
         epoch: machine.epoch(),
@@ -1371,6 +1395,32 @@ pub fn run_coordinator(
             checkpoints: Default::default(),
         }),
     })
+}
+
+/// Writes `<trace>.manifest`: one line per trace artifact of the run —
+/// the coordinator's ring file and span sidecar, then each shard's —
+/// in the plain-text format [`ppm_obs::expand_manifest`] reads (paths
+/// relative to the manifest's own directory; `#` comments). Members that
+/// were never written (a worker SIGKILLed before its ring flush) are
+/// listed anyway: expansion skips absent files, and the span sidecars
+/// are streamed per-line so they survive exactly such kills.
+#[cfg(unix)]
+fn write_trace_manifest(base: &std::path::Path, shards: usize) {
+    let mut lines = vec!["# ppm trace manifest (consumed by ppm-trace)".to_string()];
+    let mut push = |p: std::path::PathBuf| {
+        if let Some(n) = p.file_name() {
+            lines.push(n.to_string_lossy().into_owned());
+        }
+    };
+    push(base.to_path_buf());
+    push(ppm_obs::SpanSink::path_for(base));
+    for s in 0..shards {
+        push(ppm_obs::shard_trace_path(base, s));
+        push(ppm_obs::SpanSink::shard_path_for(base, s));
+    }
+    let mut os = base.as_os_str().to_os_string();
+    os.push(".manifest");
+    let _ = std::fs::write(std::path::PathBuf::from(os), lines.join("\n") + "\n");
 }
 
 // ====================================================================
@@ -1405,6 +1455,16 @@ pub fn recover(path: impl AsRef<std::path::Path>, build: &ShardBuild) -> io::Res
             )
         })?;
     let map = ShardMap::new(machine.procs(), header.shards as usize);
+    // Recovery appends to the coordinator-side span sidecar: the epoch
+    // bits in its span ids keep them disjoint from the crashed epoch's,
+    // and re-executed capsules resolve their parents from the persistent
+    // frame words — the recovery-resume causal edge.
+    if let Some(base) = Obs::trace_file_from_env() {
+        let spath = ppm_obs::SpanSink::path_for(&base);
+        if let Ok(sink) = ppm_obs::SpanSink::create(&spath, 0, machine.epoch(), true) {
+            machine.obs().set_span_sink(std::sync::Arc::new(sink));
+        }
+    }
     let session = build_session(
         &machine,
         map,
@@ -1488,6 +1548,10 @@ pub fn recover(path: impl AsRef<std::path::Path>, build: &ShardBuild) -> io::Res
     );
     let run = run_attached_seats(&machine, &session.sched, seats, session.done, &ctl);
     machine.flush()?;
+    if let Some(base) = Obs::trace_file_from_env() {
+        let _ = machine.obs().tracer().flush_jsonl(&base);
+        write_trace_manifest(&base, map.shards);
+    }
 
     let dead = (0..map.shards).collect();
     Ok(SessionReport {

@@ -227,6 +227,24 @@ impl Runtime {
         ppm_obs::Obs::metrics_port_from_env().and_then(|p| self.machine.obs().serve(p).ok())
     }
 
+    /// Session prologue shared by both entry points: when `PPM_TRACE_FILE`
+    /// asks for a trace, open the causal span sidecar
+    /// (`<trace>.spans.jsonl`) and hand it to the machine's [`ppm_obs::Obs`]
+    /// so every processor context streams span records. Origin 0 is the
+    /// coordinator / single-process run; epoch bits keep a recovery run's
+    /// span ids disjoint from the crashed run's persisted parent words, and
+    /// recovery *appends* so one file carries the whole multi-epoch story.
+    fn attach_span_sink(&self) {
+        if let Some(base) = ppm_obs::Obs::trace_file_from_env() {
+            let path = ppm_obs::SpanSink::path_for(&base);
+            if let Ok(sink) =
+                ppm_obs::SpanSink::create(&path, 0, self.machine.epoch(), self.is_recovery())
+            {
+                self.machine.obs().set_span_sink(std::sync::Arc::new(sink));
+            }
+        }
+    }
+
     /// Session epilogue shared by both entry points: close the event
     /// trace (RunEnd, sidecar flush per `PPM_TRACE_FILE`) and embed its
     /// summary in the report.
@@ -280,6 +298,7 @@ impl Runtime {
     /// the [module docs](self)).
     pub fn run_or_recover(&self, pcomp: &PComp) -> SessionReport {
         let _metrics = self.auto_metrics();
+        self.attach_span_sink();
         self.machine
             .obs()
             .tracer()
@@ -313,6 +332,7 @@ impl Runtime {
     /// should prefer [`Runtime::run_or_recover`]).
     pub fn run_or_replay(&self, comp: &Comp) -> SessionReport {
         let _metrics = self.auto_metrics();
+        self.attach_span_sink();
         self.machine
             .obs()
             .tracer()

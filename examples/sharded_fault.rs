@@ -179,6 +179,16 @@ mod scenario {
         let metrics_port = ppm::obs::Obs::metrics_port_from_env();
         let _metrics = metrics_port.and_then(|p| observer.serve_metrics(p));
 
+        // Each attempt is a fresh machine file: clear the previous
+        // attempt's span sidecars so a recovery-appended coordinator file
+        // can't leak stale spans into this attempt's DAG.
+        if let Some(base) = ppm::obs::Obs::trace_file_from_env() {
+            let _ = std::fs::remove_file(ppm::obs::SpanSink::path_for(&base));
+            for s in 0..shards {
+                let _ = std::fs::remove_file(ppm::obs::SpanSink::shard_path_for(&base, s));
+            }
+        }
+
         let exe = std::env::current_exe().expect("current_exe");
         let mut children: Vec<std::process::Child> = (0..shards)
             .map(|s| {
@@ -265,7 +275,7 @@ mod scenario {
         }
         done = done && observer.is_done();
 
-        let outcome = if done {
+        let mut outcome = if done {
             let summary = observer.summary();
             observer.finish().expect("flush + mark clean");
             let adopted = summary.adopted();
@@ -330,7 +340,66 @@ mod scenario {
             assert_eq!(got, expect, "shard {s} output must be its sorted slice");
         }
         println!("all {shards} slices sorted exactly-once");
+
+        // Causal-trace acceptance gate (active when PPM_TRACE_FILE is
+        // set): the span sidecars must reconstruct into a *complete* DAG
+        // — every stolen or adopted capsule's parent resolves across the
+        // per-shard files — and the analyzer must see the fault: a kill
+        // replays work (wasted ratio > 0), a crash-free run wastes
+        // nothing. A kill can land with both victim processors parked
+        // between traced capsules (nothing measurably replayed); such an
+        // attempt proves nothing about waste attribution, so it retries
+        // like a kill-before-adoption does.
+        if let Some(waste_shown) = verify_trace(shards, killed) {
+            if !waste_shown {
+                println!("kill landed between traced capsules (no measurable waste); retrying");
+                outcome.adopted = false;
+                outcome.recovered = false;
+            }
+        }
         outcome
+    }
+
+    /// Reconstructs the capsule DAG from every span sidecar this run
+    /// wrote and checks it end-to-end. Returns `None` when tracing is
+    /// off, otherwise whether fault waste matched expectation (`killed`
+    /// runs must show waste; crash-free runs must show exactly zero —
+    /// the latter is a hard assert, since no schedule can fake waste).
+    fn verify_trace(shards: usize, killed: bool) -> Option<bool> {
+        let base = ppm::obs::Obs::trace_file_from_env()?;
+        let mut set = ppm::obs::TraceSet::default();
+        let coord = ppm::obs::SpanSink::path_for(&base);
+        if coord.exists() {
+            set.ingest_file(&coord).expect("ingest recovery span file");
+        }
+        for s in 0..shards {
+            let p = ppm::obs::SpanSink::shard_path_for(&base, s);
+            if p.exists() {
+                set.ingest_file(&p).expect("ingest shard span file");
+            }
+        }
+        let a = set.analyze();
+        println!(
+            "trace DAG: {} spans ({} interrupted), W={} D={} parallelism={:.2}x wasted={:.2}%",
+            a.spans_total,
+            a.interrupted,
+            a.work,
+            a.depth,
+            a.parallelism,
+            a.wasted_ratio * 100.0,
+        );
+        assert!(a.spans_total > 0, "span sidecars must not be empty");
+        assert_eq!(
+            a.unresolved_parents, 0,
+            "every stolen/adopted span must link to its forker across shard files"
+        );
+        assert!(a.depth > 0 && a.work >= a.depth);
+        if killed {
+            Some(a.wasted_ratio > 0.0)
+        } else {
+            assert_eq!(a.wasted_ratio, 0.0, "crash-free run must waste nothing");
+            Some(true)
+        }
     }
 
     /// One scrape of the parent's aggregate exporter.
