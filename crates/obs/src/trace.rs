@@ -40,10 +40,16 @@ pub enum TraceKind {
     Checkpoint,
     /// A recovery path executed (resume, checkpoint-resume, replay).
     Recovery,
+    /// A job was published into the service injector ring.
+    JobSubmitted,
+    /// A worker's claim CAM won a published injector slot.
+    JobClaimed,
+    /// A job's done frame committed (exactly-once completion).
+    JobDone,
 }
 
 /// All kinds, in stable order (indexes the per-kind counters).
-const KINDS: [TraceKind; 10] = [
+const KINDS: [TraceKind; 13] = [
     TraceKind::RunStart,
     TraceKind::RunEnd,
     TraceKind::Epoch,
@@ -54,6 +60,9 @@ const KINDS: [TraceKind; 10] = [
     TraceKind::ShardDead,
     TraceKind::Checkpoint,
     TraceKind::Recovery,
+    TraceKind::JobSubmitted,
+    TraceKind::JobClaimed,
+    TraceKind::JobDone,
 ];
 
 impl TraceKind {
@@ -70,6 +79,9 @@ impl TraceKind {
             TraceKind::ShardDead => "shard_dead",
             TraceKind::Checkpoint => "checkpoint",
             TraceKind::Recovery => "recovery",
+            TraceKind::JobSubmitted => "job_submitted",
+            TraceKind::JobClaimed => "job_claimed",
+            TraceKind::JobDone => "job_done",
         }
     }
 

@@ -26,6 +26,7 @@ use super::superblock::{
 use super::MemBackend;
 use crate::dirty::PageRun;
 use crate::lease::{lease_slot_offset, ClusterHeader, Lease, CLUSTER_HEADER_OFFSET};
+use crate::service::ServiceHeader;
 
 mod sys {
     use std::ffi::c_void;
@@ -418,6 +419,31 @@ impl MemBackend for MmapBackend {
     fn read_lease(&self, shard: usize) -> Option<Lease> {
         let words: [u64; 4] = self.read_sb_words(lease_slot_offset(shard));
         Lease::decode(&words)
+    }
+
+    fn write_service_header(&self, header: &ServiceHeader) -> io::Result<bool> {
+        self.write_sb_words(crate::service::SERVICE_HEADER_OFFSET, &header.encode());
+        // Written by the coordinator/service handle only (single writer);
+        // synced like the cluster header so a machine failure cannot
+        // orphan a service file without its ring geometry.
+        self.msync_range(0, SUPERBLOCK_BYTES)?;
+        Ok(true)
+    }
+
+    fn read_service_header(&self) -> Option<ServiceHeader> {
+        let words: [u64; 8] = self.read_sb_words(crate::service::SERVICE_HEADER_OFFSET);
+        ServiceHeader::decode(&words)
+    }
+
+    fn write_quiesce_word(&self, byte_off: usize, val: u64) {
+        use std::sync::atomic::Ordering;
+        // Coordination traffic like leases: no msync.
+        self.sb_word(byte_off).store(val, Ordering::SeqCst);
+    }
+
+    fn read_quiesce_word(&self, byte_off: usize) -> u64 {
+        use std::sync::atomic::Ordering;
+        self.sb_word(byte_off).load(Ordering::SeqCst)
     }
 
     fn kind(&self) -> &'static str {

@@ -29,6 +29,7 @@ use std::sync::atomic::AtomicU64;
 
 use crate::dirty::PageRun;
 use crate::lease::{ClusterHeader, Lease};
+use crate::service::ServiceHeader;
 
 pub mod superblock;
 pub mod volatile;
@@ -141,6 +142,31 @@ pub trait MemBackend: Send + Sync + Debug {
     /// torn (mid-rewrite) read — callers keep their previous view.
     fn read_lease(&self, _shard: usize) -> Option<Lease> {
         None
+    }
+
+    /// Durably writes the service header describing a job-service run
+    /// (see [`crate::service`]). Returns `false` when the backend cannot
+    /// carry service state.
+    fn write_service_header(&self, _header: &ServiceHeader) -> io::Result<bool> {
+        Ok(false)
+    }
+
+    /// The service header, if one was written and is not torn.
+    fn read_service_header(&self) -> Option<ServiceHeader> {
+        None
+    }
+
+    /// Writes one raw checkpoint-quiesce word (see
+    /// [`crate::service::QUIESCE_REQ_OFFSET`] and friends). Quiesce
+    /// words are coordination traffic like leases: shared-page visible
+    /// immediately, never synced. No-op for backends without a
+    /// superblock page.
+    fn write_quiesce_word(&self, _byte_off: usize, _val: u64) {}
+
+    /// Reads one raw checkpoint-quiesce word (0 for backends without a
+    /// superblock page — quiesce never triggers there).
+    fn read_quiesce_word(&self, _byte_off: usize) -> u64 {
+        0
     }
 
     /// Short human-readable backend name for diagnostics.

@@ -6,6 +6,7 @@ use parking_lot::Mutex;
 
 use super::MemBackend;
 use crate::lease::{ClusterHeader, Lease, MAX_SHARDS};
+use crate::service::{ServiceHeader, QUIESCE_ACK_OFFSET};
 
 /// Word storage on the process heap. Survives simulated (model-level)
 /// faults, which never actually kill the process; lost on process exit.
@@ -19,6 +20,10 @@ pub struct VolatileBackend {
     words: Box<[AtomicU64]>,
     cluster: Mutex<Option<ClusterHeader>>,
     leases: Mutex<[Option<Lease>; MAX_SHARDS]>,
+    service: Mutex<Option<ServiceHeader>>,
+    /// In-memory mirror of the superblock-page quiesce words (bytes
+    /// 832..1024), indexed by `(byte_off - QUIESCE_ACK_OFFSET) / 8`.
+    quiesce: [AtomicU64; 24],
 }
 
 impl VolatileBackend {
@@ -30,7 +35,17 @@ impl VolatileBackend {
             words: v.into_boxed_slice(),
             cluster: Mutex::new(None),
             leases: Mutex::new([None; MAX_SHARDS]),
+            service: Mutex::new(None),
+            quiesce: std::array::from_fn(|_| AtomicU64::new(0)),
         }
+    }
+
+    fn quiesce_slot(&self, byte_off: usize) -> &AtomicU64 {
+        let idx = byte_off
+            .checked_sub(QUIESCE_ACK_OFFSET)
+            .expect("quiesce offset below the quiesce region")
+            / 8;
+        &self.quiesce[idx]
     }
 }
 
@@ -61,6 +76,25 @@ impl MemBackend for VolatileBackend {
 
     fn read_lease(&self, shard: usize) -> Option<Lease> {
         self.leases.lock()[shard]
+    }
+
+    fn write_service_header(&self, header: &ServiceHeader) -> std::io::Result<bool> {
+        *self.service.lock() = Some(*header);
+        Ok(true)
+    }
+
+    fn read_service_header(&self) -> Option<ServiceHeader> {
+        *self.service.lock()
+    }
+
+    fn write_quiesce_word(&self, byte_off: usize, val: u64) {
+        self.quiesce_slot(byte_off)
+            .store(val, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    fn read_quiesce_word(&self, byte_off: usize) -> u64 {
+        self.quiesce_slot(byte_off)
+            .load(std::sync::atomic::Ordering::SeqCst)
     }
 
     fn kind(&self) -> &'static str {

@@ -53,7 +53,7 @@ pub const CLUSTER_MAGIC: u64 = u64::from_le_bytes(*b"PPMCLST1");
 
 const HEADER_WORDS: usize = 6; // magic, shards, lease_ms, deque_slots, seed, checksum
 
-fn fnv1a(words: &[u64]) -> u64 {
+pub(crate) fn fnv1a(words: &[u64]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     for w in words {
         for b in w.to_le_bytes() {

@@ -55,6 +55,7 @@ pub mod layout;
 pub mod lease;
 pub mod mem;
 pub mod proc;
+pub mod service;
 pub mod stats;
 pub mod tempfile;
 pub mod validate;
@@ -76,6 +77,7 @@ pub use layout::{LayoutBuilder, Region};
 pub use lease::{now_ms, ClusterHeader, Lease, LeaseState, ShardMap, MAX_SHARDS};
 pub use mem::{DirtyFlush, PersistentMemory};
 pub use proc::ProcCtx;
+pub use service::{ServiceHeader, ServiceState, SlotPhase};
 pub use stats::{MemStats, StatsSnapshot};
 pub use tempfile::TempMachineFile;
 pub use word::{Addr, Word};

@@ -1,0 +1,329 @@
+//! Service-mode persistent state: the durable injector-queue header and
+//! the cross-process checkpoint-quiesce words.
+//!
+//! A *service* run (`ppm-sched`'s `cluster::ClusterBuilder` with
+//! `.service(true)`) keeps a cluster's worker shards alive indefinitely,
+//! feeding them jobs through a durable MPMC **injector ring** in the
+//! ordinary persistent word array. The once-written [`ServiceHeader`]
+//! lives in the superblock page beside the lease table (same FNV-1a
+//! checksum-last discipline as [`crate::lease`]) and records where the
+//! ring and its per-slot frame workspaces sit, so any attaching process
+//! finds the queue from the machine file alone.
+//!
+//! ## Superblock-page real estate
+//!
+//! The lease slots end at byte 768 and the checkpoint slots begin at
+//! 1024; service state fills the gap:
+//!
+//! ```text
+//!   768..832    ServiceHeader (8 checksummed words, coordinator-written)
+//!   832..960    per-shard checkpoint-quiesce ACK words (MAX_SHARDS)
+//!   960..968    quiesce REQ word (seq << 16 | performer shard)
+//!   968..976    quiesce REL word (seq)
+//! ```
+//!
+//! The quiesce words are raw single-writer words, not checksummed
+//! records: REQ is written only by the coordinator, ACK\[s\] only by
+//! shard `s`, REL only by the performer shard — a torn read of a
+//! monotone counter is impossible on aligned atomic words.
+//!
+//! ## The slot state word
+//!
+//! Each ring slot's first control word encodes the slot's lifecycle
+//! phase, a 16-bit *claim epoch*, and the claimant processor:
+//!
+//! ```text
+//!   bits 61..64  phase (EMPTY → STAGING → PUBLISHED → CLAIMED →
+//!                RUNNING → DONE → EMPTY)
+//!   bits 32..48  claim epoch (bumped by every rescue/reclaim, so every
+//!                transition CAM has a distinct expected value — the
+//!                ABA guard of the claim protocol)
+//!   bits  0..32  claimant processor (meaningful in CLAIMED/RUNNING)
+//! ```
+//!
+//! A zero word is `⟨EMPTY, epoch 0⟩`, matching the zero-initialized
+//! word array, so a fresh ring needs no formatting pass.
+
+use crate::lease::{fnv1a, MAX_SHARDS};
+use crate::word::Word;
+
+/// Byte offset of the service header inside the superblock page (right
+/// after the last lease slot).
+pub const SERVICE_HEADER_OFFSET: usize = 768;
+
+/// Byte offset of the first per-shard quiesce ACK word.
+pub const QUIESCE_ACK_OFFSET: usize = 832;
+
+/// Byte offset of the quiesce request word (`seq << 16 | performer`).
+pub const QUIESCE_REQ_OFFSET: usize = 960;
+
+/// Byte offset of the quiesce release word (`seq`).
+pub const QUIESCE_REL_OFFSET: usize = 968;
+
+/// `b"PPMSVC01"` as a little-endian word: the service-header magic.
+pub const SERVICE_MAGIC: u64 = u64::from_le_bytes(*b"PPMSVC01");
+
+const SERVICE_HEADER_WORDS: usize = 8;
+
+/// Control words per injector-ring slot: `state, ticket, entry,
+/// checksum` (checksum covers ticket and entry — the persist half of the
+/// two-phase submit, verified by pullers before the claim CAM).
+pub const SLOT_CTL_WORDS: usize = 4;
+
+/// Words of the injector ring for `slots` slots: one ticket-counter word
+/// plus the per-slot control words.
+pub const fn ring_words(slots: usize) -> usize {
+    1 + slots * SLOT_CTL_WORDS
+}
+
+/// Byte offset of shard `s`'s quiesce ACK word.
+///
+/// # Panics
+/// Panics if `s >= MAX_SHARDS`.
+pub fn quiesce_ack_offset(s: usize) -> usize {
+    assert!(s < MAX_SHARDS, "shard {s} exceeds MAX_SHARDS {MAX_SHARDS}");
+    QUIESCE_ACK_OFFSET + s * 8
+}
+
+/// Packs a quiesce request word from a sequence number and the shard
+/// elected to perform the checkpoint.
+pub fn pack_quiesce_req(seq: u64, performer: usize) -> u64 {
+    (seq << 16) | performer as u64
+}
+
+/// Unpacks a quiesce request word into `(seq, performer)`.
+pub fn unpack_quiesce_req(w: u64) -> (u64, usize) {
+    (w >> 16, (w & 0xFFFF) as usize)
+}
+
+// ====================================================================
+// Slot state word
+// ====================================================================
+
+/// Lifecycle phase of an injector-ring slot (bits 61..64 of its state
+/// word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum SlotPhase {
+    /// Free for a submitter to stage into.
+    Empty = 0,
+    /// A submitter won the slot and is writing the job (invisible to
+    /// pullers; reclaimed only by quiescent service recovery if the
+    /// submitter crashes mid-write).
+    Staging = 1,
+    /// Fully persisted and visible: pullers may claim.
+    Published = 2,
+    /// A puller's claim CAM won; the claimant installs the entry frame
+    /// next. Rescuable (republished at epoch + 1) if the claimant dies
+    /// before reaching `Running`.
+    Claimed = 3,
+    /// The claimant's entry chain started the job. Completion flows
+    /// through the job's done frame; a dead claimant's chain is adopted
+    /// through the ordinary Figure 3 steal protocol.
+    Running = 4,
+    /// The job completed exactly-once (the done frame's CAM). Awaiting
+    /// the submitter's reclaim back to `Empty`.
+    Done = 5,
+}
+
+impl SlotPhase {
+    /// Decodes a phase code; `None` for the two unused encodings.
+    pub fn from_code(code: u64) -> Option<SlotPhase> {
+        match code {
+            0 => Some(SlotPhase::Empty),
+            1 => Some(SlotPhase::Staging),
+            2 => Some(SlotPhase::Published),
+            3 => Some(SlotPhase::Claimed),
+            4 => Some(SlotPhase::Running),
+            5 => Some(SlotPhase::Done),
+            _ => None,
+        }
+    }
+}
+
+/// Packs a slot state word from phase, claim epoch, and claimant.
+pub fn slot_state(phase: SlotPhase, epoch: u64, claimant: usize) -> Word {
+    ((phase as u64) << 61) | ((epoch & 0xFFFF) << 32) | (claimant as u64 & 0xFFFF_FFFF)
+}
+
+/// The phase of a slot state word (`None` for corrupt codes).
+pub fn slot_phase(w: Word) -> Option<SlotPhase> {
+    SlotPhase::from_code(w >> 61)
+}
+
+/// The claim epoch of a slot state word.
+pub fn slot_epoch(w: Word) -> u64 {
+    (w >> 32) & 0xFFFF
+}
+
+/// The claimant processor of a slot state word.
+pub fn slot_claimant(w: Word) -> usize {
+    (w & 0xFFFF_FFFF) as usize
+}
+
+/// The checksum word guarding a slot's `(ticket, entry)` pair — the
+/// persist half of the two-phase submit.
+pub fn slot_checksum(ticket: Word, entry: Word) -> Word {
+    fnv1a(&[ticket, entry])
+}
+
+// ====================================================================
+// Service header
+// ====================================================================
+
+/// Accept-state of the service (the header's state word; written only by
+/// the coordinator/service handle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum ServiceState {
+    /// Accepting submissions.
+    Accepting = 1,
+    /// Draining: no new submissions; in-flight jobs run to completion.
+    Draining = 2,
+    /// Stopped: workers should exit once their deques empty.
+    Stopped = 3,
+}
+
+impl ServiceState {
+    fn from_word(w: u64) -> Option<ServiceState> {
+        match w {
+            1 => Some(ServiceState::Accepting),
+            2 => Some(ServiceState::Draining),
+            3 => Some(ServiceState::Stopped),
+            _ => None,
+        }
+    }
+}
+
+/// The once-written description of a service run: where the injector
+/// ring and the per-slot frame workspaces live in the word array, plus
+/// the service's accept state. Presence of a valid header is what marks
+/// a cluster file as a *service* — attaching workers switch on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceHeader {
+    /// Accept-state of the service.
+    pub state: ServiceState,
+    /// Ring slots (concurrent in-flight job bound).
+    pub slots: u64,
+    /// Words per per-slot frame workspace (submitters build job frames
+    /// there with slot-exclusive ownership).
+    pub job_words: u64,
+    /// Word address of the ring (ticket counter + slot control words).
+    pub ring_base: u64,
+    /// Word address of the first slot workspace.
+    pub workspace_base: u64,
+}
+
+impl ServiceHeader {
+    /// Serializes into [`ServiceHeader::words`] checksummed words.
+    pub fn encode(&self) -> [u64; SERVICE_HEADER_WORDS] {
+        let mut w = [
+            SERVICE_MAGIC,
+            self.state as u64,
+            self.slots,
+            self.job_words,
+            self.ring_base,
+            self.workspace_base,
+            0, // reserved
+            0,
+        ];
+        w[SERVICE_HEADER_WORDS - 1] = fnv1a(&w[..SERVICE_HEADER_WORDS - 1]);
+        w
+    }
+
+    /// Parses checksummed words; `None` for a blank or torn header.
+    pub fn decode(words: &[u64]) -> Option<Self> {
+        if words.len() < SERVICE_HEADER_WORDS || words[0] != SERVICE_MAGIC {
+            return None;
+        }
+        if words[SERVICE_HEADER_WORDS - 1] != fnv1a(&words[..SERVICE_HEADER_WORDS - 1]) {
+            return None;
+        }
+        Some(ServiceHeader {
+            state: ServiceState::from_word(words[1])?,
+            slots: words[2],
+            job_words: words[3],
+            ring_base: words[4],
+            workspace_base: words[5],
+        })
+    }
+
+    /// Number of header words (for backends sizing their reads).
+    pub const fn words() -> usize {
+        SERVICE_HEADER_WORDS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips_and_rejects_tears() {
+        let h = ServiceHeader {
+            state: ServiceState::Accepting,
+            slots: 32,
+            job_words: 64,
+            ring_base: 4096,
+            workspace_base: 8192,
+        };
+        let mut w = h.encode();
+        assert_eq!(ServiceHeader::decode(&w), Some(h));
+        w[4] ^= 1; // tear the ring base
+        assert_eq!(ServiceHeader::decode(&w), None);
+        assert_eq!(ServiceHeader::decode(&[0u64; SERVICE_HEADER_WORDS]), None);
+    }
+
+    #[test]
+    fn slot_state_round_trips() {
+        for phase in [
+            SlotPhase::Empty,
+            SlotPhase::Staging,
+            SlotPhase::Published,
+            SlotPhase::Claimed,
+            SlotPhase::Running,
+            SlotPhase::Done,
+        ] {
+            let w = slot_state(phase, 0x1234, 7);
+            assert_eq!(slot_phase(w), Some(phase));
+            assert_eq!(slot_epoch(w), 0x1234);
+            assert_eq!(slot_claimant(w), 7);
+        }
+        // The zero word is a pristine EMPTY slot.
+        assert_eq!(slot_phase(0), Some(SlotPhase::Empty));
+        assert_eq!(slot_epoch(0), 0);
+    }
+
+    #[test]
+    fn distinct_claimants_give_distinct_claim_words() {
+        // The claim protocol's no-identical-CAM property: two pullers
+        // racing for the same PUBLISHED slot propose different words.
+        let a = slot_state(SlotPhase::Claimed, 3, 1);
+        let b = slot_state(SlotPhase::Claimed, 3, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn service_state_fits_in_superblock_gap() {
+        const {
+            assert!(SERVICE_HEADER_OFFSET >= 768);
+            assert!(SERVICE_HEADER_OFFSET + SERVICE_HEADER_WORDS * 8 <= QUIESCE_ACK_OFFSET);
+            assert!(QUIESCE_ACK_OFFSET + MAX_SHARDS * 8 <= QUIESCE_REQ_OFFSET);
+            assert!(QUIESCE_REL_OFFSET + 8 <= 1024);
+        }
+        assert_eq!(quiesce_ack_offset(MAX_SHARDS - 1), 952);
+    }
+
+    #[test]
+    fn quiesce_req_round_trips() {
+        let w = pack_quiesce_req(99, 5);
+        assert_eq!(unpack_quiesce_req(w), (99, 5));
+    }
+
+    #[test]
+    fn slot_checksum_detects_torn_pairs() {
+        let c = slot_checksum(7, 4096);
+        assert_ne!(c, slot_checksum(8, 4096));
+        assert_ne!(c, slot_checksum(7, 4097));
+    }
+}

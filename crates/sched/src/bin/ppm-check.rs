@@ -132,6 +132,18 @@ fn main() {
                 &args,
                 true,
             );
+            ok &= check(
+                "steal-drop-rescue",
+                &StealModel::mutated(StealMutation::DropRescue),
+                &args,
+                true,
+            );
+            ok &= check(
+                "steal-rescue-completed",
+                &StealModel::mutated(StealMutation::RescueCompleted),
+                &args,
+                true,
+            );
         }
         if run_lease {
             ok &= check("lease-drop-tombstone", &LeaseModel::mutated(), &args, true);
@@ -142,6 +154,7 @@ fn main() {
     } else {
         if run_steal {
             ok &= check("steal", &StealModel::default(), &args, false);
+            ok &= check("steal-injector", &StealModel::with_injector(), &args, false);
         }
         if run_lease {
             ok &= check("lease", &LeaseModel::default(), &args, false);

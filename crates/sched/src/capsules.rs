@@ -66,6 +66,14 @@ pub enum VictimStrategy {
     /// both rebalances fastest and spreads thieves across distinct
     /// deep deques instead of hammering one victim at high P.
     LeastLoaded,
+    /// Prefer victims in the thief's own shard (same process — steals
+    /// resolve through the shared continuation arena, no frame
+    /// rehydration), escalating to sibling shards only when no own-shard
+    /// deque shows depth. Meaningful under live-shard stealing
+    /// ([`crate::cluster::ShardDomain::set_live_stealing`]); without a
+    /// domain every processor is equally local and this degrades to
+    /// [`VictimStrategy::LeastLoaded`].
+    LocalityFirst,
 }
 
 impl VictimStrategy {
@@ -78,6 +86,7 @@ impl VictimStrategy {
             VictimStrategy::Random => 0u64,
             VictimStrategy::RoundRobin => 1,
             VictimStrategy::LeastLoaded => 2,
+            VictimStrategy::LocalityFirst => 3,
         };
         (seed & !(0b11 << 62)) | (code << 62)
     }
@@ -88,7 +97,18 @@ impl VictimStrategy {
         match seed >> 62 {
             1 => VictimStrategy::RoundRobin,
             2 => VictimStrategy::LeastLoaded,
+            3 => VictimStrategy::LocalityFirst,
             _ => VictimStrategy::Random,
+        }
+    }
+
+    /// Stable label for per-strategy metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            VictimStrategy::Random => "random",
+            VictimStrategy::RoundRobin => "round_robin",
+            VictimStrategy::LeastLoaded => "least_loaded",
+            VictimStrategy::LocalityFirst => "locality_first",
         }
     }
 }
@@ -178,6 +198,10 @@ pub struct Sched {
     /// Time from entering the steal loop to winning a steal, µs
     /// (registered as `ppm_steal_latency_us`).
     steal_latency: Histogram,
+    /// The same latency, labeled by the active victim-selection policy
+    /// (registered as `ppm_steal_latency_by_strategy_us`), so runs
+    /// comparing strategies can read each policy's curve from one scrape.
+    steal_latency_by_strategy: Histogram,
     /// Per-processor µs timestamp of the current steal-loop entry
     /// (0 = not in the loop). Ephemeral: only feeds the latency metric.
     steal_since: Vec<AtomicU64>,
@@ -193,6 +217,10 @@ pub struct Sched {
     /// `ppm_steal_backoff_us`; p99 surfaces as
     /// `ppm_steal_backoff_p99_us`).
     steal_backoff: Histogram,
+    /// Service-mode injector queue (see [`crate::service`]): an external
+    /// durable work source the steal loop consults before probing victim
+    /// deques. `None` for batch runs — the steal loop is unchanged.
+    injector: std::sync::OnceLock<Arc<crate::service::InjectorQueue>>,
 }
 
 /// Longest single backoff sleep, µs. Small enough that a saturated
@@ -248,6 +276,11 @@ impl Sched {
             "ppm_steal_latency_us",
             "time from entering the steal loop to winning a steal (microseconds)",
         );
+        let steal_latency_by_strategy = reg.histogram_with(
+            "ppm_steal_latency_by_strategy_us",
+            "steal-loop-entry-to-win latency per victim-selection policy (microseconds)",
+            &[("strategy", cfg.victim_strategy.name())],
+        );
         let steal_backoff = reg.histogram(
             "ppm_steal_backoff_us",
             "contention backoff sleeps applied before steal attempts (microseconds)",
@@ -279,12 +312,33 @@ impl Sched {
             steal_attempts,
             steals,
             steal_latency,
+            steal_latency_by_strategy,
             steal_since: (0..p).map(|_| AtomicU64::new(0)).collect(),
             strategy: cfg.victim_strategy,
             rr: (0..p).map(|_| AtomicU64::new(0)).collect(),
             contention: (0..p).map(|_| AtomicU64::new(0)).collect(),
             steal_backoff,
+            injector: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Attaches a service-mode injector queue. The steal loop consults it
+    /// (before probing victim deques) from the next attempt on; at most
+    /// one queue per scheduler, installed during session construction.
+    pub(crate) fn set_injector(&self, queue: Arc<crate::service::InjectorQueue>) {
+        self.injector
+            .set(queue)
+            .expect("injector queue installed twice");
+    }
+
+    /// The installed injector queue, if this is a service-mode scheduler.
+    pub(crate) fn injector(&self) -> Option<&Arc<crate::service::InjectorQueue>> {
+        self.injector.get()
+    }
+
+    /// The persistent word store this scheduler drives.
+    pub(crate) fn mem(&self) -> &Arc<PersistentMemory> {
+        &self.mem
     }
 
     /// Marks `me` as inside the steal loop (first attempt only), so a
@@ -306,6 +360,7 @@ impl Sched {
         if since != 0 {
             let lat = self.obs.tracer().now_us().saturating_sub(since);
             self.steal_latency.observe(lat);
+            self.steal_latency_by_strategy.observe(lat);
         }
         self.obs
             .tracer()
@@ -352,12 +407,22 @@ impl Sched {
             // probe, cycling every other processor before repeating.
             VictimStrategy::RoundRobin => self.rr[thief].fetch_add(1, Ordering::Relaxed),
             VictimStrategy::LeastLoaded => {
-                if let Some(v) = self.deepest_victim(thief) {
+                if let Some(v) = self.deepest_victim(thief, false) {
                     return Some(v);
                 }
                 // No candidate showed any depth (or sharded candidates are
                 // all remote): fall back to rotation so probes still cover
                 // everyone.
+                self.rr[thief].fetch_add(1, Ordering::Relaxed)
+            }
+            VictimStrategy::LocalityFirst => {
+                // Own-shard work first: shared-arena steals, no frame
+                // rehydration. Only when the home shard shows no depth
+                // does the rotation fall through to the domain walk,
+                // which spreads probes across sibling shards.
+                if let Some(v) = self.deepest_victim(thief, true) {
+                    return Some(v);
+                }
                 self.rr[thief].fetch_add(1, Ordering::Relaxed)
             }
         };
@@ -371,15 +436,19 @@ impl Sched {
         Some(if v >= thief { v + 1 } else { v })
     }
 
-    /// The in-process candidate whose deque is deepest right now, by an
-    /// uncosted ephemeral peek at the `bot` words (victim selection is a
-    /// probe heuristic, not part of the costed computation — like the
-    /// paper's uncosted random draw). `None` when every candidate is
-    /// empty, remote, or `P = 1`.
-    fn deepest_victim(&self, thief: usize) -> Option<usize> {
+    /// The candidate whose deque is deepest right now, by an uncosted
+    /// ephemeral peek at the `bot` words (victim selection is a probe
+    /// heuristic, not part of the costed computation — like the paper's
+    /// uncosted random draw). Sharded candidates span the own shard only
+    /// (`own_only`, the locality-first home pass, or any domain without
+    /// live stealing); with live stealing enabled the peek widens to
+    /// every processor, remote deque words being plainly readable through
+    /// the shared mapping. `None` when every candidate is empty or
+    /// `P = 1`.
+    fn deepest_victim(&self, thief: usize, own_only: bool) -> Option<usize> {
         let candidates: Box<dyn Iterator<Item = usize>> = match &self.domain {
-            Some(d) => Box::new(d.own_procs()),
-            None => Box::new(0..self.p),
+            Some(d) if own_only || !d.live_stealing() => Box::new(d.own_procs()),
+            _ => Box::new(0..self.p),
         };
         let mut best: Option<(u64, usize)> = None;
         for v in candidates {
@@ -593,7 +662,9 @@ impl Sched {
 
     /// One steal attempt: check for termination, pick a victim, read our
     /// own bottom entry reference, and enter the victim's `popTop`.
-    fn steal_attempt(self: &Arc<Self>, n: u64) -> Cont {
+    /// `pub(crate)` so the service-mode pull capsules can fall back into
+    /// the steal loop when a claim CAM loses.
+    pub(crate) fn steal_attempt(self: &Arc<Self>, n: u64) -> Cont {
         let s = self.clone();
         sched_capsule("sched/steal", move |ctx| {
             if s.done.read(ctx)? {
@@ -601,6 +672,16 @@ impl Sched {
             }
             let me = ctx.proc();
             s.note_steal_enter(me);
+            // Service mode: published injector jobs are root work — drain
+            // the durable queue before probing victim deques. The scan is
+            // an uncosted ephemeral peek (like victim selection); the
+            // claim itself is the costed read/CAM/check capsule chain in
+            // `crate::service`.
+            if let Some(inj) = s.injector.get() {
+                if let Some(slot) = inj.scan_published(me, n) {
+                    return Ok(Next::Jump(crate::service::pull_read(&s, slot, n)));
+                }
+            }
             s.backoff(me, n);
             let victim = match s.pick_victim(me, n) {
                 Some(v) => v,
@@ -703,8 +784,16 @@ impl Sched {
                 (_, EntryVal::Taken { .. }) => {
                     Ok(Next::Jump(s.help_pop_top(v, s.steal_attempt(n + 1))))
                 }
-                // Lines 44-49: a job; try to take it.
+                // Lines 44-49: a job; try to take it. A remote owner's
+                // job must be a rehydratable frame — its closures (live
+                // or dead) belong to another process — so the steal is
+                // gated exactly like local-entry adoption.
                 (tag, EntryVal::Job { handle }) => {
+                    if matches!(&s.domain, Some(d) if d.is_remote(v.owner))
+                        && !s.adoptable_handle(v.owner, handle)
+                    {
+                        return Ok(Next::Jump(s.steal_attempt(n + 1)));
+                    }
                     let new = pack(
                         tag.wrapping_add(1),
                         EntryVal::Taken {
@@ -774,8 +863,17 @@ impl Sched {
                 s.note_steal_win(me, v.owner, "job");
                 if let Some(d) = &s.domain {
                     if d.is_remote(v.owner) {
-                        d.note_adopted_job();
-                        s.note_adoption_event(me, v.owner, "job");
+                        if d.is_adoptable(d.shard_of(v.owner)) {
+                            // The owner's shard is dead: this is adoption
+                            // of an orphaned entry, the recovery path.
+                            d.note_adopted_job();
+                            s.note_adoption_event(me, v.owner, "job");
+                        } else {
+                            // The owner's shard is alive: a live-shard
+                            // steal — ordinary load balancing that
+                            // happens to cross a process boundary.
+                            d.note_live_steal();
+                        }
                     }
                 }
                 Ok(Next::JumpHandle(f))
@@ -1062,6 +1160,7 @@ mod tests {
             (VictimStrategy::Random, 0u64),
             (VictimStrategy::RoundRobin, 1),
             (VictimStrategy::LeastLoaded, 2),
+            (VictimStrategy::LocalityFirst, 3),
         ] {
             let seed = 0x0123_4567_89ab_cdef;
             let packed = st.pack_into_seed(seed);

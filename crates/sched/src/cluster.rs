@@ -42,13 +42,36 @@
 //!    bounded by the adopted shard's in-flight capsules — the same bound
 //!    hard-fault adoption has in-process.
 //!
-//! Live shards never steal from each other (victim selection stays
-//! inside the fault domain until the oracle declares a sibling dead);
-//! cross-process stealing between live shards is a ROADMAP follow-on.
+//! In **batch** runs, live shards never steal from each other (victim
+//! selection stays inside the fault domain until the oracle declares a
+//! sibling dead). **Service** runs turn live-shard stealing on
+//! ([`ShardDomain::set_live_stealing`]): victim selection spans live
+//! siblings too, because the same CAM steal protocol is already safe
+//! across processes — the only extra gate is that a *remote* `job`
+//! handle must be a rehydratable frame, exactly like adoption. Steals
+//! from live remote shards are counted separately
+//! (`ppm_live_steals_total`).
+//!
+//! ## Entry points: [`ClusterBuilder`]
+//!
+//! One builder replaces the old free functions (now thin deprecated
+//! shims):
+//!
+//! | old | new |
+//! |---|---|
+//! | `init(path, &cfg, &build)` | `ClusterBuilder::new(path).machine(pm).workers(n).init(&build)` |
+//! | `init_observed(path, &cfg, &build)` | `…​.observe(&build)` |
+//! | `run_coordinator(path, &cfg, &build, spawn)` | `…​.run(&build, spawn)` |
+//! | `Runtime::sharded(path, &cfg, &build, spawn)` | `…​.run(&build, spawn)` |
+//! | *(new)* service mode | `…​.service(true).spawn(&build, spawn)` → [`crate::ServiceHandle`] |
+//!
+//! Every other `ClusterConfig` knob has a matching builder method
+//! (`lease_ms`, `deque_slots`, `seed`, `victim_strategy`, `pool_words`,
+//! `deadline`, `checkpoint_every`, `service_config`).
 //!
 //! ## Work distribution and completion
 //!
-//! Without live cross-shard stealing, work reaches a shard by
+//! In a batch run, work reaches a shard by
 //! **planting**: the coordinator builds one sub-root per shard (the
 //! caller's [`ShardBuild`], e.g. "sort slice `s`") and plants it as a
 //! `job` entry on the shard's first deque — the same mechanism recovery
@@ -72,6 +95,15 @@
 //!   the ordinary resume/replay machinery.
 //! * The coordinator is only an observer after planting: if *it* dies,
 //!   the workers keep running and complete the computation on their own.
+//!
+//! ## Service mode
+//!
+//! `ClusterBuilder::…​.service(true).spawn(…)` skips root planting and
+//! instead writes a [`ppm_pm::ServiceHeader`]: the workers start idle
+//! and pull jobs from the durable injector queue (see [`crate::service`])
+//! for as long as the service accepts them, with live-shard stealing on
+//! and cross-process checkpoint quiesces paced by the coordinator
+//! (`checkpoint_every`).
 
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -84,12 +116,13 @@ use ppm_obs::{MetricsRegistry, MetricsServer, Obs, TraceKind};
 use ppm_pm::{Lease, LeaseState, PersistentMemory, Region, ShardMap, Word};
 
 use crate::capsules::{Sched, SchedConfig};
-use crate::checkpoint::{CheckpointCtl, CheckpointPolicy};
+use crate::checkpoint::{CheckpointCtl, CheckpointPolicy, QuiesceFollower};
 use crate::driver::{
     crash_forensics, harvest_frontier, plant_seeds, run_attached_seats, scrub_scheduler_state,
     FallbackReason, ProcOutcome, ProcSeat, RunReport, SessionMode, SessionReport,
 };
 use crate::entry::{pack, EntryVal};
+use crate::service::{InjectorQueue, ServiceConfig, ServiceHandle};
 
 /// Default lease validity window for worker heartbeats.
 pub const DEFAULT_LEASE_MS: u64 = 1500;
@@ -133,10 +166,15 @@ pub struct ShardDomain {
     blocked_adoptions: AtomicU64,
     /// Per-processor dedup for [`ShardDomain::note_blocked_adoption`].
     blocked_marked: Vec<AtomicBool>,
+    /// Live-shard stealing: when set, victim selection spans *live*
+    /// sibling shards too (service mode), not only dead ones.
+    live_stealing: AtomicBool,
+    live_steals: AtomicU64,
 }
 
 impl ShardDomain {
-    /// A domain for `shard` of `map` with no dead siblings yet.
+    /// A domain for `shard` of `map` with no dead siblings yet and
+    /// live-shard stealing off (batch semantics).
     pub fn new(map: ShardMap, shard: usize) -> Arc<Self> {
         assert!(shard < map.shards, "shard {shard} out of range");
         Arc::new(ShardDomain {
@@ -147,7 +185,31 @@ impl ShardDomain {
             adopted_locals: AtomicU64::new(0),
             blocked_adoptions: AtomicU64::new(0),
             blocked_marked: (0..map.procs()).map(|_| AtomicBool::new(false)).collect(),
+            live_stealing: AtomicBool::new(false),
+            live_steals: AtomicU64::new(0),
         })
+    }
+
+    /// Turns live-shard stealing on or off. Service runs set it before
+    /// driving any processor; batch runs leave it off, confining victim
+    /// selection to the fault domain until a sibling dies.
+    pub fn set_live_stealing(&self, on: bool) {
+        self.live_stealing.store(on, Ordering::Release);
+    }
+
+    /// Whether victim selection currently spans live sibling shards.
+    pub fn live_stealing(&self) -> bool {
+        self.live_stealing.load(Ordering::Acquire)
+    }
+
+    /// Successful steals of `job` entries from *live* sibling shards
+    /// (cross-process load balancing, not adoption).
+    pub fn live_steals(&self) -> u64 {
+        self.live_steals.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_live_steal(&self) {
+        self.live_steals.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The cluster's shard geometry.
@@ -247,6 +309,13 @@ impl ShardDomain {
             &[],
             move || d.adoptable_mask() as f64,
         );
+        let d = self.clone();
+        reg.counter_fn(
+            "ppm_live_steals_total",
+            "job entries stolen from live sibling shards (service-mode load balancing)",
+            &[],
+            move || d.live_steals(),
+        );
     }
 
     pub(crate) fn note_adopted_job(&self) {
@@ -267,20 +336,30 @@ impl ShardDomain {
         }
     }
 
+    /// Whether sibling `shard`'s processors are currently in the victim
+    /// set: declared dead (adoption), or any live sibling when
+    /// live-shard stealing is on (service mode).
+    fn in_victim_set(&self, shard: usize, live: bool) -> bool {
+        shard != self.shard && (self.is_adoptable(shard) || live)
+    }
+
     /// Victim selection over the domain: the own shard's other
-    /// processors, plus every processor of every shard declared dead.
-    /// Allocation-free — this runs on every steal attempt of every
-    /// spinning processor. Sound under concurrent `mark_adoptable`:
-    /// adoptable flags are sticky, so a shard appearing between the
-    /// count and the walk only widens the walk, and `idx` (bounded by
-    /// the counted total) still lands on a valid candidate.
+    /// processors, plus every processor of every shard declared dead —
+    /// plus every *live* sibling's processors when live-shard stealing
+    /// is on. Allocation-free — this runs on every steal attempt of
+    /// every spinning processor. Sound under concurrent
+    /// `mark_adoptable`/`set_live_stealing`: both flags are sticky for
+    /// the duration of a run, so a shard appearing between the count and
+    /// the walk only widens the walk, and `idx` (bounded by the counted
+    /// total) still lands on a valid candidate.
     pub(crate) fn pick_victim(&self, thief: usize, r: u64) -> Option<usize> {
         let own = self.own_procs();
         let own_candidates = own.len() - 1;
         let pps = self.map.procs_per_shard;
+        let live = self.live_stealing();
         let mut total = own_candidates;
         for s in 0..self.map.shards {
-            if s != self.shard && self.is_adoptable(s) {
+            if self.in_victim_set(s, live) {
                 total += pps;
             }
         }
@@ -294,7 +373,7 @@ impl ShardDomain {
         }
         idx -= own_candidates;
         for s in 0..self.map.shards {
-            if s != self.shard && self.is_adoptable(s) {
+            if self.in_victim_set(s, live) {
                 if idx < pps {
                     return Some(self.map.procs_of(s).start + idx);
                 }
@@ -336,6 +415,15 @@ pub struct ClusterConfig {
     /// killed and the session reports incomplete (callers then finish
     /// via [`recover`]).
     pub deadline: Duration,
+    /// Service mode: a durable injector queue of this shape is installed
+    /// in the machine file, root planting is skipped, and workers pull
+    /// jobs continuously (see [`crate::service`]). `None` = batch run.
+    pub service: Option<ServiceConfig>,
+    /// Cross-process checkpoint cadence: when set, the coordinator
+    /// periodically requests a cluster-wide quiesce (barrier in the
+    /// superblock) and the elected performer shard runs the checkpoint.
+    /// `None` = no cross-process checkpoints.
+    pub checkpoint_every: Option<Duration>,
 }
 
 impl ClusterConfig {
@@ -351,7 +439,21 @@ impl ClusterConfig {
             victim_strategy: crate::capsules::VictimStrategy::default(),
             pool_words: None,
             deadline: Duration::from_secs(300),
+            service: None,
+            checkpoint_every: None,
         }
+    }
+
+    /// Turns on service mode with the given injector-queue shape.
+    pub fn with_service(mut self, service: ServiceConfig) -> Self {
+        self.service = Some(service);
+        self
+    }
+
+    /// Sets the cross-process checkpoint cadence.
+    pub fn with_checkpoint_every(mut self, every: Duration) -> Self {
+        self.checkpoint_every = Some(every);
+        self
     }
 
     /// Sets the victim-selection policy.
@@ -397,6 +499,250 @@ impl ClusterConfig {
 }
 
 // ====================================================================
+// Builder — the one entry point
+// ====================================================================
+
+/// Builds every flavor of multi-process session over one machine file —
+/// the single entry point the old free functions ([`init`],
+/// [`init_observed`], [`run_coordinator`], `Runtime::sharded`) now
+/// deprecate into. Configure, then pick a terminal:
+///
+/// * [`ClusterBuilder::init`] — prepare the file, return nothing
+///   (external supervisor launches the workers);
+/// * [`ClusterBuilder::observe`] — prepare the file, return a
+///   [`ClusterObserver`] (custom coordinators, fault harnesses);
+/// * [`ClusterBuilder::run`] — batch: prepare, spawn workers, block to
+///   completion, return the [`SessionReport`];
+/// * [`ClusterBuilder::spawn`] — service: prepare with a durable
+///   injector queue, spawn workers, return a live
+///   [`crate::ServiceHandle`] to submit jobs against.
+///
+/// ```no_run
+/// # use ppm_sched::cluster::{ClusterBuilder, ShardBuild};
+/// # use std::sync::Arc;
+/// # let build: ShardBuild = Arc::new(|_m, _s, arrive| arrive);
+/// let report = ClusterBuilder::new("/tmp/run.ppm")
+///     .machine(ppm_pm::PmConfig::parallel(8, 1 << 22))
+///     .workers(4)
+///     .lease_ms(500)
+///     .run(&build, |shard| {
+///         let mut cmd = std::process::Command::new(std::env::current_exe().unwrap());
+///         cmd.arg("worker").arg(shard.to_string());
+///         cmd
+///     })?;
+/// # std::io::Result::Ok(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    path: std::path::PathBuf,
+    pm: Option<ppm_pm::PmConfig>,
+    shards: usize,
+    lease_ms: u64,
+    deque_slots: usize,
+    seed: u64,
+    victim_strategy: crate::capsules::VictimStrategy,
+    pool_words: Option<usize>,
+    deadline: Duration,
+    checkpoint_every: Option<Duration>,
+    service: bool,
+    service_config: ServiceConfig,
+}
+
+impl ClusterBuilder {
+    /// A builder over the machine file at `path` with one worker and
+    /// defaults everywhere else. The machine shape
+    /// ([`ClusterBuilder::machine`]) has no default — every terminal
+    /// requires it.
+    pub fn new(path: impl AsRef<std::path::Path>) -> Self {
+        ClusterBuilder {
+            path: path.as_ref().to_path_buf(),
+            pm: None,
+            shards: 1,
+            lease_ms: DEFAULT_LEASE_MS,
+            deque_slots: SchedConfig::default().deque_slots,
+            seed: SchedConfig::default().seed,
+            victim_strategy: crate::capsules::VictimStrategy::default(),
+            pool_words: None,
+            deadline: Duration::from_secs(300),
+            checkpoint_every: None,
+            service: false,
+            service_config: ServiceConfig::default(),
+        }
+    }
+
+    /// Sets the machine shape (`pm.procs` is the *total* processor
+    /// count, split evenly across workers). Required.
+    pub fn machine(mut self, pm: ppm_pm::PmConfig) -> Self {
+        self.pm = Some(pm);
+        self
+    }
+
+    /// Sets the worker-process (fault-domain) count.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Sets the lease validity window in milliseconds.
+    pub fn lease_ms(mut self, ms: u64) -> Self {
+        self.lease_ms = ms;
+        self
+    }
+
+    /// Sets the deque slots per processor.
+    pub fn deque_slots(mut self, slots: usize) -> Self {
+        self.deque_slots = slots;
+        self
+    }
+
+    /// Sets the victim-selection seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the victim-selection policy of every shard's steal loop.
+    pub fn victim_strategy(mut self, v: crate::capsules::VictimStrategy) -> Self {
+        self.victim_strategy = v;
+        self
+    }
+
+    /// Sets explicit per-processor pool sizing (see
+    /// [`ClusterConfig::with_pool_words`]).
+    pub fn pool_words(mut self, words: usize) -> Self {
+        self.pool_words = Some(words);
+        self
+    }
+
+    /// Sets the coordinator deadline of batch runs.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Paces coordinator-arbitrated cross-process checkpoints: every
+    /// `every`, the coordinator requests a cluster-wide quiesce and the
+    /// elected performer shard checkpoints the machine.
+    pub fn checkpoint_every(mut self, every: Duration) -> Self {
+        self.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Turns service mode on or off ([`ClusterBuilder::spawn`] implies
+    /// it). A service file gets a durable injector queue instead of
+    /// planted roots, and its workers steal from live siblings.
+    pub fn service(mut self, on: bool) -> Self {
+        self.service = on;
+        self
+    }
+
+    /// Sets the injector-queue shape used when service mode is on.
+    pub fn service_config(mut self, cfg: ServiceConfig) -> Self {
+        self.service_config = cfg;
+        self
+    }
+
+    /// The equivalent [`ClusterConfig`] (errors without a machine shape).
+    fn config(&self) -> io::Result<ClusterConfig> {
+        let pm = self.pm.clone().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "ClusterBuilder needs a machine shape: call .machine(PmConfig)",
+            )
+        })?;
+        let mut cfg = ClusterConfig::new(pm, self.shards);
+        cfg.lease_ms = self.lease_ms;
+        cfg.deque_slots = self.deque_slots;
+        cfg.seed = self.seed;
+        cfg.victim_strategy = self.victim_strategy;
+        cfg.pool_words = self.pool_words;
+        cfg.deadline = self.deadline;
+        cfg.checkpoint_every = self.checkpoint_every;
+        if self.service {
+            cfg.service = Some(self.service_config);
+        }
+        Ok(cfg)
+    }
+
+    /// Creates and fully prepares the machine file — superblock, cluster
+    /// header, session frames, planted sub-roots (or the service header
+    /// and injector ring), seeded leases — without spawning anything.
+    /// For deployments whose workers are launched by an external
+    /// supervisor, and tests.
+    #[cfg(unix)]
+    pub fn init(&self, build: &ShardBuild) -> io::Result<()> {
+        let (machine, _session) = init_machine(&self.path, &self.config()?, build)?;
+        machine.flush()
+    }
+
+    /// [`ClusterBuilder::init`] returning an observer handle: a custom
+    /// coordinator (own spawn, kill, or progress logic — e.g. a
+    /// fault-injection harness) keeps it to watch the completion flag,
+    /// tombstone reaped workers, and assemble the final
+    /// [`ClusterSummary`].
+    #[cfg(unix)]
+    pub fn observe(&self, build: &ShardBuild) -> io::Result<ClusterObserver> {
+        observe_impl(&self.path, &self.config()?, build)
+    }
+
+    /// Batch terminal: prepares the file, spawns one worker process per
+    /// shard via `spawn_worker` (receives the shard index; the command
+    /// must end up calling [`run_worker`] for it), observes to
+    /// completion or deadline, and reports. See the old
+    /// [`run_coordinator`] docs for the full protocol.
+    #[cfg(unix)]
+    pub fn run(
+        &self,
+        build: &ShardBuild,
+        spawn_worker: impl FnMut(usize) -> std::process::Command,
+    ) -> io::Result<SessionReport> {
+        coordinate(&self.path, &self.config()?, build, spawn_worker)
+    }
+
+    /// Service terminal (implies [`ClusterBuilder::service`]): prepares
+    /// the file with a durable injector queue, spawns the workers, and
+    /// returns a live [`crate::ServiceHandle`] — submit jobs, await
+    /// tickets, kill and heal workers, drain, shut down. With
+    /// `PPM_METRICS_PORT` set, the handle also serves the aggregated
+    /// scrape surface for the service's lifetime.
+    #[cfg(unix)]
+    pub fn spawn(
+        &self,
+        build: &ShardBuild,
+        mut spawn_worker: impl FnMut(usize) -> std::process::Command,
+    ) -> io::Result<ServiceHandle> {
+        let mut cfg = self.config()?;
+        if cfg.service.is_none() {
+            cfg.service = Some(self.service_config);
+        }
+        let map = ShardMap::new(cfg.pm.procs, cfg.shards);
+        let observer = observe_impl(&self.path, &cfg, build)?;
+        let queue = observer
+            .service_queue()
+            .expect("service session always installs an injector queue");
+        let metrics = Obs::metrics_port_from_env()
+            .and_then(|p| serve_aggregate(observer.machine(), map, cfg.lease_ms, p));
+        let mut children: Vec<Option<std::process::Child>> = Vec::with_capacity(map.shards);
+        for s in 0..map.shards {
+            match spawn_worker(s).spawn() {
+                Ok(child) => children.push(Some(child)),
+                Err(e) => {
+                    kill_all(&mut children);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(ServiceHandle::new(
+            observer,
+            queue,
+            children,
+            cfg.checkpoint_every,
+            metrics,
+        ))
+    }
+}
+
+// ====================================================================
 // Session construction (identical in every attaching process)
 // ====================================================================
 
@@ -409,6 +755,8 @@ struct ClusterSession {
     flags: Region,
     reports: Region,
     roots: Vec<Word>,
+    /// The durable injector queue, in service mode.
+    service: Option<Arc<InjectorQueue>>,
 }
 
 fn build_session(
@@ -417,6 +765,7 @@ fn build_session(
     deque_slots: usize,
     seed: u64,
     domain: Option<Arc<ShardDomain>>,
+    service: Option<ServiceConfig>,
     build: &ShardBuild,
 ) -> ClusterSession {
     let done = DoneFlag::new(machine);
@@ -427,9 +776,10 @@ fn build_session(
         // shards run the same policy.
         victim_strategy: crate::capsules::VictimStrategy::unpack_from_seed(seed),
         check_transitions: false,
-        // Checkpoints quiesce *all* of a machine's processors; one worker
-        // can only park its own shard, so sharded runs never checkpoint.
-        // Cross-process quiesce is a ROADMAP follow-on.
+        // In-process checkpoint policy stays off in a cluster: sharded
+        // checkpoints go through the cross-process quiesce barrier
+        // instead ([`crate::checkpoint::QuiesceFollower`]), driven by
+        // the coordinator's `checkpoint_every` cadence.
         checkpoint: CheckpointPolicy::disabled(),
     };
     let sched = match domain {
@@ -438,6 +788,14 @@ fn build_session(
     };
     let flags = machine.alloc_region(map.shards);
     let reports = machine.alloc_region(map.shards * REPORT_WORDS);
+    // Service regions next (before any frame setup): every attacher
+    // replays the same alloc_region sequence, so the ring/workspace land
+    // at the same addresses in every process (construction determinism).
+    let service = service.map(|cfg| {
+        let ring = machine.alloc_region(ppm_pm::service::ring_words(cfg.slots));
+        let workspace = machine.alloc_region(cfg.slots * cfg.job_words);
+        (cfg, ring, workspace)
+    });
 
     let registry = machine.registry();
     let arrive_id = registry.allocate("cluster/arrive");
@@ -494,6 +852,14 @@ fn build_session(
         },
     );
 
+    // Injector capsules next — still before any frame setup, and in the
+    // same registry order in every attaching process.
+    let queue = service.map(|(cfg, ring, workspace)| {
+        let q = InjectorQueue::install(machine, ring, workspace, cfg);
+        sched.set_injector(q.clone());
+        q
+    });
+
     let finale = machine.setup_frame(ppm_core::CORE_ID_FINALE, &[done.addr() as Word]);
     let check = machine.setup_frame(check_id, &[flags.start as Word, map.shards as Word, finale]);
     let roots = (0..map.shards)
@@ -509,6 +875,7 @@ fn build_session(
         flags,
         reports,
         roots,
+        service: queue,
     }
 }
 
@@ -841,14 +1208,49 @@ pub fn run_worker_with_clock(
         ));
     }
     let domain = ShardDomain::new(map, shard);
+    // First heartbeat *before* any session work (seq 1; the monitor
+    // continues from 2). Unconditional publication closes a service-mode
+    // observability race: a worker killed between attach and its first
+    // queue pull would otherwise still be on the coordinator's seed
+    // lease, and its tombstone would report `last_seen: None` as if the
+    // process never came up.
+    let _ = machine
+        .mem()
+        .backend()
+        .write_lease(shard, &Lease::alive_at(1, header.lease_ms, clock.now_ms()));
+    let service_cfg = machine
+        .mem()
+        .backend()
+        .read_service_header()
+        .map(|h| ServiceConfig {
+            slots: h.slots as usize,
+            job_words: h.job_words as usize,
+        });
     let session = build_session(
         &machine,
         map,
         header.deque_slots as usize,
         header.seed,
         Some(domain.clone()),
+        service_cfg,
         build,
     );
+    if let Some(q) = &session.service {
+        // Service mode: victim selection spans live siblings from the
+        // start, and the replayed construction must have landed the ring
+        // where the durable header says it is.
+        debug_assert_eq!(
+            q.header(ppm_pm::ServiceState::Accepting).ring_base,
+            machine
+                .mem()
+                .backend()
+                .read_service_header()
+                .map(|h| h.ring_base)
+                .unwrap_or(0),
+            "service ring landed at a different address than the header records"
+        );
+        domain.set_live_stealing(true);
+    }
     write_report(
         &machine,
         session.reports,
@@ -902,11 +1304,15 @@ pub fn run_worker_with_clock(
                 cursor: 0,
             })
             .collect();
-        let ctl = CheckpointCtl::new_for(
+        // Workers always carry the cross-process quiesce follower: it is
+        // inert until a coordinator writes a request word, so batch runs
+        // pay only the periodic probe.
+        let ctl = CheckpointCtl::new_for_cluster(
             &machine,
             session.sched.clone(),
             CheckpointPolicy::disabled(),
             seats.len(),
+            QuiesceFollower::new(shard, map.shards, header.lease_ms),
         );
         let run = run_attached_seats(&machine, &session.sched, seats, session.done, &ctl);
         stop.store(true, Ordering::Release);
@@ -996,7 +1402,8 @@ fn lease_monitor_loop(
 ) {
     let backend = machine.mem().backend();
     let tick = Duration::from_millis((lease_ms / 4).max(10));
-    let mut seq = 1u64;
+    // Seq 1 was the worker's unconditional pre-session heartbeat.
+    let mut seq = 2u64;
     while !stop.load(Ordering::Acquire) {
         let _ = backend.write_lease(
             domain.shard(),
@@ -1047,6 +1454,7 @@ fn lease_monitor_loop(
 /// on this; it is public for coordinator-less deployments (workers
 /// launched by an external supervisor) and tests.
 #[cfg(unix)]
+#[deprecated(note = "use ClusterBuilder::new(path).machine(pm).workers(n)….init(&build)")]
 pub fn init(
     path: impl AsRef<std::path::Path>,
     cfg: &ClusterConfig,
@@ -1063,7 +1471,17 @@ pub fn init(
 /// deaths it learns about out-of-band, and assemble the final
 /// [`ClusterSummary`].
 #[cfg(unix)]
+#[deprecated(note = "use ClusterBuilder::new(path).machine(pm).workers(n)….observe(&build)")]
 pub fn init_observed(
+    path: impl AsRef<std::path::Path>,
+    cfg: &ClusterConfig,
+    build: &ShardBuild,
+) -> io::Result<ClusterObserver> {
+    observe_impl(path, cfg, build)
+}
+
+#[cfg(unix)]
+fn observe_impl(
     path: impl AsRef<std::path::Path>,
     cfg: &ClusterConfig,
     build: &ShardBuild,
@@ -1101,6 +1519,28 @@ impl ClusterObserver {
     /// Shard `s`'s current lease.
     pub fn lease(&self, shard: usize) -> Option<Lease> {
         self.machine.mem().backend().read_lease(shard)
+    }
+
+    /// The cluster's shard geometry.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Sets the global completion flag (service shutdown: workers notice
+    /// and exit their driver loops).
+    pub(crate) fn set_done(&self) {
+        self.machine.mem().store(self.session.done.addr(), 1);
+        let _ = self.machine.flush();
+    }
+
+    /// The injector queue, when the observed file is a service run
+    /// (`None` for batch files). This is the submit surface for
+    /// coordinator-less deployments: an external supervisor that
+    /// prepared the file with [`ClusterBuilder::observe`] publishes jobs
+    /// through it while separately launched [`run_worker`] processes
+    /// pull them.
+    pub fn service_queue(&self) -> Option<Arc<InjectorQueue>> {
+        self.session.service.clone()
     }
 
     /// Tombstones shard `s`'s lease — the coordinator's reap step: call
@@ -1198,8 +1638,33 @@ fn init_machine(
             "backend cannot store a cluster header",
         ));
     }
-    let session = build_session(&machine, map, cfg.deque_slots, cfg.seed, None, build);
-    plant_roots(&machine, &session, map);
+    let session = build_session(
+        &machine,
+        map,
+        cfg.deque_slots,
+        cfg.seed,
+        None,
+        cfg.service,
+        build,
+    );
+    match &session.service {
+        // Service mode: no planted roots — workers start idle and pull
+        // from the injector. The durable header (state `Accepting`) is
+        // what tells every attacher this is a service file.
+        Some(q) => {
+            if !machine
+                .mem()
+                .backend()
+                .write_service_header(&q.header(ppm_pm::ServiceState::Accepting))?
+            {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "backend cannot store a service header",
+                ));
+            }
+        }
+        None => plant_roots(&machine, &session, map),
+    }
     for s in 0..map.shards {
         machine
             .mem()
@@ -1223,6 +1688,51 @@ fn kill_all(children: &mut [Option<std::process::Child>]) {
     }
 }
 
+/// Coordinator-side quiesce pacing: raises the superblock request word
+/// when `every` has elapsed and the previous round released (or timed
+/// out — a performer that died mid-round must not wedge the cadence
+/// forever). The performer is the lowest shard holding a live, unexpired
+/// lease; every live shard acks, only the performer checkpoints.
+#[cfg(unix)]
+fn request_quiesce_if_due(
+    machine: &Machine,
+    map: ShardMap,
+    every: Duration,
+    seq: &mut u64,
+    last: &mut Instant,
+) {
+    if last.elapsed() < every {
+        return;
+    }
+    let backend = machine.mem().backend();
+    let released = backend.read_quiesce_word(ppm_pm::service::QUIESCE_REL_OFFSET) >= *seq;
+    if !released && last.elapsed() < every.saturating_mul(3) {
+        return;
+    }
+    let now = ppm_pm::now_ms();
+    let performer = (0..map.shards).find(|s| {
+        matches!(backend.read_lease(*s),
+                 Some(l) if l.state == LeaseState::Alive && !l.is_dead(now))
+    });
+    let Some(performer) = performer else {
+        *last = Instant::now();
+        return;
+    };
+    *seq += 1;
+    backend.write_quiesce_word(
+        ppm_pm::service::QUIESCE_REQ_OFFSET,
+        ppm_pm::service::pack_quiesce_req(*seq, performer),
+    );
+    *last = Instant::now();
+    let requested = *seq;
+    machine
+        .obs()
+        .tracer()
+        .record_with(TraceKind::Checkpoint, None, None, || {
+            format!("cluster quiesce {requested} requested (performer shard {performer})")
+        });
+}
+
 /// Creates a sharded run and drives it to completion: prepares the
 /// machine file via [`init`]'s path (superblock, cluster header, session
 /// frames, one planted sub-root per shard, seeded leases), spawns the
@@ -1239,7 +1749,18 @@ fn kill_all(children: &mut [Option<std::process::Child>]) {
 /// left crashed-in-run; [`recover`] finishes the computation
 /// single-process.
 #[cfg(unix)]
+#[deprecated(note = "use ClusterBuilder::new(path).machine(pm).workers(n)….run(&build, spawn)")]
 pub fn run_coordinator(
+    path: impl AsRef<std::path::Path>,
+    cfg: &ClusterConfig,
+    build: &ShardBuild,
+    spawn_worker: impl FnMut(usize) -> std::process::Command,
+) -> io::Result<SessionReport> {
+    coordinate(path, cfg, build, spawn_worker)
+}
+
+#[cfg(unix)]
+fn coordinate(
     path: impl AsRef<std::path::Path>,
     cfg: &ClusterConfig,
     build: &ShardBuild,
@@ -1276,6 +1797,8 @@ pub fn run_coordinator(
     }
 
     let poll = Duration::from_millis(20);
+    let mut quiesce_seq = 0u64;
+    let mut last_quiesce = Instant::now();
     let deadline_hit = loop {
         // Reap exits; a worker that exited without completing the run is
         // dead — tombstone its lease so survivors adopt immediately
@@ -1305,6 +1828,9 @@ pub fn run_coordinator(
                     }
                 }
             }
+        }
+        if let Some(every) = cfg.checkpoint_every {
+            request_quiesce_if_due(&machine, map, every, &mut quiesce_seq, &mut last_quiesce);
         }
         let done = session.done.is_set(machine.mem());
         let live = children.iter().filter(|c| c.is_some()).count();
@@ -1465,12 +1991,21 @@ pub fn recover(path: impl AsRef<std::path::Path>, build: &ShardBuild) -> io::Res
             machine.obs().set_span_sink(std::sync::Arc::new(sink));
         }
     }
+    let service_cfg = machine
+        .mem()
+        .backend()
+        .read_service_header()
+        .map(|h| ServiceConfig {
+            slots: h.slots as usize,
+            job_words: h.job_words as usize,
+        });
     let session = build_session(
         &machine,
         map,
         header.deque_slots as usize,
         header.seed,
         None,
+        service_cfg,
         build,
     );
     let (found_jobs, found_locals, found_taken, live_restart_pointers) =
@@ -1526,6 +2061,18 @@ pub fn recover(path: impl AsRef<std::path::Path>, build: &ShardBuild) -> io::Res
     scrub_scheduler_state(&machine, &session.sched, resume);
     if resume {
         plant_seeds(&machine, &session.sched, &seeds);
+    } else if let Some(q) = &session.service {
+        // Service replay: there are no roots to plant. Normalize the ring
+        // instead — torn submissions dropped, jobs claimed by the dead
+        // cluster republished — and let the seats pull what survives
+        // through the ordinary injector path.
+        let rescued = q.scavenge();
+        machine
+            .obs()
+            .tracer()
+            .record_with(TraceKind::Recovery, None, None, || {
+                format!("service ring scavenged: {rescued} slots normalized")
+            });
     } else {
         plant_roots(&machine, &session, map);
     }
@@ -1546,7 +2093,38 @@ pub fn recover(path: impl AsRef<std::path::Path>, build: &ShardBuild) -> io::Res
         CheckpointPolicy::disabled(),
         seats.len(),
     );
-    let run = run_attached_seats(&machine, &session.sched, seats, session.done, &ctl);
+    // In service mode nothing in the computation ever sets the done flag
+    // (there is no finale root): a supervisor thread watches the ring and
+    // declares completion once every surviving job has resolved.
+    let run = match &session.service {
+        Some(q) => {
+            let stop = AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                let supervisor = {
+                    let machine = &machine;
+                    let q = q.clone();
+                    let done = session.done;
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        while !stop.load(Ordering::Acquire) {
+                            if q.depth() == 0 {
+                                machine.mem().store(done.addr(), 1);
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                    })
+                };
+                let run = run_attached_seats(&machine, &session.sched, seats, session.done, &ctl);
+                stop.store(true, Ordering::Release);
+                supervisor
+                    .join()
+                    .expect("service recovery supervisor panicked");
+                run
+            })
+        }
+        None => run_attached_seats(&machine, &session.sched, seats, session.done, &ctl),
+    };
     machine.flush()?;
     if let Some(base) = Obs::trace_file_from_env() {
         let _ = machine.obs().tracer().flush_jsonl(&base);
@@ -1622,11 +2200,15 @@ mod tests {
         let path =
             std::env::temp_dir().join(format!("ppm-cluster-tombstone-{}.ppm", std::process::id()));
         let _ = std::fs::remove_file(&path);
-        let cfg = ClusterConfig::new(PmConfig::parallel(2, 1 << 20), 2).with_lease_ms(500);
         // The sub-root IS the arrival continuation: each shard's subtree
         // completes the moment it runs (no workers run here anyway).
         let build: ShardBuild = Arc::new(|_machine, _s, arrive| arrive);
-        let observer = init_observed(&path, &cfg, &build).expect("init cluster file");
+        let observer = ClusterBuilder::new(&path)
+            .machine(PmConfig::parallel(2, 1 << 20))
+            .workers(2)
+            .lease_ms(500)
+            .observe(&build)
+            .expect("init cluster file");
 
         // Shard 0 heartbeats once, then dies and is reaped.
         let hb = Lease::alive(7, 500);

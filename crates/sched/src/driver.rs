@@ -310,6 +310,28 @@ impl SessionReport {
             || self.run.as_ref().map(|r| r.completed).unwrap_or(false)
     }
 
+    /// Total frontier entries adopted from dead shards, cluster-wide
+    /// (0 for single-process sessions). Same accessor shape as
+    /// [`crate::service::JobReport::adopted`], so batch and service
+    /// reporting read alike.
+    pub fn adopted(&self) -> u64 {
+        self.cluster.as_ref().map(|c| c.adopted()).unwrap_or(0)
+    }
+
+    /// Total refused adoptions, cluster-wide (0 for single-process
+    /// sessions).
+    pub fn blocked(&self) -> u64 {
+        self.cluster.as_ref().map(|c| c.blocked()).unwrap_or(0)
+    }
+
+    /// Per-shard outcome rows, empty for single-process sessions.
+    pub fn shard_reports(&self) -> &[crate::cluster::ShardReport] {
+        self.cluster
+            .as_ref()
+            .map(|c| c.shard_reports.as_slice())
+            .unwrap_or(&[])
+    }
+
     /// The persisted completion flag was already set when the session
     /// started: the previous run finished and nothing was re-driven.
     pub fn already_complete(&self) -> bool {

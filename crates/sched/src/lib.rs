@@ -32,7 +32,13 @@
 //!   processes attach to one `MAP_SHARED` machine file as independent
 //!   fault domains, with a lease-based cross-process liveness oracle and
 //!   dead-shard adoption through the ordinary steal protocol
-//!   ([`Runtime::sharded`] is the coordinator entry point).
+//!   ([`cluster::ClusterBuilder`] is the one entry point; the old free
+//!   functions survive as deprecated shims).
+//! * [`service`] — service mode over the cluster: a durable MPMC
+//!   injector queue in the machine file from which live shards pull jobs
+//!   continuously, live-shard deque stealing, and the
+//!   [`ServiceHandle`] submit/await/drain/shutdown API
+//!   ([`Runtime::service`] / [`cluster::ClusterBuilder::spawn`]).
 //! * [`abp`] — the CAS-based Arora–Blumofe–Plaxton baseline (not
 //!   fault-tolerant), for the comparison benchmarks.
 
@@ -48,13 +54,14 @@ pub mod driver;
 pub mod entry;
 pub mod model;
 pub mod runtime;
+pub mod service;
 pub mod sim;
 
 pub use capsules::{Sched, SchedConfig, VictimStrategy};
 pub use checkpoint::{CheckpointPolicy, CheckpointSummary, CheckpointTrigger};
 pub use cluster::{
-    ClusterConfig, ClusterObserver, ClusterRole, ClusterSummary, ShardBuild, ShardDomain,
-    ShardReport, DEFAULT_LEASE_MS,
+    ClusterBuilder, ClusterConfig, ClusterObserver, ClusterRole, ClusterSummary, ShardBuild,
+    ShardDomain, ShardReport, DEFAULT_LEASE_MS,
 };
 pub use deque::{build_deques, check_invariant, render, snapshot, DequeAddrs, DequeSnapshot};
 pub use driver::{
@@ -63,4 +70,5 @@ pub use driver::{
 };
 pub use entry::{kind_of, pack, tag_of, unpack, EntryKind, EntryVal};
 pub use runtime::{Runtime, RuntimeConfig};
+pub use service::{InjectorQueue, JobReport, JobStatus, JobTicket, ServiceConfig, ServiceHandle};
 pub use sim::{SimEvent, SimOp, SimReport, SimSched};

@@ -38,4 +38,4 @@ pub mod steal;
 
 pub use lease::{LeaseAction, LeaseModel, LeaseSt};
 pub use quiesce::{QuiesceAction, QuiesceModel, QuiesceSt};
-pub use steal::{StealAction, StealModel, StealMutation, StealSt};
+pub use steal::{Inj, StealAction, StealModel, StealMutation, StealSt};

@@ -19,6 +19,19 @@
 //! exercised against the *real* code by `sim::SimSched`, which drives
 //! actual fork-join computations through scripted interleavings).
 //!
+//! **Injector extension** ([`StealModel::with_injector`]): a third task
+//! lives in a one-slot durable injector ring ([`Inj`], mirroring
+//! `ppm_pm::service::SlotPhase`), and `Steal` consults it before the
+//! deque probe, exactly like `steal_attempt`'s published-slot scan. The
+//! claim chain (`service/pull/read → cam → check`), the entry frame's
+//! `CLAIMED → RUNNING` CAM with its dead-claimant re-claim arm, and the
+//! exactly-once `RUNNING → DONE` completion CAM are each one [`Pc`]
+//! capsule; [`StealAction::Rescue`] models the service handle's lease
+//! sweep republishing a dead claimant's slot at epoch + 1. The checksum
+//! verification and ticket guards of the real capsules are elided: the
+//! model's single job is published in the initial state (no torn
+//! two-phase submit) and its slot is never reclaimed for reuse.
+//!
 //! Invariants (TLA+ twins in `specs/tla/FrontierAdoption.tla`):
 //!
 //! * **NoDoubleExecution** (W2): each task completes at most once, and at
@@ -90,6 +103,43 @@ pub struct Deque {
     pub top: u8,
     /// Owner end (the running thread's local entry lives at `bot`).
     pub bot: u8,
+}
+
+/// The injector ring's one slot: the control-word states of
+/// `ppm_pm::service::SlotPhase`, with the claim epoch and claimant
+/// identity that the real packed word carries. `STAGING` is absent —
+/// the model's job is already published (a torn submit is a pm-layer
+/// concern, covered by the `service` proptests, not an interleaving).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Inj {
+    /// The model runs without an injector (the default configuration).
+    Absent,
+    /// Published and claimable at `epoch`.
+    Published {
+        /// Claim epoch (bumped by every rescue).
+        epoch: u8,
+    },
+    /// The claim CAM won: `proc` owns the slot at `epoch`.
+    Claimed {
+        /// The claimant.
+        proc: u8,
+        /// Claim epoch.
+        epoch: u8,
+    },
+    /// The entry frame advanced the claim; the job body is running.
+    Running {
+        /// The claimant.
+        proc: u8,
+        /// Claim epoch.
+        epoch: u8,
+    },
+    /// The completion CAM won: the job finished exactly once.
+    Done {
+        /// The completing claimant.
+        proc: u8,
+        /// Claim epoch at completion.
+        epoch: u8,
+    },
 }
 
 /// What follows a `helpPopTop` interlude (the `then` continuation the
@@ -270,6 +320,55 @@ pub enum Pc {
         /// The task being executed.
         f: u8,
     },
+    /// `service/pull/read`: re-read the injector slot (the scan in
+    /// `Steal` was an uncosted peek) and enter the claim CAM.
+    InjPullRead,
+    /// `service/pull/cam`: the claim CAM. The claimant-distinct payload
+    /// keeps racing pullers' CAMs non-identical (§5 exactly-once).
+    InjPullCam {
+        /// Expected slot word.
+        old: Inj,
+        /// Intended `CLAIMED` word.
+        new: Inj,
+    },
+    /// `service/pull/check`: won → the slot's entry frame; lost → steal.
+    InjPullCheck {
+        /// The CAM's intended word.
+        new: Inj,
+    },
+    /// `service/entry`: read the slot and branch — advance our own
+    /// claim, resume our own run, or re-claim a dead claimant's slot at
+    /// epoch + 1 (the bump fences its stale CAMs).
+    InjEntry,
+    /// `service/entry/cam`: the `CLAIMED → RUNNING` CAM.
+    InjEntryCam {
+        /// Expected slot word.
+        old: Inj,
+        /// Intended `RUNNING` word.
+        new: Inj,
+    },
+    /// `service/entry/check`: won → the job frame; lost to a rescue
+    /// (we were declared dead) → back to the steal loop.
+    InjEntryCheck {
+        /// The CAM's intended word.
+        new: Inj,
+    },
+    /// The service job's body — one capsule standing in for the job
+    /// frame (its internal effects are idempotent capsules, elided).
+    InjBody,
+    /// `service/done`: read the slot; still `RUNNING` → the done CAM.
+    InjDoneRead,
+    /// `service/done/cam`: the exactly-once `RUNNING → DONE` completion
+    /// CAM — the commit point the model counts as the job's resolution.
+    InjDoneCam {
+        /// Expected slot word.
+        old: Inj,
+        /// Intended `DONE` word.
+        new: Inj,
+    },
+    /// `service/done/check`: telemetry only (counts the completion in
+    /// the real code); ends the thread either way.
+    InjDoneCheck,
     /// `sched/clearBottom` after a thread ends.
     ClearBottom,
     /// Saw the done flag in `steal`; this processor is finished.
@@ -299,13 +398,17 @@ pub struct StealSt {
     pub alive: [bool; NPROCS],
     /// Completion count per task — the committed effect.
     pub runs: [u8; NTASKS],
+    /// The injector ring's one slot ([`Inj::Absent`] when disabled).
+    pub inj: Inj,
+    /// Completion count for the injector job — done CAMs won.
+    pub inj_runs: u8,
     /// Hard faults injected so far.
     pub crashes: u8,
 }
 
 impl StealSt {
     fn done(&self) -> bool {
-        self.runs.iter().all(|r| *r >= 1)
+        self.runs.iter().all(|r| *r >= 1) && matches!(self.inj, Inj::Absent | Inj::Done { .. })
     }
 }
 
@@ -317,6 +420,11 @@ pub enum StealAction {
     Step(u8),
     /// Hard-fault processor `p` (its pc freezes as the restart pointer).
     Crash(u8),
+    /// The service handle's lease sweep republishes the injector slot
+    /// at epoch + 1 (`InjectorQueue::rescue`). Enabled while the slot's
+    /// claimant is dead (or, under [`StealMutation::RescueCompleted`],
+    /// whenever the slot is `DONE`).
+    Rescue,
 }
 
 /// Deliberate protocol bugs, reintroduced one at a time so the test
@@ -334,6 +442,14 @@ pub enum StealMutation {
     /// entry of a *live* owner — the owner and the adopter both run the
     /// thread, a double execution.
     AdoptLiveLocal,
+    /// Drop the rescue sweep entirely: a claimant that hard-faults
+    /// mid-job leaves the injector slot `CLAIMED`/`RUNNING` forever —
+    /// a lost job (no surviving reference can reach it).
+    DropRescue,
+    /// Drop the rescue sweep's phase guard: a `DONE` slot is
+    /// republished as if its claimant had died mid-job, and the
+    /// completed job runs — and resolves — a second time.
+    RescueCompleted,
 }
 
 /// The model: configuration plus the [`Model`] implementation.
@@ -344,6 +460,9 @@ pub struct StealModel {
     pub crash_budget: u8,
     /// Which deliberate bug (if any) to reintroduce.
     pub mutation: StealMutation,
+    /// Seed the injector ring with a third, service-submitted job
+    /// (default off — the deque-only space keeps its pinned diameter).
+    pub injector: bool,
 }
 
 impl Default for StealModel {
@@ -351,6 +470,7 @@ impl Default for StealModel {
         StealModel {
             crash_budget: 1,
             mutation: StealMutation::None,
+            injector: false,
         }
     }
 }
@@ -364,11 +484,60 @@ impl StealModel {
         }
     }
 
-    /// A mutated protocol (for counterexample demonstrations).
+    /// The faithful protocol with the injector ring seeded (the
+    /// service-mode pull/claim/rescue protocol joins the race space).
+    pub fn with_injector() -> Self {
+        StealModel {
+            injector: true,
+            ..Default::default()
+        }
+    }
+
+    /// A mutated protocol (for counterexample demonstrations). The
+    /// injector mutations imply an injector-enabled model.
     pub fn mutated(mutation: StealMutation) -> Self {
         StealModel {
             crash_budget: 1,
             mutation,
+            injector: matches!(
+                mutation,
+                StealMutation::DropRescue | StealMutation::RescueCompleted
+            ),
+        }
+    }
+
+    /// The rescue sweep's verdict on the current slot: the republished
+    /// word, if the sweep would fire.
+    fn rescue_target(&self, s: &StealSt) -> Option<Inj> {
+        match s.inj {
+            Inj::Claimed { proc, epoch } | Inj::Running { proc, epoch }
+                if !s.alive[proc as usize] && self.mutation != StealMutation::DropRescue =>
+            {
+                Some(Inj::Published {
+                    epoch: epoch.wrapping_add(1),
+                })
+            }
+            Inj::Done { epoch, .. } if self.mutation == StealMutation::RescueCompleted => {
+                Some(Inj::Published {
+                    epoch: epoch.wrapping_add(1),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The W1 conservation law for the injector job: `PUBLISHED` is
+    /// claimable by anyone; a claimed/running slot is driven by its
+    /// live claimant (a live claimant never abandons a won claim — every
+    /// check in the chain re-routes to `Steal` only when the slot word
+    /// moved, which requires the claimant to be dead) or recoverable by
+    /// the rescue sweep once the claimant dies.
+    fn inj_referenced(&self, s: &StealSt) -> bool {
+        match s.inj {
+            Inj::Absent | Inj::Published { .. } | Inj::Done { .. } => true,
+            Inj::Claimed { proc, .. } | Inj::Running { proc, .. } => {
+                s.alive[proc as usize] || self.rescue_target(s).is_some()
+            }
         }
     }
 
@@ -540,6 +709,11 @@ impl StealModel {
             Pc::Steal => {
                 if s.done() {
                     n.pc[p] = Pc::Halted;
+                } else if matches!(s.inj, Inj::Published { .. }) {
+                    // steal_attempt consults the injector's published-
+                    // slot scan before the deque probe; the scan is an
+                    // uncosted peek, so the chain re-reads in pull/read.
+                    n.pc[p] = Pc::InjPullRead;
                 } else {
                     let v = 1 - me; // two processors: the other one
                     let d = &s.deq[p];
@@ -694,6 +868,101 @@ impl StealModel {
                 n.runs[f as usize] = n.runs[f as usize].saturating_add(1);
                 n.pc[p] = Pc::ClearBottom;
             }
+            Pc::InjPullRead => {
+                if let Inj::Published { epoch } = s.inj {
+                    n.pc[p] = Pc::InjPullCam {
+                        old: s.inj,
+                        new: Inj::Claimed { proc: me, epoch },
+                    };
+                } else {
+                    n.pc[p] = Pc::Steal;
+                }
+            }
+            Pc::InjPullCam { old, new } => {
+                if n.inj == old {
+                    n.inj = new;
+                }
+                n.pc[p] = Pc::InjPullCheck { new };
+            }
+            Pc::InjPullCheck { new } => {
+                n.pc[p] = if s.inj == new {
+                    Pc::InjEntry
+                } else {
+                    Pc::Steal
+                };
+            }
+            Pc::InjEntry => {
+                n.pc[p] = match s.inj {
+                    // Our own claim: advance to RUNNING, then the job.
+                    Inj::Claimed { proc, epoch } if proc == me => Pc::InjEntryCam {
+                        old: s.inj,
+                        new: Inj::Running { proc: me, epoch },
+                    },
+                    // We already advanced it and crashed before the
+                    // jump: just run the job.
+                    Inj::Running { proc, .. } if proc == me => Pc::InjBody,
+                    // Adoption: re-claim a dead claimant's slot at
+                    // epoch + 1, fencing its stale CAMs. (Unreachable
+                    // here — a puller holds no adoptable deque entry —
+                    // but mirrored from the entry frame, which any
+                    // process with the restart pointer can rehydrate.)
+                    Inj::Claimed { proc, epoch } | Inj::Running { proc, epoch }
+                        if !s.alive[proc as usize] =>
+                    {
+                        Pc::InjEntryCam {
+                            old: s.inj,
+                            new: Inj::Running {
+                                proc: me,
+                                epoch: epoch.wrapping_add(1),
+                            },
+                        }
+                    }
+                    // Someone else legitimately owns (or finished) the
+                    // slot: nothing for this thread.
+                    _ => Pc::Steal,
+                };
+            }
+            Pc::InjEntryCam { old, new } => {
+                if n.inj == old {
+                    n.inj = new;
+                }
+                n.pc[p] = Pc::InjEntryCheck { new };
+            }
+            Pc::InjEntryCheck { new } => {
+                // Losing means a rescue republished the slot out from
+                // under us (we were declared dead) — the re-claimed run
+                // owns the job now.
+                n.pc[p] = if s.inj == new { Pc::InjBody } else { Pc::Steal };
+            }
+            Pc::InjBody => {
+                // The job frame's effects are idempotent capsules; its
+                // final continuation is the slot's done frame.
+                n.pc[p] = Pc::InjDoneRead;
+            }
+            Pc::InjDoneRead => {
+                n.pc[p] = match s.inj {
+                    Inj::Running { proc, epoch } => Pc::InjDoneCam {
+                        old: s.inj,
+                        new: Inj::Done { proc, epoch },
+                    },
+                    // DONE already (benign re-run) or republished out
+                    // from under us: the re-claimed run completes it.
+                    _ => Pc::Steal,
+                };
+            }
+            Pc::InjDoneCam { old, new } => {
+                if n.inj == old {
+                    n.inj = new;
+                    // The winning RUNNING → DONE transition is the
+                    // job's exactly-once resolution.
+                    n.inj_runs = n.inj_runs.saturating_add(1);
+                }
+                n.pc[p] = Pc::InjDoneCheck;
+            }
+            Pc::InjDoneCheck => {
+                // Counts and traces in the real code; no protocol state.
+                n.pc[p] = Pc::Steal;
+            }
             Pc::ClearBottom => {
                 let b = s.deq[p].bot as usize;
                 let cur = s.deq[p].entries[b];
@@ -729,6 +998,14 @@ impl Model for StealModel {
             pc: [Pc::FindWork, Pc::Steal],
             alive: [true; NPROCS],
             runs: [0; NTASKS],
+            inj: if self.injector {
+                // The two-phase submit already completed: persist-then-
+                // publish means a claimable slot is never torn.
+                Inj::Published { epoch: 0 }
+            } else {
+                Inj::Absent
+            },
+            inj_runs: 0,
             crashes: 0,
         }]
     }
@@ -743,6 +1020,9 @@ impl Model for StealModel {
                 }
             }
         }
+        if self.rescue_target(s).is_some() {
+            acts.push(StealAction::Rescue);
+        }
         acts
     }
 
@@ -753,6 +1033,13 @@ impl Model for StealModel {
                 let mut n = *s;
                 n.alive[*p as usize] = false;
                 n.crashes += 1;
+                n
+            }
+            StealAction::Rescue => {
+                let mut n = *s;
+                n.inj = self
+                    .rescue_target(s)
+                    .expect("Rescue only enabled when the sweep fires");
                 n
             }
         }
@@ -775,12 +1062,21 @@ impl Model for StealModel {
                 ));
             }
         }
+        if s.inj_runs > 1 {
+            return Err(format!(
+                "NoDoubleExecution: the service job resolved {} times",
+                s.inj_runs
+            ));
+        }
         // NoLostTask (W1) conservation, in the single-fault regime.
         if s.crashes <= 1 {
             for t in 0..NTASKS as u8 {
                 if s.runs[t as usize] == 0 && !Self::referenced(s, t) {
                     return Err(format!("NoLostTask: task {t} is no longer referenced"));
                 }
+            }
+            if s.inj_runs == 0 && !self.inj_referenced(s) {
+                return Err("NoLostTask: the service job is no longer referenced".to_string());
             }
         }
         Ok(())
@@ -796,6 +1092,12 @@ impl Model for StealModel {
                         "NoLostTask: terminated with a live processor but task {t} never ran"
                     ));
                 }
+            }
+            if self.injector && s.inj_runs == 0 {
+                return Err(
+                    "NoLostTask: terminated with a live processor but the service job never ran"
+                        .to_string(),
+                );
             }
         }
         Ok(())
@@ -851,6 +1153,46 @@ mod tests {
         let cex = report.violation.expect("mutation must be caught");
         assert!(
             cex.reason.contains("NoLostTask"),
+            "unexpected reason: {}",
+            cex.reason
+        );
+    }
+
+    #[test]
+    fn injector_protocol_is_clean_and_exhaustible() {
+        // The service-mode pull/claim/rescue chain joins the race space:
+        // every interleaving of two deque tasks plus one injected job,
+        // with up to one hard fault and the rescue sweep interleaved at
+        // every boundary.
+        let report = Explorer::new(ExplorerConfig::depth(60)).run(&StealModel::with_injector());
+        assert!(
+            report.violation.is_none(),
+            "unexpected violation:\n{}",
+            report.violation.unwrap().render()
+        );
+        assert!(!report.truncated, "space should be exhaustible at depth 60");
+        assert!(report.states > 1_500, "explored {} states", report.states);
+    }
+
+    #[test]
+    fn dropping_the_rescue_sweep_loses_the_service_job() {
+        let report = Explorer::new(ExplorerConfig::depth(20))
+            .run(&StealModel::mutated(StealMutation::DropRescue));
+        let cex = report.violation.expect("mutation must be caught");
+        assert!(
+            cex.reason.contains("NoLostTask"),
+            "unexpected reason: {}",
+            cex.reason
+        );
+    }
+
+    #[test]
+    fn rescuing_a_completed_slot_double_resolves() {
+        let report = Explorer::new(ExplorerConfig::depth(30))
+            .run(&StealModel::mutated(StealMutation::RescueCompleted));
+        let cex = report.violation.expect("mutation must be caught");
+        assert!(
+            cex.reason.contains("NoDoubleExecution"),
             "unexpected reason: {}",
             cex.reason
         );

@@ -197,13 +197,58 @@ impl Runtime {
     /// adopt its deque frontier and the run keeps going. See
     /// [`crate::cluster`] for the full protocol.
     #[cfg(unix)]
+    #[deprecated(
+        note = "use cluster::ClusterBuilder::new(path).machine(pm).workers(n)….run(&build, spawn)"
+    )]
     pub fn sharded(
         path: impl AsRef<std::path::Path>,
         cfg: &crate::cluster::ClusterConfig,
         build: &crate::cluster::ShardBuild,
         spawn_worker: impl FnMut(usize) -> std::process::Command,
     ) -> std::io::Result<SessionReport> {
-        crate::cluster::run_coordinator(path, cfg, build, spawn_worker)
+        let mut b = crate::cluster::ClusterBuilder::new(path)
+            .machine(cfg.pm.clone())
+            .workers(cfg.shards)
+            .lease_ms(cfg.lease_ms)
+            .deque_slots(cfg.deque_slots)
+            .seed(cfg.seed)
+            .victim_strategy(cfg.victim_strategy)
+            .deadline(cfg.deadline);
+        if let Some(w) = cfg.pool_words {
+            b = b.pool_words(w);
+        }
+        if let Some(every) = cfg.checkpoint_every {
+            b = b.checkpoint_every(every);
+        }
+        if let Some(svc) = cfg.service {
+            b = b.service(true).service_config(svc);
+        }
+        b.run(build, spawn_worker)
+    }
+
+    /// Starts a persistent job service: creates the durable machine file
+    /// at `path` with an injector queue of `workers * procs_per_shard`
+    /// model processors, spawns the worker processes, and returns a live
+    /// [`crate::ServiceHandle`] — submit jobs
+    /// ([`crate::ServiceHandle::submit`] → [`crate::JobTicket`]), await
+    /// them exactly-once, and wind the service down with
+    /// [`crate::ServiceHandle::drain`] / [`crate::ServiceHandle::shutdown`].
+    /// Jobs submitted before a crash are recovered and completed
+    /// exactly-once (see [`crate::service`]). This is sugar over
+    /// [`crate::cluster::ClusterBuilder::spawn`], which exposes every
+    /// knob.
+    #[cfg(unix)]
+    pub fn service(
+        path: impl AsRef<std::path::Path>,
+        pm: ppm_pm::PmConfig,
+        workers: usize,
+        build: &crate::cluster::ShardBuild,
+        spawn_worker: impl FnMut(usize) -> std::process::Command,
+    ) -> std::io::Result<crate::ServiceHandle> {
+        crate::cluster::ClusterBuilder::new(path)
+            .machine(pm)
+            .workers(workers)
+            .spawn(build, spawn_worker)
     }
 
     /// The session's machine (region allocation, oracle reads, flushing).

@@ -1,0 +1,1230 @@
+//! Service mode: a durable MPMC **injector queue** feeding live shards,
+//! plus the [`ServiceHandle`] API (`submit` / `await_job` / `drain` /
+//! `shutdown`) over it.
+//!
+//! A batch cluster run ([`crate::cluster`]) plants one sub-root per shard
+//! and ends when the subtree forest finishes. A **service** run keeps the
+//! worker shards alive indefinitely and feeds them jobs through a ring of
+//! persistent slots (the *injector queue*) living in the ordinary word
+//! array, described by the [`ppm_pm::ServiceHeader`] in the superblock
+//! page. Work distribution is pull-based: every spinning processor's
+//! steal loop consults the ring (an uncosted peek, like victim selection)
+//! before probing victim deques, so a published job is picked up by
+//! whichever shard is idle — and from there fans out across *live* shards
+//! through ordinary deque stealing
+//! ([`crate::cluster::ShardDomain::set_live_stealing`]).
+//!
+//! ## The two-phase submit
+//!
+//! A submitter that crashes mid-write must never leave a torn job:
+//!
+//! 1. **Persist**: win an `EMPTY → STAGING` slot (CAS, epoch bumped),
+//!    write the job/entry/done frames into the slot's private workspace,
+//!    write the slot's ticket, entry-handle, and checksum control words,
+//!    then `flush_dirty` — everything a puller will read is durable.
+//! 2. **Publish**: store the `PUBLISHED` state word. The state word is
+//!    the *only* thing pullers dispatch on, so a crash before it leaves
+//!    an invisible `STAGING` slot (reclaimed by quiescent
+//!    [`InjectorQueue::scavenge`]), never a half-written job.
+//!
+//! ## The claim protocol (exactly-once completion)
+//!
+//! Pulling is the §5 CAM discipline, one CAM per capsule:
+//! read (`PUBLISHED`, verify checksum) → claim CAM
+//! (`PUBLISHED → CLAIMED⟨epoch, me⟩` — claimant-distinct payloads, so
+//! racing pullers never issue identical CAMs) → check (won: seat the
+//! puller's `Local` deque marker, then jump to the slot's **entry
+//! frame**). The registered `service/entry` capsule moves
+//! the slot to `RUNNING` and jumps to the job frame; the job's final
+//! continuation is the slot's **done frame**, whose single winning
+//! `RUNNING → DONE` CAM is the job's exactly-once completion point. Every
+//! rescue or reclaim bumps the slot's 16-bit claim epoch, so a fenced-off
+//! claimant (falsely declared dead) can never replay a stale transition.
+//!
+//! Job bodies follow the same rule every persistent computation here
+//! follows: effects must be §5 atomically idempotent (racy-read /
+//! racy-write / CAM capsules), because a crash–adoption window can run a
+//! body's capsules more than once even though its *completion* (the done
+//! CAM) is exactly-once.
+//!
+//! ## Crash coverage
+//!
+//! * Submitter dies before publish → invisible staging slot, scavenged.
+//! * Claimant dies in `CLAIMED`/`RUNNING` → [`InjectorQueue::rescue`]
+//!   (driven from [`ServiceHandle::tick`] by the lease table) republishes
+//!   the slot at epoch + 1; any survivor re-claims and re-runs it.
+//! * Whole cluster dies → [`crate::cluster::recover`] scavenges the ring
+//!   and finishes the queued jobs single-process.
+
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppm_core::registry::frame_args;
+use ppm_core::{capsule, capsule_unchecked, sched_capsule, CapsuleId, Cont, Machine, Next};
+use ppm_obs::{Counter, Obs, TraceKind};
+use ppm_pm::service::{
+    pack_quiesce_req, ring_words, slot_checksum, slot_claimant, slot_epoch, slot_phase, slot_state,
+    QUIESCE_REL_OFFSET, QUIESCE_REQ_OFFSET,
+};
+use ppm_pm::{
+    is_frame_at, store_frame, Lease, LeaseState, PersistentMemory, Region, ServiceHeader,
+    ServiceState, ShardMap, SlotPhase, Word,
+};
+
+use crate::capsules::Sched;
+use crate::cluster::{ClusterObserver, ClusterSummary, ShardReport};
+use crate::driver::SessionReport;
+use crate::entry::{pack, tag_of, EntryVal};
+
+/// Word offset of the entry frame inside a slot's workspace.
+const WS_ENTRY_OFF: usize = 0;
+/// Word offset of the done frame inside a slot's workspace.
+const WS_DONE_OFF: usize = 8;
+/// Word offset of the job frame inside a slot's workspace.
+const WS_JOB_OFF: usize = 16;
+/// Frame-header + fixed-arg words a job frame needs beyond its user args
+/// (3 header words plus the appended done-frame continuation handle).
+const JOB_FRAME_OVERHEAD: usize = 4;
+
+/// Shape of a service run's injector queue. Persisted once in the
+/// [`ppm_pm::ServiceHeader`]; every attaching process reads it back from
+/// the machine file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Ring slots — the bound on concurrently in-flight (submitted but
+    /// not yet awaited) jobs. A full ring makes `submit` return
+    /// `WouldBlock`, never silently drop.
+    pub slots: usize,
+    /// Words of private frame workspace per slot. Bounds a job's argument
+    /// count: `job_words - 16 - 4` user argument words (entry and done
+    /// frames occupy the first 16 words; a job frame needs 3 header words
+    /// plus the appended continuation handle).
+    pub job_words: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            slots: 32,
+            job_words: 64,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the ring slot count.
+    pub fn with_slots(mut self, slots: usize) -> Self {
+        self.slots = slots;
+        self
+    }
+
+    /// Sets the per-slot workspace size in words.
+    pub fn with_job_words(mut self, words: usize) -> Self {
+        self.job_words = words;
+        self
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(self.slots >= 1, "service ring needs at least one slot");
+        assert!(self.slots <= 0x1000, "service ring slot count exceeds 4096");
+        assert!(
+            self.job_words >= WS_JOB_OFF + JOB_FRAME_OVERHEAD,
+            "job_words must be at least {}",
+            WS_JOB_OFF + JOB_FRAME_OVERHEAD
+        );
+    }
+}
+
+/// A submitted job's receipt: resolves through
+/// [`ServiceHandle::await_job`] (or [`InjectorQueue::status`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobTicket {
+    /// Ring slot the job occupies until reclaimed.
+    pub slot: usize,
+    /// Globally unique (per machine file) submission number, from the
+    /// ring's durable ticket counter. Guards the slot against reuse races
+    /// (ABA): every status read verifies the slot still carries it.
+    pub ticket: u64,
+    /// The slot epoch this job was published at (each slot life bumps
+    /// it). Rescue and adoption re-claims bump the slot epoch further;
+    /// the gap between a resolution's epoch and this one counts the
+    /// re-claims the job survived ([`JobReport::rescues`]).
+    pub epoch: u64,
+}
+
+/// Where a ticket's job currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Still in the pipeline (published, claimed, or running).
+    InFlight(SlotPhase),
+    /// Completed exactly-once (the done CAM won).
+    Done {
+        /// Processor whose done CAM completed the job.
+        claimant: usize,
+        /// Slot epoch at completion. Exceeds the ticket's publish epoch
+        /// ([`JobTicket::epoch`]) by the number of rescue or adoption
+        /// re-claims the job survived.
+        claim_epoch: u64,
+    },
+    /// The slot no longer carries this ticket — the job was completed,
+    /// reclaimed, and the slot reused (double-await), or the ticket never
+    /// published.
+    Lost,
+}
+
+/// What [`ServiceHandle::await_job`] returns for a resolved ticket.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The resolved ticket.
+    pub ticket: JobTicket,
+    /// Processor whose done CAM completed the job.
+    pub claimant: usize,
+    /// Slot epoch at completion (see [`JobReport::rescues`]).
+    pub claim_epoch: u64,
+    /// Wall-clock time from the await call to resolution.
+    pub elapsed: Duration,
+    /// Cluster-wide state at resolution — the same nested shape batch
+    /// [`SessionReport`]s carry, so per-job and per-session reporting
+    /// share field names and accessors.
+    pub cluster: Option<ClusterSummary>,
+}
+
+impl JobReport {
+    /// Rescue or adoption re-claims this job survived: how many times
+    /// the slot epoch was bumped past the publish epoch because a
+    /// claimant was declared dead (0 = first claimant finished it).
+    pub fn rescues(&self) -> u64 {
+        self.claim_epoch.saturating_sub(self.ticket.epoch)
+    }
+
+    /// Total frontier entries adopted from dead shards (cluster-wide).
+    pub fn adopted(&self) -> u64 {
+        self.cluster.as_ref().map(|c| c.adopted()).unwrap_or(0)
+    }
+
+    /// Total refused adoptions (cluster-wide).
+    pub fn blocked(&self) -> u64 {
+        self.cluster.as_ref().map(|c| c.blocked()).unwrap_or(0)
+    }
+
+    /// Per-shard outcome rows, empty without a cluster summary.
+    pub fn shard_reports(&self) -> &[ShardReport] {
+        self.cluster
+            .as_ref()
+            .map(|c| c.shard_reports.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+// ====================================================================
+// The injector queue
+// ====================================================================
+
+/// The durable MPMC injector ring: submit-side (host code, CAS +
+/// persist-then-publish) and pull-side (capsules, §5 CAM discipline)
+/// views of the same persistent slots.
+///
+/// Constructed by the cluster session builder (service mode) or
+/// [`InjectorQueue::attach`]; installed into the scheduler so the steal
+/// loop scans for published slots before probing victim deques.
+pub struct InjectorQueue {
+    mem: Arc<PersistentMemory>,
+    obs: Arc<Obs>,
+    /// Ticket counter word + per-slot control words.
+    ring: Region,
+    /// `slots × job_words` private frame workspaces.
+    workspace: Region,
+    slots: usize,
+    job_words: usize,
+    entry_id: CapsuleId,
+    done_id: CapsuleId,
+    jobs_submitted: Counter,
+    jobs_claimed: Counter,
+    jobs_completed: Counter,
+}
+
+impl std::fmt::Debug for InjectorQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "InjectorQueue({} slots x {} words, depth {})",
+            self.slots,
+            self.job_words,
+            self.depth()
+        )
+    }
+}
+
+impl InjectorQueue {
+    /// Builds the queue over freshly allocated (or deterministically
+    /// re-allocated) regions, registering the `service/entry` and
+    /// `service/done` capsules and the queue metrics. Called from the
+    /// cluster session construction, in the same spot in every attaching
+    /// process, so the capsule ids written into shared frames agree.
+    pub(crate) fn install(
+        machine: &Machine,
+        ring: Region,
+        workspace: Region,
+        cfg: ServiceConfig,
+    ) -> Arc<Self> {
+        cfg.validate();
+        assert!(ring.len >= ring_words(cfg.slots), "ring region too small");
+        assert!(
+            workspace.len >= cfg.slots * cfg.job_words,
+            "workspace region too small"
+        );
+        let registry = machine.registry();
+        let obs = machine.obs().clone();
+        let reg = obs.registry();
+        let jobs_submitted = reg.counter(
+            "ppm_service_jobs_submitted_total",
+            "jobs published into the injector ring",
+        );
+        let jobs_claimed = reg.counter(
+            "ppm_service_jobs_claimed_total",
+            "injector claim CAMs won by this process's processors",
+        );
+        let jobs_completed = reg.counter(
+            "ppm_service_jobs_completed_total",
+            "job done CAMs won by this process's processors",
+        );
+
+        let entry_id = registry.allocate("service/entry");
+        registry.register_traced(
+            entry_id,
+            "service/entry",
+            move |args| {
+                let [state_a, ticket_a, ticket, job] = frame_args("service/entry", args)?;
+                Ok(capsule("service/entry", move |ctx| {
+                    let me = ctx.proc();
+                    // Ticket guard: if the slot was reclaimed and reused,
+                    // a stale resumed entry frame must do nothing.
+                    if ctx.pread(ticket_a as ppm_pm::Addr)? != ticket {
+                        return Ok(Next::End);
+                    }
+                    let st = ctx.pread(state_a as ppm_pm::Addr)?;
+                    let claimant = slot_claimant(st);
+                    match slot_phase(st) {
+                        // Our own claim: advance to RUNNING, then the job.
+                        Some(SlotPhase::Claimed) if claimant == me => {
+                            let new = slot_state(SlotPhase::Running, slot_epoch(st), me);
+                            Ok(Next::Jump(entry_cam(state_a, st, new, job)))
+                        }
+                        // We already advanced it and crashed before the
+                        // jump: just run the job.
+                        Some(SlotPhase::Running) if claimant == me => Ok(Next::JumpHandle(job)),
+                        // Adoption: the claimant hard-faulted mid-job and
+                        // we inherited its restart pointer. Re-claim at
+                        // epoch + 1 — the bump fences the dead claimant's
+                        // (or a falsely-dead survivor's) stale CAMs.
+                        Some(SlotPhase::Claimed) | Some(SlotPhase::Running)
+                            if !ctx.is_live(claimant) =>
+                        {
+                            let new = slot_state(SlotPhase::Running, slot_epoch(st) + 1, me);
+                            Ok(Next::Jump(entry_cam(state_a, st, new, job)))
+                        }
+                        // Someone else legitimately owns (or finished)
+                        // the slot: nothing for this thread.
+                        _ => Ok(Next::End),
+                    }
+                }))
+            },
+            |args, out| {
+                if let [state_a, ticket_a, _ticket, job] = args {
+                    out.extent(*state_a as usize, 1);
+                    out.extent(*ticket_a as usize, 1);
+                    out.handle(*job);
+                    true
+                } else {
+                    false
+                }
+            },
+        );
+
+        let done_id = registry.allocate("service/done");
+        let done_counter = jobs_completed.clone();
+        let done_obs = obs.clone();
+        registry.register_traced(
+            done_id,
+            "service/done",
+            move |args| {
+                let [state_a, ticket_a, ticket] = frame_args("service/done", args)?;
+                let completed = done_counter.clone();
+                let obs = done_obs.clone();
+                Ok(capsule("service/done", move |ctx| {
+                    if ctx.pread(ticket_a as ppm_pm::Addr)? != ticket {
+                        return Ok(Next::End);
+                    }
+                    let st = ctx.pread(state_a as ppm_pm::Addr)?;
+                    match slot_phase(st) {
+                        Some(SlotPhase::Running) => {
+                            let done_w =
+                                slot_state(SlotPhase::Done, slot_epoch(st), slot_claimant(st));
+                            Ok(Next::Jump(done_cam(
+                                state_a,
+                                st,
+                                done_w,
+                                ticket,
+                                completed.clone(),
+                                obs.clone(),
+                            )))
+                        }
+                        // DONE already (benign re-run), or a rescue
+                        // republished the slot out from under a
+                        // falsely-dead runner — the re-claimed run
+                        // completes it.
+                        _ => Ok(Next::End),
+                    }
+                }))
+            },
+            |args, out| {
+                if let [state_a, ticket_a, _ticket] = args {
+                    out.extent(*state_a as usize, 1);
+                    out.extent(*ticket_a as usize, 1);
+                    true
+                } else {
+                    false
+                }
+            },
+        );
+
+        let q = Arc::new(InjectorQueue {
+            mem: machine.mem().clone(),
+            obs,
+            ring,
+            workspace,
+            slots: cfg.slots,
+            job_words: cfg.job_words,
+            entry_id,
+            done_id,
+            jobs_submitted,
+            jobs_claimed,
+            jobs_completed,
+        });
+        let depth_q = q.clone();
+        q.obs.registry().gauge_fn(
+            "ppm_service_queue_depth",
+            "injector-ring slots currently published, claimed, or running",
+            &[],
+            move || depth_q.depth() as f64,
+        );
+        q
+    }
+
+    /// Attaches to an existing service machine from its persisted
+    /// [`ServiceHeader`] alone. The caller must have replayed the same
+    /// capsule registrations that preceded the queue's original
+    /// construction (construction determinism — the ids stored in shared
+    /// frames must agree), which the cluster session builder guarantees.
+    pub fn attach(machine: &Machine) -> io::Result<Arc<Self>> {
+        let header = machine
+            .mem()
+            .backend()
+            .read_service_header()
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "machine file has no service header (not a service run)",
+                )
+            })?;
+        let cfg = ServiceConfig {
+            slots: header.slots as usize,
+            job_words: header.job_words as usize,
+        };
+        let ring = Region {
+            start: header.ring_base as usize,
+            len: ring_words(cfg.slots),
+        };
+        let workspace = Region {
+            start: header.workspace_base as usize,
+            len: cfg.slots * cfg.job_words,
+        };
+        Ok(Self::install(machine, ring, workspace, cfg))
+    }
+
+    /// The ring's shape, as it would be persisted.
+    pub fn header(&self, state: ServiceState) -> ServiceHeader {
+        ServiceHeader {
+            state,
+            slots: self.slots as u64,
+            job_words: self.job_words as u64,
+            ring_base: self.ring.start as u64,
+            workspace_base: self.workspace.start as u64,
+        }
+    }
+
+    /// Ring slot count.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    fn counter_addr(&self) -> ppm_pm::Addr {
+        self.ring.start
+    }
+
+    fn state_addr(&self, slot: usize) -> ppm_pm::Addr {
+        self.ring.at(1 + slot * ppm_pm::service::SLOT_CTL_WORDS)
+    }
+
+    fn ticket_addr(&self, slot: usize) -> ppm_pm::Addr {
+        self.state_addr(slot) + 1
+    }
+
+    fn entry_addr(&self, slot: usize) -> ppm_pm::Addr {
+        self.state_addr(slot) + 2
+    }
+
+    fn check_addr(&self, slot: usize) -> ppm_pm::Addr {
+        self.state_addr(slot) + 3
+    }
+
+    fn ws_addr(&self, slot: usize) -> ppm_pm::Addr {
+        self.workspace.at(slot * self.job_words)
+    }
+
+    /// Job completions this process's processors have won (exactly-once
+    /// done CAMs; cluster-wide totals come from the aggregated scrape).
+    pub fn completed_total(&self) -> u64 {
+        self.jobs_completed.get()
+    }
+
+    /// Jobs currently published, claimed, or running (completed-but-
+    /// unreclaimed slots do not count). An oracle read.
+    pub fn depth(&self) -> usize {
+        (0..self.slots)
+            .filter(|s| {
+                matches!(
+                    slot_phase(self.mem.load(self.state_addr(*s))),
+                    Some(SlotPhase::Published)
+                        | Some(SlotPhase::Claimed)
+                        | Some(SlotPhase::Running)
+                )
+            })
+            .count()
+    }
+
+    /// Maximum user argument words a job submission may carry.
+    pub fn max_args(&self) -> usize {
+        self.job_words - WS_JOB_OFF - JOB_FRAME_OVERHEAD
+    }
+
+    /// Submits a job: the capsule `kind`'s frame is built in the won
+    /// slot's workspace with `args` plus an appended continuation handle
+    /// (the slot's done frame — `kind`'s constructor must treat its last
+    /// argument as the frame handle to jump to on completion, the
+    /// standard continuation-passing contract). Runs host-side (oracle
+    /// writes + one durability flush), not as model capsules: crash
+    /// atomicity comes from persist-then-publish, not from capsule
+    /// idempotence.
+    ///
+    /// Fails `WouldBlock` when no slot is reclaimable (backpressure) and
+    /// `InvalidInput` when `args` exceeds [`InjectorQueue::max_args`].
+    pub fn submit(&self, kind: CapsuleId, args: &[Word]) -> io::Result<JobTicket> {
+        if args.len() > self.max_args() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "job args ({}) exceed the slot workspace budget ({})",
+                    args.len(),
+                    self.max_args()
+                ),
+            ));
+        }
+        let ticket = self.mem.fetch_add(self.counter_addr(), 1) + 1;
+        // host-CAS: submitters are host threads outside the capsule
+        // re-execution regime — a crashed submitter never re-runs this
+        // CAS, and a torn staging slot is scavenged on recovery; the
+        // two-phase publish below is what makes the crash harmless. The
+        // epoch bump on the staging transition fences any stale CAM
+        // aimed at the slot's previous life.
+        let (slot, epoch) = 'won: {
+            for i in 0..self.slots {
+                let s = (ticket as usize + i) % self.slots;
+                let w = self.mem.load(self.state_addr(s));
+                if slot_phase(w) == Some(SlotPhase::Empty) {
+                    let staging = slot_state(SlotPhase::Staging, slot_epoch(w) + 1, 0);
+                    // host-CAS: see the block comment above.
+                    if self
+                        .mem
+                        .cas_unsafe_under_faults(self.state_addr(s), w, staging)
+                    {
+                        break 'won (s, slot_epoch(staging));
+                    }
+                }
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "injector ring full (await completed jobs to free slots)",
+            ));
+        };
+
+        // Phase 1 — persist: frames and control words, then flush.
+        let ws = self.ws_addr(slot);
+        let state_a = self.state_addr(slot) as Word;
+        let ticket_a = self.ticket_addr(slot) as Word;
+        let done_at = (ws + WS_DONE_OFF) as Word;
+        let job_at = (ws + WS_JOB_OFF) as Word;
+        let entry_at = (ws + WS_ENTRY_OFF) as Word;
+        store_frame(
+            &self.mem,
+            ws + WS_DONE_OFF,
+            self.done_id,
+            &[state_a, ticket_a, ticket],
+        );
+        let mut job_args = Vec::with_capacity(args.len() + 1);
+        job_args.extend_from_slice(args);
+        job_args.push(done_at);
+        store_frame(&self.mem, ws + WS_JOB_OFF, kind, &job_args);
+        store_frame(
+            &self.mem,
+            ws + WS_ENTRY_OFF,
+            self.entry_id,
+            &[state_a, ticket_a, ticket, job_at],
+        );
+        self.mem.store(self.ticket_addr(slot), ticket);
+        self.mem.store(self.entry_addr(slot), entry_at);
+        self.mem
+            .store(self.check_addr(slot), slot_checksum(ticket, entry_at));
+        self.mem.flush_dirty()?;
+
+        // Phase 2 — publish: the single visibility point.
+        self.mem.store(
+            self.state_addr(slot),
+            slot_state(SlotPhase::Published, epoch, 0),
+        );
+        self.jobs_submitted.inc();
+        self.obs
+            .tracer()
+            .record_with(TraceKind::JobSubmitted, None, None, || {
+                format!("ticket {ticket} published in slot {slot} (epoch {epoch})")
+            });
+        Ok(JobTicket {
+            slot,
+            ticket,
+            epoch,
+        })
+    }
+
+    /// Ephemeral puller peek: the first `PUBLISHED` slot, scanning from a
+    /// processor- and attempt-staggered start so spinning processors
+    /// don't all hammer slot 0. Uncosted, like victim selection — the
+    /// costed claim is the capsule chain entered on the result.
+    pub(crate) fn scan_published(&self, me: usize, n: u64) -> Option<usize> {
+        let start = me.wrapping_mul(7).wrapping_add(n as usize);
+        (0..self.slots)
+            .map(|i| (start + i) % self.slots)
+            .find(|s| slot_phase(self.mem.load(self.state_addr(*s))) == Some(SlotPhase::Published))
+    }
+
+    /// Where `ticket` currently stands. An oracle read, safe from any
+    /// process attached to the machine.
+    pub fn status(&self, t: JobTicket) -> JobStatus {
+        if t.slot >= self.slots {
+            return JobStatus::Lost;
+        }
+        let st = self.mem.load(self.state_addr(t.slot));
+        if self.mem.load(self.ticket_addr(t.slot)) != t.ticket {
+            return JobStatus::Lost;
+        }
+        match slot_phase(st) {
+            Some(SlotPhase::Done) => JobStatus::Done {
+                claimant: slot_claimant(st),
+                claim_epoch: slot_epoch(st),
+            },
+            // Reclaimed after completion (double await): still resolved.
+            Some(SlotPhase::Empty) => JobStatus::Done {
+                claimant: slot_claimant(st),
+                claim_epoch: slot_epoch(st),
+            },
+            Some(p) => JobStatus::InFlight(p),
+            None => JobStatus::Lost,
+        }
+    }
+
+    /// Frees a completed ticket's slot (`DONE → EMPTY`, epoch bumped).
+    /// Returns whether this call performed the reclaim.
+    pub fn reclaim(&self, t: JobTicket) -> bool {
+        if t.slot >= self.slots || self.mem.load(self.ticket_addr(t.slot)) != t.ticket {
+            return false;
+        }
+        let st = self.mem.load(self.state_addr(t.slot));
+        if slot_phase(st) != Some(SlotPhase::Done) {
+            return false;
+        }
+        let empty = slot_state(SlotPhase::Empty, slot_epoch(st) + 1, 0);
+        // host-CAS: reclaim runs on the awaiting host thread, never
+        // re-executed after a fault; losing the race just means another
+        // reclaimer (or none) freed the slot.
+        self.mem
+            .cas_unsafe_under_faults(self.state_addr(t.slot), st, empty)
+    }
+
+    /// Republishes every `CLAIMED` or `RUNNING` slot whose claimant
+    /// `claimant_dead` certifies dead, at epoch + 1 (fencing the dead —
+    /// or falsely-dead — claimant's stale CAMs). Driven by the service
+    /// handle's lease sweep; also covers jobs stuck behind a
+    /// blocked-adoption window, since a republished slot is re-claimed
+    /// from its entry frame rather than the dead processor's frozen deque
+    /// entry. Returns the number of rescued slots.
+    pub fn rescue(&self, claimant_dead: impl Fn(usize) -> bool) -> usize {
+        let mut rescued = 0;
+        for s in 0..self.slots {
+            let w = self.mem.load(self.state_addr(s));
+            let phase = slot_phase(w);
+            if !matches!(phase, Some(SlotPhase::Claimed) | Some(SlotPhase::Running)) {
+                continue;
+            }
+            if !claimant_dead(slot_claimant(w)) {
+                continue;
+            }
+            let republished = slot_state(SlotPhase::Published, slot_epoch(w) + 1, 0);
+            // host-CAS: the rescue sweep runs on the supervisor host
+            // thread; a lost race means a sibling sweep (or the claimant
+            // itself, alive after all) moved the slot first.
+            if self
+                .mem
+                .cas_unsafe_under_faults(self.state_addr(s), w, republished)
+            {
+                rescued += 1;
+                self.obs
+                    .tracer()
+                    .record_with(TraceKind::JobSubmitted, None, None, || {
+                        format!(
+                            "slot {s} republished at epoch {} (claimant {} dead)",
+                            slot_epoch(republished),
+                            slot_claimant(w)
+                        )
+                    });
+            }
+        }
+        rescued
+    }
+
+    /// Quiescent recovery sweep (no live pullers or submitters): torn
+    /// staging slots are reclaimed, interrupted claims are republished
+    /// (epoch + 1), and a published slot whose control words fail their
+    /// checksum is reclaimed rather than served. Plain stores — the
+    /// caller owns the machine exclusively.
+    pub fn scavenge(&self) -> usize {
+        let mut touched = 0;
+        for s in 0..self.slots {
+            let w = self.mem.load(self.state_addr(s));
+            let next = match slot_phase(w) {
+                Some(SlotPhase::Staging) => Some(slot_state(SlotPhase::Empty, slot_epoch(w), 0)),
+                Some(SlotPhase::Claimed) | Some(SlotPhase::Running) => {
+                    Some(slot_state(SlotPhase::Published, slot_epoch(w) + 1, 0))
+                }
+                Some(SlotPhase::Published) => {
+                    let ticket = self.mem.load(self.ticket_addr(s));
+                    let entry = self.mem.load(self.entry_addr(s));
+                    let ok = self.mem.load(self.check_addr(s)) == slot_checksum(ticket, entry)
+                        && is_frame_at(&self.mem, entry as usize);
+                    if ok {
+                        None
+                    } else {
+                        Some(slot_state(SlotPhase::Empty, slot_epoch(w) + 1, 0))
+                    }
+                }
+                _ => None,
+            };
+            if let Some(next) = next {
+                self.mem.store(self.state_addr(s), next);
+                touched += 1;
+            }
+        }
+        touched
+    }
+
+    pub(crate) fn note_claimed(&self, me: usize, slot: usize, ticket: u64) {
+        self.jobs_claimed.inc();
+        self.obs
+            .tracer()
+            .record_with(TraceKind::JobClaimed, None, Some(me as u32), || {
+                format!("ticket {ticket} claimed from slot {slot}")
+            });
+    }
+}
+
+// ====================================================================
+// Pull capsules (the claim chain, entered from the steal loop)
+// ====================================================================
+
+/// Claim chain capsule 1: re-read the slot (the scan was an uncosted
+/// peek), verify the two-phase publish's checksum, and enter the claim
+/// CAM. Any mismatch falls back into the steal loop.
+pub(crate) fn pull_read(s: &Arc<Sched>, slot: usize, n: u64) -> Cont {
+    let s = s.clone();
+    sched_capsule("service/pull/read", move |ctx| {
+        let me = ctx.proc();
+        let q = s.injector().expect("pull without an injector queue");
+        let st = ctx.pread(q.state_addr(slot))?;
+        if slot_phase(st) != Some(SlotPhase::Published) {
+            return Ok(Next::Jump(s.steal_attempt(n + 1)));
+        }
+        let ticket = ctx.pread(q.ticket_addr(slot))?;
+        let entry = ctx.pread(q.entry_addr(slot))?;
+        let check = ctx.pread(q.check_addr(slot))?;
+        if check != slot_checksum(ticket, entry) || !is_frame_at(s.mem(), entry as usize) {
+            // A torn publish cannot happen (publish follows the flush);
+            // this guards scavenge-worthy corruption from spreading.
+            return Ok(Next::Jump(s.steal_attempt(n + 1)));
+        }
+        let claimed = slot_state(SlotPhase::Claimed, slot_epoch(st), me);
+        Ok(Next::Jump(pull_cam(
+            &s, slot, st, claimed, entry, ticket, n,
+        )))
+    })
+}
+
+/// Claim chain capsule 2: the claim CAM. Claimant-distinct payloads keep
+/// racing pullers' CAMs non-identical (§5's exactly-once requirement).
+fn pull_cam(
+    s: &Arc<Sched>,
+    slot: usize,
+    old: Word,
+    claimed: Word,
+    entry: Word,
+    ticket: Word,
+    n: u64,
+) -> Cont {
+    let s = s.clone();
+    sched_capsule("service/pull/cam", move |ctx| {
+        let q = s.injector().expect("pull without an injector queue");
+        ctx.pcam(q.state_addr(slot), old, claimed)?;
+        Ok(Next::Jump(pull_check(&s, slot, claimed, entry, ticket, n)))
+    })
+}
+
+/// Claim chain capsule 3: did our CAM win? Winning seats the puller's
+/// thread marker and enters the slot's entry frame (a registered capsule
+/// — the restart pointer any adopting process can rehydrate); losing
+/// falls back into the steal loop.
+fn pull_check(
+    s: &Arc<Sched>,
+    slot: usize,
+    claimed: Word,
+    entry: Word,
+    ticket: Word,
+    n: u64,
+) -> Cont {
+    let s = s.clone();
+    sched_capsule("service/pull/check", move |ctx| {
+        let me = ctx.proc();
+        let q = s.injector().expect("pull without an injector queue");
+        if ctx.pread(q.state_addr(slot))? == claimed {
+            q.note_claimed(me, slot, ticket);
+            return Ok(Next::Jump(pull_seat(&s, entry)));
+        }
+        Ok(Next::Jump(s.steal_attempt(n + 1)))
+    })
+}
+
+/// Claim chain capsule 4 (won claims only): seat the puller's thread
+/// marker — `Local` at the bottom of its own deque — then enter the
+/// job's entry frame.
+///
+/// A deque steal gets this seat from the helpPopTop protocol (the
+/// `Taken` entry names the thief's slot, and helpers CAM that slot to
+/// `Local`); a queue pull has no `Taken` entry, so without this step the
+/// puller would run the job with an `Empty` bottom entry and the job's
+/// first fork would spin forever in `pushBottom`'s adopting-thief arm.
+/// Unchecked like `clearBottom`: reads its own bottom tag and rewrites
+/// it (the Lemma A.12 idempotence argument — a re-run overwrites with
+/// another `Local`, and the tag bump fences any stale helper CAM aimed
+/// at this slot from an earlier abandoned steal).
+///
+/// Crash window: dying after the seat but before the entry frame leaves
+/// a dead processor with a seated `Local` whose restart pointer does not
+/// yet name the entry frame — harmless, because the slot is `CLAIMED` by
+/// a dead claimant and the rescue sweep republishes it at epoch + 1; the
+/// entry capsule's epoch guard fences whichever path loses the re-claim.
+fn pull_seat(s: &Arc<Sched>, entry: Word) -> Cont {
+    let s = s.clone();
+    capsule_unchecked("service/pull/seat", move |ctx| {
+        let me = ctx.proc();
+        let d = s.deques()[me];
+        let b = ctx.pread(d.bot)? as usize;
+        let cur = ctx.pread(d.entry(b))?;
+        ctx.pwrite(
+            d.entry(b),
+            pack(tag_of(cur).wrapping_add(1), EntryVal::Local),
+        )?;
+        Ok(Next::JumpHandle(entry))
+    })
+}
+
+/// `service/entry` tail: the `CLAIMED → RUNNING` CAM and its check.
+fn entry_cam(state_a: Word, old: Word, new: Word, job: Word) -> Cont {
+    sched_capsule("service/entry/cam", move |ctx| {
+        ctx.pcam(state_a as ppm_pm::Addr, old, new)?;
+        Ok(Next::Jump(entry_check(state_a, new, job)))
+    })
+}
+
+fn entry_check(state_a: Word, new: Word, job: Word) -> Cont {
+    sched_capsule("service/entry/check", move |ctx| {
+        if ctx.pread(state_a as ppm_pm::Addr)? == new {
+            return Ok(Next::JumpHandle(job));
+        }
+        // Lost to a rescue (we were declared dead) — the re-claimed run
+        // owns the job now.
+        Ok(Next::End)
+    })
+}
+
+/// `service/done` tail: the exactly-once `RUNNING → DONE` CAM and its
+/// check (which counts and traces the completion).
+fn done_cam(
+    state_a: Word,
+    old: Word,
+    done_w: Word,
+    ticket: Word,
+    completed: Counter,
+    obs: Arc<Obs>,
+) -> Cont {
+    sched_capsule("service/done/cam", move |ctx| {
+        ctx.pcam(state_a as ppm_pm::Addr, old, done_w)?;
+        Ok(Next::Jump(done_check(
+            state_a,
+            done_w,
+            ticket,
+            completed.clone(),
+            obs.clone(),
+        )))
+    })
+}
+
+fn done_check(
+    state_a: Word,
+    done_w: Word,
+    ticket: Word,
+    completed: Counter,
+    obs: Arc<Obs>,
+) -> Cont {
+    sched_capsule("service/done/check", move |ctx| {
+        let me = ctx.proc();
+        if ctx.pread(state_a as ppm_pm::Addr)? == done_w {
+            completed.inc();
+            obs.tracer()
+                .record_with(TraceKind::JobDone, None, Some(me as u32), || {
+                    format!("ticket {ticket} completed (epoch {})", slot_epoch(done_w))
+                });
+        }
+        Ok(Next::End)
+    })
+}
+
+// ====================================================================
+// The service handle
+// ====================================================================
+
+/// How long [`ServiceHandle::shutdown`] waits for workers to observe the
+/// done flag before killing them.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(10);
+
+/// The coordinator's handle on a running job service: submit jobs, await
+/// their tickets, watch worker health (reaping dead workers and rescuing
+/// their claimed jobs), pace cross-process checkpoints, and wind the
+/// service down. Created by
+/// [`crate::cluster::ClusterBuilder::spawn`].
+pub struct ServiceHandle {
+    observer: ClusterObserver,
+    queue: Arc<InjectorQueue>,
+    children: Vec<Option<std::process::Child>>,
+    state: ServiceState,
+    quiesce_every: Option<Duration>,
+    last_quiesce: Instant,
+    quiesce_seq: u64,
+    /// The coordinator's aggregated scrape endpoint (`PPM_METRICS_PORT`),
+    /// held so it answers for the whole service lifetime.
+    _metrics: Option<ppm_obs::MetricsServer>,
+}
+
+impl ServiceHandle {
+    pub(crate) fn new(
+        observer: ClusterObserver,
+        queue: Arc<InjectorQueue>,
+        children: Vec<Option<std::process::Child>>,
+        quiesce_every: Option<Duration>,
+        metrics: Option<ppm_obs::MetricsServer>,
+    ) -> Self {
+        ServiceHandle {
+            observer,
+            queue,
+            children,
+            state: ServiceState::Accepting,
+            quiesce_every,
+            last_quiesce: Instant::now(),
+            quiesce_seq: 0,
+            _metrics: metrics,
+        }
+    }
+
+    /// The observer half (progress reads, lease table, metrics).
+    pub fn observer(&self) -> &ClusterObserver {
+        &self.observer
+    }
+
+    /// The injector queue (direct submit/status access for tests and
+    /// embedders that manage their own tickets).
+    pub fn queue(&self) -> &Arc<InjectorQueue> {
+        &self.queue
+    }
+
+    /// Jobs currently in flight.
+    pub fn depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Submits a job by registered capsule name (the name must have been
+    /// registered by the session's [`crate::cluster::ShardBuild`] —
+    /// construction determinism guarantees every worker can rehydrate
+    /// it). The capsule's constructor receives `args` plus an appended
+    /// continuation frame handle it must jump to on completion.
+    pub fn submit(&mut self, kind: &'static str, args: &[Word]) -> io::Result<JobTicket> {
+        self.tick();
+        if self.state != ServiceState::Accepting {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "service is draining or stopped",
+            ));
+        }
+        let id = self
+            .observer
+            .machine()
+            .registry()
+            .id_of(kind)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("no registered capsule named {kind:?}"),
+                )
+            })?;
+        self.queue.submit(id, args)
+    }
+
+    /// Blocks until `ticket` resolves (completing the exactly-once
+    /// contract by reclaiming its slot) or `timeout` passes. Worker
+    /// health is swept while waiting, so a ticket claimed by a
+    /// killed worker is rescued and completed by a survivor rather than
+    /// timing out.
+    pub fn await_job(&mut self, ticket: JobTicket, timeout: Duration) -> io::Result<JobReport> {
+        let start = Instant::now();
+        loop {
+            self.tick();
+            match self.queue.status(ticket) {
+                JobStatus::Done {
+                    claimant,
+                    claim_epoch,
+                } => {
+                    self.queue.reclaim(ticket);
+                    return Ok(JobReport {
+                        ticket,
+                        claimant,
+                        claim_epoch,
+                        elapsed: start.elapsed(),
+                        cluster: Some(self.observer.summary()),
+                    });
+                }
+                JobStatus::Lost => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!(
+                            "ticket {} lost (slot reused or never published)",
+                            ticket.ticket
+                        ),
+                    ));
+                }
+                JobStatus::InFlight(_) => {
+                    if start.elapsed() > timeout {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("ticket {} still in flight", ticket.ticket),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+
+    /// One health sweep: reap exited workers (tombstoning their leases so
+    /// survivors adopt immediately), rescue injector slots claimed by
+    /// dead shards, and pace the cross-process checkpoint quiesce.
+    pub fn tick(&mut self) {
+        for (s, slot) in self.children.iter_mut().enumerate() {
+            if let Some(child) = slot {
+                if child.try_wait().map(|st| st.is_some()).unwrap_or(true) {
+                    *slot = None;
+                    let done_lease = matches!(
+                        self.observer.lease(s),
+                        Some(Lease {
+                            state: LeaseState::Done,
+                            ..
+                        })
+                    );
+                    if !done_lease {
+                        self.observer.tombstone(s);
+                    }
+                }
+            }
+        }
+        let machine = self.observer.machine();
+        let map = *self.observer.map();
+        let backend = machine.mem().backend();
+        let now = ppm_pm::now_ms();
+        let shard_dead = |shard: usize| match backend.read_lease(shard) {
+            Some(l) => l.is_dead(now) || l.state == LeaseState::Done,
+            None => false,
+        };
+        self.queue
+            .rescue(|claimant| claimant < map.procs() && shard_dead(map.shard_of(claimant)));
+        self.maybe_request_quiesce(map, now);
+    }
+
+    /// Raises the superblock quiesce request when the cadence is due and
+    /// the previous round has released (or timed out — a performer that
+    /// died mid-round must not wedge the cadence forever).
+    fn maybe_request_quiesce(&mut self, map: ShardMap, now: u64) {
+        let Some(every) = self.quiesce_every else {
+            return;
+        };
+        if self.last_quiesce.elapsed() < every {
+            return;
+        }
+        let machine = self.observer.machine();
+        let backend = machine.mem().backend();
+        let released = backend.read_quiesce_word(QUIESCE_REL_OFFSET) >= self.quiesce_seq;
+        if !released && self.last_quiesce.elapsed() < every.saturating_mul(3) {
+            return;
+        }
+        // Elect the lowest shard holding a live, unexpired lease. Every
+        // live shard acks; only the performer runs the checkpoint.
+        let performer = (0..map.shards).find(|s| {
+            matches!(backend.read_lease(*s),
+                     Some(l) if l.state == LeaseState::Alive && !l.is_dead(now))
+        });
+        let Some(performer) = performer else {
+            self.last_quiesce = Instant::now();
+            return;
+        };
+        self.quiesce_seq += 1;
+        backend.write_quiesce_word(
+            QUIESCE_REQ_OFFSET,
+            pack_quiesce_req(self.quiesce_seq, performer),
+        );
+        self.last_quiesce = Instant::now();
+        machine
+            .obs()
+            .tracer()
+            .record_with(TraceKind::Checkpoint, None, None, || {
+                format!(
+                    "cluster quiesce {} requested (performer shard {performer})",
+                    self.quiesce_seq
+                )
+            });
+    }
+
+    /// Stops accepting submissions and waits (up to `timeout`) for the
+    /// in-flight jobs to finish. Workers keep running — a drained service
+    /// still accepts [`ServiceHandle::shutdown`] or a return to service
+    /// by a fresh handle.
+    pub fn drain(&mut self, timeout: Duration) -> io::Result<()> {
+        self.state = ServiceState::Draining;
+        let _ = self
+            .observer
+            .machine()
+            .mem()
+            .backend()
+            .write_service_header(&self.queue.header(ServiceState::Draining));
+        let start = Instant::now();
+        while self.queue.depth() > 0 {
+            self.tick();
+            if start.elapsed() > timeout {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("{} jobs still in flight", self.queue.depth()),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    }
+
+    /// Kills worker `shard` (SIGKILL) and tombstones its lease — the
+    /// fault-injection hook service examples and tests use. Jobs the
+    /// shard had claimed are rescued on the next sweep.
+    pub fn kill_worker(&mut self, shard: usize) -> io::Result<()> {
+        let child = self
+            .children
+            .get_mut(shard)
+            .and_then(Option::take)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no live worker for shard {shard}"),
+                )
+            })?;
+        let mut child = child;
+        let _ = child.kill();
+        let _ = child.wait();
+        self.observer.tombstone(shard);
+        Ok(())
+    }
+
+    /// Stops the service: marks the header `Stopped`, sets the global
+    /// done flag (workers halt at their next steal-loop poll), waits for
+    /// worker exits (killing stragglers after a grace period), and
+    /// returns the final session report.
+    pub fn shutdown(mut self) -> io::Result<SessionReport> {
+        self.state = ServiceState::Stopped;
+        let _ = self
+            .observer
+            .machine()
+            .mem()
+            .backend()
+            .write_service_header(&self.queue.header(ServiceState::Stopped));
+        self.observer.set_done();
+        let start = Instant::now();
+        loop {
+            for slot in self.children.iter_mut() {
+                if let Some(child) = slot {
+                    if child.try_wait().map(|st| st.is_some()).unwrap_or(true) {
+                        *slot = None;
+                    }
+                }
+            }
+            if self.children.iter().all(|c| c.is_none()) {
+                break;
+            }
+            if start.elapsed() > SHUTDOWN_GRACE {
+                for slot in self.children.iter_mut() {
+                    if let Some(child) = slot {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        *slot = None;
+                    }
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.observer.finish()?;
+        let machine = self.observer.machine();
+        Ok(SessionReport {
+            epoch: machine.epoch(),
+            mode: crate::driver::SessionMode::FreshRun,
+            found_jobs: 0,
+            found_locals: 0,
+            found_taken: 0,
+            live_restart_pointers: 0,
+            resumed: 0,
+            fallback_reason: None,
+            checkpoint_resume: None,
+            cluster: Some(self.observer.summary()),
+            trace: Some(machine.obs().tracer().summary()),
+            run: None,
+        })
+    }
+}

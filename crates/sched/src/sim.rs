@@ -39,9 +39,11 @@ use ppm_pm::{ProcCtx, Word};
 
 use crate::capsules::{Sched, SchedConfig};
 use crate::checkpoint::{CheckpointCtl, CheckpointPolicy};
+use crate::cluster::ShardDomain;
 use crate::deque::check_invariant;
 use crate::driver::ProcOutcome;
 use crate::entry::{pack, EntryVal};
+use crate::service::{InjectorQueue, ServiceConfig};
 
 /// One scripted operation of a simulated schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,6 +202,68 @@ impl<'m> SimSched<'m> {
             .resolve(root_handle)
             .expect("root frame handle must rehydrate through the registry");
         Self::seat(machine, done, root, root_handle, cfg)
+    }
+
+    /// A simulator over a **service-mode** scheduler: no root computation
+    /// is seated — every processor starts at `findWork` and work arrives
+    /// through a durable injector ring allocated here (the in-process
+    /// twin of a service session's queue). Submit host-side through the
+    /// returned [`InjectorQueue`] handle; the steal loop consults the
+    /// ring before probing victim deques, so a script can place a claim
+    /// race or a live-shard steal between any two capsules.
+    ///
+    /// Pass a [`ShardDomain`] (with live stealing enabled) to route
+    /// victim selection across shard boundaries through the real
+    /// `pick_victim` path; `None` simulates a plain single-shard service
+    /// process.
+    ///
+    /// The run has no root thread to set the completion flag — call
+    /// [`SimSched::set_done`] once the ring drains (what the service
+    /// supervisor does at shutdown) so the steal loops halt.
+    pub fn new_service(
+        machine: &'m Machine,
+        cfg: &SchedConfig,
+        service: ServiceConfig,
+        domain: Option<Arc<ShardDomain>>,
+    ) -> (Self, Arc<InjectorQueue>) {
+        let done = DoneFlag::new(machine);
+        let ring = machine.alloc_region(ppm_pm::service::ring_words(service.slots));
+        let workspace = machine.alloc_region(service.slots * service.job_words);
+        let queue = InjectorQueue::install(machine, ring, workspace, service);
+        let sched = match domain {
+            Some(d) => Sched::new_sharded(machine, done, cfg, d),
+            None => Sched::new(machine, done, cfg),
+        };
+        sched.set_injector(queue.clone());
+        let procs = (0..machine.procs())
+            .map(|p| SimProc {
+                ctx: machine.ctx(p),
+                install: InstallCtx::new(machine.proc_meta(p)),
+                cur: Some(sched.find_work()),
+                outcome: None,
+            })
+            .collect();
+        let ctl = CheckpointCtl::new(machine, sched.clone(), CheckpointPolicy::Disabled);
+        let on_end = sched.scheduler_entry();
+        let sim = SimSched {
+            machine,
+            sched,
+            done,
+            ctl,
+            on_end,
+            procs,
+            events: Vec::new(),
+            steps: 0,
+        };
+        (sim, queue)
+    }
+
+    /// Host-side completion signal for service-mode runs: sets the done
+    /// flag the way the service supervisor does once the injector ring
+    /// drains, releasing every steal loop to halt at its next
+    /// termination check.
+    pub fn set_done(&self) {
+        self.machine.mem().store(self.done.addr(), 1);
     }
 
     /// §6.3 seating shared by both roots (mirrors the driver's
@@ -548,6 +612,167 @@ mod tests {
         for i in 0..8 {
             assert_eq!(m.mem().load(r.at(i)), i as u64 + 1);
         }
+    }
+
+    /// The service-mode interleaving the model's injector extension
+    /// abstracts, driven through the real capsules: both processors race
+    /// the published slot's claim CAM step-by-step, the loser falls back
+    /// to the deque-steal path and harvests the winner's forked subtasks
+    /// across the shard boundary (live-shard stealing), and the ticket
+    /// resolves exactly once.
+    #[test]
+    fn scripted_live_shard_steal_races_the_queue_pull() {
+        use crate::cluster::ShardDomain;
+        use crate::service::{JobStatus, ServiceConfig};
+        use ppm_core::{dsl, Persist};
+        use ppm_pm::ShardMap;
+
+        let m = machine(2, FaultConfig::none());
+        // Two processors in two one-processor shards; the domain is shard
+        // 0's view, with cross-shard victim selection switched on.
+        let domain = ShardDomain::new(ShardMap::new(2, 2), 0);
+        domain.set_live_stealing(true);
+
+        let out = m.alloc_region(16);
+        let split = {
+            let mut set = dsl::CapsuleSet::new(&m);
+            let leaf = set.define(
+                "simsvc/mark",
+                |st: &dsl::Span<Region>, k, ctx: &mut ProcCtx| {
+                    for i in st.lo..st.hi {
+                        ctx.pwrite(st.env.at(i), i as u64 + 1)?;
+                    }
+                    Ok(dsl::Step::Jump(k))
+                },
+            );
+            set.map_grain("simsvc/split", 1, leaf)
+        };
+
+        let (mut sim, queue) = SimSched::new_service(
+            &m,
+            &SchedConfig::with_slots(256),
+            ServiceConfig::default().with_slots(4),
+            Some(domain.clone()),
+        );
+        let mut args = Vec::new();
+        dsl::Span {
+            env: out,
+            lo: 0usize,
+            hi: 8usize,
+        }
+        .encode(&mut args);
+        let ticket = queue.submit(split.id(), &args).expect("submit");
+        assert_eq!(queue.depth(), 1, "published slot visible before any pull");
+
+        // Strict alternation, one capsule at a time: both pullers scan the
+        // ring, both enter the pull chain, exactly one claim CAM wins; the
+        // loser's steal loop then probes the winner's deque every other
+        // step while the splitter forks.
+        for _ in 0..400 {
+            if matches!(queue.status(ticket), JobStatus::Done { .. }) {
+                break;
+            }
+            sim.step(1);
+            sim.step(0);
+        }
+
+        let status = queue.status(ticket);
+        assert!(
+            matches!(status, JobStatus::Done { .. }),
+            "ticket must resolve under alternation, got {status:?}\n{}",
+            sim.render_trace()
+        );
+
+        // Drain complete: signal done the way the supervisor does and let
+        // the trailing capsules (the winner's done/check, the loser's
+        // steal loop) observe it and halt cleanly.
+        sim.set_done();
+        sim.run_to_completion(1_000);
+
+        assert_eq!(queue.completed_total(), 1, "exactly-once resolution");
+        assert_eq!(queue.depth(), 0);
+        for i in 0..8 {
+            assert_eq!(m.mem().load(out.at(i)), i as u64 + 1, "leaf effect {i}");
+        }
+
+        // Both processors reached the claim CAM — the scripted race was
+        // real, not one puller draining an idle ring.
+        let racers: std::collections::BTreeSet<usize> = sim
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::Ran { proc, capsule, .. } if capsule == "service/pull/cam" => Some(*proc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            racers.len(),
+            2,
+            "both processors must race the claim CAM\n{}",
+            sim.render_trace()
+        );
+        // The losing puller crossed the shard boundary for the winner's
+        // forked subtasks.
+        assert!(
+            domain.live_steals() > 0,
+            "expected a live-shard steal in the interleaving\n{}",
+            sim.render_trace()
+        );
+
+        let rep = sim.finish();
+        assert!(rep.completed);
+        assert!(rep.outcomes.iter().all(|o| *o == Some(ProcOutcome::Halted)));
+    }
+
+    /// Same service script, same submission: the trace and final machine
+    /// digest are bit-identical across runs — service mode keeps the
+    /// simulator's determinism witness.
+    #[test]
+    fn service_mode_scripts_replay_deterministically() {
+        use crate::cluster::ShardDomain;
+        use crate::service::ServiceConfig;
+        use ppm_core::{dsl, Persist};
+        use ppm_pm::ShardMap;
+
+        let run = || {
+            let m = machine(2, FaultConfig::none());
+            let domain = ShardDomain::new(ShardMap::new(2, 2), 0);
+            domain.set_live_stealing(true);
+            let out = m.alloc_region(16);
+            let mut set = dsl::CapsuleSet::new(&m);
+            let leaf = set.define(
+                "simsvc/mark",
+                |st: &dsl::Span<Region>, k, ctx: &mut ProcCtx| {
+                    for i in st.lo..st.hi {
+                        ctx.pwrite(st.env.at(i), i as u64 + 1)?;
+                    }
+                    Ok(dsl::Step::Jump(k))
+                },
+            );
+            let split = set.map_grain("simsvc/split", 1, leaf);
+            let (mut sim, queue) = SimSched::new_service(
+                &m,
+                &SchedConfig::with_slots(256),
+                ServiceConfig::default().with_slots(4),
+                Some(domain),
+            );
+            let mut args = Vec::new();
+            dsl::Span {
+                env: out,
+                lo: 0usize,
+                hi: 8usize,
+            }
+            .encode(&mut args);
+            queue.submit(split.id(), &args).expect("submit");
+            sim.run_seeded(7, 2_000);
+            sim.set_done();
+            sim.run_to_completion(1_000);
+            (sim.render_trace(), sim.digest())
+        };
+        let (t1, d1) = run();
+        let (t2, d2) = run();
+        assert_eq!(t1, t2, "service-mode schedule must replay byte-identically");
+        assert_eq!(d1, d2);
     }
 
     #[test]

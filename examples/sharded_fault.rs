@@ -53,7 +53,7 @@ mod scenario {
     use ppm::algs::{samplesort_pool_words, SampleSort};
     use ppm::core::Machine;
     use ppm::pm::{PmConfig, Region, TempMachineFile, Word};
-    use ppm::sched::cluster::{self, ClusterConfig, ClusterObserver, ShardBuild};
+    use ppm::sched::cluster::{self, ClusterBuilder, ClusterObserver, ShardBuild};
     use ppm::sched::SessionMode;
 
     const PROCS_PER_SHARD: usize = 2;
@@ -77,17 +77,18 @@ mod scenario {
             .unwrap_or(4)
     }
 
-    fn cluster_cfg(shards: usize) -> ClusterConfig {
-        ClusterConfig::new(
-            PmConfig::parallel(shards * PROCS_PER_SHARD, WORDS).with_ephemeral_words(M_EPH),
-            shards,
-        )
-        // Adoption headroom: a survivor may re-drive a dead sibling's
-        // frontier out of its own pools.
-        .with_pool_words(samplesort_pool_words(N) * 2)
-        .with_slots(SLOTS)
-        .with_lease_ms(LEASE_MS)
-        .with_deadline(Duration::from_secs(120))
+    fn cluster_builder(path: &std::path::Path, shards: usize) -> ClusterBuilder {
+        ClusterBuilder::new(path)
+            .machine(
+                PmConfig::parallel(shards * PROCS_PER_SHARD, WORDS).with_ephemeral_words(M_EPH),
+            )
+            .workers(shards)
+            // Adoption headroom: a survivor may re-drive a dead sibling's
+            // frontier out of its own pools.
+            .pool_words(samplesort_pool_words(N) * 2)
+            .deque_slots(SLOTS)
+            .lease_ms(LEASE_MS)
+            .deadline(Duration::from_secs(120))
     }
 
     fn input(shard: usize) -> Vec<Word> {
@@ -174,8 +175,9 @@ mod scenario {
         let file = TempMachineFile::new(&format!("sharded-fault-{attempt}"));
         let outputs = Arc::new(Mutex::new(vec![None; ppm::pm::MAX_SHARDS]));
         let build = build(outputs.clone());
-        let observer =
-            cluster::init_observed(file.path(), &cluster_cfg(shards), &build).expect("init");
+        let observer = cluster_builder(file.path(), shards)
+            .observe(&build)
+            .expect("init");
         let metrics_port = ppm::obs::Obs::metrics_port_from_env();
         let _metrics = metrics_port.and_then(|p| observer.serve_metrics(p));
 

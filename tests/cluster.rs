@@ -10,7 +10,7 @@ use std::sync::{Arc, Mutex};
 
 use ppm::core::{dsl, Machine};
 use ppm::pm::{PmConfig, Region, TempMachineFile, Word};
-use ppm::sched::cluster::{self, ClusterConfig, ClusterRole, ShardBuild};
+use ppm::sched::cluster::{self, ClusterBuilder, ClusterRole, ShardBuild};
 use ppm::sched::SessionMode;
 
 const PROCS_PER_SHARD: usize = 2;
@@ -47,13 +47,12 @@ fn marker_build(slices: Arc<Mutex<Vec<Option<Region>>>>) -> ShardBuild {
     })
 }
 
-fn cluster_cfg(shards: usize, lease_ms: u64) -> ClusterConfig {
-    ClusterConfig::new(
-        PmConfig::parallel(shards * PROCS_PER_SHARD, 1 << 21),
-        shards,
-    )
-    .with_lease_ms(lease_ms)
-    .with_slots(1 << 10)
+fn cluster_builder(path: &std::path::Path, shards: usize, lease_ms: u64) -> ClusterBuilder {
+    ClusterBuilder::new(path)
+        .machine(PmConfig::parallel(shards * PROCS_PER_SHARD, 1 << 21))
+        .workers(shards)
+        .lease_ms(lease_ms)
+        .deque_slots(1 << 10)
 }
 
 fn assert_slices_filled(machine: &Machine, slices: &Mutex<Vec<Option<Region>>>) {
@@ -74,7 +73,7 @@ fn workers_complete_their_shards_independently() {
     let file = TempMachineFile::new("cluster-basic");
     let slices = Arc::new(Mutex::new(vec![None; 2]));
     let build = marker_build(slices.clone());
-    cluster::init(file.path(), &cluster_cfg(2, 1000), &build).unwrap();
+    cluster_builder(file.path(), 2, 1000).init(&build).unwrap();
 
     // Two "workers" as threads, each with its own attachment — the same
     // memory semantics as separate processes over the shared mapping.
@@ -123,7 +122,9 @@ fn survivor_adopts_a_shard_that_never_starts() {
     // virtual clock already past every possible seed deadline, so the
     // first monitor tick judges shard 1 dead deterministically.
     let lease_ms = 60;
-    cluster::init(file.path(), &cluster_cfg(2, lease_ms), &build).unwrap();
+    cluster_builder(file.path(), 2, lease_ms)
+        .init(&build)
+        .unwrap();
     let clock = Arc::new(ppm::pm::VirtualClock::starting_at(
         ppm::pm::now_ms() + lease_ms * cluster::STARTUP_LEASE_FACTOR + 1,
     ));
@@ -168,7 +169,7 @@ fn recover_finishes_an_abandoned_cluster_file() {
     let build = marker_build(slices.clone());
     // Init plants three sub-roots; no worker ever runs (the "every fault
     // domain died at once" outcome).
-    cluster::init(file.path(), &cluster_cfg(3, 500), &build).unwrap();
+    cluster_builder(file.path(), 3, 500).init(&build).unwrap();
 
     let rep = cluster::recover(file.path(), &build).unwrap();
     assert!(rep.completed(), "recovery must finish the computation");

@@ -10,11 +10,11 @@
 use ppm::sched::model::{LeaseModel, QuiesceModel, StealModel, StealMutation};
 use ppm_check::{replay, Explorer, ExplorerConfig, Model, Report};
 
-/// The depth the CI `verify` job pins (`ppm-check --depth 40`). The
-/// steal model's full reachable space has diameter 35, so depth 40
-/// exhausts it; the lease and quiesce models bottom out earlier on
-/// their own tick budgets.
-const CI_DEPTH: usize = 40;
+/// The depth the CI `verify` job pins (`ppm-check --depth 60`). The
+/// deque-only steal space has diameter 35 and the injector-seeded
+/// space diameter 46, so depth 60 exhausts both; the lease and quiesce
+/// models bottom out earlier on their own tick budgets.
+const CI_DEPTH: usize = 60;
 
 fn explore<M: Model>(model: &M, depth: usize) -> Report<M> {
     Explorer::new(ExplorerConfig::depth(depth)).run(model)
@@ -35,6 +35,21 @@ fn steal_protocol_is_clean_and_exhausted_at_ci_depth() {
     assert!(
         report.states > 800,
         "steal state space shrank suspiciously: {} states",
+        report.states
+    );
+}
+
+#[test]
+fn injector_steal_protocol_is_clean_and_exhausted_at_ci_depth() {
+    let report = explore(&StealModel::with_injector(), CI_DEPTH);
+    report.assert_ok();
+    assert!(
+        !report.truncated,
+        "depth {CI_DEPTH} must exhaust the injector-seeded steal space"
+    );
+    assert!(
+        report.states > 1_500,
+        "injector state space shrank suspiciously: {} states",
         report.states
     );
 }
@@ -70,6 +85,22 @@ fn dropping_the_lemma_a10_adoption_arm_loses_a_task() {
 fn adopting_a_live_processors_local_double_executes() {
     explore(
         &StealModel::mutated(StealMutation::AdoptLiveLocal),
+        CI_DEPTH,
+    )
+    .assert_ok();
+}
+
+#[test]
+#[should_panic(expected = "NoLostTask")]
+fn dropping_the_rescue_sweep_loses_the_service_job() {
+    explore(&StealModel::mutated(StealMutation::DropRescue), CI_DEPTH).assert_ok();
+}
+
+#[test]
+#[should_panic(expected = "NoDoubleExecution")]
+fn rescuing_a_completed_slot_double_resolves_the_job() {
+    explore(
+        &StealModel::mutated(StealMutation::RescueCompleted),
         CI_DEPTH,
     )
     .assert_ok();
@@ -135,6 +166,16 @@ fn corpus_steal_drop_lemma_a10_replays() {
 #[test]
 fn corpus_steal_adopt_live_local_replays() {
     corpus_roundtrip(&StealModel::mutated(StealMutation::AdoptLiveLocal), 18);
+}
+
+#[test]
+fn corpus_steal_drop_rescue_replays() {
+    corpus_roundtrip(&StealModel::mutated(StealMutation::DropRescue), 4);
+}
+
+#[test]
+fn corpus_steal_rescue_completed_replays() {
+    corpus_roundtrip(&StealModel::mutated(StealMutation::RescueCompleted), 22);
 }
 
 #[test]
